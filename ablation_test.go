@@ -1,0 +1,252 @@
+// Ablation suite: quantifies the kernel's three efficiency claims
+// (Section III) by running each design choice against its naive
+// alternative on identical workloads:
+//
+//  1. event-driven computation vs looping over all synapses;
+//  2. pairwise spike aggregation vs per-spike messages;
+//  3. the neurosynaptic-core crossbar vs per-synapse packet replication
+//     (the S/N traffic-reduction argument of Section III-A).
+package truenorth_test
+
+import (
+	"testing"
+
+	"truenorth/internal/compass"
+	"truenorth/internal/core"
+	"truenorth/internal/corelet"
+	"truenorth/internal/netgen"
+	"truenorth/internal/neuron"
+	"truenorth/internal/router"
+)
+
+// denseEngine steps every core with the dense reference update.
+type denseEngine struct {
+	cores []*core.Core
+	grid  router.Mesh
+	tick  uint64
+}
+
+func newDenseEngine(t testing.TB, grid router.Mesh, configs []*core.Config) *denseEngine {
+	t.Helper()
+	e := &denseEngine{grid: grid}
+	for _, cfg := range configs {
+		e.cores = append(e.cores, core.New(cfg))
+	}
+	return e
+}
+
+func (e *denseEngine) step(dense bool) {
+	for idx, c := range e.cores {
+		src := router.Point{X: idx % e.grid.W, Y: idx / e.grid.W}
+		emit := func(_ int, tgt core.Target) {
+			if tgt.Output {
+				return
+			}
+			dst := src.Add(int(tgt.DX), int(tgt.DY))
+			if !e.grid.Contains(dst) {
+				return
+			}
+			e.cores[dst.Y*e.grid.W+dst.X].Deliver(int(tgt.Axon), e.tick+uint64(tgt.Delay))
+		}
+		if dense {
+			c.StepDense(e.tick, emit)
+		} else {
+			c.Step(e.tick, emit)
+		}
+	}
+	e.tick++
+}
+
+func (e *denseEngine) counters() core.Counters {
+	var total core.Counters
+	for _, c := range e.cores {
+		total.Add(c.Cnt)
+	}
+	return total
+}
+
+// ablationNet builds the shared workload: a 4×4-core recurrent network at
+// the paper's flagship 20 Hz × 128-synapse operating point.
+func ablationNet(t testing.TB) (router.Mesh, []*core.Config) {
+	t.Helper()
+	grid := router.Mesh{W: 4, H: 4}
+	configs, err := netgen.Build(netgen.Params{Grid: grid, RateHz: 20, SynPerNeuron: 128, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return grid, configs
+}
+
+func TestAblationDenseMatchesEventDriven(t *testing.T) {
+	// The dense reference must produce identical spikes, potentials, and
+	// event counts on an always-active network.
+	grid, configs := ablationNet(t)
+	ev := newDenseEngine(t, grid, configs)
+	dn := newDenseEngine(t, grid, configs)
+	for tick := 0; tick < 200; tick++ {
+		ev.step(false)
+		dn.step(true)
+	}
+	if a, b := ev.counters(), dn.counters(); a != b {
+		t.Fatalf("dense reference diverged: event-driven %+v vs dense %+v", a, b)
+	}
+	for i := range ev.cores {
+		if ev.cores[i].V != dn.cores[i].V {
+			t.Fatalf("core %d potentials differ between update strategies", i)
+		}
+	}
+	if ev.counters().Spikes == 0 {
+		t.Fatal("silent workload; ablation vacuous")
+	}
+}
+
+func TestAblationAggregationEquivalence(t *testing.T) {
+	grid, configs := ablationNet(t)
+	agg, err := compass.New(grid, configs, compass.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := compass.New(grid, configs, compass.WithWorkers(4), compass.WithAggregation(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg.Run(300)
+	naive.Run(300)
+	if a, b := agg.Counters(), naive.Counters(); a != b {
+		t.Fatalf("aggregation changed results: %+v vs %+v", a, b)
+	}
+	if an, bn := agg.NoC(), naive.NoC(); an != bn {
+		t.Fatalf("aggregation changed NoC stats: %+v vs %+v", an, bn)
+	}
+}
+
+func TestAblationCrossbarTrafficReduction(t *testing.T) {
+	// Section III-A: with neurosynaptic cores, one packet activates all of
+	// an axon's target synapses; without cores, each spike would be
+	// replicated per target synapse. The reduction factor equals synaptic
+	// events per routed packet — by construction ≈ the in-degree (128
+	// here), approaching the paper's "typically 256".
+	grid, configs := ablationNet(t)
+	eng, err := compass.New(grid, configs, compass.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(300)
+	c := eng.Counters()
+	packetsWithCores := float64(eng.NoC().RoutedSpikes)
+	packetsWithout := float64(c.SynEvents) // one packet per target synapse
+	if packetsWithCores == 0 {
+		t.Fatal("no traffic; ablation vacuous")
+	}
+	reduction := packetsWithout / packetsWithCores
+	if reduction < 120 || reduction > 136 {
+		t.Fatalf("traffic reduction %.1f×, want ≈128× (the network's in-degree)", reduction)
+	}
+}
+
+// BenchmarkAblationDenseVsEventDriven quantifies claim 1 at the sparse
+// flagship operating point (sub-benchmarks; compare ns/op).
+func BenchmarkAblationDenseVsEventDriven(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		dense bool
+	}{{"event-driven", false}, {"dense", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			grid, configs := ablationNet(b)
+			e := newDenseEngine(b, grid, configs)
+			for i := 0; i < 30; i++ {
+				e.step(mode.dense) // settle
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.step(mode.dense)
+			}
+		})
+	}
+}
+
+// TestAblationPlacementLocality quantifies a fourth design choice — the
+// Corelet toolchain's placement: locality-aware placement shortens wires
+// and therefore reduces measured mesh hops on the same network.
+func TestAblationPlacementLocality(t *testing.T) {
+	net := scrambledChainNet(t, 49, 13)
+	mesh := router.Mesh{W: 7, H: 7}
+	hops := func(place func(*corelet.Net, router.Mesh) (*corelet.Placement, error)) uint64 {
+		p, err := place(net, mesh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := compass.New(p.Mesh, p.Configs, compass.WithWorkers(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Inject(eng, "in", 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run(60)
+		if out := eng.DrainOutputs(); len(out) != 1 {
+			t.Fatalf("chain lost: %v", out)
+		}
+		return eng.NoC().Hops
+	}
+	rowMajor := hops(corelet.Place)
+	greedy := hops(corelet.PlaceGreedy)
+	if greedy >= rowMajor {
+		t.Fatalf("greedy placement hops %d not below row-major %d", greedy, rowMajor)
+	}
+}
+
+// scrambledChainNet is a relay chain with shuffled core ids (worst case
+// for sequential placement).
+func scrambledChainNet(t testing.TB, n int, seed int64) *corelet.Net {
+	t.Helper()
+	net := corelet.NewNet()
+	ids := make([]corelet.CoreID, n)
+	for i := range ids {
+		ids[i] = net.AddCore()
+	}
+	// Deterministic scramble.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	s := seed
+	for i := n - 1; i > 0; i-- {
+		s = s*6364136223846793005 + 1442695040888963407
+		j := int(uint64(s) % uint64(i+1))
+		order[i], order[j] = order[j], order[i]
+	}
+	for k := 0; k < n; k++ {
+		id := ids[order[k]]
+		net.SetSynapse(id, 0, 0)
+		net.SetNeuron(id, 0, neuron.Identity())
+		if k == n-1 {
+			net.ConnectOutput(id, 0, "out", 0)
+		} else {
+			net.Connect(id, 0, ids[order[k+1]], 0, 1)
+		}
+	}
+	net.AddInput("in", ids[order[0]], 0)
+	return net
+}
+
+// BenchmarkAblationAggregation quantifies claim 2.
+func BenchmarkAblationAggregation(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"aggregated", true}, {"per-spike-messages", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			grid, configs := ablationNet(b)
+			eng, err := compass.New(grid, configs, compass.WithWorkers(4), compass.WithAggregation(mode.on))
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng.Run(30)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Step()
+			}
+		})
+	}
+}

@@ -1,0 +1,57 @@
+// Command characterize regenerates the TrueNorth characterization figures
+// (Fig. 5a-f) and the headline operating-point table: the 88
+// probabilistically generated recurrent networks are run on the Compass
+// engine, their activity is scaled to full-chip load, and the calibrated
+// energy model reports computation, timing, power, and efficiency.
+//
+// Usage:
+//
+//	characterize [-grid N] [-ticks N] [-warmup N] [-workers N] [-voltage V] [-seed S]
+//
+// The default 16×16 grid sweeps all 88 networks in seconds; -grid 64
+// simulates the full 4,096-core chip.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"truenorth/internal/experiments"
+	"truenorth/internal/router"
+)
+
+func main() {
+	cfg := experiments.DefaultCharConfig()
+	grid := flag.Int("grid", cfg.Grid.W, "core grid edge (64 = full TrueNorth chip)")
+	ticks := flag.Int("ticks", cfg.Ticks, "measurement window in ticks")
+	warmup := flag.Int("warmup", cfg.Warmup, "settling window in ticks")
+	workers := flag.Int("workers", 0, "Compass workers (0 = GOMAXPROCS)")
+	voltage := flag.Float64("voltage", cfg.Voltage, "supply voltage for Figs. 5a/5b/5d/5e")
+	seed := flag.Int64("seed", cfg.Seed, "network generation seed")
+	flag.Parse()
+
+	cfg.Grid = router.Mesh{W: *grid, H: *grid}
+	cfg.Ticks = *ticks
+	cfg.Warmup = *warmup
+	cfg.Workers = *workers
+	cfg.Voltage = *voltage
+	cfg.Seed = *seed
+
+	fmt.Printf("Characterizing 88 recurrent networks on a %dx%d grid (%d warmup + %d measured ticks)...\n\n",
+		cfg.Grid.W, cfg.Grid.H, cfg.Warmup, cfg.Ticks)
+	points, err := experiments.Characterize(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+		os.Exit(1)
+	}
+	tables := experiments.CharTables(points)
+	tables = append(tables, experiments.VoltageSweep()...)
+	tables = append(tables, experiments.Headline(), experiments.BreakdownTable())
+	for _, t := range tables {
+		if err := t.Fprint(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "characterize:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Command compare regenerates the TrueNorth-versus-Compass comparisons:
+// Fig. 6 (speedup and energy improvement over the 88-network space against
+// Blue Gene/Q and x86) and Fig. 7 (the five computer-vision applications),
+// plus the Section IV-B application table.
+//
+// Usage:
+//
+//	compare [-grid N] [-apps] [-frames N] [-aperture WxH] [-workers N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"truenorth/internal/experiments"
+	"truenorth/internal/router"
+)
+
+func main() {
+	grid := flag.Int("grid", 16, "core grid edge for the 88-network sweep")
+	apps := flag.Bool("apps", false, "also run the five vision applications (Fig. 7)")
+	frames := flag.Int("frames", 6, "video frames per application")
+	apW := flag.Int("aperture-w", 64, "application aperture width")
+	apH := flag.Int("aperture-h", 32, "application aperture height")
+	workers := flag.Int("workers", 0, "Compass workers (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	cfg := experiments.DefaultCharConfig()
+	cfg.Grid = router.Mesh{W: *grid, H: *grid}
+	cfg.Workers = *workers
+	fmt.Printf("Fig 6: comparing TrueNorth vs Compass over the 88-network space (%dx%d grid)...\n\n", *grid, *grid)
+	points, err := experiments.Characterize(cfg)
+	if err != nil {
+		fail(err)
+	}
+	for _, t := range experiments.CompareTables(points) {
+		if err := t.Fprint(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+	if !*apps {
+		return
+	}
+	appCfg := experiments.DefaultAppRunConfig()
+	appCfg.Frames = *frames
+	appCfg.ImgW, appCfg.ImgH = *apW, *apH
+	appCfg.Workers = *workers
+	fmt.Printf("Fig 7: running five vision applications at %dx%d for %d frames each...\n\n", *apW, *apH, *frames)
+	results, err := experiments.RunApps(appCfg)
+	if err != nil {
+		fail(err)
+	}
+	for _, t := range experiments.AppTables(results) {
+		if err := t.Fprint(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "compare:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,42 @@
+// Command faults runs the fault-tolerance sweep: increasing fractions of
+// cores are disabled in a recurrent network and the mesh's rerouting keeps
+// the surviving system functional — the Section III-C robustness claim
+// ("if a core fails, we disable it and route spike events around it";
+// "local core failures do not disrupt global usability").
+//
+// Usage:
+//
+//	faults [-grid N] [-rate Hz] [-syn N] [-ticks N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"truenorth/internal/experiments"
+	"truenorth/internal/router"
+)
+
+func main() {
+	cfg := experiments.DefaultFaultConfig()
+	grid := flag.Int("grid", cfg.Grid.W, "core grid edge")
+	rate := flag.Float64("rate", cfg.RateHz, "target firing rate (Hz)")
+	syn := flag.Int("syn", cfg.Syn, "active synapses per neuron")
+	ticks := flag.Int("ticks", cfg.Ticks, "measurement ticks per point")
+	flag.Parse()
+
+	cfg.Grid = router.Mesh{W: *grid, H: *grid}
+	cfg.RateHz = *rate
+	cfg.Syn = *syn
+	cfg.Ticks = *ticks
+	points, err := experiments.FaultSweep(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faults:", err)
+		os.Exit(1)
+	}
+	if err := experiments.FaultTable(points).Fprint(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "faults:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,34 @@
+// Command future regenerates the Section VII projections: the 16-chip
+// board power split, the rat-scale quarter rack, and the 1%-human-scale
+// rack, with the paper's claimed energy reductions alongside the values
+// our models compute.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"truenorth/internal/energy"
+	"truenorth/internal/experiments"
+	"truenorth/internal/multichip"
+)
+
+func main() {
+	if err := experiments.FutureTable(experiments.FutureSystems()).Fprint(os.Stdout); err != nil {
+		fail(err)
+	}
+	// The 4×4 board power split (Section VII-C: 7.2 W = 2.5 W array at
+	// 1.0 V + 4.7 W support).
+	pm := multichip.DefaultPower()
+	b := multichip.FourByFour()
+	load := energy.TrueNorth().SyntheticLoad(20, 128)
+	total := pm.BoardPowerW(b, load, 1000, 1.0)
+	fmt.Printf("4x4 board at 1.0V, real time: total %.2f W = %.2f W TrueNorth array + %.2f W support logic\n",
+		total, total-pm.SupportW, pm.SupportW)
+	fmt.Printf("(paper: 7.2 W = 2.5 W + 4.7 W)\n")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "future:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+// Command scaling regenerates Fig. 8: single-chip Neovision strong scaling
+// on Blue Gene/Q (1-32 hosts × 8-64 threads) and the x86 reference points,
+// plus a measured strong-scaling sweep of the Go Compass engine on this
+// host.
+//
+// Usage:
+//
+//	scaling [-grid N] [-ticks N] [-measure]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"truenorth/internal/experiments"
+	"truenorth/internal/router"
+)
+
+func main() {
+	grid := flag.Int("grid", 16, "core grid edge for the measured Go sweep")
+	ticks := flag.Int("ticks", 200, "measured ticks per worker count")
+	measure := flag.Bool("measure", true, "also measure Go Compass scaling on this host")
+	flag.Parse()
+
+	if err := experiments.ScalingTable(experiments.BGQScaling()).Fprint(os.Stdout); err != nil {
+		fail(err)
+	}
+	if !*measure {
+		return
+	}
+	mesh := router.Mesh{W: *grid, H: *grid}
+	var sweep []int
+	for w := 1; w <= runtime.GOMAXPROCS(0); w *= 2 {
+		sweep = append(sweep, w)
+	}
+	fmt.Printf("Measuring Go Compass strong scaling (%dx%d grid, %d ticks, workers %v)...\n\n", *grid, *grid, *ticks, sweep)
+	rows, err := experiments.MeasureGoScaling(mesh, *ticks, sweep, 1)
+	if err != nil {
+		fail(err)
+	}
+	if err := experiments.MeasuredScalingTable(rows, mesh).Fprint(os.Stdout); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "scaling:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,177 @@
+// Command tnsim runs one recurrent network on a chosen engine and reports
+// activity, SOPS, power, and efficiency — a quick-look tool for exploring
+// the operating space.
+//
+// Usage:
+//
+//	tnsim [-engine chip|compass] [-grid N] [-rate Hz] [-syn N] [-ticks N]
+//	      [-voltage V] [-tickrate Hz] [-workers N] [-stochastic]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"truenorth/internal/chip"
+	"truenorth/internal/compass"
+	"truenorth/internal/core"
+	"truenorth/internal/diag"
+	"truenorth/internal/energy"
+	"truenorth/internal/experiments"
+	"truenorth/internal/model"
+	"truenorth/internal/netgen"
+	"truenorth/internal/router"
+	"truenorth/internal/sim"
+)
+
+func main() {
+	engine := flag.String("engine", "compass", "engine: chip (canonical, single-threaded) or compass (parallel)")
+	grid := flag.Int("grid", 16, "core grid edge (64 = full TrueNorth chip)")
+	rate := flag.Float64("rate", 20, "target mean firing rate (Hz)")
+	syn := flag.Int("syn", 128, "active synapses per neuron (0-256)")
+	ticks := flag.Int("ticks", 200, "ticks to simulate")
+	warmup := flag.Int("warmup", 50, "settling ticks before measurement")
+	voltage := flag.Float64("voltage", 0.75, "supply voltage")
+	tickrate := flag.Float64("tickrate", 1000, "operating tick rate (Hz); 1000 = real time")
+	workers := flag.Int("workers", 0, "compass workers (0 = GOMAXPROCS)")
+	stochastic := flag.Bool("stochastic", false, "enable stochastic threshold jitter")
+	seed := flag.Int64("seed", 1, "network seed")
+	save := flag.String("save", "", "write the generated model to this file and exit")
+	load := flag.String("load", "", "load the model from this file instead of generating one")
+	heatmap := flag.Bool("heatmap", false, "print a per-core activity heatmap and utilization summary")
+	saveState := flag.String("savestate", "", "write a checkpoint after the run (resume with -loadstate)")
+	loadState := flag.String("loadstate", "", "resume from a checkpoint before the run (same model and grid)")
+	flag.Parse()
+
+	mesh := router.Mesh{W: *grid, H: *grid}
+	var configs []*core.Config
+	var err error
+	if *load != "" {
+		f, ferr := os.Open(*load)
+		if ferr != nil {
+			fail(ferr)
+		}
+		mesh, configs, err = model.ReadModel(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		*grid = mesh.W
+	} else {
+		configs, err = netgen.Build(netgen.Params{
+			Grid: mesh, RateHz: *rate, SynPerNeuron: *syn, Seed: *seed, Stochastic: *stochastic,
+		})
+		if err != nil {
+			fail(err)
+		}
+	}
+	if *save != "" {
+		f, ferr := os.Create(*save)
+		if ferr != nil {
+			fail(ferr)
+		}
+		if err := model.WriteModel(f, mesh, configs); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("model written to %s (%d cores)\n", *save, mesh.W*mesh.H)
+		return
+	}
+	var eng sim.Engine
+	switch *engine {
+	case "chip":
+		eng, err = chip.New(mesh, configs)
+	case "compass":
+		var opts []compass.Option
+		if *workers > 0 {
+			opts = append(opts, compass.WithWorkers(*workers))
+		}
+		eng, err = compass.New(mesh, configs, opts...)
+	default:
+		err = fmt.Errorf("unknown engine %q", *engine)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	if *loadState != "" {
+		ckpt, ok := eng.(model.CheckpointableEngine)
+		if !ok {
+			fail(fmt.Errorf("engine %q does not support checkpoints", *engine))
+		}
+		f, ferr := os.Open(*loadState)
+		if ferr != nil {
+			fail(ferr)
+		}
+		err = model.ReadCheckpoint(f, ckpt)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("resumed from %s at tick %d\n", *loadState, eng.Tick())
+		*warmup = 0 // the checkpoint already carries settled state
+	}
+
+	eng.Run(*warmup)
+	l := energy.MeasureLoad(eng, *ticks)
+	scaled := experiments.ScaleLoadToChip(l, mesh)
+	neurons := float64(*grid * *grid * core.NeuronsPerCore)
+	em := energy.TrueNorth()
+	if err := em.CheckVoltage(*voltage); err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("engine:            %s (%dx%d cores, %d neurons)\n", *engine, *grid, *grid, int(neurons))
+	fmt.Printf("measured rate:     %.1f Hz (target %.1f)\n", l.Spikes/neurons*1000, *rate)
+	if l.Spikes > 0 {
+		fmt.Printf("syn events/spike:  %.1f (target %d)\n", l.SynEvents/l.Spikes, *syn)
+	}
+	fmt.Printf("per full chip at %.0f Hz ticks, %.2f V:\n", *tickrate, *voltage)
+	fmt.Printf("  SOPS:            %.2f GSOPS\n", scaled.SOPS(*tickrate)/1e9)
+	fmt.Printf("  power:           %.1f mW\n", em.PowerW(scaled, *tickrate, *voltage)*1e3)
+	fmt.Printf("  efficiency:      %.1f GSOPS/W\n", em.GSOPSPerWatt(scaled, *tickrate, *voltage))
+	fmt.Printf("  max tick rate:   %.2f kHz\n", em.MaxTickHz(scaled, *voltage)/1000)
+	fmt.Printf("  active energy:   %.1f pJ/synaptic event\n", em.ActivePJPerSynEvent(scaled, *voltage))
+	bd := em.PowerBreakdown(scaled, *tickrate, *voltage)
+	fmt.Printf("  power breakdown: passive %.1f + neurons %.1f + synapses %.1f + hops %.1f mW\n",
+		bd.PassiveW*1e3, bd.NeuronW*1e3, bd.SynapseW*1e3, bd.HopW*1e3)
+
+	if *saveState != "" {
+		ckpt, ok := eng.(model.CheckpointableEngine)
+		if !ok {
+			fail(fmt.Errorf("engine %q does not support checkpoints", *engine))
+		}
+		f, ferr := os.Create(*saveState)
+		if ferr != nil {
+			fail(ferr)
+		}
+		err = model.WriteCheckpoint(f, ckpt)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("checkpoint written to %s at tick %d\n", *saveState, eng.Tick())
+	}
+
+	if *heatmap {
+		fmt.Println()
+		if err := diag.Heatmap(os.Stdout, eng, diag.SynEvents); err != nil {
+			fail(err)
+		}
+		fmt.Println()
+		if err := diag.Summarize(eng).Fprint(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tnsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,42 @@
+// Command topology runs the communication-locality study: recurrent
+// networks from uniform-random to strongly clustered (cortex-like)
+// connectivity on a multi-chip board, measuring mesh hops, merge/split
+// crossings, link utilization, and the communication share of active
+// energy — Compass's stated use of "benchmarking inter-core communication
+// on different neural network topologies" (Section III-B).
+//
+// Usage:
+//
+//	topology [-chips N] [-tile N] [-rate Hz] [-syn N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"truenorth/internal/experiments"
+	"truenorth/internal/multichip"
+)
+
+func main() {
+	cfg := experiments.DefaultTopologyConfig()
+	chips := flag.Int("chips", cfg.Board.ChipsX, "board edge in chips (N×N)")
+	tile := flag.Int("tile", cfg.Board.TileW, "chip edge in cores")
+	rate := flag.Float64("rate", cfg.RateHz, "target firing rate (Hz)")
+	syn := flag.Int("syn", cfg.Syn, "active synapses per neuron")
+	flag.Parse()
+
+	cfg.Board = multichip.Board{ChipsX: *chips, ChipsY: *chips, TileW: *tile, TileH: *tile}
+	cfg.RateHz = *rate
+	cfg.Syn = *syn
+	points, err := experiments.TopologySweep(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topology:", err)
+		os.Exit(1)
+	}
+	if err := experiments.TopologyTable(points).Fprint(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "topology:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,152 @@
+// Cognition: the paper's non-vision application classes in one tour —
+// a liquid state machine classifying temporal rhythms, a restricted
+// Boltzmann machine completing corrupted patterns, and a hidden Markov
+// model filter tracking a hidden state, all as spiking networks with
+// off-line-trained or off-line-derived readouts.
+//
+//	go run ./examples/cognition
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"truenorth/internal/apps/hmm"
+	"truenorth/internal/apps/lsm"
+	"truenorth/internal/apps/rbm"
+)
+
+func main() {
+	lsmDemo()
+	rbmDemo()
+	hmmDemo()
+}
+
+func lsmDemo() {
+	fmt.Println("=== Liquid state machine: temporal rhythm classification ===")
+	rig, err := lsm.NewRig(lsm.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	pattern := func(class int) lsm.Pattern {
+		p := lsm.Pattern{SpikesAt: map[int][]int{}, Ticks: 50}
+		period := []int{3, 8}[class]
+		chans := [][]int{{0, 1, 2}, {4, 5, 6}}[class]
+		for _, ch := range chans {
+			for t := ch % period; t < 50; t += period {
+				tt := t + rng.Intn(3) - 1
+				if tt >= 0 && tt < 50 {
+					p.SpikesAt[tt] = append(p.SpikesAt[tt], ch)
+				}
+			}
+		}
+		return p
+	}
+	var x [][]float64
+	var y []int
+	for c := 0; c < 2; c++ {
+		for i := 0; i < 8; i++ {
+			f, err := rig.Features(pattern(c))
+			if err != nil {
+				log.Fatal(err)
+			}
+			x = append(x, f)
+			y = append(y, c)
+		}
+	}
+	clf := lsm.TrainReadout(x, y, 2, 30)
+	correct, total := 0, 0
+	for c := 0; c < 2; c++ {
+		for i := 0; i < 4; i++ {
+			f, err := rig.Features(pattern(c))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if clf.Predict(f) == c {
+				correct++
+			}
+			total++
+		}
+	}
+	fmt.Printf("256-neuron reservoir + off-line perceptron: %d/%d rhythms classified\n\n", correct, total)
+}
+
+func rbmDemo() {
+	fmt.Println("=== Restricted Boltzmann machine: associative pattern completion ===")
+	protos := [][]bool{
+		bits("11111111111111110000000000000000"),
+		bits("00000000000000001111111111111111"),
+		bits("10101010101010101010101010101010"),
+	}
+	rig, err := rbm.NewRig(rbm.Params{Visible: 32, Prototypes: protos, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	corrupted := append([]bool(nil), protos[0]...)
+	corrupted[3] = false
+	corrupted[9] = false
+	corrupted[20] = true
+	res, err := rig.Infer(corrupted)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stored    : %s\n", str(protos[0]))
+	fmt.Printf("corrupted : %s (3 bits flipped)\n", str(corrupted))
+	fmt.Printf("completed : %s (hidden rates: %.2f %.2f %.2f)\n\n",
+		str(res.Recon), res.HiddenRates[0], res.HiddenRates[1], res.HiddenRates[2])
+}
+
+func hmmDemo() {
+	fmt.Println("=== Hidden Markov model: spiking forward filter ===")
+	model := hmm.Model{
+		A:  [][]float64{{0.85, 0.15}, {0.15, 0.85}},
+		B:  [][]float64{{0.7, 0.25, 0.05}, {0.05, 0.25, 0.7}},
+		Pi: []float64{0.5, 0.5},
+	}
+	rig, err := hmm.NewRig(hmm.Params{Model: model, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	obs := []int{0, 0, 0, 2, 2, 2, 2, 0, 0, 0}
+	names := []string{"walk", "shop", "clean"}
+	states := []string{"Sunny", "Rainy"}
+	_, est, err := rig.Filter(obs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref := model.Forward(obs)
+	fmt.Println("obs      spiking-filter  exact-filter")
+	for t, o := range obs {
+		exact := 0
+		if ref[t][1] > ref[t][0] {
+			exact = 1
+		}
+		mark := ""
+		if est[t] == exact {
+			mark = "agrees"
+		}
+		fmt.Printf("%-8s %-15s %-13s %s\n", names[o], states[est[t]], states[exact], mark)
+	}
+}
+
+func bits(s string) []bool {
+	out := make([]bool, len(s))
+	for i, c := range s {
+		out[i] = c == '1'
+	}
+	return out
+}
+
+func str(b []bool) string {
+	out := make([]byte, len(b))
+	for i, v := range b {
+		if v {
+			out[i] = '1'
+		} else {
+			out[i] = '0'
+		}
+	}
+	return string(out)
+}

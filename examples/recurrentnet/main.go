@@ -1,0 +1,62 @@
+// Recurrentnet: generate one of the paper's probabilistic recurrent
+// characterization networks, run it on the parallel Compass engine, and
+// walk the operating space of Fig. 5 — power, efficiency, and maximum tick
+// rate across voltages and speeds.
+//
+//	go run ./examples/recurrentnet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"truenorth/internal/compass"
+	"truenorth/internal/core"
+	"truenorth/internal/energy"
+	"truenorth/internal/experiments"
+	"truenorth/internal/netgen"
+	"truenorth/internal/router"
+)
+
+func main() {
+	grid := router.Mesh{W: 16, H: 16}
+	params := netgen.Params{Grid: grid, RateHz: 20, SynPerNeuron: 128, Seed: 7}
+	configs, err := netgen.Build(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := compass.New(grid, configs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recurrent network: %d cores, %d neurons, target %.0f Hz x %d synapses/neuron, %d workers\n",
+		grid.W*grid.H, grid.W*grid.H*core.NeuronsPerCore, params.RateHz, params.SynPerNeuron, eng.Workers())
+
+	eng.Run(50)
+	l := energy.MeasureLoad(eng, 200)
+	neurons := float64(grid.W * grid.H * core.NeuronsPerCore)
+	fmt.Printf("measured: %.1f Hz mean rate, %.1f synaptic events/spike, load imbalance %.2f\n",
+		l.Spikes/neurons*1000, l.SynEvents/l.Spikes, eng.LoadImbalance())
+
+	full := experiments.ScaleLoadToChip(l, grid)
+	model := energy.TrueNorth()
+	fmt.Printf("\nscaled to one TrueNorth chip (4,096 cores, 1M neurons):\n")
+	fmt.Printf("%-22s %10s %10s %12s\n", "operating point", "power mW", "GSOPS", "GSOPS/W")
+	for _, op := range []struct {
+		name   string
+		tickHz float64
+		v      float64
+	}{
+		{"real time @0.75V", 1000, 0.75},
+		{"5x real time @0.75V", 5000, 0.75},
+		{"real time @0.70V", 1000, 0.70},
+		{"real time @1.05V", 1000, 1.05},
+	} {
+		fmt.Printf("%-22s %10.1f %10.2f %12.1f\n", op.name,
+			model.PowerW(full, op.tickHz, op.v)*1e3,
+			full.SOPS(op.tickHz)/1e9,
+			model.GSOPSPerWatt(full, op.tickHz, op.v))
+	}
+	fmt.Printf("\nmax tick rate at 0.75V: %.1f kHz (real time is 1 kHz)\n", model.MaxTickHz(full, 0.75)/1000)
+	fmt.Printf("active energy: %.1f pJ per synaptic event (paper: ~10 pJ)\n", model.ActivePJPerSynEvent(full, 0.75))
+}

@@ -1,0 +1,3 @@
+module truenorth
+
+go 1.22

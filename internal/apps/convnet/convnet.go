@@ -1,0 +1,360 @@
+// Package convnet implements a spiking convolutional network, the first
+// application class the paper lists among its demonstrations
+// ("convolutional networks, liquid state machines, restricted Boltzmann
+// machines..."): convolution feature maps, pooling, and an off-line-
+// trained linear readout, all running as rate-coded corelets.
+//
+// Weights live in the axon types, as on real TrueNorth convnets: each
+// conv core assigns its four types the values {+1, −1, +2, −2}, and a
+// pixel that a kernel needs with weight w arrives on an axon of the
+// matching type. Pixels fan out through splitter cores (one relay per
+// (tile, weight-class) use), kernels are rectified by the neuron's
+// threshold, and pooling sums 2×2 unit blocks. The classifier is trained
+// off-line on pooled spike counts — the paper's workflow, with Compass
+// standing in for the chip during training.
+package convnet
+
+import (
+	"fmt"
+
+	"truenorth/internal/chip"
+	"truenorth/internal/core"
+	"truenorth/internal/corelet"
+	"truenorth/internal/neuron"
+	"truenorth/internal/router"
+)
+
+// Architectural constants.
+const (
+	// KernelSize is the convolution kernel edge (3×3).
+	KernelSize = 3
+	// TileOut is the output-tile edge per conv core (6×6 output units).
+	TileOut = 6
+	// tileIn is the input footprint edge of one tile.
+	tileIn = TileOut + KernelSize - 1
+	// PoolSize is the pooling block edge.
+	PoolSize = 2
+)
+
+// I/O group names.
+const (
+	InputName  = "pixels"
+	OutputName = "pool"
+)
+
+// Kernel is a 3×3 integer filter with weights in {-2, -1, 0, 1, 2}.
+type Kernel struct {
+	Name string
+	W    [KernelSize][KernelSize]int8
+}
+
+// EdgeKernels returns the default filter bank: four oriented edge
+// detectors.
+func EdgeKernels() []Kernel {
+	return []Kernel{
+		{Name: "horizontal", W: [3][3]int8{{1, 2, 1}, {0, 0, 0}, {-1, -2, -1}}},
+		{Name: "vertical", W: [3][3]int8{{1, 0, -1}, {2, 0, -2}, {1, 0, -1}}},
+		{Name: "diag", W: [3][3]int8{{2, 1, 0}, {1, 0, -1}, {0, -1, -2}}},
+		{Name: "antidiag", W: [3][3]int8{{0, 1, 2}, {-1, 0, 1}, {-2, -1, 0}}},
+	}
+}
+
+// Params configures the network.
+type Params struct {
+	// ImgW, ImgH are the input dimensions; the conv output (Img−2) must
+	// tile into TileOut×TileOut blocks and then into PoolSize pools.
+	ImgW, ImgH int
+	// Kernels is the filter bank (nil selects EdgeKernels; at most 7 fit
+	// a conv core's neuron budget).
+	Kernels []Kernel
+	// Threshold scales conv firing rate (default 8).
+	Threshold int32
+}
+
+// App is a built convolutional network.
+type App struct {
+	// Net is the corelet network.
+	Net *corelet.Net
+	// OutW, OutH is the conv feature-map size; PoolW, PoolH the pooled
+	// map size per kernel.
+	OutW, OutH, PoolW, PoolH int
+	// K is the kernel count.
+	K int
+	p Params
+}
+
+// NumOutputs returns the readout dimensionality: pooled units × kernels.
+func (a *App) NumOutputs() int { return a.PoolW * a.PoolH * a.K }
+
+// weightType maps a kernel weight to its axon type on conv cores.
+func weightType(w int8) (uint8, bool) {
+	switch w {
+	case 1:
+		return 0, true
+	case -1:
+		return 1, true
+	case 2:
+		return 2, true
+	case -2:
+		return 3, true
+	default:
+		return 0, false
+	}
+}
+
+// convTypeWeights are the per-type signed weights of every conv neuron.
+var convTypeWeights = [neuron.NumAxonTypes]int32{1, -1, 2, -2}
+
+// Build constructs the network. Input group "pixels" has one pin per
+// pixel; output group "pool" indexes (k*PoolH + py)*PoolW + px.
+func Build(p Params) (*App, error) {
+	if p.Kernels == nil {
+		p.Kernels = EdgeKernels()
+	}
+	if p.Threshold == 0 {
+		p.Threshold = 8
+	}
+	outW, outH := p.ImgW-KernelSize+1, p.ImgH-KernelSize+1
+	if p.ImgW <= KernelSize || p.ImgH <= KernelSize {
+		return nil, fmt.Errorf("convnet: image %dx%d too small for %d-wide kernels", p.ImgW, p.ImgH, KernelSize)
+	}
+	if outW%TileOut != 0 || outH%TileOut != 0 {
+		return nil, fmt.Errorf("convnet: conv output %dx%d must tile into %d-wide blocks (choose ImgW,ImgH ≡ 2 mod 6)", outW, outH, TileOut)
+	}
+	if outW%PoolSize != 0 || outH%PoolSize != 0 {
+		return nil, fmt.Errorf("convnet: conv output %dx%d must pool into %d-wide blocks", outW, outH, PoolSize)
+	}
+	k := len(p.Kernels)
+	if k < 1 || k*TileOut*TileOut > core.NeuronsPerCore {
+		return nil, fmt.Errorf("convnet: %d kernels exceed a conv core's %d neurons", k, core.NeuronsPerCore)
+	}
+	for _, kn := range p.Kernels {
+		for _, row := range kn.W {
+			for _, w := range row {
+				if _, ok := weightType(w); !ok && w != 0 {
+					return nil, fmt.Errorf("convnet: kernel %q weight %d outside {-2..2}", kn.Name, w)
+				}
+			}
+		}
+	}
+	app := &App{
+		Net:  corelet.NewNet(),
+		OutW: outW, OutH: outH,
+		PoolW: outW / PoolSize, PoolH: outH / PoolSize,
+		K: k, p: p,
+	}
+	n := app.Net
+	tilesX, tilesY := outW/TileOut, outH/TileOut
+
+	// Which weight classes does each pixel need, per tile covering it?
+	// A pixel may appear at any kernel offset, so conservatively give
+	// every pixel every weight class each tile needs: count the distinct
+	// classes used by the filter bank.
+	classes := map[uint8]bool{}
+	for _, kn := range p.Kernels {
+		for _, row := range kn.W {
+			for _, w := range row {
+				if tpe, ok := weightType(w); ok {
+					classes[tpe] = true
+				}
+			}
+		}
+	}
+	nClasses := len(classes)
+
+	// Per-pixel fanout: (tiles covering the pixel) × weight classes.
+	fans := make([]int, p.ImgW*p.ImgH)
+	tileOfOut := func(ox, oy int) (int, int) { return ox / TileOut, oy / TileOut }
+	pixelTiles := make([][]int, p.ImgW*p.ImgH) // tile indices per pixel
+	for py := 0; py < p.ImgH; py++ {
+		for px := 0; px < p.ImgW; px++ {
+			seen := map[int]bool{}
+			// Output units whose RF contains (px, py):
+			for oy := py - KernelSize + 1; oy <= py; oy++ {
+				for ox := px - KernelSize + 1; ox <= px; ox++ {
+					if ox < 0 || oy < 0 || ox >= outW || oy >= outH {
+						continue
+					}
+					tx, ty := tileOfOut(ox, oy)
+					ti := ty*tilesX + tx
+					seen[ti] = true
+				}
+			}
+			idx := py*p.ImgW + px
+			for ti := range seen {
+				pixelTiles[idx] = append(pixelTiles[idx], ti)
+			}
+			fans[idx] = len(seen) * nClasses
+			if fans[idx] == 0 {
+				fans[idx] = 1 // corner pixels outside every RF still get a pin
+			}
+		}
+	}
+	fan, err := corelet.AddFanoutVar(n, fans)
+	if err != nil {
+		return nil, err
+	}
+	for _, pin := range fan.Pins {
+		n.AddInput(InputName, pin.Core, pin.Axon)
+	}
+	next := make([]int, len(fans))
+	takeRelay := func(pix int) corelet.Handle {
+		h := fan.Outs[pix][next[pix]]
+		next[pix]++
+		return h
+	}
+
+	// Conv cores: one per tile. Axon layout: for footprint pixel (fx, fy)
+	// and class c, axon index = (fy*tileIn+fx)*nClasses + classIdx.
+	classList := make([]uint8, 0, nClasses)
+	for c := uint8(0); c < neuron.NumAxonTypes; c++ {
+		if classes[c] {
+			classList = append(classList, c)
+		}
+	}
+	classIdx := map[uint8]int{}
+	for i, c := range classList {
+		classIdx[c] = i
+	}
+	convUnit := make([][]corelet.Handle, k) // [kernel][outIdx]
+	for ki := range convUnit {
+		convUnit[ki] = make([]corelet.Handle, outW*outH)
+	}
+	for ty := 0; ty < tilesY; ty++ {
+		for tx := 0; tx < tilesX; tx++ {
+			cc := n.AddCore()
+			// Wire the tile's input footprint.
+			baseX, baseY := tx*TileOut, ty*TileOut
+			for fy := 0; fy < tileIn; fy++ {
+				for fx := 0; fx < tileIn; fx++ {
+					pix := (baseY+fy)*p.ImgW + baseX + fx
+					for _, c := range classList {
+						a := (fy*tileIn+fx)*nClasses + classIdx[c]
+						n.SetAxonType(cc, a, c)
+						h := takeRelay(pix)
+						n.Connect(h.Core, h.Neuron, cc, a, 1)
+					}
+				}
+			}
+			// Conv neurons: one per (kernel, output unit in tile).
+			for ki, kn := range p.Kernels {
+				for uy := 0; uy < TileOut; uy++ {
+					for ux := 0; ux < TileOut; ux++ {
+						j := n.AllocNeuron(cc)
+						n.SetNeuron(cc, j, neuron.Params{
+							Weights:      convTypeWeights,
+							Threshold:    p.Threshold,
+							Reset:        neuron.ResetSubtract,
+							NegThreshold: 4 * p.Threshold,
+							NegSaturate:  true,
+						})
+						for dy := 0; dy < KernelSize; dy++ {
+							for dx := 0; dx < KernelSize; dx++ {
+								w := kn.W[dy][dx]
+								tpe, ok := weightType(w)
+								if !ok {
+									continue
+								}
+								a := ((uy+dy)*tileIn+ux+dx)*nClasses + classIdx[tpe]
+								n.SetSynapse(cc, a, j)
+							}
+						}
+						ox, oy := baseX+ux, baseY+uy
+						convUnit[ki][oy*outW+ox] = corelet.Handle{Core: cc, Neuron: j}
+					}
+				}
+			}
+		}
+	}
+
+	// Pooling cores: each pool neuron sums its 2×2 conv units.
+	unitsPerPoolCore := core.AxonsPerCore / (PoolSize * PoolSize)
+	var pc corelet.CoreID
+	inPC := unitsPerPoolCore
+	for ki := 0; ki < k; ki++ {
+		for py := 0; py < app.PoolH; py++ {
+			for px := 0; px < app.PoolW; px++ {
+				if inPC == unitsPerPoolCore {
+					pc = n.AddCore()
+					inPC = 0
+				}
+				inPC++
+				j := n.AllocNeuron(pc)
+				n.SetNeuron(pc, j, neuron.Accumulator(1, 0, 2))
+				for dy := 0; dy < PoolSize; dy++ {
+					for dx := 0; dx < PoolSize; dx++ {
+						a := n.AllocAxon(pc)
+						n.SetSynapse(pc, a, j)
+						u := convUnit[ki][(py*PoolSize+dy)*outW+px*PoolSize+dx]
+						n.Connect(u.Core, u.Neuron, pc, a, 1)
+					}
+				}
+				n.ConnectOutput(pc, j, OutputName, (ki*app.PoolH+py)*app.PoolW+px)
+			}
+		}
+	}
+	return app, nil
+}
+
+// Rig is a placed, runnable convnet with frame-level feature extraction.
+type Rig struct {
+	App *App
+	P   *corelet.Placement
+	Eng *chip.Model
+	// TicksPerSample is the rate-coding window per presented image.
+	TicksPerSample int
+	// SpikesPerPixel is the transduction rate for a full-intensity pixel.
+	SpikesPerPixel int
+}
+
+// NewRig builds, places, and instantiates the network.
+func NewRig(p Params) (*Rig, error) {
+	app, err := Build(p)
+	if err != nil {
+		return nil, err
+	}
+	side := 1
+	for side*side < app.Net.NumCores() {
+		side++
+	}
+	pl, err := corelet.PlaceGreedy(app.Net, router.Mesh{W: side, H: side})
+	if err != nil {
+		return nil, err
+	}
+	eng, err := chip.New(pl.Mesh, pl.Configs)
+	if err != nil {
+		return nil, err
+	}
+	return &Rig{App: app, P: pl, Eng: eng, TicksPerSample: 24, SpikesPerPixel: 8}, nil
+}
+
+// Features presents a binary image (row-major, true = lit) to a freshly
+// reset network and returns the pooled spike counts.
+func (r *Rig) Features(img []bool) ([]float64, error) {
+	if len(img) != r.App.p.ImgW*r.App.p.ImgH {
+		return nil, fmt.Errorf("convnet: image has %d pixels, want %d", len(img), r.App.p.ImgW*r.App.p.ImgH)
+	}
+	r.Eng.Reset(true)
+	for pix, lit := range img {
+		if !lit {
+			continue
+		}
+		phase := (pix * 127) % r.TicksPerSample
+		for s := 0; s < r.SpikesPerPixel; s++ {
+			off := (s*r.TicksPerSample/r.SpikesPerPixel + phase) % r.TicksPerSample
+			if err := r.P.Inject(r.Eng, InputName, pix, off); err != nil {
+				return nil, err
+			}
+		}
+	}
+	r.Eng.Run(r.TicksPerSample + 8)
+	counts := make([]float64, r.App.NumOutputs())
+	for _, s := range r.Eng.DrainOutputs() {
+		ref, ok := r.P.Decode(s.ID)
+		if !ok || ref.Name != OutputName {
+			continue
+		}
+		counts[ref.Index]++
+	}
+	return counts, nil
+}

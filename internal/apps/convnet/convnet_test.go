@@ -1,0 +1,204 @@
+package convnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"truenorth/internal/apps/lsm"
+)
+
+const imgW, imgH = 14, 14 // conv out 12×12: tiles 2×2, pools 6×6
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Params{ImgW: 3, ImgH: 14}); err == nil {
+		t.Error("too-small image accepted")
+	}
+	if _, err := Build(Params{ImgW: 15, ImgH: 14}); err == nil {
+		t.Error("non-tiling conv output accepted")
+	}
+	bad := []Kernel{{Name: "big", W: [3][3]int8{{3}}}}
+	if _, err := Build(Params{ImgW: imgW, ImgH: imgH, Kernels: bad}); err == nil {
+		t.Error("weight 3 accepted")
+	}
+	many := make([]Kernel, 8) // 8×36 = 288 > 256 neurons
+	if _, err := Build(Params{ImgW: imgW, ImgH: imgH, Kernels: many}); err == nil {
+		t.Error("8 kernels accepted")
+	}
+	if _, err := Build(Params{ImgW: imgW, ImgH: imgH}); err != nil {
+		t.Fatalf("default build failed: %v", err)
+	}
+}
+
+func TestNetworkStructure(t *testing.T) {
+	app, err := Build(Params{ImgW: imgW, ImgH: imgH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.OutW != 12 || app.OutH != 12 {
+		t.Fatalf("conv output %dx%d, want 12x12", app.OutW, app.OutH)
+	}
+	if app.PoolW != 6 || app.PoolH != 6 {
+		t.Fatalf("pool output %dx%d, want 6x6", app.PoolW, app.PoolH)
+	}
+	if app.NumOutputs() != 4*36 {
+		t.Fatalf("outputs = %d, want 144", app.NumOutputs())
+	}
+	// Splitters + 4 conv tiles + pooling.
+	if app.Net.NumCores() < 6 {
+		t.Fatalf("cores = %d; stages missing", app.Net.NumCores())
+	}
+}
+
+// glyph renders one of five 14×14 binary shape classes with positional
+// jitter.
+func glyph(class int, rng *rand.Rand) []bool {
+	img := make([]bool, imgW*imgH)
+	set := func(x, y int) {
+		if x >= 0 && x < imgW && y >= 0 && y < imgH {
+			img[y*imgW+x] = true
+		}
+	}
+	jx, jy := rng.Intn(3)-1, rng.Intn(3)-1
+	switch class {
+	case 0: // horizontal bars
+		for _, y := range []int{3, 7, 11} {
+			for x := 1; x < imgW-1; x++ {
+				set(x+jx, y+jy)
+			}
+		}
+	case 1: // vertical bars
+		for _, x := range []int{3, 7, 11} {
+			for y := 1; y < imgH-1; y++ {
+				set(x+jx, y+jy)
+			}
+		}
+	case 2: // main diagonals
+		for d := 0; d < imgW; d++ {
+			set(d+jx, d+jy)
+			set(d+jx+4, d+jy)
+		}
+	case 3: // cross
+		for x := 1; x < imgW-1; x++ {
+			set(x+jx, 7+jy)
+		}
+		for y := 1; y < imgH-1; y++ {
+			set(7+jx, y+jy)
+		}
+	default: // square outline
+		for x := 2; x < 12; x++ {
+			set(x+jx, 2+jy)
+			set(x+jx, 11+jy)
+		}
+		for y := 2; y < 12; y++ {
+			set(2+jx, y+jy)
+			set(11+jx, y+jy)
+		}
+	}
+	// Salt noise.
+	for i := 0; i < 4; i++ {
+		set(rng.Intn(imgW), rng.Intn(imgH))
+	}
+	return img
+}
+
+func TestOrientationSelectivity(t *testing.T) {
+	// Horizontal bars drive the horizontal-edge feature maps harder than
+	// the vertical ones, and vice versa.
+	rig, err := NewRig(Params{ImgW: imgW, ImgH: imgH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	sumKernel := func(x []float64, k int) float64 {
+		s := 0.0
+		per := rig.App.PoolW * rig.App.PoolH
+		for i := k * per; i < (k+1)*per; i++ {
+			s += x[i]
+		}
+		return s
+	}
+	h, err := rig.Features(glyph(0, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := rig.Features(glyph(1, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sumKernel(h, 0) <= sumKernel(h, 1) {
+		t.Fatalf("horizontal bars: horiz kernel %f not above vert %f", sumKernel(h, 0), sumKernel(h, 1))
+	}
+	if sumKernel(v, 1) <= sumKernel(v, 0) {
+		t.Fatalf("vertical bars: vert kernel %f not above horiz %f", sumKernel(v, 1), sumKernel(v, 0))
+	}
+}
+
+func TestBlankImageSilent(t *testing.T) {
+	rig, err := NewRig(Params{ImgW: imgW, ImgH: imgH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := rig.Features(make([]bool, imgW*imgH))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if v != 0 {
+			t.Fatalf("pooled unit %d fired %f on a blank image", i, v)
+		}
+	}
+}
+
+func TestFeaturesSizeCheck(t *testing.T) {
+	rig, err := NewRig(Params{ImgW: imgW, ImgH: imgH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rig.Features(make([]bool, 10)); err == nil {
+		t.Fatal("wrong image size accepted")
+	}
+}
+
+func TestGlyphClassification(t *testing.T) {
+	// End to end: spiking conv features + off-line perceptron classify
+	// five shape classes well above the 0.2 chance level.
+	if testing.Short() {
+		t.Skip("multi-sample training in -short mode")
+	}
+	rig, err := NewRig(Params{ImgW: imgW, ImgH: imgH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	const classes, trainN, testN = 5, 8, 4
+	var trainX [][]float64
+	var trainY []int
+	for c := 0; c < classes; c++ {
+		for i := 0; i < trainN; i++ {
+			x, err := rig.Features(glyph(c, rng))
+			if err != nil {
+				t.Fatal(err)
+			}
+			trainX = append(trainX, x)
+			trainY = append(trainY, c)
+		}
+	}
+	clf := lsm.TrainReadout(trainX, trainY, classes, 40)
+	correct, total := 0, 0
+	for c := 0; c < classes; c++ {
+		for i := 0; i < testN; i++ {
+			x, err := rig.Features(glyph(c, rng))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if clf.Predict(x) == c {
+				correct++
+			}
+			total++
+		}
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.8 {
+		t.Fatalf("accuracy %.2f below 0.8 (chance 0.2)", acc)
+	}
+}

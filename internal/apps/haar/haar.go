@@ -1,0 +1,213 @@
+// Package haar implements the paper's Haar-like feature-extraction
+// application (Section IV-B): box-filter responses "often used in face
+// detection" (Viola–Jones), computed as a corelet over streaming video.
+//
+// The image is tiled into 16×8-pixel patches. Each patch maps to one
+// feature core whose 256 axons carry the patch's 128 pixels twice — one
+// excitatory (+, type 0) and one inhibitory (−, type 1) axon per pixel —
+// because an axon has a single type but different Haar features need the
+// same pixel with different signs. Each Haar feature is one neuron per
+// patch connecting the feature's +1 pixels through their excitatory axons
+// and its −1 pixels through their inhibitory axons; with subtractive reset,
+// the neuron's firing rate is proportional to max(0, box response).
+//
+// Since a TrueNorth neuron drives exactly one axon, feeding every pixel to
+// both of its two axons requires a splitter stage (corelet.AddFanout),
+// which is why the network is several times larger than the feature neurons
+// alone — the same effect that makes the paper's Haar network 617,567
+// neurons in 2,605 cores for 100×200 video.
+package haar
+
+import (
+	"fmt"
+
+	"truenorth/internal/core"
+	"truenorth/internal/corelet"
+)
+
+// Patch dimensions: 16×8 = 128 pixels, ×2 signed axons = 256 axons.
+const (
+	PatchW = 16
+	PatchH = 8
+)
+
+// InputName and OutputName are the placement I/O group names.
+const (
+	InputName  = "pixels"
+	OutputName = "haar"
+)
+
+// Params configures the extractor.
+type Params struct {
+	// ImgW, ImgH are the frame dimensions; they must be multiples of the
+	// 16×8 patch.
+	ImgW, ImgH int
+	// Threshold scales output rate: one output spike per Threshold units
+	// of box response. Zero selects the default (16, one full-intensity
+	// pixel-frame).
+	Threshold int32
+}
+
+// App is a built Haar extractor.
+type App struct {
+	// Net is the corelet network; place it with corelet.Place.
+	Net *corelet.Net
+	// PatchesX, PatchesY tile the image.
+	PatchesX, PatchesY int
+	// NumFeatures is the number of Haar features per patch.
+	NumFeatures int
+	p           Params
+}
+
+// Features returns the ten Haar-like masks over a PatchW×PatchH patch:
+// +1/-1/0 per pixel (row-major).
+func Features() [][]int8 {
+	masks := make([][]int8, 0, 10)
+	add := func(f func(x, y int) int8) {
+		m := make([]int8, PatchW*PatchH)
+		for y := 0; y < PatchH; y++ {
+			for x := 0; x < PatchW; x++ {
+				m[y*PatchW+x] = f(x, y)
+			}
+		}
+		masks = append(masks, m)
+	}
+	sign := func(b bool) int8 {
+		if b {
+			return 1
+		}
+		return -1
+	}
+	// 1: horizontal edge (top vs bottom).
+	add(func(x, y int) int8 { return sign(y < PatchH/2) })
+	// 2: vertical edge (left vs right).
+	add(func(x, y int) int8 { return sign(x < PatchW/2) })
+	// 3: horizontal line (middle band vs outer).
+	add(func(x, y int) int8 { return sign(y >= PatchH/4 && y < 3*PatchH/4) })
+	// 4: vertical line (middle band vs outer).
+	add(func(x, y int) int8 { return sign(x >= PatchW/4 && x < 3*PatchW/4) })
+	// 5: checkerboard / diagonal.
+	add(func(x, y int) int8 { return sign((x < PatchW/2) == (y < PatchH/2)) })
+	// 6: left-half horizontal edge.
+	add(func(x, y int) int8 {
+		if x >= PatchW/2 {
+			return 0
+		}
+		return sign(y < PatchH/2)
+	})
+	// 7: right-half horizontal edge.
+	add(func(x, y int) int8 {
+		if x < PatchW/2 {
+			return 0
+		}
+		return sign(y < PatchH/2)
+	})
+	// 8: top-half vertical edge.
+	add(func(x, y int) int8 {
+		if y >= PatchH/2 {
+			return 0
+		}
+		return sign(x < PatchW/2)
+	})
+	// 9: bottom-half vertical edge.
+	add(func(x, y int) int8 {
+		if y < PatchH/2 {
+			return 0
+		}
+		return sign(x < PatchW/2)
+	})
+	// 10: inverted checkerboard — the rectified complement of feature 5
+	// (firing rates encode max(0, response), so a filter and its negation
+	// carry distinct information).
+	add(func(x, y int) int8 { return sign((x < PatchW/2) != (y < PatchH/2)) })
+	return masks
+}
+
+// Build constructs the extractor network. Input group "pixels" has one pin
+// per pixel (row-major); output group "haar" indexes responses as
+// patchIndex*NumFeatures + feature.
+func Build(p Params) (*App, error) {
+	if p.ImgW <= 0 || p.ImgH <= 0 || p.ImgW%PatchW != 0 || p.ImgH%PatchH != 0 {
+		return nil, fmt.Errorf("haar: image %dx%d must tile into %dx%d patches", p.ImgW, p.ImgH, PatchW, PatchH)
+	}
+	if p.Threshold == 0 {
+		p.Threshold = 16
+	}
+	if p.Threshold < 0 {
+		return nil, fmt.Errorf("haar: negative threshold %d", p.Threshold)
+	}
+	masks := Features()
+	app := &App{
+		Net:         corelet.NewNet(),
+		PatchesX:    p.ImgW / PatchW,
+		PatchesY:    p.ImgH / PatchH,
+		NumFeatures: len(masks),
+		p:           p,
+	}
+	n := app.Net
+	pixels := p.ImgW * p.ImgH
+
+	// Stage 1: splitters give every pixel two on-chip copies (+ and −).
+	fan, err := corelet.AddFanout(n, pixels, 2)
+	if err != nil {
+		return nil, err
+	}
+	for i, pin := range fan.Pins {
+		_ = i
+		n.AddInput(InputName, pin.Core, pin.Axon)
+	}
+
+	// Stage 2: one feature core per patch.
+	for py := 0; py < app.PatchesY; py++ {
+		for px := 0; px < app.PatchesX; px++ {
+			ws := corelet.AddWeightedSum(n)
+			fc := ws.Core
+			patch := py*app.PatchesX + px
+			// Wire the patch's pixels into the core: axon 2k is the
+			// excitatory copy of patch pixel k, axon 2k+1 the inhibitory.
+			for k := 0; k < PatchW*PatchH; k++ {
+				gx := px*PatchW + k%PatchW
+				gy := py*PatchH + k/PatchW
+				pix := gy*p.ImgW + gx
+				n.Connect(fan.Outs[pix][0].Core, fan.Outs[pix][0].Neuron, fc, 2*k, 1)
+				n.Connect(fan.Outs[pix][1].Core, fan.Outs[pix][1].Neuron, fc, 2*k+1, 1)
+			}
+			for f, mask := range masks {
+				var excite, inhibit []int
+				for k, m := range mask {
+					switch m {
+					case 1:
+						excite = append(excite, 2*k)
+					case -1:
+						inhibit = append(inhibit, 2*k+1)
+					}
+				}
+				h, err := ws.Unit(excite, inhibit, 1, 1, p.Threshold)
+				if err != nil {
+					return nil, fmt.Errorf("haar: patch %d feature %d: %w", patch, f, err)
+				}
+				n.ConnectOutput(h.Core, h.Neuron, OutputName, patch*len(masks)+f)
+			}
+		}
+	}
+	return app, nil
+}
+
+// NumOutputs returns the size of the "haar" output group.
+func (a *App) NumOutputs() int { return a.PatchesX * a.PatchesY * a.NumFeatures }
+
+// Response locates the output index for (patchX, patchY, feature).
+func (a *App) Response(px, py, f int) int {
+	return (py*a.PatchesX+px)*a.NumFeatures + f
+}
+
+// CoresNeeded reports the total cores the placed network occupies.
+func (a *App) CoresNeeded() int { return a.Net.NumCores() }
+
+// pixelAxonCheck asserts the patch fits the core (compile-time style check).
+var _ = func() struct{} {
+	if PatchW*PatchH*2 != core.AxonsPerCore {
+		panic("haar: patch must supply exactly 256 signed axons")
+	}
+	return struct{}{}
+}()

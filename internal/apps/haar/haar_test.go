@@ -1,0 +1,223 @@
+package haar
+
+import (
+	"testing"
+
+	"truenorth/internal/chip"
+	"truenorth/internal/corelet"
+	"truenorth/internal/router"
+	"truenorth/internal/vision"
+)
+
+func TestFeaturesMasksBalanced(t *testing.T) {
+	masks := Features()
+	if len(masks) != 10 {
+		t.Fatalf("got %d features, want 10 (the paper uses ten Haar-like features)", len(masks))
+	}
+	for f, m := range masks {
+		if len(m) != PatchW*PatchH {
+			t.Fatalf("feature %d mask has %d entries", f, len(m))
+		}
+		pos, neg := 0, 0
+		for _, v := range m {
+			switch v {
+			case 1:
+				pos++
+			case -1:
+				neg++
+			}
+		}
+		if pos == 0 || neg == 0 {
+			t.Fatalf("feature %d has no %+d region", f, 1)
+		}
+		// Haar filters are zero-mean so flat regions give no response.
+		if pos != neg {
+			t.Fatalf("feature %d unbalanced: %d positive vs %d negative", f, pos, neg)
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Params{ImgW: 17, ImgH: 8}); err == nil {
+		t.Error("non-tiling width accepted")
+	}
+	if _, err := Build(Params{ImgW: 16, ImgH: 9}); err == nil {
+		t.Error("non-tiling height accepted")
+	}
+	if _, err := Build(Params{ImgW: 0, ImgH: 8}); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := Build(Params{ImgW: 16, ImgH: 8, Threshold: -3}); err == nil {
+		t.Error("negative threshold accepted")
+	}
+}
+
+func TestNetworkSize(t *testing.T) {
+	app, err := Build(Params{ImgW: 32, ImgH: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 patches of feature cores + splitters for 512 pixels at fan 2
+	// (128 lines/core → 4 cores).
+	if app.PatchesX != 2 || app.PatchesY != 2 {
+		t.Fatalf("patches = %d×%d, want 2×2", app.PatchesX, app.PatchesY)
+	}
+	if got := app.CoresNeeded(); got != 8 {
+		t.Fatalf("cores = %d, want 8 (4 splitter + 4 feature)", got)
+	}
+	// Neurons: 512 pixels × 2 relays + 4 patches × 10 features.
+	if got := app.Net.NumNeurons(); got != 512*2+40 {
+		t.Fatalf("neurons = %d, want %d", got, 512*2+40)
+	}
+	if app.NumOutputs() != 40 {
+		t.Fatalf("outputs = %d, want 40", app.NumOutputs())
+	}
+}
+
+// runFrame builds the app on one patch, injects a frame, and returns the
+// per-feature response counts.
+func runFrame(t *testing.T, f *vision.Frame) []int {
+	t.Helper()
+	app, err := Build(Params{ImgW: PatchW, ImgH: PatchH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := corelet.Place(app.Net, router.Mesh{W: 4, H: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := chip.New(p.Mesh, p.Configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := vision.DefaultTransducer()
+	if _, err := tr.InjectFrame(eng, p, InputName, f, 0); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(tr.TicksPerFrame + 4)
+	return vision.CountByName(p, eng.DrainOutputs(), OutputName, app.NumOutputs())
+}
+
+func TestFlatFrameGivesNegligibleResponse(t *testing.T) {
+	// Haar filters are zero-mean, so a flat field cancels. Under phased
+	// rate coding the cancellation is statistical within a frame, so allow
+	// at most one stray spike per feature (versus dozens for a real edge).
+	f := vision.NewFrame(PatchW, PatchH)
+	for i := range f.Pix {
+		f.Pix[i] = 200
+	}
+	counts := runFrame(t, f)
+	for fi, c := range counts {
+		if c > 1 {
+			t.Fatalf("feature %d responded %d to a flat frame (filters are zero-mean)", fi, c)
+		}
+	}
+}
+
+func TestHorizontalEdgeSelectivity(t *testing.T) {
+	// Bright top half: feature 0 (horizontal edge) should dominate.
+	f := vision.NewFrame(PatchW, PatchH)
+	for y := 0; y < PatchH/2; y++ {
+		for x := 0; x < PatchW; x++ {
+			f.Set(x, y, 255)
+		}
+	}
+	counts := runFrame(t, f)
+	if counts[0] == 0 {
+		t.Fatal("horizontal-edge feature silent on a horizontal edge")
+	}
+	if counts[1] != 0 {
+		t.Fatalf("vertical-edge feature responded %d to a horizontal edge", counts[1])
+	}
+	for fi, c := range counts {
+		if fi != 0 && c > counts[0] {
+			t.Fatalf("feature %d (%d spikes) outran the horizontal-edge feature (%d)", fi, c, counts[0])
+		}
+	}
+}
+
+func TestVerticalEdgeSelectivity(t *testing.T) {
+	f := vision.NewFrame(PatchW, PatchH)
+	for y := 0; y < PatchH; y++ {
+		for x := 0; x < PatchW/2; x++ {
+			f.Set(x, y, 255)
+		}
+	}
+	counts := runFrame(t, f)
+	if counts[1] == 0 {
+		t.Fatal("vertical-edge feature silent on a vertical edge")
+	}
+	if counts[0] != 0 {
+		t.Fatalf("horizontal-edge feature responded %d to a vertical edge", counts[0])
+	}
+}
+
+func TestResponseScalesWithContrast(t *testing.T) {
+	mk := func(v uint8) *vision.Frame {
+		f := vision.NewFrame(PatchW, PatchH)
+		for y := 0; y < PatchH/2; y++ {
+			for x := 0; x < PatchW; x++ {
+				f.Set(x, y, v)
+			}
+		}
+		return f
+	}
+	weak := runFrame(t, mk(100))[0]
+	strong := runFrame(t, mk(255))[0]
+	if weak >= strong {
+		t.Fatalf("response not increasing with contrast: %d !< %d", weak, strong)
+	}
+}
+
+func TestResponseIndexHelper(t *testing.T) {
+	app, err := Build(Params{ImgW: 32, ImgH: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := app.Response(1, 1, 3); got != (1*2+1)*10+3 {
+		t.Fatalf("Response(1,1,3) = %d", got)
+	}
+}
+
+func TestMultiPatchIndependence(t *testing.T) {
+	// Light up only the top-left patch; other patches stay silent.
+	app, err := Build(Params{ImgW: 32, ImgH: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := corelet.Place(app.Net, router.Mesh{W: 4, H: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := chip.New(p.Mesh, p.Configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := vision.NewFrame(32, 16)
+	for y := 0; y < PatchH/2; y++ {
+		for x := 0; x < PatchW; x++ {
+			f.Set(x, y, 255)
+		}
+	}
+	tr := vision.DefaultTransducer()
+	if _, err := tr.InjectFrame(eng, p, InputName, f, 0); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(tr.TicksPerFrame + 4)
+	counts := vision.CountByName(p, eng.DrainOutputs(), OutputName, app.NumOutputs())
+	if counts[app.Response(0, 0, 0)] == 0 {
+		t.Fatal("stimulated patch silent")
+	}
+	for px := 0; px < app.PatchesX; px++ {
+		for py := 0; py < app.PatchesY; py++ {
+			if px == 0 && py == 0 {
+				continue
+			}
+			for fi := 0; fi < app.NumFeatures; fi++ {
+				if c := counts[app.Response(px, py, fi)]; c != 0 {
+					t.Fatalf("unstimulated patch (%d,%d) feature %d fired %d times", px, py, fi, c)
+				}
+			}
+		}
+	}
+}

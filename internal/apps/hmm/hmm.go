@@ -1,0 +1,395 @@
+// Package hmm implements hidden-Markov-model state filtering, another of
+// the paper's demonstrated application classes ("hidden Markov models" —
+// Section I, Fig. 2): a spiking approximation of the forward recursion
+//
+//	belief'(j) ∝ Σ_i belief(i)·A[i][j] · B[j][o]
+//
+// with beliefs rate-coded by a state population, transitions carried by
+// recurrent connections whose strengths quantize A to the core's axon-type
+// weights, emissions injected per observation symbol with strengths
+// quantizing B, and a global inhibitory neuron providing the subtractive
+// normalization that keeps total belief bounded. Reading out the most
+// active state per observation window gives the filtered state estimate,
+// which the tests compare against the exact floating-point forward
+// algorithm.
+package hmm
+
+import (
+	"fmt"
+
+	"truenorth/internal/chip"
+	"truenorth/internal/corelet"
+	"truenorth/internal/neuron"
+	"truenorth/internal/router"
+)
+
+// I/O group names.
+const (
+	ObsName   = "obs"
+	StateName = "state"
+)
+
+// Model is a discrete HMM.
+type Model struct {
+	// A is the transition matrix: A[i][j] = P(next=j | cur=i).
+	A [][]float64
+	// B is the emission matrix: B[j][o] = P(obs=o | state=j).
+	B [][]float64
+	// Pi is the initial distribution.
+	Pi []float64
+}
+
+// States and Symbols return the model dimensions.
+func (m Model) States() int  { return len(m.A) }
+func (m Model) Symbols() int { return len(m.B[0]) }
+
+// Validate checks stochasticity.
+func (m Model) Validate() error {
+	n := m.States()
+	if n == 0 || len(m.B) != n || len(m.Pi) != n {
+		return fmt.Errorf("hmm: inconsistent dimensions")
+	}
+	rows := append(append([][]float64{}, m.A...), m.B...)
+	rows = append(rows, m.Pi)
+	for _, row := range rows {
+		sum := 0.0
+		for _, v := range row {
+			if v < 0 {
+				return fmt.Errorf("hmm: negative probability %f", v)
+			}
+			sum += v
+		}
+		if sum < 0.99 || sum > 1.01 {
+			return fmt.Errorf("hmm: row sums to %f, want 1", sum)
+		}
+	}
+	return nil
+}
+
+// Forward runs the exact floating-point forward recursion and returns the
+// filtered distribution after each observation — the reference the spiking
+// implementation approximates.
+func (m Model) Forward(obs []int) [][]float64 {
+	n := m.States()
+	belief := append([]float64(nil), m.Pi...)
+	out := make([][]float64, len(obs))
+	for t, o := range obs {
+		next := make([]float64, n)
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				next[j] += belief[i] * m.A[i][j]
+			}
+			next[j] *= m.B[j][o]
+		}
+		norm := 0.0
+		for _, v := range next {
+			norm += v
+		}
+		if norm > 0 {
+			for j := range next {
+				next[j] /= norm
+			}
+		}
+		belief = next
+		out[t] = append([]float64(nil), belief...)
+	}
+	return out
+}
+
+// Params configures the spiking filter.
+type Params struct {
+	// Model is the HMM (≤ 16 states, ≤ 16 symbols).
+	Model Model
+	// Window is the number of ticks per observation step (default 20).
+	Window int
+	// Drive is the spikes injected per observation symbol per window
+	// (default 12).
+	Drive int
+	// Seed seeds the core PRNG.
+	Seed uint16
+}
+
+// App is a built spiking HMM filter.
+type App struct {
+	// Net is the corelet network.
+	Net *corelet.Net
+	p   Params
+}
+
+// quantize maps a probability to a small integer weight (0..4): the
+// axon-type-constrained approximation of A and B.
+func quantize(p float64) int32 {
+	switch {
+	case p >= 0.75:
+		return 4
+	case p >= 0.4:
+		return 3
+	case p >= 0.2:
+		return 2
+	case p >= 0.05:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Build constructs the filter. Input "obs" has one pin per symbol; output
+// "state" one sink per state.
+func Build(p Params) (*App, error) {
+	if err := p.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Window == 0 {
+		p.Window = 20
+	}
+	if p.Drive == 0 {
+		p.Drive = 12
+	}
+	n := p.Model.States()
+	m := p.Model.Symbols()
+	if n > 16 || m > 16 {
+		return nil, fmt.Errorf("hmm: %d states / %d symbols exceed the single-core budget (16 each)", n, m)
+	}
+	app := &App{Net: corelet.NewNet(), p: p}
+	net := app.Net
+
+	// Everything lives on one core plus a relay fanout stage.
+	// Axon budget: n states × (transition-weight classes ≤ 3) for
+	// recurrence + m symbols × (emission classes ≤ 3) + 1 inhibition.
+	sc := net.AddCore()
+	net.SetSeed(sc, p.Seed|1)
+
+	// Weight classes available on the state core: types 0,1,2 carry +1,
+	// +2, +4; type 3 carries the normalizing inhibition −3.
+	weights := [neuron.NumAxonTypes]int32{1, 2, 4, -3}
+	classOf := func(w int32) uint8 {
+		switch w {
+		case 1:
+			return 0
+		case 2:
+			return 1
+		default:
+			return 2 // 3 and 4 share the +4 class; quantize() keeps 3 rare
+		}
+	}
+
+	// State neurons.
+	states := make([]int, n)
+	for j := 0; j < n; j++ {
+		states[j] = net.AllocNeuron(sc)
+		net.SetNeuron(sc, states[j], neuron.Params{
+			Weights:       weights,
+			Leak:          -1, // beliefs decay between evidence
+			Threshold:     6,
+			ThresholdMask: 0x03,
+			Reset:         neuron.ResetToV,
+			NegThreshold:  12,
+			NegSaturate:   true,
+		})
+	}
+	// State neurons must both report AND recur: each drives a two-way
+	// relay fanout — relay 0 reports, relay 1 recurs.
+	fan, err := corelet.AddFanout(net, n, 2)
+	if err != nil {
+		return nil, err
+	}
+	for j := 0; j < n; j++ {
+		net.Connect(sc, states[j], fan.Pins[j].Core, fan.Pins[j].Axon, 1)
+		net.ConnectOutput(fan.Outs[j][0].Core, fan.Outs[j][0].Neuron, StateName, j)
+	}
+
+	// Recurrent transition axons: state i's recurrence relay drives one
+	// axon per used weight class; the axon connects to the states j with
+	// that quantized A[i][j]. A relay has a single target, so classes
+	// beyond the first need further relays — chain through a second
+	// fanout keyed by (state, class).
+	type classUse struct {
+		axon int
+	}
+	var recurLines []int // state index per extra line
+	classAxons := make([]map[int32]classUse, n)
+	for i := 0; i < n; i++ {
+		classAxons[i] = map[int32]classUse{}
+		for j := 0; j < n; j++ {
+			w := quantize(p.Model.A[i][j])
+			if w == 0 {
+				continue
+			}
+			if _, ok := classAxons[i][w]; !ok {
+				a := net.AllocAxon(sc)
+				if a < 0 {
+					return nil, fmt.Errorf("hmm: state core out of axons")
+				}
+				net.SetAxonType(sc, a, classOf(w))
+				classAxons[i][w] = classUse{axon: a}
+				recurLines = append(recurLines, i)
+			}
+			net.SetSynapse(sc, classAxons[i][w].axon, states[j])
+		}
+	}
+	// Fan each state's recurrence relay across its class axons.
+	perState := make(map[int]int)
+	for _, i := range recurLines {
+		perState[i]++
+	}
+	fans := make([]int, n)
+	for i := 0; i < n; i++ {
+		fans[i] = perState[i]
+		if fans[i] == 0 {
+			fans[i] = 1
+		}
+	}
+	rFan, err := corelet.AddFanoutVar(net, fans)
+	if err != nil {
+		return nil, err
+	}
+	for j := 0; j < n; j++ {
+		net.Connect(fan.Outs[j][1].Core, fan.Outs[j][1].Neuron, rFan.Pins[j].Core, rFan.Pins[j].Axon, 1)
+	}
+	used := make([]int, n)
+	for i := 0; i < n; i++ {
+		for _, use := range classAxons[i] {
+			h := rFan.Outs[i][used[i]]
+			used[i]++
+			net.Connect(h.Core, h.Neuron, sc, use.axon, 1)
+		}
+	}
+
+	// Emission axons: symbol o drives one axon per used weight class.
+	obsClassAxons := make([]map[int32]int, m)
+	var obsLines [][]int32 // classes per symbol, in allocation order
+	for o := 0; o < m; o++ {
+		obsClassAxons[o] = map[int32]int{}
+		var classes []int32
+		for j := 0; j < n; j++ {
+			w := quantize(p.Model.B[j][o])
+			if w == 0 {
+				continue
+			}
+			if _, ok := obsClassAxons[o][w]; !ok {
+				a := net.AllocAxon(sc)
+				if a < 0 {
+					return nil, fmt.Errorf("hmm: state core out of axons for emissions")
+				}
+				net.SetAxonType(sc, a, classOf(w))
+				obsClassAxons[o][w] = a
+				classes = append(classes, w)
+			}
+			net.SetSynapse(sc, obsClassAxons[o][w], states[j])
+		}
+		obsLines = append(obsLines, classes)
+	}
+	// Observation inputs fan to their class axons.
+	oFans := make([]int, m)
+	for o := 0; o < m; o++ {
+		oFans[o] = len(obsLines[o])
+		if oFans[o] == 0 {
+			oFans[o] = 1
+		}
+	}
+	oFan, err := corelet.AddFanoutVar(net, oFans)
+	if err != nil {
+		return nil, err
+	}
+	for o := 0; o < m; o++ {
+		net.AddInput(ObsName, oFan.Pins[o].Core, oFan.Pins[o].Axon)
+		for k, w := range obsLines[o] {
+			h := oFan.Outs[o][k]
+			net.Connect(h.Core, h.Neuron, sc, obsClassAxons[o][w], 1)
+		}
+	}
+
+	// Global normalization: an inhibitory interneuron sums all state
+	// spikes (via the report relays' shared axon? — each state's report
+	// relay has one target, so add a third fanout way... instead reuse the
+	// recurrence relays' class axons by connecting them to the inhibitor
+	// too: every recurrent event also excites the inhibitor).
+	inhib := net.AllocNeuron(sc)
+	net.SetNeuron(sc, inhib, neuron.Params{
+		Weights:   [neuron.NumAxonTypes]int32{1, 1, 1, 0},
+		Threshold: 5,
+		Reset:     neuron.ResetSubtract,
+	})
+	for i := 0; i < n; i++ {
+		for _, use := range classAxons[i] {
+			net.SetSynapse(sc, use.axon, inhib)
+		}
+	}
+	aInh := net.AllocAxon(sc)
+	if aInh < 0 {
+		return nil, fmt.Errorf("hmm: no axon left for inhibition")
+	}
+	net.SetAxonType(sc, aInh, 3)
+	net.Connect(sc, inhib, sc, aInh, 1)
+	for j := 0; j < n; j++ {
+		net.SetSynapse(sc, aInh, states[j])
+	}
+	return app, nil
+}
+
+// Rig is a placed, runnable filter.
+type Rig struct {
+	App *App
+	P   *corelet.Placement
+	Eng *chip.Model
+}
+
+// NewRig builds and instantiates the filter.
+func NewRig(p Params) (*Rig, error) {
+	app, err := Build(p)
+	if err != nil {
+		return nil, err
+	}
+	side := 1
+	for side*side < app.Net.NumCores() {
+		side++
+	}
+	pl, err := corelet.Place(app.Net, router.Mesh{W: side, H: side})
+	if err != nil {
+		return nil, err
+	}
+	eng, err := chip.New(pl.Mesh, pl.Configs)
+	if err != nil {
+		return nil, err
+	}
+	return &Rig{App: app, P: pl, Eng: eng}, nil
+}
+
+// Filter presents the observation sequence and returns, per step, the
+// per-state spike counts and the argmax state estimate.
+func (r *Rig) Filter(obs []int) (rates [][]int, estimates []int, err error) {
+	p := r.App.p
+	m := p.Model.Symbols()
+	r.Eng.Reset(true)
+	n := p.Model.States()
+	rates = make([][]int, len(obs))
+	estimates = make([]int, len(obs))
+	for t, o := range obs {
+		if o < 0 || o >= m {
+			return nil, nil, fmt.Errorf("hmm: symbol %d out of range", o)
+		}
+		for k := 0; k < p.Drive; k++ {
+			off := k * p.Window / p.Drive
+			if err := r.P.Inject(r.Eng, ObsName, o, off); err != nil {
+				return nil, nil, err
+			}
+		}
+		r.Eng.Run(p.Window)
+		counts := make([]int, n)
+		for _, s := range r.Eng.DrainOutputs() {
+			ref, ok := r.P.Decode(s.ID)
+			if ok && ref.Name == StateName && ref.Index < n {
+				counts[ref.Index]++
+			}
+		}
+		rates[t] = counts
+		best := 0
+		for j, c := range counts {
+			if c > counts[best] {
+				best = j
+			}
+		}
+		estimates[t] = best
+	}
+	return rates, estimates, nil
+}

@@ -1,0 +1,206 @@
+package hmm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// weather returns the classic sticky 2-state HMM: Sunny/Rainy with
+// distinct observation profiles (0=walk, 1=shop, 2=clean).
+func weather() Model {
+	return Model{
+		A: [][]float64{
+			{0.85, 0.15},
+			{0.15, 0.85},
+		},
+		B: [][]float64{
+			{0.7, 0.25, 0.05}, // Sunny: mostly walk
+			{0.05, 0.25, 0.7}, // Rainy: mostly clean
+		},
+		Pi: []float64{0.5, 0.5},
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	if err := weather().Validate(); err != nil {
+		t.Fatalf("weather model invalid: %v", err)
+	}
+	bad := weather()
+	bad.A[0][0] = 0.5 // row no longer sums to 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("non-stochastic row accepted")
+	}
+	neg := weather()
+	neg.B[0][0] = -0.1
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative probability accepted")
+	}
+}
+
+func TestForwardReference(t *testing.T) {
+	m := weather()
+	// After a long run of "clean" observations, Rainy dominates.
+	beliefs := m.Forward([]int{2, 2, 2, 2, 2})
+	final := beliefs[len(beliefs)-1]
+	if final[1] < 0.9 {
+		t.Fatalf("P(Rainy) = %.2f after five cleans, want > 0.9", final[1])
+	}
+	// And a long run of "walk" flips it.
+	beliefs = m.Forward([]int{2, 2, 0, 0, 0, 0})
+	final = beliefs[len(beliefs)-1]
+	if final[0] < 0.9 {
+		t.Fatalf("P(Sunny) = %.2f after four walks, want > 0.9", final[0])
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Params{Model: Model{}}); err == nil {
+		t.Error("empty model accepted")
+	}
+	big := Model{A: make([][]float64, 20), B: make([][]float64, 20), Pi: make([]float64, 20)}
+	for i := range big.A {
+		big.A[i] = make([]float64, 20)
+		big.A[i][i] = 1
+		big.B[i] = make([]float64, 20)
+		big.B[i][i] = 1
+	}
+	big.Pi[0] = 1
+	if _, err := Build(Params{Model: big}); err == nil {
+		t.Error("20-state model accepted")
+	}
+	if _, err := Build(Params{Model: weather()}); err != nil {
+		t.Fatalf("weather build failed: %v", err)
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	for _, c := range []struct {
+		p float64
+		w int32
+	}{{0.9, 4}, {0.7, 3}, {0.25, 2}, {0.1, 1}, {0.01, 0}} {
+		if got := quantize(c.p); got != c.w {
+			t.Errorf("quantize(%.2f) = %d, want %d", c.p, got, c.w)
+		}
+	}
+}
+
+func TestFilterTracksUnambiguousRegimes(t *testing.T) {
+	// Alternating regimes of strongly indicative observations: the
+	// spiking filter's argmax must match the exact forward filter's.
+	rig, err := NewRig(Params{Model: weather(), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := []int{0, 0, 0, 0, 2, 2, 2, 2, 0, 0, 0, 0, 2, 2, 2, 2}
+	_, est, err := rig.Filter(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := weather().Forward(obs)
+	agree := 0
+	for t2 := range obs {
+		want := 0
+		if ref[t2][1] > ref[t2][0] {
+			want = 1
+		}
+		if est[t2] == want {
+			agree++
+		}
+	}
+	if agree < len(obs)*3/4 {
+		t.Fatalf("spiking filter agreed with the exact filter on %d/%d steps", agree, len(obs))
+	}
+}
+
+func TestFilterStickyUnderAmbiguity(t *testing.T) {
+	// "shop" (symbol 1) is uninformative; with sticky transitions the
+	// belief should persist through a short ambiguous stretch.
+	rig, err := NewRig(Params{Model: weather(), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := []int{2, 2, 2, 1, 1, 2}
+	_, est, err := rig.Filter(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rate-coded belief may flip transiently on one ambiguous step
+	// (the exact filter holds Rainy throughout); require at most one
+	// transient and a Rainy estimate once evidence returns.
+	flips := 0
+	for t2 := 2; t2 < len(obs); t2++ {
+		if est[t2] != 1 {
+			flips++
+		}
+	}
+	if flips > 1 {
+		t.Fatalf("%d non-Rainy steps in the sticky stretch: %v", flips, est)
+	}
+	if est[len(obs)-1] != 1 {
+		t.Fatalf("final estimate %d, want Rainy: %v", est[len(obs)-1], est)
+	}
+}
+
+func TestFilterAccuracyOnSampledSequences(t *testing.T) {
+	// Sample state/observation paths from the model and compare the
+	// spiking filter's estimates against the true hidden states.
+	if testing.Short() {
+		t.Skip("sampled-sequence accuracy in -short mode")
+	}
+	m := weather()
+	rig, err := NewRig(Params{Model: m, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	correct, total := 0, 0
+	for trial := 0; trial < 4; trial++ {
+		state := 0
+		if rng.Float64() < 0.5 {
+			state = 1
+		}
+		var obs, truth []int
+		for t2 := 0; t2 < 12; t2++ {
+			truth = append(truth, state)
+			o := sample(rng, m.B[state])
+			obs = append(obs, o)
+			state = sample(rng, m.A[state])
+		}
+		_, est, err := rig.Filter(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for t2 := 1; t2 < len(obs); t2++ { // skip the cold-start step
+			if est[t2] == truth[t2] {
+				correct++
+			}
+			total++
+		}
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.7 {
+		t.Fatalf("state-tracking accuracy %.2f below 0.7 (chance 0.5)", acc)
+	}
+}
+
+func TestFilterRejectsBadSymbol(t *testing.T) {
+	rig, err := NewRig(Params{Model: weather(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rig.Filter([]int{0, 5}); err == nil {
+		t.Fatal("out-of-range symbol accepted")
+	}
+}
+
+func sample(rng *rand.Rand, dist []float64) int {
+	r := rng.Float64()
+	acc := 0.0
+	for i, p := range dist {
+		acc += p
+		if r < acc {
+			return i
+		}
+	}
+	return len(dist) - 1
+}

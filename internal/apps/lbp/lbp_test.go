@@ -1,0 +1,228 @@
+package lbp
+
+import (
+	"testing"
+
+	"truenorth/internal/chip"
+	"truenorth/internal/corelet"
+	"truenorth/internal/router"
+	"truenorth/internal/vision"
+)
+
+func build(t *testing.T, w, h int) *App {
+	t.Helper()
+	app, err := Build(Params{ImgW: w, ImgH: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Params{ImgW: 0, ImgH: 16}); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := Build(Params{ImgW: 30, ImgH: 16}); err == nil {
+		t.Error("non-tiling width accepted (30 % 4 != 0... 30/4 not integral)")
+	}
+	if _, err := Build(Params{ImgW: 16, ImgH: 8, SubW: 4, SubH: 2}); err == nil {
+		t.Error("subpatch smaller than 2×radius accepted")
+	}
+	if _, err := Build(Params{ImgW: 32, ImgH: 16, CompareThreshold: -1}); err == nil {
+		t.Error("negative threshold accepted")
+	}
+}
+
+func TestTwentyBinsPerSubpatch(t *testing.T) {
+	app := build(t, 32, 16)
+	if app.Subpatches() != 8 {
+		t.Fatalf("subpatches = %d, want 8 (the paper's 8 subpatches)", app.Subpatches())
+	}
+	if app.NumOutputs() != 8*20 {
+		t.Fatalf("outputs = %d, want 160 (20-bin histograms × 8 subpatches)", app.NumOutputs())
+	}
+	if Bins != 20 {
+		t.Fatalf("Bins = %d, want 20", Bins)
+	}
+}
+
+func run(t *testing.T, app *App, f *vision.Frame, meshW, meshH int) []int {
+	t.Helper()
+	p, err := corelet.Place(app.Net, router.Mesh{W: meshW, H: meshH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := chip.New(p.Mesh, p.Configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := vision.DefaultTransducer()
+	// Two frames so slow accumulators integrate.
+	for k := 0; k < 2; k++ {
+		if _, err := tr.InjectFrame(eng, p, InputName, f, 0); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run(tr.TicksPerFrame)
+	}
+	eng.Run(6)
+	return vision.CountByName(p, eng.DrainOutputs(), OutputName, app.NumOutputs())
+}
+
+func TestFlatFrameOnlyIntensityBins(t *testing.T) {
+	app := build(t, 32, 16)
+	f := vision.NewFrame(32, 16)
+	for i := range f.Pix {
+		f.Pix[i] = 220
+	}
+	counts := run(t, app, f, 8, 8)
+	// No contrast → directional channels silent.
+	for sub := 0; sub < app.Subpatches(); sub++ {
+		for c := 0; c < Channels; c++ {
+			if counts[app.Bin(sub, c)] != 0 {
+				t.Fatalf("subpatch %d channel %d fired %d on a flat frame", sub, c, counts[app.Bin(sub, c)])
+			}
+		}
+	}
+	// Bright flat frame → intensity thermometer bins active.
+	active := 0
+	for sub := 0; sub < app.Subpatches(); sub++ {
+		for b := Channels; b < Bins; b++ {
+			if counts[app.Bin(sub, b)] > 0 {
+				active++
+			}
+		}
+	}
+	if active == 0 {
+		t.Fatal("bright flat frame activated no intensity bins")
+	}
+}
+
+func TestThermometerMonotone(t *testing.T) {
+	// Higher-threshold intensity bins fire no more than lower ones.
+	app := build(t, 32, 16)
+	f := vision.NewFrame(32, 16)
+	for i := range f.Pix {
+		f.Pix[i] = 255
+	}
+	counts := run(t, app, f, 8, 8)
+	for sub := 0; sub < app.Subpatches(); sub++ {
+		prev := 1 << 30
+		for b := Channels; b < Bins; b++ {
+			c := counts[app.Bin(sub, b)]
+			if c > prev {
+				t.Fatalf("subpatch %d: intensity bin %d (%d) exceeds bin %d (%d)", sub, b, c, b-1, prev)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestEdgeActivatesDirectionalChannels(t *testing.T) {
+	// A vertical edge: right half bright. Comparisons along x should fire
+	// near the edge; a flat region far from it should not.
+	app := build(t, 32, 16)
+	f := vision.NewFrame(32, 16)
+	for y := 0; y < 16; y++ {
+		for x := 16; x < 32; x++ {
+			f.Set(x, y, 255)
+		}
+	}
+	counts := run(t, app, f, 8, 8)
+	total := 0
+	for sub := 0; sub < app.Subpatches(); sub++ {
+		for c := 0; c < Channels; c++ {
+			total += counts[app.Bin(sub, c)]
+		}
+	}
+	if total == 0 {
+		t.Fatal("vertical edge activated no directional channels")
+	}
+	// For a left-dark/right-bright edge: dark centers see a brighter right
+	// neighbor (direction 0, polarity 0 → channel 0), and bright centers
+	// outshine their left neighbor (direction 4, polarity 1 → channel 9).
+	ch0, ch9 := 0, 0
+	for sub := 0; sub < app.Subpatches(); sub++ {
+		ch0 += counts[app.Bin(sub, 0)]
+		ch9 += counts[app.Bin(sub, 9)]
+	}
+	if ch0 == 0 || ch9 == 0 {
+		t.Fatalf("edge polarities: channel0=%d channel9=%d, want both active", ch0, ch9)
+	}
+}
+
+func TestTextureBeatsFlat(t *testing.T) {
+	// A checkered texture should produce far more directional-channel
+	// activity than a flat bright field of the same mean intensity.
+	app := build(t, 32, 16)
+	flat := vision.NewFrame(32, 16)
+	tex := vision.NewFrame(32, 16)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 32; x++ {
+			flat.Set(x, y, 128)
+			if (x/2+y/2)%2 == 0 {
+				tex.Set(x, y, 255)
+			} else {
+				tex.Set(x, y, 45)
+			}
+		}
+	}
+	sum := func(counts []int) int {
+		s := 0
+		for sub := 0; sub < app.Subpatches(); sub++ {
+			for c := 0; c < Channels; c++ {
+				s += counts[app.Bin(sub, c)]
+			}
+		}
+		return s
+	}
+	flatApp := build(t, 32, 16)
+	sFlat := sum(run(t, flatApp, flat, 8, 8))
+	sTex := sum(run(t, app, tex, 8, 8))
+	if sTex <= sFlat*2 {
+		t.Fatalf("texture response %d not well above flat response %d", sTex, sFlat)
+	}
+}
+
+func TestSubpatchLocality(t *testing.T) {
+	// Texture only in the left half: right-half subpatches' directional
+	// bins stay quiet.
+	app := build(t, 32, 16)
+	f := vision.NewFrame(32, 16)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 12; x++ {
+			if (x+y)%2 == 0 {
+				f.Set(x, y, 255)
+			}
+		}
+	}
+	counts := run(t, app, f, 8, 8)
+	left, right := 0, 0
+	for sub := 0; sub < app.Subpatches(); sub++ {
+		s := 0
+		for c := 0; c < Channels; c++ {
+			s += counts[app.Bin(sub, c)]
+		}
+		if sub%app.SubW < app.SubW/2 {
+			left += s
+		} else {
+			right += s
+		}
+	}
+	if left == 0 {
+		t.Fatal("textured half produced no channel activity")
+	}
+	if right > left/4 {
+		t.Fatalf("quiet half fired %d vs textured half %d", right, left)
+	}
+}
+
+func TestNetworkScalesWithImage(t *testing.T) {
+	small := build(t, 32, 16)
+	large := build(t, 64, 32)
+	if large.Net.NumCores() <= small.Net.NumCores() {
+		t.Fatalf("cores: %d (64×32) vs %d (32×16)", large.Net.NumCores(), small.Net.NumCores())
+	}
+	if large.Net.NumNeurons() <= small.Net.NumNeurons() {
+		t.Fatalf("neurons: %d vs %d", large.Net.NumNeurons(), small.Net.NumNeurons())
+	}
+}

@@ -1,0 +1,353 @@
+// Package lsm implements a liquid state machine, one of the application
+// classes the paper demonstrates on Compass and TrueNorth ("liquid state
+// machines" among convolutional networks, RBMs, HMMs, SVMs — Section I and
+// Fig. 2): temporal pattern recognition for real-time audio-style analytics.
+//
+// A reservoir ("liquid") of recurrently connected excitatory and
+// inhibitory neurons with random synapses, delays, and initial potentials
+// projects input spike trains into a high-dimensional fading-memory state.
+// Tap cores observe every reservoir neuron: each tap axon fans to a
+// readout relay (an external output sink) and a feedback relay that closes
+// the recurrent loop, respecting the one-target-per-neuron constraint.
+// The linear readout is trained off-line — exactly the paper's workflow,
+// where Compass "facilitate[s] training off-line" and the trained network
+// then runs on the chip.
+package lsm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"truenorth/internal/chip"
+	"truenorth/internal/core"
+	"truenorth/internal/corelet"
+	"truenorth/internal/neuron"
+	"truenorth/internal/router"
+)
+
+// I/O group names.
+const (
+	InputName  = "in"
+	OutputName = "taps"
+)
+
+// Params configures the reservoir.
+type Params struct {
+	// Inputs is the number of input spike channels.
+	Inputs int
+	// Reservoir is the number of liquid neurons (multiple of 128; each
+	// tap core observes 128 of them).
+	Reservoir int
+	// InDegree is the recurrent fan-in per reservoir neuron.
+	InDegree int
+	// InputFan is how many reservoir neurons each input channel drives.
+	InputFan int
+	// Seed drives all random structure.
+	Seed int64
+}
+
+// DefaultParams returns a laptop-scale reservoir.
+func DefaultParams() Params {
+	return Params{Inputs: 8, Reservoir: 256, InDegree: 16, InputFan: 24, Seed: 1}
+}
+
+// App is a built liquid state machine.
+type App struct {
+	// Net is the corelet network.
+	Net *corelet.Net
+	p   Params
+	// channelPins records how many physical input pins each channel owns
+	// (one per reservoir core the channel projects into).
+	channelPins []int
+}
+
+// NumTaps returns the readout dimensionality (one tap per reservoir
+// neuron).
+func (a *App) NumTaps() int { return a.p.Reservoir }
+
+// Build constructs the reservoir. Input group "in" has one pin per
+// channel; output group "taps" has one sink per reservoir neuron.
+func Build(p Params) (*App, error) {
+	if p.Inputs <= 0 || p.Inputs > core.AxonsPerCore {
+		return nil, fmt.Errorf("lsm: %d inputs out of range", p.Inputs)
+	}
+	if p.Reservoir <= 0 || p.Reservoir%128 != 0 {
+		return nil, fmt.Errorf("lsm: reservoir size %d must be a positive multiple of 128", p.Reservoir)
+	}
+	if p.InDegree < 1 || p.InDegree > 128 {
+		return nil, fmt.Errorf("lsm: in-degree %d out of range [1,128]", p.InDegree)
+	}
+	if p.InputFan < 1 || p.InputFan > p.Reservoir {
+		return nil, fmt.Errorf("lsm: input fan %d out of range", p.InputFan)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	app := &App{Net: corelet.NewNet(), p: p}
+	n := app.Net
+
+	// Reservoir cores: 128 liquid neurons each; axons carry recurrent
+	// feedback (types 0 exc / 1 inh) and input projections (type 2).
+	resCores := p.Reservoir / 128
+	type slot struct {
+		core   corelet.CoreID
+		neuron int
+	}
+	liquid := make([]slot, p.Reservoir)
+	for rc := 0; rc < resCores; rc++ {
+		id := n.AddCore()
+		n.SetSeed(id, uint16(rng.Intn(1<<16-1)+1))
+		for k := 0; k < 128; k++ {
+			j := n.AllocNeuron(id)
+			// 80% excitatory / 20% inhibitory dynamics with fading
+			// memory: decay leak, moderate threshold, random phase.
+			np := neuron.Params{
+				Weights:      [neuron.NumAxonTypes]int32{4, -6, 8, 0},
+				Leak:         -1,
+				Threshold:    14,
+				Reset:        neuron.ResetToV,
+				NegThreshold: 20,
+				NegSaturate:  true,
+			}
+			n.SetNeuron(id, j, np)
+			n.SetInitV(id, j, rng.Int31n(10))
+			liquid[rc*128+k] = slot{core: id, neuron: j}
+		}
+	}
+
+	// Tap cores: one axon per liquid neuron, fanning to a readout relay
+	// (output sink) and a feedback relay (recurrence).
+	feedback := make([]corelet.Handle, p.Reservoir)
+	tapCores := p.Reservoir / 128
+	for tc := 0; tc < tapCores; tc++ {
+		id := n.AddCore()
+		for k := 0; k < 128; k++ {
+			g := tc*128 + k
+			ax := n.AllocAxon(id)
+			jOut := n.AllocNeuron(id)
+			n.SetSynapse(id, ax, jOut)
+			n.SetNeuron(id, jOut, neuron.Identity())
+			n.ConnectOutput(id, jOut, OutputName, g)
+			jFb := n.AllocNeuron(id)
+			n.SetSynapse(id, ax, jFb)
+			n.SetNeuron(id, jFb, neuron.Identity())
+			feedback[g] = corelet.Handle{Core: id, Neuron: jFb}
+			// The liquid neuron drives its tap axon.
+			s := liquid[g]
+			n.Connect(s.core, s.neuron, id, ax, 1)
+		}
+	}
+
+	// Recurrent wiring: each feedback relay targets one random axon on a
+	// random reservoir core; that axon's crossbar row spreads it across
+	// InDegree random liquid neurons. Excitatory 80% / inhibitory 20%.
+	for g := 0; g < p.Reservoir; g++ {
+		rc := corelet.CoreID(rng.Intn(resCores)) // reservoir cores are ids 0..resCores-1
+		ax := n.AllocAxon(rc)
+		if ax < 0 {
+			return nil, fmt.Errorf("lsm: reservoir core %d out of axons", rc)
+		}
+		if rng.Float64() < 0.8 {
+			n.SetAxonType(rc, ax, 0) // excitatory
+		} else {
+			n.SetAxonType(rc, ax, 1) // inhibitory
+		}
+		for k := 0; k < p.InDegree; k++ {
+			n.SetSynapse(rc, ax, rng.Intn(128))
+		}
+		delay := 1 + rng.Intn(6)
+		n.Connect(feedback[g].Core, feedback[g].Neuron, rc, ax, delay)
+	}
+
+	// Input projections: each channel gets one axon per reservoir core it
+	// touches (type 2, strong drive), spread over InputFan liquid neurons.
+	for ch := 0; ch < p.Inputs; ch++ {
+		perCore := make(map[corelet.CoreID][]int)
+		for k := 0; k < p.InputFan; k++ {
+			g := rng.Intn(p.Reservoir)
+			perCore[liquid[g].core] = append(perCore[liquid[g].core], liquid[g].neuron)
+		}
+		for rc, targets := range perCore {
+			ax := n.AllocAxon(rc)
+			if ax < 0 {
+				return nil, fmt.Errorf("lsm: reservoir core %d out of axons for inputs", rc)
+			}
+			n.SetAxonType(rc, ax, 2)
+			for _, j := range targets {
+				n.SetSynapse(rc, ax, j)
+			}
+			n.AddInput(InputName, rc, ax)
+		}
+		// Record how many pins this channel produced so injection can
+		// address all of them: pins are appended in channel order; the
+		// channel boundaries are stored below.
+		app.channelPins = append(app.channelPins, len(perCore))
+	}
+	return app, nil
+}
+
+// Rig is a placed, runnable LSM.
+type Rig struct {
+	App *App
+	P   *corelet.Placement
+	Eng *chip.Model
+	// pinStart[ch] is the first pin index of channel ch in the "in" group.
+	pinStart []int
+}
+
+// NewRig places and instantiates the LSM on the canonical chip engine.
+func NewRig(p Params) (*Rig, error) {
+	app, err := Build(p)
+	if err != nil {
+		return nil, err
+	}
+	side := 1
+	for side*side < app.Net.NumCores() {
+		side++
+	}
+	pl, err := corelet.Place(app.Net, router.Mesh{W: side, H: side})
+	if err != nil {
+		return nil, err
+	}
+	eng, err := chip.New(pl.Mesh, pl.Configs)
+	if err != nil {
+		return nil, err
+	}
+	r := &Rig{App: app, P: pl, Eng: eng}
+	start := 0
+	for _, nPins := range app.channelPins {
+		r.pinStart = append(r.pinStart, start)
+		start += nPins
+	}
+	return r, nil
+}
+
+// Pattern is a temporal input: SpikesAt[tick] lists the channels that fire
+// on that tick.
+type Pattern struct {
+	SpikesAt map[int][]int
+	Ticks    int
+}
+
+// Features injects the pattern into a freshly reset reservoir, runs one
+// window, and returns the per-tap spike counts — the liquid state vector
+// the readout classifies.
+func (r *Rig) Features(pat Pattern) ([]float64, error) {
+	r.Eng.Reset(true)
+	for tick, chans := range pat.SpikesAt {
+		for _, ch := range chans {
+			if ch < 0 || ch >= len(r.pinStart) {
+				return nil, fmt.Errorf("lsm: channel %d out of range", ch)
+			}
+			// Drive every pin of the channel (one per reservoir core).
+			end := len(r.P.Inputs[InputName])
+			if ch+1 < len(r.pinStart) {
+				end = r.pinStart[ch+1]
+			}
+			for pin := r.pinStart[ch]; pin < end; pin++ {
+				if err := r.P.Inject(r.Eng, InputName, pin, tick); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	settle := 15 // let reverberation fade into the counts
+	r.Eng.Run(pat.Ticks + settle)
+	counts := make([]float64, r.App.NumTaps())
+	for _, s := range r.Eng.DrainOutputs() {
+		ref, ok := r.P.Decode(s.ID)
+		if !ok || ref.Name != OutputName {
+			continue
+		}
+		counts[ref.Index]++
+	}
+	return counts, nil
+}
+
+// Classifier is a multi-class linear readout (one weight vector per
+// class, plus bias), trained off-line with the perceptron rule.
+type Classifier struct {
+	W [][]float64 // [class][feature+1]
+}
+
+// TrainReadout fits a perceptron readout on liquid states X with labels y.
+func TrainReadout(x [][]float64, y []int, classes, epochs int) *Classifier {
+	if len(x) == 0 {
+		return &Classifier{}
+	}
+	dim := len(x[0]) + 1
+	c := &Classifier{W: make([][]float64, classes)}
+	for k := range c.W {
+		c.W[k] = make([]float64, dim)
+	}
+	for e := 0; e < epochs; e++ {
+		for i, xi := range x {
+			pred := c.Predict(xi)
+			if pred == y[i] {
+				continue
+			}
+			lr := 0.1
+			for f, v := range xi {
+				c.W[y[i]][f] += lr * v
+				c.W[pred][f] -= lr * v
+			}
+			c.W[y[i]][dim-1] += lr
+			c.W[pred][dim-1] -= lr
+		}
+	}
+	return c
+}
+
+// TrainSVM fits a multi-class linear max-margin readout (one-vs-rest,
+// hinge loss with L2 regularization, SGD) — the "support vector machines"
+// of the paper's application list are exactly such linear readouts over
+// spike-count features, trained off-line.
+func TrainSVM(x [][]float64, y []int, classes, epochs int, lambda float64) *Classifier {
+	if len(x) == 0 {
+		return &Classifier{}
+	}
+	dim := len(x[0]) + 1
+	c := &Classifier{W: make([][]float64, classes)}
+	for k := range c.W {
+		c.W[k] = make([]float64, dim)
+	}
+	lr := 0.05
+	for e := 0; e < epochs; e++ {
+		for i, xi := range x {
+			for k := range c.W {
+				target := -1.0
+				if y[i] == k {
+					target = 1
+				}
+				score := c.W[k][dim-1]
+				for f, v := range xi {
+					score += c.W[k][f] * v
+				}
+				// L2 shrinkage.
+				for f := range c.W[k] {
+					c.W[k][f] *= 1 - lr*lambda
+				}
+				if target*score < 1 { // inside the margin: hinge gradient
+					for f, v := range xi {
+						c.W[k][f] += lr * target * v
+					}
+					c.W[k][dim-1] += lr * target
+				}
+			}
+		}
+	}
+	return c
+}
+
+// Predict returns the argmax class for a liquid state.
+func (c *Classifier) Predict(x []float64) int {
+	best, bestScore := 0, 0.0
+	for k, w := range c.W {
+		s := w[len(w)-1]
+		for f, v := range x {
+			s += w[f] * v
+		}
+		if k == 0 || s > bestScore {
+			best, bestScore = k, s
+		}
+	}
+	return best
+}

@@ -1,0 +1,243 @@
+package lsm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBuildValidation(t *testing.T) {
+	bad := []Params{
+		{Inputs: 0, Reservoir: 128, InDegree: 8, InputFan: 8},
+		{Inputs: 8, Reservoir: 100, InDegree: 8, InputFan: 8}, // not ×128
+		{Inputs: 8, Reservoir: 128, InDegree: 0, InputFan: 8},
+		{Inputs: 8, Reservoir: 128, InDegree: 200, InputFan: 8},
+		{Inputs: 8, Reservoir: 128, InDegree: 8, InputFan: 0},
+	}
+	for i, p := range bad {
+		if _, err := Build(p); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+	if _, err := Build(DefaultParams()); err != nil {
+		t.Fatalf("default params rejected: %v", err)
+	}
+}
+
+func TestReservoirStructure(t *testing.T) {
+	app, err := Build(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 reservoir cores + 2 tap cores for 256 liquid neurons.
+	if got := app.Net.NumCores(); got != 4 {
+		t.Fatalf("cores = %d, want 4", got)
+	}
+	if app.NumTaps() != 256 {
+		t.Fatalf("taps = %d, want 256", app.NumTaps())
+	}
+}
+
+// rhythm builds a pattern where each active channel fires with its own
+// period and phase over the window, with optional jitter.
+func rhythm(channels []struct{ period, phase int }, ticks int, jitter int, rng *rand.Rand) Pattern {
+	p := Pattern{SpikesAt: map[int][]int{}, Ticks: ticks}
+	for ch, r := range channels {
+		if r.period == 0 {
+			continue
+		}
+		for t := r.phase; t < ticks; t += r.period {
+			tt := t
+			if jitter > 0 {
+				tt += rng.Intn(2*jitter+1) - jitter
+			}
+			if tt >= 0 && tt < ticks {
+				p.SpikesAt[tt] = append(p.SpikesAt[tt], ch)
+			}
+		}
+	}
+	return p
+}
+
+// classPattern generates a jittered sample of one of three rhythm classes.
+func classPattern(class int, rng *rand.Rand) Pattern {
+	const ticks = 50
+	switch class {
+	case 0: // fast beat on channels 0-2
+		return rhythm([]struct{ period, phase int }{{3, 0}, {3, 1}, {3, 2}}, ticks, 1, rng)
+	case 1: // slow beat on channels 3-5
+		return rhythm([]struct{ period, phase int }{{0, 0}, {0, 0}, {0, 0}, {8, 0}, {8, 2}, {8, 4}}, ticks, 1, rng)
+	default: // mixed: fast on 6, slow on 1
+		return rhythm([]struct{ period, phase int }{{0, 0}, {9, 3}, {0, 0}, {0, 0}, {0, 0}, {0, 0}, {4, 0}}, ticks, 1, rng)
+	}
+}
+
+func TestLiquidStateSeparability(t *testing.T) {
+	rig, err := NewRig(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	a, err := rig.Features(classPattern(0, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rig.Features(classPattern(1, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum(a) == 0 || sum(b) == 0 {
+		t.Fatal("reservoir silent")
+	}
+	// Distinct inputs must yield distinct liquid states.
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("liquid states identical for different classes")
+	}
+}
+
+func TestFeaturesResetBetweenPatterns(t *testing.T) {
+	rig, err := NewRig(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	pat := classPattern(0, rand.New(rand.NewSource(9)))
+	x1, err := rig.Features(pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rig.Features(classPattern(1, rng)) // perturb
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := rig.Features(pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x1 {
+		if x1[i] != x2[i] {
+			t.Fatalf("tap %d: %v vs %v — reservoir state leaked between patterns", i, x1[i], x2[i])
+		}
+	}
+}
+
+func TestTemporalPatternClassification(t *testing.T) {
+	// The end-to-end result: a spiking reservoir + off-line-trained linear
+	// readout classifies temporal rhythms far above chance.
+	if testing.Short() {
+		t.Skip("multi-pattern training in -short mode")
+	}
+	rig, err := NewRig(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	const classes, trainN, testN = 3, 10, 5
+	var trainX [][]float64
+	var trainY []int
+	for c := 0; c < classes; c++ {
+		for i := 0; i < trainN; i++ {
+			x, err := rig.Features(classPattern(c, rng))
+			if err != nil {
+				t.Fatal(err)
+			}
+			trainX = append(trainX, x)
+			trainY = append(trainY, c)
+		}
+	}
+	clf := TrainReadout(trainX, trainY, classes, 30)
+	correct, total := 0, 0
+	for c := 0; c < classes; c++ {
+		for i := 0; i < testN; i++ {
+			x, err := rig.Features(classPattern(c, rng))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if clf.Predict(x) == c {
+				correct++
+			}
+			total++
+		}
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.75 {
+		t.Fatalf("accuracy %.2f below 0.75 (chance is 0.33)", acc)
+	}
+}
+
+func TestSVMReadout(t *testing.T) {
+	// The max-margin readout on toy separable data, and on real liquid
+	// states (the paper's "support vector machines" are linear readouts
+	// over spike features).
+	c := TrainSVM([][]float64{{2, 0}, {0, 2}, {2.5, 0.5}, {0.5, 2.5}}, []int{0, 1, 0, 1}, 2, 100, 0.001)
+	for _, tc := range []struct {
+		x    []float64
+		want int
+	}{{[]float64{3, 0}, 0}, {[]float64{0, 3}, 1}} {
+		if got := c.Predict(tc.x); got != tc.want {
+			t.Fatalf("SVM predict(%v) = %d, want %d", tc.x, got, tc.want)
+		}
+	}
+	if len(TrainSVM(nil, nil, 2, 5, 0.01).W) != 0 {
+		t.Fatal("empty training should produce an empty classifier")
+	}
+
+	rig, err := NewRig(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	var trainX [][]float64
+	var trainY []int
+	for c2 := 0; c2 < 2; c2++ {
+		for i := 0; i < 6; i++ {
+			x, err := rig.Features(classPattern(c2, rng))
+			if err != nil {
+				t.Fatal(err)
+			}
+			trainX = append(trainX, x)
+			trainY = append(trainY, c2)
+		}
+	}
+	svm := TrainSVM(trainX, trainY, 2, 40, 0.0005)
+	correct := 0
+	for c2 := 0; c2 < 2; c2++ {
+		for i := 0; i < 3; i++ {
+			x, err := rig.Features(classPattern(c2, rng))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if svm.Predict(x) == c2 {
+				correct++
+			}
+		}
+	}
+	if correct < 5 {
+		t.Fatalf("SVM readout got %d/6 on liquid states", correct)
+	}
+}
+
+func TestClassifierEdgeCases(t *testing.T) {
+	c := TrainReadout(nil, nil, 3, 5)
+	if len(c.W) != 0 {
+		t.Fatal("empty training should produce an empty classifier")
+	}
+	c2 := TrainReadout([][]float64{{1, 0}, {0, 1}}, []int{0, 1}, 2, 50)
+	if c2.Predict([]float64{1, 0}) != 0 || c2.Predict([]float64{0, 1}) != 1 {
+		t.Fatal("perceptron failed on linearly separable toy data")
+	}
+}
+
+func sum(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s
+}

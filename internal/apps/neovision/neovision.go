@@ -1,0 +1,404 @@
+// Package neovision implements the paper's multi-object detection and
+// classification system (Section IV-B): "Our system includes a Where
+// network to detect objects, a What network to classify objects, and a
+// What/Where network to bind these predictions into labeled bounding
+// boxes", evaluated on the DARPA Neovision2 Tower classes (person,
+// cyclist, car, bus, truck). Our video source is the synthetic scene
+// generator in internal/vision (see DESIGN.md §2).
+//
+// Where network: each 4×4-pixel cell pools its pixels into an "objectness"
+// rate; cells above threshold mark object support.
+//
+// What network: per cell, five class channels perform rate-band detection
+// on the pooled pixel rate. Classes render at distinct intensities, so a
+// fully covered cell's event rate falls in a class-specific band. Each
+// channel is a three-neuron circuit: a low-edge detector (leak −lo cancels
+// drive below the band), a high-edge detector (leak −hi), and a vote
+// neuron excited by the low detector and strongly inhibited by the high
+// detector — a spiking band-pass. Partially covered border cells dilute
+// the rate and can vote for a smaller class, which is the system's main
+// error source — the reason precision/recall sit near the paper's
+// 0.85/0.80 rather than at 1.0.
+//
+// What/Where binding: the readout clusters active Where cells into
+// connected components, takes each component's pixel bounding box, and
+// labels it with the class whose votes dominate over the component — the
+// merge step of Fig. 4(i).
+package neovision
+
+import (
+	"fmt"
+	"math"
+
+	"truenorth/internal/core"
+	"truenorth/internal/corelet"
+	"truenorth/internal/neuron"
+	"truenorth/internal/sim"
+	"truenorth/internal/vision"
+)
+
+// Cell is the detection resolution: 4×4 pixels per cell.
+const Cell = 4
+
+// I/O group names.
+const (
+	InputName = "pixels"
+	WhereName = "where"
+	WhatName  = "what"
+)
+
+// Params configures the system.
+type Params struct {
+	// ImgW, ImgH are the aperture dimensions (multiples of Cell).
+	ImgW, ImgH int
+	// Transducer must match the one used at runtime (band calibration
+	// depends on MaxSpikes and TicksPerFrame). Zero value selects
+	// vision.DefaultTransducer.
+	Transducer vision.Transducer
+	// WhereMin is the per-frame Where spike count that marks a cell
+	// active during decoding (default 3).
+	WhereMin int
+}
+
+// App is a built What/Where system.
+type App struct {
+	// Net is the corelet network.
+	Net *corelet.Net
+	// CellsX, CellsY is the detection grid.
+	CellsX, CellsY int
+	p              Params
+	bands          [vision.NumClasses]band
+}
+
+// band is a class's expected event-rate band in (3× scaled) events/tick.
+type band struct{ lo, hi int32 }
+
+// NumCells returns the detection grid size.
+func (a *App) NumCells() int { return a.CellsX * a.CellsY }
+
+// classBands calibrates the per-class rate bands from the rendered class
+// intensities and the transducer: the scaled drive of a fully covered cell
+// is pixels×spikesPerFrame×weight/ticksPerFrame; band edges sit at the
+// midpoints between adjacent classes.
+func classBands(tr vision.Transducer) [vision.NumClasses]band {
+	const weight = 3
+	var center [vision.NumClasses]float64
+	for c := vision.Person; c < vision.NumClasses; c++ {
+		_, _, intensity := vision.Shape(c)
+		center[c] = float64(tr.SpikeCount(intensity)) * Cell * Cell * weight / float64(tr.TicksPerFrame)
+	}
+	// Classes are ordered bright→dark, so centers are descending.
+	var bands [vision.NumClasses]band
+	for c := vision.Person; c < vision.NumClasses; c++ {
+		hi := center[c] * 1.25
+		if c > vision.Person {
+			hi = (center[c] + center[c-1]) / 2
+		}
+		lo := center[c] * 0.75
+		if c+1 < vision.NumClasses {
+			lo = (center[c] + center[c+1]) / 2
+		}
+		bands[c] = band{lo: int32(math.Round(lo)), hi: int32(math.Round(hi))}
+	}
+	return bands
+}
+
+// Build constructs the network. Input group "pixels" has one pin per pixel
+// (row-major). Output groups: "where" (one sink per cell) and "what"
+// (cell×NumClasses + class).
+func Build(p Params) (*App, error) {
+	if p.Transducer.TicksPerFrame == 0 {
+		p.Transducer = vision.DefaultTransducer()
+	}
+	if p.WhereMin == 0 {
+		p.WhereMin = 3
+	}
+	if p.ImgW <= 0 || p.ImgH <= 0 || p.ImgW%Cell != 0 || p.ImgH%Cell != 0 {
+		return nil, fmt.Errorf("neovision: aperture %dx%d must tile into %d×%d cells", p.ImgW, p.ImgH, Cell, Cell)
+	}
+	app := &App{
+		Net:    corelet.NewNet(),
+		CellsX: p.ImgW / Cell,
+		CellsY: p.ImgH / Cell,
+		p:      p,
+		bands:  classBands(p.Transducer),
+	}
+	n := app.Net
+	cells := app.NumCells()
+	nc := int(vision.NumClasses)
+
+	// Every pixel feeds the Where pool and the What band detectors.
+	pixels := p.ImgW * p.ImgH
+	fans := make([]int, pixels)
+	for i := range fans {
+		fans[i] = 2
+	}
+	fan, err := corelet.AddFanoutVar(n, fans)
+	if err != nil {
+		return nil, err
+	}
+	for _, pin := range fan.Pins {
+		n.AddInput(InputName, pin.Core, pin.Axon)
+	}
+
+	// Where network: 16 cells per core (16 pixel axons each).
+	const cellsPerWhereCore = core.AxonsPerCore / (Cell * Cell)
+	var wc corelet.CoreID
+	inWC := cellsPerWhereCore
+	for c := 0; c < cells; c++ {
+		if inWC == cellsPerWhereCore {
+			wc = n.AddCore()
+			inWC = 0
+		}
+		inWC++
+		j := n.AllocNeuron(wc)
+		n.SetNeuron(wc, j, neuron.Accumulator(1, 0, 8))
+		cx, cy := c%app.CellsX, c/app.CellsX
+		for k := 0; k < Cell*Cell; k++ {
+			gx, gy := cx*Cell+k%Cell, cy*Cell+k/Cell
+			pix := gy*p.ImgW + gx
+			a := n.AllocAxon(wc)
+			n.SetSynapse(wc, a, j)
+			n.Connect(fan.Outs[pix][0].Core, fan.Outs[pix][0].Neuron, wc, a, 1)
+		}
+		n.ConnectOutput(wc, j, WhereName, c)
+	}
+
+	// What network: per cell, 16 shared pixel axons (type 0, weight +3)
+	// drive 5 band-pass channels of 3 neurons each. Per-class relay axons
+	// carry lo (type 2, +1) and hi (type 3, −4) into the vote neuron.
+	// Per cell: 16 + 2×5 = 26 axons, 15 neurons → 9 cells per core.
+	const cellsPerWhatCore = 9
+	var qc corelet.CoreID
+	inQC := cellsPerWhatCore
+	for c := 0; c < cells; c++ {
+		if inQC == cellsPerWhatCore {
+			qc = n.AddCore()
+			inQC = 0
+		}
+		inQC++
+		cx, cy := c%app.CellsX, c/app.CellsX
+		pixAxons := make([]int, Cell*Cell)
+		for k := 0; k < Cell*Cell; k++ {
+			gx, gy := cx*Cell+k%Cell, cy*Cell+k/Cell
+			pix := gy*p.ImgW + gx
+			a := n.AllocAxon(qc)
+			n.SetAxonType(qc, a, 0)
+			pixAxons[k] = a
+			n.Connect(fan.Outs[pix][1].Core, fan.Outs[pix][1].Neuron, qc, a, 1)
+		}
+		for cls := 0; cls < nc; cls++ {
+			b := app.bands[vision.Class(cls)]
+			mkDetector := func(edge int32) int {
+				j := n.AllocNeuron(qc)
+				n.SetNeuron(qc, j, neuron.Params{
+					Weights:   [neuron.NumAxonTypes]int32{3, 0, 0, 0},
+					Leak:      -edge,
+					Threshold: 8,
+					Reset:     neuron.ResetSubtract,
+					// The negative window lets sub-band drive fluctuations
+					// cancel instead of rectifying at a hard zero floor
+					// (tick-level burstiness would otherwise accumulate
+					// and fire detectors whose band lies above the true
+					// rate).
+					NegThreshold: 40,
+					NegSaturate:  true,
+				})
+				for _, a := range pixAxons {
+					n.SetSynapse(qc, a, j)
+				}
+				return j
+			}
+			lo := mkDetector(b.lo)
+			hi := mkDetector(b.hi)
+			aLo := n.AllocAxon(qc)
+			n.SetAxonType(qc, aLo, 2)
+			n.Connect(qc, lo, qc, aLo, 1)
+			aHi := n.AllocAxon(qc)
+			n.SetAxonType(qc, aHi, 3)
+			n.Connect(qc, hi, qc, aHi, 1)
+			vote := n.AllocNeuron(qc)
+			n.SetNeuron(qc, vote, neuron.Params{
+				Weights:      [neuron.NumAxonTypes]int32{0, 0, 1, -4},
+				Threshold:    2,
+				Reset:        neuron.ResetSubtract,
+				NegThreshold: 8,
+				NegSaturate:  true,
+			})
+			n.SetSynapse(qc, aLo, vote)
+			n.SetSynapse(qc, aHi, vote)
+			n.ConnectOutput(qc, vote, WhatName, c*nc+cls)
+		}
+	}
+	return app, nil
+}
+
+// Detection is one bound What/Where prediction.
+type Detection struct {
+	Box vision.Box
+	// Votes is the winning class's vote count over the component.
+	Votes int
+}
+
+// DecodeFrame performs the What/Where binding for one frame: whereCounts
+// and whatCounts are the per-sink spike counts of the "where" and "what"
+// output groups (lengths NumCells and NumCells×NumClasses).
+func (a *App) DecodeFrame(whereCounts, whatCounts []int) []Detection {
+	nc := int(vision.NumClasses)
+	active := make([]bool, a.NumCells())
+	for c, v := range whereCounts {
+		active[c] = v >= a.p.WhereMin
+	}
+	seen := make([]bool, a.NumCells())
+	var dets []Detection
+	for start := range active {
+		if !active[start] || seen[start] {
+			continue
+		}
+		// Flood-fill the connected component (4-connectivity).
+		var comp []int
+		stack := []int{start}
+		seen[start] = true
+		for len(stack) > 0 {
+			c := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, c)
+			cx, cy := c%a.CellsX, c/a.CellsX
+			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				nx, ny := cx+d[0], cy+d[1]
+				if nx < 0 || nx >= a.CellsX || ny < 0 || ny >= a.CellsY {
+					continue
+				}
+				ni := ny*a.CellsX + nx
+				if active[ni] && !seen[ni] {
+					seen[ni] = true
+					stack = append(stack, ni)
+				}
+			}
+		}
+		// Bounding box in pixels. Class votes come only from the
+		// component's strongest-support cells: fully covered interior
+		// cells carry the undiluted class rate, while partially covered
+		// border cells dilute toward darker-class bands.
+		minX, minY, maxX, maxY := a.CellsX, a.CellsY, -1, -1
+		maxWhere := 0
+		for _, c := range comp {
+			cx, cy := c%a.CellsX, c/a.CellsX
+			minX, minY = min(minX, cx), min(minY, cy)
+			maxX, maxY = max(maxX, cx), max(maxY, cy)
+			if whereCounts[c] > maxWhere {
+				maxWhere = whereCounts[c]
+			}
+		}
+		votes := make([]int, nc)
+		totalVotes := 0
+		for _, c := range comp {
+			if whereCounts[c]*4 < maxWhere*3 {
+				continue
+			}
+			for cls := 0; cls < nc; cls++ {
+				votes[cls] += whatCounts[c*nc+cls]
+				totalVotes += whatCounts[c*nc+cls]
+			}
+		}
+		if totalVotes == 0 {
+			continue // support without any class evidence: reject
+		}
+		// Binding combines Where shape evidence with What appearance
+		// evidence: the detection's cell dimensions gate which classes are
+		// geometrically plausible (partial cell coverage dilutes the
+		// intensity bands toward darker classes, so appearance alone is
+		// unreliable at object borders); the intensity votes pick among
+		// the plausible shapes, with nearest-shape fallback when the
+		// diluted votes all fall outside them.
+		wc, hc := maxX-minX+1, maxY-minY+1
+		bestCls, bestV := -1, -1
+		fallback, fallbackD := 0, 1e9
+		for cls := 0; cls < nc; cls++ {
+			cw, chh, _ := vision.Shape(vision.Class(cls))
+			expW := float64(cw)/Cell + 0.5
+			expH := float64(chh)/Cell + 0.5
+			d := absf(float64(wc)-expW) + absf(float64(hc)-expH)
+			if d < fallbackD {
+				fallback, fallbackD = cls, d
+			}
+			compatible := absf(float64(wc)-expW) <= 1 && absf(float64(hc)-expH) <= 1
+			if compatible && votes[cls] > bestV {
+				bestCls, bestV = cls, votes[cls]
+			}
+		}
+		if bestCls < 0 {
+			bestCls, bestV = fallback, votes[fallback]
+		}
+		dets = append(dets, Detection{
+			Box: vision.Box{
+				X0: minX * Cell, Y0: minY * Cell,
+				X1: (maxX + 1) * Cell, Y1: (maxY + 1) * Cell,
+				Class: vision.Class(bestCls),
+			},
+			Votes: bestV,
+		})
+	}
+	return dets
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Score aggregates detection quality over a video run.
+type Score struct {
+	// Precision and Recall at the IoU threshold, pooled over all scored
+	// frames (the paper: 0.85 precision, 0.80 recall on the test set).
+	Precision, Recall float64
+	// Frames is the number of scored frames.
+	Frames int
+	// Detections is the total prediction count.
+	Detections int
+}
+
+// Evaluate streams frames of scene through the placed system on eng and
+// scores the What/Where detections against ground truth. The first warmup
+// frames are run but not scored (transduction and voting pipelines fill).
+func (a *App) Evaluate(eng sim.Engine, p *corelet.Placement, scene *vision.Scene, frames, warmup int, iou float64) (Score, error) {
+	nc := int(vision.NumClasses)
+	var tp, fp, fn, nDet int
+	scored := 0
+	for k := 0; k < frames; k++ {
+		truth := scene.GroundTruth()
+		f := scene.Render()
+		if _, err := a.p.Transducer.InjectFrame(eng, p, InputName, f, 0); err != nil {
+			return Score{}, err
+		}
+		eng.Run(a.p.Transducer.TicksPerFrame)
+		out := eng.DrainOutputs()
+		scene.Advance()
+		if k < warmup {
+			continue
+		}
+		where := vision.CountByName(p, out, WhereName, a.NumCells())
+		what := vision.CountByName(p, out, WhatName, a.NumCells()*nc)
+		dets := a.DecodeFrame(where, what)
+		pred := make([]vision.Box, len(dets))
+		for i, d := range dets {
+			pred[i] = d.Box
+		}
+		prec, rec := vision.PrecisionRecall(pred, truth, iou)
+		tp += int(math.Round(prec * float64(len(pred))))
+		fp += len(pred) - int(math.Round(prec*float64(len(pred))))
+		fn += len(truth) - int(math.Round(rec*float64(len(truth))))
+		nDet += len(pred)
+		scored++
+	}
+	s := Score{Frames: scored, Detections: nDet}
+	if tp+fp > 0 {
+		s.Precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		s.Recall = float64(tp) / float64(tp+fn)
+	}
+	return s, nil
+}

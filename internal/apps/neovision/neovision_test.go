@@ -1,0 +1,201 @@
+package neovision
+
+import (
+	"testing"
+
+	"truenorth/internal/chip"
+	"truenorth/internal/corelet"
+	"truenorth/internal/router"
+	"truenorth/internal/vision"
+)
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Params{ImgW: 0, ImgH: 16}); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := Build(Params{ImgW: 18, ImgH: 16}); err == nil {
+		t.Error("non-tiling width accepted")
+	}
+}
+
+func TestBandsOrderedAndDisjoint(t *testing.T) {
+	bands := classBands(vision.DefaultTransducer())
+	for c := vision.Person; c < vision.NumClasses; c++ {
+		b := bands[c]
+		if b.lo >= b.hi {
+			t.Fatalf("class %v band [%d,%d) empty", c, b.lo, b.hi)
+		}
+		if c > vision.Person && bands[c-1].lo < b.hi {
+			t.Fatalf("bands overlap: %v [%d,%d) vs %v [%d,%d)", c-1, bands[c-1].lo, bands[c-1].hi, c, b.lo, b.hi)
+		}
+	}
+}
+
+type rig struct {
+	app *App
+	p   *corelet.Placement
+	eng *chip.Model
+}
+
+func newRig(t *testing.T, w, h int) *rig {
+	t.Helper()
+	app, err := Build(Params{ImgW: w, ImgH: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	side := 1
+	for side*side < app.Net.NumCores() {
+		side++
+	}
+	p, err := corelet.Place(app.Net, router.Mesh{W: side, H: side})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := chip.New(p.Mesh, p.Configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{app: app, p: p, eng: eng}
+}
+
+// frame injects f and returns (where, what) counts.
+func (r *rig) frame(t *testing.T, f *vision.Frame) ([]int, []int) {
+	t.Helper()
+	tr := vision.DefaultTransducer()
+	if _, err := tr.InjectFrame(r.eng, r.p, InputName, f, 0); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run(tr.TicksPerFrame)
+	out := r.eng.DrainOutputs()
+	nc := int(vision.NumClasses)
+	return vision.CountByName(r.p, out, WhereName, r.app.NumCells()),
+		vision.CountByName(r.p, out, WhatName, r.app.NumCells()*nc)
+}
+
+// classFrame renders one object of class c at (x0, y0).
+func classFrame(w, h int, c vision.Class, x0, y0 int) (*vision.Frame, vision.Box) {
+	f := vision.NewFrame(w, h)
+	cw, chh, intensity := vision.Shape(c)
+	for y := y0; y < y0+chh; y++ {
+		for x := x0; x < x0+cw; x++ {
+			f.Set(x, y, intensity)
+		}
+	}
+	return f, vision.Box{X0: x0, Y0: y0, X1: x0 + cw, Y1: y0 + chh, Class: c}
+}
+
+func TestWhereDetectsObjectSupport(t *testing.T) {
+	r := newRig(t, 48, 32)
+	f, box := classFrame(48, 32, vision.Car, 8, 8)
+	where, _ := r.frame(t, f)
+	// Cells inside the car must be active; far-away cells must not.
+	inside := r.app.CellsX*(box.Y0/Cell+1) + box.X0/Cell + 1
+	if where[inside] < r.app.p.WhereMin {
+		t.Fatalf("interior cell count %d below threshold %d", where[inside], r.app.p.WhereMin)
+	}
+	far := r.app.CellsX*7 + 11
+	if where[far] != 0 {
+		t.Fatalf("empty cell fired %d times", where[far])
+	}
+}
+
+func TestDecodeSingleObject(t *testing.T) {
+	for _, cls := range []vision.Class{vision.Person, vision.Car, vision.Truck} {
+		r := newRig(t, 48, 32)
+		f, box := classFrame(48, 32, cls, 12, 8)
+		var where, what []int
+		for k := 0; k < 2; k++ { // second frame: votes past warmup
+			where, what = r.frame(t, f)
+		}
+		dets := r.app.DecodeFrame(where, what)
+		if len(dets) != 1 {
+			t.Fatalf("class %v: %d detections, want 1", cls, len(dets))
+		}
+		if dets[0].Box.Class != cls {
+			t.Fatalf("class %v misclassified as %v", cls, dets[0].Box.Class)
+		}
+		if iou := vision.IoU(dets[0].Box, box); iou < 0.4 {
+			t.Fatalf("class %v: IoU %.2f too low (det %+v vs truth %+v)", cls, iou, dets[0].Box, box)
+		}
+	}
+}
+
+func TestDecodeTwoObjects(t *testing.T) {
+	r := newRig(t, 64, 32)
+	f, boxA := classFrame(64, 32, vision.Person, 4, 8)
+	g, boxB := classFrame(64, 32, vision.Bus, 32, 12)
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 64; x++ {
+			if v := g.At(x, y); v > 0 {
+				f.Set(x, y, v)
+			}
+		}
+	}
+	var where, what []int
+	for k := 0; k < 2; k++ {
+		where, what = r.frame(t, f)
+	}
+	dets := r.app.DecodeFrame(where, what)
+	if len(dets) != 2 {
+		t.Fatalf("%d detections, want 2", len(dets))
+	}
+	pred := []vision.Box{dets[0].Box, dets[1].Box}
+	p, rec := vision.PrecisionRecall(pred, []vision.Box{boxA, boxB}, 0.4)
+	if p != 1 || rec != 1 {
+		t.Fatalf("precision %.2f recall %.2f, want 1/1 (dets: %+v)", p, rec, dets)
+	}
+}
+
+func TestBlankSceneNoDetections(t *testing.T) {
+	r := newRig(t, 32, 16)
+	where, what := r.frame(t, vision.NewFrame(32, 16))
+	if dets := r.app.DecodeFrame(where, what); len(dets) != 0 {
+		t.Fatalf("blank frame produced %v", dets)
+	}
+}
+
+func TestEvaluateOnSyntheticTower(t *testing.T) {
+	// The headline application result: precision/recall near the paper's
+	// 0.85/0.80 on moving+stationary multi-class scenes.
+	if testing.Short() {
+		t.Skip("multi-frame evaluation in -short mode")
+	}
+	r := newRig(t, 64, 48)
+	scene := vision.NewScene(64, 48, 3, 11)
+	score, err := r.app.Evaluate(r.eng, r.p, scene, 10, 2, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score.Frames != 8 {
+		t.Fatalf("scored %d frames, want 8", score.Frames)
+	}
+	if score.Precision < 0.6 {
+		t.Fatalf("precision %.2f below 0.6 (paper: 0.85)", score.Precision)
+	}
+	if score.Recall < 0.6 {
+		t.Fatalf("recall %.2f below 0.6 (paper: 0.80)", score.Recall)
+	}
+}
+
+func TestDecodeRejectsVotelessSupport(t *testing.T) {
+	r := newRig(t, 32, 16)
+	where := make([]int, r.app.NumCells())
+	what := make([]int, r.app.NumCells()*int(vision.NumClasses))
+	where[5] = 100 // support but zero class evidence
+	if dets := r.app.DecodeFrame(where, what); len(dets) != 0 {
+		t.Fatalf("voteless component accepted: %v", dets)
+	}
+}
+
+func TestNetworkSize(t *testing.T) {
+	app, err := Build(Params{ImgW: 64, ImgH: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Net.NumCores() < 50 {
+		t.Fatalf("only %d cores; What/Where stages missing?", app.Net.NumCores())
+	}
+	if app.Net.NumNeurons() < 64*48*2 {
+		t.Fatalf("only %d neurons; splitter stage missing?", app.Net.NumNeurons())
+	}
+}

@@ -1,0 +1,248 @@
+// Package optflow implements spiking optical flow, one of the corelet
+// library's listed algorithms ("linear and non-linear signal and image
+// processing; spatio-temporal filtering; ... and optical flow" — Section
+// IV-A): Reichardt-style elementary motion detectors built from axonal
+// delays and coincidence neurons.
+//
+// An EMD for direction d at pixel p fires when a transduced edge event at
+// p−d, delayed by δ ticks through the axonal delay, coincides with an
+// event at p: motion at speed |d|/δ in direction d. Per cell, four
+// direction channels (±x, ±y) are pooled; reading out the dominant
+// channel per cell gives the flow field. The temporal-derivative front
+// end (appearing-edge detection via a delayed-inhibition differencer)
+// keeps static texture from triggering the correlators.
+package optflow
+
+import (
+	"fmt"
+
+	"truenorth/internal/core"
+	"truenorth/internal/corelet"
+	"truenorth/internal/neuron"
+)
+
+// Direction channels.
+const (
+	Right = iota
+	Left
+	Down
+	Up
+	NumDirections
+)
+
+// DirName returns a channel label.
+func DirName(d int) string {
+	return [...]string{"right", "left", "down", "up"}[d]
+}
+
+// I/O group names.
+const (
+	InputName  = "pixels"
+	OutputName = "flow"
+)
+
+// Params configures the detector array.
+type Params struct {
+	// ImgW, ImgH are the frame dimensions (multiples of Cell).
+	ImgW, ImgH int
+	// Cell is the flow-field resolution in pixels (default 4).
+	Cell int
+	// Step is the correlator baseline in pixels (default 2).
+	Step int
+	// DelayTicks is the correlator delay δ: the EMD is tuned to motion of
+	// Step pixels per DelayTicks ticks (default 8).
+	DelayTicks int
+}
+
+// App is a built optical-flow system.
+type App struct {
+	// Net is the corelet network.
+	Net *corelet.Net
+	// CellsX, CellsY is the flow-field size.
+	CellsX, CellsY int
+	p              Params
+}
+
+// NumOutputs returns the output count: cells × directions.
+func (a *App) NumOutputs() int { return a.CellsX * a.CellsY * NumDirections }
+
+// Index returns the output index of (cellX, cellY, direction).
+func (a *App) Index(cx, cy, dir int) int {
+	return (cy*a.CellsX+cx)*NumDirections + dir
+}
+
+// Build constructs the network. Input "pixels" (one pin per pixel);
+// output "flow" indexed by Index.
+func Build(p Params) (*App, error) {
+	if p.Cell == 0 {
+		p.Cell = 4
+	}
+	if p.Step == 0 {
+		p.Step = 2
+	}
+	if p.DelayTicks == 0 {
+		p.DelayTicks = 8
+	}
+	if p.ImgW <= 0 || p.ImgH <= 0 || p.ImgW%p.Cell != 0 || p.ImgH%p.Cell != 0 {
+		return nil, fmt.Errorf("optflow: image %dx%d must tile into %d-pixel cells", p.ImgW, p.ImgH, p.Cell)
+	}
+	if p.DelayTicks < 2 || p.DelayTicks > core.MaxDelay-1 {
+		return nil, fmt.Errorf("optflow: delay %d outside [2,%d] (the reference path adds one tick)", p.DelayTicks, core.MaxDelay-1)
+	}
+	if p.Step < 1 || p.Step >= p.ImgW || p.Step >= p.ImgH {
+		return nil, fmt.Errorf("optflow: step %d out of range", p.Step)
+	}
+	app := &App{Net: corelet.NewNet(), CellsX: p.ImgW / p.Cell, CellsY: p.ImgH / p.Cell, p: p}
+	n := app.Net
+	pixels := p.ImgW * p.ImgH
+
+	// Stage 1: temporal differencer per pixel — an "appearing edge"
+	// detector: +now, −(now delayed by 3 ticks); static drive cancels.
+	// Each pixel input fans to the + axon and, through the same relay
+	// pair, to the − axon with extra delay.
+	fan, err := corelet.AddFanout(n, pixels, 2)
+	if err != nil {
+		return nil, err
+	}
+	for _, pin := range fan.Pins {
+		n.AddInput(InputName, pin.Core, pin.Axon)
+	}
+	const diffPerCore = core.AxonsPerCore / 2
+	edge := make([]corelet.Handle, pixels)
+	var dc corelet.CoreID
+	inDC := diffPerCore
+	for pix := 0; pix < pixels; pix++ {
+		if inDC == diffPerCore {
+			dc = n.AddCore()
+			inDC = 0
+		}
+		inDC++
+		aNow := n.AllocAxon(dc)
+		n.SetAxonType(dc, aNow, 0)
+		aOld := n.AllocAxon(dc)
+		n.SetAxonType(dc, aOld, 1)
+		n.Connect(fan.Outs[pix][0].Core, fan.Outs[pix][0].Neuron, dc, aNow, 1)
+		n.Connect(fan.Outs[pix][1].Core, fan.Outs[pix][1].Neuron, dc, aOld, 4)
+		j := n.AllocNeuron(dc)
+		n.SetNeuron(dc, j, neuron.Params{
+			Weights:      [neuron.NumAxonTypes]int32{1, -1, 0, 0},
+			Threshold:    1,
+			Reset:        neuron.ResetToV,
+			NegThreshold: 2,
+			NegSaturate:  true,
+		})
+		n.SetSynapse(dc, aNow, j)
+		n.SetSynapse(dc, aOld, j)
+		edge[pix] = corelet.Handle{Core: dc, Neuron: j}
+	}
+
+	// Stage 2: edge fanout — each edge event serves as the delayed
+	// reference for up to four EMDs (one per direction) plus the prompt
+	// input of up to four EMDs centered on neighbors.
+	fans := make([]int, pixels)
+	offs := [NumDirections][2]int{{p.Step, 0}, {-p.Step, 0}, {0, p.Step}, {0, -p.Step}}
+	inBounds := func(x, y int) bool { return x >= 0 && x < p.ImgW && y >= 0 && y < p.ImgH }
+	for pix := range fans {
+		x, y := pix%p.ImgW, pix/p.ImgW
+		f := 0
+		for _, o := range offs {
+			if inBounds(x+o[0], y+o[1]) {
+				f++ // delayed reference for the EMD at p+o
+			}
+			if inBounds(x-o[0], y-o[1]) {
+				f++ // prompt input for the EMD at p
+			}
+		}
+		if f == 0 {
+			f = 1
+		}
+		fans[pix] = f
+	}
+	eFan, err := corelet.AddFanoutVar(n, fans)
+	if err != nil {
+		return nil, err
+	}
+	for pix := 0; pix < pixels; pix++ {
+		n.Connect(edge[pix].Core, edge[pix].Neuron, eFan.Pins[pix].Core, eFan.Pins[pix].Axon, 1)
+	}
+	next := make([]int, pixels)
+	take := func(pix int) corelet.Handle {
+		h := eFan.Outs[pix][next[pix]]
+		next[pix]++
+		return h
+	}
+
+	// Stage 3: EMD coincidence cores. Per (pixel, direction) with a valid
+	// source pixel: two axons (delayed reference from p−d via δ, prompt
+	// from p via 1) and one coincidence neuron (both must arrive within
+	// the tick). EMD outputs pool into per-(cell, direction) accumulators.
+	const emdsPerCore = core.AxonsPerCore / 2
+	var ec corelet.CoreID
+	inEC := emdsPerCore
+	// Pool cores: 4 directions × cells accumulators.
+	poolAxonsPer := p.Cell * p.Cell // max EMDs pooled per (cell, direction)
+	poolCellsPerCore := core.AxonsPerCore / (poolAxonsPer * NumDirections)
+	if poolCellsPerCore == 0 {
+		return nil, fmt.Errorf("optflow: cell %d too large for pooling core", p.Cell)
+	}
+	var pc corelet.CoreID
+	inPC := poolCellsPerCore
+	type pool struct {
+		core corelet.CoreID
+		j    int
+	}
+	pools := make([]pool, app.CellsX*app.CellsY*NumDirections)
+	for c := range pools {
+		if inPC == poolCellsPerCore {
+			pc = n.AddCore()
+			inPC = 0
+		}
+		if c%NumDirections == 0 {
+			inPC++
+		}
+		j := n.AllocNeuron(pc)
+		n.SetNeuron(pc, j, neuron.Accumulator(1, 0, 1))
+		n.ConnectOutput(pc, j, OutputName, c)
+		pools[c] = pool{core: pc, j: j}
+	}
+	for pix := 0; pix < pixels; pix++ {
+		x, y := pix%p.ImgW, pix/p.ImgW
+		for dir, o := range offs {
+			sx, sy := x-o[0], y-o[1]
+			if !inBounds(sx, sy) {
+				continue
+			}
+			if inEC == emdsPerCore {
+				ec = n.AddCore()
+				inEC = 0
+			}
+			inEC++
+			src := sy*p.ImgW + sx
+			aRef := n.AllocAxon(ec)
+			n.SetAxonType(ec, aRef, 0)
+			aNow := n.AllocAxon(ec)
+			n.SetAxonType(ec, aNow, 0)
+			// Path alignment: the reference leaves its edge detector at t,
+			// the prompt at t+δ; both pass one relay, so the reference
+			// needs axonal delay δ+1 against the prompt's 1 to coincide.
+			hRef := take(src)
+			n.Connect(hRef.Core, hRef.Neuron, ec, aRef, p.DelayTicks+1)
+			hNow := take(pix)
+			n.Connect(hNow.Core, hNow.Neuron, ec, aNow, 1)
+			j := n.AllocNeuron(ec)
+			n.SetNeuron(ec, j, neuron.CoincidenceDetector(2))
+			n.SetSynapse(ec, aRef, j)
+			n.SetSynapse(ec, aNow, j)
+			// Pool into the pixel's cell channel.
+			pi := app.Index(x/p.Cell, y/p.Cell, dir)
+			pl := &pools[pi]
+			a := n.AllocAxon(pl.core)
+			if a < 0 {
+				return nil, fmt.Errorf("optflow: pool core out of axons")
+			}
+			n.SetSynapse(pl.core, a, pl.j)
+			n.Connect(ec, j, pl.core, a, 1)
+		}
+	}
+	return app, nil
+}

@@ -1,0 +1,213 @@
+package optflow
+
+import (
+	"testing"
+
+	"truenorth/internal/chip"
+	"truenorth/internal/corelet"
+	"truenorth/internal/router"
+)
+
+const imgW, imgH = 16, 8
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Params{ImgW: 0, ImgH: 8}); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := Build(Params{ImgW: 15, ImgH: 8}); err == nil {
+		t.Error("non-tiling width accepted")
+	}
+	if _, err := Build(Params{ImgW: 16, ImgH: 8, DelayTicks: 15}); err == nil {
+		t.Error("delay 15 accepted (reference path adds a tick)")
+	}
+	if _, err := Build(Params{ImgW: 16, ImgH: 8, DelayTicks: 1}); err == nil {
+		t.Error("delay 1 accepted")
+	}
+	if _, err := Build(Params{ImgW: 16, ImgH: 8, Step: 20}); err == nil {
+		t.Error("step beyond image accepted")
+	}
+	if _, err := Build(Params{ImgW: imgW, ImgH: imgH}); err != nil {
+		t.Fatalf("default build failed: %v", err)
+	}
+}
+
+type rig struct {
+	app *App
+	p   *corelet.Placement
+	eng *chip.Model
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	app, err := Build(Params{ImgW: imgW, ImgH: imgH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	side := 1
+	for side*side < app.Net.NumCores() {
+		side++
+	}
+	p, err := corelet.Place(app.Net, router.Mesh{W: side, H: side})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := chip.New(p.Mesh, p.Configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{app: app, p: p, eng: eng}
+}
+
+// sweepBar injects a vertical bar at column x0 moving dx pixels every
+// `period` ticks, for n steps, then runs out the pipeline and returns the
+// per-output flow counts. (A moving horizontal bar uses dy.)
+func (r *rig) sweepBar(t *testing.T, vertical bool, start, delta, period, steps int) []int {
+	t.Helper()
+	for s := 0; s < steps; s++ {
+		pos := start + s*delta
+		if vertical {
+			if pos < 0 || pos >= imgW {
+				continue
+			}
+			for y := 0; y < imgH; y++ {
+				if err := r.p.Inject(r.eng, InputName, y*imgW+pos, s*period); err != nil {
+					t.Fatal(err)
+				}
+			}
+		} else {
+			if pos < 0 || pos >= imgH {
+				continue
+			}
+			for x := 0; x < imgW; x++ {
+				if err := r.p.Inject(r.eng, InputName, pos*imgW+x, s*period); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	r.eng.Run(steps*period + 24)
+	counts := make([]int, r.app.NumOutputs())
+	for _, s := range r.eng.DrainOutputs() {
+		ref, ok := r.p.Decode(s.ID)
+		if !ok || ref.Name != OutputName {
+			continue
+		}
+		counts[ref.Index]++
+	}
+	return counts
+}
+
+// dirTotals sums each direction channel over the whole field.
+func (r *rig) dirTotals(counts []int) [NumDirections]int {
+	var totals [NumDirections]int
+	for i, c := range counts {
+		totals[i%NumDirections] += c
+	}
+	return totals
+}
+
+func TestRightwardMotionDetected(t *testing.T) {
+	// A bar stepping +2 px every 8 ticks matches the default EMD tuning
+	// exactly: the Right channel must dominate and Left stay near zero.
+	r := newRig(t)
+	counts := r.sweepBar(t, true, 2, 2, 8, 6)
+	totals := r.dirTotals(counts)
+	if totals[Right] == 0 {
+		t.Fatalf("rightward motion undetected: %v", totals)
+	}
+	if totals[Left]*4 > totals[Right] {
+		t.Fatalf("left channel %d not suppressed vs right %d", totals[Left], totals[Right])
+	}
+}
+
+func TestLeftwardMotionDetected(t *testing.T) {
+	r := newRig(t)
+	counts := r.sweepBar(t, true, 13, -2, 8, 6)
+	totals := r.dirTotals(counts)
+	if totals[Left] == 0 {
+		t.Fatalf("leftward motion undetected: %v", totals)
+	}
+	if totals[Right]*4 > totals[Left] {
+		t.Fatalf("right channel %d not suppressed vs left %d", totals[Right], totals[Left])
+	}
+}
+
+func TestVerticalMotionDetected(t *testing.T) {
+	r := newRig(t)
+	counts := r.sweepBar(t, false, 0, 2, 8, 4)
+	totals := r.dirTotals(counts)
+	if totals[Down] == 0 {
+		t.Fatalf("downward motion undetected: %v", totals)
+	}
+	if totals[Up]*4 > totals[Down] {
+		t.Fatalf("up channel %d not suppressed vs down %d", totals[Up], totals[Down])
+	}
+}
+
+func TestStaticSceneQuiet(t *testing.T) {
+	// A static flickering bar (re-presented at the same place) produces no
+	// onset after the first step, so flow output stays near zero.
+	r := newRig(t)
+	counts := r.sweepBar(t, true, 8, 0, 8, 6)
+	totals := r.dirTotals(counts)
+	sum := totals[Right] + totals[Left] + totals[Up] + totals[Down]
+	if sum > 6 { // allow the initial-onset transient only
+		t.Fatalf("static scene produced %d flow spikes: %v", sum, totals)
+	}
+}
+
+func TestWrongSpeedRejected(t *testing.T) {
+	// Motion at half the tuned speed (2 px per 16 ticks) must excite the
+	// Right channel far less than tuned motion does.
+	r := newRig(t)
+	tuned := r.dirTotals(r.sweepBar(t, true, 2, 2, 8, 6))[Right]
+	r2 := newRig(t)
+	slow := r2.dirTotals(r2.sweepBar(t, true, 2, 2, 16, 6))[Right]
+	if slow*2 >= tuned {
+		t.Fatalf("untuned speed response %d not well below tuned %d", slow, tuned)
+	}
+}
+
+func TestFlowFieldLocalized(t *testing.T) {
+	// Motion confined to the top half leaves bottom-half cells quiet.
+	r := newRig(t)
+	for s := 0; s < 6; s++ {
+		pos := 2 + s*2
+		if pos >= imgW {
+			break
+		}
+		for y := 0; y < 4; y++ { // top half only
+			if err := r.p.Inject(r.eng, InputName, y*imgW+pos, s*8); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	r.eng.Run(6*8 + 24)
+	counts := make([]int, r.app.NumOutputs())
+	for _, s := range r.eng.DrainOutputs() {
+		ref, ok := r.p.Decode(s.ID)
+		if ok && ref.Name == OutputName {
+			counts[ref.Index]++
+		}
+	}
+	top, bottom := 0, 0
+	for cy := 0; cy < r.app.CellsY; cy++ {
+		for cx := 0; cx < r.app.CellsX; cx++ {
+			s := 0
+			for d := 0; d < NumDirections; d++ {
+				s += counts[r.app.Index(cx, cy, d)]
+			}
+			if cy < r.app.CellsY/2 {
+				top += s
+			} else {
+				bottom += s
+			}
+		}
+	}
+	if top == 0 {
+		t.Fatal("no flow in the moving region")
+	}
+	if bottom > top/4 {
+		t.Fatalf("static half fired %d vs moving half %d", bottom, top)
+	}
+}

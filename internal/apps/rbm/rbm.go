@@ -1,0 +1,291 @@
+// Package rbm implements restricted-Boltzmann-machine inference, another
+// of the paper's demonstrated application classes ("restricted Boltzmann
+// machines" — Section I, Fig. 2), built on the hardware's stochastic
+// modes: the per-core PRNG and stochastic threshold give each unit a
+// hard-sigmoid firing probability, which is how TrueNorth RBMs sample.
+//
+// Structure. Visible units drive hidden units through quantized weights
+// (the axon-type constraint: each core offers four signed weight values,
+// so a visible bit arrives on up to four axon copies and each hidden unit
+// reads the copy matching its weight); hidden units drive a reconstruction
+// layer with the symmetric weights through splitter relays. One up-down
+// pass is a Gibbs half-step; rate coding over a sampling window turns
+// firing probability into spike counts.
+//
+// Weights are derived off-line (the paper's workflow — training happens
+// off-chip) from class prototypes: hidden unit h detects prototype h
+// (+2 on its set bits, −2 elsewhere) and reconstructs it symmetrically,
+// yielding associative pattern completion: corrupted inputs settle onto
+// the nearest stored prototype.
+package rbm
+
+import (
+	"fmt"
+
+	"truenorth/internal/chip"
+	"truenorth/internal/corelet"
+	"truenorth/internal/neuron"
+	"truenorth/internal/router"
+)
+
+// I/O group names.
+const (
+	InputName  = "visible"
+	HiddenName = "hidden"
+	ReconName  = "recon"
+)
+
+// Params configures the machine.
+type Params struct {
+	// Visible is the number of visible units (≤ 64: each needs two axon
+	// copies on the hidden core plus reconstruction capacity).
+	Visible int
+	// Prototypes are the stored binary patterns, one hidden unit each
+	// (≤ 32).
+	Prototypes [][]bool
+	// Window is the sampling window in ticks per presented pattern
+	// (default 16).
+	Window int
+	// HiddenSharpness scales the hidden pre-activation into the 256-wide
+	// stochastic threshold band (default 24 per matching bit).
+	HiddenSharpness int32
+	// Seed seeds the stochastic cores.
+	Seed uint16
+}
+
+// App is a built RBM.
+type App struct {
+	// Net is the corelet network.
+	Net *corelet.Net
+	p   Params
+}
+
+// NumHidden returns the hidden-unit count.
+func (a *App) NumHidden() int { return len(a.p.Prototypes) }
+
+// Visible returns the visible-layer width.
+func (a *App) Visible() int { return a.p.Visible }
+
+// Build constructs the machine. Inputs: "visible" (one pin per unit).
+// Outputs: "hidden" (per prototype) and "recon" (per visible unit).
+func Build(p Params) (*App, error) {
+	if p.Window == 0 {
+		p.Window = 16
+	}
+	if p.HiddenSharpness == 0 {
+		p.HiddenSharpness = 24
+	}
+	if p.Visible < 1 || p.Visible > 64 {
+		return nil, fmt.Errorf("rbm: %d visible units out of range [1,64]", p.Visible)
+	}
+	if len(p.Prototypes) < 1 || len(p.Prototypes) > 32 {
+		return nil, fmt.Errorf("rbm: %d prototypes out of range [1,32]", len(p.Prototypes))
+	}
+	for i, proto := range p.Prototypes {
+		if len(proto) != p.Visible {
+			return nil, fmt.Errorf("rbm: prototype %d has %d bits, want %d", i, len(proto), p.Visible)
+		}
+	}
+	app := &App{Net: corelet.NewNet(), p: p}
+	n := app.Net
+	h := len(p.Prototypes)
+
+	// Hidden core. Axon copies per visible unit: type 0 (+sharpness,
+	// "this bit belongs to my prototype") and type 1 (−sharpness,
+	// "this bit contradicts my prototype"). Each hidden unit connects the
+	// copy matching its prototype's bit.
+	hc := n.AddCore()
+	n.SetSeed(hc, p.Seed|1)
+	axPlus := make([]int, p.Visible)
+	axMinus := make([]int, p.Visible)
+	for v := 0; v < p.Visible; v++ {
+		axPlus[v] = n.AllocAxon(hc)
+		n.SetAxonType(hc, axPlus[v], 0)
+		axMinus[v] = n.AllocAxon(hc)
+		n.SetAxonType(hc, axMinus[v], 1)
+	}
+	// Visible input fanout: each input bit feeds both copies.
+	fan, err := corelet.AddFanout(n, p.Visible, 2)
+	if err != nil {
+		return nil, err
+	}
+	for v, pin := range fan.Pins {
+		n.AddInput(InputName, pin.Core, pin.Axon)
+		n.Connect(fan.Outs[v][0].Core, fan.Outs[v][0].Neuron, hc, axPlus[v], 1)
+		n.Connect(fan.Outs[v][1].Core, fan.Outs[v][1].Neuron, hc, axMinus[v], 1)
+	}
+	// Hidden units: stochastic threshold turns the match score into a
+	// firing probability (hard sigmoid over the 256-wide jitter band).
+	hiddenUnits := make([]corelet.Handle, h)
+	for hu := 0; hu < h; hu++ {
+		j := n.AllocNeuron(hc)
+		proto := p.Prototypes[hu]
+		on := 0
+		for v, bit := range proto {
+			if bit {
+				n.SetSynapse(hc, axPlus[v], j)
+				on++
+			} else {
+				n.SetSynapse(hc, axMinus[v], j)
+			}
+		}
+		// Fire probabilistically when the score clears about 40% of the
+		// prototype's own bits: clean matches sit well above the jitter
+		// band (rate ≈ 0.9), lightly corrupted ones inside it, and
+		// half-matches at its lower edge.
+		n.SetNeuron(hc, j, neuron.Params{
+			Weights:       [neuron.NumAxonTypes]int32{p.HiddenSharpness, -p.HiddenSharpness, 0, 0},
+			Threshold:     p.HiddenSharpness * int32(on) * 4 / 10,
+			ThresholdMask: 0xFF,
+			Reset:         neuron.ResetToV,
+			NegThreshold:  p.HiddenSharpness * 4,
+			NegSaturate:   true,
+		})
+		hiddenUnits[hu] = corelet.Handle{Core: hc, Neuron: j}
+	}
+
+	// Hidden fanout: each hidden unit reports externally and drives the
+	// reconstruction layer.
+	hFan, err := corelet.AddFanout(n, h, 2)
+	if err != nil {
+		return nil, err
+	}
+	for hu := 0; hu < h; hu++ {
+		n.Connect(hiddenUnits[hu].Core, hiddenUnits[hu].Neuron, hFan.Pins[hu].Core, hFan.Pins[hu].Axon, 1)
+		n.ConnectOutput(hFan.Outs[hu][0].Core, hFan.Outs[hu][0].Neuron, HiddenName, hu)
+	}
+
+	// Reconstruction core: visible' units fire when the active hidden
+	// prototypes include their bit. Axon per hidden unit, type by +: the
+	// symmetric weight sign is realized per (hidden, visible) pair via
+	// two axon copies again — but since every hidden→visible weight for
+	// bit v is + when prototype[hu][v] and − otherwise, one axon copy per
+	// hidden unit and per sign suffices.
+	rc := n.AddCore()
+	n.SetSeed(rc, p.Seed|2)
+	rFan, err := corelet.AddFanout(n, h, 2)
+	if err != nil {
+		return nil, err
+	}
+	rAxPlus := make([]int, h)
+	rAxMinus := make([]int, h)
+	for hu := 0; hu < h; hu++ {
+		n.Connect(hFan.Outs[hu][1].Core, hFan.Outs[hu][1].Neuron, rFan.Pins[hu].Core, rFan.Pins[hu].Axon, 1)
+		rAxPlus[hu] = n.AllocAxon(rc)
+		n.SetAxonType(rc, rAxPlus[hu], 0)
+		rAxMinus[hu] = n.AllocAxon(rc)
+		n.SetAxonType(rc, rAxMinus[hu], 1)
+		n.Connect(rFan.Outs[hu][0].Core, rFan.Outs[hu][0].Neuron, rc, rAxPlus[hu], 1)
+		n.Connect(rFan.Outs[hu][1].Core, rFan.Outs[hu][1].Neuron, rc, rAxMinus[hu], 1)
+	}
+	for v := 0; v < p.Visible; v++ {
+		j := n.AllocNeuron(rc)
+		for hu := 0; hu < h; hu++ {
+			if p.Prototypes[hu][v] {
+				n.SetSynapse(rc, rAxPlus[hu], j)
+			} else {
+				n.SetSynapse(rc, rAxMinus[hu], j)
+			}
+		}
+		// A single supporting hidden spike clears the band (120 ≥ 30+63),
+		// so the reconstruction rate tracks the winning detector's rate;
+		// the narrow jitter keeps near-tie mixtures stochastic.
+		n.SetNeuron(rc, j, neuron.Params{
+			Weights:       [neuron.NumAxonTypes]int32{120, -120, 0, 0},
+			Threshold:     30,
+			ThresholdMask: 0x3F,
+			Reset:         neuron.ResetToV,
+			NegThreshold:  240,
+			NegSaturate:   true,
+		})
+		n.ConnectOutput(rc, j, ReconName, v)
+	}
+	return app, nil
+}
+
+// Rig is a placed, runnable RBM.
+type Rig struct {
+	App *App
+	P   *corelet.Placement
+	Eng *chip.Model
+}
+
+// NewRig builds and instantiates the machine on the canonical engine.
+func NewRig(p Params) (*Rig, error) {
+	app, err := Build(p)
+	if err != nil {
+		return nil, err
+	}
+	side := 1
+	for side*side < app.Net.NumCores() {
+		side++
+	}
+	pl, err := corelet.Place(app.Net, router.Mesh{W: side, H: side})
+	if err != nil {
+		return nil, err
+	}
+	eng, err := chip.New(pl.Mesh, pl.Configs)
+	if err != nil {
+		return nil, err
+	}
+	return &Rig{App: app, P: pl, Eng: eng}, nil
+}
+
+// Result is one inference pass.
+type Result struct {
+	// HiddenRates are per-prototype firing rates in [0,1].
+	HiddenRates []float64
+	// Recon is the thresholded reconstruction.
+	Recon []bool
+	// ReconRates are the raw visible' rates in [0,1].
+	ReconRates []float64
+}
+
+// Infer clamps the visible pattern for the sampling window and returns
+// hidden activations and the reconstruction, from a freshly reset machine.
+func (r *Rig) Infer(visible []bool) (*Result, error) {
+	if len(visible) != r.App.Visible() {
+		return nil, fmt.Errorf("rbm: pattern has %d bits, want %d", len(visible), r.App.Visible())
+	}
+	r.Eng.Reset(true)
+	w := r.App.p.Window
+	for tick := 0; tick < w; tick++ {
+		for v, bit := range visible {
+			if bit {
+				if err := r.P.Inject(r.Eng, InputName, v, tick); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	r.Eng.Run(w + 8) // drain the pipeline
+	res := &Result{
+		HiddenRates: make([]float64, r.App.NumHidden()),
+		Recon:       make([]bool, r.App.Visible()),
+		ReconRates:  make([]float64, r.App.Visible()),
+	}
+	for _, s := range r.Eng.DrainOutputs() {
+		ref, ok := r.P.Decode(s.ID)
+		if !ok {
+			continue
+		}
+		switch ref.Name {
+		case HiddenName:
+			res.HiddenRates[ref.Index] += 1 / float64(w)
+		case ReconName:
+			res.ReconRates[ref.Index] += 1 / float64(w)
+		}
+	}
+	// Threshold the reconstruction at half the strongest visible rate:
+	// robust to the overall rate scale set by the winning detector.
+	maxRate := 0.0
+	for _, r := range res.ReconRates {
+		if r > maxRate {
+			maxRate = r
+		}
+	}
+	for v := range res.Recon {
+		res.Recon[v] = maxRate > 0 && res.ReconRates[v] >= maxRate/2
+	}
+	return res, nil
+}

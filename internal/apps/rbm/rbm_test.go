@@ -1,0 +1,158 @@
+package rbm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// prototypes returns four 32-bit patterns with distinct support.
+func prototypes() [][]bool {
+	const v = 32
+	mk := func(f func(i int) bool) []bool {
+		p := make([]bool, v)
+		for i := range p {
+			p[i] = f(i)
+		}
+		return p
+	}
+	return [][]bool{
+		mk(func(i int) bool { return i < 16 }),               // low half
+		mk(func(i int) bool { return i >= 16 }),              // high half
+		mk(func(i int) bool { return i%2 == 0 }),             // even bits
+		mk(func(i int) bool { return i%4 == 0 || i%4 == 1 }), // pairs
+	}
+}
+
+func defaultParams() Params {
+	return Params{Visible: 32, Prototypes: prototypes(), Seed: 7}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Params{Visible: 0, Prototypes: prototypes()}); err == nil {
+		t.Error("0 visible accepted")
+	}
+	if _, err := Build(Params{Visible: 100, Prototypes: prototypes()}); err == nil {
+		t.Error("100 visible accepted")
+	}
+	if _, err := Build(Params{Visible: 32}); err == nil {
+		t.Error("no prototypes accepted")
+	}
+	short := [][]bool{make([]bool, 5)}
+	if _, err := Build(Params{Visible: 32, Prototypes: short}); err == nil {
+		t.Error("mis-sized prototype accepted")
+	}
+	if _, err := Build(defaultParams()); err != nil {
+		t.Fatalf("default build failed: %v", err)
+	}
+}
+
+func TestHiddenDetectsOwnPrototype(t *testing.T) {
+	rig, err := NewRig(defaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	protos := prototypes()
+	for hu, proto := range protos {
+		res, err := rig.Infer(proto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.HiddenRates[hu] < 0.6 {
+			t.Fatalf("prototype %d: own detector rate %.2f, want high", hu, res.HiddenRates[hu])
+		}
+		for other := range protos {
+			if other != hu && res.HiddenRates[other] >= res.HiddenRates[hu] {
+				t.Fatalf("prototype %d: detector %d (%.2f) outran own detector (%.2f)",
+					hu, other, res.HiddenRates[other], res.HiddenRates[hu])
+			}
+		}
+	}
+}
+
+func TestPatternCompletion(t *testing.T) {
+	// Corrupt 15% of bits; the reconstruction must be closer to the
+	// prototype than the corrupted input was — associative completion.
+	rig, err := NewRig(defaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	protos := prototypes()
+	for hu, proto := range protos {
+		corrupted := append([]bool(nil), proto...)
+		flips := 5
+		for k := 0; k < flips; k++ {
+			i := rng.Intn(len(corrupted))
+			corrupted[i] = !corrupted[i]
+		}
+		res, err := rig.Infer(corrupted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dIn := hamming(corrupted, proto)
+		dOut := hamming(res.Recon, proto)
+		if dOut >= dIn {
+			t.Fatalf("prototype %d: reconstruction distance %d not below corruption distance %d", hu, dOut, dIn)
+		}
+		if dOut > 4 {
+			t.Fatalf("prototype %d: reconstruction still %d bits off", hu, dOut)
+		}
+	}
+}
+
+func TestStochasticButCalibrated(t *testing.T) {
+	// At an ambiguous input (half of prototype 0), the detector fires at
+	// an intermediate rate — the hard-sigmoid band, not a hard threshold.
+	rig, err := NewRig(defaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := make([]bool, 32)
+	for i := 0; i < 8; i++ {
+		half[i] = true // half of prototype 0's 16 bits
+	}
+	res, err := rig.Infer(half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.HiddenRates[0]
+	if r <= 0.02 || r >= 0.98 {
+		t.Fatalf("ambiguous input rate %.2f, want intermediate (stochastic band)", r)
+	}
+}
+
+func TestBlankInputQuiet(t *testing.T) {
+	rig, err := NewRig(defaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rig.Infer(make([]bool, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for hu, r := range res.HiddenRates {
+		if r > 0.2 {
+			t.Fatalf("hidden %d fired at %.2f on blank input", hu, r)
+		}
+	}
+}
+
+func TestInferSizeCheck(t *testing.T) {
+	rig, err := NewRig(defaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rig.Infer(make([]bool, 3)); err == nil {
+		t.Fatal("wrong pattern size accepted")
+	}
+}
+
+func hamming(a, b []bool) int {
+	d := 0
+	for i := range a {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	return d
+}

@@ -1,0 +1,205 @@
+// Package saccade implements the paper's saccade application (Section
+// IV-B): "a saccade map selects regions of interest by applying a
+// winner-take-all mechanism to the saliency map, followed by temporal
+// inhibition-of-return to promote map exploration."
+//
+// The corelet pools pixel activity into regions, then runs a recurrent
+// winner-take-all circuit on a single core: each region channel excites
+// itself from its pooled input and, through an on-core relay loop,
+// inhibits every rival whenever it fires. A per-channel inhibition-of-
+// return (IOR) accumulator counts the winner's spikes and, at threshold,
+// delivers a large suppressive kick back to its own channel — knocking the
+// current winner out so attention saccades to the next most salient
+// region.
+//
+// The whole competition — mutual inhibition, self-excitation, and IOR —
+// is recurrent spiking dynamics on the crossbar; the only off-chip step is
+// reading which channel's output sink fired.
+package saccade
+
+import (
+	"fmt"
+
+	"truenorth/internal/core"
+	"truenorth/internal/corelet"
+	"truenorth/internal/neuron"
+)
+
+// InputName and OutputName are the placement I/O group names.
+const (
+	InputName  = "pixels"
+	OutputName = "saccade"
+)
+
+// Params configures the saccade system.
+type Params struct {
+	// ImgW, ImgH are the frame dimensions.
+	ImgW, ImgH int
+	// RegionSize is the pooling region edge in pixels (default 8). The
+	// region count (ImgW/RegionSize)×(ImgH/RegionSize) must be ≤ 64, the
+	// WTA core's channel capacity.
+	RegionSize int
+	// IORThreshold is the number of winner spikes before inhibition of
+	// return strikes (default 6).
+	IORThreshold int32
+	// IORStrength is the suppressive kick magnitude (default 60).
+	IORStrength int32
+}
+
+// App is a built saccade system.
+type App struct {
+	// Net is the corelet network.
+	Net *corelet.Net
+	// RegionsX, RegionsY is the saccade map size.
+	RegionsX, RegionsY int
+	p                  Params
+}
+
+// NumRegions returns the channel count.
+func (a *App) NumRegions() int { return a.RegionsX * a.RegionsY }
+
+// RegionIndex maps region coordinates to the output index.
+func (a *App) RegionIndex(rx, ry int) int { return ry*a.RegionsX + rx }
+
+// Build constructs the saccade network. Input group "pixels" has one pin
+// per pixel (row-major); output group "saccade" has one sink per region,
+// firing when that region is the currently selected focus.
+func Build(p Params) (*App, error) {
+	if p.RegionSize == 0 {
+		p.RegionSize = 8
+	}
+	if p.IORThreshold == 0 {
+		p.IORThreshold = 6
+	}
+	if p.IORStrength == 0 {
+		p.IORStrength = 60
+	}
+	if p.ImgW <= 0 || p.ImgH <= 0 || p.ImgW%p.RegionSize != 0 || p.ImgH%p.RegionSize != 0 {
+		return nil, fmt.Errorf("saccade: image %dx%d must tile into %d-pixel regions", p.ImgW, p.ImgH, p.RegionSize)
+	}
+	if p.IORThreshold < 1 || p.IORStrength < 1 || p.IORStrength > 255 {
+		return nil, fmt.Errorf("saccade: IOR threshold %d / strength %d out of range", p.IORThreshold, p.IORStrength)
+	}
+	rx, ry := p.ImgW/p.RegionSize, p.ImgH/p.RegionSize
+	k := rx * ry
+	if k > core.AxonsPerCore/4 {
+		return nil, fmt.Errorf("saccade: %d regions exceed the WTA core's %d channels", k, core.AxonsPerCore/4)
+	}
+	app := &App{Net: corelet.NewNet(), RegionsX: rx, RegionsY: ry, p: p}
+	n := app.Net
+
+	// Stage 1: region pooling. Each region accumulator fires once per 8
+	// pixel events in its region.
+	pixPerRegion := p.RegionSize * p.RegionSize
+	regionsPerCore := core.AxonsPerCore / pixPerRegion
+	if regionsPerCore == 0 {
+		return nil, fmt.Errorf("saccade: region size %d exceeds one core's axons", p.RegionSize)
+	}
+	pooled := make([]corelet.Handle, k)
+	pixelPin := make([]corelet.InputPin, p.ImgW*p.ImgH)
+	var pool corelet.CoreID
+	inPool := regionsPerCore
+	for r := 0; r < k; r++ {
+		if inPool == regionsPerCore {
+			pool = n.AddCore()
+			inPool = 0
+		}
+		inPool++
+		// Pooling threshold keeps the region rate below the one-spike-per-
+		// tick ceiling (a fully lit 64-pixel region at 16 spikes/frame is
+		// ~31 events/tick → ~0.97 spikes/tick), preserving rank order
+		// between regions of different salience.
+		j := n.AllocNeuron(pool)
+		n.SetNeuron(pool, j, neuron.Accumulator(1, 0, 32))
+		pooled[r] = corelet.Handle{Core: pool, Neuron: j}
+		gx0, gy0 := (r%rx)*p.RegionSize, (r/rx)*p.RegionSize
+		for q := 0; q < pixPerRegion; q++ {
+			a := n.AllocAxon(pool)
+			n.SetSynapse(pool, a, j)
+			px := gx0 + q%p.RegionSize
+			py := gy0 + q/p.RegionSize
+			pixelPin[py*p.ImgW+px] = corelet.InputPin{Core: pool, Axon: a}
+		}
+	}
+	for _, pin := range pixelPin {
+		n.AddInput(InputName, pin.Core, pin.Axon)
+	}
+
+	// Stage 2: the WTA core. Per channel: axons IN (type 0), M (type 3,
+	// the channel's own spike loop), I (type 1, rival inhibition), R
+	// (type 2, IOR kick). Neurons: main, relayOut, relayInhib, IOR.
+	wta := n.AddCore()
+	axIN := func(ch int) int { return 4 * ch }
+	axM := func(ch int) int { return 4*ch + 1 }
+	axI := func(ch int) int { return 4*ch + 2 }
+	axR := func(ch int) int { return 4*ch + 3 }
+	for ch := 0; ch < k; ch++ {
+		n.SetAxonType(wta, axIN(ch), 0)
+		n.SetAxonType(wta, axM(ch), 3)
+		n.SetAxonType(wta, axI(ch), 1)
+		n.SetAxonType(wta, axR(ch), 2)
+	}
+	mains := make([]int, k)
+	for ch := 0; ch < k; ch++ {
+		// Main channel neuron: excited by its pooled input, inhibited by
+		// rivals (−4 per rival spike) and by its own IOR kick.
+		main := n.AllocNeuron(wta)
+		n.SetNeuron(wta, main, neuron.Params{
+			Weights:      [neuron.NumAxonTypes]int32{2, -8, -p.IORStrength, 0},
+			Threshold:    8,
+			Reset:        neuron.ResetToV,
+			NegThreshold: p.IORStrength + 20,
+			NegSaturate:  true,
+		})
+		// Staggered initial potentials break the symmetry between equally
+		// salient regions, so exactly one channel wins first and IOR then
+		// rotates the focus (otherwise equal channels fire in lockstep).
+		n.SetInitV(wta, main, int32(ch*3)%7)
+		mains[ch] = main
+		n.SetSynapse(wta, axIN(ch), main)
+		n.Connect(pooled[ch].Core, pooled[ch].Neuron, wta, axIN(ch), 1)
+		// The main's single output feeds its loop axon M.
+		n.Connect(wta, main, wta, axM(ch), 1)
+
+		// relayOut: copies the channel's spikes to the external output.
+		relayOut := n.AllocNeuron(wta)
+		n.SetNeuron(wta, relayOut, neuron.Params{
+			Weights:   [neuron.NumAxonTypes]int32{0, 0, 0, 1},
+			Threshold: 1,
+			Reset:     neuron.ResetToV,
+		})
+		n.SetSynapse(wta, axM(ch), relayOut)
+		n.ConnectOutput(wta, relayOut, OutputName, ch)
+
+		// relayInhib: broadcasts the spike onto the rival-inhibition axon.
+		relayInhib := n.AllocNeuron(wta)
+		n.SetNeuron(wta, relayInhib, neuron.Params{
+			Weights:   [neuron.NumAxonTypes]int32{0, 0, 0, 1},
+			Threshold: 1,
+			Reset:     neuron.ResetToV,
+		})
+		n.SetSynapse(wta, axM(ch), relayInhib)
+		n.Connect(wta, relayInhib, wta, axI(ch), 1)
+
+		// IOR accumulator: counts the winner's spikes, then kicks back.
+		ior := n.AllocNeuron(wta)
+		n.SetNeuron(wta, ior, neuron.Params{
+			Weights:   [neuron.NumAxonTypes]int32{0, 0, 0, 1},
+			Threshold: p.IORThreshold,
+			Reset:     neuron.ResetToV,
+		})
+		n.SetSynapse(wta, axM(ch), ior)
+		n.Connect(wta, ior, wta, axR(ch), 1)
+	}
+	// Rival inhibition: channel ch's I axon hits every other main.
+	for ch := 0; ch < k; ch++ {
+		for other := 0; other < k; other++ {
+			if other != ch {
+				n.SetSynapse(wta, axI(ch), mains[other])
+			}
+		}
+		// IOR kick hits only its own main.
+		n.SetSynapse(wta, axR(ch), mains[ch])
+	}
+	return app, nil
+}

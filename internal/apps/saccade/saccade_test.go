@@ -1,0 +1,198 @@
+package saccade
+
+import (
+	"testing"
+
+	"truenorth/internal/chip"
+	"truenorth/internal/corelet"
+	"truenorth/internal/router"
+	"truenorth/internal/vision"
+)
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Params{ImgW: 0, ImgH: 8}); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := Build(Params{ImgW: 9, ImgH: 8}); err == nil {
+		t.Error("non-tiling width accepted")
+	}
+	if _, err := Build(Params{ImgW: 128, ImgH: 64, RegionSize: 8}); err == nil {
+		t.Error("128 regions accepted (max 64 channels)")
+	}
+	if _, err := Build(Params{ImgW: 16, ImgH: 16, IORStrength: 300}); err == nil {
+		t.Error("IOR strength 300 accepted (9-bit weights)")
+	}
+	if _, err := Build(Params{ImgW: 32, ImgH: 32, RegionSize: 32}); err == nil {
+		t.Error("region larger than a core's axons accepted")
+	}
+}
+
+func TestRegionGeometry(t *testing.T) {
+	app, err := Build(Params{ImgW: 32, ImgH: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.RegionsX != 4 || app.RegionsY != 2 {
+		t.Fatalf("regions = %d×%d, want 4×2", app.RegionsX, app.RegionsY)
+	}
+	if app.RegionIndex(3, 1) != 7 {
+		t.Fatalf("RegionIndex(3,1) = %d", app.RegionIndex(3, 1))
+	}
+}
+
+type runner struct {
+	app *App
+	p   *corelet.Placement
+	eng *chip.Model
+	tr  vision.Transducer
+}
+
+func newRunner(t *testing.T, w, h int, p Params) *runner {
+	t.Helper()
+	p.ImgW, p.ImgH = w, h
+	app, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	side := 1
+	for side*side < app.Net.NumCores() {
+		side++
+	}
+	pl, err := corelet.Place(app.Net, router.Mesh{W: side, H: side})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := chip.New(pl.Mesh, pl.Configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &runner{app: app, p: pl, eng: eng, tr: vision.DefaultTransducer()}
+}
+
+func (r *runner) frame(t *testing.T, f *vision.Frame) []int {
+	t.Helper()
+	if _, err := r.tr.InjectFrame(r.eng, r.p, InputName, f, 0); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run(r.tr.TicksPerFrame)
+	return vision.CountByName(r.p, r.eng.DrainOutputs(), OutputName, r.app.NumRegions())
+}
+
+// blobFrame lights one region fully at the given intensity.
+func blobFrame(w, h, regionSize, region, rx int, v uint8) *vision.Frame {
+	f := vision.NewFrame(w, h)
+	gx0, gy0 := (region%rx)*regionSize, (region/rx)*regionSize
+	for y := gy0; y < gy0+regionSize; y++ {
+		for x := gx0; x < gx0+regionSize; x++ {
+			f.Set(x, y, v)
+		}
+	}
+	return f
+}
+
+func TestWinnerIsMostSalientRegion(t *testing.T) {
+	// Disable IOR (huge threshold) to observe pure WTA selection.
+	r := newRunner(t, 32, 16, Params{IORThreshold: 10000})
+	f := blobFrame(32, 16, 8, 2, 4, 255)
+	// A weaker distractor in region 5.
+	g := blobFrame(32, 16, 8, 5, 4, 90)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 32; x++ {
+			if v := g.At(x, y); v > 0 {
+				f.Set(x, y, v)
+			}
+		}
+	}
+	counts := make([]int, r.app.NumRegions())
+	for k := 0; k < 4; k++ {
+		for i, c := range r.frame(t, f) {
+			counts[i] += c
+		}
+	}
+	if counts[2] == 0 {
+		t.Fatal("strongest region never selected")
+	}
+	for i, c := range counts {
+		if i != 2 && c >= counts[2] {
+			t.Fatalf("region %d (%d) not suppressed below winner region 2 (%d): %v", i, c, counts[2], counts)
+		}
+	}
+}
+
+func TestQuietSceneNoSelection(t *testing.T) {
+	r := newRunner(t, 32, 16, Params{})
+	blank := vision.NewFrame(32, 16)
+	total := 0
+	for k := 0; k < 3; k++ {
+		for _, c := range r.frame(t, blank) {
+			total += c
+		}
+	}
+	if total != 0 {
+		t.Fatalf("blank scene produced %d selections", total)
+	}
+}
+
+func TestInhibitionOfReturnPromotesExploration(t *testing.T) {
+	// Two equally salient regions: with IOR active, selection must visit
+	// both over time (the paper: IOR "promotes map exploration").
+	r := newRunner(t, 32, 16, Params{IORThreshold: 4})
+	f := blobFrame(32, 16, 8, 1, 4, 220)
+	g := blobFrame(32, 16, 8, 6, 4, 220)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 32; x++ {
+			if v := g.At(x, y); v > 0 {
+				f.Set(x, y, v)
+			}
+		}
+	}
+	visited := map[int]bool{}
+	for k := 0; k < 12; k++ {
+		counts := r.frame(t, f)
+		best, bestC := -1, 0
+		for i, c := range counts {
+			if c > bestC {
+				best, bestC = i, c
+			}
+		}
+		if best >= 0 {
+			visited[best] = true
+		}
+	}
+	if !visited[1] || !visited[6] {
+		t.Fatalf("IOR failed to explore both salient regions: visited %v", visited)
+	}
+}
+
+func TestIORSuppressesPersistentWinner(t *testing.T) {
+	// A single dominant region: with aggressive IOR its selection rate
+	// must drop between the first and later frames (attention moves away
+	// even with nothing else to see).
+	r := newRunner(t, 32, 16, Params{IORThreshold: 3, IORStrength: 120})
+	f := blobFrame(32, 16, 8, 3, 4, 255)
+	first := r.frame(t, f)[3]
+	var later int
+	for k := 0; k < 3; k++ {
+		later = r.frame(t, f)[3]
+	}
+	if first == 0 {
+		t.Fatal("winner never selected at onset")
+	}
+	if later >= first {
+		t.Fatalf("IOR did not reduce selection: first frame %d, later frame %d", first, later)
+	}
+}
+
+func TestNetworkSize(t *testing.T) {
+	app, err := Build(Params{ImgW: 64, ImgH: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64 regions → 16 pool cores (4 regions of 64 px each) + 1 WTA core.
+	if got := app.Net.NumCores(); got != 17 {
+		t.Fatalf("cores = %d, want 17", got)
+	}
+	if app.NumRegions() != 64 {
+		t.Fatalf("regions = %d, want 64", app.NumRegions())
+	}
+}

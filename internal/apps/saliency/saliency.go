@@ -1,0 +1,313 @@
+// Package saliency implements the paper's saliency application (Section
+// IV-B): "a saliency map assigns a measure of interest, or saliency, to
+// each pixel in an image, often to select a region for further processing."
+//
+// The corelet computes a cell-resolution saliency map from two channels:
+//
+//   - Spatial contrast: each 4×4-pixel cell's population rate is compared
+//     against its 8-neighbor surround (center-surround difference, weight
+//     +8 center / −1 per surround cell, rectified).
+//   - Temporal change: each cell's current rate is compared against its
+//     own rate one frame earlier, via a chain of axonal-delay relays
+//     (15+15+3 ticks ≈ one 33-tick frame) — both appearing and
+//     disappearing polarities.
+//
+// A combination stage sums the channels (motion weighted 2×) into the
+// output map. The structure — pixel pooling, cell fanout through splitter
+// relays, delay-line memory, rectified differencing — is the standard
+// TrueNorth corelet repertoire the paper's library builds on.
+package saliency
+
+import (
+	"fmt"
+
+	"truenorth/internal/core"
+	"truenorth/internal/corelet"
+	"truenorth/internal/neuron"
+)
+
+// Cell is the saliency map resolution: 4×4 pixels per cell.
+const Cell = 4
+
+// InputName and OutputName are the placement I/O group names.
+const (
+	InputName  = "pixels"
+	OutputName = "saliency"
+)
+
+// Params configures the saliency system.
+type Params struct {
+	// ImgW, ImgH are the frame dimensions; multiples of Cell.
+	ImgW, ImgH int
+	// TicksPerFrame must match the transducer (delay-line length).
+	// Zero selects 33 (30 fps at 1 kHz).
+	TicksPerFrame int
+}
+
+// App is a built saliency system.
+type App struct {
+	// Net is the corelet network.
+	Net *corelet.Net
+	// CellsX, CellsY is the saliency map size.
+	CellsX, CellsY int
+	p              Params
+}
+
+// NumCells returns the saliency map size.
+func (a *App) NumCells() int { return a.CellsX * a.CellsY }
+
+// CellIndex maps cell coordinates to the output index.
+func (a *App) CellIndex(cx, cy int) int { return cy*a.CellsX + cx }
+
+// Build constructs the saliency network. Input group "pixels" has one pin
+// per pixel (row-major); output group "saliency" has one sink per cell.
+func Build(p Params) (*App, error) {
+	if p.TicksPerFrame == 0 {
+		p.TicksPerFrame = 33
+	}
+	if p.ImgW <= 0 || p.ImgH <= 0 || p.ImgW%Cell != 0 || p.ImgH%Cell != 0 {
+		return nil, fmt.Errorf("saliency: image %dx%d must tile into %d×%d cells", p.ImgW, p.ImgH, Cell, Cell)
+	}
+	if p.TicksPerFrame < 3 || p.TicksPerFrame > 2*core.MaxDelay+core.MaxDelay {
+		return nil, fmt.Errorf("saliency: ticks/frame %d outside the 3..45 range reachable with a 3-relay delay line", p.TicksPerFrame)
+	}
+	app := &App{Net: corelet.NewNet(), CellsX: p.ImgW / Cell, CellsY: p.ImgH / Cell, p: p}
+	n := app.Net
+	cells := app.NumCells()
+
+	// Stage 1: cell pooling. Each core pools 16 cells (16 pixels each).
+	const cellsPerPoolCore = core.AxonsPerCore / (Cell * Cell)
+	cellSum := make([]corelet.Handle, cells)
+	pixelPin := make([]corelet.InputPin, p.ImgW*p.ImgH)
+	var pool corelet.CoreID
+	inPool := cellsPerPoolCore
+	for c := 0; c < cells; c++ {
+		if inPool == cellsPerPoolCore {
+			pool = n.AddCore()
+			inPool = 0
+		}
+		inPool++
+		j := n.AllocNeuron(pool)
+		n.SetNeuron(pool, j, neuron.Accumulator(1, 0, 2))
+		cellSum[c] = corelet.Handle{Core: pool, Neuron: j}
+		cx, cy := c%app.CellsX, c/app.CellsX
+		for k := 0; k < Cell*Cell; k++ {
+			gx, gy := cx*Cell+k%Cell, cy*Cell+k/Cell
+			a := n.AllocAxon(pool)
+			n.SetSynapse(pool, a, j)
+			pixelPin[gy*p.ImgW+gx] = corelet.InputPin{Core: pool, Axon: a}
+		}
+	}
+	for _, pin := range pixelPin {
+		n.AddInput(InputName, pin.Core, pin.Axon)
+	}
+
+	// Stage 2: cell fanout. Each cell rate feeds its own contrast center,
+	// up to 8 neighbor contrasts, the change detector, and the delay line.
+	fans := make([]int, cells)
+	for c := 0; c < cells; c++ {
+		cx, cy := c%app.CellsX, c/app.CellsX
+		nb := 0
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dx == 0 && dy == 0 {
+					continue
+				}
+				if cx+dx >= 0 && cx+dx < app.CellsX && cy+dy >= 0 && cy+dy < app.CellsY {
+					nb++
+				}
+			}
+		}
+		fans[c] = 1 + nb + 1 + 1 // center + surrounds + change-now + delay head
+	}
+	fan, err := corelet.AddFanoutVar(n, fans)
+	if err != nil {
+		return nil, err
+	}
+	for c := 0; c < cells; c++ {
+		n.Connect(cellSum[c].Core, cellSum[c].Neuron, fan.Pins[c].Core, fan.Pins[c].Axon, 1)
+	}
+	next := make([]int, cells)
+	take := func(c int) corelet.Handle {
+		h := fan.Outs[c][next[c]]
+		next[c]++
+		return h
+	}
+
+	// Stage 3: delay line (one frame ≈ TicksPerFrame ticks across relays).
+	d1, d2, d3 := splitDelay(p.TicksPerFrame)
+	delayed := make([]corelet.Handle, cells)
+	var dc corelet.CoreID
+	inDC := core.NeuronsPerCore / 2
+	for c := 0; c < cells; c++ {
+		if inDC >= core.NeuronsPerCore/2 {
+			dc = n.AddCore()
+			inDC = 0
+		}
+		inDC++
+		a1 := n.AllocAxon(dc)
+		j1 := n.AllocNeuron(dc)
+		n.SetSynapse(dc, a1, j1)
+		n.SetNeuron(dc, j1, neuron.Identity())
+		a2 := n.AllocAxon(dc)
+		j2 := n.AllocNeuron(dc)
+		n.SetSynapse(dc, a2, j2)
+		n.SetNeuron(dc, j2, neuron.Identity())
+		h := take(c)
+		n.Connect(h.Core, h.Neuron, dc, a1, d1)
+		n.Connect(dc, j1, dc, a2, d2)
+		delayed[c] = corelet.Handle{Core: dc, Neuron: j2}
+	}
+
+	// Stage 4: contrast. Per cell: center axon (type 0, weight +8) and up
+	// to 8 surround axons (type 1, −1).
+	const cellsPerContrastCore = core.AxonsPerCore / 9
+	contrast := make([]corelet.Handle, cells)
+	surroundAxon := make([][]int, cells) // allocated below, wired after
+	var cc corelet.CoreID
+	inCC := cellsPerContrastCore
+	for c := 0; c < cells; c++ {
+		if inCC == cellsPerContrastCore {
+			cc = n.AddCore()
+			inCC = 0
+		}
+		inCC++
+		j := n.AllocNeuron(cc)
+		n.SetNeuron(cc, j, neuron.Params{
+			Weights:      [neuron.NumAxonTypes]int32{8, -1, 0, 0},
+			Threshold:    8,
+			Reset:        neuron.ResetSubtract,
+			NegThreshold: 16,
+			NegSaturate:  true,
+		})
+		center := n.AllocAxon(cc)
+		n.SetAxonType(cc, center, 0)
+		n.SetSynapse(cc, center, j)
+		h := take(c)
+		n.Connect(h.Core, h.Neuron, cc, center, 1)
+		contrast[c] = corelet.Handle{Core: cc, Neuron: j}
+		for s := 0; s < 8; s++ {
+			a := n.AllocAxon(cc)
+			n.SetAxonType(cc, a, 1)
+			n.SetSynapse(cc, a, j)
+			surroundAxon[c] = append(surroundAxon[c], a)
+		}
+	}
+	// Wire surround inputs.
+	used := make([]int, cells)
+	for c := 0; c < cells; c++ {
+		cx, cy := c%app.CellsX, c/app.CellsX
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dx == 0 && dy == 0 {
+					continue
+				}
+				nx, ny := cx+dx, cy+dy
+				if nx < 0 || nx >= app.CellsX || ny < 0 || ny >= app.CellsY {
+					continue
+				}
+				nc := ny*app.CellsX + nx
+				h := take(nc) // neighbor's fanout relay drives c's surround
+				a := surroundAxon[c][used[c]]
+				used[c]++
+				n.Connect(h.Core, h.Neuron, contrastCoreOf(contrast[c]), a, 1)
+			}
+		}
+	}
+
+	// Stage 5: temporal change. Per cell: axon 0 now (+), axon 1 delayed
+	// (−); appear neuron {+1,−1}, disappear neuron {−1,+1}.
+	const cellsPerChangeCore = core.AxonsPerCore / 2
+	appear := make([]corelet.Handle, cells)
+	disappear := make([]corelet.Handle, cells)
+	var ch corelet.CoreID
+	inCh := cellsPerChangeCore
+	for c := 0; c < cells; c++ {
+		if inCh == cellsPerChangeCore {
+			ch = n.AddCore()
+			inCh = 0
+		}
+		inCh++
+		aNow := n.AllocAxon(ch)
+		n.SetAxonType(ch, aNow, 0)
+		aOld := n.AllocAxon(ch)
+		n.SetAxonType(ch, aOld, 1)
+		hNow := take(c)
+		n.Connect(hNow.Core, hNow.Neuron, ch, aNow, 1)
+		n.Connect(delayed[c].Core, delayed[c].Neuron, ch, aOld, d3)
+		jA := n.AllocNeuron(ch)
+		n.SetNeuron(ch, jA, neuron.Params{
+			Weights:      [neuron.NumAxonTypes]int32{1, -1, 0, 0},
+			Threshold:    2,
+			Reset:        neuron.ResetSubtract,
+			NegThreshold: 8,
+			NegSaturate:  true,
+		})
+		n.SetSynapse(ch, aNow, jA)
+		n.SetSynapse(ch, aOld, jA)
+		appear[c] = corelet.Handle{Core: ch, Neuron: jA}
+		jD := n.AllocNeuron(ch)
+		n.SetNeuron(ch, jD, neuron.Params{
+			Weights:      [neuron.NumAxonTypes]int32{-1, 1, 0, 0},
+			Threshold:    2,
+			Reset:        neuron.ResetSubtract,
+			NegThreshold: 8,
+			NegSaturate:  true,
+		})
+		n.SetSynapse(ch, aNow, jD)
+		n.SetSynapse(ch, aOld, jD)
+		disappear[c] = corelet.Handle{Core: ch, Neuron: jD}
+	}
+
+	// Stage 6: combination → output map. Contrast weight 1, motion 2.
+	const cellsPerOutCore = core.AxonsPerCore / 3
+	var oc corelet.CoreID
+	inOC := cellsPerOutCore
+	for c := 0; c < cells; c++ {
+		if inOC == cellsPerOutCore {
+			oc = n.AddCore()
+			inOC = 0
+		}
+		inOC++
+		j := n.AllocNeuron(oc)
+		n.SetNeuron(oc, j, neuron.Params{
+			Weights:   [neuron.NumAxonTypes]int32{1, 0, 2, 0},
+			Threshold: 2,
+			Reset:     neuron.ResetSubtract,
+		})
+		aC := n.AllocAxon(oc)
+		n.SetAxonType(oc, aC, 0)
+		n.SetSynapse(oc, aC, j)
+		n.Connect(contrast[c].Core, contrast[c].Neuron, oc, aC, 1)
+		aM := n.AllocAxon(oc)
+		n.SetAxonType(oc, aM, 2)
+		n.SetSynapse(oc, aM, j)
+		n.Connect(appear[c].Core, appear[c].Neuron, oc, aM, 1)
+		aM2 := n.AllocAxon(oc)
+		n.SetAxonType(oc, aM2, 2)
+		n.SetSynapse(oc, aM2, j)
+		n.Connect(disappear[c].Core, disappear[c].Neuron, oc, aM2, 1)
+		n.ConnectOutput(oc, j, OutputName, c)
+	}
+	return app, nil
+}
+
+// contrastCoreOf extracts the core id of a contrast handle (readability).
+func contrastCoreOf(h corelet.Handle) corelet.CoreID { return h.Core }
+
+// splitDelay decomposes a frame delay into two relay hops plus a final
+// axonal delay, each within the 1..15 hardware range. Total latency is
+// d1 + d2 + d3 ticks (the relays themselves respond within their arrival
+// tick).
+func splitDelay(ticks int) (d1, d2, d3 int) {
+	a := ticks - 2
+	if a > core.MaxDelay {
+		a = core.MaxDelay
+	}
+	rem := ticks - a
+	b := rem - 1
+	if b > core.MaxDelay {
+		b = core.MaxDelay
+	}
+	return a, b, rem - b
+}

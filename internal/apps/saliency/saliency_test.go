@@ -1,0 +1,229 @@
+package saliency
+
+import (
+	"testing"
+
+	"truenorth/internal/chip"
+	"truenorth/internal/corelet"
+	"truenorth/internal/router"
+	"truenorth/internal/vision"
+)
+
+func TestSplitDelay(t *testing.T) {
+	for ticks := 3; ticks <= 45; ticks++ {
+		d1, d2, d3 := splitDelay(ticks)
+		for _, d := range []int{d1, d2, d3} {
+			if d < 1 || d > 15 {
+				t.Fatalf("ticks %d: delay component %d out of [1,15]", ticks, d)
+			}
+		}
+		if d1+d2+d3 != ticks {
+			t.Fatalf("ticks %d: %d+%d+%d != %d", ticks, d1, d2, d3, ticks)
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Params{ImgW: 17, ImgH: 16}); err == nil {
+		t.Error("non-tiling width accepted")
+	}
+	if _, err := Build(Params{ImgW: 0, ImgH: 16}); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := Build(Params{ImgW: 16, ImgH: 16, TicksPerFrame: 50}); err == nil {
+		t.Error("50-tick frame (beyond 3-relay delay line) accepted")
+	}
+	if _, err := Build(Params{ImgW: 16, ImgH: 16, TicksPerFrame: 2}); err == nil {
+		t.Error("2-tick frame accepted")
+	}
+}
+
+// runner places the app and provides frame-by-frame map readout.
+type runner struct {
+	app *App
+	p   *corelet.Placement
+	eng *chip.Model
+	tr  vision.Transducer
+}
+
+func newRunner(t *testing.T, w, h int) *runner {
+	t.Helper()
+	app, err := Build(Params{ImgW: w, ImgH: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	side := 1
+	for side*side < app.Net.NumCores() {
+		side++
+	}
+	p, err := corelet.Place(app.Net, router.Mesh{W: side, H: side})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := chip.New(p.Mesh, p.Configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &runner{app: app, p: p, eng: eng, tr: vision.DefaultTransducer()}
+}
+
+// frame injects f and returns the per-cell saliency counts for the frame.
+func (r *runner) frame(t *testing.T, f *vision.Frame) []int {
+	t.Helper()
+	if _, err := r.tr.InjectFrame(r.eng, r.p, InputName, f, 0); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run(r.tr.TicksPerFrame)
+	return vision.CountByName(r.p, r.eng.DrainOutputs(), OutputName, r.app.NumCells())
+}
+
+func TestMapDimensions(t *testing.T) {
+	app, err := Build(Params{ImgW: 32, ImgH: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.CellsX != 8 || app.CellsY != 4 {
+		t.Fatalf("cells = %d×%d, want 8×4", app.CellsX, app.CellsY)
+	}
+	if app.CellIndex(2, 1) != 10 {
+		t.Fatalf("CellIndex(2,1) = %d, want 10", app.CellIndex(2, 1))
+	}
+}
+
+func TestBlankSceneNotSalient(t *testing.T) {
+	r := newRunner(t, 32, 16)
+	blank := vision.NewFrame(32, 16)
+	var total int
+	for k := 0; k < 3; k++ {
+		for _, c := range r.frame(t, blank) {
+			total += c
+		}
+	}
+	if total != 0 {
+		t.Fatalf("blank video produced %d saliency spikes", total)
+	}
+}
+
+func TestContrastBlobIsSalient(t *testing.T) {
+	// A bright blob on a dark background: its cells out-salient the rest.
+	r := newRunner(t, 32, 16)
+	f := vision.NewFrame(32, 16)
+	for y := 4; y < 8; y++ {
+		for x := 12; x < 16; x++ {
+			f.Set(x, y, 255)
+		}
+	}
+	var counts []int
+	for k := 0; k < 4; k++ { // steady state across a few frames
+		counts = r.frame(t, f)
+	}
+	blob := r.app.CellIndex(3, 1)
+	if counts[blob] == 0 {
+		t.Fatal("blob cell not salient")
+	}
+	for c, v := range counts {
+		if c != blob && v > counts[blob] {
+			t.Fatalf("cell %d (%d) more salient than the blob cell (%d)", c, v, counts[blob])
+		}
+	}
+}
+
+func TestUniformFieldSuppressed(t *testing.T) {
+	// Full-field brightness has contrast only at the borders; interior
+	// cells are suppressed by their surround. Compare an interior cell's
+	// response against the isolated-blob case.
+	rBlob := newRunner(t, 32, 16)
+	blob := vision.NewFrame(32, 16)
+	for y := 4; y < 8; y++ {
+		for x := 12; x < 16; x++ {
+			blob.Set(x, y, 255)
+		}
+	}
+	rFull := newRunner(t, 32, 16)
+	full := vision.NewFrame(32, 16)
+	for i := range full.Pix {
+		full.Pix[i] = 255
+	}
+	var blobCounts, fullCounts []int
+	for k := 0; k < 4; k++ {
+		blobCounts = rBlob.frame(t, blob)
+		fullCounts = rFull.frame(t, full)
+	}
+	cell := rBlob.app.CellIndex(3, 1)
+	if fullCounts[cell] >= blobCounts[cell] {
+		t.Fatalf("interior cell: uniform field %d ≥ isolated blob %d (surround suppression failed)",
+			fullCounts[cell], blobCounts[cell])
+	}
+}
+
+func TestMotionPopOut(t *testing.T) {
+	// Two identical blobs; one moves. After the delay line fills, the
+	// moving blob's cells should accumulate more saliency than the static
+	// one's.
+	r := newRunner(t, 48, 16)
+	mk := func(mx int) *vision.Frame {
+		f := vision.NewFrame(48, 16)
+		for y := 4; y < 8; y++ {
+			for x := 4; x < 8; x++ { // static blob at cell (1,1)
+				f.Set(x, y, 200)
+			}
+			for x := mx; x < mx+4; x++ { // moving blob
+				f.Set(x, y, 200)
+			}
+		}
+		return f
+	}
+	staticTotal, movingTotal := 0, 0
+	positions := []int{24, 28, 32, 36, 40, 24, 28, 32}
+	for k, mx := range positions {
+		counts := r.frame(t, mk(mx))
+		if k < 2 {
+			continue // let the delay line fill
+		}
+		staticTotal += counts[r.app.CellIndex(1, 1)]
+		for cx := 5; cx <= 11; cx++ {
+			movingTotal += counts[r.app.CellIndex(cx, 1)]
+		}
+	}
+	if movingTotal <= staticTotal {
+		t.Fatalf("moving region saliency %d not above static region %d", movingTotal, staticTotal)
+	}
+}
+
+func TestAppearanceTransient(t *testing.T) {
+	// A blob that appears mid-sequence triggers a temporal-change burst:
+	// the appearance frame outranks the steady-state frames that follow.
+	r := newRunner(t, 32, 16)
+	blank := vision.NewFrame(32, 16)
+	blob := vision.NewFrame(32, 16)
+	for y := 8; y < 12; y++ {
+		for x := 8; x < 12; x++ {
+			blob.Set(x, y, 255)
+		}
+	}
+	cell := r.app.CellIndex(2, 2)
+	r.frame(t, blank)
+	r.frame(t, blank)
+	onset := r.frame(t, blob)[cell]
+	r.frame(t, blob)
+	r.frame(t, blob)
+	steady := r.frame(t, blob)[cell]
+	if onset <= steady {
+		t.Fatalf("appearance burst %d not above steady state %d", onset, steady)
+	}
+}
+
+func TestNetworkSizeReported(t *testing.T) {
+	app, err := Build(Params{ImgW: 32, ImgH: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Net.NumCores() == 0 || app.Net.NumNeurons() == 0 {
+		t.Fatal("empty network")
+	}
+	// Multi-stage structure: pooling + fanout + delay + contrast + change
+	// + combine must exceed one core even for a small image.
+	if app.Net.NumCores() < 6 {
+		t.Fatalf("only %d cores; stages missing?", app.Net.NumCores())
+	}
+}

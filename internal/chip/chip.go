@@ -1,0 +1,296 @@
+// Package chip is the silicon expression of the neurosynaptic kernel: a
+// functional model of the TrueNorth processor (Section III-C) — a 2D array
+// of neurosynaptic cores interconnected by an event-driven mesh
+// network-on-chip, extendable across chip boundaries through merge/split
+// blocks so that chips tile into boards exactly like cores tile into chips.
+//
+// The model is tick-accurate and canonical: it is the single-threaded
+// reference against which the parallel Compass engine is verified
+// spike-for-spike (the paper's one-to-one equivalence methodology,
+// Section VI-A).
+package chip
+
+import (
+	"fmt"
+
+	"truenorth/internal/core"
+	"truenorth/internal/router"
+	"truenorth/internal/sim"
+)
+
+// TrueNorth physical constants.
+const (
+	// GridW and GridH are the core-array dimensions of one TrueNorth chip.
+	GridW = 64
+	GridH = 64
+	// CoresPerChip is 4,096.
+	CoresPerChip = GridW * GridH
+	// NeuronsPerChip is 1 million (4,096 cores × 256 neurons).
+	NeuronsPerChip = CoresPerChip * core.NeuronsPerCore
+	// SynapsesPerChip is 256 million programmable synapses.
+	SynapsesPerChip = CoresPerChip * core.AxonsPerCore * core.NeuronsPerCore
+	// AreaCM2 is the die area (cm²), used for power-density figures.
+	AreaCM2 = 4.3
+	// Transistors is the transistor count, for documentation parity.
+	Transistors = 5_400_000_000
+)
+
+// TrueNorthMesh is the routing substrate of a single chip.
+func TrueNorthMesh() router.Mesh {
+	return router.Mesh{W: GridW, H: GridH, TileW: GridW, TileH: GridH}
+}
+
+// Model is a functional TrueNorth chip (or multi-chip board: any mesh whose
+// tiles are chips). It implements sim.Engine.
+type Model struct {
+	mesh    router.Mesh
+	cores   []*core.Core // row-major, nil = absent
+	tick    uint64
+	outputs []sim.OutputSpike
+	noc     sim.NoCStats
+	dead    map[router.Point]bool
+	anyDead bool
+	// pending holds externally injected spikes scheduled beyond the
+	// 15-tick axonal delay ring, keyed by arrival tick. Hardware streams
+	// inputs through the chip's I/O ports tick by tick; this queue models
+	// the off-chip transduction buffer feeding those ports.
+	pending map[uint64][]pendingInj
+}
+
+// pendingInj is one queued external spike.
+type pendingInj struct {
+	core int32
+	axon uint8
+}
+
+// New builds a model over mesh; configs is row-major (index y*W + x), and a
+// nil entry leaves that core slot unpopulated. configs may be shorter than
+// the grid; missing entries are unpopulated.
+func New(mesh router.Mesh, configs []*core.Config) (*Model, error) {
+	if mesh.W <= 0 || mesh.H <= 0 {
+		return nil, fmt.Errorf("chip: invalid mesh %dx%d", mesh.W, mesh.H)
+	}
+	if n := mesh.W * mesh.H; len(configs) > n {
+		return nil, fmt.Errorf("chip: %d configs for %d core slots", len(configs), n)
+	}
+	m := &Model{
+		mesh:    mesh,
+		cores:   make([]*core.Core, mesh.W*mesh.H),
+		dead:    make(map[router.Point]bool),
+		pending: make(map[uint64][]pendingInj),
+	}
+	for i, cfg := range configs {
+		if cfg == nil {
+			continue
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("chip: core %d (%d,%d): %w", i, i%mesh.W, i/mesh.W, err)
+		}
+		m.cores[i] = core.New(cfg)
+	}
+	return m, nil
+}
+
+// NewSingleChip builds a model of one 64×64 TrueNorth chip.
+func NewSingleChip(configs []*core.Config) (*Model, error) {
+	return New(TrueNorthMesh(), configs)
+}
+
+// Mesh implements sim.Engine.
+func (m *Model) Mesh() router.Mesh { return m.mesh }
+
+// Tick implements sim.Engine.
+func (m *Model) Tick() uint64 { return m.tick }
+
+// Core implements sim.Engine.
+func (m *Model) Core(x, y int) *core.Core {
+	if x < 0 || x >= m.mesh.W || y < 0 || y >= m.mesh.H {
+		return nil
+	}
+	return m.cores[y*m.mesh.W+x]
+}
+
+// Inject implements sim.Engine. Spikes within the 15-tick axonal delay
+// horizon go straight into the target core's delay ring; later arrivals are
+// queued and delivered when their tick begins.
+func (m *Model) Inject(x, y, axon, delay int) {
+	c := m.Core(x, y)
+	if c == nil || axon < 0 || axon >= core.AxonsPerCore || delay < 0 {
+		m.noc.Dropped++
+		return
+	}
+	at := m.tick + uint64(delay)
+	if delay <= core.MaxDelay {
+		c.Deliver(axon, at)
+		return
+	}
+	m.pending[at] = append(m.pending[at], pendingInj{core: int32(y*m.mesh.W + x), axon: uint8(axon)})
+}
+
+// DisableCore marks the core at p as failed: it stops computing and the
+// mesh routes packets around it. Packets addressed to it are dropped.
+func (m *Model) DisableCore(x, y int) {
+	p := router.Point{X: x, Y: y}
+	if !m.mesh.Contains(p) {
+		return
+	}
+	m.dead[p] = true
+	m.anyDead = true
+	if c := m.cores[y*m.mesh.W+x]; c != nil {
+		c.Disabled = true
+	}
+}
+
+// EnableCore reverses DisableCore.
+func (m *Model) EnableCore(x, y int) {
+	p := router.Point{X: x, Y: y}
+	delete(m.dead, p)
+	m.anyDead = len(m.dead) > 0
+	if c := m.Core(x, y); c != nil {
+		c.Disabled = false
+	}
+}
+
+// deadFunc returns the router.DeadFunc for the current fault set, or nil.
+func (m *Model) deadFunc() router.DeadFunc {
+	if !m.anyDead {
+		return nil
+	}
+	return func(p router.Point) bool { return m.dead[p] }
+}
+
+// Step implements sim.Engine: one pass of the kernel over every core, with
+// emitted spikes routed through the mesh as they occur. Axonal delays ≥ 1
+// guarantee no spike emitted this tick can be integrated this tick, so the
+// core visitation order cannot affect results.
+func (m *Model) Step() {
+	tick := m.tick
+	if inj, ok := m.pending[tick]; ok {
+		for _, p := range inj {
+			m.cores[p.core].Deliver(int(p.axon), tick)
+		}
+		delete(m.pending, tick)
+	}
+	dead := m.deadFunc()
+	for y := 0; y < m.mesh.H; y++ {
+		for x := 0; x < m.mesh.W; x++ {
+			c := m.cores[y*m.mesh.W+x]
+			if c == nil {
+				continue
+			}
+			src := router.Point{X: x, Y: y}
+			c.Step(tick, func(_ int, t core.Target) {
+				m.route(src, t, tick, dead)
+			})
+		}
+	}
+	m.tick++
+}
+
+// route performs the Network phase for one spike.
+func (m *Model) route(src router.Point, t core.Target, tick uint64, dead router.DeadFunc) {
+	if t.Output {
+		m.outputs = append(m.outputs, sim.OutputSpike{Tick: tick, ID: t.OutputID})
+		return
+	}
+	dst := src.Add(int(t.DX), int(t.DY))
+	if !m.mesh.Contains(dst) || m.cores[dst.Y*m.mesh.W+dst.X] == nil {
+		m.noc.Dropped++
+		return
+	}
+	var r router.Route
+	if dead == nil {
+		r = m.mesh.DOR(src, dst)
+	} else {
+		r = m.mesh.RouteAvoiding(src, dst, dead)
+	}
+	if !r.OK {
+		m.noc.Dropped++
+		return
+	}
+	m.noc.RoutedSpikes++
+	m.noc.Hops += uint64(r.Hops)
+	m.noc.Crossings += uint64(r.Crossings)
+	if r.Detoured {
+		m.noc.Detours++
+	}
+	m.cores[dst.Y*m.mesh.W+dst.X].Deliver(int(t.Axon), tick+uint64(t.Delay))
+}
+
+// Run implements sim.Engine.
+func (m *Model) Run(n int) {
+	for i := 0; i < n; i++ {
+		m.Step()
+	}
+}
+
+// DrainOutputs implements sim.Engine.
+func (m *Model) DrainOutputs() []sim.OutputSpike {
+	out := m.outputs
+	m.outputs = nil
+	return out
+}
+
+// Counters implements sim.Engine.
+func (m *Model) Counters() core.Counters {
+	var total core.Counters
+	for _, c := range m.cores {
+		if c != nil {
+			total.Add(c.Cnt)
+		}
+	}
+	return total
+}
+
+// NoC implements sim.Engine.
+func (m *Model) NoC() sim.NoCStats { return m.noc }
+
+// SetNoC restores aggregate communication statistics (checkpoint resume).
+func (m *Model) SetNoC(s sim.NoCStats) { m.noc = s }
+
+// Cores exposes the row-major core array (nil entries are unpopulated) for
+// tooling such as checkpointing; callers must not mutate cores while the
+// engine is stepping.
+func (m *Model) Cores() []*core.Core { return m.cores }
+
+// SetClock restores the tick counter (checkpoint resume) and rebuilds the
+// fault set from the cores' Disabled flags.
+func (m *Model) SetClock(tick uint64) {
+	m.tick = tick
+	m.dead = make(map[router.Point]bool)
+	for i, c := range m.cores {
+		if c != nil && c.Disabled {
+			m.dead[router.Point{X: i % m.mesh.W, Y: i / m.mesh.W}] = true
+		}
+	}
+	m.anyDead = len(m.dead) > 0
+}
+
+// PopulatedCores returns the number of non-nil core slots.
+func (m *Model) PopulatedCores() int {
+	n := 0
+	for _, c := range m.cores {
+		if c != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset restores all cores to their initial state and zeroes the clock,
+// outputs, and (optionally) counters.
+func (m *Model) Reset(clearCounters bool) {
+	for _, c := range m.cores {
+		if c != nil {
+			c.Reset(clearCounters)
+		}
+	}
+	m.tick = 0
+	m.outputs = nil
+	m.pending = make(map[uint64][]pendingInj)
+	if clearCounters {
+		m.noc = sim.NoCStats{}
+	}
+}
+
+var _ sim.Engine = (*Model)(nil)

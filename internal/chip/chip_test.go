@@ -1,0 +1,342 @@
+package chip
+
+import (
+	"testing"
+
+	"truenorth/internal/core"
+	"truenorth/internal/neuron"
+	"truenorth/internal/router"
+	"truenorth/internal/sim"
+)
+
+// chain builds a W×1 mesh where core i relays axon 0 → neuron 0 → core i+1
+// axon 0; the last core targets an external output with id 7.
+func chain(t *testing.T, w int, delay uint8) *Model {
+	t.Helper()
+	configs := make([]*core.Config, w)
+	for i := 0; i < w; i++ {
+		cfg := core.InertConfig()
+		cfg.Synapses[0].Set(0)
+		cfg.Neurons[0] = neuron.Identity()
+		if i == w-1 {
+			cfg.Targets[0] = core.Target{Valid: true, Output: true, OutputID: 7}
+		} else {
+			cfg.Targets[0] = core.Target{Valid: true, DX: 1, Axon: 0, Delay: delay}
+		}
+		configs[i] = cfg
+	}
+	m, err := New(router.Mesh{W: w, H: 1}, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestChainPropagation(t *testing.T) {
+	const w = 5
+	m := chain(t, w, 1)
+	m.Inject(0, 0, 0, 0)
+	m.Run(w + 1)
+	out := m.DrainOutputs()
+	if len(out) != 1 {
+		t.Fatalf("outputs = %v, want exactly 1", out)
+	}
+	// Injection integrates at tick 0; core i fires at tick i; output
+	// emitted when the last core fires at tick w-1.
+	if out[0].Tick != w-1 || out[0].ID != 7 {
+		t.Fatalf("output = %+v, want tick %d id 7", out[0], w-1)
+	}
+	if got := m.Counters().Spikes; got != w {
+		t.Fatalf("total spikes = %d, want %d", got, w)
+	}
+	// 4 routed spikes (last goes to output), each 1 hop.
+	noc := m.NoC()
+	if noc.RoutedSpikes != w-1 || noc.Hops != w-1 {
+		t.Fatalf("NoC = %+v, want %d routed and %d hops", noc, w-1, w-1)
+	}
+}
+
+func TestChainDelays(t *testing.T) {
+	const w = 4
+	for _, d := range []uint8{1, 3, 15} {
+		m := chain(t, w, d)
+		m.Inject(0, 0, 0, 0)
+		m.Run(w * 16)
+		out := m.DrainOutputs()
+		if len(out) != 1 {
+			t.Fatalf("delay %d: outputs = %v", d, out)
+		}
+		want := uint64(w-1) * uint64(d) / 1 // each link adds d; first fire at 0
+		// Core 0 fires at tick 0; core i fires at i*d.
+		want = uint64(w-1) * uint64(d)
+		if out[0].Tick != want {
+			t.Fatalf("delay %d: output tick %d, want %d", d, out[0].Tick, want)
+		}
+	}
+}
+
+func TestInjectOutOfRangeDropped(t *testing.T) {
+	m := chain(t, 2, 1)
+	m.Inject(5, 0, 0, 0)   // off mesh
+	m.Inject(0, 0, 300, 0) // bad axon
+	m.Inject(0, 0, -1, 0)  // bad axon
+	m.Inject(0, 0, 0, -1)  // bad delay
+	if got := m.NoC().Dropped; got != 4 {
+		t.Fatalf("Dropped = %d, want 4", got)
+	}
+	m.Run(4)
+	if got := m.Counters().Spikes; got != 0 {
+		t.Fatalf("bad injections caused %d spikes", got)
+	}
+}
+
+func TestOffMeshTargetDropped(t *testing.T) {
+	cfg := core.InertConfig()
+	cfg.Synapses[0].Set(0)
+	cfg.Neurons[0] = neuron.Identity()
+	cfg.Targets[0] = core.Target{Valid: true, DX: 10, Axon: 0, Delay: 1} // off a 2×1 mesh
+	m, err := New(router.Mesh{W: 2, H: 1}, []*core.Config{cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Inject(0, 0, 0, 0)
+	m.Run(2)
+	if got := m.NoC().Dropped; got != 1 {
+		t.Fatalf("Dropped = %d, want 1", got)
+	}
+}
+
+func TestFaultReroutingPreservesFunction(t *testing.T) {
+	// A 5×3 mesh; relay from (0,1) to (4,1) with the DOR path through
+	// (2,1). Disable (2,1): the spike must still arrive, with extra hops
+	// and a detour recorded.
+	mk := func() *Model {
+		configs := make([]*core.Config, 15)
+		src := core.InertConfig()
+		src.Synapses[0].Set(0)
+		src.Neurons[0] = neuron.Identity()
+		src.Targets[0] = core.Target{Valid: true, DX: 4, DY: 0, Axon: 0, Delay: 1}
+		configs[1*5+0] = src
+		dst := core.InertConfig()
+		dst.Synapses[0].Set(0)
+		dst.Neurons[0] = neuron.Identity()
+		dst.Targets[0] = core.Target{Valid: true, Output: true, OutputID: 1}
+		configs[1*5+4] = dst
+		// Populate the dead-candidate core so disabling exercises it.
+		configs[1*5+2] = core.InertConfig()
+		m, err := New(router.Mesh{W: 5, H: 3}, configs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	healthy := mk()
+	healthy.Inject(0, 1, 0, 0)
+	healthy.Run(4)
+	if out := healthy.DrainOutputs(); len(out) != 1 {
+		t.Fatalf("healthy mesh: outputs = %v", out)
+	}
+	baseHops := healthy.NoC().Hops
+
+	faulty := mk()
+	faulty.DisableCore(2, 1)
+	faulty.Inject(0, 1, 0, 0)
+	faulty.Run(4)
+	if out := faulty.DrainOutputs(); len(out) != 1 {
+		t.Fatalf("faulty mesh: spike lost, outputs = %v", out)
+	}
+	noc := faulty.NoC()
+	if noc.Detours != 1 {
+		t.Fatalf("Detours = %d, want 1", noc.Detours)
+	}
+	if noc.Hops <= baseHops {
+		t.Fatalf("detour hops %d not greater than DOR hops %d", noc.Hops, baseHops)
+	}
+}
+
+func TestSpikeToDeadCoreDropped(t *testing.T) {
+	m := chain(t, 3, 1)
+	m.DisableCore(1, 0)
+	m.Inject(0, 0, 0, 0)
+	m.Run(5)
+	if out := m.DrainOutputs(); len(out) != 0 {
+		t.Fatalf("spike crossed a dead core: %v", out)
+	}
+	if got := m.NoC().Dropped; got != 1 {
+		t.Fatalf("Dropped = %d, want 1", got)
+	}
+}
+
+func TestEnableCoreRestores(t *testing.T) {
+	m := chain(t, 3, 1)
+	m.DisableCore(1, 0)
+	m.EnableCore(1, 0)
+	m.Inject(0, 0, 0, 0)
+	m.Run(5)
+	if out := m.DrainOutputs(); len(out) != 1 {
+		t.Fatalf("re-enabled core did not relay: %v", out)
+	}
+}
+
+func TestMultiChipCrossingCounted(t *testing.T) {
+	// Two 2×2 "chips" side by side (mesh 4×2, tile 2×2); a relay crossing
+	// the boundary must count one merge/split crossing.
+	configs := make([]*core.Config, 8)
+	src := core.InertConfig()
+	src.Synapses[0].Set(0)
+	src.Neurons[0] = neuron.Identity()
+	src.Targets[0] = core.Target{Valid: true, DX: 2, Axon: 0, Delay: 1}
+	configs[0] = src
+	dst := core.InertConfig()
+	dst.Synapses[0].Set(0)
+	dst.Neurons[0] = neuron.Identity()
+	dst.Targets[0] = core.Target{Valid: true, Output: true, OutputID: 0}
+	configs[2] = dst
+	m, err := New(router.Mesh{W: 4, H: 2, TileW: 2, TileH: 2}, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Inject(0, 0, 0, 0)
+	m.Run(3)
+	if out := m.DrainOutputs(); len(out) != 1 {
+		t.Fatalf("outputs = %v", out)
+	}
+	if got := m.NoC().Crossings; got != 1 {
+		t.Fatalf("Crossings = %d, want 1", got)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() ([]sim.OutputSpike, core.Counters, sim.NoCStats) {
+		m := chain(t, 8, 2)
+		for i := 0; i < 50; i++ {
+			m.Inject(0, 0, 0, i)
+		}
+		m.Run(100)
+		return m.DrainOutputs(), m.Counters(), m.NoC()
+	}
+	o1, c1, n1 := run()
+	o2, c2, n2 := run()
+	if len(o1) != len(o2) || c1 != c2 || n1 != n2 {
+		t.Fatalf("two identical runs disagree: %v/%v %v/%v %v/%v", len(o1), len(o2), c1, c2, n1, n2)
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("output %d differs: %+v vs %+v", i, o1[i], o2[i])
+		}
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	m := chain(t, 4, 1)
+	m.Inject(0, 0, 0, 0)
+	m.Run(10)
+	m.DrainOutputs()
+	m.Reset(true)
+	if m.Tick() != 0 {
+		t.Fatal("Reset did not zero the clock")
+	}
+	if m.Counters() != (core.Counters{}) {
+		t.Fatal("Reset(true) left counters")
+	}
+	m.Run(10)
+	if out := m.DrainOutputs(); len(out) != 0 {
+		t.Fatalf("state leaked across Reset: %v", out)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(router.Mesh{W: 0, H: 4}, nil); err == nil {
+		t.Error("zero-width mesh accepted")
+	}
+	if _, err := New(router.Mesh{W: 1, H: 1}, make([]*core.Config, 2)); err == nil {
+		t.Error("too many configs accepted")
+	}
+	bad := core.InertConfig()
+	bad.AxonType[0] = 9
+	if _, err := New(router.Mesh{W: 1, H: 1}, []*core.Config{bad}); err == nil {
+		t.Error("invalid core config accepted")
+	}
+}
+
+func TestPopulatedCores(t *testing.T) {
+	configs := make([]*core.Config, 10)
+	configs[0] = core.InertConfig()
+	configs[7] = core.InertConfig()
+	m, err := New(router.Mesh{W: 5, H: 2}, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.PopulatedCores(); got != 2 {
+		t.Fatalf("PopulatedCores = %d, want 2", got)
+	}
+}
+
+func TestTrueNorthConstants(t *testing.T) {
+	if CoresPerChip != 4096 {
+		t.Errorf("CoresPerChip = %d, want 4096", CoresPerChip)
+	}
+	if NeuronsPerChip != 1_048_576 {
+		t.Errorf("NeuronsPerChip = %d, want 2^20 (the paper's '1 million')", NeuronsPerChip)
+	}
+	if SynapsesPerChip != 268_435_456 {
+		t.Errorf("SynapsesPerChip = %d, want 2^28 (the paper's '256 million')", SynapsesPerChip)
+	}
+}
+
+func TestFullChipSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 4,096-core chip in -short mode")
+	}
+	// A full 64×64 chip of relays arranged in a long snake; one injected
+	// spike travels core to core.
+	configs := make([]*core.Config, CoresPerChip)
+	for i := range configs {
+		cfg := core.InertConfig()
+		cfg.Synapses[0].Set(0)
+		cfg.Neurons[0] = neuron.Identity()
+		x, y := i%GridW, i/GridW
+		var tgt core.Target
+		switch {
+		case y%2 == 0 && x < GridW-1:
+			tgt = core.Target{Valid: true, DX: 1, Axon: 0, Delay: 1}
+		case y%2 == 1 && x > 0:
+			tgt = core.Target{Valid: true, DX: -1, Axon: 0, Delay: 1}
+		case y < GridH-1:
+			tgt = core.Target{Valid: true, DY: 1, Axon: 0, Delay: 1}
+		default:
+			tgt = core.Target{Valid: true, Output: true, OutputID: 42}
+		}
+		cfg.Targets[0] = tgt
+		configs[i] = cfg
+	}
+	m, err := NewSingleChip(configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Inject(0, 0, 0, 0)
+	m.Run(CoresPerChip + 1)
+	out := m.DrainOutputs()
+	if len(out) != 1 || out[0].ID != 42 {
+		t.Fatalf("snake output = %v, want one spike with id 42", out)
+	}
+	if got := m.Counters().Spikes; got != CoresPerChip {
+		t.Fatalf("spikes = %d, want %d (one per core)", got, CoresPerChip)
+	}
+}
+
+func BenchmarkChipStepQuiescent(b *testing.B) {
+	configs := make([]*core.Config, CoresPerChip)
+	for i := range configs {
+		configs[i] = core.InertConfig()
+	}
+	m, err := NewSingleChip(configs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step()
+	}
+}

@@ -1,0 +1,105 @@
+package chip_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"truenorth/internal/chip"
+	"truenorth/internal/compass"
+	"truenorth/internal/core"
+	"truenorth/internal/netgen"
+	"truenorth/internal/router"
+	"truenorth/internal/spikeio"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden spike stream")
+
+// goldenNet is the pinned regression network: a stochastic recurrent net
+// with a sample of neurons routed to outputs. Any change to neuron, core,
+// delay, routing, or PRNG semantics shows up as a spike diff against the
+// recorded stream — the paper's regression methodology frozen in the repo.
+func goldenNet(t *testing.T) (router.Mesh, []*core.Config) {
+	t.Helper()
+	mesh := router.Mesh{W: 4, H: 4, TileW: 2, TileH: 4}
+	configs, err := netgen.Build(netgen.Params{
+		Grid: mesh, RateHz: 80, SynPerNeuron: 77, Seed: 20140613, Stochastic: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range configs {
+		for j := 0; j < core.NeuronsPerCore; j += 32 {
+			configs[ci].Targets[j] = core.Target{Valid: true, Output: true, OutputID: int32(ci<<8 | j)}
+		}
+	}
+	return mesh, configs
+}
+
+const goldenTicks = 150
+
+func TestGoldenSpikeStream(t *testing.T) {
+	mesh, configs := goldenNet(t)
+	eng, err := chip.New(mesh, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(goldenTicks)
+	got := spikeio.FromOutputs(eng.DrainOutputs())
+	path := filepath.Join("testdata", "golden_spikes.txt")
+	if *updateGolden {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := spikeio.Write(f, got); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden stream rewritten: %d events", len(got))
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("golden stream missing (run with -update-golden): %v", err)
+	}
+	defer f.Close()
+	want, err := spikeio.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("golden network silent")
+	}
+	if !spikeio.Equal(got, want) {
+		t.Fatalf("spike stream diverged from golden: %d events vs %d recorded — simulator semantics changed", len(got), len(want))
+	}
+}
+
+func TestGoldenStreamCompassAgrees(t *testing.T) {
+	// The same golden network on the parallel engine reproduces the
+	// recorded stream too — pinning the equivalence against the file, not
+	// just against the sibling engine.
+	mesh, configs := goldenNet(t)
+	eng, err := compass.New(mesh, configs, compass.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(goldenTicks)
+	got := spikeio.FromOutputs(eng.DrainOutputs())
+	f, err := os.Open(filepath.Join("testdata", "golden_spikes.txt"))
+	if err != nil {
+		t.Skipf("golden stream missing: %v", err)
+	}
+	defer f.Close()
+	want, err := spikeio.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spikeio.Equal(got, want) {
+		t.Fatal("compass diverged from the recorded golden stream")
+	}
+}

@@ -1,0 +1,460 @@
+// Package compass is the software expression of the neurosynaptic kernel: a
+// multi-worker, semi-synchronous parallel simulator of networks of
+// neurosynaptic cores, modeled on the Compass simulator of Preissl et al.
+// (SC 2012) that the paper benchmarks against TrueNorth.
+//
+// Compass partitions cores across parallel workers (the paper: MPI processes
+// × OpenMP threads; here: goroutines), runs the kernel's three phases per
+// tick — Synapse (crossbar propagation + integration), Neuron (leak,
+// threshold, fire), Network (spike delivery) — aggregates spikes between
+// worker pairs into a single message, uses meticulous load balancing, and
+// synchronizes with two barriers per tick.
+//
+// The engine is deterministic and spike-for-spike identical to the silicon
+// model in internal/chip: both drive the same core.Core state machine, walk
+// events in the same order, and deliver with the same axonal-delay
+// semantics. That is the paper's co-design property — "any model on the
+// software simulator runs unchanged on the hardware" — and the equivalence
+// test suite verifies it.
+package compass
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"truenorth/internal/core"
+	"truenorth/internal/router"
+	"truenorth/internal/sim"
+)
+
+// delivery is one spike event in flight between workers: the Network-phase
+// payload after aggregation.
+type delivery struct {
+	core int32  // destination core, global row-major index
+	tick uint64 // absolute integration tick
+	axon uint8
+}
+
+// Sim is the parallel Compass engine. It implements sim.Engine.
+type Sim struct {
+	mesh    router.Mesh
+	cores   []*core.Core // row-major, nil = absent
+	tick    uint64
+	dead    map[router.Point]bool
+	anyDead bool
+
+	workers int
+	// owned[w] lists the core indices owned by worker w (ascending, and
+	// worker ranges are in ascending global order, so concatenating
+	// per-worker results preserves the canonical row-major order).
+	owned [][]int32
+	// owner maps a core index to its worker.
+	owner []int32
+	// outbox[src][dst] accumulates deliveries produced by worker src for
+	// cores owned by worker dst during the compute phase.
+	outbox [][][]delivery
+	// perWorkerOut collects output spikes per worker during a tick.
+	perWorkerOut [][]sim.OutputSpike
+	// perWorkerNoC collects NoC stats per worker.
+	perWorkerNoC []sim.NoCStats
+
+	outputs []sim.OutputSpike
+	// pending queues external injections beyond the 15-tick delay ring,
+	// keyed by arrival tick (same semantics as chip.Model).
+	pending map[uint64][]delivery
+	// aggregate selects pairwise message aggregation (default true); see
+	// WithAggregation.
+	aggregate bool
+}
+
+// Option configures a Sim.
+type Option func(*Sim)
+
+// WithWorkers sets the worker (thread) count; the default is
+// runtime.GOMAXPROCS(0). Values below 1 are clamped to 1.
+func WithWorkers(n int) Option {
+	return func(s *Sim) {
+		if n < 1 {
+			n = 1
+		}
+		s.workers = n
+	}
+}
+
+// WithAggregation toggles pairwise spike aggregation (default on). With
+// aggregation off, every spike is sent through a shared channel one
+// message at a time — the naive scheme Compass improves on ("Compass
+// aggregates spikes between pairs of processes into a single MPI
+// message"). Results are identical; only the communication cost differs.
+// BenchmarkAblationAggregation quantifies the gap.
+func WithAggregation(on bool) Option {
+	return func(s *Sim) { s.aggregate = on }
+}
+
+// New builds a Compass simulation over mesh with row-major configs (nil
+// entries are unpopulated), exactly as chip.New.
+func New(mesh router.Mesh, configs []*core.Config, opts ...Option) (*Sim, error) {
+	if mesh.W <= 0 || mesh.H <= 0 {
+		return nil, fmt.Errorf("compass: invalid mesh %dx%d", mesh.W, mesh.H)
+	}
+	if n := mesh.W * mesh.H; len(configs) > n {
+		return nil, fmt.Errorf("compass: %d configs for %d core slots", len(configs), n)
+	}
+	s := &Sim{
+		mesh:      mesh,
+		cores:     make([]*core.Core, mesh.W*mesh.H),
+		dead:      make(map[router.Point]bool),
+		workers:   runtime.GOMAXPROCS(0),
+		pending:   make(map[uint64][]delivery),
+		aggregate: true,
+	}
+	for i, cfg := range configs {
+		if cfg == nil {
+			continue
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("compass: core %d (%d,%d): %w", i, i%mesh.W, i/mesh.W, err)
+		}
+		s.cores[i] = core.New(cfg)
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	s.partition(s.staticWeights())
+	return s, nil
+}
+
+// staticWeights estimates per-core load from configured synapses — the
+// information available before any tick runs.
+func (s *Sim) staticWeights() []float64 {
+	w := make([]float64, len(s.cores))
+	for i, c := range s.cores {
+		if c != nil {
+			w[i] = 1 + float64(c.Cfg.ConfiguredSynapses())/256
+		}
+	}
+	return w
+}
+
+// partition assigns populated cores to workers as contiguous runs of
+// near-equal total weight ("meticulous load-balancing").
+func (s *Sim) partition(weight []float64) {
+	var populated []int32
+	var total float64
+	for i, c := range s.cores {
+		if c != nil {
+			populated = append(populated, int32(i))
+			total += weight[i]
+		}
+	}
+	if s.workers > len(populated) && len(populated) > 0 {
+		s.workers = len(populated)
+	}
+	if s.workers < 1 {
+		s.workers = 1
+	}
+	s.owned = make([][]int32, s.workers)
+	s.owner = make([]int32, len(s.cores))
+	for i := range s.owner {
+		s.owner[i] = -1
+	}
+	perWorker := total / float64(s.workers)
+	w, acc := 0, 0.0
+	for _, idx := range populated {
+		// Close the current worker's run once it reaches its share, but
+		// never leave later workers without cores.
+		if acc >= perWorker && w < s.workers-1 && len(s.owned[w]) > 0 {
+			w++
+			acc = 0
+		}
+		s.owned[w] = append(s.owned[w], idx)
+		s.owner[idx] = int32(w)
+		acc += weight[idx]
+	}
+	s.outbox = make([][][]delivery, s.workers)
+	for i := range s.outbox {
+		s.outbox[i] = make([][]delivery, s.workers)
+	}
+	s.perWorkerOut = make([][]sim.OutputSpike, s.workers)
+	s.perWorkerNoC = make([]sim.NoCStats, s.workers)
+}
+
+// Rebalance repartitions cores across workers using the measured per-core
+// synaptic-event counters accumulated so far. Pending (in-flight) delay-ring
+// state stays with each core, so rebalancing between ticks is transparent.
+func (s *Sim) Rebalance() {
+	w := make([]float64, len(s.cores))
+	for i, c := range s.cores {
+		if c != nil {
+			w[i] = 1 + float64(c.Cnt.SynEvents)
+		}
+	}
+	noc := s.NoC() // preserve aggregate stats across the repartition
+	s.partition(w)
+	s.perWorkerNoC[0] = noc
+}
+
+// Workers returns the active worker count.
+func (s *Sim) Workers() int { return s.workers }
+
+// Mesh implements sim.Engine.
+func (s *Sim) Mesh() router.Mesh { return s.mesh }
+
+// Tick implements sim.Engine.
+func (s *Sim) Tick() uint64 { return s.tick }
+
+// Core implements sim.Engine.
+func (s *Sim) Core(x, y int) *core.Core {
+	if x < 0 || x >= s.mesh.W || y < 0 || y >= s.mesh.H {
+		return nil
+	}
+	return s.cores[y*s.mesh.W+x]
+}
+
+// Inject implements sim.Engine. It must not be called concurrently with
+// Step.
+func (s *Sim) Inject(x, y, axon, delay int) {
+	c := s.Core(x, y)
+	if c == nil || axon < 0 || axon >= core.AxonsPerCore || delay < 0 {
+		s.perWorkerNoC[0].Dropped++
+		return
+	}
+	at := s.tick + uint64(delay)
+	if delay <= core.MaxDelay {
+		c.Deliver(axon, at)
+		return
+	}
+	s.pending[at] = append(s.pending[at], delivery{core: int32(y*s.mesh.W + x), tick: at, axon: uint8(axon)})
+}
+
+// DisableCore marks a core failed, as chip.Model.DisableCore.
+func (s *Sim) DisableCore(x, y int) {
+	p := router.Point{X: x, Y: y}
+	if !s.mesh.Contains(p) {
+		return
+	}
+	s.dead[p] = true
+	s.anyDead = true
+	if c := s.cores[y*s.mesh.W+x]; c != nil {
+		c.Disabled = true
+	}
+}
+
+// EnableCore reverses DisableCore.
+func (s *Sim) EnableCore(x, y int) {
+	delete(s.dead, router.Point{X: x, Y: y})
+	s.anyDead = len(s.dead) > 0
+	if c := s.Core(x, y); c != nil {
+		c.Disabled = false
+	}
+}
+
+// Step implements sim.Engine: one semi-synchronous pass. Compute phase:
+// workers step their cores in parallel, performing the Synapse and Neuron
+// phases, routing spikes, and aggregating cross-worker deliveries into
+// per-pair messages. Barrier. Delivery phase: each worker drains the
+// messages addressed to it into its cores' axonal delay rings. Barrier.
+func (s *Sim) Step() {
+	tick := s.tick
+	if inj, ok := s.pending[tick]; ok {
+		for _, d := range inj {
+			s.cores[d.core].Deliver(int(d.axon), d.tick)
+		}
+		delete(s.pending, tick)
+	}
+	var dead router.DeadFunc
+	if s.anyDead {
+		dead = func(p router.Point) bool { return s.dead[p] }
+	}
+
+	// Ablation path: without aggregation, spikes travel one message at a
+	// time through a shared channel to a single collector.
+	var naive []delivery
+	var naiveCh chan delivery
+	var collectorDone chan struct{}
+	if !s.aggregate {
+		naiveCh = make(chan delivery, 1024)
+		collectorDone = make(chan struct{})
+		go func() {
+			for d := range naiveCh {
+				naive = append(naive, d)
+			}
+			close(collectorDone)
+		}()
+	}
+
+	// Compute phase (kernel lines 3-19 per core).
+	var wg sync.WaitGroup
+	for w := 0; w < s.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			noc := &s.perWorkerNoC[w]
+			out := s.outbox[w]
+			for _, idx := range s.owned[w] {
+				c := s.cores[idx]
+				src := router.Point{X: int(idx) % s.mesh.W, Y: int(idx) / s.mesh.W}
+				c.Step(tick, func(_ int, t core.Target) {
+					if t.Output {
+						s.perWorkerOut[w] = append(s.perWorkerOut[w], sim.OutputSpike{Tick: tick, ID: t.OutputID})
+						return
+					}
+					dst := src.Add(int(t.DX), int(t.DY))
+					if !s.mesh.Contains(dst) {
+						noc.Dropped++
+						return
+					}
+					dstIdx := int32(dst.Y*s.mesh.W + dst.X)
+					dw := s.owner[dstIdx]
+					if dw < 0 {
+						noc.Dropped++ // spike to an unpopulated core slot
+						return
+					}
+					var r router.Route
+					if dead == nil {
+						r = s.mesh.DOR(src, dst)
+					} else {
+						r = s.mesh.RouteAvoiding(src, dst, dead)
+					}
+					if !r.OK {
+						noc.Dropped++
+						return
+					}
+					noc.RoutedSpikes++
+					noc.Hops += uint64(r.Hops)
+					noc.Crossings += uint64(r.Crossings)
+					if r.Detoured {
+						noc.Detours++
+					}
+					d := delivery{core: dstIdx, tick: tick + uint64(t.Delay), axon: t.Axon}
+					if s.aggregate {
+						out[dw] = append(out[dw], d)
+					} else {
+						naiveCh <- d
+					}
+				})
+			}
+		}(w)
+	}
+	wg.Wait() // barrier 1: all computation and message aggregation complete
+
+	// Delivery phase (kernel line 15 completion + line 21 barrier).
+	if s.aggregate {
+		for w := 0; w < s.workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for src := 0; src < s.workers; src++ {
+					msgs := s.outbox[src][w]
+					for _, d := range msgs {
+						s.cores[d.core].Deliver(int(d.axon), d.tick)
+					}
+					s.outbox[src][w] = msgs[:0]
+				}
+			}(w)
+		}
+		wg.Wait() // barrier 2: all deliveries landed; safe to advance time
+	} else {
+		close(naiveCh)
+		<-collectorDone
+		for _, d := range naive {
+			s.cores[d.core].Deliver(int(d.axon), d.tick)
+		}
+	}
+
+	// Merge per-worker outputs in worker order; since workers own ascending
+	// contiguous runs, this preserves the canonical row-major spike order.
+	for w := 0; w < s.workers; w++ {
+		if len(s.perWorkerOut[w]) > 0 {
+			s.outputs = append(s.outputs, s.perWorkerOut[w]...)
+			s.perWorkerOut[w] = s.perWorkerOut[w][:0]
+		}
+	}
+	s.tick++
+}
+
+// Run implements sim.Engine.
+func (s *Sim) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+// DrainOutputs implements sim.Engine.
+func (s *Sim) DrainOutputs() []sim.OutputSpike {
+	out := s.outputs
+	s.outputs = nil
+	return out
+}
+
+// Counters implements sim.Engine.
+func (s *Sim) Counters() core.Counters {
+	var total core.Counters
+	for _, c := range s.cores {
+		if c != nil {
+			total.Add(c.Cnt)
+		}
+	}
+	return total
+}
+
+// NoC implements sim.Engine.
+func (s *Sim) NoC() sim.NoCStats {
+	var total sim.NoCStats
+	for i := range s.perWorkerNoC {
+		total.Add(s.perWorkerNoC[i])
+	}
+	return total
+}
+
+// SetNoC restores aggregate communication statistics (checkpoint resume):
+// the total is assigned to worker 0's ledger.
+func (s *Sim) SetNoC(n sim.NoCStats) {
+	for i := range s.perWorkerNoC {
+		s.perWorkerNoC[i] = sim.NoCStats{}
+	}
+	s.perWorkerNoC[0] = n
+}
+
+// Cores exposes the row-major core array (nil entries are unpopulated) for
+// tooling such as checkpointing; callers must not mutate cores while the
+// engine is stepping.
+func (s *Sim) Cores() []*core.Core { return s.cores }
+
+// SetClock restores the tick counter (checkpoint resume) and rebuilds the
+// fault set from the cores' Disabled flags.
+func (s *Sim) SetClock(tick uint64) {
+	s.tick = tick
+	s.dead = make(map[router.Point]bool)
+	for i, c := range s.cores {
+		if c != nil && c.Disabled {
+			s.dead[router.Point{X: i % s.mesh.W, Y: i / s.mesh.W}] = true
+		}
+	}
+	s.anyDead = len(s.dead) > 0
+}
+
+// LoadImbalance reports max/mean per-worker measured synaptic events, a
+// load-balance quality metric (1.0 is perfect).
+func (s *Sim) LoadImbalance() float64 {
+	loads := make([]float64, s.workers)
+	for w, idxs := range s.owned {
+		for _, idx := range idxs {
+			loads[w] += float64(s.cores[idx].Cnt.SynEvents)
+		}
+	}
+	sort.Float64s(loads)
+	var sum float64
+	for _, l := range loads {
+		sum += l
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := sum / float64(s.workers)
+	return loads[s.workers-1] / mean
+}
+
+var _ sim.Engine = (*Sim)(nil)

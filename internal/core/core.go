@@ -1,0 +1,443 @@
+// Package core implements the neurosynaptic core, the fundamental data
+// structure of the TrueNorth architecture and the Compass simulator
+// (Section III-A of the paper).
+//
+// A core integrates computation, communication, and memory: 256 input axons,
+// 256 output neurons, a 256×256 binary synaptic crossbar, a 16-slot axonal
+// delay buffer, and one hardware PRNG. Information flows from individually
+// addressable axons (rows), through active crossbar crosspoints, into the
+// membrane potentials of connected neurons (columns). Axons are driven by
+// spike events delivered over the network; neurons that cross threshold emit
+// a spike event toward exactly one target axon anywhere in the system.
+//
+// The Step method implements the per-tick Synapse and Neuron phases of the
+// blueprint kernel (Listing 1); the Network phase — delivering emitted
+// spikes — belongs to the engines in internal/chip and internal/compass,
+// which both operate on this same core type, making the two expressions
+// functionally one-to-one by construction.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"truenorth/internal/neuron"
+	"truenorth/internal/prng"
+)
+
+// Architectural constants of the neurosynaptic core.
+const (
+	// AxonsPerCore is the number of input axons (crossbar rows).
+	AxonsPerCore = 256
+	// NeuronsPerCore is the number of neurons (crossbar columns).
+	NeuronsPerCore = 256
+	// MaxDelay is the maximum programmable axonal delay in ticks.
+	MaxDelay = 15
+	// MinDelay is the minimum axonal delay: a spike emitted at tick t is
+	// integrated no earlier than tick t+1.
+	MinDelay = 1
+
+	// delaySlots is the axonal delay ring size (delays 1..15 need 16 slots).
+	delaySlots = MaxDelay + 1
+	// rowWords is the number of 64-bit words per crossbar row.
+	rowWords = NeuronsPerCore / 64
+)
+
+// RowMask is a 256-bit set over neuron (or axon) indices.
+type RowMask [rowWords]uint64
+
+// Set marks index i.
+func (m *RowMask) Set(i int) { m[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear unmarks index i.
+func (m *RowMask) Clear(i int) { m[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Get reports whether index i is marked.
+func (m *RowMask) Get(i int) bool { return m[i>>6]>>(uint(i)&63)&1 == 1 }
+
+// Count returns the number of marked indices.
+func (m *RowMask) Count() int {
+	n := 0
+	for _, w := range m {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether no index is marked.
+func (m *RowMask) Empty() bool {
+	var or uint64
+	for _, w := range m {
+		or |= w
+	}
+	return or == 0
+}
+
+// ForEach calls f for every marked index in ascending order. Ascending order
+// is a correctness requirement, not a convenience: stochastic neuron modes
+// consume PRNG draws per event, so every engine must walk events in the same
+// order to stay bit-equal.
+func (m *RowMask) ForEach(f func(i int)) {
+	for w := 0; w < rowWords; w++ {
+		word := m[w]
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			f(w<<6 + b)
+			word &= word - 1
+		}
+	}
+}
+
+// Target describes where a neuron's spikes go: either a relative core offset
+// and axon (the hardware packet contents: Δx, Δy, axon index, delivery
+// delay), or a named external output captured by the engine.
+type Target struct {
+	// Valid distinguishes configured targets from unused neurons.
+	Valid bool
+	// Output marks an off-system output sink; OutputID identifies it.
+	Output bool
+	// OutputID indexes the engine's output table when Output is set.
+	OutputID int32
+	// DX and DY are the relative core offsets (in cores) to the target.
+	DX, DY int16
+	// Axon is the target axon index on the destination core.
+	Axon uint8
+	// Delay is the axonal delay in ticks, MinDelay..MaxDelay.
+	Delay uint8
+}
+
+// Validate reports the first range violation in t, or nil.
+func (t Target) Validate() error {
+	if !t.Valid || t.Output {
+		return nil
+	}
+	if t.Delay < MinDelay || t.Delay > MaxDelay {
+		return fmt.Errorf("core: target delay %d out of range [%d,%d]", t.Delay, MinDelay, MaxDelay)
+	}
+	return nil
+}
+
+// Config is the complete programmable state of a core: the crossbar, axon
+// types, neuron parameters, spike targets, and PRNG seed. It corresponds to
+// what the Corelet toolchain loads into a physical core.
+type Config struct {
+	// Synapses holds one 256-bit row per axon; bit j of row i means axon i
+	// connects to neuron j.
+	Synapses [AxonsPerCore]RowMask
+	// AxonType assigns each axon one of the four types G_i; the type
+	// selects which per-neuron signed weight a synaptic event applies.
+	AxonType [AxonsPerCore]uint8
+	// Neurons holds the per-neuron programmable parameters.
+	Neurons [NeuronsPerCore]neuron.Params
+	// Targets holds each neuron's single spike destination.
+	Targets [NeuronsPerCore]Target
+	// InitV holds the programmed initial membrane potentials. Like the
+	// rest of the neuron state they live in the core SRAM and are loaded
+	// with the configuration; nonzero values desynchronize tonic neurons.
+	InitV [NeuronsPerCore]int32
+	// Seed seeds the core's PRNG.
+	Seed uint16
+}
+
+// Validate reports the first invalid field in the configuration, or nil.
+func (c *Config) Validate() error {
+	for i, g := range c.AxonType {
+		if g >= neuron.NumAxonTypes {
+			return fmt.Errorf("core: axon %d has type %d, want < %d", i, g, neuron.NumAxonTypes)
+		}
+	}
+	for j := range c.Neurons {
+		if err := c.Neurons[j].Validate(); err != nil {
+			return fmt.Errorf("core: neuron %d: %w", j, err)
+		}
+		if err := c.Targets[j].Validate(); err != nil {
+			return fmt.Errorf("core: neuron %d: %w", j, err)
+		}
+		if v := c.InitV[j]; v < neuron.VMin || v > neuron.VMax {
+			return fmt.Errorf("core: neuron %d: initial potential %d out of 20-bit signed range", j, v)
+		}
+	}
+	return nil
+}
+
+// Counters accumulates the event counts that drive both performance
+// characterization (SOPS) and the energy model. One SynEvent is the paper's
+// fundamental synaptic operation: a conditional weighted accumulate executed
+// because a spike arrived on an axon whose crossbar bit for that neuron is
+// set.
+type Counters struct {
+	// SynEvents counts synaptic operations (SOPS numerator).
+	SynEvents uint64
+	// NeuronUpdates counts per-neuron leak/threshold evaluations.
+	NeuronUpdates uint64
+	// Spikes counts neuron firings.
+	Spikes uint64
+	// AxonEvents counts spike deliveries into axons.
+	AxonEvents uint64
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	c.SynEvents += o.SynEvents
+	c.NeuronUpdates += o.NeuronUpdates
+	c.Spikes += o.Spikes
+	c.AxonEvents += o.AxonEvents
+}
+
+// Core is the runtime state of one neurosynaptic core.
+type Core struct {
+	// Cfg is the loaded configuration (shared, read-only during stepping).
+	Cfg *Config
+	// V holds the 256 membrane potentials.
+	V [NeuronsPerCore]int32
+	// RNG is the core's hardware PRNG.
+	RNG prng.LFSR
+	// Disabled marks a failed core: it consumes no events and emits no
+	// spikes; engines route traffic around it (Section III-C: "if a core
+	// fails, we disable it and route spike events around it").
+	Disabled bool
+	// Cnt accumulates this core's event counters.
+	Cnt Counters
+
+	// ring is the axonal delay buffer: ring[t & 15] holds the axons that
+	// receive a spike at tick t.
+	ring [delaySlots]RowMask
+	// hasLeak caches whether any neuron needs per-tick work even without
+	// input (nonzero leak, potential, or stochastic draw); recomputed
+	// whenever state changes. It enables the event-driven fast path:
+	// "because neurons fire sparsely in time, the event-based update loop
+	// is significantly more efficient" (Section III).
+	everyTick bool
+}
+
+// New returns a core loaded with cfg. The caller should Validate cfg first;
+// New does not re-check ranges.
+func New(cfg *Config) *Core {
+	c := &Core{Cfg: cfg}
+	c.V = cfg.InitV
+	c.RNG.Seed(cfg.Seed)
+	c.refreshEveryTick()
+	return c
+}
+
+// refreshEveryTick recomputes whether the core must run the Neuron phase on
+// ticks with no incoming events.
+func (c *Core) refreshEveryTick() {
+	c.everyTick = false
+	for j := range c.Cfg.Neurons {
+		p := &c.Cfg.Neurons[j]
+		if p.Leak != 0 || p.StochLeak || p.ThresholdMask != 0 || c.V[j] != 0 {
+			c.everyTick = true
+			return
+		}
+		// A neuron whose resting potential satisfies V >= threshold would
+		// fire every tick.
+		if p.Threshold <= 0 {
+			c.everyTick = true
+			return
+		}
+	}
+}
+
+// Deliver records a spike arrival on axon at tick (the absolute tick at
+// which it will be integrated). The engine computes tick = now + delay.
+func (c *Core) Deliver(axon int, tick uint64) {
+	c.ring[tick&(delaySlots-1)].Set(axon)
+}
+
+// PendingAt returns a copy of the axon events scheduled for tick.
+func (c *Core) PendingAt(tick uint64) RowMask {
+	return c.ring[tick&(delaySlots-1)]
+}
+
+// Emit is the callback a core uses to hand a fired neuron's spike to the
+// engine's Network phase.
+type Emit func(neuronIdx int, tgt Target)
+
+// Step runs the Synapse and Neuron phases for one tick. The engine must call
+// Step exactly once per core per tick, then route the emitted spikes.
+//
+// Ordering contract (bit-equality across engines): active axons are walked
+// in ascending index order, set crossbar bits in ascending neuron order, and
+// the Neuron phase walks neurons 0..255; all PRNG draws happen in that
+// sequence.
+func (c *Core) Step(tick uint64, emit Emit) {
+	slot := &c.ring[tick&(delaySlots-1)]
+	if c.Disabled {
+		*slot = RowMask{}
+		return
+	}
+	active := *slot
+	*slot = RowMask{}
+
+	hasInput := !active.Empty()
+	if !hasInput && !c.everyTick {
+		// Event-driven fast path: nothing arrived, nothing can change.
+		return
+	}
+
+	cfg := c.Cfg
+	// Synapse phase: propagate input spikes from axons through the crossbar
+	// and perform synaptic integration (kernel lines 4-8).
+	if hasInput {
+		active.ForEach(func(i int) {
+			c.Cnt.AxonEvents++
+			row := &cfg.Synapses[i]
+			g := cfg.AxonType[i]
+			row.ForEach(func(j int) {
+				c.V[j] = cfg.Neurons[j].Integrate(c.V[j], g, &c.RNG)
+				c.Cnt.SynEvents++
+			})
+		})
+	}
+
+	// Neuron phase: leak, threshold, fire, reset (kernel lines 9-18).
+	fired := false
+	for j := range cfg.Neurons {
+		p := &cfg.Neurons[j]
+		v := p.ApplyLeak(c.V[j], &c.RNG)
+		v, spike := p.ThresholdFire(v, &c.RNG)
+		c.V[j] = v
+		c.Cnt.NeuronUpdates++
+		if spike {
+			c.Cnt.Spikes++
+			fired = true
+			if t := cfg.Targets[j]; t.Valid {
+				emit(j, t)
+			}
+		}
+	}
+
+	// State may have decayed back to quiescence; refresh the fast-path
+	// cache only when it could flip (cheap heuristic: do it when we had
+	// input or fired, or periodically).
+	if hasInput || fired || tick&63 == 0 {
+		c.refreshEveryTick()
+	}
+}
+
+// StepDense is the ablation reference for Step: it produces bit-identical
+// results but evaluates the update the way a dense simulator would —
+// visiting every axon and every crossbar position each tick instead of
+// only pending events and set bits. The paper's kernel argues that
+// "because neurons fire sparsely in time, the event-based update loop is
+// significantly more efficient than an alternative approach that loops
+// over all synapses"; BenchmarkAblationDenseVsEventDriven quantifies it.
+func (c *Core) StepDense(tick uint64, emit Emit) {
+	slot := &c.ring[tick&(delaySlots-1)]
+	if c.Disabled {
+		*slot = RowMask{}
+		return
+	}
+	active := *slot
+	*slot = RowMask{}
+
+	cfg := c.Cfg
+	for i := 0; i < AxonsPerCore; i++ {
+		hasEvent := active.Get(i)
+		if hasEvent {
+			c.Cnt.AxonEvents++
+		}
+		row := &cfg.Synapses[i]
+		g := cfg.AxonType[i]
+		for j := 0; j < NeuronsPerCore; j++ {
+			if !row.Get(j) || !hasEvent {
+				continue
+			}
+			c.V[j] = cfg.Neurons[j].Integrate(c.V[j], g, &c.RNG)
+			c.Cnt.SynEvents++
+		}
+	}
+	for j := range cfg.Neurons {
+		p := &cfg.Neurons[j]
+		v := p.ApplyLeak(c.V[j], &c.RNG)
+		v, spike := p.ThresholdFire(v, &c.RNG)
+		c.V[j] = v
+		c.Cnt.NeuronUpdates++
+		if spike {
+			c.Cnt.Spikes++
+			if t := cfg.Targets[j]; t.Valid {
+				emit(j, t)
+			}
+		}
+	}
+}
+
+// Reset returns the core to its post-configuration state: potentials zeroed,
+// delay buffers cleared, PRNG reseeded, counters preserved unless
+// clearCounters is set.
+func (c *Core) Reset(clearCounters bool) {
+	c.V = c.Cfg.InitV
+	c.ring = [delaySlots]RowMask{}
+	c.RNG.Seed(c.Cfg.Seed)
+	if clearCounters {
+		c.Cnt = Counters{}
+	}
+	c.refreshEveryTick()
+}
+
+// ConfiguredSynapses returns the number of set crossbar bits, used for
+// load-balancing estimates and memory accounting.
+func (c *Config) ConfiguredSynapses() int {
+	n := 0
+	for i := range c.Synapses {
+		n += c.Synapses[i].Count()
+	}
+	return n
+}
+
+// State is a snapshot of a core's runtime state, sufficient to resume a
+// simulation bit-exactly: membrane potentials, the axonal delay ring, the
+// PRNG register, the fault flag, and the event counters. Configuration is
+// not part of the state; checkpoints pair with the model file.
+type State struct {
+	V        [NeuronsPerCore]int32
+	Ring     [delaySlots]RowMask
+	RNG      uint16
+	Disabled bool
+	Cnt      Counters
+}
+
+// SaveState captures the core's runtime state.
+func (c *Core) SaveState() State {
+	return State{V: c.V, Ring: c.ring, RNG: c.RNG.State(), Disabled: c.Disabled, Cnt: c.Cnt}
+}
+
+// RestoreState resumes the core from a snapshot taken on a core with the
+// same configuration.
+func (c *Core) RestoreState(s State) {
+	c.V = s.V
+	c.ring = s.Ring
+	c.RNG.Seed(s.RNG)
+	c.Disabled = s.Disabled
+	c.Cnt = s.Cnt
+	c.refreshEveryTick()
+}
+
+// InertNeuron returns parameters for an unused neuron slot: no weights, no
+// leak, and a maximal threshold, so it never fires, never consumes PRNG
+// draws, and keeps the core eligible for the event-driven fast path.
+func InertNeuron() neuron.Params {
+	return neuron.Params{Threshold: neuron.VMax}
+}
+
+// InertConfig returns a configuration whose 256 neurons are all inert.
+// Builders start from this and program only the slots they use.
+func InertConfig() *Config {
+	cfg := &Config{Seed: 1}
+	for j := range cfg.Neurons {
+		cfg.Neurons[j] = InertNeuron()
+	}
+	return cfg
+}
+
+// InDegree returns the number of axons connected to neuron j.
+func (c *Config) InDegree(j int) int {
+	n := 0
+	for i := range c.Synapses {
+		if c.Synapses[i].Get(j) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,460 @@
+// Package corelet is the programming toolchain for neurosynaptic systems —
+// the analogue of the paper's Corelet language and Corelet Programming
+// Environment (Section IV-A). "Programming the TrueNorth processor consists
+// of specifying three things: the dynamics of each neuron, the mapping from
+// neuron outputs to axon inputs, and the local synaptic connectivity
+// between axons and dendrites."
+//
+// A Net is a functional encapsulation of a network of neurosynaptic cores:
+// cores are created and wired with net-local names, external inputs and
+// outputs are named pins, and nets compose hierarchically via Merge. Place
+// maps a finished net onto a physical core grid, resolving net-local wiring
+// into the relative (Δx, Δy, axon, delay) targets the hardware packets
+// carry, and returns the I/O tables applications use to inject and decode
+// spikes.
+package corelet
+
+import (
+	"fmt"
+	"sort"
+
+	"truenorth/internal/core"
+	"truenorth/internal/neuron"
+	"truenorth/internal/router"
+	"truenorth/internal/sim"
+)
+
+// CoreID identifies a core within a Net.
+type CoreID int
+
+// vKind distinguishes virtual target kinds before placement.
+type vKind uint8
+
+const (
+	vNone vKind = iota
+	vInternal
+	vOutput
+)
+
+// vTarget is a neuron's destination in net-local terms.
+type vTarget struct {
+	kind  vKind
+	core  CoreID
+	axon  uint8
+	delay uint8
+	out   int32 // output id when kind == vOutput
+}
+
+// CoreSpec is one core under construction.
+type CoreSpec struct {
+	cfg     *core.Config
+	targets [core.NeuronsPerCore]vTarget
+	// nextNeuron and nextAxon support sequential allocation helpers.
+	nextNeuron int
+	nextAxon   int
+}
+
+// InputPin locates an external input (a core axon) in net-local terms.
+type InputPin struct {
+	Core CoreID
+	Axon int
+}
+
+// OutputRef describes one registered output sink.
+type OutputRef struct {
+	// Name is the output group (e.g. "saliency").
+	Name string
+	// Index is the caller-assigned semantic index within the group (e.g.
+	// a pixel position or class label).
+	Index int
+}
+
+// Net is a composable network of neurosynaptic cores.
+type Net struct {
+	cores   []*CoreSpec
+	inputs  map[string][]InputPin
+	outputs []OutputRef
+}
+
+// NewNet returns an empty network.
+func NewNet() *Net {
+	return &Net{inputs: make(map[string][]InputPin)}
+}
+
+// NumCores returns the number of cores in the net.
+func (n *Net) NumCores() int { return len(n.cores) }
+
+// NumNeurons returns the number of wired (non-inert) neurons: those with an
+// internal or external target. This is the figure the paper reports per
+// application (e.g. "617,567 neurons in 2,605 cores" for Haar).
+func (n *Net) NumNeurons() int {
+	total := 0
+	for _, s := range n.cores {
+		for j := range s.targets {
+			if s.targets[j].kind != vNone {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// AddCore appends a fresh core (all neurons inert) and returns its id.
+func (n *Net) AddCore() CoreID {
+	n.cores = append(n.cores, &CoreSpec{cfg: core.InertConfig()})
+	return CoreID(len(n.cores) - 1)
+}
+
+// coreSpec returns the spec for id, panicking on a bad id — corelet wiring
+// errors are programming bugs, caught at Validate/Place with errors, but
+// direct misuse of ids fails fast.
+func (n *Net) coreSpec(id CoreID) *CoreSpec {
+	return n.cores[id]
+}
+
+// SetSeed sets the PRNG seed of core id.
+func (n *Net) SetSeed(id CoreID, seed uint16) { n.coreSpec(id).cfg.Seed = seed }
+
+// SetNeuron programs neuron j of core id.
+func (n *Net) SetNeuron(id CoreID, j int, p neuron.Params) {
+	n.coreSpec(id).cfg.Neurons[j] = p
+}
+
+// SetInitV programs the initial potential of neuron j of core id.
+func (n *Net) SetInitV(id CoreID, j int, v int32) {
+	n.coreSpec(id).cfg.InitV[j] = v
+}
+
+// SetAxonType assigns axon a of core id to type g.
+func (n *Net) SetAxonType(id CoreID, a int, g uint8) {
+	n.coreSpec(id).cfg.AxonType[a] = g
+}
+
+// SetSynapse sets the crossbar bit connecting axon a to neuron j on core id.
+func (n *Net) SetSynapse(id CoreID, a, j int) {
+	n.coreSpec(id).cfg.Synapses[a].Set(j)
+}
+
+// Connect wires neuron j of core src to axon a of core dst with the given
+// axonal delay.
+func (n *Net) Connect(src CoreID, j int, dst CoreID, a int, delay int) {
+	n.coreSpec(src).targets[j] = vTarget{kind: vInternal, core: dst, axon: uint8(a), delay: uint8(delay)}
+}
+
+// ConnectOutput routes neuron j of core src to a named external output and
+// returns the output id (also recoverable from Placement.Decode).
+func (n *Net) ConnectOutput(src CoreID, j int, name string, index int) int32 {
+	id := int32(len(n.outputs))
+	n.outputs = append(n.outputs, OutputRef{Name: name, Index: index})
+	n.coreSpec(src).targets[j] = vTarget{kind: vOutput, out: id}
+	return id
+}
+
+// AddInput registers axon a of core id as the next pin of the named
+// external input group. Pins keep registration order: input index i of the
+// group maps to the i-th registered pin.
+func (n *Net) AddInput(name string, id CoreID, a int) {
+	n.inputs[name] = append(n.inputs[name], InputPin{Core: id, Axon: a})
+}
+
+// AllocNeuron returns the next unallocated neuron slot on core id, or -1
+// when the core is full.
+func (n *Net) AllocNeuron(id CoreID) int {
+	s := n.coreSpec(id)
+	if s.nextNeuron >= core.NeuronsPerCore {
+		return -1
+	}
+	s.nextNeuron++
+	return s.nextNeuron - 1
+}
+
+// AllocAxon returns the next unallocated axon slot on core id, or -1 when
+// the core is full.
+func (n *Net) AllocAxon(id CoreID) int {
+	s := n.coreSpec(id)
+	if s.nextAxon >= core.AxonsPerCore {
+		return -1
+	}
+	s.nextAxon++
+	return s.nextAxon - 1
+}
+
+// Merge appends other's cores into n, remapping all internal wiring, and
+// merges I/O groups under the given name prefix (use "" to merge
+// unprefixed). It returns the core-id offset added to other's ids.
+func (n *Net) Merge(other *Net, prefix string) CoreID {
+	offset := CoreID(len(n.cores))
+	outOffset := int32(len(n.outputs))
+	for _, s := range other.cores {
+		cp := &CoreSpec{nextNeuron: s.nextNeuron, nextAxon: s.nextAxon}
+		cfgCopy := *s.cfg
+		cp.cfg = &cfgCopy
+		cp.targets = s.targets
+		for j := range cp.targets {
+			switch cp.targets[j].kind {
+			case vInternal:
+				cp.targets[j].core += offset
+			case vOutput:
+				cp.targets[j].out += outOffset
+			}
+		}
+		n.cores = append(n.cores, cp)
+	}
+	for _, ref := range other.outputs {
+		n.outputs = append(n.outputs, OutputRef{Name: prefix + ref.Name, Index: ref.Index})
+	}
+	for name, pins := range other.inputs {
+		for _, p := range pins {
+			n.inputs[prefix+name] = append(n.inputs[prefix+name], InputPin{Core: p.Core + offset, Axon: p.Axon})
+		}
+	}
+	return offset
+}
+
+// Validate checks all wiring against hardware ranges.
+func (n *Net) Validate() error {
+	for ci, s := range n.cores {
+		for j := range s.targets {
+			t := s.targets[j]
+			switch t.kind {
+			case vInternal:
+				if int(t.core) < 0 || int(t.core) >= len(n.cores) {
+					return fmt.Errorf("corelet: core %d neuron %d targets missing core %d", ci, j, t.core)
+				}
+				if t.delay < core.MinDelay || t.delay > core.MaxDelay {
+					return fmt.Errorf("corelet: core %d neuron %d delay %d out of range", ci, j, t.delay)
+				}
+			case vOutput:
+				if t.out < 0 || int(t.out) >= len(n.outputs) {
+					return fmt.Errorf("corelet: core %d neuron %d references missing output %d", ci, j, t.out)
+				}
+			}
+		}
+		if err := s.cfg.Validate(); err != nil {
+			return fmt.Errorf("corelet: core %d: %w", ci, err)
+		}
+	}
+	for name, pins := range n.inputs {
+		for i, p := range pins {
+			if int(p.Core) < 0 || int(p.Core) >= len(n.cores) {
+				return fmt.Errorf("corelet: input %q pin %d references missing core %d", name, i, p.Core)
+			}
+			if p.Axon < 0 || p.Axon >= core.AxonsPerCore {
+				return fmt.Errorf("corelet: input %q pin %d axon %d out of range", name, i, p.Axon)
+			}
+		}
+	}
+	return nil
+}
+
+// PhysPin is a placed input pin.
+type PhysPin struct {
+	X, Y, Axon int
+}
+
+// Placement is a net mapped onto a physical mesh.
+type Placement struct {
+	// Mesh is the physical substrate.
+	Mesh router.Mesh
+	// Configs is the row-major core configuration array for chip.New or
+	// compass.New (nil entries are unpopulated slots).
+	Configs []*core.Config
+	// Inputs maps input-group names to placed pins, in registration order.
+	Inputs map[string][]PhysPin
+	// outputs decodes OutputSpike.ID values.
+	outputs []OutputRef
+	// Used is the number of populated core slots.
+	Used int
+}
+
+// Place maps the net onto mesh in row-major order starting at slot 0.
+// Each net core occupies one physical core; nets larger than the mesh
+// fail. Corelets are built with locality (adjacent stages allocate
+// adjacent cores), so sequential assignment keeps most connections short;
+// PlaceGreedy optimizes connectivity-poor orderings.
+func Place(n *Net, mesh router.Mesh) (*Placement, error) {
+	slot := make([]int, len(n.cores))
+	for i := range slot {
+		slot[i] = i
+	}
+	return placeWithSlots(n, mesh, slot)
+}
+
+// PlaceGreedy maps the net onto mesh with a locality heuristic: cores are
+// ordered by a weighted breadth-first traversal of the connection graph
+// (heaviest-neighbor first) and laid out along a boustrophedon snake, so
+// strongly connected cores land on adjacent slots and spikes travel fewer
+// mesh hops. Compare Placement.WireLength against Place.
+func PlaceGreedy(n *Net, mesh router.Mesh) (*Placement, error) {
+	nc := len(n.cores)
+	// Connection weights between net cores.
+	weight := make(map[[2]int]int)
+	degree := make([]int, nc)
+	for ci, s := range n.cores {
+		for j := range s.targets {
+			t := s.targets[j]
+			if t.kind != vInternal || int(t.core) == ci {
+				continue
+			}
+			a, b := ci, int(t.core)
+			if a > b {
+				a, b = b, a
+			}
+			weight[[2]int{a, b}]++
+			degree[ci]++
+			degree[t.core]++
+		}
+	}
+	// Weighted BFS order, heaviest edges first, seeded at max degree.
+	order := make([]int, 0, nc)
+	visited := make([]bool, nc)
+	edgeW := func(a, b int) int {
+		if a > b {
+			a, b = b, a
+		}
+		return weight[[2]int{a, b}]
+	}
+	for len(order) < nc {
+		seed, best := -1, -1
+		for i := 0; i < nc; i++ {
+			if !visited[i] && degree[i] > best {
+				seed, best = i, degree[i]
+			}
+		}
+		queue := []int{seed}
+		visited[seed] = true
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			order = append(order, cur)
+			var nbrs []int
+			for i := 0; i < nc; i++ {
+				if !visited[i] && edgeW(cur, i) > 0 {
+					nbrs = append(nbrs, i)
+				}
+			}
+			sort.Slice(nbrs, func(a, b int) bool { return edgeW(cur, nbrs[a]) > edgeW(cur, nbrs[b]) })
+			for _, nb := range nbrs {
+				visited[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	// Boustrophedon snake over the mesh keeps consecutive order entries
+	// physically adjacent.
+	slot := make([]int, nc)
+	for k, ci := range order {
+		y := k / mesh.W
+		x := k % mesh.W
+		if y%2 == 1 {
+			x = mesh.W - 1 - x
+		}
+		slot[ci] = y*mesh.W + x
+	}
+	return placeWithSlots(n, mesh, slot)
+}
+
+// placeWithSlots realizes a placement given each net core's physical slot.
+func placeWithSlots(n *Net, mesh router.Mesh, slot []int) (*Placement, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	slots := mesh.W * mesh.H
+	if len(n.cores) > slots {
+		return nil, fmt.Errorf("corelet: net needs %d cores but mesh has %d slots", len(n.cores), slots)
+	}
+	p := &Placement{
+		Mesh:    mesh,
+		Configs: make([]*core.Config, slots),
+		Inputs:  make(map[string][]PhysPin),
+		outputs: append([]OutputRef(nil), n.outputs...),
+		Used:    len(n.cores),
+	}
+	pos := func(id CoreID) (int, int) { return slot[id] % mesh.W, slot[id] / mesh.W }
+	for i, s := range n.cores {
+		cfg := *s.cfg // copy so the net can be placed repeatedly
+		sx, sy := pos(CoreID(i))
+		for j := range s.targets {
+			t := s.targets[j]
+			switch t.kind {
+			case vNone:
+				cfg.Targets[j] = core.Target{}
+			case vInternal:
+				tx, ty := pos(t.core)
+				cfg.Targets[j] = core.Target{
+					Valid: true,
+					DX:    int16(tx - sx),
+					DY:    int16(ty - sy),
+					Axon:  t.axon,
+					Delay: t.delay,
+				}
+			case vOutput:
+				cfg.Targets[j] = core.Target{Valid: true, Output: true, OutputID: t.out}
+			}
+		}
+		p.Configs[slot[i]] = &cfg
+	}
+	for name, pins := range n.inputs {
+		placed := make([]PhysPin, len(pins))
+		for i, pin := range pins {
+			x, y := pos(pin.Core)
+			placed[i] = PhysPin{X: x, Y: y, Axon: pin.Axon}
+		}
+		p.Inputs[name] = placed
+	}
+	return p, nil
+}
+
+// WireLength returns the total Manhattan distance (in mesh hops) summed
+// over every internal connection — the placement-quality metric PlaceGreedy
+// optimizes. Lower wire length means fewer router traversals per spike and
+// less communication energy.
+func (p *Placement) WireLength() int {
+	total := 0
+	for _, cfg := range p.Configs {
+		if cfg == nil {
+			continue
+		}
+		for j := range cfg.Targets {
+			t := cfg.Targets[j]
+			if !t.Valid || t.Output {
+				continue
+			}
+			total += abs(int(t.DX)) + abs(int(t.DY))
+		}
+	}
+	return total
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Decode resolves an output spike id to its registered reference.
+func (p *Placement) Decode(id int32) (OutputRef, bool) {
+	if id < 0 || int(id) >= len(p.outputs) {
+		return OutputRef{}, false
+	}
+	return p.outputs[id], true
+}
+
+// NumOutputs returns the number of registered output sinks.
+func (p *Placement) NumOutputs() int { return len(p.outputs) }
+
+// Inject sends an external spike into pin index idx of the named input
+// group, arriving delay ticks after the engine's next step.
+func (p *Placement) Inject(eng sim.Engine, name string, idx, delay int) error {
+	pins, ok := p.Inputs[name]
+	if !ok {
+		return fmt.Errorf("corelet: no input group %q", name)
+	}
+	if idx < 0 || idx >= len(pins) {
+		return fmt.Errorf("corelet: input %q index %d out of range [0,%d)", name, idx, len(pins))
+	}
+	pin := pins[idx]
+	eng.Inject(pin.X, pin.Y, pin.Axon, delay)
+	return nil
+}

@@ -1,0 +1,439 @@
+package corelet
+
+import (
+	"testing"
+
+	"truenorth/internal/chip"
+	"truenorth/internal/compass"
+	"truenorth/internal/core"
+	"truenorth/internal/neuron"
+	"truenorth/internal/router"
+	"truenorth/internal/sim"
+)
+
+// buildRelayPair returns a net with two cores: input pin → core A neuron →
+// core B neuron → output "out"[0].
+func buildRelayPair() *Net {
+	n := NewNet()
+	a := n.AddCore()
+	b := n.AddCore()
+	n.SetSynapse(a, 0, 0)
+	n.SetNeuron(a, 0, neuron.Identity())
+	n.Connect(a, 0, b, 0, 1)
+	n.SetSynapse(b, 0, 0)
+	n.SetNeuron(b, 0, neuron.Identity())
+	n.ConnectOutput(b, 0, "out", 0)
+	n.AddInput("in", a, 0)
+	return n
+}
+
+func place(t *testing.T, n *Net, w, h int) (*Placement, *chip.Model) {
+	t.Helper()
+	p, err := Place(n, router.Mesh{W: w, H: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := chip.New(p.Mesh, p.Configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, eng
+}
+
+func TestPlaceAndRunRelayPair(t *testing.T) {
+	n := buildRelayPair()
+	p, eng := place(t, n, 4, 1)
+	if err := p.Inject(eng, "in", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(4)
+	out := eng.DrainOutputs()
+	if len(out) != 1 {
+		t.Fatalf("outputs = %v, want 1", out)
+	}
+	ref, ok := p.Decode(out[0].ID)
+	if !ok || ref.Name != "out" || ref.Index != 0 {
+		t.Fatalf("Decode(%d) = %+v, %v", out[0].ID, ref, ok)
+	}
+	if out[0].Tick != 1 {
+		t.Fatalf("output tick = %d, want 1 (A fires at 0, B at 1)", out[0].Tick)
+	}
+}
+
+func TestPlacementReusable(t *testing.T) {
+	// Placing and running twice must not share state (configs are copied).
+	n := buildRelayPair()
+	p1, e1 := place(t, n, 2, 1)
+	_, e2 := place(t, n, 2, 1)
+	if err := p1.Inject(e1, "in", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	e1.Run(4)
+	e2.Run(4)
+	if len(e1.DrainOutputs()) != 1 {
+		t.Fatal("first placement missing output")
+	}
+	if len(e2.DrainOutputs()) != 0 {
+		t.Fatal("second placement saw the first's injection")
+	}
+}
+
+func TestValidateCatchesBadWiring(t *testing.T) {
+	n := NewNet()
+	a := n.AddCore()
+	n.Connect(a, 0, CoreID(5), 0, 1) // missing core
+	if err := n.Validate(); err == nil {
+		t.Fatal("dangling Connect accepted")
+	}
+
+	n2 := NewNet()
+	b := n2.AddCore()
+	n2.Connect(b, 0, b, 0, 0) // delay 0
+	if err := n2.Validate(); err == nil {
+		t.Fatal("zero delay accepted")
+	}
+
+	n3 := NewNet()
+	c := n3.AddCore()
+	n3.AddInput("x", c, 300)
+	if err := n3.Validate(); err == nil {
+		t.Fatal("axon 300 accepted")
+	}
+}
+
+func TestPlaceTooBig(t *testing.T) {
+	n := NewNet()
+	for i := 0; i < 5; i++ {
+		n.AddCore()
+	}
+	if _, err := Place(n, router.Mesh{W: 2, H: 2}); err == nil {
+		t.Fatal("oversized net placed")
+	}
+}
+
+func TestInjectErrors(t *testing.T) {
+	n := buildRelayPair()
+	p, eng := place(t, n, 2, 1)
+	if err := p.Inject(eng, "nosuch", 0, 0); err == nil {
+		t.Fatal("unknown input group accepted")
+	}
+	if err := p.Inject(eng, "in", 5, 0); err == nil {
+		t.Fatal("out-of-range pin accepted")
+	}
+}
+
+func TestDecodeOutOfRange(t *testing.T) {
+	n := buildRelayPair()
+	p, _ := place(t, n, 2, 1)
+	if _, ok := p.Decode(-1); ok {
+		t.Fatal("Decode(-1) succeeded")
+	}
+	if _, ok := p.Decode(99); ok {
+		t.Fatal("Decode(99) succeeded")
+	}
+	if p.NumOutputs() != 1 {
+		t.Fatalf("NumOutputs = %d, want 1", p.NumOutputs())
+	}
+}
+
+func TestMergeRemapsWiring(t *testing.T) {
+	parent := NewNet()
+	parent.AddCore() // occupy id 0 so the merge offset is nonzero
+	child := buildRelayPair()
+	off := parent.Merge(child, "stage1/")
+	if off != 1 {
+		t.Fatalf("merge offset = %d, want 1", off)
+	}
+	p, eng := place(t, parent, 4, 1)
+	if err := p.Inject(eng, "stage1/in", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(4)
+	out := eng.DrainOutputs()
+	if len(out) != 1 {
+		t.Fatalf("merged net outputs = %v, want 1", out)
+	}
+	ref, _ := p.Decode(out[0].ID)
+	if ref.Name != "stage1/out" {
+		t.Fatalf("merged output name = %q, want stage1/out", ref.Name)
+	}
+}
+
+func TestMergeIsDeepCopy(t *testing.T) {
+	parent := NewNet()
+	child := buildRelayPair()
+	parent.Merge(child, "a/")
+	// Mutating the child afterwards must not affect the parent.
+	child.SetNeuron(0, 0, neuron.Params{Threshold: 12345})
+	p, eng := place(t, parent, 2, 1)
+	if err := p.Inject(eng, "a/in", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(4)
+	if len(eng.DrainOutputs()) != 1 {
+		t.Fatal("parent corrupted by post-merge child mutation")
+	}
+}
+
+func TestMergeTwice(t *testing.T) {
+	parent := NewNet()
+	parent.Merge(buildRelayPair(), "a/")
+	parent.Merge(buildRelayPair(), "b/")
+	p, eng := place(t, parent, 4, 1)
+	if err := p.Inject(eng, "a/in", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Inject(eng, "b/in", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(5)
+	out := eng.DrainOutputs()
+	if len(out) != 2 {
+		t.Fatalf("outputs = %v, want 2", out)
+	}
+	r0, _ := p.Decode(out[0].ID)
+	r1, _ := p.Decode(out[1].ID)
+	if r0.Name != "a/out" || r1.Name != "b/out" {
+		t.Fatalf("outputs decoded as %q, %q", r0.Name, r1.Name)
+	}
+}
+
+func TestAllocNeuronAndAxonExhaustion(t *testing.T) {
+	n := NewNet()
+	id := n.AddCore()
+	for i := 0; i < core.NeuronsPerCore; i++ {
+		if got := n.AllocNeuron(id); got != i {
+			t.Fatalf("AllocNeuron #%d = %d", i, got)
+		}
+	}
+	if got := n.AllocNeuron(id); got != -1 {
+		t.Fatalf("AllocNeuron on full core = %d, want -1", got)
+	}
+	for i := 0; i < core.AxonsPerCore; i++ {
+		if got := n.AllocAxon(id); got != i {
+			t.Fatalf("AllocAxon #%d = %d", i, got)
+		}
+	}
+	if got := n.AllocAxon(id); got != -1 {
+		t.Fatalf("AllocAxon on full core = %d, want -1", got)
+	}
+}
+
+func TestFanoutReplication(t *testing.T) {
+	n := NewNet()
+	const lines, fan = 10, 16
+	f, err := AddFanout(n, lines, fan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wire every relay to a distinct output.
+	for l := 0; l < lines; l++ {
+		for k, h := range f.Outs[l] {
+			n.ConnectOutput(h.Core, h.Neuron, "fan", l*fan+k)
+		}
+		n.AddInput("lines", f.Pins[l].Core, f.Pins[l].Axon)
+	}
+	p, eng := place(t, n, 4, 4)
+	if err := p.Inject(eng, "lines", 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(2)
+	out := eng.DrainOutputs()
+	if len(out) != fan {
+		t.Fatalf("line 3 fanned out to %d spikes, want %d", len(out), fan)
+	}
+	seen := map[int]bool{}
+	for _, o := range out {
+		ref, _ := p.Decode(o.ID)
+		if ref.Index < 3*fan || ref.Index >= 4*fan {
+			t.Fatalf("fanout output index %d outside line 3's range", ref.Index)
+		}
+		seen[ref.Index] = true
+	}
+	if len(seen) != fan {
+		t.Fatalf("fanout produced %d distinct outputs, want %d", len(seen), fan)
+	}
+}
+
+func TestFanoutPacking(t *testing.T) {
+	// 16 relays per line → 16 lines per core; 64 lines need 4 cores.
+	n := NewNet()
+	if _, err := AddFanout(n, 64, 16); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.NumCores(); got != 4 {
+		t.Fatalf("fanout used %d cores, want 4", got)
+	}
+	// 256-way fan → 1 line per core.
+	n2 := NewNet()
+	if _, err := AddFanout(n2, 3, 256); err != nil {
+		t.Fatal(err)
+	}
+	if got := n2.NumCores(); got != 3 {
+		t.Fatalf("256-way fanout used %d cores, want 3", got)
+	}
+}
+
+func TestFanoutErrors(t *testing.T) {
+	n := NewNet()
+	if _, err := AddFanout(n, 0, 4); err == nil {
+		t.Error("zero lines accepted")
+	}
+	if _, err := AddFanout(n, 4, 0); err == nil {
+		t.Error("zero fan accepted")
+	}
+	if _, err := AddFanout(n, 1, 257); err == nil {
+		t.Error("fan 257 accepted")
+	}
+}
+
+func TestWeightedSumUnit(t *testing.T) {
+	n := NewNet()
+	ws := AddWeightedSum(n)
+	h, err := ws.Unit([]int{0, 1}, []int{2}, 1, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.ConnectOutput(h.Core, h.Neuron, "sum", 0)
+	n.AddInput("e0", ws.Core, 0)
+	n.AddInput("e1", ws.Core, 1)
+	n.AddInput("i0", ws.Core, 2)
+	p, eng := place(t, n, 1, 1)
+
+	// Two excitatory events reach threshold 2 → one spike.
+	mustInject(t, p, eng, "e0", 0, 0)
+	mustInject(t, p, eng, "e1", 0, 0)
+	eng.Run(1)
+	if out := eng.DrainOutputs(); len(out) != 1 {
+		t.Fatalf("2 excitatory events: %d spikes, want 1", len(out))
+	}
+	// Excitation cancelled by inhibition → silence.
+	mustInject(t, p, eng, "e0", 0, 0)
+	mustInject(t, p, eng, "i0", 0, 0)
+	eng.Run(3)
+	if out := eng.DrainOutputs(); len(out) != 0 {
+		t.Fatalf("balanced input: %d spikes, want 0", len(out))
+	}
+}
+
+func TestWeightedSumFillsCore(t *testing.T) {
+	n := NewNet()
+	ws := AddWeightedSum(n)
+	for i := 0; i < core.NeuronsPerCore; i++ {
+		if _, err := ws.Unit([]int{0}, nil, 1, 0, 1); err != nil {
+			t.Fatalf("unit %d: %v", i, err)
+		}
+	}
+	if _, err := ws.Unit([]int{0}, nil, 1, 0, 1); err == nil {
+		t.Fatal("257th unit accepted")
+	}
+}
+
+func TestWTASelectsStrongestChannel(t *testing.T) {
+	n := NewNet()
+	outs, err := AddWTA(n, 4, 4, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range outs {
+		n.ConnectOutput(h.Core, h.Neuron, "winner", i)
+	}
+	p, eng := place(t, n, 1, 1)
+
+	// Channel 2 gets 3× the input rate of the others.
+	for tick := 0; tick < 60; tick++ {
+		mustInject(t, p, eng, "wta", 2, tick)
+		if tick%3 == 0 {
+			mustInject(t, p, eng, "wta", 0, tick)
+			mustInject(t, p, eng, "wta", 1, tick)
+			mustInject(t, p, eng, "wta", 3, tick)
+		}
+	}
+	eng.Run(70)
+	counts := map[int]int{}
+	for _, o := range eng.DrainOutputs() {
+		ref, _ := p.Decode(o.ID)
+		counts[ref.Index]++
+	}
+	if counts[2] == 0 {
+		t.Fatal("dominant channel never fired")
+	}
+	for i := 0; i < 4; i++ {
+		if i != 2 && counts[i] >= counts[2] {
+			t.Fatalf("channel %d (%d spikes) not suppressed below channel 2 (%d)", i, counts[i], counts[2])
+		}
+	}
+}
+
+func TestWTATooBig(t *testing.T) {
+	n := NewNet()
+	if _, err := AddWTA(n, 129, 1, 1, 1); err == nil {
+		t.Fatal("129-channel WTA accepted (needs 258 neurons)")
+	}
+}
+
+func TestPlacedNetRunsIdenticallyOnBothEngines(t *testing.T) {
+	n := NewNet()
+	f, err := AddFanout(n, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := AddWeightedSum(n)
+	for l := 0; l < 8; l++ {
+		n.AddInput("px", f.Pins[l].Core, f.Pins[l].Axon)
+		for k, h := range f.Outs[l] {
+			a := n.AllocAxon(ws.Core)
+			n.Connect(h.Core, h.Neuron, ws.Core, a, 1+k%3)
+		}
+	}
+	for u := 0; u < 8; u++ {
+		h, err := ws.Unit([]int{u * 3, u*3 + 1, u*3 + 2}, nil, 1, 0, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.ConnectOutput(h.Core, h.Neuron, "resp", u)
+	}
+	p, err := Place(n, router.Mesh{W: 3, H: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := chip.New(p.Mesh, p.Configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := compass.New(p.Mesh, p.Configs, compass.WithWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range []sim.Engine{hw, sw} {
+		for tick := 0; tick < 40; tick++ {
+			for l := 0; l < 8; l++ {
+				if (tick+l)%2 == 0 {
+					if err := p.Inject(eng, "px", l, tick); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		eng.Run(60)
+	}
+	ho, so := hw.DrainOutputs(), sw.DrainOutputs()
+	if len(ho) != len(so) {
+		t.Fatalf("chip %d outputs vs compass %d", len(ho), len(so))
+	}
+	for i := range ho {
+		if ho[i] != so[i] {
+			t.Fatalf("output %d: %+v vs %+v", i, ho[i], so[i])
+		}
+	}
+	if len(ho) == 0 {
+		t.Fatal("no outputs; equivalence vacuous")
+	}
+}
+
+func mustInject(t *testing.T, p *Placement, eng sim.Engine, name string, idx, delay int) {
+	t.Helper()
+	if err := p.Inject(eng, name, idx, delay); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,202 @@
+package corelet
+
+import (
+	"fmt"
+
+	"truenorth/internal/core"
+	"truenorth/internal/neuron"
+)
+
+// Handle names one neuron of one core in a net — the unit other corelets
+// wire from.
+type Handle struct {
+	Core   CoreID
+	Neuron int
+}
+
+// Fanout is a splitter corelet. TrueNorth neurons have exactly one output
+// target, so any fanout beyond the 256-neuron reach of a single crossbar
+// column is built from cores of identity ("splitter") neurons: one axon
+// event replicates through the crossbar to F relay neurons, each with its
+// own target. Splitter stages are a large fraction of real TrueNorth
+// application networks — the reason the paper's vision apps use hundreds of
+// thousands of neurons.
+type Fanout struct {
+	// Pins gives, per input line, the axon to drive with the source spike.
+	Pins []InputPin
+	// Outs gives, per input line, the fan relay neurons; wire each with
+	// net.Connect or net.ConnectOutput.
+	Outs [][]Handle
+}
+
+// AddFanout builds splitter cores replicating each of `lines` input lines
+// to `fan` outputs, packing as many lines per core as the 256×256 crossbar
+// allows. Relay latency is one tick.
+func AddFanout(n *Net, lines, fan int) (*Fanout, error) {
+	if lines <= 0 || fan <= 0 {
+		return nil, fmt.Errorf("corelet: fanout needs positive lines and fan, got %d×%d", lines, fan)
+	}
+	if fan > core.NeuronsPerCore {
+		return nil, fmt.Errorf("corelet: fan %d exceeds one core's %d neurons; cascade two fanouts", fan, core.NeuronsPerCore)
+	}
+	f := &Fanout{
+		Pins: make([]InputPin, lines),
+		Outs: make([][]Handle, lines),
+	}
+	linesPerCore := core.NeuronsPerCore / fan
+	if linesPerCore > core.AxonsPerCore {
+		linesPerCore = core.AxonsPerCore
+	}
+	var cur CoreID = -1
+	used := linesPerCore // force allocation on first line
+	for l := 0; l < lines; l++ {
+		if used == linesPerCore {
+			cur = n.AddCore()
+			used = 0
+		}
+		axon := n.AllocAxon(cur)
+		f.Pins[l] = InputPin{Core: cur, Axon: axon}
+		outs := make([]Handle, fan)
+		for k := 0; k < fan; k++ {
+			j := n.AllocNeuron(cur)
+			n.SetSynapse(cur, axon, j)
+			n.SetNeuron(cur, j, neuron.Identity())
+			outs[k] = Handle{Core: cur, Neuron: j}
+		}
+		f.Outs[l] = outs
+		used++
+	}
+	return f, nil
+}
+
+// AddFanoutVar is AddFanout with a per-line fan count: line l replicates to
+// fans[l] outputs. Lines are packed greedily into splitter cores.
+func AddFanoutVar(n *Net, fans []int) (*Fanout, error) {
+	if len(fans) == 0 {
+		return nil, fmt.Errorf("corelet: fanout needs at least one line")
+	}
+	f := &Fanout{
+		Pins: make([]InputPin, len(fans)),
+		Outs: make([][]Handle, len(fans)),
+	}
+	var cur CoreID = -1
+	neuronsLeft, axonsLeft := 0, 0
+	for l, fan := range fans {
+		if fan <= 0 || fan > core.NeuronsPerCore {
+			return nil, fmt.Errorf("corelet: line %d fan %d out of range [1, %d]", l, fan, core.NeuronsPerCore)
+		}
+		if fan > neuronsLeft || axonsLeft == 0 {
+			cur = n.AddCore()
+			neuronsLeft, axonsLeft = core.NeuronsPerCore, core.AxonsPerCore
+		}
+		axon := n.AllocAxon(cur)
+		axonsLeft--
+		f.Pins[l] = InputPin{Core: cur, Axon: axon}
+		outs := make([]Handle, fan)
+		for k := 0; k < fan; k++ {
+			j := n.AllocNeuron(cur)
+			neuronsLeft--
+			n.SetSynapse(cur, axon, j)
+			n.SetNeuron(cur, j, neuron.Identity())
+			outs[k] = Handle{Core: cur, Neuron: j}
+		}
+		f.Outs[l] = outs
+	}
+	return f, nil
+}
+
+// WeightedSum is a reduction corelet: one core whose neurons each compute a
+// signed weighted sum of up to 256 input axons and emit spikes at a rate
+// proportional to max(0, sum)/threshold (subtractive reset). It is the
+// workhorse of the vision corelets: box filters, center-surround
+// differences, histogram bins.
+type WeightedSum struct {
+	// Core is the allocated core.
+	Core CoreID
+	net  *Net
+}
+
+// AddWeightedSum allocates a fresh reduction core. Axon types 0 and 1 carry
+// weights +we and -wi for every neuron configured through AddUnit.
+func AddWeightedSum(n *Net) *WeightedSum {
+	return &WeightedSum{Core: n.AddCore(), net: n}
+}
+
+// Unit adds one output neuron computing sum(+excite) - sum(inhibit) with
+// firing threshold th, and returns its handle, or an error when the core is
+// full.
+func (w *WeightedSum) Unit(excite, inhibit []int, we, wi, th int32) (Handle, error) {
+	j := w.net.AllocNeuron(w.Core)
+	if j < 0 {
+		return Handle{}, fmt.Errorf("corelet: weighted-sum core %d is full", w.Core)
+	}
+	w.net.SetNeuron(w.Core, j, neuron.Accumulator(we, wi, th))
+	for _, a := range excite {
+		w.net.SetAxonType(w.Core, a, 0)
+		w.net.SetSynapse(w.Core, a, j)
+	}
+	for _, a := range inhibit {
+		w.net.SetAxonType(w.Core, a, 1)
+		w.net.SetSynapse(w.Core, a, j)
+	}
+	return Handle{Core: w.Core, Neuron: j}, nil
+}
+
+// AddWTA builds a winner-take-all corelet over k competing channels on one
+// core: each channel accumulates its input; mutual inhibition (every
+// channel inhibits every other through a recurrent axon) ensures that the
+// first channel to spike suppresses its rivals for a refractory window.
+// Used by the saccade corelet's region selection.
+//
+// Channel i receives external input on axon i (type 0, weight +we), and
+// each output spike feeds back inhibition (weight -wi) to all other
+// channels through axon k+i. Handles are returned per channel; their
+// targets remain to be wired — typically each channel both loops back to
+// its inhibition axon through the fanout helper and reports externally. To
+// keep the corelet self-contained, AddWTA wires the inhibition loop
+// internally using a second relay neuron per channel.
+func AddWTA(n *Net, k int, we, wi, th int32) ([]Handle, error) {
+	if k <= 0 || 2*k > core.NeuronsPerCore || 2*k > core.AxonsPerCore {
+		return nil, fmt.Errorf("corelet: WTA with %d channels exceeds one core (max %d)", k, core.NeuronsPerCore/2)
+	}
+	id := n.AddCore()
+	outs := make([]Handle, k)
+	for i := 0; i < k; i++ {
+		// Main channel neuron: input axon i excites, axons k+j (j≠i)
+		// inhibit.
+		main := n.AllocNeuron(id)
+		n.SetNeuron(id, main, neuron.Params{
+			Weights:      [neuron.NumAxonTypes]int32{we, -wi, 0, 0},
+			Threshold:    th,
+			Reset:        neuron.ResetToV,
+			NegThreshold: wi * 4,
+			NegSaturate:  true,
+		})
+		n.SetAxonType(id, i, 0)
+		n.SetSynapse(id, i, main)
+		outs[i] = Handle{Core: id, Neuron: main}
+	}
+	for i := 0; i < k; i++ {
+		// Relay neuron: copies channel i's spike onto inhibition axon k+i.
+		relay := n.AllocNeuron(id)
+		n.SetNeuron(id, relay, neuron.Identity())
+		// Drive the relay from the same inputs as the main neuron by
+		// splitting: axon i also connects to the relay.
+		n.SetSynapse(id, i, relay)
+		// Oops-free wiring: the relay spikes when the *input* arrives, so
+		// inhibition tracks input competition; connect it to axon k+i.
+		n.Connect(id, relay, id, k+i, 1)
+		n.SetAxonType(id, k+i, 1)
+		// Axon k+i inhibits every other channel's main neuron.
+		for j := 0; j < k; j++ {
+			if j != i {
+				n.SetSynapse(id, k+i, outs[j].Neuron)
+			}
+		}
+	}
+	// Register channel inputs as pins so WTA can be used stand-alone.
+	for i := 0; i < k; i++ {
+		n.AddInput("wta", id, i)
+	}
+	return outs, nil
+}

@@ -1,0 +1,255 @@
+package corelet
+
+import (
+	"fmt"
+
+	"truenorth/internal/core"
+	"truenorth/internal/neuron"
+)
+
+// Logic builds synchronous Boolean circuits from neurons — the concrete
+// content behind the paper's footnote that TrueNorth, "while
+// Turing-complete, is efficient for cognitive applications". A logical 1
+// at time t is a spike at tick t; gates are single neurons (AND, OR, NOT)
+// or two-level sub-circuits (XOR), and signals carry their firing-time
+// offset so the builder auto-aligns converging paths with axonal delays.
+//
+// NOT gates need a constant 1: each allocates its own pacemaker neuron
+// (leak-driven, fires every tick) as bias — no global clock tree required.
+type Logic struct {
+	net *Net
+	// cur is the core gates are currently packed onto.
+	cur         CoreID
+	axonsLeft   int
+	neuronsLeft int
+}
+
+// Signal is a wire: a neuron handle plus the tick offset at which its
+// value for "time 0 inputs" fires. Each Signal drives exactly one gate
+// input (TrueNorth neurons have a single target); use Split for fanout.
+type Signal struct {
+	h Handle
+	t int
+}
+
+// T returns the signal's firing-tick offset relative to circuit inputs.
+func (s Signal) T() int { return s.t }
+
+// AddLogic returns a circuit builder on net.
+func AddLogic(n *Net) *Logic {
+	l := &Logic{net: n}
+	l.newCore()
+	return l
+}
+
+func (l *Logic) newCore() {
+	l.cur = l.net.AddCore()
+	l.axonsLeft = core.AxonsPerCore
+	l.neuronsLeft = core.NeuronsPerCore
+}
+
+// alloc reserves axons and neurons, rolling to a fresh core when the
+// current one cannot fit the request.
+func (l *Logic) alloc(axons, neurons int) {
+	if l.axonsLeft < axons || l.neuronsLeft < neurons {
+		l.newCore()
+	}
+	l.axonsLeft -= axons
+	l.neuronsLeft -= neurons
+}
+
+// Input declares an external input wire: injecting a spike with delay 0
+// into the returned pin group presents a logical 1 at time 0; the input
+// relay fires on that same tick, so the returned signal has t = 0.
+//
+// Wires carry their defined value only at their aligned tick; at other
+// ticks they carry idle values (NOT gates idle high from their pacemaker
+// bias). Sample each output at exactly its reported tick.
+func (l *Logic) Input(name string) Signal {
+	l.alloc(1, 1)
+	a := l.net.AllocAxon(l.cur)
+	j := l.net.AllocNeuron(l.cur)
+	l.net.SetAxonType(l.cur, a, 0)
+	l.net.SetSynapse(l.cur, a, j)
+	l.net.SetNeuron(l.cur, j, neuron.Identity())
+	l.net.AddInput(name, l.cur, a)
+	return Signal{h: Handle{Core: l.cur, Neuron: j}, t: 0}
+}
+
+// connect wires src into (core, axon) arriving exactly at tick `at`
+// (src fires at src.t; axonal delay covers the gap). The gap must be
+// 1..15; the builder keeps gate depths small enough in practice.
+func (l *Logic) connect(src Signal, dst CoreID, axon, at int) error {
+	d := at - src.t
+	if d < core.MinDelay || d > core.MaxDelay {
+		return fmt.Errorf("corelet: cannot align signal at t=%d to t=%d (delay %d outside 1..15)", src.t, at, d)
+	}
+	l.net.Connect(src.h.Core, src.h.Neuron, dst, axon, d)
+	return nil
+}
+
+// gate2 builds a two-input gate neuron: weights wa, wb on two fresh axons
+// (types 0, 1), threshold th; inputs are aligned to arrive together.
+func (l *Logic) gate2(a, b Signal, wa, wb, th int32) (Signal, error) {
+	l.alloc(2, 1)
+	axA := l.net.AllocAxon(l.cur)
+	axB := l.net.AllocAxon(l.cur)
+	j := l.net.AllocNeuron(l.cur)
+	l.net.SetAxonType(l.cur, axA, 0)
+	l.net.SetAxonType(l.cur, axB, 1)
+	l.net.SetSynapse(l.cur, axA, j)
+	l.net.SetSynapse(l.cur, axB, j)
+	l.net.SetNeuron(l.cur, j, neuron.Params{
+		Weights:      [neuron.NumAxonTypes]int32{wa, wb, 0, 0},
+		Threshold:    th,
+		Reset:        neuron.ResetToV,
+		NegThreshold: 0,
+		NegSaturate:  true, // wipe residue: gates are stateless per tick
+	})
+	at := max(a.t, b.t) + 1
+	if err := l.connect(a, l.cur, axA, at); err != nil {
+		return Signal{}, err
+	}
+	if err := l.connect(b, l.cur, axB, at); err != nil {
+		return Signal{}, err
+	}
+	return Signal{h: Handle{Core: l.cur, Neuron: j}, t: at}, nil
+}
+
+// And returns a∧b (latency 1 past the later input).
+func (l *Logic) And(a, b Signal) (Signal, error) { return l.gate2(a, b, 1, 1, 2) }
+
+// Or returns a∨b.
+func (l *Logic) Or(a, b Signal) (Signal, error) { return l.gate2(a, b, 1, 1, 1) }
+
+// AndNot returns a∧¬b (inhibition gating), the primitive behind Not/Xor.
+func (l *Logic) AndNot(a, b Signal) (Signal, error) { return l.gate2(a, b, 1, -2, 1) }
+
+// Not returns ¬a using a private pacemaker bias (fires every tick, so the
+// bias is aligned with any input timing).
+func (l *Logic) Not(a Signal) (Signal, error) {
+	l.alloc(1, 2)
+	// Pacemaker bias neuron (no axons; leak-driven).
+	bias := l.net.AllocNeuron(l.cur)
+	l.net.SetNeuron(l.cur, bias, neuron.Pacemaker(1))
+	axBias := l.net.AllocAxon(l.cur)
+	l.net.SetAxonType(l.cur, axBias, 0)
+	l.net.Connect(l.cur, bias, l.cur, axBias, 1)
+
+	l.alloc(1, 1)
+	axA := l.net.AllocAxon(l.cur)
+	j := l.net.AllocNeuron(l.cur)
+	l.net.SetAxonType(l.cur, axA, 1)
+	l.net.SetSynapse(l.cur, axBias, j)
+	l.net.SetSynapse(l.cur, axA, j)
+	l.net.SetNeuron(l.cur, j, neuron.Params{
+		Weights:      [neuron.NumAxonTypes]int32{1, -2, 0, 0},
+		Threshold:    1,
+		Reset:        neuron.ResetToV,
+		NegThreshold: 0,
+		NegSaturate:  true,
+	})
+	at := a.t + 1
+	if err := l.connect(a, l.cur, axA, at); err != nil {
+		return Signal{}, err
+	}
+	return Signal{h: Handle{Core: l.cur, Neuron: j}, t: at}, nil
+}
+
+// Xor returns a⊕b as (a∨b)∧¬(a∧b): two gate levels, latency 2.
+func (l *Logic) Xor(a, b Signal) (Signal, error) {
+	a2 := l.Split(a, 2)
+	b2 := l.Split(b, 2)
+	or, err := l.Or(a2[0], b2[0])
+	if err != nil {
+		return Signal{}, err
+	}
+	and, err := l.And(a2[1], b2[1])
+	if err != nil {
+		return Signal{}, err
+	}
+	return l.AndNot(or, and)
+}
+
+// Split replicates a signal k ways through relay neurons (latency +1),
+// since each neuron drives exactly one target.
+func (l *Logic) Split(a Signal, k int) []Signal {
+	l.alloc(1, k)
+	ax := l.net.AllocAxon(l.cur)
+	l.net.SetAxonType(l.cur, ax, 0)
+	out := make([]Signal, k)
+	for i := 0; i < k; i++ {
+		j := l.net.AllocNeuron(l.cur)
+		l.net.SetSynapse(l.cur, ax, j)
+		l.net.SetNeuron(l.cur, j, neuron.Identity())
+		out[i] = Signal{h: Handle{Core: l.cur, Neuron: j}, t: a.t + 1}
+	}
+	// The connect cannot fail: delay is exactly 1.
+	l.net.Connect(a.h.Core, a.h.Neuron, l.cur, ax, 1)
+	return out
+}
+
+// Delay pads a signal by d ticks (1..15 per stage) using relay neurons,
+// for manual path balancing beyond what gates auto-align.
+func (l *Logic) Delay(a Signal, d int) (Signal, error) {
+	for d > 0 {
+		step := d
+		if step > core.MaxDelay {
+			step = core.MaxDelay
+		}
+		l.alloc(1, 1)
+		ax := l.net.AllocAxon(l.cur)
+		j := l.net.AllocNeuron(l.cur)
+		l.net.SetAxonType(l.cur, ax, 0)
+		l.net.SetSynapse(l.cur, ax, j)
+		l.net.SetNeuron(l.cur, j, neuron.Identity())
+		l.net.Connect(a.h.Core, a.h.Neuron, l.cur, ax, step)
+		a = Signal{h: Handle{Core: l.cur, Neuron: j}, t: a.t + step}
+		d -= step
+	}
+	return a, nil
+}
+
+// Output routes a signal to a named external sink and returns the tick
+// offset at which a time-0 input's result appears there.
+func (l *Logic) Output(a Signal, name string, idx int) int {
+	l.net.ConnectOutput(a.h.Core, a.h.Neuron, name, idx)
+	return a.t
+}
+
+// FullAdder builds a 1-bit full adder: sum = a⊕b⊕cin,
+// carry = (a∧b) ∨ (cin∧(a⊕b)). Both outputs are time-aligned.
+func (l *Logic) FullAdder(a, b, cin Signal) (sum, carry Signal, err error) {
+	a2 := l.Split(a, 2)
+	b2 := l.Split(b, 2)
+	axb, err := l.Xor(a2[0], b2[0])
+	if err != nil {
+		return Signal{}, Signal{}, err
+	}
+	axb2 := l.Split(axb, 2)
+	cin2 := l.Split(cin, 2)
+	sum, err = l.Xor(axb2[0], cin2[0])
+	if err != nil {
+		return Signal{}, Signal{}, err
+	}
+	ab, err := l.And(a2[1], b2[1])
+	if err != nil {
+		return Signal{}, Signal{}, err
+	}
+	cAxb, err := l.And(axb2[1], cin2[1])
+	if err != nil {
+		return Signal{}, Signal{}, err
+	}
+	carry, err = l.Or(ab, cAxb)
+	if err != nil {
+		return Signal{}, Signal{}, err
+	}
+	// Align sum and carry to the same tick for downstream composition.
+	switch {
+	case sum.t < carry.t:
+		sum, err = l.Delay(sum, carry.t-sum.t)
+	case carry.t < sum.t:
+		carry, err = l.Delay(carry, sum.t-carry.t)
+	}
+	return sum, carry, err
+}

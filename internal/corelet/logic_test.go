@@ -1,0 +1,266 @@
+package corelet
+
+import (
+	"fmt"
+	"testing"
+
+	"truenorth/internal/chip"
+	"truenorth/internal/router"
+	"truenorth/internal/sim"
+)
+
+// evalCircuit places the net, injects the given input bits at time 0, runs
+// long enough, and returns which output indices of `outName` fired at
+// exactly the expected tick.
+func evalCircuit(t *testing.T, n *Net, inputs map[string]bool, outName string, outTicks map[int]int, run int) map[int]bool {
+	t.Helper()
+	side := 1
+	for side*side < n.NumCores() {
+		side++
+	}
+	p, err := Place(n, router.Mesh{W: side, H: side})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := chip.New(p.Mesh, p.Configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, bit := range inputs {
+		if bit {
+			if err := p.Inject(eng, name, 0, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	eng.Run(run)
+	// Sample each output at exactly its aligned tick; wires carry idle
+	// values at other ticks (NOT gates idle high), which are ignored.
+	fired := map[int]bool{}
+	for _, s := range eng.DrainOutputs() {
+		ref, ok := p.Decode(s.ID)
+		if !ok || ref.Name != outName {
+			continue
+		}
+		if want, tracked := outTicks[ref.Index]; tracked && int(s.Tick) == want {
+			fired[ref.Index] = true
+		}
+	}
+	return fired
+}
+
+func TestGateTruthTables(t *testing.T) {
+	type gateFn func(l *Logic, a, b Signal) (Signal, error)
+	gates := []struct {
+		name  string
+		build gateFn
+		truth [4]bool // for inputs (a,b) = 00, 01, 10, 11
+	}{
+		{"AND", func(l *Logic, a, b Signal) (Signal, error) { return l.And(a, b) }, [4]bool{false, false, false, true}},
+		{"OR", func(l *Logic, a, b Signal) (Signal, error) { return l.Or(a, b) }, [4]bool{false, true, true, true}},
+		{"XOR", func(l *Logic, a, b Signal) (Signal, error) { return l.Xor(a, b) }, [4]bool{false, true, true, false}},
+		{"ANDNOT", func(l *Logic, a, b Signal) (Signal, error) { return l.AndNot(a, b) }, [4]bool{false, false, true, false}},
+	}
+	for _, g := range gates {
+		for combo := 0; combo < 4; combo++ {
+			aBit, bBit := combo&2 != 0, combo&1 != 0
+			t.Run(fmt.Sprintf("%s_%v_%v", g.name, aBit, bBit), func(t *testing.T) {
+				n := NewNet()
+				l := AddLogic(n)
+				a := l.Input("a")
+				b := l.Input("b")
+				out, err := g.build(l, a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tick := l.Output(out, "q", 0)
+				fired := evalCircuit(t, n,
+					map[string]bool{"a": aBit, "b": bBit}, "q", map[int]int{0: tick}, tick+4)
+				if fired[0] != g.truth[combo] {
+					t.Fatalf("%s(%v,%v) = %v, want %v", g.name, aBit, bBit, fired[0], g.truth[combo])
+				}
+			})
+		}
+	}
+}
+
+func TestNotGate(t *testing.T) {
+	for _, aBit := range []bool{false, true} {
+		n := NewNet()
+		l := AddLogic(n)
+		a := l.Input("a")
+		out, err := l.Not(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tick := l.Output(out, "q", 0)
+		fired := evalCircuit(t, n, map[string]bool{"a": aBit}, "q", map[int]int{0: tick}, tick+4)
+		if fired[0] == aBit {
+			t.Fatalf("NOT(%v) = %v", aBit, fired[0])
+		}
+	}
+}
+
+func TestFullAdderTruthTable(t *testing.T) {
+	for combo := 0; combo < 8; combo++ {
+		aBit, bBit, cBit := combo&4 != 0, combo&2 != 0, combo&1 != 0
+		n := NewNet()
+		l := AddLogic(n)
+		a := l.Input("a")
+		b := l.Input("b")
+		cin := l.Input("cin")
+		sum, carry, err := l.FullAdder(a, b, cin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.T() != carry.T() {
+			t.Fatalf("adder outputs misaligned: sum t=%d carry t=%d", sum.T(), carry.T())
+		}
+		st := l.Output(sum, "out", 0)
+		ct := l.Output(carry, "out", 1)
+		fired := evalCircuit(t, n,
+			map[string]bool{"a": aBit, "b": bBit, "cin": cBit},
+			"out", map[int]int{0: st, 1: ct}, st+6)
+		total := b2i(aBit) + b2i(bBit) + b2i(cBit)
+		wantSum, wantCarry := total&1 == 1, total >= 2
+		if fired[0] != wantSum || fired[1] != wantCarry {
+			t.Fatalf("adder(%v,%v,%v): sum=%v carry=%v, want %v/%v",
+				aBit, bBit, cBit, fired[0], fired[1], wantSum, wantCarry)
+		}
+	}
+}
+
+func TestRippleCarryAdder(t *testing.T) {
+	// A 3-bit ripple-carry adder: chains three full adders through their
+	// aligned carry signals — sequential composition of combinational
+	// logic, i.e. real computation on the spiking substrate.
+	for _, tc := range []struct{ x, y int }{{0, 0}, {1, 1}, {3, 5}, {7, 7}, {5, 2}, {6, 3}} {
+		n := NewNet()
+		l := AddLogic(n)
+		var xs, ys [3]Signal
+		for i := 0; i < 3; i++ {
+			xs[i] = l.Input(fmt.Sprintf("x%d", i))
+			ys[i] = l.Input(fmt.Sprintf("y%d", i))
+		}
+		// Bit 0 adder has no carry-in: use a constant 0 (an input never
+		// driven).
+		zero := l.Input("zero")
+		carry := zero
+		outTicks := map[int]int{}
+		for i := 0; i < 3; i++ {
+			// Align operand bits to the current carry time.
+			xi, yi := xs[i], ys[i]
+			var err error
+			if carry.T() > xi.T() {
+				xi, err = l.Delay(xi, carry.T()-xi.T())
+				if err != nil {
+					t.Fatal(err)
+				}
+				yi, err = l.Delay(yi, carry.T()-yi.T())
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			var sum Signal
+			sum, carry, err = l.FullAdder(xi, yi, carry)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outTicks[i] = l.Output(sum, "sum", i)
+		}
+		outTicks[3] = l.Output(carry, "sum", 3)
+
+		inputs := map[string]bool{"zero": false}
+		for i := 0; i < 3; i++ {
+			inputs[fmt.Sprintf("x%d", i)] = tc.x&(1<<i) != 0
+			inputs[fmt.Sprintf("y%d", i)] = tc.y&(1<<i) != 0
+		}
+		maxTick := 0
+		for _, v := range outTicks {
+			if v > maxTick {
+				maxTick = v
+			}
+		}
+		fired := evalCircuit(t, n, inputs, "sum", outTicks, maxTick+6)
+		got := 0
+		for bit := 0; bit < 4; bit++ {
+			if fired[bit] {
+				got |= 1 << bit
+			}
+		}
+		if got != tc.x+tc.y {
+			t.Fatalf("%d + %d = %d on the adder, want %d", tc.x, tc.y, got, tc.x+tc.y)
+		}
+	}
+}
+
+func TestSplitReplicates(t *testing.T) {
+	n := NewNet()
+	l := AddLogic(n)
+	a := l.Input("a")
+	outs := l.Split(a, 3)
+	ticks := map[int]int{}
+	for i, s := range outs {
+		ticks[i] = l.Output(s, "q", i)
+	}
+	fired := evalCircuit(t, n, map[string]bool{"a": true}, "q", ticks, 6)
+	if len(fired) != 3 {
+		t.Fatalf("split produced %d copies, want 3", len(fired))
+	}
+}
+
+func TestDelayPadding(t *testing.T) {
+	n := NewNet()
+	l := AddLogic(n)
+	a := l.Input("a")
+	d, err := l.Delay(a, 40) // needs a 3-relay chain (15+15+10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.T() != a.T()+40 {
+		t.Fatalf("delayed signal t=%d, want %d", d.T(), a.T()+40)
+	}
+	tick := l.Output(d, "q", 0)
+	fired := evalCircuit(t, n, map[string]bool{"a": true}, "q", map[int]int{0: tick}, tick+4)
+	if !fired[0] {
+		t.Fatal("delayed spike lost")
+	}
+}
+
+func TestLogicPacksAcrossCores(t *testing.T) {
+	// Enough gates to overflow one core: the builder must roll over and
+	// the circuit still works.
+	n := NewNet()
+	l := AddLogic(n)
+	a := l.Input("a")
+	sig := a
+	var err error
+	for i := 0; i < 200; i++ { // 200 NOTs: each uses 2 axons + 3 neurons
+		sig, err = l.Not(sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n.NumCores() < 2 {
+		t.Fatalf("200 NOT gates fit in %d core(s); packing untested", n.NumCores())
+	}
+	tick := l.Output(sig, "q", 0)
+	// Even number of NOTs: output equals input.
+	fired := evalCircuit(t, n, map[string]bool{"a": true}, "q", map[int]int{0: tick}, tick+4)
+	if !fired[0] {
+		t.Fatal("200-deep NOT chain lost the signal")
+	}
+	fired = evalCircuit(t, n, map[string]bool{"a": false}, "q", map[int]int{0: tick}, tick+4)
+	if fired[0] {
+		t.Fatal("NOT chain of even depth inverted a 0 to 1")
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+var _ sim.Engine = (*chip.Model)(nil)

@@ -1,0 +1,144 @@
+package corelet
+
+import (
+	"math/rand"
+	"testing"
+
+	"truenorth/internal/chip"
+	"truenorth/internal/neuron"
+	"truenorth/internal/router"
+)
+
+// shuffledChainNet builds a long relay chain whose net-core ids are
+// deliberately scrambled, so row-major placement produces long wires while
+// a locality-aware placement can recover adjacency.
+func shuffledChainNet(t *testing.T, n int, seed int64) *Net {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	net := NewNet()
+	ids := make([]CoreID, n)
+	for i := range ids {
+		ids[i] = net.AddCore()
+	}
+	order := rng.Perm(n) // chain visits cores in scrambled id order
+	for k := 0; k < n; k++ {
+		id := ids[order[k]]
+		net.SetSynapse(id, 0, 0)
+		net.SetNeuron(id, 0, neuron.Identity())
+		if k == n-1 {
+			net.ConnectOutput(id, 0, "out", 0)
+		} else {
+			net.Connect(id, 0, ids[order[k+1]], 0, 1)
+		}
+	}
+	net.AddInput("in", ids[order[0]], 0)
+	return net
+}
+
+func TestPlaceGreedyReducesWireLength(t *testing.T) {
+	net := shuffledChainNet(t, 36, 3)
+	mesh := router.Mesh{W: 6, H: 6}
+	rowMajor, err := Place(net, mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := PlaceGreedy(net, mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, gl := rowMajor.WireLength(), greedy.WireLength()
+	if gl >= rl {
+		t.Fatalf("greedy wire length %d not below row-major %d", gl, rl)
+	}
+	// A chain placed along a snake is near-optimal: every link length 1.
+	if gl > 2*(36-1) {
+		t.Fatalf("greedy wire length %d far from the %d-hop optimum", gl, 36-1)
+	}
+}
+
+func TestPlaceGreedyPreservesBehavior(t *testing.T) {
+	net := shuffledChainNet(t, 25, 7)
+	mesh := router.Mesh{W: 5, H: 5}
+	for _, place := range []func(*Net, router.Mesh) (*Placement, error){Place, PlaceGreedy} {
+		p, err := place(net, mesh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := chip.New(p.Mesh, p.Configs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Inject(eng, "in", 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run(30)
+		out := eng.DrainOutputs()
+		if len(out) != 1 {
+			t.Fatalf("placement lost the chain spike: %v", out)
+		}
+		if out[0].Tick != 24 {
+			t.Fatalf("chain output at tick %d, want 24 (25 relays)", out[0].Tick)
+		}
+	}
+}
+
+func TestPlaceGreedyHandlesDisconnectedComponents(t *testing.T) {
+	// Two independent chains plus an isolated core: greedy must place all.
+	net := NewNet()
+	mk := func(n int, out string) {
+		prev := CoreID(-1)
+		for i := 0; i < n; i++ {
+			id := net.AddCore()
+			net.SetSynapse(id, 0, 0)
+			net.SetNeuron(id, 0, neuron.Identity())
+			if prev >= 0 {
+				net.Connect(prev, 0, id, 0, 1)
+			} else {
+				net.AddInput(out+"-in", id, 0)
+			}
+			prev = id
+		}
+		net.ConnectOutput(prev, 0, out, 0)
+	}
+	mk(5, "a")
+	mk(4, "b")
+	net.AddCore() // isolated
+	p, err := PlaceGreedy(net, router.Mesh{W: 4, H: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Used != 10 {
+		t.Fatalf("placed %d cores, want 10", p.Used)
+	}
+	eng, err := chip.New(p.Mesh, p.Configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Inject(eng, "a-in", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Inject(eng, "b-in", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(10)
+	if out := eng.DrainOutputs(); len(out) != 2 {
+		t.Fatalf("outputs = %v, want both chain ends", out)
+	}
+}
+
+func TestWireLengthCountsInternalOnly(t *testing.T) {
+	net := NewNet()
+	a := net.AddCore()
+	b := net.AddCore()
+	net.SetNeuron(a, 0, neuron.Identity())
+	net.Connect(a, 0, b, 0, 1)
+	net.SetNeuron(b, 0, neuron.Identity())
+	net.ConnectOutput(b, 0, "o", 0) // outputs carry no wire length
+	p, err := Place(net, router.Mesh{W: 4, H: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.WireLength(); got != 1 {
+		t.Fatalf("wire length = %d, want 1", got)
+	}
+}

@@ -1,0 +1,174 @@
+// Package diag renders simulation diagnostics: per-core activity
+// heatmaps, utilization summaries, and network statistics. These are the
+// practical tools for debugging corelet placements and spotting hotspots —
+// the software-side counterpart of the visualization work the paper's
+// ecosystem grew around (McQuinn et al.'s wiring-diagram visualizations,
+// reference [9]).
+package diag
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"truenorth/internal/core"
+	"truenorth/internal/sim"
+)
+
+// ramp is the ASCII intensity scale used by heatmaps.
+const ramp = " .:-=+*#%@"
+
+// Metric selects the per-core quantity a heatmap displays.
+type Metric int
+
+// Heatmap metrics.
+const (
+	// Spikes maps each core's emitted spike count.
+	Spikes Metric = iota
+	// SynEvents maps synaptic operations.
+	SynEvents
+	// AxonEvents maps delivered axon events.
+	AxonEvents
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case Spikes:
+		return "spikes"
+	case SynEvents:
+		return "synaptic events"
+	case AxonEvents:
+		return "axon events"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// value extracts the metric from counters.
+func (m Metric) value(c core.Counters) uint64 {
+	switch m {
+	case Spikes:
+		return c.Spikes
+	case SynEvents:
+		return c.SynEvents
+	default:
+		return c.AxonEvents
+	}
+}
+
+// Heatmap writes an ASCII map of the engine's per-core activity, one
+// character per core, dark-to-bright on a log-free linear ramp normalized
+// to the busiest core. Unpopulated slots print as '·'.
+func Heatmap(w io.Writer, eng sim.Engine, m Metric) error {
+	mesh := eng.Mesh()
+	var maxV uint64 = 1
+	vals := make([]int64, mesh.W*mesh.H)
+	for y := 0; y < mesh.H; y++ {
+		for x := 0; x < mesh.W; x++ {
+			c := eng.Core(x, y)
+			if c == nil {
+				vals[y*mesh.W+x] = -1
+				continue
+			}
+			v := m.value(c.Cnt)
+			vals[y*mesh.W+x] = int64(v)
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "core %s heatmap (%dx%d, max %d)\n", m, mesh.W, mesh.H, maxV); err != nil {
+		return err
+	}
+	for y := 0; y < mesh.H; y++ {
+		row := make([]byte, mesh.W)
+		for x := 0; x < mesh.W; x++ {
+			switch v := vals[y*mesh.W+x]; {
+			case v < 0:
+				row[x] = '!' // replaced below; '·' is multibyte
+			default:
+				row[x] = ramp[int(uint64(v)*9/maxV)]
+			}
+		}
+		line := ""
+		for x := 0; x < mesh.W; x++ {
+			if row[x] == '!' {
+				line += "·"
+			} else {
+				line += string(row[x])
+			}
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary aggregates engine statistics for one measurement window.
+type Summary struct {
+	// PopulatedCores and ActiveCores count configured and spiking cores.
+	PopulatedCores, ActiveCores int
+	// Totals are the aggregate counters.
+	Totals core.Counters
+	// NoC is the aggregate communication statistics.
+	NoC sim.NoCStats
+	// HotCoreShare is the fraction of all synaptic events handled by the
+	// busiest 5% of populated cores — a load-skew indicator.
+	HotCoreShare float64
+	// MeanHopsPerSpike is the average routed distance.
+	MeanHopsPerSpike float64
+}
+
+// Summarize computes a Summary from the engine's lifetime counters.
+func Summarize(eng sim.Engine) Summary {
+	mesh := eng.Mesh()
+	var s Summary
+	var loads []uint64
+	for y := 0; y < mesh.H; y++ {
+		for x := 0; x < mesh.W; x++ {
+			c := eng.Core(x, y)
+			if c == nil {
+				continue
+			}
+			s.PopulatedCores++
+			if c.Cnt.Spikes > 0 {
+				s.ActiveCores++
+			}
+			s.Totals.Add(c.Cnt)
+			loads = append(loads, c.Cnt.SynEvents)
+		}
+	}
+	s.NoC = eng.NoC()
+	if s.NoC.RoutedSpikes > 0 {
+		s.MeanHopsPerSpike = float64(s.NoC.Hops) / float64(s.NoC.RoutedSpikes)
+	}
+	if s.Totals.SynEvents > 0 && len(loads) > 0 {
+		sort.Slice(loads, func(i, j int) bool { return loads[i] > loads[j] })
+		top := len(loads) / 20
+		if top < 1 {
+			top = 1
+		}
+		var hot uint64
+		for _, v := range loads[:top] {
+			hot += v
+		}
+		s.HotCoreShare = float64(hot) / float64(s.Totals.SynEvents)
+	}
+	return s
+}
+
+// Fprint writes the summary as text.
+func (s Summary) Fprint(w io.Writer) error {
+	_, err := fmt.Fprintf(w,
+		"cores: %d populated, %d active\n"+
+			"events: %d synaptic, %d spikes, %d axon deliveries, %d neuron updates\n"+
+			"noc: %d routed, %.1f hops/spike, %d crossings, %d dropped, %d detours\n"+
+			"load skew: top 5%% of cores carry %.0f%% of synaptic events\n",
+		s.PopulatedCores, s.ActiveCores,
+		s.Totals.SynEvents, s.Totals.Spikes, s.Totals.AxonEvents, s.Totals.NeuronUpdates,
+		s.NoC.RoutedSpikes, s.MeanHopsPerSpike, s.NoC.Crossings, s.NoC.Dropped, s.NoC.Detours,
+		s.HotCoreShare*100)
+	return err
+}

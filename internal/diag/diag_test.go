@@ -1,0 +1,136 @@
+package diag
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"truenorth/internal/chip"
+	"truenorth/internal/core"
+	"truenorth/internal/netgen"
+	"truenorth/internal/neuron"
+	"truenorth/internal/router"
+)
+
+func activeEngine(t *testing.T) *chip.Model {
+	t.Helper()
+	grid := router.Mesh{W: 4, H: 4}
+	configs, err := netgen.Build(netgen.Params{Grid: grid, RateHz: 50, SynPerNeuron: 64, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs[5] = nil // a hole for the '·' path
+	eng, err := chip.New(grid, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(100)
+	return eng
+}
+
+func TestHeatmapRenders(t *testing.T) {
+	eng := activeEngine(t)
+	for _, m := range []Metric{Spikes, SynEvents, AxonEvents} {
+		var buf bytes.Buffer
+		if err := Heatmap(&buf, eng, m); err != nil {
+			t.Fatal(err)
+		}
+		out := buf.String()
+		lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+		if len(lines) != 5 { // header + 4 rows
+			t.Fatalf("%v: %d lines, want 5:\n%s", m, len(lines), out)
+		}
+		if !strings.Contains(lines[0], m.String()) {
+			t.Fatalf("%v: header %q missing metric name", m, lines[0])
+		}
+		if !strings.Contains(out, "·") {
+			t.Fatalf("%v: unpopulated slot not marked:\n%s", m, out)
+		}
+		// Active cores render above the ramp floor.
+		if !strings.ContainsAny(out, ".:-=+*#%@") {
+			t.Fatalf("%v: all cores render as idle:\n%s", m, out)
+		}
+	}
+}
+
+func TestHeatmapQuiescentEngine(t *testing.T) {
+	eng, err := chip.New(router.Mesh{W: 2, H: 2}, []*core.Config{core.InertConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Heatmap(&buf, eng, Spikes); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "max 1") {
+		t.Fatalf("quiescent map should normalize to 1:\n%s", buf.String())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	eng := activeEngine(t)
+	s := Summarize(eng)
+	if s.PopulatedCores != 15 {
+		t.Fatalf("populated = %d, want 15", s.PopulatedCores)
+	}
+	if s.ActiveCores == 0 || s.ActiveCores > s.PopulatedCores {
+		t.Fatalf("active = %d", s.ActiveCores)
+	}
+	if s.Totals.Spikes == 0 || s.Totals.SynEvents == 0 {
+		t.Fatalf("totals empty: %+v", s.Totals)
+	}
+	if s.MeanHopsPerSpike <= 0 {
+		t.Fatalf("mean hops = %f", s.MeanHopsPerSpike)
+	}
+	// 15 cores, top-5% bucket = 1 core ≈ 1/15 of uniform load.
+	if s.HotCoreShare < 0.03 || s.HotCoreShare > 0.5 {
+		t.Fatalf("hot-core share = %f", s.HotCoreShare)
+	}
+	var buf bytes.Buffer
+	if err := s.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cores:", "events:", "noc:", "load skew"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("summary missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestSummarizeLoadSkewDetectsHotspot(t *testing.T) {
+	// One tonic core among idle ones: the skew indicator must approach 1.
+	configs := make([]*core.Config, 16)
+	for i := range configs {
+		configs[i] = core.InertConfig()
+	}
+	hot := core.InertConfig()
+	hot.Neurons[0] = neuron.Pacemaker(1)
+	hot.Targets[0] = core.Target{Valid: true, DX: 1, Axon: 0, Delay: 1}
+	hot.Synapses[0].Set(0) // self loop structure lives on the neighbor; keep local too
+	configs[0] = hot
+	relay := core.InertConfig()
+	relay.Synapses[0].Set(0)
+	relay.Neurons[0] = neuron.Identity()
+	configs[1] = relay
+	eng, err := chip.New(router.Mesh{W: 4, H: 4}, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(50)
+	s := Summarize(eng)
+	if s.HotCoreShare < 0.9 {
+		t.Fatalf("hotspot share = %f, want ≈1", s.HotCoreShare)
+	}
+	if s.ActiveCores != 2 {
+		t.Fatalf("active = %d, want 2 (pacemaker + relay)", s.ActiveCores)
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if Spikes.String() != "spikes" || SynEvents.String() != "synaptic events" || AxonEvents.String() != "axon events" {
+		t.Fatal("metric names wrong")
+	}
+	if Metric(9).String() != "Metric(9)" {
+		t.Fatal("unknown metric formatting")
+	}
+}

@@ -1,0 +1,277 @@
+// Package energy models TrueNorth power, energy, and timing as a function
+// of simulated activity, reproducing the measurement methodology of
+// Sections V and VI of the paper.
+//
+// The silicon dissipates energy on exactly the quantities the functional
+// simulator counts: synaptic events (the conditional weighted accumulates of
+// kernel line 7), per-neuron updates (leak/threshold evaluation of the
+// time-multiplexed neuron circuit), spike hops on the mesh, and
+// merge/split boundary crossings — plus a voltage-dependent leakage floor.
+// The model's constants are calibrated so that the four operating points the
+// paper publishes all hold simultaneously:
+//
+//   - 20 Hz mean rate × 128 active synapses/neuron, real time (1 kHz ticks):
+//     ≈46 GSOPS/W at ≈56-65 mW total power, ≈10 pJ active energy per
+//     synaptic event;
+//   - the same network run ~5× faster than real time: ≈81 GSOPS/W
+//     (passive power amortized);
+//   - 200 Hz × 256 synapses, real time: >400 GSOPS/W;
+//   - the all-fire worst case still sustains ≈1 kHz tick rate at 0.75 V.
+//
+// Voltage scaling: active energy ∝ (V/Vref)², leakage ∝ (V/Vref)³, and
+// logic speed ∝ voltage headroom above ~0.5 V — giving the Fig. 5(c)/5(f)
+// behavior that maximum tick frequency rises with voltage while SOPS/W is
+// maximized at the lowest functional voltage (~0.7 V).
+package energy
+
+import (
+	"fmt"
+
+	"truenorth/internal/core"
+	"truenorth/internal/sim"
+)
+
+// Load summarizes per-tick average activity, the energy model's input.
+type Load struct {
+	// SynEvents is the mean number of synaptic operations per tick.
+	SynEvents float64
+	// NeuronUpdates is the mean number of neuron leak/threshold
+	// evaluations per tick.
+	NeuronUpdates float64
+	// Spikes is the mean number of neuron firings per tick.
+	Spikes float64
+	// Hops is the mean number of mesh router traversals per tick.
+	Hops float64
+	// Crossings is the mean number of chip-boundary traversals per tick.
+	Crossings float64
+}
+
+// LoadFrom averages engine counters over ticks.
+func LoadFrom(c core.Counters, n sim.NoCStats, ticks uint64) Load {
+	if ticks == 0 {
+		return Load{}
+	}
+	t := float64(ticks)
+	return Load{
+		SynEvents:     float64(c.SynEvents) / t,
+		NeuronUpdates: float64(c.NeuronUpdates) / t,
+		Spikes:        float64(c.Spikes) / t,
+		Hops:          float64(n.Hops) / t,
+		Crossings:     float64(n.Crossings) / t,
+	}
+}
+
+// MeasureLoad runs eng for ticks steps and returns the per-tick load over
+// that window (counters are deltas, so prior activity does not pollute the
+// measurement).
+func MeasureLoad(eng sim.Engine, ticks int) Load {
+	c0, n0 := eng.Counters(), eng.NoC()
+	eng.Run(ticks)
+	c1, n1 := eng.Counters(), eng.NoC()
+	return LoadFrom(core.Counters{
+		SynEvents:     c1.SynEvents - c0.SynEvents,
+		NeuronUpdates: c1.NeuronUpdates - c0.NeuronUpdates,
+		Spikes:        c1.Spikes - c0.Spikes,
+		AxonEvents:    c1.AxonEvents - c0.AxonEvents,
+	}, sim.NoCStats{
+		Hops:      n1.Hops - n0.Hops,
+		Crossings: n1.Crossings - n0.Crossings,
+	}, uint64(ticks))
+}
+
+// SOPS returns synaptic operations per second at the given tick rate.
+func (l Load) SOPS(tickHz float64) float64 { return l.SynEvents * tickHz }
+
+// Model holds the calibrated TrueNorth power/timing constants. All energies
+// and times are at the reference voltage VRef.
+type Model struct {
+	// VRef is the reference operating voltage (0.75 V in Fig. 5).
+	VRef float64
+	// VMin and VMax bound correct operation (paper: ~0.70 V to 1.05 V).
+	VMin, VMax float64
+	// PassiveW is the chip leakage power at VRef.
+	PassiveW float64
+	// ENeuron is the active energy per neuron update (J at VRef).
+	ENeuron float64
+	// ESyn is the marginal active energy per synaptic event (J at VRef).
+	ESyn float64
+	// EHop is the active energy per router hop (J at VRef).
+	EHop float64
+	// ECross is the active energy per merge/split boundary crossing.
+	ECross float64
+	// TickBase is the fixed per-tick latency (synchronization plus neuron
+	// scan) at VRef.
+	TickBase float64
+	// TEvent is the serialized per-synaptic-event processing time within a
+	// core at VRef; the busiest-core event count times TEvent bounds the
+	// tick rate.
+	TEvent float64
+	// Cores is the number of cores sharing the event-processing load.
+	Cores int
+	// AreaCM2 is the die area for power-density reporting.
+	AreaCM2 float64
+}
+
+// TrueNorth returns the calibrated single-chip model. See the package
+// comment and DESIGN.md §5 for the calibration derivation.
+func TrueNorth() Model {
+	return Model{
+		VRef:     0.75,
+		VMin:     0.70,
+		VMax:     1.05,
+		PassiveW: 0.030,
+		ENeuron:  22e-12,
+		ESyn:     1.3e-12,
+		EHop:     0.5e-12,
+		ECross:   2.0e-12,
+		TickBase: 50e-6,
+		TEvent:   15e-9,
+		Cores:    4096,
+		AreaCM2:  4.3,
+	}
+}
+
+// Scaled returns the model for a tiled array of n chips: leakage, cores, and
+// area scale linearly; per-event energies are per-event regardless of chip
+// count.
+func (m Model) Scaled(n int) Model {
+	s := m
+	s.PassiveW *= float64(n)
+	s.Cores *= n
+	s.AreaCM2 *= float64(n)
+	return s
+}
+
+// CheckVoltage reports whether v is within the functional range.
+func (m Model) CheckVoltage(v float64) error {
+	if v < m.VMin || v > m.VMax {
+		return fmt.Errorf("energy: %.2f V outside functional range [%.2f, %.2f] V", v, m.VMin, m.VMax)
+	}
+	return nil
+}
+
+// activeScale is the dynamic-energy voltage scaling factor (CV² switching).
+func (m Model) activeScale(v float64) float64 {
+	r := v / m.VRef
+	return r * r
+}
+
+// PassivePowerW returns leakage power at voltage v (≈ cubic in V over the
+// functional range: sub-threshold leakage grows super-linearly).
+func (m Model) PassivePowerW(v float64) float64 {
+	r := v / m.VRef
+	return m.PassiveW * r * r * r
+}
+
+// speedScale is the logic-delay scaling factor relative to VRef: delay
+// ∝ 1/(V - Vt) with Vt ≈ 0.5 V, so higher voltage runs faster.
+func (m Model) speedScale(v float64) float64 {
+	const vt = 0.5
+	return (m.VRef - vt) / (v - vt)
+}
+
+// ActiveEnergyPerTickJ returns the switching energy dissipated per tick for
+// load l at voltage v.
+func (m Model) ActiveEnergyPerTickJ(l Load, v float64) float64 {
+	e := l.NeuronUpdates*m.ENeuron +
+		l.SynEvents*m.ESyn +
+		l.Hops*m.EHop +
+		l.Crossings*m.ECross
+	return e * m.activeScale(v)
+}
+
+// PowerW returns total chip power running load l at tick rate tickHz and
+// voltage v: leakage plus active energy per tick times tick rate.
+func (m Model) PowerW(l Load, tickHz, v float64) float64 {
+	return m.PassivePowerW(v) + m.ActiveEnergyPerTickJ(l, v)*tickHz
+}
+
+// EnergyPerTickJ returns total (active + amortized passive) energy per tick.
+func (m Model) EnergyPerTickJ(l Load, tickHz, v float64) float64 {
+	return m.ActiveEnergyPerTickJ(l, v) + m.PassivePowerW(v)/tickHz
+}
+
+// GSOPSPerWatt returns the headline efficiency metric at the given
+// operating point.
+func (m Model) GSOPSPerWatt(l Load, tickHz, v float64) float64 {
+	p := m.PowerW(l, tickHz, v)
+	if p == 0 {
+		return 0
+	}
+	return l.SOPS(tickHz) / p / 1e9
+}
+
+// MaxTickHz returns the maximum sustainable tick rate for load l at voltage
+// v: the per-tick base latency plus the serialized event-processing time of
+// the average core. (The paper measured this by raising the step frequency
+// until the processor reported an execution error.)
+func (m Model) MaxTickHz(l Load, v float64) float64 {
+	perCore := 0.0
+	if m.Cores > 0 {
+		perCore = l.SynEvents / float64(m.Cores)
+	}
+	t := (m.TickBase + perCore*m.TEvent) * m.speedScale(v)
+	return 1 / t
+}
+
+// ActivePJPerSynEvent returns the average active energy per synaptic event
+// in picojoules — the paper's "~10 pJ per synaptic event" metric.
+func (m Model) ActivePJPerSynEvent(l Load, v float64) float64 {
+	if l.SynEvents == 0 {
+		return 0
+	}
+	return m.ActiveEnergyPerTickJ(l, v) / l.SynEvents * 1e12
+}
+
+// PowerDensityWPerCM2 returns power density at the operating point, for the
+// paper's "20 mW/cm² versus ~100 W/cm² for a modern processor" comparison.
+func (m Model) PowerDensityWPerCM2(l Load, tickHz, v float64) float64 {
+	if m.AreaCM2 == 0 {
+		return 0
+	}
+	return m.PowerW(l, tickHz, v) / m.AreaCM2
+}
+
+// Breakdown decomposes total power at an operating point into its
+// components, the view a silicon team uses to direct optimization (the
+// paper: multiplexing the neuron "reduces both active power ... and
+// passive power"; event-driven cores make "active power proportional to
+// firing activity").
+type Breakdown struct {
+	// PassiveW, NeuronW, SynapseW, HopW, CrossW are the component powers.
+	PassiveW, NeuronW, SynapseW, HopW, CrossW float64
+}
+
+// TotalW returns the summed power.
+func (b Breakdown) TotalW() float64 {
+	return b.PassiveW + b.NeuronW + b.SynapseW + b.HopW + b.CrossW
+}
+
+// PowerBreakdown returns the per-component power decomposition.
+func (m Model) PowerBreakdown(l Load, tickHz, v float64) Breakdown {
+	s := m.activeScale(v) * tickHz
+	return Breakdown{
+		PassiveW: m.PassivePowerW(v),
+		NeuronW:  l.NeuronUpdates * m.ENeuron * s,
+		SynapseW: l.SynEvents * m.ESyn * s,
+		HopW:     l.Hops * m.EHop * s,
+		CrossW:   l.Crossings * m.ECross * s,
+	}
+}
+
+// SyntheticLoad builds the analytic load for a full chip running a
+// recurrent network at the given mean firing rate (Hz of wall-clock real
+// time, i.e. spikes per 1000 ticks) and active synapses per neuron, with
+// the 88-network topology's mean hop distance (21.66 in x plus 21.66 in y).
+// Used for closed-form sweeps (Fig. 5b, 5c, 5f) where simulating every grid
+// point is unnecessary.
+func (m Model) SyntheticLoad(rateHz, synPerNeuron float64) Load {
+	neurons := float64(m.Cores) * core.NeuronsPerCore
+	spikesPerTick := neurons * rateHz / 1000
+	return Load{
+		SynEvents:     spikesPerTick * synPerNeuron,
+		NeuronUpdates: neurons,
+		Spikes:        spikesPerTick,
+		Hops:          spikesPerTick * (21.66 + 21.66),
+	}
+}

@@ -1,0 +1,295 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"truenorth/internal/core"
+	"truenorth/internal/sim"
+)
+
+// near reports whether got is within tol (fractional) of want.
+func near(got, want, tol float64) bool {
+	if want == 0 {
+		return math.Abs(got) < tol
+	}
+	return math.Abs(got-want)/math.Abs(want) <= tol
+}
+
+func TestHeadline46GSOPSPerWatt(t *testing.T) {
+	// The paper's flagship number: a recurrent network with 20 Hz mean
+	// firing and 128 active synapses per neuron, run in real time at
+	// 0.75 V, delivers ≈46 GSOPS/W at tens of mW.
+	m := TrueNorth()
+	l := m.SyntheticLoad(20, 128)
+	got := m.GSOPSPerWatt(l, 1000, 0.75)
+	if !near(got, 46, 0.05) {
+		t.Fatalf("GSOPS/W = %.1f, want ≈46", got)
+	}
+	p := m.PowerW(l, 1000, 0.75)
+	if p < 0.050 || p > 0.070 {
+		t.Fatalf("power = %.1f mW, want within the paper's 56-65 mW band", p*1e3)
+	}
+}
+
+func TestHeadline81GSOPSPerWattAt5x(t *testing.T) {
+	// Running the same network ~5× faster amortizes passive power:
+	// ≈81 GSOPS/W.
+	m := TrueNorth()
+	l := m.SyntheticLoad(20, 128)
+	got := m.GSOPSPerWatt(l, 5000, 0.75)
+	if !near(got, 81, 0.05) {
+		t.Fatalf("GSOPS/W at 5× = %.1f, want ≈81", got)
+	}
+}
+
+func TestHeadline400GSOPSPerWatt(t *testing.T) {
+	// "For higher spike rates (200Hz) and higher synaptic utilization (256
+	// per neuron), TrueNorth exceeds 400 GSOPS/W."
+	m := TrueNorth()
+	l := m.SyntheticLoad(200, 256)
+	got := m.GSOPSPerWatt(l, 1000, 0.75)
+	if got < 400 {
+		t.Fatalf("GSOPS/W = %.1f, want > 400", got)
+	}
+}
+
+func TestHeadline10PJPerSynapticEvent(t *testing.T) {
+	// TrueNorth "achieves ~10pJ per synaptic event" at the headline point.
+	m := TrueNorth()
+	l := m.SyntheticLoad(20, 128)
+	got := m.ActivePJPerSynEvent(l, 0.75)
+	if !near(got, 10, 0.1) {
+		t.Fatalf("active energy = %.2f pJ/synaptic event, want ≈10", got)
+	}
+}
+
+func TestWorstCaseStillRealTime(t *testing.T) {
+	// "We repeated this test on neural models in which all synapses are
+	// active and every neuron spiked on every time step, the worst-case
+	// scenario" — the chip still runs at ≈1 kHz (real time).
+	m := TrueNorth()
+	l := m.SyntheticLoad(1000, 256) // every neuron fires every tick, 256 syn
+	got := m.MaxTickHz(l, 0.75)
+	if got < 900 || got > 1500 {
+		t.Fatalf("worst-case max tick rate = %.0f Hz, want ≈1 kHz", got)
+	}
+}
+
+func TestHeadlineOperatingPointAllowsFasterThanRealTime(t *testing.T) {
+	// The 20 Hz/128-synapse network has ≥5× real-time headroom (the paper
+	// reports running it ~5× faster).
+	m := TrueNorth()
+	l := m.SyntheticLoad(20, 128)
+	if got := m.MaxTickHz(l, 0.75); got < 5000 {
+		t.Fatalf("max tick rate = %.0f Hz, want ≥ 5000 (5× real time)", got)
+	}
+}
+
+func TestPowerDensityAppRegime(t *testing.T) {
+	// "When running these applications, TrueNorth has a power density of
+	// 20 mW/cm²" — app-scale loads land in the tens-of-mW/cm² regime,
+	// four orders below a ~100 W/cm² modern processor.
+	m := TrueNorth()
+	l := m.SyntheticLoad(64, 128) // LBP-like operating point
+	d := m.PowerDensityWPerCM2(l, 1000, 0.75)
+	if d < 0.010 || d > 0.040 {
+		t.Fatalf("power density = %.1f mW/cm², want ≈20", d*1e3)
+	}
+	if ratio := 100 / d; ratio < 1e3 {
+		t.Fatalf("density advantage vs 100 W/cm² = %.0f×, want ≥ 4 orders of magnitude (>10³ here)", ratio)
+	}
+}
+
+func TestMaxTickRateIncreasesWithVoltage(t *testing.T) {
+	m := TrueNorth()
+	l := m.SyntheticLoad(50, 128)
+	prev := 0.0
+	for _, v := range []float64{0.70, 0.80, 0.90, 1.00, 1.05} {
+		f := m.MaxTickHz(l, v)
+		if f <= prev {
+			t.Fatalf("max tick rate not increasing with voltage at %.2f V: %f <= %f", v, f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestEfficiencyMaximizedAtLowVoltage(t *testing.T) {
+	// Fig. 5(f): "SOPS/W is maximized at lower voltages".
+	m := TrueNorth()
+	l := m.SyntheticLoad(50, 128)
+	prev := math.Inf(1)
+	for _, v := range []float64{0.70, 0.80, 0.90, 1.00, 1.05} {
+		e := m.GSOPSPerWatt(l, 1000, v)
+		if e >= prev {
+			t.Fatalf("GSOPS/W not decreasing with voltage at %.2f V", v)
+		}
+		prev = e
+	}
+}
+
+func TestPowerRisesFasterThanSpeedWithVoltage(t *testing.T) {
+	// "Maximum execution speed increases with voltage, but total power
+	// increases as voltage squared" — so efficiency favors low voltage
+	// even at each point's own max speed.
+	m := TrueNorth()
+	l := m.SyntheticLoad(50, 128)
+	fLow, fHigh := m.MaxTickHz(l, 0.75), m.MaxTickHz(l, 1.05)
+	pLow := m.PowerW(l, fLow, 0.75)
+	pHigh := m.PowerW(l, fHigh, 1.05)
+	if fHigh/fLow >= pHigh/pLow {
+		t.Fatalf("speed gain %.2f× should be below power gain %.2f×", fHigh/fLow, pHigh/pLow)
+	}
+}
+
+func TestCheckVoltage(t *testing.T) {
+	m := TrueNorth()
+	for _, v := range []float64{0.70, 0.75, 1.05} {
+		if err := m.CheckVoltage(v); err != nil {
+			t.Errorf("%.2f V rejected: %v", v, err)
+		}
+	}
+	for _, v := range []float64{0.5, 0.69, 1.06, 2.0} {
+		if err := m.CheckVoltage(v); err == nil {
+			t.Errorf("%.2f V accepted", v)
+		}
+	}
+}
+
+func TestLoadFrom(t *testing.T) {
+	c := core.Counters{SynEvents: 1000, NeuronUpdates: 2000, Spikes: 100, AxonEvents: 50}
+	n := sim.NoCStats{Hops: 4000, Crossings: 10}
+	l := LoadFrom(c, n, 100)
+	want := Load{SynEvents: 10, NeuronUpdates: 20, Spikes: 1, Hops: 40, Crossings: 0.1}
+	if l != want {
+		t.Fatalf("LoadFrom = %+v, want %+v", l, want)
+	}
+	if z := LoadFrom(c, n, 0); z != (Load{}) {
+		t.Fatalf("LoadFrom with 0 ticks = %+v, want zero", z)
+	}
+}
+
+func TestSOPS(t *testing.T) {
+	l := Load{SynEvents: 2.684354e6}
+	if got := l.SOPS(1000); !near(got, 2.684354e9, 1e-9) {
+		t.Fatalf("SOPS = %g, want 2.684e9", got)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	m := TrueNorth()
+	s := m.Scaled(16)
+	if s.Cores != 16*4096 || !near(s.PassiveW, 16*m.PassiveW, 1e-12) || !near(s.AreaCM2, 16*m.AreaCM2, 1e-12) {
+		t.Fatalf("Scaled(16) = %+v", s)
+	}
+	if s.ESyn != m.ESyn {
+		t.Fatal("per-event energy must not scale with chip count")
+	}
+}
+
+func TestEnergyPerTickConsistency(t *testing.T) {
+	// Power × tick period == energy per tick.
+	m := TrueNorth()
+	l := m.SyntheticLoad(100, 200)
+	for _, hz := range []float64{500, 1000, 5000} {
+		p := m.PowerW(l, hz, 0.8)
+		e := m.EnergyPerTickJ(l, hz, 0.8)
+		if !near(p/hz, e, 1e-9) {
+			t.Fatalf("P/f = %g, energy/tick = %g at %g Hz", p/hz, e, hz)
+		}
+	}
+}
+
+func TestPropertyMonotoneInLoad(t *testing.T) {
+	// More activity never costs less energy or allows a faster tick.
+	m := TrueNorth()
+	f := func(r1, s1, dr, ds uint8) bool {
+		la := m.SyntheticLoad(float64(r1%200), float64(s1))
+		lb := m.SyntheticLoad(float64(r1%200)+float64(dr%50), float64(s1)+float64(ds%50))
+		if m.ActiveEnergyPerTickJ(lb, 0.75) < m.ActiveEnergyPerTickJ(la, 0.75) {
+			return false
+		}
+		return m.MaxTickHz(lb, 0.75) <= m.MaxTickHz(la, 0.75)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyGSOPSPerWattPositive(t *testing.T) {
+	m := TrueNorth()
+	f := func(r, s uint8, v uint8) bool {
+		volt := 0.70 + float64(v%36)/100
+		l := m.SyntheticLoad(float64(r), float64(s))
+		g := m.GSOPSPerWatt(l, 1000, volt)
+		return g >= 0 && !math.IsNaN(g) && !math.IsInf(g, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyntheticLoadShape(t *testing.T) {
+	m := TrueNorth()
+	l := m.SyntheticLoad(20, 128)
+	neurons := float64(m.Cores) * core.NeuronsPerCore
+	if !near(l.NeuronUpdates, neurons, 1e-9) {
+		t.Fatalf("NeuronUpdates = %g, want %g", l.NeuronUpdates, neurons)
+	}
+	if !near(l.Spikes, neurons*0.02, 1e-9) {
+		t.Fatalf("Spikes = %g, want %g", l.Spikes, neurons*0.02)
+	}
+	if !near(l.SynEvents, l.Spikes*128, 1e-9) {
+		t.Fatalf("SynEvents = %g, want spikes×128", l.SynEvents)
+	}
+	if !near(l.Hops, l.Spikes*43.32, 1e-9) {
+		t.Fatalf("Hops = %g, want spikes×43.32", l.Hops)
+	}
+}
+
+func TestPowerBreakdownSumsToTotal(t *testing.T) {
+	m := TrueNorth()
+	for _, pt := range []struct{ rate, syn float64 }{{20, 128}, {200, 256}, {2, 26}} {
+		l := m.SyntheticLoad(pt.rate, pt.syn)
+		for _, hz := range []float64{1000, 5000} {
+			b := m.PowerBreakdown(l, hz, 0.8)
+			if !near(b.TotalW(), m.PowerW(l, hz, 0.8), 1e-9) {
+				t.Fatalf("breakdown sums to %g, total is %g", b.TotalW(), m.PowerW(l, hz, 0.8))
+			}
+		}
+	}
+}
+
+func TestPowerBreakdownShape(t *testing.T) {
+	// At the flagship point the neuron scan dominates active power (the
+	// calibration derivation in DESIGN.md §5: ≈22 µJ of the ≈26 µJ active
+	// tick energy is the neuron array).
+	m := TrueNorth()
+	b := m.PowerBreakdown(m.SyntheticLoad(20, 128), 1000, 0.75)
+	if b.NeuronW <= b.SynapseW || b.NeuronW <= b.HopW {
+		t.Fatalf("neuron power should dominate at 20Hz/128: %+v", b)
+	}
+	// At the dense point synaptic events overtake the neuron scan.
+	b2 := m.PowerBreakdown(m.SyntheticLoad(200, 256), 1000, 0.75)
+	if b2.SynapseW <= b2.NeuronW {
+		t.Fatalf("synapse power should dominate at 200Hz/256: %+v", b2)
+	}
+}
+
+func TestMeasuredVsSyntheticLoadAgree(t *testing.T) {
+	// LoadFrom over engine counters and SyntheticLoad must agree in the
+	// quantities both define, when fed matching totals.
+	m := TrueNorth()
+	syn := m.SyntheticLoad(20, 128)
+	c := core.Counters{
+		SynEvents:     uint64(syn.SynEvents * 100),
+		NeuronUpdates: uint64(syn.NeuronUpdates * 100),
+		Spikes:        uint64(syn.Spikes * 100),
+	}
+	n := sim.NoCStats{Hops: uint64(syn.Hops * 100)}
+	meas := LoadFrom(c, n, 100)
+	if !near(meas.SynEvents, syn.SynEvents, 1e-6) || !near(meas.Spikes, syn.Spikes, 1e-6) {
+		t.Fatalf("measured %+v vs synthetic %+v", meas, syn)
+	}
+}

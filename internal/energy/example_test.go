@@ -1,0 +1,34 @@
+package energy_test
+
+import (
+	"fmt"
+
+	"truenorth/internal/energy"
+)
+
+// Example reproduces the paper's flagship numbers from the calibrated
+// model: 46 GSOPS/W at real time, 81 at 5×, ~10 pJ per synaptic event.
+func Example() {
+	m := energy.TrueNorth()
+	l := m.SyntheticLoad(20, 128) // 20 Hz mean rate, 128 active synapses/neuron
+	fmt.Printf("real time:  %.0f GSOPS/W at %.1f mW\n",
+		m.GSOPSPerWatt(l, 1000, 0.75), m.PowerW(l, 1000, 0.75)*1e3)
+	fmt.Printf("5x faster:  %.0f GSOPS/W\n", m.GSOPSPerWatt(l, 5000, 0.75))
+	fmt.Printf("per synop:  %.0f pJ active\n", m.ActivePJPerSynEvent(l, 0.75))
+	// Output:
+	// real time:  47 GSOPS/W at 57.0 mW
+	// 5x faster:  81 GSOPS/W
+	// per synop:  10 pJ active
+}
+
+// ExampleModel_PowerBreakdown decomposes the flagship operating point.
+func ExampleModel_PowerBreakdown() {
+	m := energy.TrueNorth()
+	b := m.PowerBreakdown(m.SyntheticLoad(20, 128), 1000, 0.75)
+	fmt.Printf("passive %.0f%%, neurons %.0f%%, synapses %.0f%%, mesh %.0f%%\n",
+		100*b.PassiveW/b.TotalW(),
+		100*b.NeuronW/b.TotalW(),
+		100*b.SynapseW/b.TotalW(),
+		100*(b.HopW+b.CrossW)/b.TotalW())
+	// Output: passive 53%, neurons 40%, synapses 6%, mesh 1%
+}

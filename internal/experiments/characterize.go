@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"fmt"
+
+	"truenorth/internal/compass"
+	"truenorth/internal/core"
+	"truenorth/internal/energy"
+	"truenorth/internal/netgen"
+	"truenorth/internal/router"
+	"truenorth/internal/vnperf"
+)
+
+// CharConfig controls the 88-network characterization runs (Figs. 5 & 6).
+type CharConfig struct {
+	// Grid is the simulated core mesh. The full chip is 64×64; smaller
+	// grids run faster and are scaled to full-chip loads (per-neuron
+	// activity is grid-independent by construction; hop counts scale with
+	// the grid edge).
+	Grid router.Mesh
+	// Warmup and Ticks are the settling and measurement windows.
+	Warmup, Ticks int
+	// Workers is the Compass worker count (0 = GOMAXPROCS).
+	Workers int
+	// Seed drives network generation.
+	Seed int64
+	// Voltage is the supply point for Figs. 5a/5b/5d/5e (paper: 0.75 V).
+	Voltage float64
+}
+
+// DefaultCharConfig returns a configuration that sweeps all 88 networks in
+// seconds on a laptop-class machine.
+func DefaultCharConfig() CharConfig {
+	return CharConfig{
+		Grid:    router.Mesh{W: 16, H: 16},
+		Warmup:  40,
+		Ticks:   80,
+		Seed:    1,
+		Voltage: 0.75,
+	}
+}
+
+// CharPoint is one measured cell of the characterization space.
+type CharPoint struct {
+	// Point is the sweep coordinate (target rate and synapses/neuron).
+	Point netgen.Point
+	// MeasuredRateHz and MeasuredSyn are the realized values.
+	MeasuredRateHz, MeasuredSyn float64
+	// Load is the per-tick activity scaled to a full 4,096-core chip.
+	Load energy.Load
+	// GSOPS is computation per time at real-time operation (Fig. 5a).
+	GSOPS float64
+	// MaxTickKHz is the maximum tick frequency (Fig. 5b).
+	MaxTickKHz float64
+	// EnergyPerTickUJ is total energy per tick in µJ (Fig. 5d).
+	EnergyPerTickUJ float64
+	// GSOPSPerW is computation per energy (Fig. 5e).
+	GSOPSPerW float64
+}
+
+// Characterize runs the 88 probabilistically generated recurrent networks
+// and measures the Fig. 5 quantities at cfg.Voltage and real-time (1 kHz)
+// operation.
+func Characterize(cfg CharConfig) ([]CharPoint, error) {
+	model := energy.TrueNorth()
+	if err := model.CheckVoltage(cfg.Voltage); err != nil {
+		return nil, err
+	}
+	pts := netgen.SweepPoints()
+	out := make([]CharPoint, len(pts))
+	for i := range pts {
+		configs, pt, err := netgen.BuildSweep(cfg.Grid, i, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		var opts []compass.Option
+		if cfg.Workers > 0 {
+			opts = append(opts, compass.WithWorkers(cfg.Workers))
+		}
+		eng, err := compass.New(cfg.Grid, configs, opts...)
+		if err != nil {
+			return nil, err
+		}
+		eng.Run(cfg.Warmup)
+		l := energy.MeasureLoad(eng, cfg.Ticks)
+		scaled := ScaleLoadToChip(l, cfg.Grid)
+		simNeurons := float64(cfg.Grid.W * cfg.Grid.H * core.NeuronsPerCore)
+		cp := CharPoint{
+			Point:          pt,
+			MeasuredRateHz: l.Spikes / simNeurons * 1000,
+			Load:           scaled,
+			GSOPS:          scaled.SOPS(1000) / 1e9,
+			MaxTickKHz:     model.MaxTickHz(scaled, cfg.Voltage) / 1000,
+			GSOPSPerW:      model.GSOPSPerWatt(scaled, 1000, cfg.Voltage),
+		}
+		cp.EnergyPerTickUJ = model.EnergyPerTickJ(scaled, 1000, cfg.Voltage) * 1e6
+		if l.Spikes > 0 {
+			cp.MeasuredSyn = l.SynEvents / l.Spikes
+		}
+		out[i] = cp
+	}
+	return out, nil
+}
+
+// ScaleLoadToChip converts a load measured on a reduced grid to the
+// equivalent full-chip (64×64) load: per-neuron activity is preserved and
+// per-spike hop distance grows with the grid edge (uniform-target routing:
+// mean hops ∝ edge length).
+func ScaleLoadToChip(l energy.Load, grid router.Mesh) energy.Load {
+	nf := float64(64*64) / float64(grid.W*grid.H)
+	hf := 64.0 / float64(grid.W)
+	return energy.Load{
+		SynEvents:     l.SynEvents * nf,
+		NeuronUpdates: l.NeuronUpdates * nf,
+		Spikes:        l.Spikes * nf,
+		Hops:          l.Hops * nf * hf,
+		Crossings:     l.Crossings * nf,
+	}
+}
+
+// CharTables renders the Fig. 5a/5b/5d/5e contour data as rate×synapse
+// grids (one table per figure, rows = rates, columns = synapse counts).
+func CharTables(points []CharPoint) []*Table {
+	rates, syns := axes(points)
+	mk := func(title, unit string, val func(CharPoint) float64) *Table {
+		t := &Table{Title: title, Header: append([]string{"rate\\syn"}, intsToStrings(syns)...)}
+		for _, r := range rates {
+			row := []string{f0(r)}
+			for _, s := range syns {
+				cp, ok := lookup(points, r, s)
+				if !ok {
+					row = append(row, "-")
+					continue
+				}
+				row = append(row, fmt.Sprintf("%.3g", val(cp)))
+			}
+			t.AddRow(row...)
+		}
+		t.Title += " [" + unit + "]"
+		return t
+	}
+	return []*Table{
+		mk("Fig 5a: computation per time, rate x synapses @0.75V", "GSOPS", func(c CharPoint) float64 { return c.GSOPS }),
+		mk("Fig 5b: max tick frequency, rate x synapses @0.75V", "kHz", func(c CharPoint) float64 { return c.MaxTickKHz }),
+		mk("Fig 5d: total energy per tick, rate x synapses @0.75V", "uJ", func(c CharPoint) float64 { return c.EnergyPerTickUJ }),
+		mk("Fig 5e: computation per energy, rate x synapses @0.75V", "GSOPS/W", func(c CharPoint) float64 { return c.GSOPSPerW }),
+	}
+}
+
+// VoltageSweep renders Figs. 5c and 5f: voltage × synapses at a 50 Hz mean
+// firing rate, from the analytic load model.
+func VoltageSweep() []*Table {
+	model := energy.TrueNorth()
+	volts := []float64{0.70, 0.75, 0.80, 0.85, 0.90, 0.95, 1.00, 1.05}
+	syns := []int{0, 26, 51, 77, 102, 128, 154, 179, 205, 230, 256}
+	freq := &Table{Title: "Fig 5c: max tick frequency, voltage x synapses @50Hz [kHz]",
+		Header: append([]string{"V\\syn"}, intsToStrings(syns)...)}
+	eff := &Table{Title: "Fig 5f: computation per energy, voltage x synapses @50Hz [GSOPS/W]",
+		Header: append([]string{"V\\syn"}, intsToStrings(syns)...)}
+	for _, v := range volts {
+		rowF := []string{f2(v)}
+		rowE := []string{f2(v)}
+		for _, s := range syns {
+			l := model.SyntheticLoad(50, float64(s))
+			rowF = append(rowF, fmt.Sprintf("%.3g", model.MaxTickHz(l, v)/1000))
+			rowE = append(rowE, fmt.Sprintf("%.3g", model.GSOPSPerWatt(l, 1000, v)))
+		}
+		freq.AddRow(rowF...)
+		eff.AddRow(rowE...)
+	}
+	return []*Table{freq, eff}
+}
+
+// ComparePoint is one cell of the Fig. 6 comparison grids.
+type ComparePoint struct {
+	Point netgen.Point
+	// BGQ and X86 are TrueNorth-vs-Compass ratios at this operating point.
+	BGQ, X86 vnperf.Comparison
+}
+
+// CompareAll computes the Fig. 6 grids from characterization results:
+// TrueNorth (real time, 0.75 V) versus Compass on 32 BG/Q compute cards ×
+// 64 threads and on the dual-socket x86 × 24 threads.
+func CompareAll(points []CharPoint) []ComparePoint {
+	tn := energy.TrueNorth()
+	bgq, x86 := vnperf.BGQ(), vnperf.X86()
+	bgqCfg := vnperf.Config{Hosts: 32, Threads: 64}
+	x86Cfg := vnperf.Config{Hosts: 1, Threads: 24}
+	out := make([]ComparePoint, len(points))
+	for i, cp := range points {
+		out[i] = ComparePoint{
+			Point: cp.Point,
+			BGQ:   vnperf.Compare(tn, cp.Load, 1000, 0.75, bgq, bgqCfg),
+			X86:   vnperf.Compare(tn, cp.Load, 1000, 0.75, x86, x86Cfg),
+		}
+	}
+	return out
+}
+
+// CompareTables renders Fig. 6(a-d).
+func CompareTables(points []CharPoint) []*Table {
+	cmp := CompareAll(points)
+	rates, syns := axes(points)
+	mk := func(title string, val func(ComparePoint) float64) *Table {
+		t := &Table{Title: title, Header: append([]string{"rate\\syn"}, intsToStrings(syns)...)}
+		for _, r := range rates {
+			row := []string{f0(r)}
+			for _, s := range syns {
+				found := false
+				for _, c := range cmp {
+					if c.Point.RateHz == r && c.Point.Syn == s {
+						row = append(row, fmt.Sprintf("%.3g", val(c)))
+						found = true
+						break
+					}
+				}
+				if !found {
+					row = append(row, "-")
+				}
+			}
+			t.AddRow(row...)
+		}
+		return t
+	}
+	return []*Table{
+		mk("Fig 6a: x speedup vs Compass on 32-card BG/Q", func(c ComparePoint) float64 { return c.BGQ.Speedup }),
+		mk("Fig 6b: x energy improvement vs Compass on 32-card BG/Q", func(c ComparePoint) float64 { return c.BGQ.EnergyImprovement }),
+		mk("Fig 6c: x speedup vs Compass on dual-socket x86", func(c ComparePoint) float64 { return c.X86.Speedup }),
+		mk("Fig 6d: x energy improvement vs Compass on dual-socket x86", func(c ComparePoint) float64 { return c.X86.EnergyImprovement }),
+	}
+}
+
+// Headline reproduces the paper's flagship operating points (Sections I
+// and VI-B).
+func Headline() *Table {
+	model := energy.TrueNorth()
+	t := &Table{
+		Title:  "Headline operating points (paper: 46 GSOPS/W @65mW real-time; 81 @5x; >400 @200Hz/256syn; ~10pJ/synop)",
+		Header: []string{"operating point", "tick rate", "power mW", "GSOPS", "GSOPS/W", "active pJ/synop", "mW/cm^2"},
+	}
+	add := func(name string, rate, syn, tickHz float64) {
+		l := model.SyntheticLoad(rate, syn)
+		t.AddRow(name,
+			fmt.Sprintf("%.0f Hz", tickHz),
+			f1(model.PowerW(l, tickHz, 0.75)*1e3),
+			f1(l.SOPS(tickHz)/1e9),
+			f1(model.GSOPSPerWatt(l, tickHz, 0.75)),
+			f1(model.ActivePJPerSynEvent(l, 0.75)),
+			f1(model.PowerDensityWPerCM2(l, tickHz, 0.75)*1e3),
+		)
+	}
+	add("20Hz x 128 syn, real time", 20, 128, 1000)
+	add("20Hz x 128 syn, 5x real time", 20, 128, 5000)
+	add("200Hz x 256 syn, real time", 200, 256, 1000)
+	add("64Hz x 128 syn (app regime)", 64, 128, 1000)
+	return t
+}
+
+// BreakdownTable decomposes chip power into components across operating
+// points — the silicon-design view behind the paper's efficiency
+// arguments (co-located memory, multiplexed neurons, event-driven cores).
+func BreakdownTable() *Table {
+	model := energy.TrueNorth()
+	t := &Table{
+		Title:  "Power breakdown by component at 0.75V, real time [mW]",
+		Header: []string{"operating point", "passive", "neuron scan", "synaptic events", "mesh", "total"},
+	}
+	for _, pt := range []struct {
+		name      string
+		rate, syn float64
+	}{
+		{"idle (0 Hz)", 0, 0},
+		{"2 Hz x 26 syn", 2, 26},
+		{"20 Hz x 128 syn (flagship)", 20, 128},
+		{"64 Hz x 128 syn (apps)", 64, 128},
+		{"200 Hz x 256 syn (dense)", 200, 256},
+	} {
+		l := model.SyntheticLoad(pt.rate, pt.syn)
+		b := model.PowerBreakdown(l, 1000, 0.75)
+		t.AddRow(pt.name, f1(b.PassiveW*1e3), f1(b.NeuronW*1e3), f1(b.SynapseW*1e3),
+			f1((b.HopW+b.CrossW)*1e3), f1(b.TotalW()*1e3))
+	}
+	return t
+}
+
+// axes extracts sorted unique rates and synapse counts from points.
+func axes(points []CharPoint) ([]float64, []int) {
+	var rates []float64
+	var syns []int
+	seenR := map[float64]bool{}
+	seenS := map[int]bool{}
+	for _, p := range points {
+		if !seenR[p.Point.RateHz] {
+			seenR[p.Point.RateHz] = true
+			rates = append(rates, p.Point.RateHz)
+		}
+		if !seenS[p.Point.Syn] {
+			seenS[p.Point.Syn] = true
+			syns = append(syns, p.Point.Syn)
+		}
+	}
+	return rates, syns
+}
+
+func lookup(points []CharPoint, rate float64, syn int) (CharPoint, bool) {
+	for _, p := range points {
+		if p.Point.RateHz == rate && p.Point.Syn == syn {
+			return p, true
+		}
+	}
+	return CharPoint{}, false
+}
+
+func intsToStrings(vs []int) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = fmt.Sprintf("%d", v)
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"truenorth/internal/energy"
+	"truenorth/internal/multichip"
+	"truenorth/internal/netgen"
+)
+
+// TopologyConfig controls the communication-locality study: one of
+// Compass's stated purposes is "benchmarking inter-core communication on
+// different neural network topologies" (Section III-B), and the
+// architecture's premise is that cortex-like clustered connectivity keeps
+// traffic local ("emulating the clustered hierarchical connectivity of
+// the cortex").
+type TopologyConfig struct {
+	// Board is the simulated multi-chip substrate.
+	Board multichip.Board
+	// RateHz, Syn pick the workload.
+	RateHz float64
+	Syn    int
+	// Localities are the clustered-connection fractions to sweep.
+	Localities []float64
+	// Warmup, Ticks are the settle and measurement windows.
+	Warmup, Ticks int
+	// Seed drives generation.
+	Seed int64
+}
+
+// DefaultTopologyConfig returns a fast 2×2-board sweep.
+func DefaultTopologyConfig() TopologyConfig {
+	return TopologyConfig{
+		Board:      multichip.Board{ChipsX: 2, ChipsY: 2, TileW: 6, TileH: 6},
+		RateHz:     50,
+		Syn:        64,
+		Localities: []float64{0, 0.5, 0.8, 0.95},
+		Warmup:     40,
+		Ticks:      120,
+		Seed:       1,
+	}
+}
+
+// TopologyPoint is one locality measurement.
+type TopologyPoint struct {
+	// Locality is the clustered-connection fraction.
+	Locality float64
+	// HopsPerSpike is the mean mesh distance travelled.
+	HopsPerSpike float64
+	// CrossPerSpike is the mean chip-boundary crossings per packet.
+	CrossPerSpike float64
+	// LinkUtilization is the merge/split load fraction.
+	LinkUtilization float64
+	// CommEnergyFrac is the share of active energy spent on the mesh
+	// (hops + crossings) under the TrueNorth model.
+	CommEnergyFrac float64
+}
+
+// TopologySweep measures NoC load across connection topologies from
+// uniform-random to strongly clustered.
+func TopologySweep(cfg TopologyConfig) ([]TopologyPoint, error) {
+	mesh := cfg.Board.Mesh()
+	model := energy.TrueNorth()
+	var out []TopologyPoint
+	for _, loc := range cfg.Localities {
+		configs, err := netgen.Build(netgen.Params{
+			Grid: mesh, RateHz: cfg.RateHz, SynPerNeuron: cfg.Syn,
+			Seed: cfg.Seed, Locality: loc,
+		})
+		if err != nil {
+			return nil, err
+		}
+		eng, err := cfg.Board.New(configs)
+		if err != nil {
+			return nil, err
+		}
+		eng.Run(cfg.Warmup)
+		l := energy.MeasureLoad(eng, cfg.Ticks)
+		noc := eng.NoC()
+		pt := TopologyPoint{Locality: loc}
+		if noc.RoutedSpikes > 0 {
+			pt.HopsPerSpike = float64(noc.Hops) / float64(noc.RoutedSpikes)
+			pt.CrossPerSpike = float64(noc.Crossings) / float64(noc.RoutedSpikes)
+		}
+		pt.LinkUtilization = cfg.Board.Utilization(multichip.DefaultLink(), l.Crossings)
+		b := model.PowerBreakdown(l, 1000, 0.75)
+		active := b.NeuronW + b.SynapseW + b.HopW + b.CrossW
+		if active > 0 {
+			pt.CommEnergyFrac = (b.HopW + b.CrossW) / active
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// TopologyTable renders the sweep.
+func TopologyTable(points []TopologyPoint) *Table {
+	t := &Table{
+		Title:  "Communication topology: clustered (cortex-like) connectivity vs NoC load",
+		Header: []string{"locality", "hops/spike", "crossings/spike", "link util %", "comm energy %"},
+	}
+	for _, p := range points {
+		t.AddRow(f2(p.Locality), f2(p.HopsPerSpike), f2(p.CrossPerSpike),
+			f2(p.LinkUtilization*100), f1(p.CommEnergyFrac*100))
+	}
+	return t
+}

@@ -1,0 +1,403 @@
+// Package model serializes neurosynaptic network models and simulation
+// checkpoints. It is the analogue of the model-file layer of the paper's
+// ecosystem: the Corelet toolchain emits a model, Compass and TrueNorth
+// both consume the identical model, and long regressions (Section VI-A ran
+// up to 100M time steps) can be checkpointed and resumed bit-exactly — on
+// either engine, since the two expressions share the same state.
+//
+// The model format is a little-endian binary stream:
+//
+//	magic "TNMDL1\n" | mesh (W,H,TileW,TileH as uint32) |
+//	populated-core count (uint32) | per core: index (uint32) + config
+//
+// Crossbar rows use a sparse encoding (count + indices) and fall back to a
+// dense 32-byte bitmap when more than half full. Checkpoints ("TNCKP1\n")
+// carry the tick, aggregate NoC statistics, and each populated core's
+// runtime state (potentials, delay rings, PRNG, fault flag, counters).
+package model
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"truenorth/internal/core"
+	"truenorth/internal/neuron"
+	"truenorth/internal/router"
+	"truenorth/internal/sim"
+)
+
+var (
+	modelMagic      = [7]byte{'T', 'N', 'M', 'D', 'L', '1', '\n'}
+	checkpointMagic = [7]byte{'T', 'N', 'C', 'K', 'P', '1', '\n'}
+)
+
+// denseRowMarker flags a dense 256-bit row in place of a sparse count.
+const denseRowMarker = 0xFFFF
+
+// WriteModel serializes a mesh and its row-major core configurations.
+func WriteModel(w io.Writer, mesh router.Mesh, configs []*core.Config) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(modelMagic[:]); err != nil {
+		return err
+	}
+	putU32 := func(v uint32) { binary.Write(bw, binary.LittleEndian, v) } //nolint:errcheck // buffered; flushed error below
+	putU32(uint32(mesh.W))
+	putU32(uint32(mesh.H))
+	putU32(uint32(mesh.TileW))
+	putU32(uint32(mesh.TileH))
+	populated := 0
+	for _, cfg := range configs {
+		if cfg != nil {
+			populated++
+		}
+	}
+	putU32(uint32(populated))
+	for i, cfg := range configs {
+		if cfg == nil {
+			continue
+		}
+		putU32(uint32(i))
+		if err := writeConfig(bw, cfg); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadModel deserializes a model written by WriteModel.
+func ReadModel(r io.Reader) (router.Mesh, []*core.Config, error) {
+	br := bufio.NewReader(r)
+	var magic [7]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return router.Mesh{}, nil, fmt.Errorf("model: reading magic: %w", err)
+	}
+	if magic != modelMagic {
+		return router.Mesh{}, nil, fmt.Errorf("model: bad magic %q", magic)
+	}
+	var w, h, tw, th, n uint32
+	for _, p := range []*uint32{&w, &h, &tw, &th, &n} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return router.Mesh{}, nil, err
+		}
+	}
+	mesh := router.Mesh{W: int(w), H: int(h), TileW: int(tw), TileH: int(th)}
+	if mesh.W <= 0 || mesh.H <= 0 || mesh.W > 1<<14 || mesh.H > 1<<14 {
+		return router.Mesh{}, nil, fmt.Errorf("model: implausible mesh %dx%d", mesh.W, mesh.H)
+	}
+	slots := mesh.W * mesh.H
+	if int(n) > slots {
+		return router.Mesh{}, nil, fmt.Errorf("model: %d cores for %d slots", n, slots)
+	}
+	configs := make([]*core.Config, slots)
+	for k := 0; k < int(n); k++ {
+		var idx uint32
+		if err := binary.Read(br, binary.LittleEndian, &idx); err != nil {
+			return router.Mesh{}, nil, err
+		}
+		if int(idx) >= slots {
+			return router.Mesh{}, nil, fmt.Errorf("model: core index %d out of range", idx)
+		}
+		if configs[idx] != nil {
+			return router.Mesh{}, nil, fmt.Errorf("model: duplicate core %d", idx)
+		}
+		cfg, err := readConfig(br)
+		if err != nil {
+			return router.Mesh{}, nil, fmt.Errorf("model: core %d: %w", idx, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			return router.Mesh{}, nil, fmt.Errorf("model: core %d: %w", idx, err)
+		}
+		configs[idx] = cfg
+	}
+	return mesh, configs, nil
+}
+
+// writeConfig serializes one core configuration.
+func writeConfig(w io.Writer, cfg *core.Config) error {
+	if _, err := w.Write(cfg.AxonType[:]); err != nil {
+		return err
+	}
+	for a := range cfg.Synapses {
+		if err := writeRow(w, &cfg.Synapses[a]); err != nil {
+			return err
+		}
+	}
+	for j := range cfg.Neurons {
+		if err := writeNeuron(w, &cfg.Neurons[j]); err != nil {
+			return err
+		}
+		if err := writeTarget(w, cfg.Targets[j]); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(w, binary.LittleEndian, cfg.InitV[:]); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, cfg.Seed)
+}
+
+func readConfig(r io.Reader) (*core.Config, error) {
+	cfg := &core.Config{}
+	if _, err := io.ReadFull(r, cfg.AxonType[:]); err != nil {
+		return nil, err
+	}
+	for a := range cfg.Synapses {
+		if err := readRow(r, &cfg.Synapses[a]); err != nil {
+			return nil, err
+		}
+	}
+	for j := range cfg.Neurons {
+		if err := readNeuron(r, &cfg.Neurons[j]); err != nil {
+			return nil, err
+		}
+		var err error
+		cfg.Targets[j], err = readTarget(r)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := binary.Read(r, binary.LittleEndian, cfg.InitV[:]); err != nil {
+		return nil, err
+	}
+	return cfg, binary.Read(r, binary.LittleEndian, &cfg.Seed)
+}
+
+// writeRow writes one crossbar row, sparse when under half full.
+func writeRow(w io.Writer, row *core.RowMask) error {
+	n := row.Count()
+	if n > core.NeuronsPerCore/2 {
+		if err := binary.Write(w, binary.LittleEndian, uint16(denseRowMarker)); err != nil {
+			return err
+		}
+		return binary.Write(w, binary.LittleEndian, row[:])
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint16(n)); err != nil {
+		return err
+	}
+	var buf []byte
+	row.ForEach(func(i int) { buf = append(buf, byte(i)) })
+	_, err := w.Write(buf)
+	return err
+}
+
+func readRow(r io.Reader, row *core.RowMask) error {
+	var n uint16
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return err
+	}
+	if n == denseRowMarker {
+		return binary.Read(r, binary.LittleEndian, row[:])
+	}
+	if int(n) > core.NeuronsPerCore {
+		return fmt.Errorf("row with %d entries", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	for _, b := range buf {
+		row.Set(int(b))
+	}
+	return nil
+}
+
+// neuron flag bits.
+const (
+	flagStochSyn0 = 1 << iota
+	flagStochSyn1
+	flagStochSyn2
+	flagStochSyn3
+	flagStochLeak
+	flagNegSaturate
+	flagLeakReversal
+)
+
+func writeNeuron(w io.Writer, p *neuron.Params) error {
+	var flags uint8
+	for g := 0; g < neuron.NumAxonTypes; g++ {
+		if p.StochSyn[g] {
+			flags |= 1 << g
+		}
+	}
+	if p.StochLeak {
+		flags |= flagStochLeak
+	}
+	if p.NegSaturate {
+		flags |= flagNegSaturate
+	}
+	if p.LeakReversal {
+		flags |= flagLeakReversal
+	}
+	fields := []any{
+		p.Weights[0], p.Weights[1], p.Weights[2], p.Weights[3],
+		p.Leak, p.Threshold, p.ThresholdMask, p.NegThreshold, p.ResetV,
+		uint8(p.Reset), flags,
+	}
+	for _, f := range fields {
+		if err := binary.Write(w, binary.LittleEndian, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readNeuron(r io.Reader, p *neuron.Params) error {
+	var reset, flags uint8
+	fields := []any{
+		&p.Weights[0], &p.Weights[1], &p.Weights[2], &p.Weights[3],
+		&p.Leak, &p.Threshold, &p.ThresholdMask, &p.NegThreshold, &p.ResetV,
+		&reset, &flags,
+	}
+	for _, f := range fields {
+		if err := binary.Read(r, binary.LittleEndian, f); err != nil {
+			return err
+		}
+	}
+	p.Reset = neuron.ResetMode(reset)
+	for g := 0; g < neuron.NumAxonTypes; g++ {
+		p.StochSyn[g] = flags&(1<<g) != 0
+	}
+	p.StochLeak = flags&flagStochLeak != 0
+	p.NegSaturate = flags&flagNegSaturate != 0
+	p.LeakReversal = flags&flagLeakReversal != 0
+	return nil
+}
+
+// target flag bits.
+const (
+	flagValid = 1 << iota
+	flagOutput
+)
+
+func writeTarget(w io.Writer, t core.Target) error {
+	var flags uint8
+	if t.Valid {
+		flags |= flagValid
+	}
+	if t.Output {
+		flags |= flagOutput
+	}
+	fields := []any{flags, t.OutputID, t.DX, t.DY, t.Axon, t.Delay}
+	for _, f := range fields {
+		if err := binary.Write(w, binary.LittleEndian, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readTarget(r io.Reader) (core.Target, error) {
+	var t core.Target
+	var flags uint8
+	fields := []any{&flags, &t.OutputID, &t.DX, &t.DY, &t.Axon, &t.Delay}
+	for _, f := range fields {
+		if err := binary.Read(r, binary.LittleEndian, f); err != nil {
+			return t, err
+		}
+	}
+	t.Valid = flags&flagValid != 0
+	t.Output = flags&flagOutput != 0
+	return t, nil
+}
+
+// CheckpointableEngine is an engine that supports bit-exact suspend and
+// resume. Both kernel expressions implement it.
+type CheckpointableEngine interface {
+	sim.Engine
+	Cores() []*core.Core
+	SetClock(tick uint64)
+	SetNoC(sim.NoCStats)
+}
+
+// WriteCheckpoint snapshots a running engine: the tick, aggregate NoC
+// statistics, and every populated core's runtime state. Pending external
+// injections queued beyond the 15-tick delay horizon are not part of the
+// snapshot; checkpoint between frames, not mid-frame.
+func WriteCheckpoint(w io.Writer, eng CheckpointableEngine) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(checkpointMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, eng.Tick()); err != nil {
+		return err
+	}
+	noc := eng.NoC()
+	if err := binary.Write(bw, binary.LittleEndian, &noc); err != nil {
+		return err
+	}
+	cores := eng.Cores()
+	populated := uint32(0)
+	for _, c := range cores {
+		if c != nil {
+			populated++
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, populated); err != nil {
+		return err
+	}
+	for i, c := range cores {
+		if c == nil {
+			continue
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(i)); err != nil {
+			return err
+		}
+		st := c.SaveState()
+		if err := binary.Write(bw, binary.LittleEndian, &st); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCheckpoint resumes eng (already constructed with the same model)
+// from a snapshot. The engine's clock, NoC statistics, and per-core states
+// are restored; subsequent Steps continue bit-exactly — on either engine
+// expression.
+func ReadCheckpoint(r io.Reader, eng CheckpointableEngine) error {
+	br := bufio.NewReader(r)
+	var magic [7]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("checkpoint: reading magic: %w", err)
+	}
+	if magic != checkpointMagic {
+		return fmt.Errorf("checkpoint: bad magic %q", magic)
+	}
+	var tick uint64
+	if err := binary.Read(br, binary.LittleEndian, &tick); err != nil {
+		return err
+	}
+	var noc sim.NoCStats
+	if err := binary.Read(br, binary.LittleEndian, &noc); err != nil {
+		return err
+	}
+	var populated uint32
+	if err := binary.Read(br, binary.LittleEndian, &populated); err != nil {
+		return err
+	}
+	cores := eng.Cores()
+	seen := uint32(0)
+	for k := uint32(0); k < populated; k++ {
+		var idx uint32
+		if err := binary.Read(br, binary.LittleEndian, &idx); err != nil {
+			return err
+		}
+		if int(idx) >= len(cores) || cores[idx] == nil {
+			return fmt.Errorf("checkpoint: state for absent core %d", idx)
+		}
+		var st core.State
+		if err := binary.Read(br, binary.LittleEndian, &st); err != nil {
+			return err
+		}
+		cores[idx].RestoreState(st)
+		seen++
+	}
+	if seen != populated {
+		return fmt.Errorf("checkpoint: restored %d of %d cores", seen, populated)
+	}
+	eng.SetNoC(noc)
+	eng.SetClock(tick)
+	return nil
+}

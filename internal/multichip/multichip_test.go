@@ -1,0 +1,190 @@
+package multichip
+
+import (
+	"testing"
+
+	"truenorth/internal/core"
+	"truenorth/internal/energy"
+	"truenorth/internal/netgen"
+	"truenorth/internal/neuron"
+)
+
+func TestBoardGeometry(t *testing.T) {
+	b := FourByFour()
+	if b.Chips() != 16 {
+		t.Fatalf("4×4 board has %d chips", b.Chips())
+	}
+	if got := b.Neurons(); got != 16*1_048_576 {
+		t.Fatalf("neurons = %d, want 16M (the paper's '16 million neurons')", got)
+	}
+	if got := b.Synapses(); got != 16*268_435_456 {
+		t.Fatalf("synapses = %d, want 4G (the paper's '4 billion synapses')", got)
+	}
+	m := b.Mesh()
+	if m.W != 256 || m.H != 256 || m.TileW != 64 || m.TileH != 64 {
+		t.Fatalf("mesh = %+v", m)
+	}
+	if FourByOne().Chips() != 4 {
+		t.Fatal("4×1 board chip count")
+	}
+}
+
+func TestBoundaryLinks(t *testing.T) {
+	if got := FourByOne().boundaryLinks(); got != 3 {
+		t.Fatalf("4×1 board has %d internal boundaries, want 3", got)
+	}
+	if got := FourByFour().boundaryLinks(); got != 24 {
+		t.Fatalf("4×4 board has %d internal boundaries, want 24 (12 vertical + 12 horizontal)", got)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	b := FourByFour()
+	l := DefaultLink()
+	if got := b.Utilization(l, 0); got != 0 {
+		t.Fatalf("zero traffic utilization = %f", got)
+	}
+	full := float64(b.boundaryLinks()) * l.PacketsPerTick
+	if got := b.Utilization(l, full); got != 1 {
+		t.Fatalf("saturating traffic utilization = %f, want 1", got)
+	}
+	single := Board{ChipsX: 1, ChipsY: 1, TileW: 64, TileH: 64}
+	if got := single.Utilization(l, 100); got != 0 {
+		t.Fatalf("single-chip board utilization = %f, want 0 (no links)", got)
+	}
+}
+
+func TestCrossChipSpikeOnSmallBoard(t *testing.T) {
+	// A 2×1 board of 4×4-core tiles; a relay crosses the chip boundary.
+	b := Board{ChipsX: 2, ChipsY: 1, TileW: 4, TileH: 4}
+	configs := make([]*core.Config, b.Mesh().W*b.Mesh().H)
+	src := core.InertConfig()
+	src.Synapses[0].Set(0)
+	src.Neurons[0] = neuron.Identity()
+	src.Targets[0] = core.Target{Valid: true, DX: 6, Axon: 0, Delay: 1}
+	configs[0] = src
+	dst := core.InertConfig()
+	dst.Synapses[0].Set(0)
+	dst.Neurons[0] = neuron.Identity()
+	dst.Targets[0] = core.Target{Valid: true, Output: true, OutputID: 9}
+	configs[6] = dst
+	m, err := b.New(configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Inject(0, 0, 0, 0)
+	m.Run(3)
+	out := m.DrainOutputs()
+	if len(out) != 1 || out[0].ID != 9 {
+		t.Fatalf("cross-chip relay outputs = %v", out)
+	}
+	if got := m.NoC().Crossings; got != 1 {
+		t.Fatalf("crossings = %d, want 1 merge/split traversal", got)
+	}
+}
+
+func TestBoardNewValidation(t *testing.T) {
+	b := Board{ChipsX: 0, ChipsY: 1, TileW: 4, TileH: 4}
+	if _, err := b.New(nil); err == nil {
+		t.Fatal("zero-chip board accepted")
+	}
+}
+
+func TestSixteenChipBoardPower(t *testing.T) {
+	// Section VII-C: "Total board power, while running a 16M neuron
+	// network at real time is 7.2W, divided 2.5W and 4.7W between the
+	// TrueNorth array operating at 1.0V and the supporting logic."
+	p := DefaultPower()
+	b := FourByFour()
+	load := p.Chip.SyntheticLoad(20, 128) // per chip
+	got := p.BoardPowerW(b, load, 1000, 1.0)
+	if got < 5.5 || got > 9.0 {
+		t.Fatalf("4×4 board power = %.2f W, want ≈7.2 W", got)
+	}
+	array := got - p.SupportW
+	if array < 1.5 || array > 4.0 {
+		t.Fatalf("array power = %.2f W, want ≈2.5 W", array)
+	}
+}
+
+func TestSectionVIISystems(t *testing.T) {
+	systems := SectionVIISystems()
+	if len(systems) != 3 {
+		t.Fatalf("%d projected systems, want 3", len(systems))
+	}
+	rack := systems[2]
+	if rack.Chips != 4096 {
+		t.Fatalf("rack chips = %d, want 4096", rack.Chips)
+	}
+	if rack.Synapses != int64(4096)*268_435_456 {
+		t.Fatalf("rack synapses = %d, want ≈1 trillion", rack.Synapses)
+	}
+	if rack.Synapses < 1_000_000_000_000 {
+		t.Fatalf("rack synapses = %d, want ≥1e12 (the paper's 'one trillion synapses')", rack.Synapses)
+	}
+	if rack.EnergyGain != 128000 {
+		t.Fatalf("rack energy gain = %.0f, want 128,000×", rack.EnergyGain)
+	}
+	if systems[1].EnergyGain != 6400 {
+		t.Fatalf("rat-scale energy gain = %.0f, want 6,400×", systems[1].EnergyGain)
+	}
+}
+
+func TestProjectedRackPowerWithinBudget(t *testing.T) {
+	// The 4,096-chip rack must land near (and not wildly above) the 4 kW
+	// budget with its ~300 W of TrueNorth silicon.
+	p := DefaultPower()
+	rack := SectionVIISystems()[2]
+	load := p.Chip.SyntheticLoad(20, 128)
+	got := p.ProjectedPowerW(rack, load, 1000, 0.75)
+	if got > rack.BudgetW {
+		t.Fatalf("projected rack power %.0f W exceeds the %.0f W budget", got, rack.BudgetW)
+	}
+	silicon := float64(rack.Chips) * p.Chip.PowerW(load, 1000, 0.75)
+	if silicon < 150 || silicon > 500 {
+		t.Fatalf("rack silicon power = %.0f W, want ≈300 W (the paper's '~300 Watts attributed to TrueNorth processors')", silicon)
+	}
+}
+
+func TestBoardWideRecurrentNetwork(t *testing.T) {
+	// A recurrent network spanning a 2×2 board of 6×6-core chips: spikes
+	// cross chip boundaries through the merge/split blocks natively, and
+	// the links stay far from saturation at realistic rates — the paper's
+	// "native multi-chip communication" demonstration scaled down.
+	b := Board{ChipsX: 2, ChipsY: 2, TileW: 6, TileH: 6}
+	mesh := b.Mesh()
+	configs, err := netgen.Build(netgen.Params{Grid: mesh, RateHz: 50, SynPerNeuron: 64, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.New(configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ticks = 200
+	m.Run(ticks)
+	noc := m.NoC()
+	if noc.Crossings == 0 {
+		t.Fatal("no chip-boundary crossings on a board-spanning network")
+	}
+	// Uniform random targets: roughly half of all packets cross at least
+	// one boundary on a 2×2 board.
+	crossFrac := float64(noc.Crossings) / float64(noc.RoutedSpikes)
+	if crossFrac < 0.3 || crossFrac > 1.5 {
+		t.Fatalf("crossings per packet = %.2f, want ≈0.5-1", crossFrac)
+	}
+	util := b.Utilization(DefaultLink(), float64(noc.Crossings)/ticks)
+	if util <= 0 || util >= 0.5 {
+		t.Fatalf("link utilization %.4f, want positive and far from saturation", util)
+	}
+}
+
+func TestEnergyLoadScalesWithChips(t *testing.T) {
+	one := energy.TrueNorth()
+	sixteen := one.Scaled(16)
+	l1 := one.SyntheticLoad(20, 128)
+	l16 := sixteen.SyntheticLoad(20, 128)
+	if l16.SynEvents != 16*l1.SynEvents {
+		t.Fatalf("synaptic events did not scale: %g vs %g", l16.SynEvents, l1.SynEvents)
+	}
+}

@@ -1,0 +1,224 @@
+// Package netgen generates the probabilistically constructed recurrent
+// networks used to characterize TrueNorth (Section IV-B): a family of 88
+// networks that "each use all 4,096 cores and every neuron on the
+// processor", spanning mean firing rates from ~0 to 200 Hz and active
+// synapses per neuron from 0 to 256, with neurons projecting to axons "an
+// average of 21.66 hops (cores) away both in x and y dimensions".
+//
+// Construction. Each neuron is a tonic oscillator: leak L accumulates
+// toward threshold α = L·1000/rate, so at 1 kHz ticks it fires at exactly
+// `rate` Hz; programmed initial potentials are uniform in [0, α), which
+// desynchronizes phases across the population. Each neuron's single output
+// targets a uniformly random (core, axon) slot under a global permutation —
+// every axon in the system is driven by exactly one neuron, and the mean
+// |Δx| (and |Δy|) between two uniform positions on a 64-wide axis is
+// 64/3 ≈ 21.3 hops, matching the paper's 21.66. Each neuron's crossbar
+// column has exactly `syn` active synapses, balanced between excitatory
+// (+1) and inhibitory (-1) axon types, so synaptic drive has zero mean and
+// a standard deviation far below α: the population firing rate stays pinned
+// at the target while every spike still performs real synaptic work —
+// exactly `rate × syn` synaptic operations per neuron per second.
+package netgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"truenorth/internal/core"
+	"truenorth/internal/neuron"
+	"truenorth/internal/router"
+)
+
+// Params describes one recurrent characterization network.
+type Params struct {
+	// Grid is the core mesh to fill (every slot is populated).
+	Grid router.Mesh
+	// RateHz is the target mean firing rate per neuron (at 1 kHz ticks).
+	// Zero produces a silent network.
+	RateHz float64
+	// SynPerNeuron is the exact crossbar in-degree of every neuron, 0-256.
+	SynPerNeuron int
+	// Seed drives all probabilistic choices.
+	Seed int64
+	// Stochastic adds hardware-PRNG threshold jitter (mask 0x07) to every
+	// neuron, making the dynamics chaotic — "a sensitive assay for any
+	// deviation from perfect correspondence". It costs one PRNG draw per
+	// neuron per tick, so the default is off for large sweeps.
+	Stochastic bool
+	// Locality biases targets toward nearby cores: with probability
+	// Locality a neuron projects within a LocalRadius neighborhood
+	// instead of uniformly — the "clustered hierarchical connectivity of
+	// the cortex" the architecture emulates. Zero (the default)
+	// reproduces the paper's uniform 88-network construction with its
+	// exact one-driver-per-axon permutation; nonzero locality relaxes
+	// that to per-index axon assignment (same-index neurons of different
+	// cores may share a target axon; same-tick arrivals merge, as on
+	// hardware).
+	Locality float64
+	// LocalRadius is the neighborhood radius in cores (default 2).
+	LocalRadius int
+}
+
+// leak is the per-tick leak of every tonic neuron. Larger values let the
+// threshold encode the firing period at finer rate resolution.
+const leak = 64
+
+// Validate reports the first invalid parameter, or nil.
+func (p Params) Validate() error {
+	if p.Grid.W <= 0 || p.Grid.H <= 0 {
+		return fmt.Errorf("netgen: invalid grid %dx%d", p.Grid.W, p.Grid.H)
+	}
+	if p.RateHz < 0 || p.RateHz > 1000 {
+		return fmt.Errorf("netgen: rate %.1f Hz out of range [0, 1000]", p.RateHz)
+	}
+	if p.RateHz > 0 {
+		if th := threshold(p.RateHz); th > neuron.VMax {
+			return fmt.Errorf("netgen: rate %.3f Hz needs threshold %d beyond the 20-bit potential", p.RateHz, th)
+		}
+	}
+	if p.SynPerNeuron < 0 || p.SynPerNeuron > core.AxonsPerCore {
+		return fmt.Errorf("netgen: %d synapses/neuron out of range [0, 256]", p.SynPerNeuron)
+	}
+	if p.Locality < 0 || p.Locality > 1 {
+		return fmt.Errorf("netgen: locality %.2f out of range [0, 1]", p.Locality)
+	}
+	return nil
+}
+
+// threshold returns the tonic threshold for a firing rate (1 kHz ticks).
+func threshold(rateHz float64) int32 {
+	return int32(leak*1000/rateHz + 0.5)
+}
+
+// Build generates the network as row-major core configurations ready for
+// chip.New or compass.New.
+func Build(p Params) ([]*core.Config, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	nCores := p.Grid.W * p.Grid.H
+	nNeurons := nCores * core.NeuronsPerCore
+
+	// Global output permutation: neuron g drives axon perm[g]%256 of core
+	// perm[g]/256 — every axon in the system has exactly one driver.
+	perm := rng.Perm(nNeurons)
+
+	var th int32
+	if p.RateHz > 0 {
+		th = threshold(p.RateHz)
+	}
+
+	configs := make([]*core.Config, nCores)
+	scratch := make([]int, core.AxonsPerCore)
+	for ci := 0; ci < nCores; ci++ {
+		cfg := &core.Config{Seed: uint16(rng.Intn(1<<16-1) + 1)}
+		// Axon types alternate excitatory (+1, type 0) / inhibitory (-1,
+		// type 1) by parity, balancing the net synaptic drive.
+		for a := range cfg.AxonType {
+			cfg.AxonType[a] = uint8(a & 1)
+		}
+		cx, cy := ci%p.Grid.W, ci/p.Grid.W
+		for j := 0; j < core.NeuronsPerCore; j++ {
+			np := neuron.Params{
+				Weights:      [neuron.NumAxonTypes]int32{1, -1, 0, 0},
+				NegThreshold: 1000,
+				NegSaturate:  true,
+				Reset:        neuron.ResetToV,
+			}
+			if p.RateHz > 0 {
+				np.Leak = leak
+				np.Threshold = th
+				cfg.InitV[j] = rng.Int31n(th)
+			} else {
+				np.Threshold = neuron.VMax
+			}
+			if p.Stochastic {
+				np.ThresholdMask = 0x07
+			}
+			cfg.Neurons[j] = np
+
+			// Exactly SynPerNeuron distinct axons feed this neuron.
+			for i := range scratch {
+				scratch[i] = i
+			}
+			rng.Shuffle(core.AxonsPerCore, func(a, b int) { scratch[a], scratch[b] = scratch[b], scratch[a] })
+			for _, axon := range scratch[:p.SynPerNeuron] {
+				cfg.Synapses[axon].Set(j)
+			}
+
+			// Output target: the global permutation by default; with
+			// locality, a biased core draw keeping the neuron's own index
+			// as the axon.
+			var tx, ty int
+			var tAxon int
+			if p.Locality > 0 && rng.Float64() < p.Locality {
+				r := p.LocalRadius
+				if r == 0 {
+					r = 2
+				}
+				tx = clampInt(cx+rng.Intn(2*r+1)-r, 0, p.Grid.W-1)
+				ty = clampInt(cy+rng.Intn(2*r+1)-r, 0, p.Grid.H-1)
+				tAxon = j
+			} else {
+				g := perm[ci*core.NeuronsPerCore+j]
+				tCore := g / core.NeuronsPerCore
+				tAxon = g % core.NeuronsPerCore
+				tx, ty = tCore%p.Grid.W, tCore/p.Grid.W
+			}
+			cfg.Targets[j] = core.Target{
+				Valid: true,
+				DX:    int16(tx - cx),
+				DY:    int16(ty - cy),
+				Axon:  uint8(tAxon),
+				Delay: uint8(1 + rng.Intn(core.MaxDelay)),
+			}
+		}
+		configs[ci] = cfg
+	}
+	return configs, nil
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Point is one cell of the 8×11 characterization sweep.
+type Point struct {
+	// RateHz and Syn are the sweep coordinates.
+	RateHz float64
+	Syn    int
+}
+
+// SweepPoints returns the 88 (rate, synapse) combinations of the
+// characterization suite: 8 firing rates from near-0 to 200 Hz × 11
+// synapse counts from 0 to 256.
+func SweepPoints() []Point {
+	rates := []float64{2, 10, 25, 50, 75, 100, 150, 200}
+	syns := []int{0, 26, 51, 77, 102, 128, 154, 179, 205, 230, 256}
+	pts := make([]Point, 0, len(rates)*len(syns))
+	for _, r := range rates {
+		for _, s := range syns {
+			pts = append(pts, Point{RateHz: r, Syn: s})
+		}
+	}
+	return pts
+}
+
+// BuildSweep generates the n-th network of the 88-network suite on the
+// given grid.
+func BuildSweep(grid router.Mesh, n int, seed int64) ([]*core.Config, Point, error) {
+	pts := SweepPoints()
+	if n < 0 || n >= len(pts) {
+		return nil, Point{}, fmt.Errorf("netgen: sweep index %d out of range [0, %d)", n, len(pts))
+	}
+	pt := pts[n]
+	cfgs, err := Build(Params{Grid: grid, RateHz: pt.RateHz, SynPerNeuron: pt.Syn, Seed: seed + int64(n)})
+	return cfgs, pt, err
+}

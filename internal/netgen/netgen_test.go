@@ -1,0 +1,313 @@
+package netgen
+
+import (
+	"math"
+	"testing"
+
+	"truenorth/internal/chip"
+	"truenorth/internal/compass"
+	"truenorth/internal/core"
+	"truenorth/internal/energy"
+	"truenorth/internal/router"
+)
+
+func TestSweepHas88Points(t *testing.T) {
+	pts := SweepPoints()
+	if len(pts) != 88 {
+		t.Fatalf("sweep has %d points, want 88 (the paper's 88 networks)", len(pts))
+	}
+	seen := map[Point]bool{}
+	for _, p := range pts {
+		if seen[p] {
+			t.Fatalf("duplicate sweep point %+v", p)
+		}
+		seen[p] = true
+		if p.RateHz <= 0 || p.RateHz > 200 {
+			t.Fatalf("rate %.1f outside (0, 200]", p.RateHz)
+		}
+		if p.Syn < 0 || p.Syn > 256 {
+			t.Fatalf("syn %d outside [0, 256]", p.Syn)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	grid := router.Mesh{W: 2, H: 2}
+	good := []Params{
+		{Grid: grid, RateHz: 0, SynPerNeuron: 0},
+		{Grid: grid, RateHz: 200, SynPerNeuron: 256},
+		{Grid: grid, RateHz: 0.2, SynPerNeuron: 1},
+	}
+	for i, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("good params %d rejected: %v", i, err)
+		}
+	}
+	bad := []Params{
+		{Grid: router.Mesh{}, RateHz: 10},
+		{Grid: grid, RateHz: -1},
+		{Grid: grid, RateHz: 1001},
+		{Grid: grid, RateHz: 0.1}, // threshold overflows 20-bit potential
+		{Grid: grid, SynPerNeuron: -1},
+		{Grid: grid, SynPerNeuron: 257},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestExactInDegree(t *testing.T) {
+	grid := router.Mesh{W: 2, H: 2}
+	for _, syn := range []int{0, 1, 128, 256} {
+		cfgs, err := Build(Params{Grid: grid, RateHz: 10, SynPerNeuron: syn, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ci, cfg := range cfgs {
+			for j := 0; j < core.NeuronsPerCore; j += 37 {
+				if got := cfg.InDegree(j); got != syn {
+					t.Fatalf("core %d neuron %d in-degree = %d, want %d", ci, j, got, syn)
+				}
+			}
+		}
+	}
+}
+
+func TestEveryAxonDrivenExactlyOnce(t *testing.T) {
+	grid := router.Mesh{W: 3, H: 2}
+	cfgs, err := Build(Params{Grid: grid, RateHz: 10, SynPerNeuron: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive := map[[2]int]int{} // (core, axon) -> count
+	for ci, cfg := range cfgs {
+		cx, cy := ci%grid.W, ci/grid.W
+		for j := range cfg.Targets {
+			tgt := cfg.Targets[j]
+			if !tgt.Valid || tgt.Output {
+				t.Fatalf("core %d neuron %d has no internal target", ci, j)
+			}
+			tx, ty := cx+int(tgt.DX), cy+int(tgt.DY)
+			if tx < 0 || tx >= grid.W || ty < 0 || ty >= grid.H {
+				t.Fatalf("target (%d,%d) off grid", tx, ty)
+			}
+			drive[[2]int{ty*grid.W + tx, int(tgt.Axon)}]++
+		}
+	}
+	want := grid.W * grid.H * core.AxonsPerCore
+	if len(drive) != want {
+		t.Fatalf("%d distinct (core, axon) slots driven, want %d (a permutation)", len(drive), want)
+	}
+	for k, n := range drive {
+		if n != 1 {
+			t.Fatalf("slot %v driven %d times, want 1", k, n)
+		}
+	}
+}
+
+func TestMeanHopDistance(t *testing.T) {
+	// On a 64-wide grid the mean |dx| (and |dy|) should be ≈64/3 ≈ 21.3,
+	// the construction behind the paper's 21.66.
+	if testing.Short() {
+		t.Skip("64×64 build in -short mode")
+	}
+	grid := router.Mesh{W: 64, H: 64}
+	cfgs, err := Build(Params{Grid: grid, RateHz: 10, SynPerNeuron: 0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumX, sumY float64
+	var n int
+	for _, cfg := range cfgs {
+		for j := range cfg.Targets {
+			sumX += math.Abs(float64(cfg.Targets[j].DX))
+			sumY += math.Abs(float64(cfg.Targets[j].DY))
+			n++
+		}
+	}
+	mx, my := sumX/float64(n), sumY/float64(n)
+	if mx < 20 || mx > 23 || my < 20 || my > 23 {
+		t.Fatalf("mean hops = (%.2f, %.2f), want ≈21.3 in both dimensions", mx, my)
+	}
+}
+
+// measureRate runs the network and returns mean firing rate (Hz at 1 kHz
+// ticks) and mean active synapses per neuron (SynEvents per spike).
+func measureRate(t *testing.T, cfgs []*core.Config, grid router.Mesh, ticks int) (rateHz, synPerSpike float64) {
+	t.Helper()
+	eng, err := chip.New(grid, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up one period so delayed spikes are in flight.
+	eng.Run(ticks / 2)
+	l := energy.MeasureLoad(eng, ticks)
+	neurons := float64(grid.W * grid.H * core.NeuronsPerCore)
+	rateHz = l.Spikes / neurons * 1000
+	if l.Spikes > 0 {
+		synPerSpike = l.SynEvents / l.Spikes
+	}
+	return rateHz, synPerSpike
+}
+
+func TestFiringRateMatchesTarget(t *testing.T) {
+	grid := router.Mesh{W: 4, H: 4}
+	for _, target := range []float64{10, 50, 200} {
+		cfgs, err := Build(Params{Grid: grid, RateHz: target, SynPerNeuron: 64, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := measureRate(t, cfgs, grid, 400)
+		if math.Abs(got-target)/target > 0.15 {
+			t.Fatalf("measured rate %.1f Hz, want ≈%.0f", got, target)
+		}
+	}
+}
+
+func TestSynapticOpsPerSpikeMatchesInDegree(t *testing.T) {
+	// Every spike drives one axon, whose 256-bit row carries the crossbar
+	// connections of that axon; with uniform in-degree k, mean synaptic
+	// events per spike converge to k.
+	grid := router.Mesh{W: 4, H: 4}
+	for _, syn := range []int{26, 128, 256} {
+		cfgs, err := Build(Params{Grid: grid, RateHz: 50, SynPerNeuron: syn, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, got := measureRate(t, cfgs, grid, 300)
+		if math.Abs(got-float64(syn))/float64(syn) > 0.1 {
+			t.Fatalf("syn/spike = %.1f, want ≈%d", got, syn)
+		}
+	}
+}
+
+func TestZeroRateNetworkSilent(t *testing.T) {
+	grid := router.Mesh{W: 2, H: 2}
+	cfgs, err := Build(Params{Grid: grid, RateHz: 0, SynPerNeuron: 128, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := measureRate(t, cfgs, grid, 200)
+	if got != 0 {
+		t.Fatalf("zero-rate network fired at %.2f Hz", got)
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	grid := router.Mesh{W: 2, H: 2}
+	a, _ := Build(Params{Grid: grid, RateHz: 25, SynPerNeuron: 51, Seed: 7})
+	b, _ := Build(Params{Grid: grid, RateHz: 25, SynPerNeuron: 51, Seed: 7})
+	for i := range a {
+		if *a[i] != *b[i] {
+			t.Fatalf("same seed produced different configs at core %d", i)
+		}
+	}
+	c, _ := Build(Params{Grid: grid, RateHz: 25, SynPerNeuron: 51, Seed: 8})
+	same := true
+	for i := range a {
+		if *a[i] != *c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical networks")
+	}
+}
+
+func TestBuildSweep(t *testing.T) {
+	grid := router.Mesh{W: 2, H: 2}
+	cfgs, pt, err := BuildSweep(grid, 0, 1)
+	if err != nil || len(cfgs) != 4 {
+		t.Fatalf("BuildSweep(0): %v, %d configs", err, len(cfgs))
+	}
+	if pt.RateHz != 2 || pt.Syn != 0 {
+		t.Fatalf("sweep point 0 = %+v, want rate 2, syn 0", pt)
+	}
+	if _, _, err := BuildSweep(grid, 88, 1); err == nil {
+		t.Fatal("sweep index 88 accepted")
+	}
+	if _, _, err := BuildSweep(grid, -1, 1); err == nil {
+		t.Fatal("sweep index -1 accepted")
+	}
+}
+
+func TestStochasticNetworkChipCompassEquivalence(t *testing.T) {
+	// The paper: the 88 networks' "rich stochastic dynamics cause spikes to
+	// quickly and chaotically diverge from simulation if the processor
+	// misses even a single neural operation". Run the stochastic variant on
+	// both engines and demand equal counters tick by tick.
+	grid := router.Mesh{W: 3, H: 3}
+	cfgs, err := Build(Params{Grid: grid, RateHz: 100, SynPerNeuron: 77, Seed: 9, Stochastic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := chip.New(grid, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := compass.New(grid, cfgs, compass.WithWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := 0; tick < 250; tick++ {
+		hw.Step()
+		sw.Step()
+		if hc, sc := hw.Counters(), sw.Counters(); hc != sc {
+			t.Fatalf("tick %d: counters diverge: chip %+v vs compass %+v", tick, hc, sc)
+		}
+	}
+	if hw.Counters().Spikes == 0 {
+		t.Fatal("stochastic network silent; equivalence vacuous")
+	}
+	if hn, sn := hw.NoC(), sw.NoC(); hn != sn {
+		t.Fatalf("NoC stats diverge: %+v vs %+v", hn, sn)
+	}
+}
+
+func TestDelaysSpanFullRange(t *testing.T) {
+	grid := router.Mesh{W: 4, H: 4}
+	cfgs, _ := Build(Params{Grid: grid, RateHz: 10, SynPerNeuron: 10, Seed: 11})
+	seen := map[uint8]bool{}
+	for _, cfg := range cfgs {
+		for j := range cfg.Targets {
+			seen[cfg.Targets[j].Delay] = true
+		}
+	}
+	for d := uint8(1); d <= 15; d++ {
+		if !seen[d] {
+			t.Fatalf("delay %d never used across 4096 targets", d)
+		}
+	}
+	if seen[0] || seen[16] {
+		t.Fatal("out-of-range delay generated")
+	}
+}
+
+func BenchmarkBuild4x4(b *testing.B) {
+	grid := router.Mesh{W: 4, H: 4}
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(Params{Grid: grid, RateHz: 20, SynPerNeuron: 128, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStep8x8At20Hz128Syn(b *testing.B) {
+	grid := router.Mesh{W: 8, H: 8}
+	cfgs, err := Build(Params{Grid: grid, RateHz: 20, SynPerNeuron: 128, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := chip.New(grid, cfgs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+	b.ReportMetric(float64(eng.Counters().SynEvents)/float64(b.N), "synops/tick")
+}

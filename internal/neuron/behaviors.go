@@ -1,0 +1,102 @@
+package neuron
+
+// This file is the behavior catalog: parameter presets demonstrating that
+// the single deterministic neuron model "supports a wide variety of
+// biologically-relevant spiking behaviors and computational functions"
+// (Cassidy et al., IJCNN 2013, cited as the paper's reference [3]). Each
+// preset is verified by a behavioral test in behaviors_test.go.
+
+// Pacemaker returns a tonic oscillator firing every `period` ticks with no
+// synaptic input at all: leak accumulates to threshold. Periods from 1 to
+// VMax ticks are representable; callers pass period ≥ 1.
+func Pacemaker(period int32) Params {
+	if period < 1 {
+		period = 1
+	}
+	return Params{
+		Leak:      1,
+		Threshold: period,
+		Reset:     ResetToV,
+	}
+}
+
+// Integrator returns a perfect integrator: unit excitatory events
+// accumulate without decay; the neuron fires after every th-th event no
+// matter how widely spaced — arbitrarily long memory. Subtractive reset
+// conserves the remainder.
+func Integrator(th int32) Params {
+	return Params{
+		Weights:      [NumAxonTypes]int32{1, -1, 0, 0},
+		Threshold:    th,
+		Reset:        ResetSubtract,
+		NegThreshold: 4 * th,
+		NegSaturate:  true,
+	}
+}
+
+// LeakyIntegrator returns a forgetting integrator: excitatory drive decays
+// at `decay` units per tick, so only input arriving faster than the decay
+// rate ever reaches threshold — a rate filter.
+func LeakyIntegrator(th, decay int32) Params {
+	return Params{
+		Weights:      [NumAxonTypes]int32{1, 0, 0, 0},
+		Leak:         -decay,
+		Threshold:    th,
+		Reset:        ResetToV,
+		NegThreshold: 0, // clamp at rest; decay cannot drive V negative
+		NegSaturate:  true,
+	}
+}
+
+// CoincidenceDetector fires only when k or more unit events arrive within
+// a single tick. The per-tick order is synapse → leak → threshold, so the
+// decay of k−1 is subtracted before the comparison: k simultaneous events
+// leave exactly 1 ≥ threshold, while k−1 or fewer are wiped to the zero
+// floor, erasing any residue before the next tick.
+func CoincidenceDetector(k int32) Params {
+	return Params{
+		Weights:      [NumAxonTypes]int32{1, 0, 0, 0},
+		Leak:         -(k - 1),
+		Threshold:    1,
+		Reset:        ResetToV,
+		NegThreshold: 0,
+		NegSaturate:  true,
+	}
+}
+
+// Latch returns a set/reset latch (bistable behavior): a type-0 "set"
+// event drives V to threshold where, with ResetNone, it stays — the neuron
+// fires every tick until a type-1 "reset" event pulls it below. A 1-bit
+// memory built from one neuron.
+func Latch() Params {
+	return Params{
+		Weights:      [NumAxonTypes]int32{1, -1, 0, 0},
+		Threshold:    1,
+		Reset:        ResetNone,
+		NegThreshold: 0,
+		NegSaturate:  true,
+	}
+}
+
+// PoissonSpiker returns a stochastic spiker: with no input it fires each
+// tick with probability p256/256 (p256 ≥ 1), using the stochastic
+// threshold. The effective threshold each tick is the PRNG jitter J drawn
+// uniformly from [0,255]; the potential rests at p256−1 (ResetV restores it
+// after each spike and nothing else moves it), so the neuron fires exactly
+// when J ≤ p256−1. Program InitV = p256−1 to skip the warm-up transient.
+func PoissonSpiker(p256 uint8) Params {
+	return Params{
+		Threshold:     0,
+		ThresholdMask: 0xFF,
+		Reset:         ResetToV,
+		ResetV:        int32(p256) - 1,
+		NegThreshold:  0,
+		NegSaturate:   true,
+	}
+}
+
+// RateScaler returns a neuron emitting one spike per `divisor` input
+// events — a rate divider (used by pooling and histogram corelets).
+func RateScaler(divisor int32) Params {
+	return Accumulator(1, 0, divisor)
+}

@@ -1,0 +1,231 @@
+package neuron
+
+import (
+	"math"
+	"testing"
+
+	"truenorth/internal/prng"
+)
+
+// runBehavior drives params for `ticks` ticks, applying eventsAt[tick]
+// unit events on the given axon type, and returns the firing tick list.
+func runBehavior(p Params, ticks int, eventsAt map[int][]uint8, seed uint16) []int {
+	rng := prng.New(seed)
+	v := p.Leak // not the initial V; placeholder overwritten below
+	v = 0
+	var fires []int
+	for tick := 0; tick < ticks; tick++ {
+		for _, g := range eventsAt[tick] {
+			v = p.Integrate(v, g, rng)
+		}
+		v = p.ApplyLeak(v, rng)
+		var fired bool
+		v, fired = p.ThresholdFire(v, rng)
+		if fired {
+			fires = append(fires, tick)
+		}
+	}
+	return fires
+}
+
+func TestPacemakerPeriods(t *testing.T) {
+	for _, period := range []int32{1, 3, 10, 100} {
+		fires := runBehavior(Pacemaker(period), int(period)*5, nil, 1)
+		if len(fires) != 5 {
+			t.Fatalf("period %d: fired %d times in %d ticks, want 5", period, len(fires), period*5)
+		}
+		for i := 1; i < len(fires); i++ {
+			if int32(fires[i]-fires[i-1]) != period {
+				t.Fatalf("period %d: irregular intervals %v", period, fires)
+			}
+		}
+	}
+}
+
+func TestIntegratorLongMemory(t *testing.T) {
+	// Three events spaced 100 ticks apart still sum: the integrator has
+	// unbounded memory.
+	p := Integrator(3)
+	events := map[int][]uint8{0: {0}, 100: {0}, 200: {0}}
+	fires := runBehavior(p, 250, events, 1)
+	if len(fires) != 1 || fires[0] != 200 {
+		t.Fatalf("integrator fired at %v, want exactly [200]", fires)
+	}
+}
+
+func TestIntegratorInhibitionSubtracts(t *testing.T) {
+	p := Integrator(2)
+	events := map[int][]uint8{0: {0}, 1: {1}, 2: {0}, 3: {0}}
+	// +1, -1, +1, +1 → reaches 2 at tick 3.
+	fires := runBehavior(p, 10, events, 1)
+	if len(fires) != 1 || fires[0] != 3 {
+		t.Fatalf("fired at %v, want [3]", fires)
+	}
+}
+
+func TestLeakyIntegratorFiltersSlowInput(t *testing.T) {
+	p := LeakyIntegrator(4, 1)
+	// Slow drive: one event every 3 ticks decays away before reaching 4.
+	slow := map[int][]uint8{}
+	for tick := 0; tick < 60; tick += 3 {
+		slow[tick] = []uint8{0}
+	}
+	if fires := runBehavior(p, 60, slow, 1); len(fires) != 0 {
+		t.Fatalf("slow input fired %v", fires)
+	}
+	// Fast drive: two events per tick overcome the decay.
+	fast := map[int][]uint8{}
+	for tick := 0; tick < 10; tick++ {
+		fast[tick] = []uint8{0, 0}
+	}
+	if fires := runBehavior(p, 10, fast, 1); len(fires) == 0 {
+		t.Fatal("fast input never fired")
+	}
+}
+
+func TestCoincidenceDetectorWindow(t *testing.T) {
+	p := CoincidenceDetector(3)
+	// Three events in one tick → fire.
+	if fires := runBehavior(p, 5, map[int][]uint8{2: {0, 0, 0}}, 1); len(fires) != 1 || fires[0] != 2 {
+		t.Fatalf("triple coincidence fired %v, want [2]", fires)
+	}
+	// Three events across consecutive ticks → silence (decay wipes them).
+	spread := map[int][]uint8{1: {0}, 2: {0}, 3: {0}}
+	if fires := runBehavior(p, 6, spread, 1); len(fires) != 0 {
+		t.Fatalf("spread events fired %v", fires)
+	}
+	// Two simultaneous events → below k.
+	if fires := runBehavior(p, 5, map[int][]uint8{2: {0, 0}}, 1); len(fires) != 0 {
+		t.Fatalf("double fired %v, want none (k=3)", fires)
+	}
+}
+
+func TestLatchSetHoldReset(t *testing.T) {
+	p := Latch()
+	events := map[int][]uint8{2: {0}, 7: {1}}
+	fires := runBehavior(p, 12, events, 1)
+	// Set at tick 2 → fires ticks 2..6; reset at 7 → silent after.
+	want := []int{2, 3, 4, 5, 6}
+	if len(fires) != len(want) {
+		t.Fatalf("latch fired %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("latch fired %v, want %v", fires, want)
+		}
+	}
+}
+
+func TestPoissonSpikerRate(t *testing.T) {
+	for _, p256 := range []uint8{16, 64, 192} {
+		p := PoissonSpiker(p256)
+		fires := runBehavior(p, 1<<14, nil, 0x7A21)
+		got := float64(len(fires)) / (1 << 14)
+		want := float64(p256) / 256
+		if math.Abs(got-want)/want > 0.1 {
+			t.Fatalf("p=%d/256: measured rate %.3f, want %.3f", p256, got, want)
+		}
+	}
+}
+
+func TestPoissonSpikerIrregular(t *testing.T) {
+	// Interspike intervals must vary (geometric-like), unlike a pacemaker.
+	p := PoissonSpiker(64)
+	fires := runBehavior(p, 4096, nil, 9)
+	if len(fires) < 100 {
+		t.Fatalf("too few spikes: %d", len(fires))
+	}
+	intervals := map[int]bool{}
+	for i := 1; i < len(fires); i++ {
+		intervals[fires[i]-fires[i-1]] = true
+	}
+	if len(intervals) < 5 {
+		t.Fatalf("only %d distinct interspike intervals; not stochastic", len(intervals))
+	}
+}
+
+func TestLeakReversalDecaysTowardZero(t *testing.T) {
+	p := Params{Leak: -3, LeakReversal: true, Threshold: VMax}
+	rng := prng.New(1)
+	// From above: 10 → 7 → 4 → 1 → 0 (no overshoot) → 0.
+	v := int32(10)
+	want := []int32{7, 4, 1, 0, 0}
+	for i, w := range want {
+		v = p.ApplyLeak(v, rng)
+		if v != w {
+			t.Fatalf("step %d from +10: v = %d, want %d", i, v, w)
+		}
+	}
+	// From below: -10 → -7 → ... → 0.
+	v = -10
+	for i := 0; i < 6; i++ {
+		v = p.ApplyLeak(v, rng)
+		if v > 0 {
+			t.Fatalf("step %d from -10: overshot to %d", i, v)
+		}
+	}
+	if v != 0 {
+		t.Fatalf("negative potential decayed to %d, want 0", v)
+	}
+}
+
+func TestLeakReversalPositivePushesApart(t *testing.T) {
+	// A positive leak with reversal amplifies away from zero (the IJCNN
+	// model's unstable mode).
+	p := Params{Leak: 2, LeakReversal: true, Threshold: VMax}
+	rng := prng.New(1)
+	if got := p.ApplyLeak(5, rng); got != 7 {
+		t.Fatalf("+5 → %d, want 7", got)
+	}
+	if got := p.ApplyLeak(-5, rng); got != -7 {
+		t.Fatalf("-5 → %d, want -7", got)
+	}
+}
+
+func TestLeakReversalStochastic(t *testing.T) {
+	// Stochastic decay with reversal steps toward zero from both sides at
+	// rate |leak|/256.
+	p := Params{Leak: -128, LeakReversal: true, StochLeak: true, Threshold: VMax}
+	rng := prng.New(4)
+	const n = 2048
+	downs, ups := 0, 0
+	for i := 0; i < n; i++ {
+		if p.ApplyLeak(100, rng) == 99 {
+			downs++
+		}
+		if p.ApplyLeak(-100, rng) == -99 {
+			ups++
+		}
+	}
+	if downs < n/3 || downs > 2*n/3 || ups < n/3 || ups > 2*n/3 {
+		t.Fatalf("stochastic reversal rates: %d down, %d up of %d, want ≈half each", downs, ups, n)
+	}
+}
+
+func TestRateScalerDivides(t *testing.T) {
+	p := RateScaler(4)
+	events := map[int][]uint8{}
+	for tick := 0; tick < 40; tick++ {
+		events[tick] = []uint8{0}
+	}
+	fires := runBehavior(p, 40, events, 1)
+	if len(fires) != 10 {
+		t.Fatalf("rate scaler emitted %d spikes for 40 events, want 10", len(fires))
+	}
+}
+
+func TestBehaviorsAreValidConfigs(t *testing.T) {
+	for name, p := range map[string]Params{
+		"pacemaker":   Pacemaker(10),
+		"integrator":  Integrator(5),
+		"leaky":       LeakyIntegrator(4, 1),
+		"coincidence": CoincidenceDetector(3),
+		"latch":       Latch(),
+		"poisson":     PoissonSpiker(64),
+		"ratescaler":  RateScaler(4),
+	} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

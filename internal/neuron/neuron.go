@@ -1,0 +1,287 @@
+// Package neuron implements the TrueNorth digital leak-integrate-and-fire
+// neuron model (Cassidy et al., "Cognitive computing building block: A
+// versatile and efficient digital neuron model for neurosynaptic cores",
+// IJCNN 2013).
+//
+// The model is deliberately simple, integer-only, and fully deterministic
+// given a PRNG seed, which is what allows the silicon (TrueNorth) and the
+// software simulator (Compass) expressions of the kernel to agree
+// spike-for-spike. Per time step a neuron performs, in order:
+//
+//  1. Synaptic integration: for every active synapse, a conditional weighted
+//     accumulate V += w[G] where G is the source axon's type (0..3) and w[G]
+//     is this neuron's signed 9-bit weight for that type. In stochastic
+//     synapse mode the weight's magnitude is interpreted as a probability
+//     (out of 256) of applying a unit step of the weight's sign.
+//  2. Leak: V += λ (signed), or a stochastic unit leak with probability
+//     |λ|/256.
+//  3. Threshold, fire, reset: if V ≥ α (+ an optional masked random jitter,
+//     the stochastic threshold) the neuron spikes and resets according to
+//     its reset mode; if V drops below the negative threshold -β it either
+//     saturates at -β or resets to -R.
+//
+// The membrane potential is a saturating 20-bit signed integer; weights and
+// leaks are 9-bit signed integers, matching the hardware datapath widths the
+// paper reports (V is 20-bit, synaptic weights are 9-bit).
+package neuron
+
+import (
+	"fmt"
+
+	"truenorth/internal/prng"
+)
+
+// Datapath limits from the paper: "the membrane potential Vj(t) and synaptic
+// weights Sj are 20-bit and 9-bit signed integers respectively".
+const (
+	// VMax and VMin bound the saturating 20-bit membrane potential.
+	VMax = 1<<19 - 1
+	VMin = -(1 << 19)
+	// WeightMax and WeightMin bound 9-bit signed synaptic weights and leaks.
+	WeightMax = 255
+	WeightMin = -256
+	// NumAxonTypes is the number of axon types (G_i in the paper); each
+	// neuron holds one signed weight per type.
+	NumAxonTypes = 4
+)
+
+// ResetMode selects what happens to the membrane potential when the neuron
+// fires.
+type ResetMode uint8
+
+const (
+	// ResetToV resets the potential to the programmed reset value R.
+	ResetToV ResetMode = iota
+	// ResetSubtract subtracts the (effective) threshold, preserving the
+	// overshoot ("linear reset"); useful for rate-preserving accumulators.
+	ResetSubtract
+	// ResetNone leaves the potential unchanged after a spike.
+	ResetNone
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (m ResetMode) String() string {
+	switch m {
+	case ResetToV:
+		return "reset-to-V"
+	case ResetSubtract:
+		return "reset-subtract"
+	case ResetNone:
+		return "reset-none"
+	default:
+		return fmt.Sprintf("ResetMode(%d)", uint8(m))
+	}
+}
+
+// Params holds the per-neuron programmable parameters. All integer fields
+// use hardware ranges (see the constants above); Validate reports violations.
+//
+// The zero value is a valid, inert neuron: zero weights, zero leak, threshold
+// zero — it would fire every tick with V stuck at 0, so real configurations
+// should set Threshold ≥ 1 or mark the neuron unused in the core config.
+type Params struct {
+	// Weights holds the signed synaptic weight s^G applied when a spike
+	// arrives over an axon of type G.
+	Weights [NumAxonTypes]int32
+	// StochSyn enables stochastic synapse mode per axon type: instead of
+	// adding Weights[G], add sign(Weights[G]) with probability
+	// |Weights[G]|/256 per event.
+	StochSyn [NumAxonTypes]bool
+	// Leak is the signed leak λ added every tick.
+	Leak int32
+	// StochLeak enables stochastic leak mode: add sign(Leak) with
+	// probability |Leak|/256 per tick.
+	StochLeak bool
+	// LeakReversal makes the leak's sign track the potential's sign (the
+	// IJCNN'13 model's leak-reversal flag): with a negative Leak the
+	// potential decays toward zero from either side — true bipolar decay —
+	// while a positive Leak pushes it away from zero.
+	LeakReversal bool
+	// Threshold is the positive firing threshold α.
+	Threshold int32
+	// ThresholdMask enables the stochastic threshold: a PRNG draw ANDed
+	// with this mask is added to α each tick. Zero disables the draw
+	// entirely (and consumes no PRNG state). Only the low 8 bits are used.
+	ThresholdMask uint32
+	// NegThreshold is the magnitude β of the negative threshold; the
+	// potential is not allowed below -β (see NegReset).
+	NegThreshold int32
+	// ResetV is the reset value R used by ResetToV (and, negated, by the
+	// negative-threshold reset when NegSaturate is false).
+	ResetV int32
+	// Reset selects the positive-threshold reset behavior.
+	Reset ResetMode
+	// NegSaturate selects the negative-threshold behavior: true clamps the
+	// potential at -β (the common configuration); false resets it to -R.
+	NegSaturate bool
+}
+
+// Validate reports the first hardware-range violation in p, or nil.
+func (p *Params) Validate() error {
+	for g, w := range p.Weights {
+		if w < WeightMin || w > WeightMax {
+			return fmt.Errorf("neuron: weight[%d] = %d out of 9-bit signed range [%d,%d]", g, w, WeightMin, WeightMax)
+		}
+	}
+	if p.Leak < WeightMin || p.Leak > WeightMax {
+		return fmt.Errorf("neuron: leak = %d out of 9-bit signed range [%d,%d]", p.Leak, WeightMin, WeightMax)
+	}
+	if p.Threshold < 0 || p.Threshold > VMax {
+		return fmt.Errorf("neuron: threshold = %d out of range [0,%d]", p.Threshold, VMax)
+	}
+	if p.NegThreshold < 0 || p.NegThreshold > -VMin {
+		return fmt.Errorf("neuron: negative threshold = %d out of range [0,%d]", p.NegThreshold, -VMin)
+	}
+	if p.ResetV < VMin || p.ResetV > VMax {
+		return fmt.Errorf("neuron: reset value = %d out of 20-bit signed range [%d,%d]", p.ResetV, VMin, VMax)
+	}
+	if p.Reset > ResetNone {
+		return fmt.Errorf("neuron: unknown reset mode %d", p.Reset)
+	}
+	return nil
+}
+
+// clampV saturates v to the 20-bit signed membrane-potential range.
+func clampV(v int32) int32 {
+	if v > VMax {
+		return VMax
+	}
+	if v < VMin {
+		return VMin
+	}
+	return v
+}
+
+// Integrate applies one synaptic event of axon type g to membrane potential
+// v and returns the new potential. This is the paper's fundamental
+// operation, one "synaptic OP": V_j += A_i×W_ij×s^Gi, here invoked only when
+// A_i×W_ij = 1 (the caller walks set crossbar bits of active axons).
+//
+// In stochastic synapse mode the PRNG is advanced exactly once per event,
+// so engines that process the same events in the same order stay bit-equal.
+func (p *Params) Integrate(v int32, g uint8, rng *prng.LFSR) int32 {
+	w := p.Weights[g]
+	if p.StochSyn[g] {
+		draw := rng.Draw()
+		switch {
+		case w > 0 && draw < w:
+			v++
+		case w < 0 && draw < -w:
+			v--
+		}
+		return clampV(v)
+	}
+	return clampV(v + w)
+}
+
+// ApplyLeak applies the per-tick leak to v and returns the new potential.
+// In stochastic leak mode the PRNG is advanced exactly once per tick.
+// With LeakReversal the effective leak is Leak·sign(v) (zero potential
+// leaks as if positive), and decay never overshoots past zero.
+func (p *Params) ApplyLeak(v int32, rng *prng.LFSR) int32 {
+	leak := p.Leak
+	if p.LeakReversal {
+		if v < 0 {
+			leak = -leak
+		} else if v == 0 && leak < 0 {
+			// A decayed potential rests at zero; only a growth leak
+			// (positive) moves it off the rest point.
+			leak = 0
+		}
+	}
+	if p.StochLeak {
+		draw := rng.Draw()
+		switch {
+		case leak > 0 && draw < leak:
+			v++
+		case leak < 0 && draw < -leak:
+			v--
+		}
+		return clampV(v)
+	}
+	if leak == 0 {
+		return v
+	}
+	nv := v + leak
+	if p.LeakReversal && (v > 0) != (nv > 0) && nv != 0 {
+		// Decay toward zero stops at zero rather than crossing it.
+		if (v > 0 && leak < 0) || (v < 0 && leak > 0) {
+			nv = 0
+		}
+	}
+	return clampV(nv)
+}
+
+// ThresholdFire performs the threshold comparison, firing, reset, and
+// negative-threshold handling for one tick. It returns the new membrane
+// potential and whether the neuron fired. When ThresholdMask is nonzero the
+// PRNG is advanced exactly once per tick to draw the threshold jitter.
+func (p *Params) ThresholdFire(v int32, rng *prng.LFSR) (int32, bool) {
+	th := p.Threshold
+	if p.ThresholdMask != 0 {
+		th += rng.Draw() & int32(p.ThresholdMask&0xFF)
+	}
+	fired := v >= th
+	if fired {
+		switch p.Reset {
+		case ResetToV:
+			v = p.ResetV
+		case ResetSubtract:
+			v -= th
+		case ResetNone:
+			// Potential unchanged.
+		}
+	}
+	if nt := -p.NegThreshold; v < nt {
+		if p.NegSaturate {
+			v = nt
+		} else {
+			v = -p.ResetV
+		}
+	}
+	return clampV(v), fired
+}
+
+// Step runs a full neuron update for one tick given the number of synaptic
+// events per axon type received this tick, assuming deterministic synapses.
+// It exists for convenience in tests and single-neuron studies; the core
+// engine applies Integrate per event instead (required for stochastic
+// synapses and exact PRNG ordering).
+func (p *Params) Step(v int32, eventsByType [NumAxonTypes]int, rng *prng.LFSR) (int32, bool) {
+	for g, n := range eventsByType {
+		for k := 0; k < n; k++ {
+			v = p.Integrate(v, uint8(g), rng)
+		}
+	}
+	v = p.ApplyLeak(v, rng)
+	return p.ThresholdFire(v, rng)
+}
+
+// Identity returns parameters for a "splitter"/relay neuron: it spikes on the
+// tick after any single incoming spike on a type-0 axon and stays silent
+// otherwise. Splitter neurons are how TrueNorth networks implement fan-out
+// beyond a core (each neuron has exactly one output target).
+func Identity() Params {
+	return Params{
+		Weights:   [NumAxonTypes]int32{1, 0, 0, 0},
+		Threshold: 1,
+		Reset:     ResetToV,
+		ResetV:    0,
+	}
+}
+
+// Accumulator returns parameters for a rate-preserving accumulator with
+// excitatory weight we on type 0 and inhibitory weight -wi on type 1, firing
+// threshold th, using subtractive reset so the output rate approximates
+// max(0, input drive)/th. The negative saturation window is 4× the
+// threshold so that transient excitation/inhibition timing imbalance
+// cancels instead of rectifying into spurious spikes.
+func Accumulator(we, wi, th int32) Params {
+	return Params{
+		Weights:      [NumAxonTypes]int32{we, -wi, 0, 0},
+		Threshold:    th,
+		Reset:        ResetSubtract,
+		NegThreshold: 4 * th,
+		NegSaturate:  true,
+	}
+}

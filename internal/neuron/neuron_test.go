@@ -1,0 +1,462 @@
+package neuron
+
+import (
+	"testing"
+	"testing/quick"
+
+	"truenorth/internal/prng"
+)
+
+func TestIntegrateDeterministic(t *testing.T) {
+	p := Params{Weights: [NumAxonTypes]int32{5, -3, 100, -256}}
+	rng := prng.New(1)
+	cases := []struct {
+		v    int32
+		g    uint8
+		want int32
+	}{
+		{0, 0, 5},
+		{0, 1, -3},
+		{10, 2, 110},
+		{0, 3, -256},
+		{VMax, 0, VMax},         // saturates high
+		{VMin, 3, VMin},         // saturates low
+		{VMax - 2, 0, VMax},     // clamp on overflow
+		{VMin + 100, 3, VMin},   // clamp on underflow
+		{-7, 2, 93},             // crosses zero
+		{VMax - 5, 0, VMax},     // exact clamp boundary
+		{VMin + 256, 3, VMin},   // lands exactly on min
+		{VMax - 5, 1, VMax - 8}, // negative weight below max
+		{100, 1, 97},            //
+		{0, 2, 100},             //
+		{VMin + 3, 1, VMin},     // clamps below
+		{VMax, 2, VMax},         // already saturated
+		{1, 0, 6},               //
+		{-1, 0, 4},              //
+		{VMin, 0, VMin + 5},     // recovers from floor
+		{VMax, 1, VMax - 3},     // recovers from ceiling
+		{0, 0, 5},               // repeatable
+	}
+	for i, c := range cases {
+		if got := p.Integrate(c.v, c.g, rng); got != c.want {
+			t.Errorf("case %d: Integrate(%d, type %d) = %d, want %d", i, c.v, c.g, got, c.want)
+		}
+	}
+}
+
+func TestIntegrateStochasticProbability(t *testing.T) {
+	// With stochastic synapses, weight magnitude w yields expected step
+	// probability w/256. Check the empirical rate over many events.
+	for _, w := range []int32{0, 1, 64, 128, 200, 255} {
+		p := Params{Weights: [NumAxonTypes]int32{w}, StochSyn: [NumAxonTypes]bool{true}}
+		rng := prng.New(99)
+		const n = 1 << 15
+		var total int32
+		v := int32(0)
+		for i := 0; i < n; i++ {
+			nv := p.Integrate(v, 0, rng)
+			total += nv - v
+			v = 0 // reset so clamping never engages
+		}
+		want := float64(w) / 256 * n
+		got := float64(total)
+		if diff := got - want; diff < -n/32 || diff > n/32 {
+			t.Errorf("w=%d: %v unit steps over %d events, want about %v", w, got, n, want)
+		}
+	}
+}
+
+func TestIntegrateStochasticNegative(t *testing.T) {
+	p := Params{Weights: [NumAxonTypes]int32{-128}, StochSyn: [NumAxonTypes]bool{true}}
+	rng := prng.New(5)
+	const n = 4096
+	steps := 0
+	for i := 0; i < n; i++ {
+		if p.Integrate(0, 0, rng) == -1 {
+			steps++
+		}
+	}
+	if steps < n/3 || steps > 2*n/3 {
+		t.Errorf("negative stochastic weight stepped %d/%d times, want about half", steps, n)
+	}
+}
+
+func TestIntegrateStochasticConsumesOneDraw(t *testing.T) {
+	p := Params{Weights: [NumAxonTypes]int32{128}, StochSyn: [NumAxonTypes]bool{true}}
+	a, b := prng.New(77), prng.New(77)
+	p.Integrate(0, 0, a)
+	b.Draw()
+	if a.State() != b.State() {
+		t.Error("stochastic Integrate must consume exactly one PRNG draw")
+	}
+}
+
+func TestDeterministicIntegrateConsumesNoDraw(t *testing.T) {
+	p := Params{Weights: [NumAxonTypes]int32{7}}
+	a := prng.New(77)
+	before := a.State()
+	p.Integrate(0, 0, a)
+	if a.State() != before {
+		t.Error("deterministic Integrate must not touch the PRNG")
+	}
+}
+
+func TestApplyLeak(t *testing.T) {
+	rng := prng.New(1)
+	for _, c := range []struct {
+		leak, v, want int32
+	}{
+		{0, 42, 42},
+		{5, 0, 5},
+		{-5, 0, -5},
+		{255, VMax, VMax},
+		{-256, VMin, VMin},
+		{1, VMax - 1, VMax},
+	} {
+		p := Params{Leak: c.leak}
+		if got := p.ApplyLeak(c.v, rng); got != c.want {
+			t.Errorf("leak %d on v=%d: got %d, want %d", c.leak, c.v, got, c.want)
+		}
+	}
+}
+
+func TestStochasticLeakRate(t *testing.T) {
+	p := Params{Leak: 64, StochLeak: true}
+	rng := prng.New(11)
+	const n = 1 << 14
+	steps := int32(0)
+	for i := 0; i < n; i++ {
+		steps += p.ApplyLeak(0, rng)
+	}
+	want := int32(n / 4) // 64/256
+	if steps < want*3/4 || steps > want*5/4 {
+		t.Errorf("stochastic leak stepped %d times over %d ticks, want about %d", steps, n, want)
+	}
+}
+
+func TestThresholdFireAndResetModes(t *testing.T) {
+	rng := prng.New(1)
+	t.Run("reset-to-V", func(t *testing.T) {
+		p := Params{Threshold: 10, Reset: ResetToV, ResetV: 2}
+		v, fired := p.ThresholdFire(15, rng)
+		if !fired || v != 2 {
+			t.Errorf("got v=%d fired=%v, want v=2 fired=true", v, fired)
+		}
+	})
+	t.Run("reset-subtract", func(t *testing.T) {
+		p := Params{Threshold: 10, Reset: ResetSubtract}
+		v, fired := p.ThresholdFire(15, rng)
+		if !fired || v != 5 {
+			t.Errorf("got v=%d fired=%v, want v=5 fired=true", v, fired)
+		}
+	})
+	t.Run("reset-none", func(t *testing.T) {
+		p := Params{Threshold: 10, Reset: ResetNone}
+		v, fired := p.ThresholdFire(15, rng)
+		if !fired || v != 15 {
+			t.Errorf("got v=%d fired=%v, want v=15 fired=true", v, fired)
+		}
+	})
+	t.Run("below-threshold", func(t *testing.T) {
+		p := Params{Threshold: 10, Reset: ResetToV, ResetV: 2}
+		v, fired := p.ThresholdFire(9, rng)
+		if fired || v != 9 {
+			t.Errorf("got v=%d fired=%v, want v=9 fired=false", v, fired)
+		}
+	})
+	t.Run("exactly-at-threshold-fires", func(t *testing.T) {
+		p := Params{Threshold: 10, Reset: ResetToV}
+		_, fired := p.ThresholdFire(10, rng)
+		if !fired {
+			t.Error("V == threshold must fire (V >= alpha)")
+		}
+	})
+}
+
+func TestNegativeThreshold(t *testing.T) {
+	rng := prng.New(1)
+	t.Run("saturate", func(t *testing.T) {
+		p := Params{Threshold: 100, NegThreshold: 20, NegSaturate: true}
+		v, fired := p.ThresholdFire(-50, rng)
+		if fired || v != -20 {
+			t.Errorf("got v=%d fired=%v, want v=-20 fired=false", v, fired)
+		}
+	})
+	t.Run("reset", func(t *testing.T) {
+		p := Params{Threshold: 100, NegThreshold: 20, ResetV: 3}
+		v, fired := p.ThresholdFire(-50, rng)
+		if fired || v != -3 {
+			t.Errorf("got v=%d fired=%v, want v=-3 fired=false", v, fired)
+		}
+	})
+	t.Run("at-boundary-untouched", func(t *testing.T) {
+		p := Params{Threshold: 100, NegThreshold: 20, NegSaturate: true}
+		v, _ := p.ThresholdFire(-20, rng)
+		if v != -20 {
+			t.Errorf("v=-20 with beta=20 should stay, got %d", v)
+		}
+	})
+}
+
+func TestStochasticThresholdJitter(t *testing.T) {
+	// With mask 0xFF the effective threshold is alpha + U[0,255]; a potential
+	// exactly at alpha should fire only when the draw is 0.
+	p := Params{Threshold: 10, ThresholdMask: 0xFF, Reset: ResetToV}
+	rng := prng.New(21)
+	fires := 0
+	const n = 1 << 14
+	for i := 0; i < n; i++ {
+		if _, fired := p.ThresholdFire(10, rng); fired {
+			fires++
+		}
+	}
+	want := n / 256
+	if fires < want/3 || fires > want*3 {
+		t.Errorf("fired %d/%d at V==alpha with full jitter, want about %d", fires, n, want)
+	}
+}
+
+func TestStochasticThresholdConsumesOneDraw(t *testing.T) {
+	p := Params{Threshold: 10, ThresholdMask: 0x0F}
+	a, b := prng.New(9), prng.New(9)
+	p.ThresholdFire(0, a)
+	b.Draw()
+	if a.State() != b.State() {
+		t.Error("masked threshold must consume exactly one draw per tick")
+	}
+}
+
+func TestTonicSpikingFromLeak(t *testing.T) {
+	// A neuron with leak L and threshold alpha fires every ceil(alpha/L)
+	// ticks: the paper's versatile neuron supports tonic spiking with no
+	// synaptic input at all.
+	p := Params{Leak: 3, Threshold: 9, Reset: ResetToV}
+	rng := prng.New(1)
+	v := int32(0)
+	var fireTicks []int
+	for tick := 0; tick < 30; tick++ {
+		v = p.ApplyLeak(v, rng)
+		var fired bool
+		v, fired = p.ThresholdFire(v, rng)
+		if fired {
+			fireTicks = append(fireTicks, tick)
+		}
+	}
+	if len(fireTicks) != 10 {
+		t.Fatalf("fired %d times in 30 ticks, want 10 (every 3 ticks): %v", len(fireTicks), fireTicks)
+	}
+	for i := 1; i < len(fireTicks); i++ {
+		if fireTicks[i]-fireTicks[i-1] != 3 {
+			t.Fatalf("irregular tonic interval: %v", fireTicks)
+		}
+	}
+}
+
+func TestIdentityRelaysSingleSpike(t *testing.T) {
+	p := Identity()
+	rng := prng.New(1)
+	v := p.Integrate(0, 0, rng)
+	v = p.ApplyLeak(v, rng)
+	v, fired := p.ThresholdFire(v, rng)
+	if !fired || v != 0 {
+		t.Fatalf("identity neuron after one spike: v=%d fired=%v, want v=0 fired=true", v, fired)
+	}
+	// And stays silent with no input.
+	v = p.ApplyLeak(v, rng)
+	if _, fired := p.ThresholdFire(v, rng); fired {
+		t.Fatal("identity neuron fired with no input")
+	}
+}
+
+func TestAccumulatorRate(t *testing.T) {
+	// Subtractive reset preserves rate: driving with k excitatory events per
+	// tick and threshold th yields k/th spikes per tick on average.
+	p := Accumulator(1, 1, 4)
+	rng := prng.New(1)
+	v := int32(0)
+	spikes := 0
+	const ticks = 400
+	for tick := 0; tick < ticks; tick++ {
+		for e := 0; e < 3; e++ { // 3 events/tick, th=4 → 0.75 spikes/tick
+			v = p.Integrate(v, 0, rng)
+		}
+		v = p.ApplyLeak(v, rng)
+		var fired bool
+		v, fired = p.ThresholdFire(v, rng)
+		if fired {
+			spikes++
+		}
+	}
+	if spikes != ticks*3/4 {
+		t.Fatalf("accumulator emitted %d spikes over %d ticks, want %d", spikes, ticks, ticks*3/4)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := Params{Weights: [NumAxonTypes]int32{255, -256, 0, 1}, Leak: -256, Threshold: VMax, NegThreshold: -VMin, ResetV: VMin}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{Weights: [NumAxonTypes]int32{256}},
+		{Weights: [NumAxonTypes]int32{0, -257}},
+		{Leak: 300},
+		{Threshold: -1},
+		{Threshold: VMax + 1},
+		{NegThreshold: -1},
+		{ResetV: VMax + 1},
+		{Reset: ResetNone + 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestStepMatchesPiecewise(t *testing.T) {
+	p := Params{Weights: [NumAxonTypes]int32{2, -1, 5, 0}, Leak: 1, Threshold: 7, Reset: ResetSubtract}
+	ra, rb := prng.New(4), prng.New(4)
+	va := int32(0)
+	vb := int32(0)
+	events := [NumAxonTypes]int{3, 1, 0, 2}
+	va, fa := p.Step(va, events, ra)
+
+	for g, n := range events {
+		for k := 0; k < n; k++ {
+			vb = p.Integrate(vb, uint8(g), rb)
+		}
+	}
+	vb = p.ApplyLeak(vb, rb)
+	vb, fb := p.ThresholdFire(vb, rb)
+	if va != vb || fa != fb {
+		t.Fatalf("Step (v=%d fired=%v) disagrees with piecewise (v=%d fired=%v)", va, fa, vb, fb)
+	}
+}
+
+func TestPropertyPotentialAlwaysInRange(t *testing.T) {
+	// Invariant: no sequence of operations can take V outside the 20-bit
+	// saturating range.
+	f := func(w0, w1 int16, leak int16, th uint16, seed uint16, n uint8) bool {
+		p := Params{
+			Weights:   [NumAxonTypes]int32{int32(w0) % 256, int32(w1) % 256, 0, 0},
+			Leak:      int32(leak) % 256,
+			Threshold: int32(th) % (VMax / 2),
+			Reset:     ResetMode(uint8(seed) % 3),
+		}
+		rng := prng.New(seed)
+		v := int32(0)
+		for i := 0; i < int(n); i++ {
+			v = p.Integrate(v, uint8(i%2), rng)
+			v = p.ApplyLeak(v, rng)
+			v, _ = p.ThresholdFire(v, rng)
+			if v > VMax || v < VMin {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyNegThresholdFloorHolds(t *testing.T) {
+	// With NegSaturate the potential never ends a tick below -beta.
+	f := func(beta uint16, leak int8, seed uint16, n uint8) bool {
+		b := int32(beta % 1000)
+		p := Params{
+			Weights:      [NumAxonTypes]int32{-10, 0, 0, 0},
+			Leak:         int32(leak),
+			Threshold:    VMax, // never fires
+			NegThreshold: b,
+			NegSaturate:  true,
+		}
+		rng := prng.New(seed)
+		v := int32(0)
+		for i := 0; i < int(n); i++ {
+			v = p.Integrate(v, 0, rng)
+			v = p.ApplyLeak(v, rng)
+			v, _ = p.ThresholdFire(v, rng)
+			if v < -b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySubtractiveResetConservesDrive(t *testing.T) {
+	// With subtractive reset, zero leak, and only positive drive, total
+	// input equals th*spikes + V (no charge is lost).
+	f := func(w uint8, th uint8, n uint8, seed uint16) bool {
+		weight := int32(w%50) + 1
+		thresh := int32(th%100) + 1
+		p := Params{Weights: [NumAxonTypes]int32{weight}, Threshold: thresh, Reset: ResetSubtract}
+		rng := prng.New(seed)
+		v := int32(0)
+		spikes := int32(0)
+		events := int32(n)
+		for i := int32(0); i < events; i++ {
+			v = p.Integrate(v, 0, rng)
+			v = p.ApplyLeak(v, rng)
+			var fired bool
+			v, fired = p.ThresholdFire(v, rng)
+			if fired {
+				spikes++
+			}
+		}
+		return events*weight == thresh*spikes+v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResetModeString(t *testing.T) {
+	for m, want := range map[ResetMode]string{
+		ResetToV:      "reset-to-V",
+		ResetSubtract: "reset-subtract",
+		ResetNone:     "reset-none",
+		ResetMode(9):  "ResetMode(9)",
+	} {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", m, got, want)
+		}
+	}
+}
+
+func BenchmarkIntegrateDeterministic(b *testing.B) {
+	p := Params{Weights: [NumAxonTypes]int32{3, -2, 7, 1}}
+	rng := prng.New(1)
+	v := int32(0)
+	for i := 0; i < b.N; i++ {
+		v = p.Integrate(v, uint8(i&3), rng)
+	}
+	_ = v
+}
+
+func BenchmarkIntegrateStochastic(b *testing.B) {
+	p := Params{Weights: [NumAxonTypes]int32{128}, StochSyn: [NumAxonTypes]bool{true}}
+	rng := prng.New(1)
+	v := int32(0)
+	for i := 0; i < b.N; i++ {
+		v = p.Integrate(v, 0, rng)
+	}
+	_ = v
+}
+
+func BenchmarkFullNeuronTick(b *testing.B) {
+	p := Params{Weights: [NumAxonTypes]int32{2, -1, 0, 0}, Leak: -1, Threshold: 50, Reset: ResetToV}
+	rng := prng.New(1)
+	v := int32(0)
+	for i := 0; i < b.N; i++ {
+		v = p.Integrate(v, 0, rng)
+		v = p.ApplyLeak(v, rng)
+		v, _ = p.ThresholdFire(v, rng)
+	}
+	_ = v
+}

@@ -1,0 +1,67 @@
+// Package prng implements the deterministic per-core pseudo-random number
+// generator used by neurosynaptic cores for stochastic synapse, leak, and
+// threshold modes.
+//
+// TrueNorth places a small hardware PRNG in every core; stochastic neural
+// dynamics are therefore exactly reproducible given the seed, which is what
+// makes the chip and the Compass simulator bit-equal even for stochastic
+// networks. We model it as a 16-bit Fibonacci linear-feedback shift register
+// with the maximal-length polynomial x^16 + x^15 + x^13 + x^4 + 1
+// (taps 16, 15, 13, 4), giving a period of 2^16-1.
+package prng
+
+// LFSR is a 16-bit maximal-length Fibonacci linear-feedback shift register.
+// The zero value is invalid (an all-zero LFSR is stuck); use New or Seed.
+type LFSR struct {
+	state uint16
+}
+
+// New returns an LFSR seeded with seed. A zero seed is mapped to 1 so that
+// the register never enters the stuck all-zero state.
+func New(seed uint16) *LFSR {
+	l := &LFSR{}
+	l.Seed(seed)
+	return l
+}
+
+// Seed resets the register state. A zero seed is mapped to 1.
+func (l *LFSR) Seed(seed uint16) {
+	if seed == 0 {
+		seed = 1
+	}
+	l.state = seed
+}
+
+// State returns the current register contents, for checkpointing.
+func (l *LFSR) State() uint16 { return l.state }
+
+// NextBit advances the register one step and returns the output bit.
+func (l *LFSR) NextBit() uint16 {
+	// Fibonacci LFSR, taps at bit positions 16, 15, 13, 4 (1-indexed).
+	s := l.state
+	bit := (s ^ (s >> 1) ^ (s >> 3) ^ (s >> 12)) & 1
+	l.state = s>>1 | bit<<15
+	return bit
+}
+
+// Next8 returns the next 8 pseudo-random bits as an unsigned byte value.
+func (l *LFSR) Next8() uint8 {
+	var v uint8
+	for i := 0; i < 8; i++ {
+		v = v<<1 | uint8(l.NextBit())
+	}
+	return v
+}
+
+// Next16 returns the next 16 pseudo-random bits.
+func (l *LFSR) Next16() uint16 {
+	return uint16(l.Next8())<<8 | uint16(l.Next8())
+}
+
+// Draw returns a uniformly distributed value in [0, 256) used by the
+// stochastic synapse and leak modes: an event with probability parameter p
+// (0..255) is applied when Draw() < p... see neuron.Params for the exact
+// comparison conventions.
+func (l *LFSR) Draw() int32 {
+	return int32(l.Next8())
+}

@@ -1,0 +1,146 @@
+package prng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroSeedMapsToOne(t *testing.T) {
+	l := New(0)
+	if l.State() == 0 {
+		t.Fatal("zero seed must not produce the stuck all-zero state")
+	}
+	if got, want := New(0).State(), New(1).State(); got != want {
+		t.Fatalf("New(0) state = %#x, want same as New(1) = %#x", got, want)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(0xBEEF), New(0xBEEF)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Next16(), b.Next16(); av != bv {
+			t.Fatalf("step %d: %#x != %#x", i, av, bv)
+		}
+	}
+}
+
+func TestSeedResetsSequence(t *testing.T) {
+	l := New(42)
+	first := make([]uint8, 64)
+	for i := range first {
+		first[i] = l.Next8()
+	}
+	l.Seed(42)
+	for i := range first {
+		if got := l.Next8(); got != first[i] {
+			t.Fatalf("after reseed, byte %d = %#x, want %#x", i, got, first[i])
+		}
+	}
+}
+
+func TestMaximalPeriod(t *testing.T) {
+	// A maximal-length 16-bit LFSR visits all 2^16-1 non-zero states before
+	// repeating. This validates the tap polynomial.
+	l := New(1)
+	start := l.State()
+	period := 0
+	for {
+		l.NextBit()
+		period++
+		if l.State() == start {
+			break
+		}
+		if period > 1<<16 {
+			t.Fatal("period exceeds 2^16: not a permutation of states")
+		}
+	}
+	if period != 1<<16-1 {
+		t.Fatalf("period = %d, want %d", period, 1<<16-1)
+	}
+}
+
+func TestNeverZeroState(t *testing.T) {
+	l := New(0x8000)
+	for i := 0; i < 1<<16; i++ {
+		l.NextBit()
+		if l.State() == 0 {
+			t.Fatalf("entered all-zero state at step %d", i)
+		}
+	}
+}
+
+func TestDrawRange(t *testing.T) {
+	l := New(7)
+	for i := 0; i < 4096; i++ {
+		if v := l.Draw(); v < 0 || v > 255 {
+			t.Fatalf("Draw() = %d, want in [0,255]", v)
+		}
+	}
+}
+
+func TestDrawApproximatelyUniform(t *testing.T) {
+	// Over a full period every byte value appears nearly the same number of
+	// times. We check a coarse chi-square-like bound over 64k draws.
+	l := New(3)
+	var hist [256]int
+	const n = 1 << 16
+	for i := 0; i < n; i++ {
+		hist[l.Draw()]++
+	}
+	want := n / 256
+	for v, c := range hist {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("value %d drawn %d times, want near %d", v, c, want)
+		}
+	}
+}
+
+func TestBitBalance(t *testing.T) {
+	l := New(0x1234)
+	ones := 0
+	const n = 1 << 16
+	for i := 0; i < n; i++ {
+		ones += int(l.NextBit())
+	}
+	if ones < n*45/100 || ones > n*55/100 {
+		t.Fatalf("ones = %d of %d, want roughly balanced", ones, n)
+	}
+}
+
+func TestPropertySeedDeterminism(t *testing.T) {
+	f := func(seed uint16, steps uint8) bool {
+		a, b := New(seed), New(seed)
+		for i := 0; i < int(steps); i++ {
+			if a.Next8() != b.Next8() {
+				return false
+			}
+		}
+		return a.State() == b.State()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyStateNeverZero(t *testing.T) {
+	f := func(seed uint16, steps uint16) bool {
+		l := New(seed)
+		for i := 0; i < int(steps%2048); i++ {
+			l.NextBit()
+			if l.State() == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkNext8(b *testing.B) {
+	l := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = l.Next8()
+	}
+}

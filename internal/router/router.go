@@ -1,0 +1,259 @@
+// Package router models TrueNorth's spike communication fabric: a 2D mesh
+// of five-port routers (north, south, east, west, local) using deadlock-free
+// dimension-order routing — packets travel first in x, then in y (Section
+// III-C, citing Dally & Seitz).
+//
+// The functional engines deliver spikes logically within a tick, so the
+// router's job here is (1) to define the single-word packet format, (2) to
+// account hops and chip-boundary (merge/split) crossings for the energy and
+// congestion models, and (3) to compute detour routes around disabled cores,
+// reproducing the architecture's fault tolerance ("if a core fails, we
+// disable it and route spike events around it").
+package router
+
+import "fmt"
+
+// Packet is the single-word spike event travelling the mesh. Matching the
+// hardware packet, it carries only relative offsets, the target axon, and
+// the delivery delay; the fabric needs no global addresses.
+type Packet struct {
+	// DX and DY are the remaining relative hops (x is consumed first).
+	DX, DY int16
+	// Axon is the target axon index on the destination core.
+	Axon uint8
+	// Delay is the axonal delay in ticks (1..15), applied at the
+	// destination relative to the emission tick.
+	Delay uint8
+}
+
+// Point is a core coordinate on the (possibly multi-chip) global mesh.
+type Point struct{ X, Y int }
+
+// Add returns p offset by (dx, dy).
+func (p Point) Add(dx, dy int) Point { return Point{p.X + dx, p.Y + dy} }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+// DeadFunc reports whether the core at p is disabled. A nil DeadFunc means
+// no core is disabled.
+type DeadFunc func(p Point) bool
+
+// Route is the result of routing one packet.
+type Route struct {
+	// Hops is the number of router-to-router traversals (Manhattan length
+	// of the realized path; detours around dead cores lengthen it).
+	Hops int
+	// Crossings is the number of chip-boundary (merge/split block)
+	// traversals along the path, given the chip dimensions.
+	Crossings int
+	// OK reports whether a path exists (false if the destination is dead
+	// or fully enclosed by dead cores).
+	OK bool
+	// Detoured reports whether the path deviated from pure dimension-order
+	// routing to avoid dead cores.
+	Detoured bool
+}
+
+// Mesh describes the routing substrate: the global core grid and the chip
+// tile dimensions (merge/split blocks sit on tile boundaries). A single
+// TrueNorth chip has Grid == Tile == 64×64.
+type Mesh struct {
+	// W, H are the global grid dimensions in cores.
+	W, H int
+	// TileW, TileH are the per-chip dimensions in cores; crossing from one
+	// tile to the next passes through a merge/split block. Zero values
+	// mean "single tile" (no crossings ever).
+	TileW, TileH int
+}
+
+// Contains reports whether p lies on the mesh.
+func (m Mesh) Contains(p Point) bool {
+	return p.X >= 0 && p.X < m.W && p.Y >= 0 && p.Y < m.H
+}
+
+// ChipOf returns the chip-tile coordinates containing p.
+func (m Mesh) ChipOf(p Point) Point {
+	if m.TileW <= 0 || m.TileH <= 0 {
+		return Point{}
+	}
+	return Point{p.X / m.TileW, p.Y / m.TileH}
+}
+
+// crossings counts chip-boundary traversals when stepping from a to b
+// (adjacent cores).
+func (m Mesh) crossing(a, b Point) int {
+	if m.TileW <= 0 || m.TileH <= 0 {
+		return 0
+	}
+	if m.ChipOf(a) != m.ChipOf(b) {
+		return 1
+	}
+	return 0
+}
+
+// DOR computes the pure dimension-order route from src to dst ignoring
+// faults: |dx| + |dy| hops and the boundary crossings along the x-then-y
+// path. It is the common fast path; engines fall back to RouteAvoiding only
+// when dead cores exist.
+func (m Mesh) DOR(src, dst Point) Route {
+	dx, dy := dst.X-src.X, dst.Y-src.Y
+	r := Route{Hops: abs(dx) + abs(dy), OK: true}
+	if m.TileW > 0 && m.TileH > 0 {
+		// x leg: from src.X to dst.X at row src.Y.
+		r.Crossings += tileSpans(src.X, dst.X, m.TileW)
+		// y leg: from src.Y to dst.Y at column dst.X.
+		r.Crossings += tileSpans(src.Y, dst.Y, m.TileH)
+	}
+	return r
+}
+
+// tileSpans counts tile-boundary crossings travelling from coordinate a to b
+// with tile size t.
+func tileSpans(a, b, t int) int {
+	ta, tb := a/t, b/t
+	return abs(tb - ta)
+}
+
+// RouteAvoiding routes from src to dst with dimension-order preference,
+// detouring around dead cores. The algorithm walks the DOR path greedily;
+// on encountering a dead core it sidesteps in the other dimension and
+// resumes. If the greedy walk fails (dead wall), it falls back to a
+// breadth-first search, which finds a path whenever one exists. Paths may
+// not enter dead cores; src is allowed to be dead only if src == dst is not
+// (hardware: a dead core cannot source packets anyway — engines disable its
+// neurons).
+func (m Mesh) RouteAvoiding(src, dst Point, dead DeadFunc) Route {
+	if !m.Contains(dst) || !m.Contains(src) {
+		return Route{}
+	}
+	if dead != nil && dead(dst) {
+		return Route{}
+	}
+	if dead == nil {
+		return m.DOR(src, dst)
+	}
+	if r, ok := m.greedyAvoid(src, dst, dead); ok {
+		return r
+	}
+	return m.bfs(src, dst, dead)
+}
+
+// greedyAvoid attempts DOR with local sidesteps. Returns ok=false when it
+// gets stuck; the caller then uses BFS.
+func (m Mesh) greedyAvoid(src, dst Point, dead DeadFunc) (Route, bool) {
+	cur := src
+	r := Route{OK: true}
+	steps := 0
+	limit := 4 * (m.W + m.H) // generous bound; beyond it, give up to BFS
+	for cur != dst {
+		if steps++; steps > limit {
+			return Route{}, false
+		}
+		next, ok := m.greedyStep(cur, dst, dead)
+		if !ok {
+			return Route{}, false
+		}
+		if pure := dorStep(cur, dst); next != pure {
+			r.Detoured = true
+		}
+		r.Hops++
+		r.Crossings += m.crossing(cur, next)
+		cur = next
+	}
+	return r, true
+}
+
+// dorStep returns the next hop under pure dimension-order routing.
+func dorStep(cur, dst Point) Point {
+	if cur.X != dst.X {
+		return Point{cur.X + sign(dst.X-cur.X), cur.Y}
+	}
+	return Point{cur.X, cur.Y + sign(dst.Y-cur.Y)}
+}
+
+// greedyStep picks the next hop: the DOR step if alive, otherwise a
+// productive step in the other dimension, otherwise any alive sidestep.
+func (m Mesh) greedyStep(cur, dst Point, dead DeadFunc) (Point, bool) {
+	alive := func(p Point) bool { return m.Contains(p) && !dead(p) }
+	// Preferred: pure DOR step.
+	if p := dorStep(cur, dst); alive(p) {
+		return p, true
+	}
+	// Productive step in the other dimension.
+	if cur.Y != dst.Y {
+		if p := (Point{cur.X, cur.Y + sign(dst.Y-cur.Y)}); alive(p) {
+			return p, true
+		}
+	}
+	if cur.X != dst.X {
+		if p := (Point{cur.X + sign(dst.X-cur.X), cur.Y}); alive(p) {
+			return p, true
+		}
+	}
+	// Non-productive sidesteps (may oscillate; the step limit catches it).
+	for _, p := range []Point{{cur.X, cur.Y + 1}, {cur.X, cur.Y - 1}, {cur.X + 1, cur.Y}, {cur.X - 1, cur.Y}} {
+		if alive(p) {
+			return p, true
+		}
+	}
+	return Point{}, false
+}
+
+// bfs finds a shortest path around dead cores, or reports no path.
+func (m Mesh) bfs(src, dst Point, dead DeadFunc) Route {
+	idx := func(p Point) int { return p.Y*m.W + p.X }
+	prev := make([]int32, m.W*m.H)
+	for i := range prev {
+		prev[i] = -2 // unvisited
+	}
+	prev[idx(src)] = -1
+	queue := []Point{src}
+	found := false
+	for len(queue) > 0 && !found {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, d := range [4]Point{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			n := Point{cur.X + d.X, cur.Y + d.Y}
+			if !m.Contains(n) || prev[idx(n)] != -2 || dead(n) {
+				continue
+			}
+			prev[idx(n)] = int32(idx(cur))
+			if n == dst {
+				found = true
+				break
+			}
+			queue = append(queue, n)
+		}
+	}
+	if !found {
+		return Route{}
+	}
+	r := Route{OK: true, Detoured: true}
+	at := idx(dst)
+	for prev[at] != -1 {
+		p := int(prev[at])
+		r.Hops++
+		r.Crossings += m.crossing(Point{p % m.W, p / m.W}, Point{at % m.W, at / m.W})
+		at = p
+	}
+	return r
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func sign(x int) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	default:
+		return 0
+	}
+}

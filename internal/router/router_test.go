@@ -1,0 +1,224 @@
+package router
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDORHops(t *testing.T) {
+	m := Mesh{W: 64, H: 64}
+	cases := []struct {
+		src, dst Point
+		hops     int
+	}{
+		{Point{0, 0}, Point{0, 0}, 0},
+		{Point{0, 0}, Point{5, 0}, 5},
+		{Point{0, 0}, Point{0, 7}, 7},
+		{Point{3, 4}, Point{10, 1}, 10},
+		{Point{63, 63}, Point{0, 0}, 126},
+	}
+	for _, c := range cases {
+		r := m.DOR(c.src, c.dst)
+		if !r.OK || r.Hops != c.hops {
+			t.Errorf("DOR(%v→%v) = %+v, want %d hops", c.src, c.dst, r, c.hops)
+		}
+		if r.Detoured {
+			t.Errorf("DOR(%v→%v) reports detour", c.src, c.dst)
+		}
+	}
+}
+
+func TestDORCrossingsSingleChip(t *testing.T) {
+	m := Mesh{W: 64, H: 64, TileW: 64, TileH: 64}
+	if r := m.DOR(Point{0, 0}, Point{63, 63}); r.Crossings != 0 {
+		t.Fatalf("single-chip route crossed %d boundaries, want 0", r.Crossings)
+	}
+}
+
+func TestDORCrossingsMultiChip(t *testing.T) {
+	// A 4×4 board of 64×64 chips = 256×256 cores.
+	m := Mesh{W: 256, H: 256, TileW: 64, TileH: 64}
+	cases := []struct {
+		src, dst  Point
+		crossings int
+	}{
+		{Point{10, 10}, Point{20, 20}, 0}, // within chip (0,0)
+		{Point{63, 0}, Point{64, 0}, 1},   // one x boundary
+		{Point{0, 0}, Point{255, 0}, 3},   // across the row of 4 chips
+		{Point{0, 0}, Point{255, 255}, 6}, // 3 in x, 3 in y
+		{Point{60, 60}, Point{70, 70}, 2}, // diagonal neighbor chip
+		{Point{130, 5}, Point{120, 5}, 1}, // westward crossing
+	}
+	for _, c := range cases {
+		r := m.DOR(c.src, c.dst)
+		if r.Crossings != c.crossings {
+			t.Errorf("DOR(%v→%v) crossings = %d, want %d", c.src, c.dst, r.Crossings, c.crossings)
+		}
+	}
+}
+
+func TestRouteAvoidingNoDeadEqualsDOR(t *testing.T) {
+	m := Mesh{W: 32, H: 32}
+	r1 := m.RouteAvoiding(Point{1, 2}, Point{20, 30}, nil)
+	r2 := m.DOR(Point{1, 2}, Point{20, 30})
+	if r1 != r2 {
+		t.Fatalf("nil dead func: %+v != DOR %+v", r1, r2)
+	}
+}
+
+func TestRouteAvoidingDetour(t *testing.T) {
+	m := Mesh{W: 16, H: 16}
+	// Kill the core directly on the x-leg of the DOR path.
+	dead := func(p Point) bool { return p == Point{5, 0} }
+	r := m.RouteAvoiding(Point{0, 0}, Point{10, 0}, dead)
+	if !r.OK {
+		t.Fatal("no route found around single dead core")
+	}
+	if !r.Detoured {
+		t.Fatal("route should report detour")
+	}
+	if r.Hops != 12 { // 10 + sidestep out and back
+		t.Fatalf("detour hops = %d, want 12", r.Hops)
+	}
+}
+
+func TestRouteAvoidingDeadDestination(t *testing.T) {
+	m := Mesh{W: 8, H: 8}
+	dead := func(p Point) bool { return p == Point{3, 3} }
+	if r := m.RouteAvoiding(Point{0, 0}, Point{3, 3}, dead); r.OK {
+		t.Fatal("route to dead core should fail")
+	}
+}
+
+func TestRouteAvoidingWall(t *testing.T) {
+	// A full vertical dead wall with one gap: BFS must find the gap.
+	m := Mesh{W: 16, H: 16}
+	dead := func(p Point) bool { return p.X == 8 && p.Y != 15 }
+	r := m.RouteAvoiding(Point{0, 0}, Point{15, 0}, dead)
+	if !r.OK {
+		t.Fatal("no route found through wall gap")
+	}
+	// Must go up to y=15 and back: 15 + 15 + 15 + ... path length >= 15+15+15 = 45.
+	if r.Hops < 45 {
+		t.Fatalf("wall route hops = %d, want >= 45", r.Hops)
+	}
+}
+
+func TestRouteAvoidingEnclosed(t *testing.T) {
+	m := Mesh{W: 8, H: 8}
+	// Fully enclose (4,4).
+	ring := map[Point]bool{
+		{3, 3}: true, {4, 3}: true, {5, 3}: true,
+		{3, 4}: true, {5, 4}: true,
+		{3, 5}: true, {4, 5}: true, {5, 5}: true,
+	}
+	dead := func(p Point) bool { return ring[p] }
+	if r := m.RouteAvoiding(Point{0, 0}, Point{4, 4}, dead); r.OK {
+		t.Fatal("route into enclosed region should fail")
+	}
+}
+
+func TestRouteAvoidingOffMesh(t *testing.T) {
+	m := Mesh{W: 8, H: 8}
+	if r := m.RouteAvoiding(Point{0, 0}, Point{8, 0}, nil); r.OK {
+		t.Fatal("off-mesh destination should fail")
+	}
+	if r := m.RouteAvoiding(Point{-1, 0}, Point{1, 0}, nil); r.OK {
+		t.Fatal("off-mesh source should fail")
+	}
+}
+
+func TestPropertyDetourAtLeastManhattan(t *testing.T) {
+	// Any realized route is at least as long as the Manhattan distance, and
+	// without dead cores exactly equal.
+	m := Mesh{W: 24, H: 24}
+	f := func(sx, sy, dx, dy uint8, seed uint16) bool {
+		src := Point{int(sx) % 24, int(sy) % 24}
+		dst := Point{int(dx) % 24, int(dy) % 24}
+		// Deterministic sparse dead set from seed, avoiding src and dst.
+		dead := func(p Point) bool {
+			if p == src || p == dst {
+				return false
+			}
+			h := uint32(p.X*31+p.Y*17) * uint32(seed|1)
+			return h%11 == 0
+		}
+		r := m.RouteAvoiding(src, dst, dead)
+		manhattan := abs(dst.X-src.X) + abs(dst.Y-src.Y)
+		if !r.OK {
+			// Allowed only if BFS confirms no path; trust the BFS by
+			// construction here (sparse 9% faults rarely disconnect, but
+			// accept failures as long as they are not trivial).
+			return manhattan > 0
+		}
+		return r.Hops >= manhattan
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCrossingsBounded(t *testing.T) {
+	// Boundary crossings on a DOR route are exactly the number of tile
+	// boundaries between source and destination tiles.
+	m := Mesh{W: 128, H: 128, TileW: 32, TileH: 32}
+	f := func(sx, sy, dx, dy uint8) bool {
+		src := Point{int(sx) % 128, int(sy) % 128}
+		dst := Point{int(dx) % 128, int(dy) % 128}
+		r := m.DOR(src, dst)
+		want := abs(dst.X/32-src.X/32) + abs(dst.Y/32-src.Y/32)
+		return r.Crossings == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChipOf(t *testing.T) {
+	m := Mesh{W: 256, H: 128, TileW: 64, TileH: 64}
+	if got := m.ChipOf(Point{63, 63}); got != (Point{0, 0}) {
+		t.Errorf("ChipOf(63,63) = %v, want (0,0)", got)
+	}
+	if got := m.ChipOf(Point{64, 63}); got != (Point{1, 0}) {
+		t.Errorf("ChipOf(64,63) = %v, want (1,0)", got)
+	}
+	if got := m.ChipOf(Point{255, 127}); got != (Point{3, 1}) {
+		t.Errorf("ChipOf(255,127) = %v, want (3,1)", got)
+	}
+}
+
+func TestMeanHopDistanceUniformTargets(t *testing.T) {
+	// The paper's recurrent networks project to axons "an average of 21.66
+	// hops away both in x and y". For uniform random source/target on a
+	// 64-wide axis the expected |dx| is ~64/3 ≈ 21.3; verify our mesh
+	// arithmetic reproduces that, since netgen relies on it.
+	m := Mesh{W: 64, H: 64}
+	var total, n int
+	for sx := 0; sx < 64; sx += 4 {
+		for dx := 0; dx < 64; dx++ {
+			r := m.DOR(Point{sx, 0}, Point{dx, 0})
+			total += r.Hops
+			n++
+		}
+	}
+	mean := float64(total) / float64(n)
+	if mean < 19 || mean < 0 || mean > 24 {
+		t.Fatalf("mean |dx| = %.2f, want ≈21.3", mean)
+	}
+}
+
+func BenchmarkDOR(b *testing.B) {
+	m := Mesh{W: 64, H: 64, TileW: 64, TileH: 64}
+	for i := 0; i < b.N; i++ {
+		_ = m.DOR(Point{i % 64, (i * 7) % 64}, Point{(i * 13) % 64, (i * 29) % 64})
+	}
+}
+
+func BenchmarkRouteAvoidingSparseFaults(b *testing.B) {
+	m := Mesh{W: 64, H: 64}
+	dead := func(p Point) bool { return (p.X*31+p.Y*17)%97 == 0 }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.RouteAvoiding(Point{i % 64, (i * 7) % 64}, Point{(i * 13) % 64, (i * 29) % 64}, dead)
+	}
+}

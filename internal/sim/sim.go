@@ -1,0 +1,75 @@
+// Package sim defines the engine-neutral simulation contract shared by the
+// two expressions of the neurosynaptic kernel: the silicon model
+// (internal/chip) and the parallel software simulator (internal/compass).
+//
+// Applications, experiments, and the corelet toolchain program against this
+// interface, which is what lets any network "run without modification" on
+// either expression — the property the paper establishes between Compass and
+// TrueNorth.
+package sim
+
+import (
+	"truenorth/internal/core"
+	"truenorth/internal/router"
+)
+
+// OutputSpike is a spike captured by an external output sink.
+type OutputSpike struct {
+	// Tick is the tick at which the source neuron fired.
+	Tick uint64
+	// ID identifies the output sink (assigned at placement time).
+	ID int32
+}
+
+// NoCStats accumulates communication-fabric activity, the inputs to the
+// communication terms of the energy model.
+type NoCStats struct {
+	// RoutedSpikes counts packets injected into the mesh.
+	RoutedSpikes uint64
+	// Hops counts router traversals summed over all packets.
+	Hops uint64
+	// Crossings counts chip-boundary (merge/split) traversals.
+	Crossings uint64
+	// Dropped counts packets without a reachable destination (off-mesh or
+	// dead cores).
+	Dropped uint64
+	// Detours counts packets that deviated from pure dimension-order
+	// routing to avoid dead cores.
+	Detours uint64
+}
+
+// Add accumulates o into s.
+func (s *NoCStats) Add(o NoCStats) {
+	s.RoutedSpikes += o.RoutedSpikes
+	s.Hops += o.Hops
+	s.Crossings += o.Crossings
+	s.Dropped += o.Dropped
+	s.Detours += o.Detours
+}
+
+// Engine is one expression of the neurosynaptic kernel. Implementations
+// must be deterministic: identical configurations, injections, and step
+// counts produce identical spikes, outputs, and counters.
+type Engine interface {
+	// Step advances the system one tick: Synapse, Neuron, then Network
+	// phases of the kernel.
+	Step()
+	// Run calls Step n times.
+	Run(n int)
+	// Tick returns the next tick to be processed (0 before the first Step).
+	Tick() uint64
+	// Inject schedules an external spike on the axon of the core at (x, y),
+	// arriving delay ticks from the next processed tick (delay ≥ 0: delay 0
+	// is integrated by the very next Step).
+	Inject(x, y, axon, delay int)
+	// DrainOutputs returns and clears the accumulated output spikes.
+	DrainOutputs() []OutputSpike
+	// Counters returns aggregate core counters.
+	Counters() core.Counters
+	// NoC returns aggregate communication statistics.
+	NoC() NoCStats
+	// Core returns the core at (x, y), or nil if the slot is empty.
+	Core(x, y int) *core.Core
+	// Mesh returns the routing substrate description.
+	Mesh() router.Mesh
+}

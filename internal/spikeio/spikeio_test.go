@@ -1,0 +1,138 @@
+package spikeio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"truenorth/internal/chip"
+	"truenorth/internal/core"
+	"truenorth/internal/neuron"
+	"truenorth/internal/router"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	events := []Event{{0, 5}, {3, 1}, {3, 2}, {1000000, 2147483647}}
+	var buf bytes.Buffer
+	if err := Write(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("read %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("12 abc\n")); err == nil {
+		t.Fatal("garbage line accepted")
+	}
+	if got, err := Read(strings.NewReader("\n\n")); err != nil || len(got) != 0 {
+		t.Fatalf("blank lines should be skipped: %v %v", got, err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(x, y uint16, axon uint8) bool {
+		gx, gy, ga := Decode(Encode(int(x%4096), int(y%4096), int(axon)))
+		return gx == int(x%4096) && gy == int(y%4096) && ga == int(axon)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualCanonicalOrdering(t *testing.T) {
+	a := []Event{{1, 2}, {1, 1}, {0, 9}}
+	b := []Event{{0, 9}, {1, 1}, {1, 2}}
+	if !Equal(a, b) {
+		t.Fatal("same multiset in different order reported unequal")
+	}
+	if Equal(a, a[:2]) {
+		t.Fatal("different lengths reported equal")
+	}
+	c := []Event{{1, 2}, {1, 1}, {0, 8}}
+	if Equal(a, c) {
+		t.Fatal("different events reported equal")
+	}
+}
+
+// relayChip builds a 2×1 mesh: injecting axon 0 on (0,0) emits output 7
+// one core later.
+func relayChip(t *testing.T) *chip.Model {
+	t.Helper()
+	a := core.InertConfig()
+	a.Synapses[0].Set(0)
+	a.Neurons[0] = neuron.Identity()
+	a.Targets[0] = core.Target{Valid: true, DX: 1, Axon: 0, Delay: 1}
+	b := core.InertConfig()
+	b.Synapses[0].Set(0)
+	b.Neurons[0] = neuron.Identity()
+	b.Targets[0] = core.Target{Valid: true, Output: true, OutputID: 7}
+	m, err := chip.New(router.Mesh{W: 2, H: 1}, []*core.Config{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRecordAndReplayEndToEnd(t *testing.T) {
+	// Record an input stream, replay it into a fresh engine, and compare
+	// output recordings — the regression-testing workflow.
+	stim := []Event{
+		{Tick: 0, ID: Encode(0, 0, 0)},
+		{Tick: 5, ID: Encode(0, 0, 0)},
+		{Tick: 40, ID: Encode(0, 0, 0)}, // beyond the delay ring: pending queue
+	}
+	run := func() []Event {
+		eng := relayChip(t)
+		if dropped := Replay(eng, stim); dropped != 0 {
+			t.Fatalf("dropped %d events", dropped)
+		}
+		var rec Recorder
+		eng.Run(50)
+		rec.Drain(eng)
+		return rec.Events
+	}
+	first := run()
+	second := run()
+	if !Equal(first, second) {
+		t.Fatal("replayed run diverged from the original")
+	}
+	if len(first) != 3 {
+		t.Fatalf("recorded %d outputs, want 3", len(first))
+	}
+	// Output ticks: injection at t integrates at t on core 0 (fires at t),
+	// arrives core 1 at t+1 (fires → output at t+1).
+	wantTicks := []uint64{1, 6, 41}
+	for i, e := range first {
+		if e.Tick != wantTicks[i] || e.ID != 7 {
+			t.Fatalf("output %d = %+v, want tick %d id 7", i, e, wantTicks[i])
+		}
+	}
+}
+
+func TestReplayDropsPastEvents(t *testing.T) {
+	eng := relayChip(t)
+	eng.Run(10)
+	dropped := Replay(eng, []Event{
+		{Tick: 3, ID: Encode(0, 0, 0)},  // in the past
+		{Tick: 12, ID: Encode(0, 0, 0)}, // future
+	})
+	if dropped != 1 {
+		t.Fatalf("dropped %d, want 1", dropped)
+	}
+	eng.Run(10)
+	if out := eng.DrainOutputs(); len(out) != 1 {
+		t.Fatalf("outputs = %v, want the single future event", out)
+	}
+}

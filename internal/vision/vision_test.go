@@ -1,0 +1,254 @@
+package vision
+
+import (
+	"testing"
+	"testing/quick"
+
+	"truenorth/internal/chip"
+	"truenorth/internal/corelet"
+	"truenorth/internal/neuron"
+	"truenorth/internal/router"
+)
+
+func TestFrameAtSet(t *testing.T) {
+	f := NewFrame(4, 3)
+	f.Set(2, 1, 77)
+	if got := f.At(2, 1); got != 77 {
+		t.Fatalf("At(2,1) = %d, want 77", got)
+	}
+	if got := f.At(-1, 0); got != 0 {
+		t.Fatalf("out-of-bounds At = %d, want 0", got)
+	}
+	f.Set(10, 10, 5) // ignored
+	if got := f.At(3, 2); got != 0 {
+		t.Fatalf("stray write landed: %d", got)
+	}
+}
+
+func TestIoU(t *testing.T) {
+	a := Box{X0: 0, Y0: 0, X1: 10, Y1: 10}
+	if got := IoU(a, a); got != 1 {
+		t.Errorf("IoU(a,a) = %f, want 1", got)
+	}
+	b := Box{X0: 10, Y0: 0, X1: 20, Y1: 10}
+	if got := IoU(a, b); got != 0 {
+		t.Errorf("disjoint IoU = %f, want 0", got)
+	}
+	c := Box{X0: 5, Y0: 0, X1: 15, Y1: 10}
+	if got := IoU(a, c); got < 0.33 || got > 0.34 {
+		t.Errorf("half-overlap IoU = %f, want 50/150", got)
+	}
+	if got := IoU(Box{}, a); got != 0 {
+		t.Errorf("empty-box IoU = %f, want 0", got)
+	}
+}
+
+func TestPropertyIoUSymmetricAndBounded(t *testing.T) {
+	f := func(ax, ay, aw, ah, bx, by, bw, bh uint8) bool {
+		a := Box{X0: int(ax), Y0: int(ay), X1: int(ax) + int(aw%40) + 1, Y1: int(ay) + int(ah%40) + 1}
+		b := Box{X0: int(bx), Y0: int(by), X1: int(bx) + int(bw%40) + 1, Y1: int(by) + int(bh%40) + 1}
+		u, v := IoU(a, b), IoU(b, a)
+		return u == v && u >= 0 && u <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrecisionRecallPerfect(t *testing.T) {
+	truth := []Box{{0, 0, 10, 10, Person}, {20, 20, 30, 30, Car}}
+	p, r := PrecisionRecall(truth, truth, 0.5)
+	if p != 1 || r != 1 {
+		t.Fatalf("perfect predictions: p=%f r=%f", p, r)
+	}
+}
+
+func TestPrecisionRecallClassMatters(t *testing.T) {
+	truth := []Box{{0, 0, 10, 10, Person}}
+	pred := []Box{{0, 0, 10, 10, Car}}
+	p, r := PrecisionRecall(pred, truth, 0.5)
+	if p != 0 || r != 0 {
+		t.Fatalf("wrong class matched: p=%f r=%f", p, r)
+	}
+}
+
+func TestPrecisionRecallPartial(t *testing.T) {
+	truth := []Box{{0, 0, 10, 10, Person}, {50, 50, 60, 60, Car}}
+	pred := []Box{{1, 1, 11, 11, Person}, {80, 80, 90, 90, Bus}}
+	p, r := PrecisionRecall(pred, truth, 0.5)
+	if p != 0.5 || r != 0.5 {
+		t.Fatalf("p=%f r=%f, want 0.5 each", p, r)
+	}
+}
+
+func TestPrecisionRecallNoDoubleMatch(t *testing.T) {
+	truth := []Box{{0, 0, 10, 10, Person}}
+	pred := []Box{{0, 0, 10, 10, Person}, {0, 0, 10, 10, Person}}
+	p, r := PrecisionRecall(pred, truth, 0.5)
+	if p != 0.5 || r != 1 {
+		t.Fatalf("duplicate predictions: p=%f r=%f, want 0.5/1", p, r)
+	}
+}
+
+func TestSceneDeterministicAndInBounds(t *testing.T) {
+	a := NewScene(100, 80, 6, 42)
+	b := NewScene(100, 80, 6, 42)
+	for frame := 0; frame < 50; frame++ {
+		ga, gb := a.GroundTruth(), b.GroundTruth()
+		for i := range ga {
+			if ga[i] != gb[i] {
+				t.Fatalf("frame %d: scenes diverge: %+v vs %+v", frame, ga[i], gb[i])
+			}
+			if ga[i].X0 < 0 || ga[i].Y0 < 0 || ga[i].X1 > 100 || ga[i].Y1 > 80 {
+				t.Fatalf("frame %d: object %d out of bounds: %+v", frame, i, ga[i])
+			}
+		}
+		a.Advance()
+		b.Advance()
+	}
+}
+
+func TestSceneMovesObjects(t *testing.T) {
+	s := NewScene(100, 80, 6, 1)
+	before := s.GroundTruth()
+	for i := 0; i < 10; i++ {
+		s.Advance()
+	}
+	after := s.GroundTruth()
+	moved := 0
+	for i := range before {
+		if before[i] != after[i] {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no object moved in 10 frames")
+	}
+}
+
+func TestSceneRenderContainsObjects(t *testing.T) {
+	s := NewScene(60, 60, 5, 7)
+	s.Noise = 0
+	f := s.Render()
+	for _, b := range s.GroundTruth() {
+		_, _, intensity := Shape(b.Class)
+		cx, cy := (b.X0+b.X1)/2, (b.Y0+b.Y1)/2
+		if got := f.At(cx, cy); got != intensity {
+			t.Fatalf("class %v center pixel = %d, want %d", b.Class, got, intensity)
+		}
+	}
+}
+
+func TestClassShapesDistinct(t *testing.T) {
+	seen := map[shape]bool{}
+	for c := Person; c < NumClasses; c++ {
+		w, h, i := Shape(c)
+		s := shape{w, h, i}
+		if seen[s] {
+			t.Fatalf("class %v shares a shape with another class", c)
+		}
+		seen[s] = true
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Person.String() != "Person" || Truck.String() != "Truck" {
+		t.Fatal("class names wrong")
+	}
+	if Class(99).String() != "Class(99)" {
+		t.Fatal("unknown class formatting wrong")
+	}
+}
+
+func TestTransducerSpikeCount(t *testing.T) {
+	tr := DefaultTransducer()
+	if got := tr.SpikeCount(0); got != 0 {
+		t.Errorf("SpikeCount(0) = %d", got)
+	}
+	if got := tr.SpikeCount(39); got != 0 {
+		t.Errorf("below threshold: %d spikes", got)
+	}
+	if got := tr.SpikeCount(255); got != tr.MaxSpikes {
+		t.Errorf("SpikeCount(255) = %d, want %d", got, tr.MaxSpikes)
+	}
+	if a, b := tr.SpikeCount(100), tr.SpikeCount(200); a >= b {
+		t.Errorf("spike count not monotone: %d !< %d", a, b)
+	}
+}
+
+// buildPixelPassthrough builds a 2×2-pixel net where each pixel axon relays
+// straight to an output.
+func buildPixelPassthrough() (*corelet.Net, int) {
+	n := corelet.NewNet()
+	id := n.AddCore()
+	const px = 4
+	for i := 0; i < px; i++ {
+		n.SetSynapse(id, i, i)
+		n.SetNeuron(id, i, neuron.Identity())
+		n.ConnectOutput(id, i, "pix", i)
+		n.AddInput("pixels", id, i)
+	}
+	return n, px
+}
+
+func TestInjectFrameEndToEnd(t *testing.T) {
+	net, px := buildPixelPassthrough()
+	p, err := corelet.Place(net, router.Mesh{W: 1, H: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := chip.New(p.Mesh, p.Configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFrame(2, 2)
+	f.Set(0, 0, 255) // max spikes
+	f.Set(1, 0, 128) // half
+	f.Set(0, 1, 10)  // below threshold
+	tr := DefaultTransducer()
+	injected, err := tr.InjectFrame(eng, p, "pixels", f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantInjected := tr.SpikeCount(255) + tr.SpikeCount(128)
+	if injected != wantInjected {
+		t.Fatalf("injected %d spikes, want %d", injected, wantInjected)
+	}
+	eng.Run(tr.TicksPerFrame + 2)
+	counts := CountByName(p, eng.DrainOutputs(), "pix", px)
+	if counts[0] != tr.SpikeCount(255) {
+		t.Fatalf("pixel 0 relayed %d spikes, want %d", counts[0], tr.SpikeCount(255))
+	}
+	if counts[1] != tr.SpikeCount(128) {
+		t.Fatalf("pixel 1 relayed %d spikes, want %d", counts[1], tr.SpikeCount(128))
+	}
+	if counts[2] != 0 || counts[3] != 0 {
+		t.Fatalf("dark pixels produced spikes: %v", counts)
+	}
+}
+
+func TestInjectFrameErrors(t *testing.T) {
+	net, _ := buildPixelPassthrough()
+	p, _ := corelet.Place(net, router.Mesh{W: 1, H: 1})
+	eng, _ := chip.New(p.Mesh, p.Configs)
+	tr := DefaultTransducer()
+	if _, err := tr.InjectFrame(eng, p, "nosuch", NewFrame(2, 2), 0); err == nil {
+		t.Fatal("unknown input group accepted")
+	}
+	if _, err := tr.InjectFrame(eng, p, "pixels", NewFrame(3, 3), 0); err == nil {
+		t.Fatal("frame/pin size mismatch accepted")
+	}
+}
+
+func TestCountByNameIgnoresOtherGroups(t *testing.T) {
+	net, px := buildPixelPassthrough()
+	p, _ := corelet.Place(net, router.Mesh{W: 1, H: 1})
+	eng, _ := chip.New(p.Mesh, p.Configs)
+	if err := p.Inject(eng, "pixels", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(2)
+	if got := CountByName(p, eng.DrainOutputs(), "wrongname", px); got[0] != 0 {
+		t.Fatal("CountByName matched the wrong group")
+	}
+}

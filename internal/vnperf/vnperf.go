@@ -1,0 +1,173 @@
+// Package vnperf models the time-to-solution and energy-to-solution of the
+// Compass simulator running on the paper's two von Neumann reference
+// systems (Section V):
+//
+//   - IBM Blue Gene/Q: up to 32 compute cards, each an 18-core PowerPC A2
+//     (16 application cores, 4 hardware threads each, so 8-64 simulation
+//     threads per card); power measured per compute card via the EMON
+//     environment database (node-card power / 32).
+//   - Intel x86: a dual-socket board with two 6-core E5-2440 processors at
+//     2.4 GHz (up to 24 threads); power read from the RAPL registers
+//     (package + DRAM).
+//
+// The model is an Amdahl-style strong-scaling law driven by the same
+// per-tick event counts the neurosynaptic engines produce:
+//
+//	t_tick = serial + imbalance × (ev·tEv + neu·tNeu + spk·tSpk) / threads
+//
+// Constants are fitted to the paper's published operating points, not
+// derived from microarchitecture: ≈10× TrueNorth speedup deficit for 32
+// BG/Q cards on the recurrent-network suite (Fig. 6a), 12× slower than real
+// time at the best Neovision point (Fig. 8), two-to-three orders of
+// magnitude deficit for the x86 (Fig. 6c), and ≈5 orders of magnitude more
+// energy per tick for both (Figs. 6b/6d). The *shape* of every comparison —
+// who wins, by roughly what factor, where the crossovers fall — follows
+// from these anchors plus the measured event counts.
+package vnperf
+
+import (
+	"fmt"
+
+	"truenorth/internal/energy"
+)
+
+// System models Compass on one von Neumann platform.
+type System struct {
+	// Name labels rows in experiment tables.
+	Name string
+	// TSerial is the non-parallelizable per-tick time (communication,
+	// two-step barrier synchronization, spike exchange latency).
+	TSerial float64
+	// TEvent, TNeuron, TSpike are per-operation thread-seconds for
+	// synaptic events, neuron updates, and spike marshalling.
+	TEvent, TNeuron, TSpike float64
+	// Imbalance is the load-imbalance multiplier on parallel work.
+	Imbalance float64
+	// MaxHosts and ThreadsPerHost bound the configuration space.
+	MaxHosts, ThreadsPerHost int
+	// HostPowerW is the marginal power per active host (BG/Q compute
+	// card, or one x86 socket-equivalent share).
+	HostPowerW float64
+	// BasePowerW is the fixed system power (I/O drawers, DRAM, chipset).
+	BasePowerW float64
+}
+
+// BGQ returns the Blue Gene/Q model (per compute card: 16 application
+// cores × 4 SMT threads; 55 W/card estimated from node-card power / 32).
+func BGQ() System {
+	return System{
+		Name:           "BG/Q",
+		TSerial:        7.5e-3,
+		TEvent:         1.0e-6,
+		TNeuron:        8.0e-6,
+		TSpike:         4.0e-6,
+		Imbalance:      1.3,
+		MaxHosts:       32,
+		ThreadsPerHost: 64,
+		HostPowerW:     55,
+		BasePowerW:     0,
+	}
+}
+
+// X86 returns the dual-socket E5-2440 model (12 cores / 24 threads; RAPL
+// package + DRAM power ≈ 190 + 20 W under load).
+func X86() System {
+	return System{
+		Name:           "x86",
+		TSerial:        2.0e-3,
+		TEvent:         0.5e-6,
+		TNeuron:        3.0e-6,
+		TSpike:         1.5e-6,
+		Imbalance:      1.2,
+		MaxHosts:       1,
+		ThreadsPerHost: 24,
+		HostPowerW:     190,
+		BasePowerW:     20,
+	}
+}
+
+// Config is one operating configuration of a System.
+type Config struct {
+	Hosts, Threads int // Threads is per host
+}
+
+// Validate reports whether cfg is realizable on s.
+func (s System) Validate(cfg Config) error {
+	if cfg.Hosts < 1 || cfg.Hosts > s.MaxHosts {
+		return fmt.Errorf("vnperf: %s supports 1..%d hosts, got %d", s.Name, s.MaxHosts, cfg.Hosts)
+	}
+	if cfg.Threads < 1 || cfg.Threads > s.ThreadsPerHost {
+		return fmt.Errorf("vnperf: %s supports 1..%d threads/host, got %d", s.Name, s.ThreadsPerHost, cfg.Threads)
+	}
+	return nil
+}
+
+// TickSeconds returns the modeled wall-clock time Compass needs per
+// simulated tick for load l under cfg.
+func (s System) TickSeconds(l energy.Load, cfg Config) float64 {
+	threads := float64(cfg.Hosts * cfg.Threads)
+	work := l.SynEvents*s.TEvent + l.NeuronUpdates*s.TNeuron + l.Spikes*s.TSpike
+	// The serial term grows mildly with host count (more MPI partners in
+	// the pairwise exchange), and shrinks when a single host avoids MPI
+	// entirely.
+	serial := s.TSerial
+	if cfg.Hosts == 1 {
+		serial *= 0.5
+	}
+	return serial + s.Imbalance*work/threads
+}
+
+// PowerW returns the modeled system power under cfg. Threads modulate the
+// dynamic share of host power (idle cores still burn roughly half).
+func (s System) PowerW(cfg Config) float64 {
+	util := 0.5 + 0.5*float64(cfg.Threads)/float64(s.ThreadsPerHost)
+	return s.BasePowerW + float64(cfg.Hosts)*s.HostPowerW*util
+}
+
+// EnergyPerTickJ returns the modeled energy per simulated tick.
+func (s System) EnergyPerTickJ(l energy.Load, cfg Config) float64 {
+	return s.TickSeconds(l, cfg) * s.PowerW(cfg)
+}
+
+// Best returns the fastest configuration for load l (max hosts, max
+// threads: the model is monotone, but keep the search explicit so callers
+// can also use it on measured tables).
+func (s System) Best(l energy.Load) (Config, float64) {
+	best := Config{Hosts: 1, Threads: 1}
+	bestT := s.TickSeconds(l, best)
+	for h := 1; h <= s.MaxHosts; h *= 2 {
+		for th := 1; th <= s.ThreadsPerHost; th *= 2 {
+			cfg := Config{Hosts: h, Threads: th}
+			if t := s.TickSeconds(l, cfg); t < bestT {
+				best, bestT = cfg, t
+			}
+		}
+	}
+	return best, bestT
+}
+
+// Comparison captures TrueNorth versus one von Neumann system at one
+// operating point, in the paper's Fig. 6/7 metrics.
+type Comparison struct {
+	// Speedup = T_proc / T_TrueNorth (>1 means TrueNorth is faster).
+	Speedup float64
+	// PowerImprovement = P_proc / P_TrueNorth.
+	PowerImprovement float64
+	// EnergyImprovement = E_proc / E_TrueNorth per tick.
+	EnergyImprovement float64
+}
+
+// Compare computes the Fig. 6 ratios: TrueNorth at (tickHz, v) versus
+// Compass on s under cfg, for the same network load l.
+func Compare(tn energy.Model, l energy.Load, tickHz, v float64, s System, cfg Config) Comparison {
+	tTN := 1 / tickHz
+	pTN := tn.PowerW(l, tickHz, v)
+	eTN := tn.EnergyPerTickJ(l, tickHz, v)
+	tVN := s.TickSeconds(l, cfg)
+	pVN := s.PowerW(cfg)
+	return Comparison{
+		Speedup:           tVN / tTN,
+		PowerImprovement:  pVN / pTN,
+		EnergyImprovement: tVN * pVN / eTN,
+	}
+}

@@ -1,0 +1,181 @@
+package vnperf
+
+import (
+	"math"
+	"testing"
+
+	"truenorth/internal/energy"
+)
+
+// headlineLoad is the 20 Hz / 128-synapse full-chip recurrent network.
+func headlineLoad() energy.Load {
+	return energy.TrueNorth().SyntheticLoad(20, 128)
+}
+
+func TestBGQSpeedupOneOrderOfMagnitude(t *testing.T) {
+	// Fig. 6(a): "TrueNorth executes 1 order of magnitude faster than
+	// Compass running on 32 hosts of BG/Q" over the recurrent-network
+	// space. Check a band of operating points.
+	tn := energy.TrueNorth()
+	s := BGQ()
+	cfg := Config{Hosts: 32, Threads: 64}
+	for _, pt := range []struct{ rate, syn float64 }{
+		{10, 64}, {20, 128}, {50, 128}, {100, 256},
+	} {
+		l := tn.SyntheticLoad(pt.rate, pt.syn)
+		c := Compare(tn, l, 1000, 0.75, s, cfg)
+		if c.Speedup < 5 || c.Speedup > 120 {
+			t.Errorf("rate %.0f syn %.0f: speedup = %.1f, want roughly one order of magnitude", pt.rate, pt.syn, c.Speedup)
+		}
+	}
+}
+
+func TestX86SpeedupTwoToThreeOrders(t *testing.T) {
+	// Fig. 6(c): "two to three orders of magnitude faster than the x86
+	// system".
+	tn := energy.TrueNorth()
+	s := X86()
+	cfg := Config{Hosts: 1, Threads: 24}
+	for _, pt := range []struct{ rate, syn float64 }{
+		{10, 64}, {20, 128}, {100, 256}, {200, 256},
+	} {
+		l := tn.SyntheticLoad(pt.rate, pt.syn)
+		c := Compare(tn, l, 1000, 0.75, s, cfg)
+		if c.Speedup < 100 || c.Speedup > 3000 {
+			t.Errorf("rate %.0f syn %.0f: speedup = %.0f, want 10²-10³", pt.rate, pt.syn, c.Speedup)
+		}
+	}
+}
+
+func TestEnergyImprovementFiveOrders(t *testing.T) {
+	// Figs. 6(b)/6(d): "five orders of magnitude reduction in energy"
+	// versus both systems, over the whole characterization space.
+	tn := energy.TrueNorth()
+	for _, sys := range []struct {
+		s   System
+		cfg Config
+	}{
+		{BGQ(), Config{Hosts: 32, Threads: 64}},
+		{X86(), Config{Hosts: 1, Threads: 24}},
+	} {
+		for _, pt := range []struct{ rate, syn float64 }{
+			{10, 64}, {20, 128}, {100, 128}, {200, 256},
+		} {
+			l := tn.SyntheticLoad(pt.rate, pt.syn)
+			c := Compare(tn, l, 1000, 0.75, sys.s, sys.cfg)
+			if c.EnergyImprovement < 3e4 || c.EnergyImprovement > 3e6 {
+				t.Errorf("%s rate %.0f syn %.0f: energy improvement = %.2g, want ≈10⁵",
+					sys.s.Name, pt.rate, pt.syn, c.EnergyImprovement)
+			}
+		}
+	}
+}
+
+func TestNeovisionBestPointTwelveXSlowerThanRealTime(t *testing.T) {
+	// Section VI-E: for Neovision on BG/Q, "even the best operating point
+	// is 12× slower than real-time".
+	// Neovision: 660,009 neurons at 12.8 Hz, ~128 active synapses each.
+	neurons := 660009.0
+	l := energy.Load{
+		NeuronUpdates: neurons,
+		Spikes:        neurons * 12.8 / 1000,
+		SynEvents:     neurons * 12.8 / 1000 * 128,
+	}
+	s := BGQ()
+	_, tBest := s.Best(l)
+	slowdown := tBest / 1e-3
+	if slowdown < 6 || slowdown > 25 {
+		t.Fatalf("best BG/Q Neovision point is %.1f× slower than real time, want ≈12×", slowdown)
+	}
+}
+
+func TestStrongScalingShape(t *testing.T) {
+	// Fig. 8: more hosts / threads → faster but more power; 1 host is the
+	// most power-efficient but slowest, 32 hosts the fastest.
+	s := BGQ()
+	l := headlineLoad()
+	t1 := s.TickSeconds(l, Config{Hosts: 1, Threads: 64})
+	t32 := s.TickSeconds(l, Config{Hosts: 32, Threads: 64})
+	if t32 >= t1 {
+		t.Fatalf("32 hosts (%.3g s) not faster than 1 host (%.3g s)", t32, t1)
+	}
+	p1 := s.PowerW(Config{Hosts: 1, Threads: 64})
+	p32 := s.PowerW(Config{Hosts: 32, Threads: 64})
+	if p32 <= p1 {
+		t.Fatalf("32 hosts (%.0f W) not more power than 1 host (%.0f W)", p32, p1)
+	}
+	e1 := s.EnergyPerTickJ(l, Config{Hosts: 1, Threads: 64})
+	e32 := s.EnergyPerTickJ(l, Config{Hosts: 32, Threads: 64})
+	if e1 >= e32 {
+		t.Fatalf("1 host (%.3g J/tick) should be more energy-efficient than 32 (%.3g)", e1, e32)
+	}
+}
+
+func TestThreadsScaling(t *testing.T) {
+	s := BGQ()
+	l := headlineLoad()
+	prev := math.Inf(1)
+	for _, th := range []int{8, 16, 32, 64} {
+		tt := s.TickSeconds(l, Config{Hosts: 4, Threads: th})
+		if tt >= prev {
+			t.Fatalf("tick time not decreasing with threads at %d", th)
+		}
+		prev = tt
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := BGQ()
+	if err := s.Validate(Config{Hosts: 32, Threads: 64}); err != nil {
+		t.Errorf("max config rejected: %v", err)
+	}
+	for _, cfg := range []Config{{0, 8}, {33, 8}, {1, 0}, {1, 65}} {
+		if err := s.Validate(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	x := X86()
+	if err := x.Validate(Config{Hosts: 2, Threads: 8}); err == nil {
+		t.Error("x86 with 2 hosts accepted")
+	}
+}
+
+func TestBestPrefersMoreResourcesUnderLoad(t *testing.T) {
+	s := BGQ()
+	cfg, _ := s.Best(headlineLoad())
+	if cfg.Hosts != 32 || cfg.Threads != 64 {
+		t.Fatalf("Best = %+v, want 32 hosts × 64 threads for a heavy load", cfg)
+	}
+}
+
+func TestPowerMonotoneInHostsAndThreads(t *testing.T) {
+	s := BGQ()
+	if s.PowerW(Config{Hosts: 2, Threads: 8}) <= s.PowerW(Config{Hosts: 1, Threads: 8}) {
+		t.Fatal("power not increasing with hosts")
+	}
+	if s.PowerW(Config{Hosts: 2, Threads: 64}) <= s.PowerW(Config{Hosts: 2, Threads: 8}) {
+		t.Fatal("power not increasing with threads")
+	}
+}
+
+func TestX86SingleHostSerialDiscount(t *testing.T) {
+	// A single host runs without MPI; the serial floor halves. Verify via
+	// a zero-work load.
+	s := X86()
+	if got := s.TickSeconds(energy.Load{}, Config{Hosts: 1, Threads: 24}); !almost(got, s.TSerial*0.5) {
+		t.Fatalf("single-host serial floor = %g, want %g", got, s.TSerial*0.5)
+	}
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestComparisonRatiosConsistent(t *testing.T) {
+	// EnergyImprovement == Speedup × PowerImprovement when TrueNorth runs
+	// in real time (t_TN = 1 ms) — a consistency identity of the metrics.
+	tn := energy.TrueNorth()
+	l := headlineLoad()
+	c := Compare(tn, l, 1000, 0.75, X86(), Config{Hosts: 1, Threads: 24})
+	if math.Abs(c.EnergyImprovement-c.Speedup*c.PowerImprovement)/c.EnergyImprovement > 1e-9 {
+		t.Fatalf("identity violated: E=%g S=%g P=%g", c.EnergyImprovement, c.Speedup, c.PowerImprovement)
+	}
+}
