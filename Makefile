@@ -1,0 +1,19 @@
+# Verification entry points; scripts/check.sh is the single source of truth
+# for what "green" means (build + vet + tnlint + tests + race).
+
+.PHONY: check build test lint race
+
+check:
+	./scripts/check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+lint:
+	go run ./cmd/tnlint ./...
+
+race:
+	go test -race ./internal/compass/... ./internal/sim/...

@@ -1,0 +1,184 @@
+// Command tnlint is the repo's determinism-and-correctness static analyzer:
+// it machine-checks the invariants behind the chip↔Compass one-to-one
+// equivalence claim (no unseeded randomness, no wall clock, no
+// map-iteration-order leakage, no goroutines outside the sanctioned Compass
+// worker pattern). See internal/lint for the analyzer suite.
+//
+// Usage:
+//
+//	tnlint [-only a,b] [-skip a,b] [-list] [packages]
+//
+// Packages are ./-relative patterns as for the go tool ("./...",
+// "./internal/compass/...", "./internal/chip"); the default is ./... from
+// the enclosing module root. Findings print as
+//
+//	file:line: analyzer: message
+//
+// and are suppressed by a `//lint:ignore tnlint/<analyzer> reason` comment
+// on the same or preceding line. Exit status: 0 clean, 1 findings, 2 usage
+// or load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"truenorth/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	skip := flag.String("skip", "", "comma-separated analyzer names to skip")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	analyzers := selectAnalyzers(lint.Analyzers(), *only, *skip)
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			if a.Packages != nil {
+				fmt.Printf("%-10s   applies to: %s\n", "", strings.Join(a.Packages, ", "))
+			}
+		}
+		return 0
+	}
+	if len(analyzers) == 0 {
+		fmt.Fprintln(os.Stderr, "tnlint: no analyzers selected")
+		return 2
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tnlint:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tnlint:", err)
+		return 2
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	paths, err := resolve(loader, cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tnlint:", err)
+		return 2
+	}
+
+	var pkgs []*lint.Package
+	for _, p := range paths {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tnlint:", err)
+			return 2
+		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+		fmt.Printf("%s:%d: %s: %s\n", file, d.Pos.Line, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "tnlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers applies -only and -skip.
+func selectAnalyzers(all []*lint.Analyzer, only, skip string) []*lint.Analyzer {
+	set := func(csv string) map[string]bool {
+		m := map[string]bool{}
+		for _, n := range strings.Split(csv, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				m[n] = true
+			}
+		}
+		return m
+	}
+	onlySet, skipSet := set(only), set(skip)
+	var out []*lint.Analyzer
+	for _, a := range all {
+		if len(onlySet) > 0 && !onlySet[a.Name] {
+			continue
+		}
+		if skipSet[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// resolve expands go-style package patterns into module import paths.
+func resolve(loader *lint.Loader, cwd string, patterns []string) ([]string, error) {
+	all, err := loader.AllImportPaths()
+	if err != nil {
+		return nil, err
+	}
+	toImport := func(dir string) (string, error) {
+		abs, err := filepath.Abs(filepath.Join(cwd, dir))
+		if err != nil {
+			return "", err
+		}
+		rel, err := filepath.Rel(loader.ModuleRoot, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return "", fmt.Errorf("pattern %q is outside module %s", dir, loader.ModulePath)
+		}
+		if rel == "." {
+			return loader.ModulePath, nil
+		}
+		return loader.ModulePath + "/" + filepath.ToSlash(rel), nil
+	}
+	seen := map[string]bool{}
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			if rest == "." || rest == "" {
+				rest = "."
+			}
+			prefix, err := toImport(rest)
+			if err != nil {
+				return nil, err
+			}
+			matched := false
+			for _, p := range all {
+				if p == prefix || strings.HasPrefix(p, prefix+"/") {
+					add(p)
+					matched = true
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("pattern %q matched no packages", pat)
+			}
+			continue
+		}
+		p, err := toImport(pat)
+		if err != nil {
+			return nil, err
+		}
+		add(p)
+	}
+	return out, nil
+}

@@ -2,11 +2,11 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
 	"truenorth/internal/chip"
 	"truenorth/internal/energy"
 	"truenorth/internal/netgen"
+	"truenorth/internal/prng"
 	"truenorth/internal/router"
 )
 
@@ -72,7 +72,7 @@ func FaultSweep(cfg FaultConfig) ([]FaultPoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(frac*1000)))
+		rng := prng.NewRand(cfg.Seed + int64(frac*1000))
 		nCores := cfg.Grid.W * cfg.Grid.H
 		disabled := 0
 		for _, idx := range rng.Perm(nCores)[:int(frac*float64(nCores))] {

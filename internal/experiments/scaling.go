@@ -107,6 +107,7 @@ func MeasureGoScaling(grid router.Mesh, ticks int, workerSweep []int, seed int64
 			return nil, err
 		}
 		eng.Run(ticks / 4) // warm up
+		//lint:ignore tnlint/detrand wall-clock here is the measurement itself, not simulation state
 		start := time.Now()
 		eng.Run(ticks)
 		per := time.Since(start).Seconds() / float64(ticks)

@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Detrand returns the determinism-of-randomness analyzer. Kernel packages
+// must draw every random choice from truenorth/internal/prng with an
+// explicitly plumbed seed: math/rand (v1 or v2) is banned outright — its
+// stream is not part of this repo's reproducibility contract and changes
+// across Go releases — and time.Now is banned because tick-domain code that
+// reads the wall clock (for seeding or for logic) cannot be replayed.
+func Detrand() *Analyzer {
+	return &Analyzer{
+		Name:     "detrand",
+		Doc:      "forbid math/rand, time.Now, and clock-derived seeding in kernel packages",
+		Packages: KernelPackages,
+		Run:      runDetrand,
+	}
+}
+
+func runDetrand(pkg *Package, report ReportFunc) {
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				report(imp.Pos(), "kernel package imports %s; use truenorth/internal/prng with an explicit seed", path)
+			}
+		}
+		timeName := importedName(f, "time")
+		if timeName == "" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if isPkgSelector(pkg, sel, timeName, "Now") {
+				report(call.Pos(), "kernel package calls time.Now; tick-domain state must not depend on the wall clock")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp returns the floating-point-equality analyzer for the neuron and
+// energy arithmetic paths. Exact ==/!= between computed floats is almost
+// always a latent bug (the neuron path is integer fixed-point precisely so
+// state can be compared exactly; the energy path composes products and
+// divisions whose last bits are rounding artifacts). Comparison against
+// constant zero is allowed: zero is exactly representable and `x == 0` is
+// the idiomatic divide-by-zero guard throughout internal/energy.
+func FloatCmp() *Analyzer {
+	return &Analyzer{
+		Name:     "floatcmp",
+		Doc:      "forbid ==/!= on floating-point operands in arithmetic paths",
+		Packages: ArithmeticPackages,
+		Run:      runFloatCmp,
+	}
+}
+
+func runFloatCmp(pkg *Package, report ReportFunc) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pkg.TypeOf(bin.X)) && !isFloat(pkg.TypeOf(bin.Y)) {
+				return true
+			}
+			if isConstZero(pkg, bin.X) || isConstZero(pkg, bin.Y) {
+				return true
+			}
+			report(bin.OpPos, "floating-point %s comparison; compare with an epsilon tolerance or use fixed-point", bin.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isConstZero reports whether e is a compile-time constant equal to zero.
+func isConstZero(pkg *Package, e ast.Expr) bool {
+	if pkg.Info == nil {
+		return false
+	}
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	if k := tv.Value.Kind(); k != constant.Int && k != constant.Float {
+		return false
+	}
+	return constant.Sign(tv.Value) == 0
+}

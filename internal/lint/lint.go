@@ -1,0 +1,248 @@
+// Package lint implements tnlint, the repo-specific static analyzer that
+// machine-checks the determinism and race-safety invariants behind the
+// paper's central claim: that the silicon model (internal/chip) and the
+// parallel Compass engine (internal/compass) are functionally one-to-one
+// expressions of the same event-driven kernel. That equivalence is only
+// falsifiable spike-for-spike if the kernel packages are bitwise
+// deterministic — no wall clock, no unseeded randomness, no map-iteration
+// order leaking into outputs — and if Compass's goroutine workers follow the
+// sanctioned share-nothing pattern. Four analyzers enforce it:
+//
+//   - detrand:  no math/rand and no time.Now in kernel packages; random
+//     choices go through truenorth/internal/prng with explicit seeds.
+//   - maporder: no range over a map whose body has order-dependent effects
+//     (append, channel send, spike delivery, output writes).
+//   - floatcmp: no ==/!= between floating-point values in the neuron and
+//     energy arithmetic paths (comparisons against exactly-representable
+//     literal zero are allowed as divide-by-zero guards).
+//   - ticksafe: goroutines only inside internal/compass, only as inline
+//     worker func literals with completion signalling (defer wg.Done() or a
+//     channel close), and WaitGroup-managed workers may write captured state
+//     only through per-worker indexed slots.
+//
+// A finding is suppressed by a directive on the same line or the line
+// before:
+//
+//	//lint:ignore tnlint/<analyzer> reason
+//
+// The reason is mandatory; a directive without one is itself a finding.
+// Everything here is stdlib only: go/ast, go/parser, go/types.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Module is the import-path root of this repository.
+const Module = "truenorth"
+
+// KernelPackages are the packages whose tick-domain behavior must be
+// bitwise deterministic: the two engine expressions, the core state machine
+// and its parts, and everything that constructs or feeds networks.
+var KernelPackages = []string{
+	Module + "/internal/chip",
+	Module + "/internal/compass",
+	Module + "/internal/core",
+	Module + "/internal/neuron",
+	Module + "/internal/router",
+	Module + "/internal/netgen",
+	Module + "/internal/vision",
+	Module + "/internal/experiments",
+}
+
+// ArithmeticPackages hold the floating-point neuron/energy arithmetic that
+// floatcmp guards.
+var ArithmeticPackages = []string{
+	Module + "/internal/neuron",
+	Module + "/internal/energy",
+}
+
+// Package is one type-checked package under analysis. Info is best-effort:
+// the checker runs in error-tolerant mode (imports outside the module are
+// stubbed), so analyzers must degrade gracefully when a type is unresolved.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Info  *types.Info
+}
+
+// TypeOf returns the best-effort type of e, or nil.
+func (p *Package) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// ReportFunc records one finding at pos.
+type ReportFunc func(pos token.Pos, format string, args ...any)
+
+// Analyzer is one independently testable pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Packages lists the import paths the analyzer applies to; nil means
+	// every package.
+	Packages []string
+	Run      func(pkg *Package, report ReportFunc)
+}
+
+func (a *Analyzer) applies(path string) bool {
+	if a.Packages == nil {
+		return true
+	}
+	for _, p := range a.Packages {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyzers returns the full tnlint suite.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{Detrand(), MapOrder(), FloatCmp(), TickSafe()}
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the canonical "file:line: analyzer: message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// ignoreRe matches a well-formed suppression directive.
+var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+tnlint/([a-zA-Z0-9_-]+)\s+\S`)
+
+// suppression records which analyzers are ignored at which lines of a file.
+type suppression struct {
+	// byLine maps a source line to the analyzer names suppressed there.
+	byLine map[int]map[string]bool
+}
+
+// suppressions scans a file's comments for lint:ignore directives. A
+// directive suppresses matching findings on its own line and on the line
+// after it. Malformed directives (no analyzer, no reason) are reported as
+// findings of the pseudo-analyzer "ignore".
+func suppressions(fset *token.FileSet, f *ast.File, malformed func(pos token.Pos, msg string)) suppression {
+	s := suppression{byLine: map[int]map[string]bool{}}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if !strings.HasPrefix(text, "//lint:ignore") {
+				continue
+			}
+			m := ignoreRe.FindStringSubmatch(text)
+			if m == nil {
+				malformed(c.Pos(), "malformed suppression directive: want //lint:ignore tnlint/<analyzer> reason")
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			for _, l := range []int{line, line + 1} {
+				if s.byLine[l] == nil {
+					s.byLine[l] = map[string]bool{}
+				}
+				s.byLine[l][m[1]] = true
+			}
+		}
+	}
+	return s
+}
+
+func (s suppression) suppressed(line int, analyzer string) bool {
+	return s.byLine[line][analyzer]
+}
+
+// Run applies analyzers to pkgs, honors suppression directives, and returns
+// the surviving findings sorted by file, line, and analyzer.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup := map[*ast.File]suppression{}
+		for _, f := range pkg.Files {
+			sup[f] = suppressions(pkg.Fset, f, func(pos token.Pos, msg string) {
+				diags = append(diags, Diagnostic{Pos: pkg.Fset.Position(pos), Analyzer: "ignore", Message: msg})
+			})
+		}
+		for _, a := range analyzers {
+			if !a.applies(pkg.Path) {
+				continue
+			}
+			a.Run(pkg, func(pos token.Pos, format string, args ...any) {
+				position := pkg.Fset.Position(pos)
+				for _, f := range pkg.Files {
+					if pkg.Fset.File(f.Pos()) == pkg.Fset.File(pos) &&
+						sup[f].suppressed(position.Line, a.Name) {
+						return
+					}
+				}
+				diags = append(diags, Diagnostic{Pos: position, Analyzer: a.Name, Message: fmt.Sprintf(format, args...)})
+			})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// importedName returns the local identifier under which file f imports
+// path, or "" when it does not. Dot and blank imports return "".
+func importedName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != path {
+			continue
+		}
+		if imp.Name != nil {
+			if n := imp.Name.Name; n != "." && n != "_" {
+				return n
+			}
+			return ""
+		}
+		// Default name: the last path element.
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			return path[i+1:]
+		}
+		return path
+	}
+	return ""
+}
+
+// isPkgSelector reports whether call target sel is a selection pkgName.fn on
+// the package imported under pkgName, cross-checked against type info when
+// available (so a local variable shadowing the package name doesn't match).
+func isPkgSelector(pkg *Package, sel *ast.SelectorExpr, pkgName, fn string) bool {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != pkgName || sel.Sel.Name != fn {
+		return false
+	}
+	if pkg.Info != nil {
+		if obj, ok := pkg.Info.Uses[id]; ok {
+			_, isPkg := obj.(*types.PkgName)
+			return isPkg
+		}
+	}
+	return true
+}

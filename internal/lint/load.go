@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks packages of this module from disk. It is
+// deliberately self-contained (stdlib only): module-internal imports are
+// type-checked recursively from source, while stdlib and any other external
+// imports are stubbed with empty packages and the checker runs in
+// error-tolerant mode. Analyzers therefore see real types for everything
+// declared inside the module — which is what the determinism invariants are
+// about — without tnlint needing go/packages or export data.
+type Loader struct {
+	Fset       *token.FileSet
+	ModuleRoot string
+	ModulePath string
+
+	pkgs    map[string]*Package
+	typs    map[string]*types.Package
+	stubs   map[string]*types.Package
+	loading map[string]bool
+}
+
+// NewLoader locates the enclosing module of dir (by walking up to go.mod)
+// and returns a loader rooted there.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+		if err == nil {
+			modPath := ""
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					modPath = strings.TrimSpace(rest)
+					break
+				}
+			}
+			if modPath == "" {
+				return nil, fmt.Errorf("lint: no module directive in %s/go.mod", root)
+			}
+			return &Loader{
+				Fset:       token.NewFileSet(),
+				ModuleRoot: root,
+				ModulePath: modPath,
+				pkgs:       map[string]*Package{},
+				typs:       map[string]*types.Package{},
+				stubs:      map[string]*types.Package{},
+				loading:    map[string]bool{},
+			}, nil
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+}
+
+// dirFor maps a module import path to its directory.
+func (l *Loader) dirFor(importPath string) string {
+	rel := strings.TrimPrefix(importPath, l.ModulePath)
+	return filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(rel, "/")))
+}
+
+// AllImportPaths walks the module and returns the import path of every
+// directory holding at least one non-test Go file, sorted.
+func (l *Loader) AllImportPaths() ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(l.ModuleRoot, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != l.ModuleRoot && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		if files, _ := goSources(p); len(files) > 0 {
+			rel, err := filepath.Rel(l.ModuleRoot, p)
+			if err != nil {
+				return err
+			}
+			ip := l.ModulePath
+			if rel != "." {
+				ip = l.ModulePath + "/" + filepath.ToSlash(rel)
+			}
+			paths = append(paths, ip)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// goSources lists the non-test .go files of dir, sorted.
+func goSources(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// Load parses and type-checks the package at importPath (cached).
+func (l *Loader) Load(importPath string) (*Package, error) {
+	if p, ok := l.pkgs[importPath]; ok {
+		return p, nil
+	}
+	dir := l.dirFor(importPath)
+	sources, err := goSources(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", importPath, err)
+	}
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("lint: %s: no Go files in %s", importPath, dir)
+	}
+	var files []*ast.File
+	for _, src := range sources {
+		f, err := parser.ParseFile(l.Fset, src, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+	pkg, tpkg := check(l.Fset, importPath, files, l)
+	l.pkgs[importPath] = pkg
+	l.typs[importPath] = tpkg
+	return pkg, nil
+}
+
+// Import implements types.Importer: module-internal packages are loaded for
+// real; everything else (stdlib, hypothetical external deps) gets an empty
+// stub, and the error-tolerant checker shrugs off the unresolved members.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	internal := path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/")
+	if internal && !l.loading[path] {
+		if _, err := l.Load(path); err == nil {
+			return l.typs[path], nil
+		}
+	}
+	return stubPackage(l.stubs, path), nil
+}
+
+// stubPackage returns (caching in stubs) an empty, complete package whose
+// name is the final path element — enough for the checker to resolve the
+// import and record ident uses as *types.PkgName.
+func stubPackage(stubs map[string]*types.Package, path string) *types.Package {
+	if p, ok := stubs[path]; ok {
+		return p
+	}
+	name := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		name = path[i+1:]
+	}
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	stubs[path] = p
+	return p
+}
+
+// check type-checks files in error-tolerant mode and packages the result.
+func check(fset *token.FileSet, importPath string, files []*ast.File, imp types.Importer) (*Package, *types.Package) {
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{
+		Importer:                 imp,
+		Error:                    func(error) {}, // tolerate stubbed imports
+		FakeImportC:              true,
+		DisableUnusedImportCheck: true,
+	}
+	tpkg, _ := conf.Check(importPath, fset, files, info)
+	return &Package{Path: importPath, Fset: fset, Files: files, Info: info}, tpkg
+}
+
+// stubImporter resolves every import to an empty stub — the fixture-test
+// configuration, where snippets only import packages by name.
+type stubImporter map[string]*types.Package
+
+func (s stubImporter) Import(path string) (*types.Package, error) {
+	return stubPackage(s, path), nil
+}
+
+// CheckSource parses and type-checks in-memory sources as one package —
+// the entry point for analyzer fixture tests. files maps filename to
+// source text.
+func CheckSource(importPath string, files map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var names []string
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var parsed []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, files[name], parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+	}
+	pkg, _ := check(fset, importPath, parsed, stubImporter{})
+	return pkg, nil
+}

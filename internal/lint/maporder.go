@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// orderSensitiveMethods are callee names whose invocation order is
+// observable in simulator output: spike delivery and injection mutate the
+// tick-ordered event stream, and writers emit bytes in call order.
+var orderSensitiveMethods = map[string]bool{
+	"Deliver": true, "Inject": true, "Emit": true, "AddRow": true,
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// MapOrder returns the map-iteration-order analyzer. Go randomizes map
+// iteration order on purpose, so a range over a map whose body appends to a
+// slice, sends on a channel, delivers spikes, or writes output makes the
+// result depend on the runtime's per-process hash seed — the exact
+// nondeterminism that would silently break chip↔Compass spike-for-spike
+// equivalence. The fix is to collect the keys, sort them, and range over
+// the sorted slice. Bodies that only do commutative aggregation (counters,
+// sums, set inserts) are fine and not flagged.
+func MapOrder() *Analyzer {
+	return &Analyzer{
+		Name:     "maporder",
+		Doc:      "forbid range over maps with order-dependent effects in kernel packages",
+		Packages: KernelPackages,
+		Run:      runMapOrder,
+	}
+}
+
+func runMapOrder(pkg *Package, report ReportFunc) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pkg.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if effect := orderEffect(rng.Body); effect != "" {
+				report(rng.Pos(), "range over map has order-dependent effect (%s); iterate a sorted key slice instead", effect)
+			}
+			return true
+		})
+	}
+}
+
+// orderEffect returns a description of the first order-sensitive operation
+// in body, or "".
+func orderEffect(body *ast.BlockStmt) string {
+	var effect string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if effect != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			effect = "channel send"
+			return false
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "append" {
+					effect = "append"
+					return false
+				}
+			case *ast.SelectorExpr:
+				if orderSensitiveMethods[fun.Sel.Name] {
+					effect = fmt.Sprintf("call to %s", fun.Sel.Name)
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return effect
+}

@@ -22,10 +22,10 @@ package netgen
 
 import (
 	"fmt"
-	"math/rand"
 
 	"truenorth/internal/core"
 	"truenorth/internal/neuron"
+	"truenorth/internal/prng"
 	"truenorth/internal/router"
 )
 
@@ -96,7 +96,7 @@ func Build(p Params) ([]*core.Config, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(p.Seed))
+	rng := prng.NewRand(p.Seed)
 	nCores := p.Grid.W * p.Grid.H
 	nNeurons := nCores * core.NeuronsPerCore
 

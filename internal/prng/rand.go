@@ -1,0 +1,100 @@
+package prng
+
+// Rand is the repo's deterministic software pseudo-random generator for
+// network *construction* (netgen wiring, scene synthesis, fault placement) —
+// distinct from the 16-bit hardware LFSR that drives stochastic neural
+// dynamics at runtime. Kernel packages must not use math/rand: its stream is
+// not part of this repo's contract and a silent algorithm change upstream
+// would invalidate every golden spike stream. Rand's stream is frozen here
+// (SplitMix64, Vigna 2015: a 64-bit bijective state advance with an
+// avalanching output mix), so identical seeds reproduce identical networks
+// on every Go release. The tnlint detrand analyzer enforces the ban.
+//
+// The zero value is a valid generator seeded with 0; use NewRand for the
+// conventional explicit-seed construction.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator with the given seed. Equal seeds yield equal
+// streams, forever.
+func NewRand(seed int64) *Rand {
+	return &Rand{state: uint64(seed)}
+}
+
+// Seed resets the generator state.
+func (r *Rand) Seed(seed int64) { r.state = uint64(seed) }
+
+// Uint64 returns the next 64 pseudo-random bits (SplitMix64).
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Int63 returns a non-negative 63-bit pseudo-random integer.
+func (r *Rand) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn with n <= 0")
+	}
+	return int(r.uint64n(uint64(n)))
+}
+
+// Int31n returns a uniform int32 in [0, n). It panics if n <= 0.
+func (r *Rand) Int31n(n int32) int32 {
+	if n <= 0 {
+		panic("prng: Int31n with n <= 0")
+	}
+	return int32(r.uint64n(uint64(n)))
+}
+
+// uint64n returns a uniform value in [0, n) by rejection sampling, so small
+// ranges carry no modulo bias.
+func (r *Rand) uint64n(n uint64) uint64 {
+	if n&(n-1) == 0 { // power of two
+		return r.Uint64() & (n - 1)
+	}
+	// Largest multiple of n that fits in 64 bits; resample above it.
+	max := ^uint64(0) - ^uint64(0)%n
+	v := r.Uint64()
+	for v >= max {
+		v = r.Uint64()
+	}
+	return v % n
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	// 53 high bits scaled by 2^-53, the standard full-precision construction.
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a uniform pseudo-random permutation of [0, n) (inside-out
+// Fisher–Yates).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements through swap, as
+// math/rand.Shuffle. It panics if n < 0.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	if n < 0 {
+		panic("prng: Shuffle with n < 0")
+	}
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}

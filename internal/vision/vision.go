@@ -12,9 +12,9 @@ package vision
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"truenorth/internal/corelet"
+	"truenorth/internal/prng"
 	"truenorth/internal/sim"
 )
 
@@ -145,7 +145,7 @@ type Scene struct {
 	Background uint8
 	Noise      uint8 // uniform ±Noise/2 per pixel per frame
 	Objects    []Object
-	rng        *rand.Rand
+	rng        *prng.Rand
 	frame      int
 }
 
@@ -156,7 +156,7 @@ type Scene struct {
 // slide along it, and roughly a third are stationary (the dataset contains
 // both).
 func NewScene(w, h, n int, seed int64) *Scene {
-	s := &Scene{W: w, H: h, Background: 30, Noise: 6, rng: rand.New(rand.NewSource(seed))}
+	s := &Scene{W: w, H: h, Background: 30, Noise: 6, rng: prng.NewRand(seed)}
 	// Lane height fits the tallest class.
 	laneH := 0
 	for _, sh := range classShapes {

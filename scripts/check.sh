@@ -1,0 +1,32 @@
+#!/bin/sh
+# check.sh — the repo's full verification gate, run by CI and `make check`:
+#
+#   1. go build      — everything compiles
+#   2. go vet        — stdlib static analysis
+#   3. tnlint        — the determinism invariants (see internal/lint):
+#                      no math/rand or time.Now in kernel packages, no
+#                      order-dependent map iteration, no float ==, no
+#                      goroutines outside the Compass worker pattern
+#   4. go test       — the full suite, including chip<->Compass equivalence
+#                      and the cross-engine bitwise-reproducibility assay
+#   5. go test -race — the parallel Compass engine and the cross-engine
+#                      determinism tests under the race detector
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> tnlint ./..."
+go run ./cmd/tnlint ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./internal/compass/... ./internal/sim/..."
+go test -race ./internal/compass/... ./internal/sim/...
+
+echo "==> all checks passed"
