@@ -1,7 +1,7 @@
 # Verification entry points; scripts/check.sh is the single source of truth
-# for what "green" means (build + vet + tnlint + tests + race).
+# for what "green" means (build + vet + tnlint + verify-models + tests + race).
 
-.PHONY: check build test lint race
+.PHONY: check build test lint verify-models race
 
 check:
 	./scripts/check.sh
@@ -14,6 +14,12 @@ test:
 
 lint:
 	go run ./cmd/tnlint ./...
+
+# Static model verification over the generated characterization suite: a
+# closed recurrent sample (every 8th of the 88 sweep networks on a 4x4
+# grid) must report zero findings with the full analysis enabled.
+verify-models:
+	go run ./cmd/tnverify -sweep-grid 4 -sweep-every 8 -assume-inputs=false -v
 
 race:
 	go test -race ./internal/compass/... ./internal/sim/...

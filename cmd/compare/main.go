@@ -24,11 +24,13 @@ func main() {
 	apW := flag.Int("aperture-w", 64, "application aperture width")
 	apH := flag.Int("aperture-h", 32, "application aperture height")
 	workers := flag.Int("workers", 0, "Compass workers (0 = GOMAXPROCS)")
+	force := flag.Bool("force", false, "run even when static model verification reports findings")
 	flag.Parse()
 
 	cfg := experiments.DefaultCharConfig()
 	cfg.Grid = router.Mesh{W: *grid, H: *grid}
 	cfg.Workers = *workers
+	cfg.Verify = !*force
 	fmt.Printf("Fig 6: comparing TrueNorth vs Compass over the 88-network space (%dx%d grid)...\n\n", *grid, *grid)
 	points, err := experiments.Characterize(cfg)
 	if err != nil {
@@ -46,6 +48,7 @@ func main() {
 	appCfg.Frames = *frames
 	appCfg.ImgW, appCfg.ImgH = *apW, *apH
 	appCfg.Workers = *workers
+	appCfg.Verify = !*force
 	fmt.Printf("Fig 7: running five vision applications at %dx%d for %d frames each...\n\n", *apW, *apH, *frames)
 	results, err := experiments.RunApps(appCfg)
 	if err != nil {

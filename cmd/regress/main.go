@@ -23,6 +23,7 @@ import (
 	"truenorth/internal/compass"
 	"truenorth/internal/energy"
 	"truenorth/internal/experiments"
+	"truenorth/internal/modelcheck"
 	"truenorth/internal/netgen"
 	"truenorth/internal/router"
 )
@@ -33,6 +34,7 @@ func main() {
 	nets := flag.Int("nets", 4, "number of stochastic recurrent networks")
 	workers := flag.Int("workers", 0, "Compass workers (0 = GOMAXPROCS)")
 	seed := flag.Int64("seed", 1, "network seed")
+	force := flag.Bool("force", false, "run even when static model verification reports findings")
 	flag.Parse()
 
 	mesh := router.Mesh{W: *grid, H: *grid}
@@ -40,6 +42,7 @@ func main() {
 	if checkEvery < 1 {
 		checkEvery = 1
 	}
+	//lint:ignore tnlint/detrand wall-clock elapsed time is the reported measurement, not simulation state
 	start := time.Now()
 	totalSpikes := uint64(0)
 	for n := 0; n < *nets; n++ {
@@ -53,6 +56,14 @@ func main() {
 		})
 		if err != nil {
 			fail(err)
+		}
+		if !*force {
+			// A regression against a structurally broken model proves
+			// nothing; the gate is the same one the simulation service
+			// applies at model upload.
+			if err := modelcheck.Verify(mesh, configs, modelcheck.Options{}); err != nil {
+				fail(fmt.Errorf("net %d: %w (rerun with -force)", n, err))
+			}
 		}
 		hw, err := chip.New(mesh, configs)
 		if err != nil {

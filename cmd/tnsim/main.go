@@ -20,6 +20,7 @@ import (
 	"truenorth/internal/energy"
 	"truenorth/internal/experiments"
 	"truenorth/internal/model"
+	"truenorth/internal/modelcheck"
 	"truenorth/internal/netgen"
 	"truenorth/internal/router"
 	"truenorth/internal/sim"
@@ -42,17 +43,26 @@ func main() {
 	heatmap := flag.Bool("heatmap", false, "print a per-core activity heatmap and utilization summary")
 	saveState := flag.String("savestate", "", "write a checkpoint after the run (resume with -loadstate)")
 	loadState := flag.String("loadstate", "", "resume from a checkpoint before the run (same model and grid)")
+	force := flag.Bool("force", false, "run even when static model verification reports findings")
 	flag.Parse()
 
 	mesh := router.Mesh{W: *grid, H: *grid}
 	var configs []*core.Config
 	var err error
 	if *load != "" {
+		// Loaded models are verified at read time; the file carries no I/O
+		// table, so every axon counts as a potential external input.
+		verify := func(mesh router.Mesh, configs []*core.Config) error {
+			return modelcheck.Verify(mesh, configs, modelcheck.Options{AssumeExternalInput: true})
+		}
+		if *force {
+			verify = nil
+		}
 		f, ferr := os.Open(*load)
 		if ferr != nil {
 			fail(ferr)
 		}
-		mesh, configs, err = model.ReadModel(f)
+		mesh, configs, err = model.ReadModelVerified(f, verify)
 		f.Close()
 		if err != nil {
 			fail(err)
@@ -64,6 +74,13 @@ func main() {
 		})
 		if err != nil {
 			fail(err)
+		}
+		if !*force {
+			// Generated networks are closed recurrent systems: the full
+			// analysis applies with no assumed external inputs.
+			if err := modelcheck.Verify(mesh, configs, modelcheck.Options{}); err != nil {
+				fail(fmt.Errorf("%w (rerun with -force to simulate anyway)", err))
+			}
 		}
 	}
 	if *save != "" {

@@ -1,0 +1,161 @@
+// Command tnverify statically verifies compiled network models — the
+// upload-time gate of the simulation service: a model that fails
+// verification is rejected before it can burn a simulation slot.
+//
+// Usage:
+//
+//	tnverify [-json] [-checks a,b] [-suppress file] [-assume-inputs]
+//	         [-capacity N] [-v] model.tnm...
+//	tnverify -sweep-grid N [-sweep-every K]   # generated characterization nets
+//	tnverify -list
+//
+// Subjects are TNMDL1 model files (tnsim -save writes them) or, with
+// -sweep-grid, the netgen characterization suite generated in-process.
+// Model files carry no I/O table, so by default every axon is treated as a
+// potential external injection point (-assume-inputs=true); pass
+// -assume-inputs=false for closed recurrent models with no external
+// inputs, which enables the undriven-axon analysis.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"truenorth/internal/core"
+	"truenorth/internal/model"
+	"truenorth/internal/modelcheck"
+	"truenorth/internal/netgen"
+	"truenorth/internal/router"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "machine-readable JSON report")
+	checks := flag.String("checks", "", "comma-separated checks to run (default all)")
+	suppress := flag.String("suppress", "", "suppression list file (see internal/modelcheck)")
+	assume := flag.Bool("assume-inputs", true, "treat every axon as externally injectable (model files carry no I/O table)")
+	capacity := flag.Int("capacity", 0, "per-link worst-case packet budget per tick (0 = no hotspot warnings)")
+	sweepGrid := flag.Int("sweep-grid", 0, "verify the generated characterization sweep on an NxN grid instead of model files")
+	sweepEvery := flag.Int("sweep-every", 1, "with -sweep-grid, verify every K-th of the 88 sweep networks")
+	list := flag.Bool("list", false, "list available checks and exit")
+	verbose := flag.Bool("v", false, "print per-model summaries even when clean")
+	flag.Parse()
+
+	if *list {
+		for _, c := range modelcheck.Checks() {
+			fmt.Printf("%-14s %s\n", c.Name, c.Doc)
+		}
+		return
+	}
+
+	opts := modelcheck.Options{
+		AssumeExternalInput: *assume,
+		LinkCapacity:        *capacity,
+	}
+	if *checks != "" {
+		opts.Checks = strings.Split(*checks, ",")
+	}
+	exit := 0
+	if *suppress != "" {
+		f, err := os.Open(*suppress)
+		if err != nil {
+			fail(err)
+		}
+		sups, diags := modelcheck.ParseSuppressions(f)
+		f.Close()
+		opts.Suppressions = sups
+		for _, d := range diags {
+			fmt.Printf("%s: %s\n", *suppress, d)
+			exit = 1
+		}
+	}
+
+	type subject struct {
+		name    string
+		mesh    router.Mesh
+		configs []*core.Config
+	}
+	var subjects []subject
+	switch {
+	case *sweepGrid > 0:
+		mesh := router.Mesh{W: *sweepGrid, H: *sweepGrid}
+		step := *sweepEvery
+		if step < 1 {
+			step = 1
+		}
+		for n := 0; n < len(netgen.SweepPoints()); n += step {
+			configs, pt, err := netgen.BuildSweep(mesh, n, 1)
+			if err != nil {
+				fail(err)
+			}
+			subjects = append(subjects, subject{
+				name:    fmt.Sprintf("sweep[%d] rate=%gHz syn=%d", n, pt.RateHz, pt.Syn),
+				mesh:    mesh,
+				configs: configs,
+			})
+		}
+		// The characterization networks are closed recurrent systems: every
+		// axon has exactly one internal driver, so the full analysis applies.
+		opts.AssumeExternalInput = false
+	case flag.NArg() > 0:
+		for _, path := range flag.Args() {
+			f, err := os.Open(path)
+			if err != nil {
+				fail(err)
+			}
+			mesh, configs, err := model.ReadModel(f)
+			f.Close()
+			if err != nil {
+				fail(err)
+			}
+			subjects = append(subjects, subject{name: path, mesh: mesh, configs: configs})
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "tnverify: no subjects; pass model files or -sweep-grid N (see -h)")
+		os.Exit(2)
+	}
+
+	type result struct {
+		Model  string             `json:"model"`
+		Report *modelcheck.Report `json:"report"`
+	}
+	var results []result
+	for _, s := range subjects {
+		rep, err := modelcheck.Analyze(s.mesh, s.configs, opts)
+		if err != nil {
+			fail(err)
+		}
+		results = append(results, result{Model: s.name, Report: rep})
+		findings := rep.Findings()
+		if len(findings) > 0 {
+			exit = 1
+		}
+		if *jsonOut {
+			continue
+		}
+		for _, d := range rep.Diags {
+			fmt.Printf("%s: %s\n", s.name, d)
+		}
+		if *verbose || len(findings) > 0 {
+			fmt.Printf("%s: %d finding(s), %d suppressed; worst-case NoC: %d packets/tick, mean hops %.2f, max link load %d\n",
+				s.name, len(findings), rep.Suppressed, rep.NoC.Packets, rep.NoC.MeanHops, rep.NoC.MaxLinkLoad)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fail(err)
+		}
+	}
+	os.Exit(exit)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tnverify:", err)
+	os.Exit(2)
+}

@@ -10,11 +10,11 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
 	"truenorth/internal/apps/hmm"
 	"truenorth/internal/apps/lsm"
 	"truenorth/internal/apps/rbm"
+	"truenorth/internal/prng"
 )
 
 func main() {
@@ -29,7 +29,9 @@ func lsmDemo() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(5))
+	// The repo's frozen-stream generator keeps the demo replayable across
+	// Go releases, which math/rand does not guarantee.
+	rng := prng.NewRand(5)
 	pattern := func(class int) lsm.Pattern {
 		p := lsm.Pattern{SpikesAt: map[int][]int{}, Ticks: 50}
 		period := []int{3, 8}[class]

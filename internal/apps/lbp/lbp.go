@@ -24,6 +24,7 @@ package lbp
 import (
 	"fmt"
 
+	"truenorth/internal/core"
 	"truenorth/internal/corelet"
 	"truenorth/internal/neuron"
 )
@@ -281,6 +282,18 @@ func Build(p Params) (*App, error) {
 		n.SetSynapse(cc, aCpos, ji)
 		base := Channels * axonsPerChannel
 		n.Connect(cc, ji, hc, base+si%intensityAxons, 1)
+	}
+
+	// Relay copies never consumed — the placeholder relays of pixels that
+	// serve no sample — would otherwise be identity neurons that fire into
+	// nothing on every pixel event. Reprogram them as inert: the pin axon
+	// keeps its crossbar bit (deliveries still land somewhere), but the
+	// neuron can never reach threshold, so the core keeps its event-driven
+	// fast path.
+	for pix := range fan.Outs {
+		for _, h := range fan.Outs[pix][next[pix]:] {
+			n.SetNeuron(h.Core, h.Neuron, core.InertNeuron())
+		}
 	}
 	return app, nil
 }

@@ -106,19 +106,7 @@ func Build(p Params) (*App, error) {
 	// up to 8 neighbor contrasts, the change detector, and the delay line.
 	fans := make([]int, cells)
 	for c := 0; c < cells; c++ {
-		cx, cy := c%app.CellsX, c/app.CellsX
-		nb := 0
-		for dy := -1; dy <= 1; dy++ {
-			for dx := -1; dx <= 1; dx++ {
-				if dx == 0 && dy == 0 {
-					continue
-				}
-				if cx+dx >= 0 && cx+dx < app.CellsX && cy+dy >= 0 && cy+dy < app.CellsY {
-					nb++
-				}
-			}
-		}
-		fans[c] = 1 + nb + 1 + 1 // center + surrounds + change-now + delay head
+		fans[c] = 1 + neighborCount(app, c) + 1 + 1 // center + surrounds + change-now + delay head
 	}
 	fan, err := corelet.AddFanoutVar(n, fans)
 	if err != nil {
@@ -186,7 +174,9 @@ func Build(p Params) (*App, error) {
 		h := take(c)
 		n.Connect(h.Core, h.Neuron, cc, center, 1)
 		contrast[c] = corelet.Handle{Core: cc, Neuron: j}
-		for s := 0; s < 8; s++ {
+		// Border cells have fewer than 8 surround neighbors; allocating the
+		// full 8 would leave connected-but-undriven axons behind.
+		for s := 0; s < neighborCount(app, c); s++ {
 			a := n.AllocAxon(cc)
 			n.SetAxonType(cc, a, 1)
 			n.SetSynapse(cc, a, j)
@@ -294,6 +284,24 @@ func Build(p Params) (*App, error) {
 
 // contrastCoreOf extracts the core id of a contrast handle (readability).
 func contrastCoreOf(h corelet.Handle) corelet.CoreID { return h.Core }
+
+// neighborCount returns how many of cell c's 8 surround neighbors lie on the
+// map — 8 in the interior, 5 on edges, 3 in corners.
+func neighborCount(a *App, c int) int {
+	cx, cy := c%a.CellsX, c/a.CellsX
+	nb := 0
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			if cx+dx >= 0 && cx+dx < a.CellsX && cy+dy >= 0 && cy+dy < a.CellsY {
+				nb++
+			}
+		}
+	}
+	return nb
+}
 
 // splitDelay decomposes a frame delay into two relay hops plus a final
 // axonal delay, each within the 1..15 hardware range. Total latency is

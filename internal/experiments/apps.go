@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"truenorth/internal/apps/haar"
 	"truenorth/internal/apps/lbp"
@@ -12,6 +13,7 @@ import (
 	"truenorth/internal/compass"
 	"truenorth/internal/corelet"
 	"truenorth/internal/energy"
+	"truenorth/internal/modelcheck"
 	"truenorth/internal/router"
 	"truenorth/internal/vision"
 	"truenorth/internal/vnperf"
@@ -49,6 +51,10 @@ type AppRunConfig struct {
 	Workers int
 	// Seed drives the scene.
 	Seed int64
+	// Verify statically verifies each placed application model
+	// (modelcheck), with the placement's input pins declared as external
+	// injection points, and aborts on any finding.
+	Verify bool
 }
 
 // DefaultAppRunConfig returns a configuration that runs all five apps in
@@ -137,6 +143,12 @@ func RunApps(cfg AppRunConfig) ([]AppResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", pa.name, err)
 		}
+		if cfg.Verify {
+			opts := modelcheck.Options{ExternalInputs: placementInputs(p)}
+			if err := modelcheck.Verify(p.Mesh, p.Configs, opts); err != nil {
+				return nil, fmt.Errorf("%s: %w", pa.name, err)
+			}
+		}
 		var opts []compass.Option
 		if cfg.Workers > 0 {
 			opts = append(opts, compass.WithWorkers(cfg.Workers))
@@ -192,6 +204,25 @@ func RunApps(cfg AppRunConfig) ([]AppResult, error) {
 		results = append(results, r)
 	}
 	return results, nil
+}
+
+// placementInputs converts a placement's input pins into the analyzer's
+// external-injection declarations. Group iteration is sorted by name so
+// the result (and any diagnostics downstream) is deterministic.
+func placementInputs(p *corelet.Placement) []modelcheck.AxonRef {
+	names := make([]string, 0, len(p.Inputs))
+	//lint:ignore tnlint/maporder key collection feeding the sort below; order is erased
+	for name := range p.Inputs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var refs []modelcheck.AxonRef
+	for _, name := range names {
+		for _, pin := range p.Inputs[name] {
+			refs = append(refs, modelcheck.AxonRef{X: pin.X, Y: pin.Y, Axon: pin.Axon})
+		}
+	}
+	return refs
 }
 
 // AppTables renders the Section IV-B application table and the Fig. 7

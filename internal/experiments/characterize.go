@@ -6,6 +6,7 @@ import (
 	"truenorth/internal/compass"
 	"truenorth/internal/core"
 	"truenorth/internal/energy"
+	"truenorth/internal/modelcheck"
 	"truenorth/internal/netgen"
 	"truenorth/internal/router"
 	"truenorth/internal/vnperf"
@@ -26,6 +27,10 @@ type CharConfig struct {
 	Seed int64
 	// Voltage is the supply point for Figs. 5a/5b/5d/5e (paper: 0.75 V).
 	Voltage float64
+	// Verify statically verifies every generated network (modelcheck) and
+	// aborts the characterization on any finding — the same gate a
+	// simulation service applies to uploaded models.
+	Verify bool
 }
 
 // DefaultCharConfig returns a configuration that sweeps all 88 networks in
@@ -72,6 +77,14 @@ func Characterize(cfg CharConfig) ([]CharPoint, error) {
 		configs, pt, err := netgen.BuildSweep(cfg.Grid, i, cfg.Seed)
 		if err != nil {
 			return nil, err
+		}
+		if cfg.Verify {
+			// The characterization networks are closed recurrent systems
+			// (every axon has exactly one internal driver), so the full
+			// analysis applies with no assumed external inputs.
+			if err := modelcheck.Verify(cfg.Grid, configs, modelcheck.Options{}); err != nil {
+				return nil, fmt.Errorf("sweep network %d (rate %g Hz, %d syn): %w", i, pt.RateHz, pt.Syn, err)
+			}
 		}
 		var opts []compass.Option
 		if cfg.Workers > 0 {

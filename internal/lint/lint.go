@@ -44,7 +44,10 @@ const Module = "truenorth"
 
 // KernelPackages are the packages whose tick-domain behavior must be
 // bitwise deterministic: the two engine expressions, the core state machine
-// and its parts, and everything that constructs or feeds networks.
+// and its parts, everything that constructs or feeds networks, and the
+// entry points that drive them — a `cmd` or example that seeds from the
+// wall clock breaks replayability just as surely as a kernel that does. A
+// trailing "/..." entry matches every package under the prefix.
 var KernelPackages = []string{
 	Module + "/internal/chip",
 	Module + "/internal/compass",
@@ -54,6 +57,9 @@ var KernelPackages = []string{
 	Module + "/internal/netgen",
 	Module + "/internal/vision",
 	Module + "/internal/experiments",
+	Module + "/internal/modelcheck",
+	Module + "/cmd/...",
+	Module + "/examples/...",
 }
 
 // ArithmeticPackages hold the floating-point neuron/energy arithmetic that
@@ -100,6 +106,10 @@ func (a *Analyzer) applies(path string) bool {
 	}
 	for _, p := range a.Packages {
 		if p == path {
+			return true
+		}
+		if prefix, ok := strings.CutSuffix(p, "/..."); ok &&
+			(path == prefix || strings.HasPrefix(path, prefix+"/")) {
 			return true
 		}
 	}

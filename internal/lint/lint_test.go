@@ -99,6 +99,36 @@ func ok() int { return rand.Intn(4) }
 	expect(t, diags, 0, "", "")
 }
 
+func TestDetrandAppliesToCommandsAndExamples(t *testing.T) {
+	const src = `
+package main
+
+import "math/rand"
+
+func main() { _ = rand.Intn(4) }
+`
+	for _, path := range []string{Module + "/cmd/tnsim", Module + "/examples/cognition"} {
+		expect(t, analyze(t, Detrand(), path, src), 1, "detrand", "math/rand")
+	}
+}
+
+func TestPackagePatternMatching(t *testing.T) {
+	a := &Analyzer{Packages: []string{Module + "/internal/chip", Module + "/cmd/..."}}
+	for path, want := range map[string]bool{
+		Module + "/internal/chip":    true,  // exact entry
+		Module + "/internal/neuron":  false, // no entry
+		Module + "/cmd":              true,  // pattern root
+		Module + "/cmd/tnsim":        true,  // under pattern
+		Module + "/cmd/tnsim/sub":    true,  // nested under pattern
+		Module + "/cmdextra":         false, // prefix must end at a path boundary
+		Module + "/internal/cmdtool": false,
+	} {
+		if got := a.applies(path); got != want {
+			t.Errorf("applies(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
 func TestMapOrderPositive(t *testing.T) {
 	diags := analyze(t, MapOrder(), kernelPath, `
 package chip

@@ -1,0 +1,213 @@
+package model
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"truenorth/internal/chip"
+	"truenorth/internal/netgen"
+	"truenorth/internal/router"
+)
+
+// smallModelBytes serializes a one-populated-core model, small enough to
+// truncate at every byte offset.
+func smallModelBytes(t *testing.T) []byte {
+	t.Helper()
+	mesh := router.Mesh{W: 2, H: 2}
+	configs, err := netgen.Build(netgen.Params{Grid: mesh, RateHz: 50, SynPerNeuron: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs[1], configs[2], configs[3] = nil, nil, nil
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, mesh, configs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// header builds a TNMDL1 header with the given mesh and core count.
+func header(w, h, tw, th, n uint32) []byte {
+	var buf bytes.Buffer
+	buf.Write(modelMagic[:])
+	for _, v := range []uint32{w, h, tw, th, n} {
+		binary.Write(&buf, binary.LittleEndian, v) //nolint:errcheck // bytes.Buffer
+	}
+	return buf.Bytes()
+}
+
+// TestReadModelTruncatedEverywhere feeds every proper prefix of a valid
+// model: each must produce an error, never a panic or a silent success.
+func TestReadModelTruncatedEverywhere(t *testing.T) {
+	full := smallModelBytes(t)
+	if _, _, err := ReadModel(bytes.NewReader(full)); err != nil {
+		t.Fatalf("full model rejected: %v", err)
+	}
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := ReadModel(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at byte %d of %d accepted", cut, len(full))
+		}
+	}
+}
+
+// TestReadModelHostileHeaders exercises the header validation: a handful of
+// bytes must never provoke a large allocation or an out-of-range index.
+func TestReadModelHostileHeaders(t *testing.T) {
+	cases := []struct {
+		name  string
+		input []byte
+	}{
+		{"bad magic", []byte("TNMDL2\n garbage beyond")},
+		{"checkpoint magic", append(checkpointMagic[:], header(1, 1, 0, 0, 0)[7:]...)},
+		{"zero-size mesh", header(0, 0, 0, 0, 0)},
+		{"negative-as-unsigned mesh", header(0xFFFFFFFF, 1, 0, 0, 0)},
+		{"mesh edge over 2^14", header(1<<14+1, 1, 0, 0, 0)},
+		// Both edges individually legal but the area exceeds maxModelSlots:
+		// the 27-byte header must be refused before the slot allocation.
+		{"mesh area over slot cap", header(1<<14, 1<<14, 0, 0, 0)},
+		{"more cores than slots", header(2, 2, 0, 0, 5)},
+		{"core index out of range", append(header(2, 2, 0, 0, 1), 0xFF, 0xFF, 0xFF, 0xFF)},
+		{"truncated after header", header(2, 2, 0, 0, 1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := ReadModel(bytes.NewReader(tc.input)); err == nil {
+				t.Fatalf("accepted: %q", tc.input)
+			}
+		})
+	}
+}
+
+// TestReadModelCorruptBody exercises the per-core validation paths on
+// surgically corrupted copies of a valid stream.
+func TestReadModelCorruptBody(t *testing.T) {
+	full := smallModelBytes(t)
+	// Body layout after the 27-byte header: core index (4) + axon types
+	// (256) + first crossbar row's sparse count (2).
+	const rowCountOff = 27 + 4 + 256
+	corrupt := func(off int, b ...byte) []byte {
+		c := append([]byte(nil), full...)
+		copy(c[off:], b)
+		return c
+	}
+	// Two copies of the same core body under one header: a duplicate index.
+	duplicated := append([]byte(nil), header(2, 2, 0, 0, 2)...)
+	duplicated = append(duplicated, full[27:]...)
+	duplicated = append(duplicated, full[27:]...)
+	cases := []struct {
+		name  string
+		input []byte
+	}{
+		// 0x0101 = 257 entries: over NeuronsPerCore yet not the dense marker.
+		{"oversized sparse row count", corrupt(rowCountOff, 0x01, 0x01)},
+		{"duplicate core index", duplicated},
+		// Declaring one more core than the stream carries must hit EOF.
+		{"count exceeds bodies", corrupt(23, 2)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := ReadModel(bytes.NewReader(tc.input)); err == nil {
+				t.Fatal("corrupted model accepted")
+			}
+		})
+	}
+}
+
+// TestReadCheckpointTruncatedEverywhere is the checkpoint-side analogue.
+func TestReadCheckpointTruncatedEverywhere(t *testing.T) {
+	mesh := router.Mesh{W: 2, H: 2}
+	configs, err := netgen.Build(netgen.Params{Grid: mesh, RateHz: 50, SynPerNeuron: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := chip.New(mesh, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(20)
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, eng); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if err := ReadCheckpoint(bytes.NewReader(full[:cut]), eng); err == nil {
+			t.Fatalf("truncation at byte %d of %d accepted", cut, len(full))
+		}
+	}
+	// The truncation sweep leaves the engine with partially restored state;
+	// a full restore must still succeed afterwards.
+	if err := ReadCheckpoint(bytes.NewReader(full), eng); err != nil {
+		t.Fatalf("full checkpoint rejected after sweep: %v", err)
+	}
+}
+
+// TestReadCheckpointHostileCounts verifies a hostile populated-core count
+// errors instead of looping or indexing out of range.
+func TestReadCheckpointHostileCounts(t *testing.T) {
+	mesh := router.Mesh{W: 2, H: 2}
+	configs, err := netgen.Build(netgen.Params{Grid: mesh, RateHz: 50, SynPerNeuron: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := chip.New(mesh, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.Write(checkpointMagic[:])
+	binary.Write(&buf, binary.LittleEndian, uint64(7))          //nolint:errcheck // bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, eng.NoC())          //nolint:errcheck // bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, uint32(0xFFFFFFFF)) //nolint:errcheck // bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, uint32(99))         //nolint:errcheck // absent core index
+	if err := ReadCheckpoint(bytes.NewReader(buf.Bytes()), eng); err == nil {
+		t.Fatal("hostile checkpoint accepted")
+	}
+}
+
+// FuzzReadModel asserts the deserializer's safety contract on arbitrary
+// bytes: errors, never panics; and anything it accepts must survive a
+// write/read round trip bit-identically.
+func FuzzReadModel(f *testing.F) {
+	mesh := router.Mesh{W: 2, H: 2}
+	configs, err := netgen.Build(netgen.Params{Grid: mesh, RateHz: 50, SynPerNeuron: 40, Seed: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if err := WriteModel(&valid, mesh, configs); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("TNMDL1\n"))
+	f.Add(header(1<<14, 1<<14, 0, 0, 0))
+	f.Add(header(2, 2, 0, 0, 4))
+	f.Add(valid.Bytes()[:valid.Len()/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, cfgs, err := ReadModel(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteModel(&out, m, cfgs); err != nil {
+			t.Fatalf("accepted model failed to serialize: %v", err)
+		}
+		m2, cfgs2, err := ReadModel(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of accepted model failed: %v", err)
+		}
+		if m2 != m || len(cfgs2) != len(cfgs) {
+			t.Fatalf("round trip changed shape: %+v/%d vs %+v/%d", m2, len(cfgs2), m, len(cfgs))
+		}
+		for i := range cfgs {
+			switch {
+			case (cfgs[i] == nil) != (cfgs2[i] == nil):
+				t.Fatalf("core %d: populated mismatch", i)
+			case cfgs[i] != nil && *cfgs[i] != *cfgs2[i]:
+				t.Fatalf("core %d: config differs after round trip", i)
+			}
+		}
+	})
+}

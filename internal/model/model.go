@@ -66,6 +66,36 @@ func WriteModel(w io.Writer, mesh router.Mesh, configs []*core.Config) error {
 	return bw.Flush()
 }
 
+// maxModelSlots caps the mesh area a model file may declare. The header
+// is 27 bytes; without this cap a hostile stream declaring a 2^14×2^14
+// mesh would make ReadModel allocate a quarter-billion slot pointers
+// before reading a single core. 2^20 slots is 256 TrueNorth chips — far
+// beyond any board this repo models — while keeping the allocation bound
+// at a few megabytes.
+const maxModelSlots = 1 << 20
+
+// Verifier validates a deserialized model before ReadModelVerified returns
+// it; internal/modelcheck's Verify (curried with options) is the intended
+// implementation. Keeping it a function type avoids a dependency from the
+// serialization layer on the analyzer.
+type Verifier func(mesh router.Mesh, configs []*core.Config) error
+
+// ReadModelVerified deserializes a model and, when verify is non-nil,
+// rejects it unless the verifier accepts — the upload-time gate: a bad
+// model is refused before it can burn a simulation slot.
+func ReadModelVerified(r io.Reader, verify Verifier) (router.Mesh, []*core.Config, error) {
+	mesh, configs, err := ReadModel(r)
+	if err != nil {
+		return mesh, configs, err
+	}
+	if verify != nil {
+		if err := verify(mesh, configs); err != nil {
+			return router.Mesh{}, nil, fmt.Errorf("model: %w", err)
+		}
+	}
+	return mesh, configs, nil
+}
+
 // ReadModel deserializes a model written by WriteModel.
 func ReadModel(r io.Reader) (router.Mesh, []*core.Config, error) {
 	br := bufio.NewReader(r)
@@ -87,6 +117,9 @@ func ReadModel(r io.Reader) (router.Mesh, []*core.Config, error) {
 		return router.Mesh{}, nil, fmt.Errorf("model: implausible mesh %dx%d", mesh.W, mesh.H)
 	}
 	slots := mesh.W * mesh.H
+	if slots > maxModelSlots {
+		return router.Mesh{}, nil, fmt.Errorf("model: mesh %dx%d exceeds %d core slots", mesh.W, mesh.H, maxModelSlots)
+	}
 	if int(n) > slots {
 		return router.Mesh{}, nil, fmt.Errorf("model: %d cores for %d slots", n, slots)
 	}

@@ -1,0 +1,360 @@
+package modelcheck
+
+import (
+	"fmt"
+
+	"truenorth/internal/core"
+	"truenorth/internal/neuron"
+	"truenorth/internal/router"
+)
+
+// This file implements the potential-interval analysis: an abstract
+// interpretation of the neuron datapath (integrate → leak → threshold/fire
+// → negative threshold → 20-bit clamp) over the interval domain. For each
+// neuron it computes a sound over-approximation of the set of membrane
+// potentials reachable under ANY input spike pattern, by iterating the
+// interval transfer function to a fixpoint. Because the result is an
+// over-approximation, "can never fire" and "always fires" verdicts are
+// proofs; the saturation verdict is a may-warning (see DESIGN.md).
+
+const (
+	vMax = int64(neuron.VMax)
+	vMin = int64(neuron.VMin)
+)
+
+func clamp64(v int64) int64 {
+	if v > vMax {
+		return vMax
+	}
+	if v < vMin {
+		return vMin
+	}
+	return v
+}
+
+// neuronDrive aggregates, for one neuron, the per-tick synaptic drive
+// bounds and fan-in counts derived from the crossbar, axon types, and the
+// driven-axon map. Each axon delivers at most one event per tick (the
+// delay ring merges same-tick arrivals), so the bounds are sums over
+// driven connected axons of each event's best/worst contribution.
+type neuronDrive struct {
+	maxDrive int64 // ≥ 0: sum of best-case event contributions
+	minDrive int64 // ≤ 0: sum of worst-case event contributions
+	// conn counts connected axons by type; drivenConn those that can
+	// also receive events.
+	conn       [neuron.NumAxonTypes]int32
+	drivenConn [neuron.NumAxonTypes]int32
+	connTotal  int32
+}
+
+// coreDrives computes (and memoizes) the per-neuron drive aggregates for
+// the core at slot idx.
+func (m *Model) coreDrives(idx int, cfg *core.Config) *[core.NeuronsPerCore]neuronDrive {
+	if d, ok := m.drives[idx]; ok {
+		return d
+	}
+	d := new([core.NeuronsPerCore]neuronDrive)
+	for a := 0; a < core.AxonsPerCore; a++ {
+		g := cfg.AxonType[a]
+		driven := m.driven[idx].Get(a) || m.Opts.AssumeExternalInput
+		cfg.Synapses[a].ForEach(func(j int) {
+			nd := &d[j]
+			nd.conn[g]++
+			nd.connTotal++
+			if !driven {
+				return
+			}
+			nd.drivenConn[g]++
+			p := &cfg.Neurons[j]
+			w := int64(p.Weights[g])
+			if p.StochSyn[g] {
+				// Stochastic synapse: each event adds sign(w) with
+				// probability |w|/256 — a unit step at most.
+				if w > 0 {
+					nd.maxDrive++
+				} else if w < 0 {
+					nd.minDrive--
+				}
+				return
+			}
+			if w > 0 {
+				nd.maxDrive += w
+			} else {
+				nd.minDrive += w
+			}
+		})
+	}
+	m.drives[idx] = d
+	return d
+}
+
+// vInterval is the fixpoint result for one neuron.
+type vInterval struct {
+	// lo, hi bound the post-tick membrane potential.
+	lo, hi int64
+	// checkLo, checkHi bound the pre-threshold (post-integrate, post-leak)
+	// potential at the fixpoint — the value the threshold comparison sees.
+	checkLo, checkHi int64
+	// canFire: some reachable check potential meets the minimum effective
+	// threshold. Its negation is a proof the neuron never fires.
+	canFire bool
+	// alwaysFires: every reachable check potential meets the maximum
+	// effective threshold — the neuron fires every tick regardless of
+	// input.
+	alwaysFires bool
+	// satHi, satLo: the worst-case drive pushes the pre-clamp potential
+	// past the ±2^19 rails (intended dynamics clipped by the hardware).
+	satHi, satLo bool
+	// widened: the fixpoint iteration hit its pass budget and the interval
+	// was widened to the rails; saturation verdicts are unreliable and
+	// suppressed for this neuron.
+	widened bool
+}
+
+// leakBounds returns a sound per-tick bound on the leak contribution.
+func leakBounds(p *neuron.Params) (lo, hi int64) {
+	l := int64(p.Leak)
+	if p.StochLeak {
+		// Unit step with probability |leak|/256 (sign tracks v under
+		// LeakReversal, so reversal widens to both directions).
+		switch {
+		case l == 0:
+			return 0, 0
+		case p.LeakReversal:
+			return -1, 1
+		case l > 0:
+			return 0, 1
+		default:
+			return -1, 0
+		}
+	}
+	if p.LeakReversal {
+		// Effective leak is ±Leak depending on sign(v); decay stops at
+		// zero, which only shrinks the step — [-|l|, |l|] covers it.
+		if l < 0 {
+			return l, -l
+		}
+		return -l, l
+	}
+	return l, l
+}
+
+// analyzeNeuron iterates the interval transfer function for one neuron to
+// a fixpoint. The iteration only ever grows the interval and terminates
+// when the transfer adds nothing new, so the result is a post-fixpoint
+// containing every reachable potential; linear-regime jumps and the
+// widening fallback inflate intermediate iterates, which keeps the result
+// sound (Tarski: any A with F(A) ⊆ A contains the least fixpoint).
+func analyzeNeuron(p *neuron.Params, initV int64, d *neuronDrive) vInterval {
+	leakLo, leakHi := leakBounds(p)
+	thMin := int64(p.Threshold)
+	thMax := thMin
+	if p.ThresholdMask != 0 {
+		thMax += int64(p.ThresholdMask & 0xFF)
+	}
+	floor := -int64(p.NegThreshold)
+	resetV := int64(p.ResetV)
+	loGain := d.minDrive + leakLo // per-tick worst-case downward drift
+	hiGain := d.maxDrive + leakHi // per-tick best-case upward drift
+	loStop := floor
+	if loStop < vMin {
+		loStop = vMin
+	}
+
+	lo, hi := initV, initV
+	var r vInterval
+	const maxPasses = 512
+	for pass := 0; ; pass++ {
+		lo1 := clamp64(lo + loGain)
+		hi1 := clamp64(hi + hiGain)
+		canFire := hi1 >= thMin
+		mustFire := lo1 >= thMax
+
+		// Split on the fire decision and join the branch results.
+		first := true
+		var blo, bhi int64
+		add := func(l, h int64) {
+			if first {
+				blo, bhi, first = l, h, false
+				return
+			}
+			if l < blo {
+				blo = l
+			}
+			if h > bhi {
+				bhi = h
+			}
+		}
+		if !mustFire {
+			nfHi := hi1
+			if thMax-1 < nfHi {
+				nfHi = thMax - 1
+			}
+			add(lo1, nfHi)
+		}
+		if canFire {
+			switch p.Reset {
+			case neuron.ResetToV:
+				add(resetV, resetV)
+			case neuron.ResetSubtract:
+				// Fired means v ≥ drawn threshold, and the same drawn
+				// threshold is subtracted: the result is in [0, hi1-thMin].
+				add(0, hi1-thMin)
+			case neuron.ResetNone:
+				fl := lo1
+				if thMin > fl {
+					fl = thMin
+				}
+				add(fl, hi1)
+			}
+		}
+
+		// Negative-threshold mapping: values below -β saturate there or
+		// reset to -R.
+		if blo < floor {
+			if p.NegSaturate {
+				blo = floor
+				if bhi < floor {
+					bhi = floor
+				}
+			} else {
+				nr := -resetV
+				if bhi < floor {
+					blo, bhi = nr, nr
+				} else {
+					blo = floor
+					if nr < blo {
+						blo = nr
+					}
+					if nr > bhi {
+						bhi = nr
+					}
+				}
+			}
+		}
+		blo, bhi = clamp64(blo), clamp64(bhi)
+
+		nlo, nhi := lo, hi
+		if blo < nlo {
+			nlo = blo
+		}
+		if bhi > nhi {
+			nhi = bhi
+		}
+		if nlo == lo && nhi == hi {
+			// Fixpoint: F([lo,hi]) ⊆ [lo,hi]. Record verdicts from this
+			// final evaluation.
+			r.lo, r.hi = lo, hi
+			r.checkLo, r.checkHi = lo1, hi1
+			r.canFire = canFire
+			r.alwaysFires = mustFire
+			r.satHi = hi+hiGain > vMax
+			r.satLo = lo+loGain < vMin
+			return r
+		}
+		lo, hi = nlo, nhi
+
+		if pass >= maxPasses {
+			// Widening fallback: jump to the rails and converge there.
+			// Sound but imprecise; saturation verdicts are suppressed.
+			r.widened = true
+			lo, hi = vMin, vMax
+			continue
+		}
+
+		// Acceleration: in linear regimes (climbing toward threshold, or
+		// an unbounded reset-none climb; drifting down toward the negative
+		// floor) the transfer moves the bounds by a constant per pass.
+		// Jump several passes at once; over-jumping only inflates the
+		// iterate, which stays sound.
+		const noJump = int64(1 << 62)
+		khi, klo := noJump, noJump
+		if hiGain > 0 && hi1 < thMin {
+			khi = (thMin - hi1 + hiGain - 1) / hiGain
+		} else if hiGain > 0 && canFire && p.Reset == neuron.ResetNone && hi1 < vMax {
+			khi = (vMax - hi1 + hiGain - 1) / hiGain
+		}
+		if !mustFire && loGain < 0 && lo1 > loStop {
+			klo = (lo1 - loStop + (-loGain) - 1) / (-loGain)
+		}
+		// The two bounds' recurrences are independent (each transfer output
+		// bound is a function of the same input bound), so each side jumps
+		// only while ITS regime is linear; over-jumping by a step merely
+		// inflates the iterate.
+		if khi != noJump && khi > 1 {
+			hi = clamp64(hi + khi*hiGain)
+		}
+		if klo != noJump && klo > 1 {
+			lo = clamp64(lo + klo*loGain)
+		}
+	}
+}
+
+// neuronIntervals computes (and memoizes) the interval results for every
+// neuron of the core at slot idx.
+func (m *Model) neuronIntervals(idx int, cfg *core.Config) *[core.NeuronsPerCore]vInterval {
+	if iv, ok := m.intervals[idx]; ok {
+		return iv
+	}
+	d := m.coreDrives(idx, cfg)
+	iv := new([core.NeuronsPerCore]vInterval)
+	for j := range cfg.Neurons {
+		iv[j] = analyzeNeuron(&cfg.Neurons[j], int64(cfg.InitV[j]), &d[j])
+	}
+	m.intervals[idx] = iv
+	return iv
+}
+
+// potentialCheck is the interval-analysis front end: it turns fixpoint
+// verdicts into diagnostics.
+func potentialCheck() *Check {
+	return &Check{
+		Name: "potential",
+		Doc:  "abstract interpretation of the membrane datapath: neurons that can never fire, fire every tick, or clip at the ±2^19 saturation rails",
+		Run: func(m *Model, report func(Diagnostic)) {
+			m.eachLive(func(p router.Point, idx int, cfg *core.Config) {
+				iv := m.neuronIntervals(idx, cfg)
+				d := m.coreDrives(idx, cfg)
+				for j := range cfg.Neurons {
+					r := &iv[j]
+					t := cfg.Targets[j]
+					if t.Valid && !r.canFire {
+						report(Diagnostic{
+							Check: "potential", Severity: Warning, Core: p, Neuron: j, Axon: -1,
+							Message: fmt.Sprintf("neuron can never reach threshold %d: membrane potential is bounded to [%d,%d]", cfg.Neurons[j].Threshold, r.checkLo, r.checkHi),
+						})
+					}
+					if t.Valid && r.alwaysFires {
+						report(Diagnostic{
+							Check: "potential", Severity: Warning, Core: p, Neuron: j, Axon: -1,
+							Message: fmt.Sprintf("neuron fires every tick regardless of input: check potential never drops below the maximum effective threshold %d", thMaxOf(&cfg.Neurons[j])),
+						})
+					}
+					if !r.widened && (t.Valid || d[j].connTotal > 0) {
+						if r.satHi {
+							report(Diagnostic{
+								Check: "potential", Severity: Warning, Core: p, Neuron: j, Axon: -1,
+								Message: fmt.Sprintf("worst-case drive pushes the potential past the +%d saturation rail: intended dynamics are clipped", neuron.VMax),
+							})
+						}
+						if r.satLo {
+							report(Diagnostic{
+								Check: "potential", Severity: Warning, Core: p, Neuron: j, Axon: -1,
+								Message: fmt.Sprintf("worst-case drive pushes the potential past the %d saturation rail: intended dynamics are clipped", neuron.VMin),
+							})
+						}
+					}
+				}
+			})
+		},
+	}
+}
+
+// thMaxOf returns the maximum effective threshold (base plus jitter mask).
+func thMaxOf(p *neuron.Params) int64 {
+	th := int64(p.Threshold)
+	if p.ThresholdMask != 0 {
+		th += int64(p.ThresholdMask & 0xFF)
+	}
+	return th
+}

@@ -1,0 +1,569 @@
+// Package modelcheck implements tnverify, the whole-model static analyzer
+// for compiled neurosynaptic networks. Where tnlint's subject is this
+// repository's Go source, tnverify's subject is the *other* program in the
+// system: the network model (mesh + per-core configurations) that the
+// Corelet toolchain emits and that both kernel expressions — the silicon
+// model and Compass — consume (Section VI-A of the paper). core.Config
+// validates fields in isolation; nothing before this package checked the
+// cross-core properties the paper's methodology depends on: every emitted
+// spike must land on a populated core's axon via dimension-order routing,
+// the 20-bit saturating membrane datapath must not silently clip intended
+// dynamics, and the characterization sweep is parameterized by exactly the
+// quantities (fan-in, hop distance, firing drive) a static pass can bound
+// before a single tick runs.
+//
+// Five analyses, each an independently selectable Check:
+//
+//   - routability:  walk every neuron target's (Δx, Δy) against the mesh,
+//     the populated-core map, and the fault set; flag spikes that exit the
+//     board, land on absent or disabled cores, or have no route around
+//     dead cores.
+//   - reachability: build the core-level spike graph; flag axons that
+//     receive spikes but have no crossbar connections, connected axons no
+//     neuron or external input ever drives, neurons that can fire but have
+//     no configured target, and colliding external output ids.
+//   - potential:    abstract interpretation of the neuron datapath over
+//     intervals: from per-type fan-in, 9-bit weights, and leak, bound each
+//     neuron's reachable membrane potential to prove neurons that can
+//     never reach threshold, neurons that fire every tick, and potentials
+//     that hit the ±2^19 saturation rails (intended dynamics clipped by
+//     the hardware). See DESIGN.md for the domain's soundness caveats.
+//   - nocload:     accumulate worst-case per-link packet counts along each
+//     target's dimension-order route — hotspot links, mean hop distance
+//     (the paper's 21.66-hop characterization axis), and tile-boundary
+//     crossing pressure, without simulating.
+//   - stochastic:  PRNG-consuming modes (stochastic synapse/leak/threshold)
+//     configured where their draws can never be exercised or never have an
+//     effect — wasted per-tick work and a determinism hazard when configs
+//     are edited.
+//
+// A finding is suppressed by an entry in a suppression list (the CLI loads
+// one from a file); like tnlint's //lint:ignore directives, a suppression
+// without a reason is itself a finding.
+package modelcheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"truenorth/internal/core"
+	"truenorth/internal/router"
+)
+
+// Severity ranks a diagnostic. Errors are models the engines would
+// mis-execute (dropped spikes, dead destinations); warnings are models
+// that run but provably waste work or clip dynamics; infos are advisory.
+type Severity int
+
+// Severity levels, least severe first.
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// MarshalJSON renders the severity as its lowercase name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// Diagnostic is one finding against a model.
+type Diagnostic struct {
+	// Check names the analysis that produced the finding.
+	Check string `json:"check"`
+	// Severity ranks it.
+	Severity Severity `json:"severity"`
+	// Core is the core coordinate, or (-1,-1) for model-level findings.
+	Core router.Point `json:"core"`
+	// Neuron is the neuron index, or -1 when not applicable.
+	Neuron int `json:"neuron"`
+	// Axon is the axon index, or -1 when not applicable.
+	Axon int `json:"axon"`
+	// Message describes the defect.
+	Message string `json:"message"`
+}
+
+// Location renders the diagnostic's position within the model.
+func (d Diagnostic) Location() string {
+	if d.Core.X < 0 {
+		return "model"
+	}
+	s := fmt.Sprintf("core (%d,%d)", d.Core.X, d.Core.Y)
+	if d.Neuron >= 0 {
+		s += fmt.Sprintf(" neuron %d", d.Neuron)
+	}
+	if d.Axon >= 0 {
+		s += fmt.Sprintf(" axon %d", d.Axon)
+	}
+	return s
+}
+
+// String renders the canonical "location: check: severity: message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s: %s", d.Location(), d.Check, d.Severity, d.Message)
+}
+
+// AxonRef names one input axon of the model, used to declare external
+// injection points (corelet placements know these as input pins).
+type AxonRef struct {
+	X, Y, Axon int
+}
+
+// Options configures an analysis run.
+type Options struct {
+	// Checks selects analyses by name; nil runs all of them.
+	Checks []string
+	// Dead marks fault-disabled cores: they neither compute nor accept
+	// packets, and routing must detour around them.
+	Dead []router.Point
+	// ExternalInputs lists axons that may receive external injections
+	// (e.g. a placement's input pins); they count as driven.
+	ExternalInputs []AxonRef
+	// AssumeExternalInput treats every axon as a potential external
+	// injection point. Model files carry no I/O table, so the CLI sets
+	// this for models whose input surface is unknown; it disables the
+	// undriven-axon analysis and widens worst-case drive bounds.
+	AssumeExternalInput bool
+	// LinkCapacity is the per-link worst-case packet budget per tick for
+	// the nocload analysis; 0 disables hotspot warnings (the load summary
+	// is always computed).
+	LinkCapacity int
+	// Suppressions filters findings; see ParseSuppressions.
+	Suppressions []Suppression
+}
+
+// Check is one independently selectable analysis.
+type Check struct {
+	Name string
+	Doc  string
+	Run  func(m *Model, report func(Diagnostic))
+}
+
+// Checks returns the full tnverify suite.
+func Checks() []*Check {
+	return []*Check{
+		routabilityCheck(),
+		reachabilityCheck(),
+		potentialCheck(),
+		nocLoadCheck(),
+		stochasticCheck(),
+	}
+}
+
+// NoCSummary is the static worst-case communication bound the nocload
+// analysis computes: every fireable neuron emitting one packet per tick.
+type NoCSummary struct {
+	// Packets is the worst-case packets injected per tick.
+	Packets int `json:"packets"`
+	// Hops is the worst-case router traversals per tick.
+	Hops int64 `json:"hops"`
+	// MeanHops is Hops/Packets — the paper's hop-distance axis.
+	MeanHops float64 `json:"mean_hops"`
+	// Crossings is the worst-case tile-boundary (merge/split) traversals
+	// per tick.
+	Crossings int64 `json:"crossings"`
+	// MaxLinkLoad is the heaviest single directed link's packets per tick.
+	MaxLinkLoad int `json:"max_link_load"`
+	// MaxLinkFrom and MaxLinkTo locate that link.
+	MaxLinkFrom router.Point `json:"max_link_from"`
+	MaxLinkTo   router.Point `json:"max_link_to"`
+	// SaturatedLinks counts links over Options.LinkCapacity (0 when no
+	// capacity was configured).
+	SaturatedLinks int `json:"saturated_links"`
+}
+
+// Report is the result of one analysis run.
+type Report struct {
+	// Diags holds the surviving findings, sorted by core, neuron, axon,
+	// check, and message.
+	Diags []Diagnostic `json:"diagnostics"`
+	// Suppressed counts findings removed by suppressions.
+	Suppressed int `json:"suppressed"`
+	// NoC is the worst-case communication summary (zero if the nocload
+	// check was deselected).
+	NoC NoCSummary `json:"noc"`
+}
+
+// Findings returns the diagnostics at Warning severity or above — the set
+// that gates model acceptance. Infos are advisory only.
+func (r *Report) Findings() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diags {
+		if d.Severity >= Warning {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// WriteJSON renders the report in the machine-readable output mode.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Model is the analysis subject plus memoized derived state shared by the
+// checks. Construct with NewModel; checks read, never mutate.
+type Model struct {
+	Mesh    router.Mesh
+	Configs []*core.Config
+	Opts    Options
+
+	dead map[router.Point]bool
+	// driven[i] marks the axons of core slot i that at least one live
+	// neuron targets or an external input feeds.
+	driven []core.RowMask
+	// drives caches per-core per-neuron drive/fan-in aggregates.
+	drives map[int]*[core.NeuronsPerCore]neuronDrive
+	// intervals caches per-core potential-interval results.
+	intervals map[int]*[core.NeuronsPerCore]vInterval
+	// noc caches the nocload summary for the report.
+	noc NoCSummary
+}
+
+// NewModel prepares the analysis subject. configs is row-major over mesh
+// (nil entries unpopulated) and may be shorter than the grid.
+func NewModel(mesh router.Mesh, configs []*core.Config, opts Options) (*Model, error) {
+	if mesh.W <= 0 || mesh.H <= 0 {
+		return nil, fmt.Errorf("modelcheck: invalid mesh %dx%d", mesh.W, mesh.H)
+	}
+	if n := mesh.W * mesh.H; len(configs) > n {
+		return nil, fmt.Errorf("modelcheck: %d configs for %d core slots", len(configs), n)
+	}
+	m := &Model{
+		Mesh:      mesh,
+		Configs:   configs,
+		Opts:      opts,
+		dead:      map[router.Point]bool{},
+		drives:    map[int]*[core.NeuronsPerCore]neuronDrive{},
+		intervals: map[int]*[core.NeuronsPerCore]vInterval{},
+	}
+	for _, p := range opts.Dead {
+		if mesh.Contains(p) {
+			m.dead[p] = true
+		}
+	}
+	m.buildDriven()
+	return m, nil
+}
+
+// at returns the config at slot (x,y), or nil.
+func (m *Model) at(x, y int) *core.Config {
+	if x < 0 || x >= m.Mesh.W || y < 0 || y >= m.Mesh.H {
+		return nil
+	}
+	i := y*m.Mesh.W + x
+	if i >= len(m.Configs) {
+		return nil
+	}
+	return m.Configs[i]
+}
+
+// live reports whether the core at p is populated and not fault-disabled.
+func (m *Model) live(p router.Point) bool {
+	return m.at(p.X, p.Y) != nil && !m.dead[p]
+}
+
+// deadFunc returns a router.DeadFunc for the fault set, or nil.
+func (m *Model) deadFunc() router.DeadFunc {
+	if len(m.dead) == 0 {
+		return nil
+	}
+	return func(p router.Point) bool { return m.dead[p] }
+}
+
+// eachLive calls f for every populated, non-disabled core in row-major
+// order — the deterministic iteration backbone of every check.
+func (m *Model) eachLive(f func(p router.Point, idx int, cfg *core.Config)) {
+	for i, cfg := range m.Configs {
+		if cfg == nil {
+			continue
+		}
+		p := router.Point{X: i % m.Mesh.W, Y: i / m.Mesh.W}
+		if m.dead[p] {
+			continue
+		}
+		f(p, i, cfg)
+	}
+}
+
+// buildDriven computes, for every core slot, the set of axons that can
+// receive spike events: targeted by a live neuron whose packet is
+// deliverable, or declared an external input.
+func (m *Model) buildDriven() {
+	m.driven = make([]core.RowMask, m.Mesh.W*m.Mesh.H)
+	m.eachLive(func(p router.Point, _ int, cfg *core.Config) {
+		for j := range cfg.Targets {
+			t := cfg.Targets[j]
+			if !t.Valid || t.Output {
+				continue
+			}
+			dst := p.Add(int(t.DX), int(t.DY))
+			if !m.Mesh.Contains(dst) || m.dead[dst] || m.at(dst.X, dst.Y) == nil {
+				continue // routability reports these
+			}
+			m.driven[dst.Y*m.Mesh.W+dst.X].Set(int(t.Axon))
+		}
+	})
+	if m.Opts.AssumeExternalInput {
+		for i := range m.driven {
+			for w := range m.driven[i] {
+				m.driven[i][w] = ^uint64(0)
+			}
+		}
+		return
+	}
+	for _, in := range m.Opts.ExternalInputs {
+		if in.Axon < 0 || in.Axon >= core.AxonsPerCore {
+			continue
+		}
+		p := router.Point{X: in.X, Y: in.Y}
+		if m.Mesh.Contains(p) {
+			m.driven[p.Y*m.Mesh.W+p.X].Set(in.Axon)
+		}
+	}
+}
+
+// Analyze runs the selected checks over the model and returns the report.
+func Analyze(mesh router.Mesh, configs []*core.Config, opts Options) (*Report, error) {
+	m, err := NewModel(mesh, configs, opts)
+	if err != nil {
+		return nil, err
+	}
+	selected, err := selectChecks(opts.Checks)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	suppressed := 0
+	report := func(d Diagnostic) {
+		for _, s := range opts.Suppressions {
+			if s.matches(d) {
+				suppressed++
+				return
+			}
+		}
+		diags = append(diags, d)
+	}
+	for _, c := range selected {
+		c.Run(m, report)
+	}
+	sortDiags(diags)
+	return &Report{Diags: diags, Suppressed: suppressed, NoC: m.noc}, nil
+}
+
+// selectChecks resolves names (nil = all) against the suite.
+func selectChecks(names []string) ([]*Check, error) {
+	all := Checks()
+	if names == nil {
+		return all, nil
+	}
+	byName := map[string]*Check{}
+	for _, c := range all {
+		byName[c.Name] = c
+	}
+	var out []*Check
+	for _, n := range names {
+		c, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("modelcheck: unknown check %q", n)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// sortDiags orders findings deterministically: model-level first, then by
+// core (row-major), neuron, axon, check, message.
+func sortDiags(diags []Diagnostic) {
+	key := func(d Diagnostic) (int, int, int) {
+		if d.Core.X < 0 {
+			return -1, d.Neuron, d.Axon
+		}
+		return d.Core.Y*(1<<20) + d.Core.X, d.Neuron, d.Axon
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		ci, ni, ai := key(diags[i])
+		cj, nj, aj := key(diags[j])
+		if ci != cj {
+			return ci < cj
+		}
+		if ni != nj {
+			return ni < nj
+		}
+		if ai != aj {
+			return ai < aj
+		}
+		if diags[i].Check != diags[j].Check {
+			return diags[i].Check < diags[j].Check
+		}
+		return diags[i].Message < diags[j].Message
+	})
+}
+
+// Verify is the gate form: it runs every check with default options plus
+// opts and returns an error summarizing the first findings, or nil for a
+// clean model. Engines and CLIs call this before accepting a model.
+func Verify(mesh router.Mesh, configs []*core.Config, opts Options) error {
+	rep, err := Analyze(mesh, configs, opts)
+	if err != nil {
+		return err
+	}
+	return rep.Err()
+}
+
+// Err folds the report's gating findings into a single error, or nil.
+func (r *Report) Err() error {
+	findings := r.Findings()
+	if len(findings) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "model verification failed: %d finding(s)", len(findings))
+	const show = 5
+	for i, d := range findings {
+		if i == show {
+			fmt.Fprintf(&b, "; and %d more", len(findings)-show)
+			break
+		}
+		b.WriteString("; ")
+		b.WriteString(d.String())
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// Suppression filters findings by check name and location. The zero value
+// matches nothing; use ParseSuppressions or fill every field.
+type Suppression struct {
+	// Check is an analysis name, or "*" for any.
+	Check string
+	// AllCores matches any location; otherwise Core must equal the
+	// diagnostic's core coordinate.
+	AllCores bool
+	Core     router.Point
+	// Neuron and Axon restrict to one index; -1 matches any.
+	Neuron, Axon int
+	// Reason documents why the finding is accepted; mandatory.
+	Reason string
+}
+
+func (s Suppression) matches(d Diagnostic) bool {
+	if s.Reason == "" {
+		return false
+	}
+	if s.Check != "*" && s.Check != d.Check {
+		return false
+	}
+	if !s.AllCores && s.Core != d.Core {
+		return false
+	}
+	if s.Neuron != -1 && s.Neuron != d.Neuron {
+		return false
+	}
+	if s.Axon != -1 && s.Axon != d.Axon {
+		return false
+	}
+	return true
+}
+
+// ParseSuppressions reads a suppression list, one entry per line:
+//
+//	<check|*> <core=(x,y)|core=*> [neuron=N] [axon=N] reason...
+//
+// Blank lines and #-comments are ignored. Mirroring tnlint's directive
+// rules, the reason is mandatory: a malformed line becomes a finding of
+// the pseudo-check "ignore" rather than a silent no-op.
+func ParseSuppressions(r io.Reader) ([]Suppression, []Diagnostic) {
+	var sups []Suppression
+	var diags []Diagnostic
+	malformed := func(line int, msg string) {
+		diags = append(diags, Diagnostic{
+			Check: "ignore", Severity: Error, Core: router.Point{X: -1, Y: -1},
+			Neuron: -1, Axon: -1,
+			Message: fmt.Sprintf("suppressions line %d: %s", line, msg),
+		})
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		malformed(0, err.Error())
+		return nil, diags
+	}
+	for i, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			malformed(i+1, "want: <check|*> <core=(x,y)|core=*> [neuron=N] [axon=N] reason")
+			continue
+		}
+		s := Suppression{Check: fields[0], Neuron: -1, Axon: -1}
+		loc, ok := strings.CutPrefix(fields[1], "core=")
+		if !ok {
+			malformed(i+1, fmt.Sprintf("second field %q: want core=(x,y) or core=*", fields[1]))
+			continue
+		}
+		if loc == "*" {
+			s.AllCores = true
+		} else {
+			var x, y int
+			if _, err := fmt.Sscanf(loc, "(%d,%d)", &x, &y); err != nil {
+				malformed(i+1, fmt.Sprintf("bad core coordinate %q", loc))
+				continue
+			}
+			s.Core = router.Point{X: x, Y: y}
+		}
+		rest := fields[2:]
+		for len(rest) > 0 {
+			if v, ok := strings.CutPrefix(rest[0], "neuron="); ok {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					malformed(i+1, fmt.Sprintf("bad neuron index %q", v))
+					n = -2
+				}
+				s.Neuron = n
+				rest = rest[1:]
+				continue
+			}
+			if v, ok := strings.CutPrefix(rest[0], "axon="); ok {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					malformed(i+1, fmt.Sprintf("bad axon index %q", v))
+					n = -2
+				}
+				s.Axon = n
+				rest = rest[1:]
+				continue
+			}
+			break
+		}
+		if s.Neuron == -2 || s.Axon == -2 {
+			continue
+		}
+		s.Reason = strings.Join(rest, " ")
+		if s.Reason == "" {
+			malformed(i+1, "suppression without a reason; the reason is mandatory")
+			continue
+		}
+		sups = append(sups, s)
+	}
+	return sups, diags
+}

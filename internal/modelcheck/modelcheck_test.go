@@ -1,0 +1,443 @@
+package modelcheck
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"truenorth/internal/core"
+	"truenorth/internal/corelet"
+	"truenorth/internal/netgen"
+	"truenorth/internal/neuron"
+	"truenorth/internal/router"
+)
+
+// inertMesh returns a w×h mesh with every slot populated by an inert core:
+// the quiet baseline each golden fixture seeds exactly one defect into.
+func inertMesh(w, h int) (router.Mesh, []*core.Config) {
+	configs := make([]*core.Config, w*h)
+	for i := range configs {
+		configs[i] = core.InertConfig()
+	}
+	return router.Mesh{W: w, H: h}, configs
+}
+
+// wireIdentity programs neuron j of cfg as an identity relay fed by axon j —
+// the canonical provably-fireable neuron — aiming at the given relative
+// target. The caller declares axon j as an external input to drive it.
+func wireIdentity(cfg *core.Config, j, dx, dy, axon int) {
+	cfg.Synapses[j].Set(j)
+	cfg.Neurons[j] = neuron.Identity()
+	cfg.Targets[j] = core.Target{
+		Valid: true, DX: int16(dx), DY: int16(dy),
+		Axon: uint8(axon), Delay: core.MinDelay,
+	}
+}
+
+// analyzeOne runs a single named check over the model.
+func analyzeOne(t *testing.T, check string, mesh router.Mesh, configs []*core.Config, opts Options) *Report {
+	t.Helper()
+	opts.Checks = []string{check}
+	rep, err := Analyze(mesh, configs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// wantDiags asserts the report's diagnostics render exactly as want, in
+// order — the golden contract for each analysis.
+func wantDiags(t *testing.T, rep *Report, want ...string) {
+	t.Helper()
+	var got []string
+	for _, d := range rep.Diags {
+		got = append(got, d.String())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(got), len(want), strings.Join(got, "\n"))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diagnostic %d:\n got %q\nwant %q", i, got[i], want[i])
+		}
+	}
+}
+
+// --- routability fixtures ---
+
+func TestFixtureOffMeshTarget(t *testing.T) {
+	mesh, cfgs := inertMesh(2, 2)
+	wireIdentity(cfgs[0], 0, 5, 0, 0)
+	rep := analyzeOne(t, "routability", mesh, cfgs, Options{ExternalInputs: []AxonRef{{X: 0, Y: 0, Axon: 0}}})
+	wantDiags(t, rep,
+		"core (0,0) neuron 0: routability: error: target Δ(+5,+0) exits the 2x2 mesh at (5,0): spike would leave the board")
+}
+
+func TestFixtureUnpopulatedTarget(t *testing.T) {
+	mesh, cfgs := inertMesh(2, 1)
+	cfgs[1] = nil
+	wireIdentity(cfgs[0], 0, 1, 0, 0)
+	rep := analyzeOne(t, "routability", mesh, cfgs, Options{ExternalInputs: []AxonRef{{X: 0, Y: 0, Axon: 0}}})
+	wantDiags(t, rep,
+		"core (0,0) neuron 0: routability: error: target core (1,0) is unpopulated: spike would be dropped")
+}
+
+func TestFixtureFaultDisabledTarget(t *testing.T) {
+	mesh, cfgs := inertMesh(2, 1)
+	wireIdentity(cfgs[0], 0, 1, 0, 0)
+	rep := analyzeOne(t, "routability", mesh, cfgs, Options{
+		Dead:           []router.Point{{X: 1, Y: 0}},
+		ExternalInputs: []AxonRef{{X: 0, Y: 0, Axon: 0}},
+	})
+	wantDiags(t, rep,
+		"core (0,0) neuron 0: routability: error: target core (1,0) is fault-disabled: spike would be dropped")
+}
+
+func TestFixtureNoDetourRoute(t *testing.T) {
+	// A 3x1 mesh with its middle core disabled leaves no detour plane:
+	// the end-to-end route is unrealizable even though both endpoints live.
+	mesh, cfgs := inertMesh(3, 1)
+	wireIdentity(cfgs[0], 0, 2, 0, 0)
+	rep := analyzeOne(t, "routability", mesh, cfgs, Options{
+		Dead:           []router.Point{{X: 1, Y: 0}},
+		ExternalInputs: []AxonRef{{X: 0, Y: 0, Axon: 0}},
+	})
+	wantDiags(t, rep,
+		"core (0,0) neuron 0: routability: error: no route from (0,0) to (2,0) around the fault-disabled cores")
+}
+
+func TestFixtureBadDelay(t *testing.T) {
+	mesh, cfgs := inertMesh(1, 1)
+	cfgs[0].Synapses[0].Set(0)
+	cfgs[0].Neurons[0] = neuron.Identity()
+	cfgs[0].Targets[0] = core.Target{Valid: true, Axon: 1, Delay: 0}
+	rep := analyzeOne(t, "routability", mesh, cfgs, Options{ExternalInputs: []AxonRef{{X: 0, Y: 0, Axon: 0}}})
+	wantDiags(t, rep,
+		"core (0,0) neuron 0: routability: error: target delay 0 out of range [1,15]")
+}
+
+// --- reachability fixtures ---
+
+func TestFixtureDeadAxon(t *testing.T) {
+	mesh, cfgs := inertMesh(2, 1)
+	// (0,0) neuron 0 fires into (1,0) axon 5, whose crossbar row is empty;
+	// (1,0) neuron 7 makes that core a computing core (an all-empty crossbar
+	// is a sanctioned traffic sink and would not warn).
+	wireIdentity(cfgs[0], 0, 1, 0, 5)
+	wireIdentity(cfgs[1], 7, -1, 0, 0)
+	rep := analyzeOne(t, "reachability", mesh, cfgs, Options{
+		ExternalInputs: []AxonRef{{X: 0, Y: 0, Axon: 0}, {X: 1, Y: 0, Axon: 7}},
+	})
+	wantDiags(t, rep,
+		"core (1,0) axon 5: reachability: warning: axon receives spikes but has no crossbar connections: every delivery is wasted")
+}
+
+func TestFixtureUndrivenAxon(t *testing.T) {
+	mesh, cfgs := inertMesh(1, 1)
+	cfgs[0].Synapses[3].Set(9)
+	rep := analyzeOne(t, "reachability", mesh, cfgs, Options{})
+	wantDiags(t, rep,
+		"core (0,0) axon 3: reachability: warning: axon has crossbar connections but no neuron or external injection ever drives it")
+
+	// Declaring the axon an external injection point clears the finding.
+	rep = analyzeOne(t, "reachability", mesh, cfgs, Options{ExternalInputs: []AxonRef{{X: 0, Y: 0, Axon: 3}}})
+	wantDiags(t, rep)
+}
+
+func TestFixtureFiringNeuronWithoutTarget(t *testing.T) {
+	mesh, cfgs := inertMesh(1, 1)
+	cfgs[0].Synapses[0].Set(0)
+	cfgs[0].Neurons[0] = neuron.Identity()
+	rep := analyzeOne(t, "reachability", mesh, cfgs, Options{ExternalInputs: []AxonRef{{X: 0, Y: 0, Axon: 0}}})
+	wantDiags(t, rep,
+		"core (0,0) neuron 0: reachability: warning: neuron can fire but has no configured target: spikes are discarded and the core loses its event-driven fast path")
+}
+
+func TestFixtureOutputIDCollision(t *testing.T) {
+	mesh, cfgs := inertMesh(2, 1)
+	for i, j := range []int{1, 2} {
+		cfgs[i].Synapses[j].Set(j)
+		cfgs[i].Neurons[j] = neuron.Identity()
+		cfgs[i].Targets[j] = core.Target{Valid: true, Output: true, OutputID: 7}
+	}
+	rep := analyzeOne(t, "reachability", mesh, cfgs, Options{
+		ExternalInputs: []AxonRef{{X: 0, Y: 0, Axon: 1}, {X: 1, Y: 0, Axon: 2}},
+	})
+	wantDiags(t, rep,
+		"core (1,0) neuron 2: reachability: error: external output id 7 collides with core (0,0) neuron 1: the two spike streams are indistinguishable")
+}
+
+// --- potential-interval fixtures ---
+
+func TestFixtureNeverFires(t *testing.T) {
+	mesh, cfgs := inertMesh(1, 1)
+	// No connections and no leak: the membrane potential is pinned at its
+	// initial zero, provably below the threshold.
+	cfgs[0].Neurons[0] = neuron.Params{Threshold: 10, Reset: neuron.ResetToV}
+	cfgs[0].Targets[0] = core.Target{Valid: true, Axon: 1, Delay: core.MinDelay}
+	rep := analyzeOne(t, "potential", mesh, cfgs, Options{})
+	wantDiags(t, rep,
+		"core (0,0) neuron 0: potential: warning: neuron can never reach threshold 10: membrane potential is bounded to [0,0]")
+}
+
+func TestFixtureAlwaysFires(t *testing.T) {
+	mesh, cfgs := inertMesh(1, 1)
+	// Leak 1 with threshold 1: the check potential is exactly 1 every tick,
+	// so the neuron fires unconditionally.
+	cfgs[0].Neurons[0] = neuron.Params{Leak: 1, Threshold: 1, Reset: neuron.ResetToV}
+	cfgs[0].Targets[0] = core.Target{Valid: true, Axon: 1, Delay: core.MinDelay}
+	rep := analyzeOne(t, "potential", mesh, cfgs, Options{})
+	wantDiags(t, rep,
+		"core (0,0) neuron 0: potential: warning: neuron fires every tick regardless of input: check potential never drops below the maximum effective threshold 1")
+}
+
+func TestFixtureSaturatingNeuron(t *testing.T) {
+	mesh, cfgs := inertMesh(1, 1)
+	// A maximal-weight driven axon with a rail-high threshold and
+	// non-resetting fire: worst-case drive walks the potential into the
+	// +2^19-1 clamp.
+	cfgs[0].Synapses[0].Set(0)
+	cfgs[0].Neurons[0] = neuron.Params{
+		Weights:   [neuron.NumAxonTypes]int32{neuron.WeightMax, 0, 0, 0},
+		Threshold: neuron.VMax,
+		Reset:     neuron.ResetNone,
+	}
+	cfgs[0].Targets[0] = core.Target{Valid: true, Axon: 1, Delay: core.MinDelay}
+	rep := analyzeOne(t, "potential", mesh, cfgs, Options{ExternalInputs: []AxonRef{{X: 0, Y: 0, Axon: 0}}})
+	wantDiags(t, rep,
+		"core (0,0) neuron 0: potential: warning: worst-case drive pushes the potential past the +524287 saturation rail: intended dynamics are clipped")
+}
+
+// --- stochastic fixtures ---
+
+func TestFixtureStochasticWaste(t *testing.T) {
+	mesh, cfgs := inertMesh(1, 1)
+	// Neuron 4: stochastic synapse on a type with no connected axon.
+	cfgs[0].Neurons[4].StochSyn[1] = true
+	cfgs[0].Neurons[4].Weights[1] = 1
+	// Neuron 5: stochastic leak that can never step.
+	cfgs[0].Neurons[5].StochLeak = true
+	// Neuron 6: threshold jitter mask whose drawn low byte is always zero.
+	cfgs[0].Neurons[6].ThresholdMask = 0x300
+	// Neuron 7: the stochastic type is connected (axon 10) but never driven.
+	cfgs[0].Synapses[10].Set(7)
+	cfgs[0].Neurons[7].StochSyn[0] = true
+	cfgs[0].Neurons[7].Weights[0] = 1
+	// Neuron 8: connected and driven (axon 11), but the weight is zero.
+	cfgs[0].Synapses[11].Set(8)
+	cfgs[0].Neurons[8].StochSyn[0] = true
+	rep := analyzeOne(t, "stochastic", mesh, cfgs, Options{ExternalInputs: []AxonRef{{X: 0, Y: 0, Axon: 11}}})
+	wantDiags(t, rep,
+		"core (0,0) neuron 4: stochastic: warning: stochastic synapse mode on axon type 1 but no connected axon of that type: the mode can never be exercised",
+		"core (0,0) neuron 5: stochastic: warning: stochastic leak with zero leak: one PRNG draw per tick to no effect",
+		"core (0,0) neuron 6: stochastic: warning: threshold mask 0x300 has no low 8 bits: one PRNG draw per tick with jitter always zero",
+		"core (0,0) neuron 7: stochastic: warning: stochastic synapse mode on axon type 0 but no connected axon of that type ever receives spikes",
+		"core (0,0) neuron 8: stochastic: warning: stochastic synapse mode on axon type 0 with zero weight: every event consumes a PRNG draw to no effect")
+}
+
+// --- NoC load fixtures ---
+
+func TestFixtureNoCOverload(t *testing.T) {
+	mesh, cfgs := inertMesh(3, 1)
+	// Two fireable neurons on (0,0) both target (2,0): their packets share
+	// both directed links of the x-walk, exceeding a capacity of 1.
+	wireIdentity(cfgs[0], 0, 2, 0, 0)
+	wireIdentity(cfgs[0], 1, 2, 0, 1)
+	cfgs[2].Synapses[0].Set(0)
+	cfgs[2].Synapses[1].Set(1)
+	rep := analyzeOne(t, "nocload", mesh, cfgs, Options{
+		ExternalInputs: []AxonRef{{X: 0, Y: 0, Axon: 0}, {X: 0, Y: 0, Axon: 1}},
+		LinkCapacity:   1,
+	})
+	wantDiags(t, rep,
+		"core (0,0): nocload: warning: worst-case load 2 packets/tick on link (0,0)->(1,0) exceeds the configured capacity 1",
+		"core (1,0): nocload: warning: worst-case load 2 packets/tick on link (1,0)->(2,0) exceeds the configured capacity 1")
+	noc := rep.NoC
+	if noc.Packets != 2 || noc.Hops != 4 || noc.MaxLinkLoad != 2 || noc.SaturatedLinks != 2 {
+		t.Fatalf("NoC summary = %+v", noc)
+	}
+	if noc.MeanHops < 1.999 || noc.MeanHops > 2.001 {
+		t.Fatalf("MeanHops = %v, want 2", noc.MeanHops)
+	}
+	if (noc.MaxLinkFrom != router.Point{X: 0, Y: 0}) || (noc.MaxLinkTo != router.Point{X: 1, Y: 0}) {
+		t.Fatalf("hotspot link %v->%v, want (0,0)->(1,0)", noc.MaxLinkFrom, noc.MaxLinkTo)
+	}
+}
+
+// --- suppression, selection, and report plumbing ---
+
+func TestSuppressionMatching(t *testing.T) {
+	mesh, cfgs := inertMesh(1, 1)
+	cfgs[0].Synapses[3].Set(9)
+	rep := analyzeOne(t, "reachability", mesh, cfgs, Options{
+		Suppressions: []Suppression{{
+			Check: "reachability", Core: router.Point{X: 0, Y: 0},
+			Neuron: -1, Axon: 3, Reason: "fixture axon is fed by a harness",
+		}},
+	})
+	wantDiags(t, rep)
+	if rep.Suppressed != 1 {
+		t.Fatalf("Suppressed = %d, want 1", rep.Suppressed)
+	}
+	// A suppression without a reason matches nothing.
+	rep = analyzeOne(t, "reachability", mesh, cfgs, Options{
+		Suppressions: []Suppression{{Check: "*", AllCores: true, Neuron: -1, Axon: -1}},
+	})
+	if len(rep.Diags) != 1 || rep.Suppressed != 0 {
+		t.Fatalf("reasonless suppression took effect: %+v", rep)
+	}
+}
+
+func TestParseSuppressions(t *testing.T) {
+	in := strings.Join([]string{
+		"# comment",
+		"",
+		"routability core=(3,4) neuron=7 known detour gap on the scrapped tile",
+		"* core=* axon=12 harness-driven axon",
+		"potential core=*",                // missing reason
+		"potential core=5,5 some reason",  // bad coordinate syntax
+		"potential neuron=1 some reason",  // second field not core=
+		"potential core=(1,1) neuron=x r", // bad neuron index
+	}, "\n")
+	sups, diags := ParseSuppressions(strings.NewReader(in))
+	if len(sups) != 2 {
+		t.Fatalf("got %d suppressions, want 2: %+v", len(sups), sups)
+	}
+	want0 := Suppression{
+		Check: "routability", Core: router.Point{X: 3, Y: 4},
+		Neuron: 7, Axon: -1, Reason: "known detour gap on the scrapped tile",
+	}
+	if sups[0] != want0 {
+		t.Fatalf("suppression 0 = %+v, want %+v", sups[0], want0)
+	}
+	if !sups[1].AllCores || sups[1].Axon != 12 || sups[1].Check != "*" {
+		t.Fatalf("suppression 1 = %+v", sups[1])
+	}
+	if len(diags) != 4 {
+		t.Fatalf("got %d malformed-line findings, want 4: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Check != "ignore" || d.Severity != Error {
+			t.Fatalf("malformed-line finding should be an ignore error: %v", d)
+		}
+	}
+	if got := diags[0].String(); got != "model: ignore: error: suppressions line 5: suppression without a reason; the reason is mandatory" {
+		t.Fatalf("malformed-line format = %q", got)
+	}
+}
+
+func TestSelectChecksUnknown(t *testing.T) {
+	mesh, cfgs := inertMesh(1, 1)
+	_, err := Analyze(mesh, cfgs, Options{Checks: []string{"bogus"}})
+	if err == nil || !strings.Contains(err.Error(), `unknown check "bogus"`) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReportErrSummarizes(t *testing.T) {
+	rep := &Report{}
+	if err := rep.Err(); err != nil {
+		t.Fatalf("clean report errored: %v", err)
+	}
+	for i := 0; i < 7; i++ {
+		rep.Diags = append(rep.Diags, Diagnostic{
+			Check: "reachability", Severity: Warning,
+			Core: router.Point{X: i, Y: 0}, Neuron: -1, Axon: i,
+			Message: "axon receives spikes but has no crossbar connections: every delivery is wasted",
+		})
+	}
+	err := rep.Err()
+	if err == nil {
+		t.Fatal("report with findings returned nil")
+	}
+	msg := err.Error()
+	if !strings.HasPrefix(msg, "model verification failed: 7 finding(s); core (0,0) axon 0: reachability: warning:") {
+		t.Fatalf("err = %q", msg)
+	}
+	if !strings.HasSuffix(msg, "; and 2 more") {
+		t.Fatalf("err should elide past the first 5 findings: %q", msg)
+	}
+}
+
+func TestReportJSONShape(t *testing.T) {
+	mesh, cfgs := inertMesh(1, 1)
+	cfgs[0].Synapses[3].Set(9)
+	rep := analyzeOne(t, "reachability", mesh, cfgs, Options{})
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"diagnostics"`, `"severity": "warning"`, `"check": "reachability"`, `"noc"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("JSON output missing %s:\n%s", want, buf.String())
+		}
+	}
+}
+
+// --- clean-model assertions ---
+
+// TestCleanNetgenSample asserts zero findings over characterization-sweep
+// operating points: the generator's networks are the paper's measurement
+// substrate and must verify clean by construction.
+func TestCleanNetgenSample(t *testing.T) {
+	for _, tc := range []struct {
+		rate       float64
+		syn        int
+		stochastic bool
+	}{
+		{50, 40, false},
+		{100, 128, true},
+		{200, 256, false},
+	} {
+		mesh := router.Mesh{W: 4, H: 4}
+		configs, err := netgen.Build(netgen.Params{
+			Grid: mesh, RateHz: tc.rate, SynPerNeuron: tc.syn,
+			Seed: 9, Stochastic: tc.stochastic,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(mesh, configs, Options{}); err != nil {
+			t.Errorf("rate %v syn %d stochastic %v: %v", tc.rate, tc.syn, tc.stochastic, err)
+		}
+	}
+}
+
+// TestCleanCoreletPlacement asserts zero findings over a corelet-built
+// network (the quickstart topology) with its placed input pins declared as
+// external injection points.
+func TestCleanCoreletPlacement(t *testing.T) {
+	net := corelet.NewNet()
+
+	relay := net.AddCore()
+	net.SetSynapse(relay, 0, 0)
+	net.SetNeuron(relay, 0, neuron.Identity())
+	net.AddInput("in", relay, 0)
+
+	detector := net.AddCore()
+	net.SetSynapse(detector, 0, 0)
+	net.SetSynapse(detector, 1, 0)
+	net.SetNeuron(detector, 0, neuron.Params{
+		Weights:   [neuron.NumAxonTypes]int32{1, 0, 0, 0},
+		Threshold: 2,
+		Reset:     neuron.ResetToV,
+	})
+	net.Connect(relay, 0, detector, 0, 1)
+	net.ConnectOutput(detector, 0, "coincidence", 0)
+
+	pacemaker := net.AddCore()
+	net.SetNeuron(pacemaker, 0, neuron.Params{Leak: 1, Threshold: 10, Reset: neuron.ResetToV})
+	net.Connect(pacemaker, 0, detector, 1, 1)
+
+	placement, err := corelet.Place(net, router.Mesh{W: 3, H: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ext []AxonRef
+	for _, pin := range placement.Inputs["in"] {
+		ext = append(ext, AxonRef{X: pin.X, Y: pin.Y, Axon: pin.Axon})
+	}
+	if err := Verify(placement.Mesh, placement.Configs, Options{ExternalInputs: ext}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+package modelcheck
+
+import (
+	"fmt"
+
+	"truenorth/internal/core"
+	"truenorth/internal/router"
+)
+
+// nocLoadCheck bounds worst-case per-tick NoC traffic without simulating:
+// every neuron that can fire (per the interval analysis) is assumed to
+// emit one packet per tick, and its packet is walked along the
+// dimension-order route, accumulating per-directed-link loads, hop totals
+// (the paper's mean-hop-distance characterization axis), and chip-boundary
+// merge/split crossings. With a configured per-link capacity, overloaded
+// links become warnings; the aggregate summary always lands in the report.
+//
+// With fault-disabled cores present, hop and crossing totals follow the
+// detour routes, but per-link attribution is skipped (detour paths are an
+// engine implementation detail); the summary still bounds total traffic.
+func nocLoadCheck() *Check {
+	return &Check{
+		Name: "nocload",
+		Doc:  "worst-case per-link packet loads along DOR routes, mean hop distance, and tile-boundary crossing pressure",
+		Run: func(m *Model, report func(Diagnostic)) {
+			var s NoCSummary
+			dead := m.deadFunc()
+			// Directed link loads: for each core, one counter per exit
+			// direction (+x, -x, +y, -y).
+			dirs := [4]router.Point{{X: 1}, {X: -1}, {Y: 1}, {Y: -1}}
+			links := make([][4]int32, m.Mesh.W*m.Mesh.H)
+
+			m.eachLive(func(p router.Point, idx int, cfg *core.Config) {
+				iv := m.neuronIntervals(idx, cfg)
+				for j := range cfg.Targets {
+					t := cfg.Targets[j]
+					if !t.Valid || t.Output || !iv[j].canFire {
+						continue
+					}
+					dst := p.Add(int(t.DX), int(t.DY))
+					if !m.Mesh.Contains(dst) || !m.live(dst) {
+						continue // routability's findings; nothing is delivered
+					}
+					s.Packets++
+					if dead != nil {
+						r := m.Mesh.RouteAvoiding(p, dst, dead)
+						if r.OK {
+							s.Hops += int64(r.Hops)
+							s.Crossings += int64(r.Crossings)
+						}
+						continue
+					}
+					// Walk the x-then-y DOR path, loading each directed link.
+					cur := p
+					for cur != dst {
+						var step router.Point
+						if cur.X != dst.X {
+							step = dirs[0]
+							if dst.X < cur.X {
+								step = dirs[1]
+							}
+						} else {
+							step = dirs[2]
+							if dst.Y < cur.Y {
+								step = dirs[3]
+							}
+						}
+						di := 0
+						for k, d := range dirs {
+							if d == step {
+								di = k
+							}
+						}
+						links[cur.Y*m.Mesh.W+cur.X][di]++
+						next := router.Point{X: cur.X + step.X, Y: cur.Y + step.Y}
+						s.Hops++
+						if m.Mesh.TileW > 0 && m.Mesh.TileH > 0 && m.Mesh.ChipOf(cur) != m.Mesh.ChipOf(next) {
+							s.Crossings++
+						}
+						cur = next
+					}
+				}
+			})
+
+			// Scan links in deterministic order for the hotspot and any
+			// over-capacity warnings.
+			for i := range links {
+				from := router.Point{X: i % m.Mesh.W, Y: i / m.Mesh.W}
+				for di, load := range links[i] {
+					if load == 0 {
+						continue
+					}
+					to := router.Point{X: from.X + dirs[di].X, Y: from.Y + dirs[di].Y}
+					if int(load) > s.MaxLinkLoad {
+						s.MaxLinkLoad = int(load)
+						s.MaxLinkFrom, s.MaxLinkTo = from, to
+					}
+					if m.Opts.LinkCapacity > 0 && int(load) > m.Opts.LinkCapacity {
+						s.SaturatedLinks++
+						report(Diagnostic{
+							Check: "nocload", Severity: Warning, Core: from, Neuron: -1, Axon: -1,
+							Message: fmt.Sprintf("worst-case load %d packets/tick on link %v->%v exceeds the configured capacity %d", load, from, to, m.Opts.LinkCapacity),
+						})
+					}
+				}
+			}
+			if s.Packets > 0 {
+				s.MeanHops = float64(s.Hops) / float64(s.Packets)
+			}
+			m.noc = s
+		},
+	}
+}

@@ -1,0 +1,94 @@
+package modelcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"truenorth/internal/core"
+	"truenorth/internal/router"
+)
+
+// reachabilityCheck builds the core-level spike graph and flags structural
+// dead ends: axons that receive spikes but connect to nothing, connected
+// axons nothing ever drives, neurons that can fire but have no configured
+// target, and colliding external output ids.
+func reachabilityCheck() *Check {
+	return &Check{
+		Name: "reachability",
+		Doc:  "spike-graph dead ends: driven axons with empty crossbar rows, connected axons nothing drives, firing neurons without targets, output-id collisions",
+		Run: func(m *Model, report func(Diagnostic)) {
+			type outRef struct {
+				core   router.Point
+				neuron int
+			}
+			outputs := map[int32][]outRef{}
+			var outIDs []int32
+
+			m.eachLive(func(p router.Point, idx int, cfg *core.Config) {
+				// Axon-level structure. A core whose crossbar is entirely
+				// empty is a pure traffic sink by design (the netgen
+				// characterization sweep's syn=0 point drives every axon
+				// of such cores); the dead-axon finding applies only when
+				// the core computes at all.
+				anyConnected := false
+				for a := 0; a < core.AxonsPerCore; a++ {
+					if !cfg.Synapses[a].Empty() {
+						anyConnected = true
+						break
+					}
+				}
+				for a := 0; a < core.AxonsPerCore; a++ {
+					empty := cfg.Synapses[a].Empty()
+					driven := m.driven[idx].Get(a)
+					if driven && empty && anyConnected {
+						report(Diagnostic{
+							Check: "reachability", Severity: Warning, Core: p, Neuron: -1, Axon: a,
+							Message: "axon receives spikes but has no crossbar connections: every delivery is wasted",
+						})
+					}
+					if !empty && !driven && !m.Opts.AssumeExternalInput {
+						report(Diagnostic{
+							Check: "reachability", Severity: Warning, Core: p, Neuron: -1, Axon: a,
+							Message: "axon has crossbar connections but no neuron or external injection ever drives it",
+						})
+					}
+				}
+
+				// Neuron-level structure.
+				iv := m.neuronIntervals(idx, cfg)
+				for j := range cfg.Neurons {
+					t := cfg.Targets[j]
+					if !t.Valid && iv[j].canFire {
+						report(Diagnostic{
+							Check: "reachability", Severity: Warning, Core: p, Neuron: j, Axon: -1,
+							Message: "neuron can fire but has no configured target: spikes are discarded and the core loses its event-driven fast path",
+						})
+					}
+					if t.Valid && t.Output {
+						if _, seen := outputs[t.OutputID]; !seen {
+							outIDs = append(outIDs, t.OutputID)
+						}
+						outputs[t.OutputID] = append(outputs[t.OutputID], outRef{core: p, neuron: j})
+					}
+				}
+			})
+
+			// Output-id collisions: engines tag output spikes with the id
+			// only, so two producers are indistinguishable downstream.
+			sort.Slice(outIDs, func(i, j int) bool { return outIDs[i] < outIDs[j] })
+			for _, id := range outIDs {
+				refs := outputs[id]
+				if len(refs) < 2 {
+					continue
+				}
+				first := refs[0]
+				for _, ref := range refs[1:] {
+					report(Diagnostic{
+						Check: "reachability", Severity: Error, Core: ref.core, Neuron: ref.neuron, Axon: -1,
+						Message: fmt.Sprintf("external output id %d collides with core %v neuron %d: the two spike streams are indistinguishable", id, first.core, first.neuron),
+					})
+				}
+			}
+		},
+	}
+}

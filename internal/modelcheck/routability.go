@@ -1,0 +1,62 @@
+package modelcheck
+
+import (
+	"fmt"
+
+	"truenorth/internal/core"
+	"truenorth/internal/router"
+)
+
+// routabilityCheck walks every neuron target against the mesh, the
+// populated-core map, and the fault set. Engines silently drop spikes that
+// exit the board or address an absent or disabled core (chip.Model.route
+// counts them in NoCStats.Dropped); statically these are Errors — the
+// model cannot run as intended.
+func routabilityCheck() *Check {
+	return &Check{
+		Name: "routability",
+		Doc:  "every spike target must land on a populated, enabled core via a realizable route; off-board and dropped-spike targets are errors",
+		Run: func(m *Model, report func(Diagnostic)) {
+			dead := m.deadFunc()
+			m.eachLive(func(p router.Point, _ int, cfg *core.Config) {
+				for j := range cfg.Targets {
+					t := cfg.Targets[j]
+					if !t.Valid || t.Output {
+						continue
+					}
+					if t.Delay < core.MinDelay || t.Delay > core.MaxDelay {
+						report(Diagnostic{
+							Check: "routability", Severity: Error, Core: p, Neuron: j, Axon: -1,
+							Message: fmt.Sprintf("target delay %d out of range [%d,%d]", t.Delay, core.MinDelay, core.MaxDelay),
+						})
+					}
+					dst := p.Add(int(t.DX), int(t.DY))
+					switch {
+					case !m.Mesh.Contains(dst):
+						report(Diagnostic{
+							Check: "routability", Severity: Error, Core: p, Neuron: j, Axon: -1,
+							Message: fmt.Sprintf("target Δ(%+d,%+d) exits the %dx%d mesh at %v: spike would leave the board", t.DX, t.DY, m.Mesh.W, m.Mesh.H, dst),
+						})
+					case m.at(dst.X, dst.Y) == nil:
+						report(Diagnostic{
+							Check: "routability", Severity: Error, Core: p, Neuron: j, Axon: -1,
+							Message: fmt.Sprintf("target core %v is unpopulated: spike would be dropped", dst),
+						})
+					case m.dead[dst]:
+						report(Diagnostic{
+							Check: "routability", Severity: Error, Core: p, Neuron: j, Axon: -1,
+							Message: fmt.Sprintf("target core %v is fault-disabled: spike would be dropped", dst),
+						})
+					case dead != nil:
+						if r := m.Mesh.RouteAvoiding(p, dst, dead); !r.OK {
+							report(Diagnostic{
+								Check: "routability", Severity: Error, Core: p, Neuron: j, Axon: -1,
+								Message: fmt.Sprintf("no route from %v to %v around the fault-disabled cores", p, dst),
+							})
+						}
+					}
+				}
+			})
+		},
+	}
+}

@@ -1,0 +1,64 @@
+package modelcheck
+
+import (
+	"fmt"
+
+	"truenorth/internal/core"
+	"truenorth/internal/neuron"
+	"truenorth/internal/router"
+)
+
+// stochasticCheck flags PRNG-consuming neuron modes whose draws can never
+// be exercised or can never have an effect. These are not miscomputations
+// — the engines execute them deterministically — but they waste per-tick
+// work, defeat the event-driven fast path, and silently perturb the core's
+// PRNG stream, so edits that merely *touch* such a mode change every
+// stochastic result downstream on that core.
+func stochasticCheck() *Check {
+	return &Check{
+		Name: "stochastic",
+		Doc:  "stochastic synapse/leak/threshold modes configured where their PRNG draws can never be exercised or never have an effect",
+		Run: func(m *Model, report func(Diagnostic)) {
+			m.eachLive(func(p router.Point, idx int, cfg *core.Config) {
+				d := m.coreDrives(idx, cfg)
+				for j := range cfg.Neurons {
+					np := &cfg.Neurons[j]
+					for g := 0; g < neuron.NumAxonTypes; g++ {
+						if !np.StochSyn[g] {
+							continue
+						}
+						switch {
+						case d[j].conn[g] == 0:
+							report(Diagnostic{
+								Check: "stochastic", Severity: Warning, Core: p, Neuron: j, Axon: -1,
+								Message: fmt.Sprintf("stochastic synapse mode on axon type %d but no connected axon of that type: the mode can never be exercised", g),
+							})
+						case d[j].drivenConn[g] == 0:
+							report(Diagnostic{
+								Check: "stochastic", Severity: Warning, Core: p, Neuron: j, Axon: -1,
+								Message: fmt.Sprintf("stochastic synapse mode on axon type %d but no connected axon of that type ever receives spikes", g),
+							})
+						case np.Weights[g] == 0:
+							report(Diagnostic{
+								Check: "stochastic", Severity: Warning, Core: p, Neuron: j, Axon: -1,
+								Message: fmt.Sprintf("stochastic synapse mode on axon type %d with zero weight: every event consumes a PRNG draw to no effect", g),
+							})
+						}
+					}
+					if np.StochLeak && np.Leak == 0 {
+						report(Diagnostic{
+							Check: "stochastic", Severity: Warning, Core: p, Neuron: j, Axon: -1,
+							Message: "stochastic leak with zero leak: one PRNG draw per tick to no effect",
+						})
+					}
+					if np.ThresholdMask != 0 && np.ThresholdMask&0xFF == 0 {
+						report(Diagnostic{
+							Check: "stochastic", Severity: Warning, Core: p, Neuron: j, Axon: -1,
+							Message: fmt.Sprintf("threshold mask %#x has no low 8 bits: one PRNG draw per tick with jitter always zero", np.ThresholdMask),
+						})
+					}
+				}
+			})
+		},
+	}
+}

@@ -7,9 +7,14 @@
 #                      no math/rand or time.Now in kernel packages, no
 #                      order-dependent map iteration, no float ==, no
 #                      goroutines outside the Compass worker pattern
-#   4. go test       — the full suite, including chip<->Compass equivalence
+#   4. tnverify      — whole-model static verification (see
+#                      internal/modelcheck) over a sample of the generated
+#                      characterization networks: routability,
+#                      reachability, potential intervals, NoC load bounds,
+#                      stochastic-mode consistency
+#   5. go test       — the full suite, including chip<->Compass equivalence
 #                      and the cross-engine bitwise-reproducibility assay
-#   5. go test -race — the parallel Compass engine and the cross-engine
+#   6. go test -race — the parallel Compass engine and the cross-engine
 #                      determinism tests under the race detector
 set -eu
 cd "$(dirname "$0")/.."
@@ -22,6 +27,9 @@ go vet ./...
 
 echo "==> tnlint ./..."
 go run ./cmd/tnlint ./...
+
+echo "==> tnverify (characterization sweep sample)"
+go run ./cmd/tnverify -sweep-grid 4 -sweep-every 8 -assume-inputs=false -v
 
 echo "==> go test ./..."
 go test ./...
