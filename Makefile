@@ -1,7 +1,8 @@
 # Verification entry points; scripts/check.sh is the single source of truth
-# for what "green" means (build + vet + tnlint + verify-models + tests + race).
+# for what "green" means (build + vet + tnlint + verify-models + tests +
+# race + serve-smoke).
 
-.PHONY: check build test lint verify-models race
+.PHONY: check build test lint verify-models race serve-smoke
 
 check:
 	./scripts/check.sh
@@ -22,4 +23,10 @@ verify-models:
 	go run ./cmd/tnverify -sweep-grid 4 -sweep-every 8 -assume-inputs=false -v
 
 race:
-	go test -race ./internal/compass/... ./internal/sim/...
+	go test -race ./internal/compass/... ./internal/sim/... ./internal/runtime/... ./internal/serve/...
+
+# End-to-end serving smoke: boot tnserved, pause/resume and
+# checkpoint/restore a session mid-run, and require its output stream to be
+# byte-identical to batch tnsim runs on both engines.
+serve-smoke:
+	./scripts/serve_smoke.sh

@@ -17,6 +17,7 @@ import (
 	"truenorth/internal/netgen"
 	"truenorth/internal/neuron"
 	"truenorth/internal/router"
+	"truenorth/internal/sim"
 )
 
 // denseEngine steps every core with the dense reference update.
@@ -102,11 +103,11 @@ func TestAblationDenseMatchesEventDriven(t *testing.T) {
 
 func TestAblationAggregationEquivalence(t *testing.T) {
 	grid, configs := ablationNet(t)
-	agg, err := compass.New(grid, configs, compass.WithWorkers(4))
+	agg, err := compass.New(grid, configs, sim.WithWorkers(4))
 	if err != nil {
 		t.Fatal(err)
 	}
-	naive, err := compass.New(grid, configs, compass.WithWorkers(4), compass.WithAggregation(false))
+	naive, err := compass.New(grid, configs, sim.WithWorkers(4), sim.WithAggregation(false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestAblationCrossbarTrafficReduction(t *testing.T) {
 	// events per routed packet — by construction ≈ the in-degree (128
 	// here), approaching the paper's "typically 256".
 	grid, configs := ablationNet(t)
-	eng, err := compass.New(grid, configs, compass.WithWorkers(2))
+	eng, err := compass.New(grid, configs, sim.WithWorkers(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestAblationPlacementLocality(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		eng, err := compass.New(p.Mesh, p.Configs, compass.WithWorkers(2))
+		eng, err := compass.New(p.Mesh, p.Configs, sim.WithWorkers(2))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -238,7 +239,7 @@ func BenchmarkAblationAggregation(b *testing.B) {
 	}{{"aggregated", true}, {"per-spike-messages", false}} {
 		b.Run(mode.name, func(b *testing.B) {
 			grid, configs := ablationNet(b)
-			eng, err := compass.New(grid, configs, compass.WithWorkers(4), compass.WithAggregation(mode.on))
+			eng, err := compass.New(grid, configs, sim.WithWorkers(4), sim.WithAggregation(mode.on))
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -19,13 +19,15 @@ import (
 	"os"
 	"time"
 
-	"truenorth/internal/chip"
-	"truenorth/internal/compass"
+	// Engine expressions self-register with the sim engine registry.
+	_ "truenorth/internal/chip"
+	_ "truenorth/internal/compass"
 	"truenorth/internal/energy"
 	"truenorth/internal/experiments"
 	"truenorth/internal/modelcheck"
 	"truenorth/internal/netgen"
 	"truenorth/internal/router"
+	"truenorth/internal/sim"
 )
 
 func main() {
@@ -65,15 +67,11 @@ func main() {
 				fail(fmt.Errorf("net %d: %w (rerun with -force)", n, err))
 			}
 		}
-		hw, err := chip.New(mesh, configs)
+		hw, err := sim.NewEngine("chip", mesh, configs)
 		if err != nil {
 			fail(err)
 		}
-		var opts []compass.Option
-		if *workers > 0 {
-			opts = append(opts, compass.WithWorkers(*workers))
-		}
-		sw, err := compass.New(mesh, configs, opts...)
+		sw, err := sim.NewEngine("compass", mesh, configs, sim.WithWorkers(*workers))
 		if err != nil {
 			fail(err)
 		}

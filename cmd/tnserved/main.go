@@ -1,0 +1,56 @@
+// Command tnserved serves simulation sessions over HTTP/JSON: create a
+// model (generated or loaded), run it paced or free-running, stream spikes
+// in and out, checkpoint and restore — many sessions concurrently, each on
+// its own engine. See the README for the endpoint reference.
+//
+// Usage:
+//
+//	tnserved [-addr host:port] [-max-sessions N] [-engine chip|compass]
+//
+// The listen address is printed once the socket is bound, so scripts can
+// use -addr 127.0.0.1:0 and parse the assigned port.
+//
+// The command is a thin shell by design: all timing and concurrency live
+// in internal/runtime and internal/serve, keeping this entry point within
+// the determinism rules tnlint enforces on cmd packages.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+
+	// Engine expressions self-register with the sim engine registry.
+	_ "truenorth/internal/chip"
+	_ "truenorth/internal/compass"
+	"truenorth/internal/serve"
+	"truenorth/internal/sim"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8484", "listen address (use :0 for an ephemeral port)")
+	maxSessions := flag.Int("max-sessions", 64, "maximum concurrently live sessions (0 = unlimited)")
+	engine := flag.String("engine", "compass", "default engine for sessions that don't pick one: "+strings.Join(sim.EngineNames(), "|"))
+	flag.Parse()
+
+	srv := serve.NewServer(serve.Config{
+		MaxSessions:   *maxSessions,
+		DefaultEngine: *engine,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("tnserved listening on http://%s\n", ln.Addr())
+	if err := http.Serve(ln, srv.Handler()); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tnserved:", err)
+	os.Exit(1)
+}

@@ -6,15 +6,18 @@
 //
 //	tnsim [-engine chip|compass] [-grid N] [-rate Hz] [-syn N] [-ticks N]
 //	      [-voltage V] [-tickrate Hz] [-workers N] [-stochastic]
+//	      [-outputs N] [-spikes-out FILE]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"truenorth/internal/chip"
-	"truenorth/internal/compass"
+	// Engine expressions self-register with the sim engine registry.
+	_ "truenorth/internal/chip"
+	_ "truenorth/internal/compass"
 	"truenorth/internal/core"
 	"truenorth/internal/diag"
 	"truenorth/internal/energy"
@@ -24,13 +27,16 @@ import (
 	"truenorth/internal/netgen"
 	"truenorth/internal/router"
 	"truenorth/internal/sim"
+	"truenorth/internal/spikeio"
 )
 
 func main() {
-	engine := flag.String("engine", "compass", "engine: chip (canonical, single-threaded) or compass (parallel)")
+	engine := flag.String("engine", "compass", "engine: "+strings.Join(sim.EngineNames(), "|"))
 	grid := flag.Int("grid", 16, "core grid edge (64 = full TrueNorth chip)")
 	rate := flag.Float64("rate", 20, "target mean firing rate (Hz)")
 	syn := flag.Int("syn", 128, "active synapses per neuron (0-256)")
+	outputs := flag.Int("outputs", 0, "tap every Nth neuron per core to an external output sink (0 = closed network)")
+	spikesOut := flag.String("spikes-out", "", "write output spikes captured during the measured window as an AER stream to this file")
 	ticks := flag.Int("ticks", 200, "ticks to simulate")
 	warmup := flag.Int("warmup", 50, "settling ticks before measurement")
 	voltage := flag.Float64("voltage", 0.75, "supply voltage")
@@ -71,14 +77,18 @@ func main() {
 	} else {
 		configs, err = netgen.Build(netgen.Params{
 			Grid: mesh, RateHz: *rate, SynPerNeuron: *syn, Seed: *seed, Stochastic: *stochastic,
+			OutputEvery: *outputs,
 		})
 		if err != nil {
 			fail(err)
 		}
 		if !*force {
-			// Generated networks are closed recurrent systems: the full
-			// analysis applies with no assumed external inputs.
-			if err := modelcheck.Verify(mesh, configs, modelcheck.Options{}); err != nil {
+			// Generated networks are closed recurrent systems and get the
+			// full analysis; tapping outputs opens the system (the tapped
+			// neurons' former target axons lose their driver), so tapped
+			// networks are verified like loaded models.
+			opts := modelcheck.Options{AssumeExternalInput: *outputs > 0}
+			if err := modelcheck.Verify(mesh, configs, opts); err != nil {
 				fail(fmt.Errorf("%w (rerun with -force to simulate anyway)", err))
 			}
 		}
@@ -98,19 +108,7 @@ func main() {
 		fmt.Printf("model written to %s (%d cores)\n", *save, mesh.W*mesh.H)
 		return
 	}
-	var eng sim.Engine
-	switch *engine {
-	case "chip":
-		eng, err = chip.New(mesh, configs)
-	case "compass":
-		var opts []compass.Option
-		if *workers > 0 {
-			opts = append(opts, compass.WithWorkers(*workers))
-		}
-		eng, err = compass.New(mesh, configs, opts...)
-	default:
-		err = fmt.Errorf("unknown engine %q", *engine)
-	}
+	eng, err := sim.NewEngine(*engine, mesh, configs, sim.WithWorkers(*workers))
 	if err != nil {
 		fail(err)
 	}
@@ -134,7 +132,23 @@ func main() {
 	}
 
 	eng.Run(*warmup)
+	eng.DrainOutputs() // the recorded stream covers the measured window only
 	l := energy.MeasureLoad(eng, *ticks)
+	if *spikesOut != "" {
+		f, ferr := os.Create(*spikesOut)
+		if ferr != nil {
+			fail(ferr)
+		}
+		events := spikeio.FromOutputs(eng.DrainOutputs())
+		err = spikeio.Write(f, events)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d output spikes to %s\n", len(events), *spikesOut)
+	}
 	scaled := experiments.ScaleLoadToChip(l, mesh)
 	neurons := float64(*grid * *grid * core.NeuronsPerCore)
 	em := energy.TrueNorth()

@@ -78,7 +78,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sw, err := compass.New(placement.Mesh, placement.Configs, compass.WithWorkers(3))
+	sw, err := compass.New(placement.Mesh, placement.Configs, sim.WithWorkers(3))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -63,10 +63,25 @@ type pendingInj struct {
 	axon uint8
 }
 
+func init() {
+	sim.Register("chip", func(mesh router.Mesh, configs []*core.Config, opts ...sim.Option) (sim.Engine, error) {
+		return New(mesh, configs, opts...)
+	})
+}
+
 // New builds a model over mesh; configs is row-major (index y*W + x), and a
 // nil entry leaves that core slot unpopulated. configs may be shorter than
 // the grid; missing entries are unpopulated.
-func New(mesh router.Mesh, configs []*core.Config) (*Model, error) {
+//
+// New accepts the unified engine options so call sites can stay
+// engine-agnostic, but the chip model is defined to be the canonical
+// single-threaded tick-accurate reference — it is what the parallel Compass
+// expression is verified spike-for-spike against — so sim.WithWorkers and
+// sim.WithAggregation are accepted and ignored: parallelism and message
+// aggregation are properties of the Compass expression, not of the silicon
+// semantics.
+func New(mesh router.Mesh, configs []*core.Config, opts ...sim.Option) (*Model, error) {
+	_ = sim.BuildOptions(opts) // validated for uniformity; no chip-relevant fields
 	if mesh.W <= 0 || mesh.H <= 0 {
 		return nil, fmt.Errorf("chip: invalid mesh %dx%d", mesh.W, mesh.H)
 	}
@@ -112,16 +127,41 @@ func (m *Model) Core(x, y int) *core.Core {
 
 // Inject implements sim.Engine. Spikes within the 15-tick axonal delay
 // horizon go straight into the target core's delay ring; later arrivals are
-// queued and delivered when their tick begins.
+// queued and delivered when their tick begins. Out-of-range arguments are
+// silently dropped (counted in NoC().Dropped) — the kernel-internal fast
+// path; trust boundaries use InjectChecked.
 func (m *Model) Inject(x, y, axon, delay int) {
-	c := m.Core(x, y)
-	if c == nil || axon < 0 || axon >= core.AxonsPerCore || delay < 0 {
+	if m.Core(x, y) == nil || axon < 0 || axon >= core.AxonsPerCore || delay < 0 {
 		m.noc.Dropped++
 		return
 	}
+	m.inject(x, y, axon, delay)
+}
+
+// InjectChecked implements sim.CheckedInjector: Inject with validation
+// instead of silent dropping.
+func (m *Model) InjectChecked(x, y, axon, delay int) error {
+	if x < 0 || x >= m.mesh.W || y < 0 || y >= m.mesh.H {
+		return fmt.Errorf("chip: inject target (%d,%d) outside %dx%d mesh", x, y, m.mesh.W, m.mesh.H)
+	}
+	if m.cores[y*m.mesh.W+x] == nil {
+		return fmt.Errorf("chip: inject target (%d,%d) is an unpopulated core slot", x, y)
+	}
+	if axon < 0 || axon >= core.AxonsPerCore {
+		return fmt.Errorf("chip: inject axon %d out of range [0, %d)", axon, core.AxonsPerCore)
+	}
+	if delay < 0 {
+		return fmt.Errorf("chip: inject delay %d is negative", delay)
+	}
+	m.inject(x, y, axon, delay)
+	return nil
+}
+
+// inject performs a validated injection.
+func (m *Model) inject(x, y, axon, delay int) {
 	at := m.tick + uint64(delay)
 	if delay <= core.MaxDelay {
-		c.Deliver(axon, at)
+		m.cores[y*m.mesh.W+x].Deliver(axon, at)
 		return
 	}
 	m.pending[at] = append(m.pending[at], pendingInj{core: int32(y*m.mesh.W + x), axon: uint8(axon)})
@@ -293,4 +333,7 @@ func (m *Model) Reset(clearCounters bool) {
 	}
 }
 
-var _ sim.Engine = (*Model)(nil)
+var (
+	_ sim.Engine          = (*Model)(nil)
+	_ sim.CheckedInjector = (*Model)(nil)
+)

@@ -11,6 +11,7 @@ import (
 	"truenorth/internal/core"
 	"truenorth/internal/netgen"
 	"truenorth/internal/router"
+	"truenorth/internal/sim"
 	"truenorth/internal/spikeio"
 )
 
@@ -84,7 +85,7 @@ func TestGoldenStreamCompassAgrees(t *testing.T) {
 	// recorded stream too — pinning the equivalence against the file, not
 	// just against the sibling engine.
 	mesh, configs := goldenNet(t)
-	eng, err := compass.New(mesh, configs, compass.WithWorkers(2))
+	eng, err := compass.New(mesh, configs, sim.WithWorkers(2))
 	if err != nil {
 		t.Fatal(err)
 	}

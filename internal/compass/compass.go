@@ -69,46 +69,44 @@ type Sim struct {
 	aggregate bool
 }
 
-// Option configures a Sim.
-type Option func(*Sim)
-
-// WithWorkers sets the worker (thread) count; the default is
-// runtime.GOMAXPROCS(0). Values below 1 are clamped to 1.
-func WithWorkers(n int) Option {
-	return func(s *Sim) {
-		if n < 1 {
-			n = 1
-		}
-		s.workers = n
-	}
-}
-
-// WithAggregation toggles pairwise spike aggregation (default on). With
-// aggregation off, every spike is sent through a shared channel one
-// message at a time — the naive scheme Compass improves on ("Compass
-// aggregates spikes between pairs of processes into a single MPI
-// message"). Results are identical; only the communication cost differs.
-// BenchmarkAblationAggregation quantifies the gap.
-func WithAggregation(on bool) Option {
-	return func(s *Sim) { s.aggregate = on }
+func init() {
+	sim.Register("compass", func(mesh router.Mesh, configs []*core.Config, opts ...sim.Option) (sim.Engine, error) {
+		return New(mesh, configs, opts...)
+	})
 }
 
 // New builds a Compass simulation over mesh with row-major configs (nil
-// entries are unpopulated), exactly as chip.New.
-func New(mesh router.Mesh, configs []*core.Config, opts ...Option) (*Sim, error) {
+// entries are unpopulated), exactly as chip.New. It consumes the unified
+// engine options: sim.WithWorkers sets the worker (goroutine) count — 0
+// means runtime.GOMAXPROCS(0), values below 0 are clamped to 1 — and
+// sim.WithAggregation toggles pairwise spike aggregation (default on; with
+// it off, every spike is sent through a shared channel one message at a
+// time, the naive scheme Compass improves on: "Compass aggregates spikes
+// between pairs of processes into a single MPI message". Results are
+// identical; only the communication cost differs, and
+// BenchmarkAblationAggregation quantifies the gap).
+func New(mesh router.Mesh, configs []*core.Config, opts ...sim.Option) (*Sim, error) {
 	if mesh.W <= 0 || mesh.H <= 0 {
 		return nil, fmt.Errorf("compass: invalid mesh %dx%d", mesh.W, mesh.H)
 	}
 	if n := mesh.W * mesh.H; len(configs) > n {
 		return nil, fmt.Errorf("compass: %d configs for %d core slots", len(configs), n)
 	}
+	o := sim.BuildOptions(opts)
+	workers := o.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
 	s := &Sim{
 		mesh:      mesh,
 		cores:     make([]*core.Core, mesh.W*mesh.H),
 		dead:      make(map[router.Point]bool),
-		workers:   runtime.GOMAXPROCS(0),
+		workers:   workers,
 		pending:   make(map[uint64][]delivery),
-		aggregate: true,
+		aggregate: o.Aggregate,
 	}
 	for i, cfg := range configs {
 		if cfg == nil {
@@ -118,9 +116,6 @@ func New(mesh router.Mesh, configs []*core.Config, opts ...Option) (*Sim, error)
 			return nil, fmt.Errorf("compass: core %d (%d,%d): %w", i, i%mesh.W, i/mesh.W, err)
 		}
 		s.cores[i] = core.New(cfg)
-	}
-	for _, o := range opts {
-		o(s)
 	}
 	s.partition(s.staticWeights())
 	return s, nil
@@ -214,16 +209,42 @@ func (s *Sim) Core(x, y int) *core.Core {
 }
 
 // Inject implements sim.Engine. It must not be called concurrently with
-// Step.
+// Step. Out-of-range arguments are silently dropped (counted in
+// NoC().Dropped) — the kernel-internal fast path; trust boundaries use
+// InjectChecked.
 func (s *Sim) Inject(x, y, axon, delay int) {
-	c := s.Core(x, y)
-	if c == nil || axon < 0 || axon >= core.AxonsPerCore || delay < 0 {
+	if s.Core(x, y) == nil || axon < 0 || axon >= core.AxonsPerCore || delay < 0 {
 		s.perWorkerNoC[0].Dropped++
 		return
 	}
+	s.inject(x, y, axon, delay)
+}
+
+// InjectChecked implements sim.CheckedInjector: Inject with validation
+// instead of silent dropping. Like Inject, it must not be called
+// concurrently with Step.
+func (s *Sim) InjectChecked(x, y, axon, delay int) error {
+	if x < 0 || x >= s.mesh.W || y < 0 || y >= s.mesh.H {
+		return fmt.Errorf("compass: inject target (%d,%d) outside %dx%d mesh", x, y, s.mesh.W, s.mesh.H)
+	}
+	if s.cores[y*s.mesh.W+x] == nil {
+		return fmt.Errorf("compass: inject target (%d,%d) is an unpopulated core slot", x, y)
+	}
+	if axon < 0 || axon >= core.AxonsPerCore {
+		return fmt.Errorf("compass: inject axon %d out of range [0, %d)", axon, core.AxonsPerCore)
+	}
+	if delay < 0 {
+		return fmt.Errorf("compass: inject delay %d is negative", delay)
+	}
+	s.inject(x, y, axon, delay)
+	return nil
+}
+
+// inject performs a validated injection.
+func (s *Sim) inject(x, y, axon, delay int) {
 	at := s.tick + uint64(delay)
 	if delay <= core.MaxDelay {
-		c.Deliver(axon, at)
+		s.cores[y*s.mesh.W+x].Deliver(axon, at)
 		return
 	}
 	s.pending[at] = append(s.pending[at], delivery{core: int32(y*s.mesh.W + x), tick: at, axon: uint8(axon)})
@@ -457,4 +478,7 @@ func (s *Sim) LoadImbalance() float64 {
 	return loads[s.workers-1] / mean
 }
 
-var _ sim.Engine = (*Sim)(nil)
+var (
+	_ sim.Engine          = (*Sim)(nil)
+	_ sim.CheckedInjector = (*Sim)(nil)
+)

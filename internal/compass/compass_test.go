@@ -97,7 +97,7 @@ func TestOneToOneEquivalenceRandomNetworks(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sw, err := New(mesh, configs, WithWorkers(4))
+		sw, err := New(mesh, configs, sim.WithWorkers(4))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,7 +131,7 @@ func TestEquivalenceAcrossWorkerCounts(t *testing.T) {
 	var ref []sim.OutputSpike
 	var refCnt core.Counters
 	for _, workers := range []int{1, 2, 3, 7, 16, 64} {
-		s, err := New(mesh, configs, WithWorkers(workers))
+		s, err := New(mesh, configs, sim.WithWorkers(workers))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -161,7 +161,7 @@ func TestEquivalenceWithFaults(t *testing.T) {
 	}
 	mesh := router.Mesh{W: w, H: h}
 	hw, _ := chip.New(mesh, configs)
-	sw, _ := New(mesh, configs, WithWorkers(3))
+	sw, _ := New(mesh, configs, sim.WithWorkers(3))
 	for _, e := range []sim.Engine{hw, sw} {
 		kick(e, w, h, 2)
 	}
@@ -183,8 +183,8 @@ func TestRebalancePreservesBehavior(t *testing.T) {
 	}
 	mesh := router.Mesh{W: w, H: h}
 
-	a, _ := New(mesh, configs, WithWorkers(4))
-	b, _ := New(mesh, configs, WithWorkers(4))
+	a, _ := New(mesh, configs, sim.WithWorkers(4))
+	b, _ := New(mesh, configs, sim.WithWorkers(4))
 	kick(a, w, h, 3)
 	kick(b, w, h, 3)
 	a.Run(100)
@@ -200,7 +200,7 @@ func TestRebalancePreservesBehavior(t *testing.T) {
 func TestPartitionCoversAllCores(t *testing.T) {
 	configs := randomNetwork(4, 4, 1)
 	configs[5] = nil // hole
-	s, err := New(router.Mesh{W: 4, H: 4}, configs, WithWorkers(3))
+	s, err := New(router.Mesh{W: 4, H: 4}, configs, sim.WithWorkers(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +226,7 @@ func TestPartitionCoversAllCores(t *testing.T) {
 
 func TestWorkersClampedToPopulatedCores(t *testing.T) {
 	configs := []*core.Config{core.InertConfig(), core.InertConfig()}
-	s, err := New(router.Mesh{W: 4, H: 1}, configs, WithWorkers(16))
+	s, err := New(router.Mesh{W: 4, H: 1}, configs, sim.WithWorkers(16))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +240,7 @@ func TestSpikeToUnpopulatedSlotDropped(t *testing.T) {
 	cfg.Synapses[0].Set(0)
 	cfg.Neurons[0] = neuron.Identity()
 	cfg.Targets[0] = core.Target{Valid: true, DX: 1, Axon: 0, Delay: 1}
-	s, err := New(router.Mesh{W: 2, H: 1}, []*core.Config{cfg}, WithWorkers(1))
+	s, err := New(router.Mesh{W: 2, H: 1}, []*core.Config{cfg}, sim.WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +254,7 @@ func TestSpikeToUnpopulatedSlotDropped(t *testing.T) {
 func TestLoadImbalanceReasonable(t *testing.T) {
 	const w, h = 8, 4
 	configs := randomNetwork(w, h, 77)
-	s, _ := New(router.Mesh{W: w, H: h}, configs, WithWorkers(4))
+	s, _ := New(router.Mesh{W: w, H: h}, configs, sim.WithWorkers(4))
 	kick(s, w, h, 8)
 	s.Run(100)
 	if got := s.LoadImbalance(); got < 1 || got > 4 {
@@ -263,7 +263,7 @@ func TestLoadImbalanceReasonable(t *testing.T) {
 }
 
 func TestInjectInvalidDropped(t *testing.T) {
-	s, _ := New(router.Mesh{W: 2, H: 2}, []*core.Config{core.InertConfig()}, WithWorkers(1))
+	s, _ := New(router.Mesh{W: 2, H: 2}, []*core.Config{core.InertConfig()}, sim.WithWorkers(1))
 	s.Inject(9, 9, 0, 0)
 	s.Inject(0, 0, 999, 0)
 	if got := s.NoC().Dropped; got != 2 {
@@ -302,7 +302,7 @@ func TestLongRegressionEquivalence(t *testing.T) {
 	}
 	mesh := router.Mesh{W: w, H: h}
 	hw, _ := chip.New(mesh, configs)
-	sw, _ := New(mesh, configs, WithWorkers(4))
+	sw, _ := New(mesh, configs, sim.WithWorkers(4))
 	hw.Run(ticks)
 	sw.Run(ticks)
 	spikesEqual(t, hw.DrainOutputs(), sw.DrainOutputs(), "chip", "compass")
@@ -327,7 +327,7 @@ func TestPropertyEquivalenceOverRandomNetworks(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		sw, err := New(grid, configs, WithWorkers(int(workers%6)+1))
+		sw, err := New(grid, configs, sim.WithWorkers(int(workers%6)+1))
 		if err != nil {
 			return false
 		}

@@ -401,7 +401,7 @@ func TestPlacedNetRunsIdenticallyOnBothEngines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sw, err := compass.New(p.Mesh, p.Configs, compass.WithWorkers(3))
+	sw, err := compass.New(p.Mesh, p.Configs, sim.WithWorkers(3))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,11 +10,11 @@ import (
 	"truenorth/internal/apps/neovision"
 	"truenorth/internal/apps/saccade"
 	"truenorth/internal/apps/saliency"
-	"truenorth/internal/compass"
 	"truenorth/internal/corelet"
 	"truenorth/internal/energy"
 	"truenorth/internal/modelcheck"
 	"truenorth/internal/router"
+	"truenorth/internal/sim"
 	"truenorth/internal/vision"
 	"truenorth/internal/vnperf"
 )
@@ -47,7 +47,11 @@ type AppRunConfig struct {
 	Frames int
 	// Objects is the synthetic scene population.
 	Objects int
-	// Workers is the Compass worker count (0 = GOMAXPROCS).
+	// Engine names the registered engine expression to run on ("" =
+	// compass, the parallel simulator).
+	Engine string
+	// Workers is the parallel worker count (0 = GOMAXPROCS; ignored by the
+	// single-threaded chip engine).
 	Workers int
 	// Seed drives the scene.
 	Seed int64
@@ -149,11 +153,7 @@ func RunApps(cfg AppRunConfig) ([]AppResult, error) {
 				return nil, fmt.Errorf("%s: %w", pa.name, err)
 			}
 		}
-		var opts []compass.Option
-		if cfg.Workers > 0 {
-			opts = append(opts, compass.WithWorkers(cfg.Workers))
-		}
-		eng, err := compass.New(p.Mesh, p.Configs, opts...)
+		eng, err := sim.NewEngine(engineOrDefault(cfg.Engine), p.Mesh, p.Configs, sim.WithWorkers(cfg.Workers))
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", pa.name, err)
 		}

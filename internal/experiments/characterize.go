@@ -3,14 +3,23 @@ package experiments
 import (
 	"fmt"
 
-	"truenorth/internal/compass"
 	"truenorth/internal/core"
 	"truenorth/internal/energy"
 	"truenorth/internal/modelcheck"
 	"truenorth/internal/netgen"
 	"truenorth/internal/router"
+	"truenorth/internal/sim"
 	"truenorth/internal/vnperf"
 )
+
+// engineOrDefault maps the zero value of an Engine config field to the
+// parallel Compass engine, the historical default of every experiment.
+func engineOrDefault(name string) string {
+	if name == "" {
+		return "compass"
+	}
+	return name
+}
 
 // CharConfig controls the 88-network characterization runs (Figs. 5 & 6).
 type CharConfig struct {
@@ -23,6 +32,10 @@ type CharConfig struct {
 	Warmup, Ticks int
 	// Workers is the Compass worker count (0 = GOMAXPROCS).
 	Workers int
+	// Engine names the registered engine expression to run on ("" =
+	// compass, the parallel simulator; the characterization suite is
+	// engine-agnostic by the one-to-one equivalence property).
+	Engine string
 	// Seed drives network generation.
 	Seed int64
 	// Voltage is the supply point for Figs. 5a/5b/5d/5e (paper: 0.75 V).
@@ -86,11 +99,7 @@ func Characterize(cfg CharConfig) ([]CharPoint, error) {
 				return nil, fmt.Errorf("sweep network %d (rate %g Hz, %d syn): %w", i, pt.RateHz, pt.Syn, err)
 			}
 		}
-		var opts []compass.Option
-		if cfg.Workers > 0 {
-			opts = append(opts, compass.WithWorkers(cfg.Workers))
-		}
-		eng, err := compass.New(cfg.Grid, configs, opts...)
+		eng, err := sim.NewEngine(engineOrDefault(cfg.Engine), cfg.Grid, configs, sim.WithWorkers(cfg.Workers))
 		if err != nil {
 			return nil, err
 		}

@@ -8,6 +8,7 @@ import (
 	"truenorth/internal/energy"
 	"truenorth/internal/netgen"
 	"truenorth/internal/router"
+	"truenorth/internal/sim"
 	"truenorth/internal/vnperf"
 )
 
@@ -102,7 +103,7 @@ func MeasureGoScaling(grid router.Mesh, ticks int, workerSweep []int, seed int64
 	var rows []MeasuredScalingRow
 	base := 0.0
 	for _, w := range workerSweep {
-		eng, err := compass.New(grid, configs, compass.WithWorkers(w))
+		eng, err := compass.New(grid, configs, sim.WithWorkers(w))
 		if err != nil {
 			return nil, err
 		}

@@ -166,7 +166,7 @@ func TestCheckpointCrossEngine(t *testing.T) {
 	hw.Run(120)
 	want := hw.Counters()
 
-	sw, err := compass.New(mesh, configs, compass.WithWorkers(3))
+	sw, err := compass.New(mesh, configs, sim.WithWorkers(3))
 	if err != nil {
 		t.Fatal(err)
 	}

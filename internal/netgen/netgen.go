@@ -57,6 +57,16 @@ type Params struct {
 	Locality float64
 	// LocalRadius is the neighborhood radius in cores (default 2).
 	LocalRadius int
+	// OutputEvery, when positive, taps the network for external
+	// observation: every OutputEvery-th neuron of each core (indices 0,
+	// OutputEvery, 2·OutputEvery, …) projects to an external output sink
+	// with the deterministic id core<<8|neuron instead of its recurrent
+	// target. All probabilistic draws are unchanged, so a tapped network is
+	// the un-tapped network with a sample of neurons rewired. Tapping opens
+	// the system — the rerouted neurons' former target axons lose their
+	// only driver — so tapped models must be verified with
+	// modelcheck.Options.AssumeExternalInput.
+	OutputEvery int
 }
 
 // leak is the per-tick leak of every tonic neuron. Larger values let the
@@ -81,6 +91,9 @@ func (p Params) Validate() error {
 	}
 	if p.Locality < 0 || p.Locality > 1 {
 		return fmt.Errorf("netgen: locality %.2f out of range [0, 1]", p.Locality)
+	}
+	if p.OutputEvery < 0 {
+		return fmt.Errorf("netgen: output-every %d is negative", p.OutputEvery)
 	}
 	return nil
 }
@@ -172,6 +185,12 @@ func Build(p Params) ([]*core.Config, error) {
 				DY:    int16(ty - cy),
 				Axon:  uint8(tAxon),
 				Delay: uint8(1 + rng.Intn(core.MaxDelay)),
+			}
+			// Output taps override after the recurrent draw so the PRNG
+			// stream — and therefore the rest of the network — is identical
+			// with and without tapping.
+			if p.OutputEvery > 0 && j%p.OutputEvery == 0 {
+				cfg.Targets[j] = core.Target{Valid: true, Output: true, OutputID: int32(ci<<8 | j)}
 			}
 		}
 		configs[ci] = cfg

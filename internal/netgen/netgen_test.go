@@ -9,6 +9,7 @@ import (
 	"truenorth/internal/core"
 	"truenorth/internal/energy"
 	"truenorth/internal/router"
+	"truenorth/internal/sim"
 )
 
 func TestSweepHas88Points(t *testing.T) {
@@ -248,7 +249,7 @@ func TestStochasticNetworkChipCompassEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sw, err := compass.New(grid, cfgs, compass.WithWorkers(3))
+	sw, err := compass.New(grid, cfgs, sim.WithWorkers(3))
 	if err != nil {
 		t.Fatal(err)
 	}

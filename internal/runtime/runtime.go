@@ -1,0 +1,687 @@
+// Package runtime turns a batch engine into a live session — the serving
+// substrate behind the paper's real-time operating model. TrueNorth is not
+// a batch job: it runs continuously at a 1 ms tick, consuming streaming
+// spike input and emitting streaming spike output, and the operating point
+// is a *rate* (Section V sweeps 0.012× to ≈15.4× real time). A Session
+// owns one sim.Engine on a dedicated goroutine with a command loop:
+//
+//   - context-aware Run / Pause / Resume / Step;
+//   - streaming spike injection and output drains, over channels or calls;
+//   - tick-rate pacing from well below to well above real time (1 kHz);
+//   - periodic checkpointing through the model checkpoint format;
+//   - per-session stats snapshots (tick, firing rate, NoC counters, and
+//     the energy-model readout for the current operating point).
+//
+// Concurrency model. The engine is single-threaded by contract (Inject
+// "must not be called concurrently with Step"), so the Session serializes
+// *everything* through one goroutine: public methods enqueue closures on a
+// command channel, and the loop executes them strictly between ticks. That
+// is also what preserves tick-accuracy — a command can land between tick t
+// and t+1 but never inside a tick, so a paused-and-resumed or
+// checkpoint-and-restored run emits the exact spike stream of an
+// uninterrupted one (the determinism suite verifies this spike-for-spike).
+//
+// This package is deliberately outside the kernel-package set that tnlint
+// holds to bitwise determinism: pacing needs the wall clock and the driver
+// needs a goroutine. The kernel below it stays deterministic; the runtime
+// only decides *when* ticks happen, never what they compute.
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"truenorth/internal/core"
+	"truenorth/internal/energy"
+	"truenorth/internal/model"
+	"truenorth/internal/sim"
+	"truenorth/internal/spikeio"
+)
+
+// Sentinel errors.
+var (
+	// ErrClosed reports an operation on a closed session.
+	ErrClosed = errors.New("runtime: session closed")
+	// ErrBusy reports a Run/Step/Restore while a run is already in flight.
+	ErrBusy = errors.New("runtime: session already running")
+	// ErrPaused is returned by Run when the run was interrupted by Pause
+	// before reaching its target tick.
+	ErrPaused = errors.New("runtime: run paused")
+	// ErrNoCheckpoint reports a checkpoint operation on an engine that does
+	// not implement model.CheckpointableEngine.
+	ErrNoCheckpoint = errors.New("runtime: engine does not support checkpoints")
+)
+
+// runForever is the target tick of an unbounded run.
+const runForever = math.MaxUint64
+
+// Option configures a Session.
+type Option func(*Session)
+
+// WithTickRate sets the initial pacing in ticks per second. 1000 is the
+// hardware's real-time rate; 0 (the default) is free-running — as fast as
+// the host executes, the Compass-as-simulator mode. The paper's operating
+// range maps to [12, 15400] here, but any non-negative rate is accepted.
+func WithTickRate(hz float64) Option {
+	return func(s *Session) { s.rateHz = hz }
+}
+
+// WithAutoCheckpoint checkpoints the session every `every` ticks: when
+// tick%every == 0 after a step, open(tick) provides the sink and the
+// session writes the model-format checkpoint to it. Open errors and write
+// errors are recorded in Stats.LastCheckpointError rather than stopping
+// the run — checkpointing is a durability aid, not a correctness gate.
+func WithAutoCheckpoint(every uint64, open func(tick uint64) (io.WriteCloser, error)) Option {
+	return func(s *Session) { s.ckptEvery, s.ckptOpen = every, open }
+}
+
+// WithInputBuffer sets the capacity of the streaming-injection channel
+// (default 256).
+func WithInputBuffer(n int) Option {
+	return func(s *Session) {
+		if n > 0 {
+			s.inputBuf = n
+		}
+	}
+}
+
+// subscriber is one streaming output listener.
+type subscriber struct {
+	ch      chan sim.OutputSpike
+	dropped uint64
+}
+
+// Session drives one engine as a long-lived, concurrent, observable
+// simulation. All methods are safe for concurrent use; every operation is
+// serialized onto the session goroutine and executes between ticks.
+type Session struct {
+	eng       sim.Engine
+	ckpt      model.CheckpointableEngine // nil when unsupported
+	neurons   int
+	populated int
+	inputBuf  int
+
+	cmds   chan func()
+	inputs chan spikeio.Event
+	done   chan struct{} // closed when the loop has exited
+
+	// Everything below is owned by the session goroutine.
+	running   bool
+	target    uint64
+	waiters   []chan error
+	rateHz    float64
+	deadline  time.Time // next tick deadline when paced; zero = resync
+	outputs   []sim.OutputSpike
+	subs      map[int]*subscriber
+	subSeq    int
+	closing   bool
+	inDropped uint64 // past-tick or invalid streamed input events
+	ckptEvery uint64
+	ckptOpen  func(uint64) (io.WriteCloser, error)
+	ckptTick  uint64
+	ckptErr   error
+}
+
+// New wraps eng in a session and starts its driver goroutine. The caller
+// must not touch eng directly afterwards: the session owns it until Close.
+func New(eng sim.Engine, opts ...Option) *Session {
+	s := &Session{
+		eng:      eng,
+		inputBuf: 256,
+		subs:     map[int]*subscriber{},
+	}
+	s.ckpt, _ = eng.(model.CheckpointableEngine)
+	mesh := eng.Mesh()
+	for y := 0; y < mesh.H; y++ {
+		for x := 0; x < mesh.W; x++ {
+			if eng.Core(x, y) != nil {
+				s.populated++
+			}
+		}
+	}
+	s.neurons = s.populated * core.NeuronsPerCore
+	for _, o := range opts {
+		o(s)
+	}
+	if s.rateHz < 0 || math.IsNaN(s.rateHz) || math.IsInf(s.rateHz, 0) {
+		s.rateHz = 0
+	}
+	s.cmds = make(chan func())
+	s.inputs = make(chan spikeio.Event, s.inputBuf)
+	s.done = make(chan struct{})
+	go s.loop()
+	return s
+}
+
+// loop is the session goroutine: it interleaves command execution,
+// streamed-input delivery, and paced ticking, with commands only ever
+// running between ticks.
+func (s *Session) loop() {
+	defer close(s.done)
+	for !s.closing {
+		if !s.running {
+			select {
+			case fn := <-s.cmds:
+				fn()
+			case e := <-s.inputs:
+				s.handleInput(e)
+			}
+			continue
+		}
+		if s.eng.Tick() >= s.target {
+			s.finishRun(nil)
+			continue
+		}
+		if s.rateHz > 0 {
+			if s.deadline.IsZero() {
+				s.deadline = time.Now()
+			}
+			if wait := time.Until(s.deadline); wait > 0 {
+				t := time.NewTimer(wait)
+				select {
+				case fn := <-s.cmds:
+					t.Stop()
+					fn()
+					continue
+				case e := <-s.inputs:
+					t.Stop()
+					s.handleInput(e)
+					continue
+				case <-t.C:
+				}
+			}
+			s.deadline = s.deadline.Add(time.Duration(float64(time.Second) / s.rateHz))
+			if time.Since(s.deadline) > time.Second {
+				// Fell more than a second behind (host stall, rate beyond
+				// the host's reach): resynchronize instead of sprinting.
+				s.deadline = time.Now()
+			}
+		} else {
+			select {
+			case fn := <-s.cmds:
+				fn()
+				continue
+			case e := <-s.inputs:
+				s.handleInput(e)
+				continue
+			default:
+			}
+		}
+		s.step()
+	}
+	s.finishRun(ErrClosed)
+	for _, sub := range s.subs {
+		close(sub.ch)
+	}
+	s.subs = nil
+}
+
+// step advances one tick and fans captured outputs out to the drain buffer
+// and every subscriber.
+func (s *Session) step() {
+	s.eng.Step()
+	if out := s.eng.DrainOutputs(); len(out) > 0 {
+		s.outputs = append(s.outputs, out...)
+		for _, sub := range s.subs {
+			for _, o := range out {
+				select {
+				case sub.ch <- o:
+				default:
+					sub.dropped++
+				}
+			}
+		}
+	}
+	if s.ckptEvery > 0 && s.eng.Tick()%s.ckptEvery == 0 {
+		s.autoCheckpoint()
+	}
+}
+
+// handleInput delivers one streamed event (absolute tick addressing, as in
+// spikeio input streams). Past-tick and invalid events are counted, not
+// fatal: a live stream must keep flowing.
+func (s *Session) handleInput(e spikeio.Event) {
+	now := s.eng.Tick()
+	if e.Tick < now {
+		s.inDropped++
+		return
+	}
+	x, y, axon := spikeio.Decode(e.ID)
+	if err := sim.InjectChecked(s.eng, x, y, axon, int(e.Tick-now)); err != nil {
+		s.inDropped++
+	}
+}
+
+// start begins a run segment toward an absolute target tick. waiter, when
+// non-nil, is notified when the segment ends (nil on completion, ErrPaused
+// on pause, ErrClosed on close).
+func (s *Session) start(targetTick uint64, waiter chan error) error {
+	if s.running {
+		return ErrBusy
+	}
+	if targetTick <= s.eng.Tick() && targetTick != runForever {
+		if waiter != nil {
+			waiter <- nil
+		}
+		return nil
+	}
+	s.target = targetTick
+	s.running = true
+	s.deadline = time.Time{}
+	if waiter != nil {
+		s.waiters = append(s.waiters, waiter)
+	}
+	return nil
+}
+
+// finishRun ends the current run segment and notifies waiters.
+func (s *Session) finishRun(err error) {
+	s.running = false
+	for _, w := range s.waiters {
+		w <- err
+	}
+	s.waiters = nil
+}
+
+// autoCheckpoint writes one periodic checkpoint.
+func (s *Session) autoCheckpoint() {
+	if s.ckpt == nil || s.ckptOpen == nil {
+		return
+	}
+	w, err := s.ckptOpen(s.eng.Tick())
+	if err != nil {
+		s.ckptErr = err
+		return
+	}
+	err = model.WriteCheckpoint(w, s.ckpt)
+	if cerr := w.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		s.ckptErr = err
+		return
+	}
+	s.ckptTick, s.ckptErr = s.eng.Tick(), nil
+}
+
+// do runs fn on the session goroutine and waits for it. It returns
+// ErrClosed if the session is (or becomes) closed before fn runs, or
+// ctx.Err() on cancellation — in which case fn may still execute later, so
+// fn must communicate results through buffered channels only.
+func (s *Session) do(ctx context.Context, fn func()) error {
+	ran := make(chan struct{})
+	select {
+	case s.cmds <- func() { fn(); close(ran) }:
+	case <-s.done:
+		return ErrClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case <-ran:
+		return nil
+	case <-s.done:
+		select {
+		case <-ran:
+			return nil
+		default:
+			return ErrClosed
+		}
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Run advances the session ticks ticks (ticks <= 0: run until paused) and
+// blocks until the target is reached, Pause interrupts (ErrPaused), the
+// session closes (ErrClosed), or ctx is done — in which case the in-flight
+// run is paused and ctx.Err() returned.
+func (s *Session) Run(ctx context.Context, ticks int) error {
+	target := uint64(runForever)
+	if ticks > 0 {
+		tick, err := s.Tick(ctx)
+		if err != nil {
+			return err
+		}
+		target = tick + uint64(ticks)
+	}
+	return s.RunUntil(ctx, target)
+}
+
+// RunUntil is Run with an absolute target tick. Targets at or below the
+// current tick complete immediately.
+func (s *Session) RunUntil(ctx context.Context, targetTick uint64) error {
+	wait := make(chan error, 1)
+	started := make(chan error, 1)
+	if err := s.do(ctx, func() { started <- s.start(targetTick, wait) }); err != nil {
+		return err
+	}
+	if err := <-started; err != nil {
+		return err
+	}
+	select {
+	case err := <-wait:
+		return err
+	case <-ctx.Done():
+		// Don't leave the engine burning ticks for a caller that is gone.
+		s.Pause(context.Background()) //nolint:errcheck // best-effort stop
+		return ctx.Err()
+	}
+}
+
+// Step advances exactly one tick (paced like any other tick).
+func (s *Session) Step(ctx context.Context) error { return s.Run(ctx, 1) }
+
+// Start begins an asynchronous run of ticks ticks (ticks <= 0: until
+// paused) and returns immediately; use Pause, Wait, or Stats to follow it.
+func (s *Session) Start(ticks int) error {
+	started := make(chan error, 1)
+	err := s.do(context.Background(), func() {
+		target := uint64(runForever)
+		if ticks > 0 {
+			target = s.eng.Tick() + uint64(ticks)
+		}
+		started <- s.start(target, nil)
+	})
+	if err != nil {
+		return err
+	}
+	return <-started
+}
+
+// Resume continues toward the target of a paused run; it is a no-op when
+// the target was already reached.
+func (s *Session) Resume(ctx context.Context) error {
+	started := make(chan error, 1)
+	if err := s.do(ctx, func() { started <- s.start(s.target, nil) }); err != nil {
+		return err
+	}
+	return <-started
+}
+
+// Wait blocks until the session is not running (run complete or paused).
+func (s *Session) Wait(ctx context.Context) error {
+	wait := make(chan error, 1)
+	if err := s.do(ctx, func() {
+		if !s.running {
+			wait <- nil
+			return
+		}
+		s.waiters = append(s.waiters, wait)
+	}); err != nil {
+		return err
+	}
+	select {
+	case err := <-wait:
+		if errors.Is(err, ErrPaused) {
+			return nil // "not running" is exactly what the caller awaited
+		}
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Pause interrupts the current run segment (waiters receive ErrPaused) and
+// returns the tick the session is paused at. Pausing an idle session just
+// reports the tick. The run target is preserved, so Resume continues it.
+func (s *Session) Pause(ctx context.Context) (uint64, error) {
+	res := make(chan uint64, 1)
+	err := s.do(ctx, func() {
+		if s.running {
+			s.finishRun(ErrPaused)
+		}
+		res <- s.eng.Tick()
+	})
+	if err != nil {
+		return 0, err
+	}
+	return <-res, nil
+}
+
+// Tick returns the engine's next tick to be processed.
+func (s *Session) Tick(ctx context.Context) (uint64, error) {
+	res := make(chan uint64, 1)
+	if err := s.do(ctx, func() { res <- s.eng.Tick() }); err != nil {
+		return 0, err
+	}
+	return <-res, nil
+}
+
+// SetTickRate changes pacing: hz ticks per second, 0 = free-running.
+func (s *Session) SetTickRate(ctx context.Context, hz float64) error {
+	if hz < 0 || math.IsNaN(hz) || math.IsInf(hz, 0) {
+		return fmt.Errorf("runtime: invalid tick rate %v", hz)
+	}
+	return s.do(ctx, func() {
+		s.rateHz = hz
+		s.deadline = time.Time{}
+	})
+}
+
+// Inject schedules one external spike through the engine's validating
+// injection path, delay ticks from the next processed tick.
+func (s *Session) Inject(ctx context.Context, x, y, axon, delay int) error {
+	res := make(chan error, 1)
+	if err := s.do(ctx, func() { res <- sim.InjectChecked(s.eng, x, y, axon, delay) }); err != nil {
+		return err
+	}
+	return <-res
+}
+
+// InjectEvents replays an absolute-tick input stream (spikeio addressing)
+// into the session, reporting past-tick drops; an invalid address aborts
+// with an error, exactly as spikeio.Replay.
+func (s *Session) InjectEvents(ctx context.Context, events []spikeio.Event) (int, error) {
+	type res struct {
+		dropped int
+		err     error
+	}
+	c := make(chan res, 1)
+	if err := s.do(ctx, func() {
+		dropped, err := spikeio.Replay(s.eng, events)
+		c <- res{dropped, err}
+	}); err != nil {
+		return 0, err
+	}
+	r := <-c
+	return r.dropped, r.err
+}
+
+// Inputs returns the streaming-injection channel: absolute-tick events
+// (spikeio addressing) consumed by the session loop between ticks, the
+// channel expression of InjectEvents for callers that feed a live source.
+// Past-tick and invalid events increment Stats.DroppedInputs. The caller
+// must not close the channel and must not send after Close.
+func (s *Session) Inputs() chan<- spikeio.Event { return s.inputs }
+
+// Drain returns and clears the output spikes accumulated since the last
+// drain, in tick order — the session expression of Engine.DrainOutputs.
+func (s *Session) Drain(ctx context.Context) ([]sim.OutputSpike, error) {
+	res := make(chan []sim.OutputSpike, 1)
+	if err := s.do(ctx, func() {
+		out := s.outputs
+		s.outputs = nil
+		res <- out
+	}); err != nil {
+		return nil, err
+	}
+	return <-res, nil
+}
+
+// Subscribe attaches a streaming output listener with the given channel
+// buffer. The feed is best-effort: a full subscriber loses spikes (counted
+// in Stats.DroppedStream) rather than stalling the tick loop — exact
+// capture uses Drain. cancel detaches and closes the channel; the channel
+// is also closed when the session closes.
+func (s *Session) Subscribe(ctx context.Context, buf int) (<-chan sim.OutputSpike, func(), error) {
+	if buf < 1 {
+		buf = 1
+	}
+	res := make(chan int, 1)
+	sub := &subscriber{ch: make(chan sim.OutputSpike, buf)}
+	if err := s.do(ctx, func() {
+		s.subSeq++
+		s.subs[s.subSeq] = sub
+		res <- s.subSeq
+	}); err != nil {
+		return nil, nil, err
+	}
+	id := <-res
+	cancel := func() {
+		s.do(context.Background(), func() { //nolint:errcheck // closed session already closed the channel
+			if _, ok := s.subs[id]; ok {
+				delete(s.subs, id)
+				close(sub.ch)
+			}
+		})
+	}
+	return sub.ch, cancel, nil
+}
+
+// Checkpoint writes a model-format checkpoint of the session, between
+// ticks, to w.
+func (s *Session) Checkpoint(ctx context.Context, w io.Writer) error {
+	if s.ckpt == nil {
+		return ErrNoCheckpoint
+	}
+	res := make(chan error, 1)
+	if err := s.do(ctx, func() { res <- model.WriteCheckpoint(w, s.ckpt) }); err != nil {
+		return err
+	}
+	return <-res
+}
+
+// Restore rewinds the session to a checkpoint (same model). The session
+// must be paused. Undrained output spikes at or after the restored tick
+// are discarded — the re-run regenerates them identically — so a client
+// that drains before checkpointing observes one seamless stream across a
+// restore. Streaming subscribers, by contrast, may see the re-run ticks
+// twice; exact consumers use Drain.
+func (s *Session) Restore(ctx context.Context, r io.Reader) error {
+	if s.ckpt == nil {
+		return ErrNoCheckpoint
+	}
+	res := make(chan error, 1)
+	if err := s.do(ctx, func() {
+		if s.running {
+			res <- ErrBusy
+			return
+		}
+		if err := model.ReadCheckpoint(r, s.ckpt); err != nil {
+			res <- err
+			return
+		}
+		tick := s.eng.Tick()
+		kept := s.outputs[:0]
+		for _, o := range s.outputs {
+			if o.Tick < tick {
+				kept = append(kept, o)
+			}
+		}
+		s.outputs = kept
+		s.target = tick
+		s.deadline = time.Time{}
+		res <- nil
+	}); err != nil {
+		return err
+	}
+	return <-res
+}
+
+// Stats is a point-in-time observation of a session.
+type Stats struct {
+	// Tick is the next tick to be processed; Running reports an in-flight
+	// run segment and TargetTick its absolute goal (MaxUint64 = unbounded).
+	Tick       uint64
+	Running    bool
+	TargetTick uint64
+	// TickRateHz is the pacing (0 = free-running).
+	TickRateHz float64
+	// PopulatedCores and Neurons describe the model.
+	PopulatedCores, Neurons int
+	// Counters and NoC are the engine's cumulative activity ledgers.
+	Counters core.Counters
+	NoC      sim.NoCStats
+	// FiringRateHz is the cumulative mean firing rate per neuron at
+	// real-time (1 kHz) ticks — the paper's operating-space axis.
+	FiringRateHz float64
+	// Load is the cumulative per-tick activity, the energy model's input.
+	Load energy.Load
+	// PowerW, GSOPS, and GSOPSPerWatt are the TrueNorth energy-model
+	// readout for this load at the session's tick rate (free-running
+	// sessions are read out at real time) and 0.75 V.
+	PowerW, GSOPS, GSOPSPerWatt float64
+	// PendingOutputs counts undrained output spikes; DroppedInputs counts
+	// rejected streamed input events; DroppedStream counts spikes lost to
+	// slow subscribers.
+	PendingOutputs int
+	DroppedInputs  uint64
+	DroppedStream  uint64
+	// CheckpointTick is the tick of the last successful auto-checkpoint;
+	// LastCheckpointError the most recent auto-checkpoint failure ("" when
+	// healthy).
+	CheckpointTick      uint64
+	LastCheckpointError string
+}
+
+// Stats takes a consistent between-ticks snapshot.
+func (s *Session) Stats(ctx context.Context) (Stats, error) {
+	res := make(chan Stats, 1)
+	if err := s.do(ctx, func() { res <- s.snapshot() }); err != nil {
+		return Stats{}, err
+	}
+	return <-res, nil
+}
+
+// snapshot runs on the session goroutine.
+func (s *Session) snapshot() Stats {
+	st := Stats{
+		Tick:           s.eng.Tick(),
+		Running:        s.running,
+		TargetTick:     s.target,
+		TickRateHz:     s.rateHz,
+		PopulatedCores: s.populated,
+		Neurons:        s.neurons,
+		Counters:       s.eng.Counters(),
+		NoC:            s.eng.NoC(),
+		PendingOutputs: len(s.outputs),
+		DroppedInputs:  s.inDropped,
+		CheckpointTick: s.ckptTick,
+	}
+	for _, sub := range s.subs {
+		st.DroppedStream += sub.dropped
+	}
+	if s.ckptErr != nil {
+		st.LastCheckpointError = s.ckptErr.Error()
+	}
+	st.Load = energy.LoadFrom(st.Counters, st.NoC, st.Tick)
+	if s.neurons > 0 {
+		st.FiringRateHz = st.Load.Spikes / float64(s.neurons) * 1000
+	}
+	rate := s.rateHz
+	if rate == 0 {
+		rate = 1000 // read the energy model out at real time
+	}
+	m := energy.TrueNorth()
+	st.PowerW = m.PowerW(st.Load, rate, m.VRef)
+	st.GSOPS = st.Load.SOPS(rate) / 1e9
+	st.GSOPSPerWatt = m.GSOPSPerWatt(st.Load, rate, m.VRef)
+	return st
+}
+
+// Close stops the driver goroutine, releases subscribers, and fails all
+// pending waiters with ErrClosed. Closing twice is a no-op. The underlying
+// engine is left at its final state and may be used directly afterwards.
+func (s *Session) Close() error {
+	err := s.do(context.Background(), func() { s.closing = true })
+	if err != nil && !errors.Is(err, ErrClosed) {
+		return err
+	}
+	<-s.done
+	return nil
+}

@@ -1,0 +1,501 @@
+package runtime_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	_ "truenorth/internal/chip"
+	"truenorth/internal/core"
+	"truenorth/internal/neuron"
+	"truenorth/internal/router"
+	rt "truenorth/internal/runtime"
+	"truenorth/internal/sim"
+	"truenorth/internal/spikeio"
+)
+
+// relayEngine builds the 2×1 relay mesh: injecting axon 0 on core (0,0)
+// with delay d at tick T emits output id 7 at tick T+d+1.
+func relayEngine(t *testing.T) sim.Engine {
+	t.Helper()
+	a := core.InertConfig()
+	a.Synapses[0].Set(0)
+	a.Neurons[0] = neuron.Identity()
+	a.Targets[0] = core.Target{Valid: true, DX: 1, Axon: 0, Delay: 1}
+	b := core.InertConfig()
+	b.Synapses[0].Set(0)
+	b.Neurons[0] = neuron.Identity()
+	b.Targets[0] = core.Target{Valid: true, Output: true, OutputID: 7}
+	eng, err := sim.NewEngine("chip", router.Mesh{W: 2, H: 1}, []*core.Config{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func newSession(t *testing.T, opts ...rt.Option) *rt.Session {
+	t.Helper()
+	s := rt.New(relayEngine(t), opts...)
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestRunInjectDrain(t *testing.T) {
+	ctx := context.Background()
+	s := newSession(t)
+	if err := s.Inject(ctx, 0, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(ctx, 5); err != nil {
+		t.Fatal(err)
+	}
+	tick, err := s.Tick(ctx)
+	if err != nil || tick != 5 {
+		t.Fatalf("tick = %d, %v; want 5", tick, err)
+	}
+	out, err := s.Drain(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Tick != 1 || out[0].ID != 7 {
+		t.Fatalf("outputs = %v, want one spike {1 7}", out)
+	}
+	// Drain clears.
+	if out, _ := s.Drain(ctx); len(out) != 0 {
+		t.Fatalf("second drain returned %v", out)
+	}
+}
+
+func TestStepAdvancesOneTick(t *testing.T) {
+	ctx := context.Background()
+	s := newSession(t)
+	for i := 0; i < 3; i++ {
+		if err := s.Step(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tick, _ := s.Tick(ctx); tick != 3 {
+		t.Fatalf("tick = %d after 3 steps", tick)
+	}
+}
+
+func TestInjectValidates(t *testing.T) {
+	ctx := context.Background()
+	s := newSession(t)
+	if err := s.Inject(ctx, 9, 0, 0, 0); err == nil {
+		t.Fatal("off-mesh injection accepted")
+	}
+	if err := s.Inject(ctx, 0, 0, 300, 0); err == nil {
+		t.Fatal("out-of-range axon accepted")
+	}
+}
+
+func TestCheckpointRestoreFiltersUndrainedOutputs(t *testing.T) {
+	ctx := context.Background()
+	s := newSession(t)
+	if err := s.Inject(ctx, 0, 0, 0, 0); err != nil { // output at tick 1
+		t.Fatal(err)
+	}
+	if err := s.Run(ctx, 5); err != nil {
+		t.Fatal(err)
+	}
+	var ckpt bytes.Buffer
+	if err := s.Checkpoint(ctx, &ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Inject(ctx, 0, 0, 0, 0); err != nil { // output at tick 6
+		t.Fatal(err)
+	}
+	if err := s.Run(ctx, 5); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tick != 10 || st.PendingOutputs != 2 {
+		t.Fatalf("pre-restore stats = tick %d, %d pending; want 10, 2", st.Tick, st.PendingOutputs)
+	}
+	if err := s.Restore(ctx, &ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if tick, _ := s.Tick(ctx); tick != 5 {
+		t.Fatalf("restored tick = %d, want 5", tick)
+	}
+	// The tick-6 spike belongs to the rewound segment and must be gone;
+	// the tick-1 spike predates the checkpoint and must survive.
+	out, err := s.Drain(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Tick != 1 {
+		t.Fatalf("post-restore outputs = %v, want only the tick-1 spike", out)
+	}
+}
+
+func TestStartPauseResumeWait(t *testing.T) {
+	ctx := context.Background()
+	s := newSession(t)
+	if err := s.SetTickRate(ctx, 200); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(10000); err != nil {
+		t.Fatal(err)
+	}
+	// A second run is rejected while one is in flight.
+	if err := s.Run(ctx, 1); !errors.Is(err, rt.ErrBusy) {
+		t.Fatalf("concurrent Run = %v, want ErrBusy", err)
+	}
+	if err := s.Restore(ctx, bytes.NewReader(nil)); !errors.Is(err, rt.ErrBusy) {
+		t.Fatalf("Restore while running = %v, want ErrBusy", err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	paused, err := s.Pause(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Running {
+		t.Fatal("stats report running after pause")
+	}
+	if st.Tick != paused {
+		t.Fatalf("stats tick %d != paused tick %d", st.Tick, paused)
+	}
+	// Resume at full speed toward the original target and wait it out.
+	if err := s.SetTickRate(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Resume(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if tick, _ := s.Tick(ctx); tick != 10000 {
+		t.Fatalf("tick after resume+wait = %d, want 10000", tick)
+	}
+	// Resuming a completed run is a no-op.
+	if err := s.Resume(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := s.Stats(ctx); st.Running {
+		t.Fatal("no-op resume left the session running")
+	}
+}
+
+func TestRunReturnsErrPausedWhenInterrupted(t *testing.T) {
+	ctx := context.Background()
+	s := newSession(t)
+	if err := s.SetTickRate(ctx, 100); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- s.Run(ctx, 100000) }()
+	time.Sleep(10 * time.Millisecond)
+	if _, err := s.Pause(ctx); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-got:
+		if !errors.Is(err, rt.ErrPaused) {
+			t.Fatalf("interrupted Run = %v, want ErrPaused", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after Pause")
+	}
+}
+
+func TestRunCtxCancellationPausesTheEngine(t *testing.T) {
+	s := newSession(t)
+	if err := s.SetTickRate(context.Background(), 100); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Run(ctx, 100000); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Run = %v, want deadline exceeded", err)
+	}
+	st, err := s.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Running {
+		t.Fatal("engine still running after the caller's context expired")
+	}
+	if st.Tick >= 100000 {
+		t.Fatalf("tick = %d; the run was supposed to be cut short", st.Tick)
+	}
+}
+
+func TestPacingSlowsTicking(t *testing.T) {
+	ctx := context.Background()
+	s := newSession(t, rt.WithTickRate(100))
+	begin := time.Now()
+	if err := s.Run(ctx, 10); err != nil {
+		t.Fatal(err)
+	}
+	// 10 ticks at 100 Hz is 100 ms of pacing; allow generous slack below
+	// but require clearly more than free-running (which is microseconds).
+	if took := time.Since(begin); took < 50*time.Millisecond {
+		t.Fatalf("paced run of 10 ticks at 100 Hz took only %v", took)
+	}
+}
+
+func TestStreamingInputsAndSubscribe(t *testing.T) {
+	ctx := context.Background()
+	s := newSession(t)
+	sub, cancel, err := s.Subscribe(ctx, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetTickRate(ctx, 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(0); err != nil { // unbounded run
+		t.Fatal(err)
+	}
+	// Stream an input for absolute tick 50 — 100 ms of pacing away, far
+	// beyond the loop's input-consumption latency.
+	s.Inputs() <- spikeio.Event{Tick: 50, ID: spikeio.Encode(0, 0, 0)}
+	select {
+	case o, ok := <-sub:
+		if !ok {
+			t.Fatal("subscription closed early")
+		}
+		if o.ID != 7 || o.Tick != 51 {
+			t.Fatalf("streamed spike = %+v, want {51 7}", o)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("streamed input never produced a streamed output")
+	}
+	if _, err := s.Pause(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, ok := <-sub; ok {
+		t.Fatal("canceled subscription still open")
+	}
+	// The drain path saw the same spike.
+	out, err := s.Drain(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Tick != 51 {
+		t.Fatalf("drain = %v, want the tick-51 spike", out)
+	}
+}
+
+func TestPastTickStreamedInputsAreCounted(t *testing.T) {
+	ctx := context.Background()
+	s := newSession(t)
+	if err := s.Run(ctx, 10); err != nil {
+		t.Fatal(err)
+	}
+	s.Inputs() <- spikeio.Event{Tick: 3, ID: spikeio.Encode(0, 0, 0)}
+	// The loop consumes inputs while idle; poll until the counter moves.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := s.Stats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.DroppedInputs == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dropped-input counter = %d, want 1", st.DroppedInputs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSlowSubscriberDropsNotStalls(t *testing.T) {
+	ctx := context.Background()
+	s := newSession(t)
+	sub, cancel, err := s.Subscribe(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	// Two spikes on different ticks against a capacity-1 unread channel:
+	// the second must be dropped, not block the loop.
+	if err := s.Inject(ctx, 0, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Inject(ctx, 0, 0, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(ctx, 10); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DroppedStream != 1 {
+		t.Fatalf("dropped-stream counter = %d, want 1", st.DroppedStream)
+	}
+	if o := <-sub; o.Tick != 1 {
+		t.Fatalf("subscriber got %+v, want the tick-1 spike", o)
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	ctx := context.Background()
+	s := newSession(t)
+	if err := s.Inject(ctx, 0, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(ctx, 100); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PopulatedCores != 2 || st.Neurons != 2*core.NeuronsPerCore {
+		t.Fatalf("model shape = %d cores, %d neurons", st.PopulatedCores, st.Neurons)
+	}
+	if st.Tick != 100 || st.Counters.Spikes != 2 {
+		t.Fatalf("tick %d spikes %d, want 100 and 2", st.Tick, st.Counters.Spikes)
+	}
+	if st.FiringRateHz <= 0 {
+		t.Fatal("firing rate not positive despite spikes")
+	}
+	if st.PowerW <= 0 || st.GSOPSPerWatt < 0 {
+		t.Fatalf("energy readout PowerW=%g GSOPS/W=%g", st.PowerW, st.GSOPSPerWatt)
+	}
+	if st.PendingOutputs != 1 {
+		t.Fatalf("pending outputs = %d, want 1", st.PendingOutputs)
+	}
+}
+
+func TestAutoCheckpoint(t *testing.T) {
+	ctx := context.Background()
+	var mu sync.Mutex
+	var ticks []uint64
+	var last *bytes.Buffer
+	s := newSession(t, rt.WithAutoCheckpoint(4, func(tick uint64) (io.WriteCloser, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		ticks = append(ticks, tick)
+		last = &bytes.Buffer{}
+		return nopCloser{last}, nil
+	}))
+	if err := s.Run(ctx, 10); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(ticks) != 2 || ticks[0] != 4 || ticks[1] != 8 {
+		t.Fatalf("auto-checkpoint ticks = %v, want [4 8]", ticks)
+	}
+	if st.CheckpointTick != 8 || st.LastCheckpointError != "" {
+		t.Fatalf("stats checkpoint tick %d err %q", st.CheckpointTick, st.LastCheckpointError)
+	}
+	// The last checkpoint restores a fresh session of the same model.
+	fresh := newSession(t)
+	if err := fresh.Restore(ctx, bytes.NewReader(last.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if tick, _ := fresh.Tick(ctx); tick != 8 {
+		t.Fatalf("restored fresh session at tick %d, want 8", tick)
+	}
+}
+
+type nopCloser struct{ *bytes.Buffer }
+
+func (nopCloser) Close() error { return nil }
+
+func TestCloseSemantics(t *testing.T) {
+	ctx := context.Background()
+	s := rt.New(relayEngine(t))
+	sub, _, err := s.Subscribe(ctx, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waited := make(chan error, 1)
+	if err := s.SetTickRate(ctx, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(100000); err != nil {
+		t.Fatal(err)
+	}
+	go func() { waited <- s.Wait(context.Background()) }()
+	time.Sleep(5 * time.Millisecond)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("second close:", err)
+	}
+	if err := s.Run(ctx, 1); !errors.Is(err, rt.ErrClosed) {
+		t.Fatalf("Run after close = %v, want ErrClosed", err)
+	}
+	if _, err := s.Stats(ctx); !errors.Is(err, rt.ErrClosed) {
+		t.Fatalf("Stats after close = %v, want ErrClosed", err)
+	}
+	if _, ok := <-sub; ok {
+		t.Fatal("subscription survived close")
+	}
+	select {
+	case err := <-waited:
+		if !errors.Is(err, rt.ErrClosed) {
+			t.Fatalf("Wait across close = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait never returned after close")
+	}
+}
+
+func TestTickRateValidation(t *testing.T) {
+	ctx := context.Background()
+	s := newSession(t)
+	if err := s.SetTickRate(ctx, -1); err == nil {
+		t.Fatal("negative tick rate accepted")
+	}
+}
+
+// TestConcurrentAccess hammers one session from many goroutines — the
+// -race suite's target for the command-loop serialization.
+func TestConcurrentAccess(t *testing.T) {
+	ctx := context.Background()
+	s := newSession(t)
+	if err := s.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				switch g % 4 {
+				case 0:
+					s.Inject(ctx, 0, 0, 0, i%15) //nolint:errcheck
+				case 1:
+					s.Stats(ctx) //nolint:errcheck
+				case 2:
+					s.Drain(ctx) //nolint:errcheck
+				case 3:
+					s.Tick(ctx) //nolint:errcheck
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if _, err := s.Pause(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

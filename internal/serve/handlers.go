@@ -1,0 +1,422 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"truenorth/internal/runtime"
+	"truenorth/internal/spikeio"
+)
+
+// SessionInfo is the JSON stats snapshot of one session.
+type SessionInfo struct {
+	ID     string `json:"id"`
+	Name   string `json:"name,omitempty"`
+	Engine string `json:"engine"`
+
+	Tick       uint64  `json:"tick"`
+	Running    bool    `json:"running"`
+	TargetTick uint64  `json:"target_tick,omitempty"` // 0 = none/unbounded
+	TickRateHz float64 `json:"tick_rate_hz"`
+
+	Cores   int `json:"cores"`
+	Neurons int `json:"neurons"`
+
+	Spikes       uint64 `json:"spikes"`
+	SynEvents    uint64 `json:"syn_events"`
+	RoutedSpikes uint64 `json:"routed_spikes"`
+	Hops         uint64 `json:"hops"`
+	Dropped      uint64 `json:"dropped"`
+
+	FiringRateHz float64 `json:"firing_rate_hz"`
+	PowerW       float64 `json:"power_w"`
+	GSOPS        float64 `json:"gsops"`
+	GSOPSPerWatt float64 `json:"gsops_per_watt"`
+
+	PendingOutputs int    `json:"pending_outputs"`
+	DroppedInputs  uint64 `json:"dropped_inputs"`
+	DroppedStream  uint64 `json:"dropped_stream"`
+
+	CheckpointTick      uint64 `json:"checkpoint_tick,omitempty"`
+	LastCheckpointError string `json:"last_checkpoint_error,omitempty"`
+}
+
+// info snapshots a session into the wire shape.
+func (se *session) info(r *http.Request) (SessionInfo, error) {
+	st, err := se.sess.Stats(r.Context())
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	info := SessionInfo{
+		ID:     se.id,
+		Name:   se.name,
+		Engine: se.engine,
+
+		Tick:       st.Tick,
+		Running:    st.Running,
+		TickRateHz: st.TickRateHz,
+
+		Cores:   st.PopulatedCores,
+		Neurons: st.Neurons,
+
+		Spikes:       st.Counters.Spikes,
+		SynEvents:    st.Counters.SynEvents,
+		RoutedSpikes: st.NoC.RoutedSpikes,
+		Hops:         st.NoC.Hops,
+		Dropped:      st.NoC.Dropped,
+
+		FiringRateHz: st.FiringRateHz,
+		PowerW:       st.PowerW,
+		GSOPS:        st.GSOPS,
+		GSOPSPerWatt: st.GSOPSPerWatt,
+
+		PendingOutputs: st.PendingOutputs,
+		DroppedInputs:  st.DroppedInputs,
+		DroppedStream:  st.DroppedStream,
+
+		CheckpointTick:      st.CheckpointTick,
+		LastCheckpointError: st.LastCheckpointError,
+	}
+	if st.Running && st.TargetTick != ^uint64(0) {
+		info.TargetTick = st.TargetTick
+	}
+	return info, nil
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, se *session) {
+	info, err := se.info(r)
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// RunRequest advances a session. Ticks is relative, Until absolute
+// (Ticks wins if both are set; neither = run until paused). Wait blocks
+// the request until the run ends — the synchronous "step N ticks" shape —
+// while Wait=false returns immediately and the run proceeds in the
+// background.
+type RunRequest struct {
+	Ticks int    `json:"ticks,omitempty"`
+	Until uint64 `json:"until,omitempty"`
+	Wait  bool   `json:"wait,omitempty"`
+}
+
+// RunResponse reports where the session ended up. Paused is set when a
+// waited-on run was interrupted by a pause rather than completing.
+type RunResponse struct {
+	Tick    uint64 `json:"tick"`
+	Running bool   `json:"running"`
+	Paused  bool   `json:"paused,omitempty"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, se *session) {
+	var req RunRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var runErr error
+	paused := false
+	if req.Wait {
+		switch {
+		case req.Ticks > 0:
+			runErr = se.sess.Run(r.Context(), req.Ticks)
+		case req.Until > 0:
+			runErr = se.sess.RunUntil(r.Context(), req.Until)
+		default:
+			runErr = fmt.Errorf("a waited run needs ticks or until")
+		}
+		if errors.Is(runErr, runtime.ErrPaused) {
+			paused, runErr = true, nil
+		}
+	} else {
+		switch {
+		case req.Ticks > 0:
+			runErr = se.sess.Start(req.Ticks)
+		case req.Until > 0:
+			tick, err := se.sess.Tick(r.Context())
+			if err == nil && req.Until <= tick {
+				runErr = nil // already there
+			} else {
+				runErr = se.sess.Start(int(req.Until - tick))
+			}
+		default:
+			runErr = se.sess.Start(0) // run until paused
+		}
+	}
+	if runErr != nil {
+		writeError(w, statusOf(runErr), runErr)
+		return
+	}
+	st, err := se.sess.Stats(r.Context())
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RunResponse{Tick: st.Tick, Running: st.Running, Paused: paused})
+}
+
+func (s *Server) handlePause(w http.ResponseWriter, r *http.Request, se *session) {
+	tick, err := se.sess.Pause(r.Context())
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RunResponse{Tick: tick, Running: false})
+}
+
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request, se *session) {
+	if err := se.sess.Resume(r.Context()); err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	st, err := se.sess.Stats(r.Context())
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RunResponse{Tick: st.Tick, Running: st.Running})
+}
+
+// RateRequest changes session pacing.
+type RateRequest struct {
+	Hz float64 `json:"hz"`
+}
+
+func (s *Server) handleRate(w http.ResponseWriter, r *http.Request, se *session) {
+	var req RateRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := se.sess.SetTickRate(r.Context(), req.Hz); err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]float64{"hz": req.Hz})
+}
+
+// InjectRequest carries external input spikes: Events use absolute-tick
+// spikeio addressing, Spikes are relative to the session's next tick.
+// Both forms go through the engine's validating injection path.
+type InjectRequest struct {
+	Events []InjectEvent `json:"events,omitempty"`
+	Spikes []InjectSpike `json:"spikes,omitempty"`
+}
+
+// InjectEvent is one absolute-tick input event.
+type InjectEvent struct {
+	Tick uint64 `json:"tick"`
+	X    int    `json:"x"`
+	Y    int    `json:"y"`
+	Axon int    `json:"axon"`
+}
+
+// InjectSpike is one delay-relative injection.
+type InjectSpike struct {
+	X     int `json:"x"`
+	Y     int `json:"y"`
+	Axon  int `json:"axon"`
+	Delay int `json:"delay"`
+}
+
+func (s *Server) handleInject(w http.ResponseWriter, r *http.Request, se *session) {
+	var req InjectRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	dropped := 0
+	if len(req.Events) > 0 {
+		events := make([]spikeio.Event, len(req.Events))
+		for i, e := range req.Events {
+			events[i] = spikeio.Event{Tick: e.Tick, ID: spikeio.Encode(e.X, e.Y, e.Axon)}
+		}
+		d, err := se.sess.InjectEvents(r.Context(), events)
+		dropped += d
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+	}
+	for _, sp := range req.Spikes {
+		if err := se.sess.Inject(r.Context(), sp.X, sp.Y, sp.Axon, sp.Delay); err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]int{
+		"injected": len(req.Events) + len(req.Spikes) - dropped,
+		"dropped":  dropped,
+	})
+}
+
+func (s *Server) handleOutputs(w http.ResponseWriter, r *http.Request, se *session) {
+	out, err := se.sess.Drain(r.Context())
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	if r.URL.Query().Get("format") == "aer" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		spikeio.Write(w, spikeio.FromOutputs(out)) //nolint:errcheck // client gone
+		return
+	}
+	type spike struct {
+		Tick uint64 `json:"tick"`
+		ID   int32  `json:"id"`
+	}
+	spikes := make([]spike, len(out))
+	for i, o := range out {
+		spikes[i] = spike{o.Tick, o.ID}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"spikes": spikes})
+}
+
+// handleStream serves a live AER feed: one `tick id` line per output
+// spike, flushed as spikes arrive, until the client disconnects or the
+// session closes. The feed is best-effort under backpressure (a slow
+// client loses spikes rather than stalling the tick loop); exact capture
+// is the outputs endpoint.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, se *session) {
+	buf := 4096
+	if v := r.URL.Query().Get("buffer"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid buffer %q", v))
+			return
+		}
+		buf = n
+	}
+	sub, cancel, err := se.sess.Subscribe(r.Context(), buf)
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	defer cancel()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	if fl != nil {
+		fl.Flush() // commit headers so clients see the stream open
+	}
+	for {
+		select {
+		case o, ok := <-sub:
+			if !ok {
+				return // session closed
+			}
+			if _, err := fmt.Fprintf(w, "%d %d\n", o.Tick, o.ID); err != nil {
+				return
+			}
+			// Batch whatever else is already queued before flushing.
+		batch:
+			for {
+				select {
+				case o, ok := <-sub:
+					if !ok {
+						return
+					}
+					if _, err := fmt.Fprintf(w, "%d %d\n", o.Tick, o.ID); err != nil {
+						return
+					}
+				default:
+					break batch
+				}
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request, se *session) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := se.sess.Checkpoint(r.Context(), w); err != nil {
+		// Headers may already be out; report what we can.
+		writeError(w, statusOf(err), err)
+		return
+	}
+}
+
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request, se *session) {
+	if err := se.sess.Restore(r.Context(), r.Body); err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	tick, err := se.sess.Tick(r.Context())
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RunResponse{Tick: tick, Running: false})
+}
+
+// handleMetrics renders Prometheus-style text: per-session gauges labeled
+// by session id, in sorted order so scrapes are deterministic.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	all := make([]*session, 0, len(s.sessions))
+	for _, se := range s.sessions {
+		all = append(all, se)
+	}
+	s.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "# HELP truenorth_sessions Live simulation sessions.\n")
+	fmt.Fprintf(w, "# TYPE truenorth_sessions gauge\n")
+	fmt.Fprintf(w, "truenorth_sessions %d\n", len(all))
+	for _, se := range all {
+		st, err := se.sess.Stats(r.Context())
+		if err != nil {
+			continue // racing with deletion
+		}
+		l := fmt.Sprintf(`session=%q,engine=%q`, se.id, se.engine)
+		fmt.Fprintf(w, "truenorth_session_tick{%s} %d\n", l, st.Tick)
+		fmt.Fprintf(w, "truenorth_session_running{%s} %d\n", l, boolGauge(st.Running))
+		fmt.Fprintf(w, "truenorth_session_tick_rate_hz{%s} %g\n", l, st.TickRateHz)
+		fmt.Fprintf(w, "truenorth_session_neurons{%s} %d\n", l, st.Neurons)
+		fmt.Fprintf(w, "truenorth_session_spikes_total{%s} %d\n", l, st.Counters.Spikes)
+		fmt.Fprintf(w, "truenorth_session_syn_events_total{%s} %d\n", l, st.Counters.SynEvents)
+		fmt.Fprintf(w, "truenorth_session_noc_hops_total{%s} %d\n", l, st.NoC.Hops)
+		fmt.Fprintf(w, "truenorth_session_noc_dropped_total{%s} %d\n", l, st.NoC.Dropped)
+		fmt.Fprintf(w, "truenorth_session_firing_rate_hz{%s} %g\n", l, st.FiringRateHz)
+		fmt.Fprintf(w, "truenorth_session_power_watts{%s} %g\n", l, st.PowerW)
+		fmt.Fprintf(w, "truenorth_session_gsops_per_watt{%s} %g\n", l, st.GSOPSPerWatt)
+		fmt.Fprintf(w, "truenorth_session_pending_outputs{%s} %d\n", l, st.PendingOutputs)
+		fmt.Fprintf(w, "truenorth_session_dropped_inputs_total{%s} %d\n", l, st.DroppedInputs)
+		fmt.Fprintf(w, "truenorth_session_dropped_stream_total{%s} %d\n", l, st.DroppedStream)
+	}
+}
+
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// decodeBody decodes an optional JSON body (empty bodies decode to the
+// zero request).
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,368 @@
+// Package serve exposes the session runtime over HTTP/JSON — the
+// many-tenant serving surface of the simulator. The paper's machine is an
+// always-on appliance: models stream spikes in and out while operators
+// watch rate, power, and efficiency. tnserved reproduces that shape in
+// software: each session is one chip running one model at its own tick
+// rate, and the service hosts many concurrently (sessions are fully
+// isolated — separate engines, separate driver goroutines — so their
+// spike streams are exactly what single-tenant runs would produce).
+//
+// Endpoints (all JSON unless noted):
+//
+//	POST   /v1/sessions                 create (netgen params or model file)
+//	GET    /v1/sessions                 list
+//	GET    /v1/sessions/{id}            stats snapshot
+//	DELETE /v1/sessions/{id}            close and remove
+//	POST   /v1/sessions/{id}/run        {"ticks":N}|{"until":T}, "wait":bool
+//	POST   /v1/sessions/{id}/pause      → {"tick":T}
+//	POST   /v1/sessions/{id}/resume     continue a paused run
+//	POST   /v1/sessions/{id}/rate       {"hz":F} (0 = free-running)
+//	POST   /v1/sessions/{id}/inject     absolute-tick events or delayed spikes
+//	GET    /v1/sessions/{id}/outputs    drain; ?format=aer for spikeio text
+//	GET    /v1/sessions/{id}/stream     live AER stream until disconnect
+//	GET    /v1/sessions/{id}/checkpoint binary checkpoint download
+//	POST   /v1/sessions/{id}/restore    binary checkpoint upload
+//	GET    /metrics                     Prometheus-style text
+//	GET    /healthz                     liveness
+//
+// Model admission is gated exactly like tnsim: loaded model files and
+// output-tapped generated networks verify under
+// modelcheck.Options{AssumeExternalInput: true}; closed generated networks
+// get the full static analysis; "force" skips verification explicitly.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+
+	"truenorth/internal/core"
+	"truenorth/internal/model"
+	"truenorth/internal/modelcheck"
+	"truenorth/internal/netgen"
+	"truenorth/internal/router"
+	"truenorth/internal/runtime"
+	"truenorth/internal/sim"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// MaxSessions caps concurrently live sessions (0 = unlimited).
+	MaxSessions int
+	// DefaultEngine names the engine used when a create request does not
+	// pick one ("compass" when empty).
+	DefaultEngine string
+}
+
+// Server manages a set of live simulation sessions.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	seq      int
+	sessions map[string]*session
+}
+
+// session is one hosted model.
+type session struct {
+	id     string
+	name   string
+	engine string
+	sess   *runtime.Session
+}
+
+// NewServer returns an empty server.
+func NewServer(cfg Config) *Server {
+	if cfg.DefaultEngine == "" {
+		cfg.DefaultEngine = "compass"
+	}
+	return &Server{cfg: cfg, sessions: map[string]*session{}}
+}
+
+// Close shuts down every session.
+func (s *Server) Close() {
+	s.mu.Lock()
+	all := make([]*session, 0, len(s.sessions))
+	for _, se := range s.sessions {
+		all = append(all, se)
+	}
+	s.sessions = map[string]*session{}
+	s.mu.Unlock()
+	for _, se := range all {
+		se.sess.Close() //nolint:errcheck
+	}
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	mux.HandleFunc("GET /v1/sessions", s.handleList)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.withSession(s.handleStats))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	mux.HandleFunc("POST /v1/sessions/{id}/run", s.withSession(s.handleRun))
+	mux.HandleFunc("POST /v1/sessions/{id}/pause", s.withSession(s.handlePause))
+	mux.HandleFunc("POST /v1/sessions/{id}/resume", s.withSession(s.handleResume))
+	mux.HandleFunc("POST /v1/sessions/{id}/rate", s.withSession(s.handleRate))
+	mux.HandleFunc("POST /v1/sessions/{id}/inject", s.withSession(s.handleInject))
+	mux.HandleFunc("GET /v1/sessions/{id}/outputs", s.withSession(s.handleOutputs))
+	mux.HandleFunc("GET /v1/sessions/{id}/stream", s.withSession(s.handleStream))
+	mux.HandleFunc("GET /v1/sessions/{id}/checkpoint", s.withSession(s.handleCheckpoint))
+	mux.HandleFunc("POST /v1/sessions/{id}/restore", s.withSession(s.handleRestore))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// withSession resolves {id} and 404s unknown sessions.
+func (s *Server) withSession(h func(http.ResponseWriter, *http.Request, *session)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		s.mu.Lock()
+		se := s.sessions[id]
+		s.mu.Unlock()
+		if se == nil {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", id))
+			return
+		}
+		h(w, r, se)
+	}
+}
+
+// NetgenSpec mirrors netgen.Params for JSON creation requests.
+type NetgenSpec struct {
+	// Grid is the square core-mesh edge (64 = a full TrueNorth chip).
+	Grid int `json:"grid"`
+	// RateHz and SynPerNeuron pick the operating point.
+	RateHz       float64 `json:"rate_hz"`
+	SynPerNeuron int     `json:"syn_per_neuron"`
+	Seed         int64   `json:"seed"`
+	Stochastic   bool    `json:"stochastic,omitempty"`
+	Locality     float64 `json:"locality,omitempty"`
+	LocalRadius  int     `json:"local_radius,omitempty"`
+	// OutputEvery taps every Nth neuron per core to an output sink; a
+	// session without taps is a closed network and emits nothing.
+	OutputEvery int `json:"output_every,omitempty"`
+}
+
+// CreateRequest describes a new session. Exactly one of Netgen or
+// ModelPath provides the model.
+type CreateRequest struct {
+	// Name is an optional human label echoed in listings and metrics.
+	Name string `json:"name,omitempty"`
+	// Engine picks the execution engine (server default when empty).
+	Engine string `json:"engine,omitempty"`
+	// Workers is passed to the engine (compass: 0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// TickRateHz paces the session (1000 = real time; 0 = free-running).
+	TickRateHz float64 `json:"tick_rate_hz,omitempty"`
+	// Netgen generates a recurrent characterization network in-process.
+	Netgen *NetgenSpec `json:"netgen,omitempty"`
+	// ModelPath loads a model file from the server's filesystem.
+	ModelPath string `json:"model_path,omitempty"`
+	// Force admits a model despite static-verification findings.
+	Force bool `json:"force,omitempty"`
+	// CheckpointEvery enables periodic checkpoints to CheckpointPath
+	// (rewritten in place — a rolling recovery point).
+	CheckpointEvery uint64 `json:"checkpoint_every,omitempty"`
+	CheckpointPath  string `json:"checkpoint_path,omitempty"`
+}
+
+// buildModel resolves a create request to a verified mesh + configs,
+// mirroring tnsim's admission logic.
+func buildModel(req *CreateRequest) (router.Mesh, []*core.Config, error) {
+	switch {
+	case req.Netgen != nil && req.ModelPath != "":
+		return router.Mesh{}, nil, fmt.Errorf("request sets both netgen and model_path")
+	case req.Netgen != nil:
+		g := req.Netgen
+		mesh := router.Mesh{W: g.Grid, H: g.Grid}
+		configs, err := netgen.Build(netgen.Params{
+			Grid: mesh, RateHz: g.RateHz, SynPerNeuron: g.SynPerNeuron,
+			Seed: g.Seed, Stochastic: g.Stochastic,
+			Locality: g.Locality, LocalRadius: g.LocalRadius,
+			OutputEvery: g.OutputEvery,
+		})
+		if err != nil {
+			return router.Mesh{}, nil, err
+		}
+		if !req.Force {
+			// Closed generated networks get the full analysis; tapping
+			// opens the system, so tapped networks verify like loaded
+			// models (the tapped neurons' former axons lose their driver).
+			opts := modelcheck.Options{AssumeExternalInput: g.OutputEvery > 0}
+			if err := modelcheck.Verify(mesh, configs, opts); err != nil {
+				return router.Mesh{}, nil, fmt.Errorf("%w (set force to serve anyway)", err)
+			}
+		}
+		return mesh, configs, nil
+	case req.ModelPath != "":
+		verify := func(mesh router.Mesh, configs []*core.Config) error {
+			return modelcheck.Verify(mesh, configs, modelcheck.Options{AssumeExternalInput: true})
+		}
+		if req.Force {
+			verify = nil
+		}
+		f, err := os.Open(req.ModelPath)
+		if err != nil {
+			return router.Mesh{}, nil, err
+		}
+		defer f.Close()
+		return model.ReadModelVerified(f, verify)
+	default:
+		return router.Mesh{}, nil, fmt.Errorf("request must set netgen or model_path")
+	}
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.TickRateHz < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("tick_rate_hz %g is negative", req.TickRateHz))
+		return
+	}
+	if (req.CheckpointEvery > 0) != (req.CheckpointPath != "") {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("checkpoint_every and checkpoint_path must be set together"))
+		return
+	}
+	mesh, configs, err := buildModel(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	engine := req.Engine
+	if engine == "" {
+		engine = s.cfg.DefaultEngine
+	}
+	eng, err := sim.NewEngine(engine, mesh, configs, sim.WithWorkers(req.Workers))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts := []runtime.Option{runtime.WithTickRate(req.TickRateHz)}
+	if req.CheckpointEvery > 0 {
+		path := req.CheckpointPath
+		opts = append(opts, runtime.WithAutoCheckpoint(req.CheckpointEvery, rollingCheckpoint(path)))
+	}
+	se := &session{name: req.Name, engine: engine, sess: runtime.New(eng, opts...)}
+
+	s.mu.Lock()
+	if s.cfg.MaxSessions > 0 && len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		se.sess.Close() //nolint:errcheck
+		writeError(w, http.StatusConflict, fmt.Errorf("session limit (%d) reached", s.cfg.MaxSessions))
+		return
+	}
+	s.seq++
+	se.id = fmt.Sprintf("s-%d", s.seq)
+	s.sessions[se.id] = se
+	s.mu.Unlock()
+
+	info, err := se.info(r)
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+// rollingCheckpoint writes each periodic checkpoint to the same path via a
+// rename, so a crash mid-write never corrupts the previous recovery point.
+func rollingCheckpoint(path string) func(tick uint64) (io.WriteCloser, error) {
+	return func(tick uint64) (io.WriteCloser, error) {
+		tmp, err := os.CreateTemp("", "tnserved-ckpt-*")
+		if err != nil {
+			return nil, err
+		}
+		return &renameOnClose{File: tmp, dest: path}, nil
+	}
+}
+
+type renameOnClose struct {
+	*os.File
+	dest string
+}
+
+func (r *renameOnClose) Close() error {
+	if err := r.File.Close(); err != nil {
+		os.Remove(r.Name()) //nolint:errcheck
+		return err
+	}
+	return os.Rename(r.Name(), r.dest)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	all := make([]*session, 0, len(s.sessions))
+	for _, se := range s.sessions {
+		all = append(all, se)
+	}
+	s.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+	infos := make([]SessionInfo, 0, len(all))
+	for _, se := range all {
+		info, err := se.info(r)
+		if err != nil {
+			continue // racing with deletion; skip
+		}
+		infos = append(infos, info)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": infos})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	se := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if se == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", id))
+		return
+	}
+	se.sess.Close() //nolint:errcheck
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	n := len(s.sessions)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "sessions": n})
+}
+
+// writeJSON writes a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone
+}
+
+// writeError writes the uniform error shape.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// statusOf maps runtime errors to HTTP statuses.
+func statusOf(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, runtime.ErrBusy):
+		return http.StatusConflict
+	case errors.Is(err, runtime.ErrClosed):
+		return http.StatusGone
+	case errors.Is(err, runtime.ErrNoCheckpoint):
+		return http.StatusNotImplemented
+	default:
+		return http.StatusBadRequest
+	}
+}

@@ -1,0 +1,524 @@
+package serve_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	_ "truenorth/internal/chip"
+	_ "truenorth/internal/compass"
+	"truenorth/internal/core"
+	"truenorth/internal/model"
+	"truenorth/internal/netgen"
+	"truenorth/internal/neuron"
+	"truenorth/internal/router"
+	"truenorth/internal/serve"
+	"truenorth/internal/sim"
+	"truenorth/internal/spikeio"
+)
+
+func newTestServer(t *testing.T, cfg serve.Config) *httptest.Server {
+	t.Helper()
+	srv := serve.NewServer(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts
+}
+
+// call makes one JSON request and decodes the response into out (when
+// non-nil), returning the HTTP status.
+func call(t *testing.T, method, url string, body, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("%s %s: decoding %q: %v", method, url, raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// netgenSpec is the standard tapped test network at a given seed.
+func netgenSpec(seed int64) *serve.NetgenSpec {
+	return &serve.NetgenSpec{Grid: 4, RateHz: 90, SynPerNeuron: 64, Seed: seed, Stochastic: true, OutputEvery: 16}
+}
+
+// directAER runs the same network uninterrupted on a bare chip engine and
+// renders the AER text a perfectly isolated session must reproduce.
+func directAER(t *testing.T, seed int64, ticks int) string {
+	t.Helper()
+	mesh := router.Mesh{W: 4, H: 4}
+	configs, err := netgen.Build(netgen.Params{
+		Grid: mesh, RateHz: 90, SynPerNeuron: 64, Seed: seed, Stochastic: true, OutputEvery: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sim.NewEngine("chip", mesh, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(ticks)
+	var buf bytes.Buffer
+	if err := spikeio.Write(&buf, spikeio.FromOutputs(eng.DrainOutputs())); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func fetchAER(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	ts := newTestServer(t, serve.Config{})
+	var info serve.SessionInfo
+	status := call(t, "POST", ts.URL+"/v1/sessions",
+		serve.CreateRequest{Engine: "chip", Netgen: netgenSpec(1)}, &info)
+	if status != http.StatusCreated {
+		t.Fatalf("create = %d", status)
+	}
+	if info.ID == "" || info.Engine != "chip" || info.Cores != 16 || info.Neurons != 16*core.NeuronsPerCore {
+		t.Fatalf("create info = %+v", info)
+	}
+	base := ts.URL + "/v1/sessions/" + info.ID
+
+	// Synchronous run to tick 120.
+	var run serve.RunResponse
+	if st := call(t, "POST", base+"/run", serve.RunRequest{Ticks: 120, Wait: true}, &run); st != http.StatusOK {
+		t.Fatalf("run = %d", st)
+	}
+	if run.Tick != 120 || run.Running {
+		t.Fatalf("run response = %+v", run)
+	}
+
+	// The drained stream matches a bare-engine run byte for byte.
+	want := directAER(t, 1, 120)
+	if want == "" {
+		t.Fatal("reference run produced no spikes; the assay is vacuous")
+	}
+	if got := fetchAER(t, base+"/outputs?format=aer"); got != want {
+		t.Errorf("served stream diverged from the direct run (%d vs %d bytes)", len(got), len(want))
+	}
+
+	// Stats snapshot reflects the run.
+	if st := call(t, "GET", base, nil, &info); st != http.StatusOK {
+		t.Fatalf("stats = %d", st)
+	}
+	if info.Tick != 120 || info.Spikes == 0 || info.PowerW <= 0 || info.FiringRateHz <= 0 {
+		t.Fatalf("stats = %+v", info)
+	}
+
+	// Checkpoint, overshoot, restore: the session rewinds exactly.
+	ckpt := fetchAER(t, base+"/checkpoint")
+	if len(ckpt) == 0 {
+		t.Fatal("empty checkpoint")
+	}
+	if st := call(t, "POST", base+"/run", serve.RunRequest{Ticks: 30, Wait: true}, &run); st != http.StatusOK || run.Tick != 150 {
+		t.Fatalf("overshoot run = %d %+v", st, run)
+	}
+	resp, err := http.Post(base+"/restore", "application/octet-stream", strings.NewReader(ckpt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored serve.RunResponse
+	if err := json.NewDecoder(resp.Body).Decode(&restored); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || restored.Tick != 120 {
+		t.Fatalf("restore = %d %+v", resp.StatusCode, restored)
+	}
+
+	// Delete, then the session is gone.
+	if st := call(t, "DELETE", base, nil, nil); st != http.StatusOK {
+		t.Fatalf("delete = %d", st)
+	}
+	if st := call(t, "GET", base, nil, nil); st != http.StatusNotFound {
+		t.Fatalf("stats after delete = %d", st)
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	ts := newTestServer(t, serve.Config{})
+	for name, req := range map[string]serve.CreateRequest{
+		"no model":        {},
+		"both sources":    {Netgen: netgenSpec(1), ModelPath: "x"},
+		"unknown engine":  {Engine: "gpu", Netgen: netgenSpec(1)},
+		"bad netgen":      {Netgen: &serve.NetgenSpec{Grid: 4, RateHz: 5000}},
+		"missing model":   {ModelPath: filepath.Join(t.TempDir(), "absent.tnm")},
+		"negative rate":   {TickRateHz: -5, Netgen: netgenSpec(1)},
+		"ckpt path only":  {Netgen: netgenSpec(1), CheckpointPath: "x"},
+		"ckpt every only": {Netgen: netgenSpec(1), CheckpointEvery: 10},
+	} {
+		var out map[string]string
+		if st := call(t, "POST", ts.URL+"/v1/sessions", req, &out); st != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%v)", name, st, out)
+		} else if out["error"] == "" {
+			t.Errorf("%s: no error message", name)
+		}
+	}
+}
+
+func TestMaxSessions(t *testing.T) {
+	ts := newTestServer(t, serve.Config{MaxSessions: 1})
+	if st := call(t, "POST", ts.URL+"/v1/sessions", serve.CreateRequest{Engine: "chip", Netgen: netgenSpec(1)}, nil); st != http.StatusCreated {
+		t.Fatalf("first create = %d", st)
+	}
+	if st := call(t, "POST", ts.URL+"/v1/sessions", serve.CreateRequest{Engine: "chip", Netgen: netgenSpec(2)}, nil); st != http.StatusConflict {
+		t.Fatalf("second create = %d, want 409", st)
+	}
+}
+
+// relayModelPath writes the 2×1 relay model (inject axon 0 of (0,0) at
+// tick T, observe output id 7 at T+1) to a file for model_path creation.
+func relayModelPath(t *testing.T) string {
+	t.Helper()
+	a := core.InertConfig()
+	a.Synapses[0].Set(0)
+	a.Neurons[0] = neuron.Identity()
+	a.Targets[0] = core.Target{Valid: true, DX: 1, Axon: 0, Delay: 1}
+	b := core.InertConfig()
+	b.Synapses[0].Set(0)
+	b.Neurons[0] = neuron.Identity()
+	b.Targets[0] = core.Target{Valid: true, Output: true, OutputID: 7}
+	path := filepath.Join(t.TempDir(), "relay.tnm")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.WriteModel(f, router.Mesh{W: 2, H: 1}, []*core.Config{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestInjectAndOutputs(t *testing.T) {
+	ts := newTestServer(t, serve.Config{})
+	var info serve.SessionInfo
+	// The synthetic relay model legitimately trips reachability warnings
+	// (most axons are inert), so creation needs the explicit force flag —
+	// and first verify the gate actually rejects it without one.
+	req := serve.CreateRequest{Engine: "chip", ModelPath: relayModelPath(t)}
+	if st := call(t, "POST", ts.URL+"/v1/sessions", req, nil); st != http.StatusBadRequest {
+		t.Fatalf("unverifiable model admitted without force: %d", st)
+	}
+	req.Force = true
+	if st := call(t, "POST", ts.URL+"/v1/sessions", req, &info); st != http.StatusCreated {
+		t.Fatalf("create from model file = %d", st)
+	}
+	base := ts.URL + "/v1/sessions/" + info.ID
+
+	var injected map[string]int
+	inj := serve.InjectRequest{
+		Spikes: []serve.InjectSpike{{X: 0, Y: 0, Axon: 0, Delay: 0}},
+		Events: []serve.InjectEvent{{Tick: 5, X: 0, Y: 0, Axon: 0}},
+	}
+	if st := call(t, "POST", base+"/inject", inj, &injected); st != http.StatusOK {
+		t.Fatalf("inject = %d", st)
+	}
+	if injected["injected"] != 2 || injected["dropped"] != 0 {
+		t.Fatalf("inject response = %v", injected)
+	}
+	// Validation failures surface as errors, not silent drops.
+	bad := serve.InjectRequest{Spikes: []serve.InjectSpike{{X: 9, Y: 0, Axon: 0}}}
+	if st := call(t, "POST", base+"/inject", bad, nil); st != http.StatusBadRequest {
+		t.Fatalf("invalid inject = %d, want 400", st)
+	}
+
+	var run serve.RunResponse
+	if st := call(t, "POST", base+"/run", serve.RunRequest{Ticks: 10, Wait: true}, &run); st != http.StatusOK {
+		t.Fatalf("run = %d", st)
+	}
+	var outs struct {
+		Spikes []struct {
+			Tick uint64 `json:"tick"`
+			ID   int32  `json:"id"`
+		} `json:"spikes"`
+	}
+	if st := call(t, "GET", base+"/outputs", nil, &outs); st != http.StatusOK {
+		t.Fatalf("outputs = %d", st)
+	}
+	if len(outs.Spikes) != 2 || outs.Spikes[0].Tick != 1 || outs.Spikes[1].Tick != 6 || outs.Spikes[1].ID != 7 {
+		t.Fatalf("outputs = %+v, want spikes at ticks 1 and 6", outs.Spikes)
+	}
+}
+
+func TestPauseResumeAndRate(t *testing.T) {
+	ts := newTestServer(t, serve.Config{})
+	var info serve.SessionInfo
+	req := serve.CreateRequest{Engine: "chip", Netgen: netgenSpec(3), TickRateHz: 200}
+	if st := call(t, "POST", ts.URL+"/v1/sessions", req, &info); st != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	base := ts.URL + "/v1/sessions/" + info.ID
+
+	// Async run, pause it, resume it, and finish synchronously.
+	var run serve.RunResponse
+	if st := call(t, "POST", base+"/run", serve.RunRequest{Ticks: 5000}, &run); st != http.StatusOK {
+		t.Fatalf("async run = %d", st)
+	}
+	// A concurrent run on a busy session is rejected.
+	if st := call(t, "POST", base+"/run", serve.RunRequest{Ticks: 1, Wait: true}, nil); st != http.StatusConflict {
+		t.Fatalf("concurrent run = %d, want 409", st)
+	}
+	var paused serve.RunResponse
+	if st := call(t, "POST", base+"/pause", nil, &paused); st != http.StatusOK {
+		t.Fatalf("pause = %d", st)
+	}
+	if st := call(t, "POST", base+"/rate", serve.RateRequest{Hz: 0}, nil); st != http.StatusOK {
+		t.Fatal("rate change failed")
+	}
+	if st := call(t, "POST", base+"/resume", nil, &run); st != http.StatusOK {
+		t.Fatalf("resume = %d", st)
+	}
+	// Poll stats until the resumed run completes at tick 5000.
+	deadline := 500
+	for {
+		if st := call(t, "GET", base, nil, &info); st != http.StatusOK {
+			t.Fatalf("stats = %d", st)
+		}
+		if !info.Running {
+			break
+		}
+		if deadline--; deadline == 0 {
+			t.Fatalf("resumed run never finished (tick %d)", info.Tick)
+		}
+	}
+	if info.Tick != 5000 {
+		t.Fatalf("final tick = %d, want 5000", info.Tick)
+	}
+	if paused.Tick >= 5000 {
+		t.Fatalf("pause landed at %d, after the run completed", paused.Tick)
+	}
+}
+
+func TestStreamEndpoint(t *testing.T) {
+	ts := newTestServer(t, serve.Config{})
+	var info serve.SessionInfo
+	req := serve.CreateRequest{Engine: "chip", ModelPath: relayModelPath(t), TickRateHz: 500, Force: true}
+	if st := call(t, "POST", ts.URL+"/v1/sessions", req, &info); st != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	base := ts.URL + "/v1/sessions/" + info.ID
+
+	resp, err := http.Get(base + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream = %d", resp.StatusCode)
+	}
+
+	// Start an unbounded paced run and inject for absolute tick 50 — far
+	// enough ahead that the injection beats the tick.
+	if st := call(t, "POST", base+"/run", serve.RunRequest{}, nil); st != http.StatusOK {
+		t.Fatal("run failed")
+	}
+	inj := serve.InjectRequest{Events: []serve.InjectEvent{{Tick: 50, X: 0, Y: 0, Axon: 0}}}
+	if st := call(t, "POST", base+"/inject", inj, nil); st != http.StatusOK {
+		t.Fatal("inject failed")
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("stream closed without a spike: %v", sc.Err())
+	}
+	if line := sc.Text(); line != "51 7" {
+		t.Fatalf("streamed line = %q, want \"51 7\"", line)
+	}
+}
+
+// TestConcurrentSessions is the multi-tenant isolation assay the race
+// suite runs: ≥8 sessions created, driven, drained, and deleted from
+// concurrent goroutines, each required to reproduce its single-tenant
+// spike stream byte for byte.
+func TestConcurrentSessions(t *testing.T) {
+	const n = 9
+	ts := newTestServer(t, serve.Config{})
+
+	// Single-tenant references, one per seed.
+	want := make([]string, n)
+	for i := range want {
+		want[i] = directAER(t, int64(i+1), 60)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			engine := "chip"
+			if i%2 == 0 {
+				engine = "compass"
+			}
+			body, err := json.Marshal(serve.CreateRequest{
+				Name: fmt.Sprintf("tenant-%d", i), Engine: engine,
+				Workers: 1 + i%3, Netgen: netgenSpec(int64(i + 1)),
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			var info serve.SessionInfo
+			err = json.NewDecoder(resp.Body).Decode(&info)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusCreated {
+				errs <- fmt.Errorf("tenant %d: create = %d (%v)", i, resp.StatusCode, err)
+				return
+			}
+			base := ts.URL + "/v1/sessions/" + info.ID
+
+			runBody := bytes.NewReader([]byte(`{"ticks":60,"wait":true}`))
+			resp, err = http.Post(base+"/run", "application/json", runBody)
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("tenant %d: run = %d", i, resp.StatusCode)
+				return
+			}
+
+			resp, err = http.Get(base + "/outputs?format=aer")
+			if err != nil {
+				errs <- err
+				return
+			}
+			raw, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				errs <- err
+				return
+			}
+			if string(raw) != want[i] {
+				errs <- fmt.Errorf("tenant %d: stream diverged from single-tenant run (%d vs %d bytes)", i, len(raw), len(want[i]))
+				return
+			}
+
+			req, err := http.NewRequest("DELETE", base, nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp, err = http.DefaultClient.Do(req)
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("tenant %d: delete = %d", i, resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	var health struct {
+		Sessions int `json:"sessions"`
+	}
+	if st := call(t, "GET", ts.URL+"/healthz", nil, &health); st != http.StatusOK || health.Sessions != 0 {
+		t.Fatalf("healthz after teardown = %d, %d sessions", st, health.Sessions)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	ts := newTestServer(t, serve.Config{})
+	for seed := int64(1); seed <= 2; seed++ {
+		req := serve.CreateRequest{Engine: "chip", Netgen: netgenSpec(seed)}
+		if st := call(t, "POST", ts.URL+"/v1/sessions", req, nil); st != http.StatusCreated {
+			t.Fatal("create failed")
+		}
+	}
+	body := fetchAER(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"truenorth_sessions 2",
+		`truenorth_session_tick{session="s-1",engine="chip"} 0`,
+		`truenorth_session_neurons{session="s-2",engine="chip"} 4096`,
+		"truenorth_session_power_watts",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+	if strings.Index(body, `session="s-1"`) > strings.Index(body, `session="s-2"`) {
+		t.Error("metrics not in sorted session order")
+	}
+}
+
+func TestListSessions(t *testing.T) {
+	ts := newTestServer(t, serve.Config{})
+	req := serve.CreateRequest{Name: "alpha", Engine: "chip", Netgen: netgenSpec(1)}
+	if st := call(t, "POST", ts.URL+"/v1/sessions", req, nil); st != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	var list struct {
+		Sessions []serve.SessionInfo `json:"sessions"`
+	}
+	if st := call(t, "GET", ts.URL+"/v1/sessions", nil, &list); st != http.StatusOK {
+		t.Fatalf("list = %d", st)
+	}
+	if len(list.Sessions) != 1 || list.Sessions[0].Name != "alpha" {
+		t.Fatalf("list = %+v", list.Sessions)
+	}
+}

@@ -1,14 +1,18 @@
 package sim_test
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"truenorth/internal/chip"
 	"truenorth/internal/compass"
 	"truenorth/internal/core"
 	"truenorth/internal/netgen"
 	"truenorth/internal/router"
+	"truenorth/internal/runtime"
 	"truenorth/internal/sim"
 )
 
@@ -23,29 +27,29 @@ func determinismNet(t *testing.T, seed int64) (router.Mesh, []*core.Config) {
 	mesh := router.Mesh{W: 4, H: 4, TileW: 4, TileH: 4}
 	configs, err := netgen.Build(netgen.Params{
 		Grid: mesh, RateHz: 90, SynPerNeuron: 64, Seed: seed, Stochastic: true,
+		OutputEvery: 16, // tap neurons 0, 16, 32, … of every core
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for ci := range configs {
-		for j := 0; j < core.NeuronsPerCore; j += 16 {
-			configs[ci].Targets[j] = core.Target{Valid: true, Output: true, OutputID: int32(ci<<8 | j)}
-		}
-	}
 	return mesh, configs
 }
 
-// stream runs the engine and returns its full output-spike stream rendered
-// tick-for-tick, spike-for-spike as one comparable string.
-func stream(t *testing.T, eng sim.Engine, ticks int) string {
-	t.Helper()
-	eng.Run(ticks)
-	out := eng.DrainOutputs()
+// render serializes an output-spike stream tick-for-tick, spike-for-spike
+// as one comparable string.
+func render(out []sim.OutputSpike) string {
 	s := fmt.Sprintf("%d spikes\n", len(out))
 	for _, o := range out {
 		s += fmt.Sprintf("%d %d\n", o.Tick, o.ID)
 	}
 	return s
+}
+
+// stream runs the engine and returns its full rendered output stream.
+func stream(t *testing.T, eng sim.Engine, ticks int) string {
+	t.Helper()
+	eng.Run(ticks)
+	return render(eng.DrainOutputs())
 }
 
 // TestCrossEngineBitwiseReproducibility is the paper's one-to-one
@@ -70,7 +74,7 @@ func TestCrossEngineBitwiseReproducibility(t *testing.T) {
 			}
 			for i, workers := range []int{3, 7} {
 				mesh, configs := determinismNet(t, seed)
-				eng, err := compass.New(mesh, configs, compass.WithWorkers(workers))
+				eng, err := compass.New(mesh, configs, sim.WithWorkers(workers))
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -83,6 +87,100 @@ func TestCrossEngineBitwiseReproducibility(t *testing.T) {
 				if streams[i] != streams[0] {
 					t.Errorf("%s diverged from %s (%d vs %d bytes)", names[i], names[0], len(streams[i]), len(streams[0]))
 				}
+			}
+		})
+	}
+}
+
+// TestSessionDriverPreservesSpikeStream re-runs the equivalence claim
+// through the session runtime: a run that is paced, paused, resumed,
+// checkpointed, over-run, and rewound mid-flight must emit the exact
+// output stream of an uninterrupted batch run — on both engines. This is
+// what makes live serving trustworthy: *operating* a session (at any
+// moment, at any rate) cannot perturb what it computes, because every
+// session command lands between ticks, never inside one.
+func TestSessionDriverPreservesSpikeStream(t *testing.T) {
+	const ticks = 120
+	const seed = 46
+	ctx := context.Background()
+
+	// Reference: one uninterrupted batch run on the silicon model.
+	mesh, configs := determinismNet(t, seed)
+	ref, err := sim.NewEngine("chip", mesh, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := stream(t, ref, ticks)
+	if want == "0 spikes\n" {
+		t.Fatal("network produced no output spikes; the assay is vacuous")
+	}
+
+	for _, tc := range []struct {
+		name string
+		opts []sim.Option
+	}{
+		{"chip", nil},
+		{"compass", []sim.Option{sim.WithWorkers(5)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			mesh, configs := determinismNet(t, seed)
+			eng, err := sim.NewEngine(tc.name, mesh, configs, tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := runtime.New(eng)
+			defer s.Close()
+			// Segment 1: a paced asynchronous run, paused somewhere
+			// mid-flight (wherever the wall clock lands — determinism must
+			// hold for *any* interruption point), then resumed free-running
+			// to tick 60.
+			if err := s.SetTickRate(ctx, 2000); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Start(60); err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(5 * time.Millisecond)
+			if _, err := s.Pause(ctx); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.SetTickRate(ctx, 0); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Resume(ctx); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Wait(ctx); err != nil {
+				t.Fatal(err)
+			}
+			part1, err := s.Drain(ctx) // ticks [0, 60)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Checkpoint at tick 60, overshoot 25 ticks without draining,
+			// and rewind: the overshoot's spikes must vanish without trace.
+			var ckpt bytes.Buffer
+			if err := s.Checkpoint(ctx, &ckpt); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Run(ctx, 25); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Restore(ctx, &ckpt); err != nil {
+				t.Fatal(err)
+			}
+			// Segment 2: finish the run from the restored state.
+			if err := s.RunUntil(ctx, ticks); err != nil {
+				t.Fatal(err)
+			}
+			part2, err := s.Drain(ctx) // ticks [60, 120)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := render(append(part1, part2...))
+			if got != want {
+				t.Errorf("session-driven %s stream diverged from the batch run (%d vs %d bytes)",
+					tc.name, len(got), len(want))
 			}
 		})
 	}

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"truenorth/internal/core"
+	"truenorth/internal/router"
+)
+
+// Options is the engine-neutral construction configuration shared by every
+// kernel expression. Individual engines consume the fields that apply to
+// them and document the ones they ignore, so call sites stay
+// engine-agnostic: the same option list works whether the model runs on the
+// silicon model or the parallel simulator.
+type Options struct {
+	// Workers is the parallel worker count. 0 selects the engine's default
+	// (GOMAXPROCS for Compass); the single-threaded chip model accepts and
+	// ignores it.
+	Workers int
+	// Aggregate selects pairwise spike aggregation in the Compass engine
+	// (default true); the chip model routes spikes as they occur and has no
+	// message layer to aggregate.
+	Aggregate bool
+}
+
+// Option configures engine construction.
+type Option func(*Options)
+
+// BuildOptions folds opts over the defaults. Engine constructors call this;
+// applications only construct Option values.
+func BuildOptions(opts []Option) Options {
+	o := Options{Aggregate: true}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// WithWorkers sets the worker (thread) count for engines with a parallel
+// compute phase. 0 (the default) means the engine's own default; values
+// below 0 are treated as 1. The canonical chip model is defined to be
+// single-threaded — it accepts this option and ignores it, so that a
+// worker-tuned call site can switch engines without edits.
+func WithWorkers(n int) Option {
+	return func(o *Options) { o.Workers = n }
+}
+
+// WithAggregation toggles pairwise spike aggregation (default on) in
+// engines with a message-passing delivery phase. Results are identical
+// either way; only the communication cost differs.
+func WithAggregation(on bool) Option {
+	return func(o *Options) { o.Aggregate = on }
+}
+
+// Factory constructs one engine expression over a mesh and its row-major
+// core configurations.
+type Factory func(mesh router.Mesh, configs []*core.Config, opts ...Option) (Engine, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{}
+)
+
+// Register makes an engine expression available to NewEngine under name.
+// Engine packages self-register from init, so importing an engine package
+// (directly or blank) is what populates the registry — the database/sql
+// driver pattern. Register panics on a duplicate or empty name: both are
+// build-time wiring mistakes.
+func Register(name string, f Factory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if name == "" || f == nil {
+		panic("sim: Register with empty name or nil factory")
+	}
+	if _, dup := registry[name]; dup {
+		panic("sim: duplicate engine registration " + name)
+	}
+	registry[name] = f
+}
+
+// NewEngine constructs the named engine expression. It is the single
+// construction path for tools and services: the engine name is data (a
+// flag, a JSON field), not a compiled-in switch.
+func NewEngine(name string, mesh router.Mesh, configs []*core.Config, opts ...Option) (Engine, error) {
+	registryMu.RLock()
+	f := registry[name]
+	registryMu.RUnlock()
+	if f == nil {
+		return nil, fmt.Errorf("sim: unknown engine %q (have %v)", name, EngineNames())
+	}
+	return f(mesh, configs, opts...)
+}
+
+// EngineNames returns the registered engine names, sorted.
+func EngineNames() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CheckedInjector is implemented by engines whose Inject has a validating
+// twin. Inject is the kernel-internal fast path: it silently drops
+// out-of-range spikes (counted in NoC().Dropped), which is the right
+// behavior inside the tick loop but wrong at a trust boundary — a service
+// accepting spikes from the network must reject a bad address, not absorb
+// it. Both kernel expressions implement this interface.
+type CheckedInjector interface {
+	// InjectChecked is Inject with validation: it returns a descriptive
+	// error (and delivers nothing) when (x, y) is outside the mesh or an
+	// unpopulated slot, axon is outside [0, 256), or delay is negative.
+	InjectChecked(x, y, axon, delay int) error
+}
+
+// InjectChecked injects through eng's validating path when it has one and
+// falls back to the unchecked Inject otherwise — the helper trust-boundary
+// code calls so it never silently drops on a conforming engine.
+func InjectChecked(eng Engine, x, y, axon, delay int) error {
+	if ci, ok := eng.(CheckedInjector); ok {
+		return ci.InjectChecked(x, y, axon, delay)
+	}
+	eng.Inject(x, y, axon, delay)
+	return nil
+}

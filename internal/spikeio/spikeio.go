@@ -129,15 +129,21 @@ func Decode(id int32) (x, y, axon int) {
 // Replay injects an input stream into an engine. Events are delivered at
 // their absolute ticks relative to the engine's current tick (events whose
 // tick has already passed are dropped and counted in the return value).
-func Replay(eng sim.Engine, events []Event) (dropped int) {
+// Replay is a trust boundary — streams come from files and network peers —
+// so it goes through the engine's validating injection path: an event
+// addressing an absent core, out-of-range axon, or off-mesh coordinate
+// aborts the replay with an error rather than being silently absorbed.
+func Replay(eng sim.Engine, events []Event) (dropped int, err error) {
 	now := eng.Tick()
-	for _, e := range events {
+	for i, e := range events {
 		if e.Tick < now {
 			dropped++
 			continue
 		}
 		x, y, axon := Decode(e.ID)
-		eng.Inject(x, y, axon, int(e.Tick-now))
+		if err := sim.InjectChecked(eng, x, y, axon, int(e.Tick-now)); err != nil {
+			return dropped, fmt.Errorf("spikeio: event %d (tick %d): %w", i, e.Tick, err)
+		}
 	}
-	return dropped
+	return dropped, nil
 }

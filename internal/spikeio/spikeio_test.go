@@ -95,7 +95,11 @@ func TestRecordAndReplayEndToEnd(t *testing.T) {
 	}
 	run := func() []Event {
 		eng := relayChip(t)
-		if dropped := Replay(eng, stim); dropped != 0 {
+		dropped, err := Replay(eng, stim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dropped != 0 {
 			t.Fatalf("dropped %d events", dropped)
 		}
 		var rec Recorder
@@ -124,15 +128,32 @@ func TestRecordAndReplayEndToEnd(t *testing.T) {
 func TestReplayDropsPastEvents(t *testing.T) {
 	eng := relayChip(t)
 	eng.Run(10)
-	dropped := Replay(eng, []Event{
+	dropped, err := Replay(eng, []Event{
 		{Tick: 3, ID: Encode(0, 0, 0)},  // in the past
 		{Tick: 12, ID: Encode(0, 0, 0)}, // future
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if dropped != 1 {
 		t.Fatalf("dropped %d, want 1", dropped)
 	}
 	eng.Run(10)
 	if out := eng.DrainOutputs(); len(out) != 1 {
 		t.Fatalf("outputs = %v, want the single future event", out)
+	}
+}
+
+func TestReplayRejectsInvalidAddresses(t *testing.T) {
+	// Replay is a trust boundary: an event addressing an off-mesh core must
+	// abort with an error from the engine's validating injection path, not
+	// vanish into the dropped-packet counter.
+	eng := relayChip(t)
+	_, err := Replay(eng, []Event{{Tick: 0, ID: Encode(5, 0, 0)}})
+	if err == nil {
+		t.Fatal("replay of an off-mesh event succeeded; want validation error")
+	}
+	if noc := eng.NoC(); noc.Dropped != 0 {
+		t.Fatalf("invalid event was absorbed as a dropped packet (%d)", noc.Dropped)
 	}
 }

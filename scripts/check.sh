@@ -14,8 +14,12 @@
 #                      stochastic-mode consistency
 #   5. go test       — the full suite, including chip<->Compass equivalence
 #                      and the cross-engine bitwise-reproducibility assay
-#   6. go test -race — the parallel Compass engine and the cross-engine
-#                      determinism tests under the race detector
+#   6. go test -race — the parallel Compass engine, the cross-engine
+#                      determinism tests, and the session-runtime/serving
+#                      layers under the race detector
+#   7. serve smoke   — boot tnserved, pause/resume and checkpoint/restore
+#                      a live session, and require its output stream to be
+#                      byte-identical to batch tnsim runs on both engines
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -34,7 +38,10 @@ go run ./cmd/tnverify -sweep-grid 4 -sweep-every 8 -assume-inputs=false -v
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/compass/... ./internal/sim/..."
-go test -race ./internal/compass/... ./internal/sim/...
+echo "==> go test -race ./internal/compass/... ./internal/sim/... ./internal/runtime/... ./internal/serve/..."
+go test -race ./internal/compass/... ./internal/sim/... ./internal/runtime/... ./internal/serve/...
+
+echo "==> serve smoke (tnserved end-to-end)"
+./scripts/serve_smoke.sh
 
 echo "==> all checks passed"
