@@ -193,6 +193,21 @@ func (s *Session) loop() {
 					continue
 				case <-t.C:
 				}
+			} else {
+				// Behind schedule: the per-tick compute exceeds the period,
+				// so the deadline wait never opens. Commands and inputs must
+				// still get a slot between ticks — otherwise a session asked
+				// to run faster than the host can go becomes uncontrollable
+				// (Pause/Close would starve forever).
+				select {
+				case fn := <-s.cmds:
+					fn()
+					continue
+				case e := <-s.inputs:
+					s.handleInput(e)
+					continue
+				default:
+				}
 			}
 			s.deadline = s.deadline.Add(time.Duration(float64(time.Second) / s.rateHz))
 			if time.Since(s.deadline) > time.Second {
@@ -387,6 +402,20 @@ func (s *Session) Start(ticks int) error {
 		}
 		started <- s.start(target, nil)
 	})
+	if err != nil {
+		return err
+	}
+	return <-started
+}
+
+// StartUntil begins an asynchronous run toward an absolute target tick
+// and returns immediately; targets at or below the current tick are
+// already satisfied and start nothing. It is the async form of RunUntil,
+// immune to the relative-tick conversion overflow a huge target would
+// suffer going through Start.
+func (s *Session) StartUntil(targetTick uint64) error {
+	started := make(chan error, 1)
+	err := s.do(context.Background(), func() { started <- s.start(targetTick, nil) })
 	if err != nil {
 		return err
 	}

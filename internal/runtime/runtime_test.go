@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -187,6 +188,92 @@ func TestStartPauseResumeWait(t *testing.T) {
 	}
 	if st, _ := s.Stats(ctx); st.Running {
 		t.Fatal("no-op resume left the session running")
+	}
+}
+
+// TestOverloadedPacedSessionStaysControllable pins the regression where a
+// paced session whose host cannot sustain the requested rate stopped
+// polling commands and inputs: with the per-tick compute exceeding the
+// period, the deadline wait never opened, so Pause (and Close behind it)
+// starved forever. At 1e9 Hz every tick is behind schedule by
+// construction.
+func TestOverloadedPacedSessionStaysControllable(t *testing.T) {
+	ctx := context.Background()
+	s := newSession(t, rt.WithTickRate(1e9))
+	if err := s.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond) // let the loop fall behind schedule
+	// Streamed inputs must still be consumed between ticks.
+	s.Inputs() <- spikeio.Event{Tick: ^uint64(0) - 1, ID: spikeio.Encode(0, 0, 0)}
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Pause(ctx)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Pause starved by an overloaded paced run loop")
+	}
+	// The streamed event's delay is far out of range, so its consumption
+	// is visible as a dropped-input count.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := s.Stats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.DroppedInputs == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("streamed input never consumed (dropped = %d)", st.DroppedInputs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestStartUntil(t *testing.T) {
+	ctx := context.Background()
+	s := newSession(t)
+	if err := s.StartUntil(50); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if tick, _ := s.Tick(ctx); tick != 50 {
+		t.Fatalf("tick after StartUntil(50)+Wait = %d", tick)
+	}
+	// A target at or below the current tick is already satisfied.
+	if err := s.StartUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := s.Stats(ctx); st.Running || st.Tick != 50 {
+		t.Fatalf("stale target started a run: running=%v tick=%d", st.Running, st.Tick)
+	}
+	// A target far beyond int range stays a bounded run with that exact
+	// target — the overflow that used to turn it unbounded via Start.
+	huge := uint64(math.MaxUint64 - 1)
+	if err := s.SetTickRate(ctx, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StartUntil(huge); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Running || st.TargetTick != huge {
+		t.Fatalf("StartUntil(%d): running=%v target=%d", huge, st.Running, st.TargetTick)
+	}
+	if _, err := s.Pause(ctx); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -141,12 +141,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, se *session) 
 		case req.Ticks > 0:
 			runErr = se.sess.Start(req.Ticks)
 		case req.Until > 0:
-			tick, err := se.sess.Tick(r.Context())
-			if err == nil && req.Until <= tick {
-				runErr = nil // already there
-			} else {
-				runErr = se.sess.Start(int(req.Until - tick))
-			}
+			runErr = se.sess.StartUntil(req.Until)
 		default:
 			runErr = se.sess.Start(0) // run until paused
 		}
@@ -343,11 +338,30 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, se *sessio
 
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request, se *session) {
 	w.Header().Set("Content-Type", "application/octet-stream")
-	if err := se.sess.Checkpoint(r.Context(), w); err != nil {
-		// Headers may already be out; report what we can.
-		writeError(w, statusOf(err), err)
-		return
+	tw := &trackedWriter{w: w}
+	if err := se.sess.Checkpoint(r.Context(), tw); err != nil {
+		if !tw.wrote {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		// Part of the binary body is already out under a 200: appending a
+		// JSON error would hand the client a truncated checkpoint that
+		// looks successful. Abort the connection instead so the failure
+		// surfaces as a transport error.
+		panic(http.ErrAbortHandler)
 	}
+}
+
+// trackedWriter records whether the response body was touched, which is
+// the point of no return for switching to an error response.
+type trackedWriter struct {
+	w     io.Writer
+	wrote bool
+}
+
+func (t *trackedWriter) Write(p []byte) (int, error) {
+	t.wrote = true
+	return t.w.Write(p)
 }
 
 func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request, se *session) {

@@ -38,6 +38,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 
@@ -276,9 +277,12 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 
 // rollingCheckpoint writes each periodic checkpoint to the same path via a
 // rename, so a crash mid-write never corrupts the previous recovery point.
+// The temp file lives in the destination's directory: a rename across
+// filesystems (TMPDIR is often one of its own) fails with EXDEV and is not
+// atomic anyway.
 func rollingCheckpoint(path string) func(tick uint64) (io.WriteCloser, error) {
 	return func(tick uint64) (io.WriteCloser, error) {
-		tmp, err := os.CreateTemp("", "tnserved-ckpt-*")
+		tmp, err := os.CreateTemp(filepath.Dir(path), ".tnserved-ckpt-*")
 		if err != nil {
 			return nil, err
 		}

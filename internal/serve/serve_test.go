@@ -341,6 +341,48 @@ func TestPauseResumeAndRate(t *testing.T) {
 	}
 }
 
+// TestRunUntilHugeTargetStaysBounded pins the regression where a
+// non-waited run with an `until` beyond int range overflowed the
+// relative-tick conversion into a negative count, silently turning a
+// bounded request into an unbounded free run.
+func TestRunUntilHugeTargetStaysBounded(t *testing.T) {
+	ts := newTestServer(t, serve.Config{})
+	var info serve.SessionInfo
+	req := serve.CreateRequest{Engine: "chip", Netgen: netgenSpec(4), TickRateHz: 100}
+	if st := call(t, "POST", ts.URL+"/v1/sessions", req, &info); st != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	base := ts.URL + "/v1/sessions/" + info.ID
+
+	huge := uint64(1) << 62
+	var run serve.RunResponse
+	if st := call(t, "POST", base+"/run", serve.RunRequest{Until: huge}, &run); st != http.StatusOK {
+		t.Fatalf("run until = %d", st)
+	}
+	if st := call(t, "GET", base, nil, &info); st != http.StatusOK {
+		t.Fatalf("stats = %d", st)
+	}
+	if !info.Running || info.TargetTick != huge {
+		t.Fatalf("stats = running=%v target=%d, want a bounded run toward %d", info.Running, info.TargetTick, huge)
+	}
+	// An `until` already behind the session completes without starting.
+	if st := call(t, "POST", base+"/pause", nil, nil); st != http.StatusOK {
+		t.Fatal("pause failed")
+	}
+	if st := call(t, "POST", base+"/rate", serve.RateRequest{Hz: 0}, nil); st != http.StatusOK {
+		t.Fatal("rate change failed")
+	}
+	if st := call(t, "POST", base+"/run", serve.RunRequest{Ticks: 10, Wait: true}, &run); st != http.StatusOK {
+		t.Fatalf("catch-up run = %d", st)
+	}
+	if st := call(t, "POST", base+"/run", serve.RunRequest{Until: 1}, &run); st != http.StatusOK {
+		t.Fatalf("stale until = %d", st)
+	}
+	if run.Running {
+		t.Fatalf("stale until started a run: %+v", run)
+	}
+}
+
 func TestStreamEndpoint(t *testing.T) {
 	ts := newTestServer(t, serve.Config{})
 	var info serve.SessionInfo
@@ -375,6 +417,62 @@ func TestStreamEndpoint(t *testing.T) {
 	}
 	if line := sc.Text(); line != "51 7" {
 		t.Fatalf("streamed line = %q, want \"51 7\"", line)
+	}
+}
+
+// TestRollingCheckpoint drives the auto-checkpoint path end to end: the
+// rolling file must land at the requested path (written beside it and
+// renamed, never via TMPDIR) and restore a fresh session at the
+// checkpointed tick.
+func TestRollingCheckpoint(t *testing.T) {
+	ts := newTestServer(t, serve.Config{})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rolling.ckpt")
+	var info serve.SessionInfo
+	req := serve.CreateRequest{
+		Engine: "chip", Netgen: netgenSpec(5),
+		CheckpointEvery: 10, CheckpointPath: path,
+	}
+	if st := call(t, "POST", ts.URL+"/v1/sessions", req, &info); st != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	base := ts.URL + "/v1/sessions/" + info.ID
+	if st := call(t, "POST", base+"/run", serve.RunRequest{Ticks: 25, Wait: true}, nil); st != http.StatusOK {
+		t.Fatal("run failed")
+	}
+	if st := call(t, "GET", base, nil, &info); st != http.StatusOK {
+		t.Fatalf("stats = %d", st)
+	}
+	if info.CheckpointTick != 20 || info.LastCheckpointError != "" {
+		t.Fatalf("checkpoint tick %d err %q, want 20 and none", info.CheckpointTick, info.LastCheckpointError)
+	}
+	ckpt, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No temp litter left beside the destination.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("checkpoint dir has %d entries, want only the checkpoint", len(entries))
+	}
+	// The rolling file restores a fresh session of the same model.
+	var fresh serve.SessionInfo
+	req = serve.CreateRequest{Engine: "chip", Netgen: netgenSpec(5)}
+	if st := call(t, "POST", ts.URL+"/v1/sessions", req, &fresh); st != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	resp, err := http.Post(ts.URL+"/v1/sessions/"+fresh.ID+"/restore", "application/octet-stream", bytes.NewReader(ckpt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored serve.RunResponse
+	err = json.NewDecoder(resp.Body).Decode(&restored)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || restored.Tick != 20 {
+		t.Fatalf("restore = %d tick %d (%v), want 200 at tick 20", resp.StatusCode, restored.Tick, err)
 	}
 }
 
