@@ -1,8 +1,8 @@
 # Verification entry points; scripts/check.sh is the single source of truth
 # for what "green" means (build + vet + tnlint + verify-models + tests +
-# race + serve-smoke).
+# race + allocs-gate + serve-smoke).
 
-.PHONY: check build test lint verify-models race serve-smoke
+.PHONY: check build test lint verify-models race allocs-gate serve-smoke
 
 check:
 	./scripts/check.sh
@@ -13,6 +13,8 @@ build:
 test:
 	go test ./...
 
+# Full analyzer suite (all eight analyzers; see internal/lint). Narrow a
+# run with e.g. `go run ./cmd/tnlint -only hotalloc,locksafe ./...`.
 lint:
 	go run ./cmd/tnlint ./...
 
@@ -24,6 +26,11 @@ verify-models:
 
 race:
 	go test -race ./internal/compass/... ./internal/sim/... ./internal/runtime/... ./internal/serve/...
+
+# Per-tick heap-allocation budgets for both engines (the dynamic
+# complement to tnlint's hotalloc analyzer).
+allocs-gate:
+	./scripts/allocs_gate.sh
 
 # End-to-end serving smoke: boot tnserved, pause/resume and
 # checkpoint/restore a session mid-run, and require its output stream to be

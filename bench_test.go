@@ -15,6 +15,7 @@ import (
 	"truenorth/internal/experiments"
 	"truenorth/internal/netgen"
 	"truenorth/internal/router"
+	"truenorth/internal/sim"
 	"truenorth/internal/vnperf"
 )
 
@@ -195,6 +196,39 @@ func BenchmarkSectionIVBAppTable(b *testing.B) {
 		if _, err := experiments.RunApps(cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkPerTickAllocs measures steady-state heap allocations per tick
+// for both engines at the flagship operating point. scripts/allocs_gate.sh
+// parses the -benchmem allocs/op column and fails CI when a budget is
+// exceeded: the chip engine must not allocate on the per-tick path at all,
+// and Compass is allowed only its per-worker goroutine spawns. This is the
+// dynamic complement to the hotalloc analyzer, which cannot see what
+// escape analysis decides.
+func BenchmarkPerTickAllocs(b *testing.B) {
+	for _, engine := range []string{"chip", "compass"} {
+		b.Run(engine, func(b *testing.B) {
+			configs := buildNet(b, 20, 128)
+			var eng sim.Engine
+			var err error
+			if engine == "chip" {
+				eng, err = chip.New(benchGrid, configs)
+			} else {
+				eng, err = compass.New(benchGrid, configs, sim.WithWorkers(4))
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng.Run(40) // settle past the delay-ring fill transient
+			eng.DrainOutputs()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Step()
+				eng.DrainOutputs()
+			}
+		})
 	}
 }
 

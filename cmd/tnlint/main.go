@@ -1,22 +1,28 @@
-// Command tnlint is the repo's determinism-and-correctness static analyzer:
-// it machine-checks the invariants behind the chip↔Compass one-to-one
-// equivalence claim (no unseeded randomness, no wall clock, no
+// Command tnlint is the repo's determinism-and-correctness static analyzer
+// suite. It machine-checks the invariants behind the chip↔Compass
+// one-to-one equivalence claim (no unseeded randomness, no wall clock, no
 // map-iteration-order leakage, no goroutines outside the sanctioned Compass
-// worker pattern). See internal/lint for the analyzer suite.
+// worker pattern) and, since v2, the serving stack's real-time safety (no
+// per-tick heap traffic in the kernel, no locks across blocking calls, no
+// leakable goroutines, channel-ownership discipline). See internal/lint.
 //
 // Usage:
 //
-//	tnlint [-only a,b] [-skip a,b] [-list] [packages]
+//	tnlint [-only a,b] [-skip a,b] [-<analyzer>=false] [-json] [-list] [packages]
 //
-// Packages are ./-relative patterns as for the go tool ("./...",
+// Every analyzer also has its own boolean flag (-hotalloc=false disables
+// hotalloc); -only and -skip apply on top for CI one-liners. Packages are
+// ./-relative patterns as for the go tool ("./...",
 // "./internal/compass/...", "./internal/chip"); the default is ./... from
 // the enclosing module root. Findings print as
 //
 //	file:line: analyzer: message
 //
-// and are suppressed by a `//lint:ignore tnlint/<analyzer> reason` comment
-// on the same or preceding line. Exit status: 0 clean, 1 findings, 2 usage
-// or load error.
+// or, with -json, as a JSON array of {file, line, column, analyzer,
+// message} objects (always an array — "[]" when clean). Findings are
+// suppressed by a `//lint:ignore tnlint/<analyzer> reason` comment on the
+// same or preceding line. Exit status: 0 clean, 1 findings, 2 usage or
+// load error.
 package main
 
 import (
@@ -36,10 +42,16 @@ func main() {
 func run() int {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	skip := flag.String("skip", "", "comma-separated analyzer names to skip")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	all := lint.Analyzers()
+	enabled := map[string]*bool{}
+	for _, a := range all {
+		enabled[a.Name] = flag.Bool(a.Name, true, "enable the "+a.Name+" analyzer")
+	}
 	flag.Parse()
 
-	analyzers := selectAnalyzers(lint.Analyzers(), *only, *skip)
+	analyzers := selectAnalyzers(all, *only, *skip, enabled)
 	if *list {
 		for _, a := range analyzers {
 			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
@@ -86,12 +98,21 @@ func run() int {
 	}
 
 	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		file := d.Pos.Filename
-		if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
-			file = rel
+	rel := func(file string) string {
+		if r, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(r, "..") {
+			return r
 		}
-		fmt.Printf("%s:%d: %s: %s\n", file, d.Pos.Line, d.Analyzer, d.Message)
+		return file
+	}
+	if *asJSON {
+		if err := lint.WriteJSON(os.Stdout, diags, rel); err != nil {
+			fmt.Fprintln(os.Stderr, "tnlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d: %s: %s\n", rel(d.Pos.Filename), d.Pos.Line, d.Analyzer, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "tnlint: %d finding(s)\n", len(diags))
@@ -100,8 +121,8 @@ func run() int {
 	return 0
 }
 
-// selectAnalyzers applies -only and -skip.
-func selectAnalyzers(all []*lint.Analyzer, only, skip string) []*lint.Analyzer {
+// selectAnalyzers applies the per-analyzer boolean flags, then -only/-skip.
+func selectAnalyzers(all []*lint.Analyzer, only, skip string, enabled map[string]*bool) []*lint.Analyzer {
 	set := func(csv string) map[string]bool {
 		m := map[string]bool{}
 		for _, n := range strings.Split(csv, ",") {
@@ -114,6 +135,9 @@ func selectAnalyzers(all []*lint.Analyzer, only, skip string) []*lint.Analyzer {
 	onlySet, skipSet := set(only), set(skip)
 	var out []*lint.Analyzer
 	for _, a := range all {
+		if on := enabled[a.Name]; on != nil && !*on {
+			continue
+		}
 		if len(onlySet) > 0 && !onlySet[a.Name] {
 			continue
 		}

@@ -10,18 +10,27 @@
 // The listen address is printed once the socket is bound, so scripts can
 // use -addr 127.0.0.1:0 and parse the assigned port.
 //
+// On SIGINT or SIGTERM the server stops accepting connections, lets
+// in-flight requests finish (bounded by a drain timeout), and closes every
+// session so periodic checkpoints flush before exit.
+//
 // The command is a thin shell by design: all timing and concurrency live
 // in internal/runtime and internal/serve, keeping this entry point within
 // the determinism rules tnlint enforces on cmd packages.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	// Engine expressions self-register with the sim engine registry.
 	_ "truenorth/internal/chip"
@@ -34,6 +43,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8484", "listen address (use :0 for an ephemeral port)")
 	maxSessions := flag.Int("max-sessions", 64, "maximum concurrently live sessions (0 = unlimited)")
 	engine := flag.String("engine", "compass", "default engine for sessions that don't pick one: "+strings.Join(sim.EngineNames(), "|"))
+	drain := flag.Duration("drain", 5*time.Second, "how long to wait for in-flight requests on shutdown")
 	flag.Parse()
 
 	srv := serve.NewServer(serve.Config{
@@ -45,8 +55,30 @@ func main() {
 		fail(err)
 	}
 	fmt.Printf("tnserved listening on http://%s\n", ln.Addr())
-	if err := http.Serve(ln, srv.Handler()); err != nil {
-		fail(err)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	//lint:ignore tnlint/ticksafe HTTP serving is wall-clock I/O, not tick-domain parallelism
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case sig := <-sigs:
+		fmt.Printf("tnserved: %s, shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			// Stragglers past the drain window (e.g. an open spike stream)
+			// are cut off; session state is still closed cleanly below.
+			fmt.Fprintln(os.Stderr, "tnserved: drain incomplete:", err)
+		}
+		cancel()
+		srv.Close()
+	case err := <-serveErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fail(err)
+		}
 	}
 }
 

@@ -55,6 +55,12 @@ type Model struct {
 	// inputs through the chip's I/O ports tick by tick; this queue models
 	// the off-chip transduction buffer feeding those ports.
 	pending map[uint64][]pendingInj
+	// emit is the spike-emission callback passed to every core.Step. It is
+	// built once at construction and parameterized through stepSrc/stepDead
+	// so the per-tick loop performs zero closure allocations.
+	emit     func(int, core.Target)
+	stepSrc  router.Point
+	stepDead router.DeadFunc
 }
 
 // pendingInj is one queued external spike.
@@ -94,6 +100,7 @@ func New(mesh router.Mesh, configs []*core.Config, opts ...sim.Option) (*Model, 
 		dead:    make(map[router.Point]bool),
 		pending: make(map[uint64][]pendingInj),
 	}
+	m.emit = func(_ int, t core.Target) { m.route(m.stepSrc, t, m.tick, m.stepDead) }
 	for i, cfg := range configs {
 		if cfg == nil {
 			continue
@@ -211,17 +218,15 @@ func (m *Model) Step() {
 		}
 		delete(m.pending, tick)
 	}
-	dead := m.deadFunc()
+	m.stepDead = m.deadFunc()
 	for y := 0; y < m.mesh.H; y++ {
 		for x := 0; x < m.mesh.W; x++ {
 			c := m.cores[y*m.mesh.W+x]
 			if c == nil {
 				continue
 			}
-			src := router.Point{X: x, Y: y}
-			c.Step(tick, func(_ int, t core.Target) {
-				m.route(src, t, tick, dead)
-			})
+			m.stepSrc = router.Point{X: x, Y: y}
+			c.Step(tick, m.emit)
 		}
 	}
 	m.tick++
@@ -264,10 +269,15 @@ func (m *Model) Run(n int) {
 	}
 }
 
-// DrainOutputs implements sim.Engine.
+// DrainOutputs implements sim.Engine. The caller receives a copy: the
+// accumulation buffer is retained and reslice-reused, so steady-state ticks
+// append into already-grown capacity instead of reallocating.
 func (m *Model) DrainOutputs() []sim.OutputSpike {
-	out := m.outputs
-	m.outputs = nil
+	if len(m.outputs) == 0 {
+		return nil
+	}
+	out := append([]sim.OutputSpike(nil), m.outputs...)
+	m.outputs = m.outputs[:0]
 	return out
 }
 

@@ -291,15 +291,20 @@ func (s *Sim) Step() {
 	}
 
 	// Ablation path: without aggregation, spikes travel one message at a
-	// time through a shared channel to a single collector.
+	// time through a shared channel to a single collector. Its per-tick
+	// allocations are the point — this arm exists to measure what message
+	// aggregation saves (Fig. 7's ablation), not to be fast.
 	var naive []delivery
 	var naiveCh chan delivery
 	var collectorDone chan struct{}
 	if !s.aggregate {
+		//lint:ignore tnlint/hotalloc ablation arm deliberately pays per-tick channel costs
 		naiveCh = make(chan delivery, 1024)
+		//lint:ignore tnlint/hotalloc ablation arm deliberately pays per-tick channel costs
 		collectorDone = make(chan struct{})
 		go func() {
 			for d := range naiveCh {
+				//lint:ignore tnlint/hotalloc ablation arm deliberately grows an unpooled buffer
 				naive = append(naive, d)
 			}
 			close(collectorDone)
@@ -314,48 +319,53 @@ func (s *Sim) Step() {
 			defer wg.Done()
 			noc := &s.perWorkerNoC[w]
 			out := s.outbox[w]
+			// One emit closure per worker per tick, hoisted out of the
+			// owned-core loop and parameterized through src: stepping a
+			// thousand cores must not allocate a thousand closures.
+			var src router.Point
+			emit := func(_ int, t core.Target) {
+				if t.Output {
+					s.perWorkerOut[w] = append(s.perWorkerOut[w], sim.OutputSpike{Tick: tick, ID: t.OutputID})
+					return
+				}
+				dst := src.Add(int(t.DX), int(t.DY))
+				if !s.mesh.Contains(dst) {
+					noc.Dropped++
+					return
+				}
+				dstIdx := int32(dst.Y*s.mesh.W + dst.X)
+				dw := s.owner[dstIdx]
+				if dw < 0 {
+					noc.Dropped++ // spike to an unpopulated core slot
+					return
+				}
+				var r router.Route
+				if dead == nil {
+					r = s.mesh.DOR(src, dst)
+				} else {
+					r = s.mesh.RouteAvoiding(src, dst, dead)
+				}
+				if !r.OK {
+					noc.Dropped++
+					return
+				}
+				noc.RoutedSpikes++
+				noc.Hops += uint64(r.Hops)
+				noc.Crossings += uint64(r.Crossings)
+				if r.Detoured {
+					noc.Detours++
+				}
+				d := delivery{core: dstIdx, tick: tick + uint64(t.Delay), axon: t.Axon}
+				if s.aggregate {
+					out[dw] = append(out[dw], d)
+				} else {
+					naiveCh <- d
+				}
+			}
 			for _, idx := range s.owned[w] {
 				c := s.cores[idx]
-				src := router.Point{X: int(idx) % s.mesh.W, Y: int(idx) / s.mesh.W}
-				c.Step(tick, func(_ int, t core.Target) {
-					if t.Output {
-						s.perWorkerOut[w] = append(s.perWorkerOut[w], sim.OutputSpike{Tick: tick, ID: t.OutputID})
-						return
-					}
-					dst := src.Add(int(t.DX), int(t.DY))
-					if !s.mesh.Contains(dst) {
-						noc.Dropped++
-						return
-					}
-					dstIdx := int32(dst.Y*s.mesh.W + dst.X)
-					dw := s.owner[dstIdx]
-					if dw < 0 {
-						noc.Dropped++ // spike to an unpopulated core slot
-						return
-					}
-					var r router.Route
-					if dead == nil {
-						r = s.mesh.DOR(src, dst)
-					} else {
-						r = s.mesh.RouteAvoiding(src, dst, dead)
-					}
-					if !r.OK {
-						noc.Dropped++
-						return
-					}
-					noc.RoutedSpikes++
-					noc.Hops += uint64(r.Hops)
-					noc.Crossings += uint64(r.Crossings)
-					if r.Detoured {
-						noc.Detours++
-					}
-					d := delivery{core: dstIdx, tick: tick + uint64(t.Delay), axon: t.Axon}
-					if s.aggregate {
-						out[dw] = append(out[dw], d)
-					} else {
-						naiveCh <- d
-					}
-				})
+				src = router.Point{X: int(idx) % s.mesh.W, Y: int(idx) / s.mesh.W}
+				c.Step(tick, emit)
 			}
 		}(w)
 	}
@@ -403,10 +413,17 @@ func (s *Sim) Run(n int) {
 	}
 }
 
-// DrainOutputs implements sim.Engine.
+// DrainOutputs implements sim.Engine. The caller receives a copy: the
+// accumulation buffer is retained and reslice-reused, so steady-state ticks
+// append into already-grown capacity instead of reallocating (the same
+// contract as chip.Model.DrainOutputs — the engines must stay economically
+// as well as bitwise equivalent).
 func (s *Sim) DrainOutputs() []sim.OutputSpike {
-	out := s.outputs
-	s.outputs = nil
+	if len(s.outputs) == 0 {
+		return nil
+	}
+	out := append([]sim.OutputSpike(nil), s.outputs...)
+	s.outputs = s.outputs[:0]
 	return out
 }
 

@@ -1,0 +1,268 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ChanOwn returns the channel-ownership analyzer for the serving packages.
+// Go's channel rules are asymmetric — close is an owner-only operation,
+// send-after-close panics, and a bare send on an unbuffered channel parks
+// the sender until a receiver shows up. In a paced tick loop the last one
+// is the killer PR 3's starvation fix dealt with: a parked sender inside
+// the loop stops the clock for every session behind it. Three rules:
+//
+//  1. Owner-only close: closing a channel received as a parameter (or
+//     typed receive-only) closes someone else's channel — the owner may be
+//     mid-send. The creator closes; everyone else stops sending.
+//  2. No send after close: a send lexically after a close of the same
+//     channel in the same function panics at runtime.
+//  3. No bare blocking send on a known-unbuffered channel: a send outside
+//     a select arm, on a channel whose in-package make(chan T) has no
+//     capacity, can park the sending loop forever. Use a buffered channel,
+//     or a select with a default/shutdown arm (the session runtime's
+//     subscriber fan-out and command pattern both do). Channels whose
+//     construction the analyzer cannot see stay quiet — a caller-provided
+//     channel's capacity is the caller's contract.
+//
+// Rule 2 is lexical (straight-line order, per function); rules 1 and 3
+// correlate channels by terminal name, the same unit hotalloc uses for
+// buffer resets.
+func ChanOwn() *Analyzer {
+	return &Analyzer{
+		Name:     "chanown",
+		Doc:      "enforce owner-only close, no send-after-close, and no bare sends on unbuffered channels",
+		Packages: ServingPackages,
+		Run:      runChanOwn,
+	}
+}
+
+func runChanOwn(pkg *Package, report ReportFunc) {
+	fieldMakes := collectFieldChanMakes(pkg)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkChanOwnership(pkg, fd, fieldMakes, report)
+		}
+	}
+}
+
+// chanBuf records what is known about a channel's capacity: buffered,
+// unbuffered, or (when the same name is made both ways) unknown.
+type chanBuf int
+
+const (
+	chanUnknown chanBuf = iota
+	chanUnbuffered
+	chanBuffered
+)
+
+// mergeChanBuf folds another observed make into the knowledge for a name.
+// Conflicting observations degrade to buffered — the quiet side — because a
+// name shared by a buffered and an unbuffered channel identifies neither.
+func mergeChanBuf(old, new chanBuf) chanBuf {
+	if old == chanUnknown || old == new {
+		return new
+	}
+	return chanBuffered
+}
+
+// chanMakeBuf classifies a make(chan ...) call; ok is false for non-channel
+// makes.
+func chanMakeBuf(call *ast.CallExpr) (chanBuf, bool) {
+	id, isIdent := call.Fun.(*ast.Ident)
+	if !isIdent || id.Name != "make" || len(call.Args) == 0 {
+		return chanUnknown, false
+	}
+	if _, isChan := call.Args[0].(*ast.ChanType); !isChan {
+		return chanUnknown, false
+	}
+	if len(call.Args) < 2 || isIntLit(call.Args[1], "0") {
+		return chanUnbuffered, true
+	}
+	return chanBuffered, true
+}
+
+// collectFieldChanMakes scans the package for channel makes assigned to
+// selector targets (struct fields: s.cmds = make(chan func())), keyed by
+// terminal name — fields outlive the function that makes them, so sends
+// anywhere in the package correlate with them.
+func collectFieldChanMakes(pkg *Package) map[string]chanBuf {
+	makes := map[string]chanBuf{}
+	record := func(lhs, rhs ast.Expr) {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		buf, ok := chanMakeBuf(call)
+		if !ok {
+			return
+		}
+		if _, isIdent := lhs.(*ast.Ident); isIdent {
+			return // locals are collected per function
+		}
+		if name := terminalName(lhs); name != "" {
+			makes[name] = mergeChanBuf(makes[name], buf)
+		}
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if i < len(n.Lhs) {
+						record(n.Lhs[i], rhs)
+					}
+				}
+			case *ast.KeyValueExpr:
+				// Composite-literal field init: subscriber{ch: make(...)}.
+				if key, ok := n.Key.(*ast.Ident); ok {
+					if call, isCall := n.Value.(*ast.CallExpr); isCall {
+						if buf, isChan := chanMakeBuf(call); isChan {
+							makes[key.Name] = mergeChanBuf(makes[key.Name], buf)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return makes
+}
+
+// collectLocalChanMakes maps local variable names to their channel make
+// within one function body.
+func collectLocalChanMakes(body *ast.BlockStmt) map[string]chanBuf {
+	makes := map[string]chanBuf{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			id, isIdent := as.Lhs[i].(*ast.Ident)
+			if !isIdent {
+				continue
+			}
+			if call, isCall := rhs.(*ast.CallExpr); isCall {
+				if buf, isChan := chanMakeBuf(call); isChan {
+					makes[id.Name] = mergeChanBuf(makes[id.Name], buf)
+				}
+			}
+		}
+		return true
+	})
+	return makes
+}
+
+// collectChanParams returns the names of channel-typed parameters of fd and
+// of every func literal inside it — the channels this code does not own.
+func collectChanParams(fd *ast.FuncDecl) map[string]bool {
+	params := map[string]bool{}
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			if _, isChan := field.Type.(*ast.ChanType); !isChan {
+				continue
+			}
+			for _, name := range field.Names {
+				params[name.Name] = true
+			}
+		}
+	}
+	addFields(fd.Type.Params)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			addFields(fl.Type.Params)
+		}
+		return true
+	})
+	return params
+}
+
+// checkChanOwnership applies the three rules to one function.
+func checkChanOwnership(pkg *Package, fd *ast.FuncDecl, fieldMakes map[string]chanBuf, report ReportFunc) {
+	locals := collectLocalChanMakes(fd.Body)
+	params := collectChanParams(fd)
+	closed := map[string]token.Pos{} // terminal name → first close position
+
+	// Sends appearing as a select comm clause are guarded: they cannot park
+	// the sender unconditionally.
+	guarded := map[*ast.SendStmt]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			if cc, isComm := c.(*ast.CommClause); isComm {
+				if send, isSend := cc.Comm.(*ast.SendStmt); isSend {
+					guarded[send] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			id, ok := n.Fun.(*ast.Ident)
+			if !ok || id.Name != "close" || len(n.Args) != 1 {
+				return true
+			}
+			arg := n.Args[0]
+			name := terminalName(arg)
+			if name == "" {
+				return true
+			}
+			if params[name] && locals[name] == chanUnknown {
+				report(n.Pos(), "close of channel parameter %q: only the owning creator closes a channel", name)
+			} else if ch, isChan := chanTypeOf(pkg, arg); isChan && ch.Dir() == types.RecvOnly {
+				report(n.Pos(), "close of receive-only channel %q: the receiving side never owns the close", name)
+			}
+			if _, already := closed[name]; !already {
+				closed[name] = n.Pos()
+			}
+		case *ast.SendStmt:
+			name := terminalName(n.Chan)
+			if name == "" {
+				return true
+			}
+			if pos, wasClosed := closed[name]; wasClosed && n.Pos() > pos {
+				report(n.Pos(), "send on %q after it was closed above; send-after-close panics", name)
+				return true
+			}
+			if guarded[n] {
+				return true
+			}
+			buf := locals[name]
+			if buf == chanUnknown {
+				buf = fieldMakes[name]
+			}
+			if buf == chanUnbuffered {
+				report(n.Pos(), "bare send on unbuffered channel %q can park this goroutine forever; buffer the channel or send under a select with a default/shutdown arm", name)
+			}
+		}
+		return true
+	})
+}
+
+// chanTypeOf returns e's channel type when type info resolves it.
+func chanTypeOf(pkg *Package, e ast.Expr) (*types.Chan, bool) {
+	t := pkg.TypeOf(e)
+	if t == nil {
+		return nil, false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	return ch, ok
+}

@@ -1,12 +1,9 @@
-// Package lint implements tnlint, the repo-specific static analyzer that
-// machine-checks the determinism and race-safety invariants behind the
-// paper's central claim: that the silicon model (internal/chip) and the
-// parallel Compass engine (internal/compass) are functionally one-to-one
-// expressions of the same event-driven kernel. That equivalence is only
-// falsifiable spike-for-spike if the kernel packages are bitwise
-// deterministic — no wall clock, no unseeded randomness, no map-iteration
-// order leaking into outputs — and if Compass's goroutine workers follow the
-// sanctioned share-nothing pattern. Four analyzers enforce it:
+// Package lint implements tnlint, the repo-specific static-analyzer suite
+// that machine-checks two families of invariants:
+//
+// Determinism (behind the paper's one-to-one equivalence claim: the silicon
+// model in internal/chip and the parallel Compass engine in internal/compass
+// are bitwise-identical expressions of the same event-driven kernel):
 //
 //   - detrand:  no math/rand and no time.Now in kernel packages; random
 //     choices go through truenorth/internal/prng with explicit seeds.
@@ -20,20 +17,42 @@
 //     channel close), and WaitGroup-managed workers may write captured state
 //     only through per-worker indexed slots.
 //
+// Real-time serving safety (behind the paper's f_max ≈ 1 kHz operating
+// claim: the per-tick hot path must stay allocation-free and the session
+// control plane must never stall it):
+//
+//   - hotalloc: no per-tick heap traffic in the kernel's hot functions —
+//     fmt calls, make, slice/map or heap-escaping composite literals,
+//     closures built inside per-tick loops, appends to buffers that are
+//     never reslice-reused.
+//   - locksafe: no mutex held across a channel operation, time.Sleep, or
+//     blocking session call; no return path that leaks a lock; no sync
+//     primitives copied by value.
+//   - goctx:    every goroutine spawned by the runtime/serving layer has a
+//     shutdown arm (ctx.Done/close signal/closing flag), so sessions cannot
+//     leak goroutines when they close.
+//   - chanown:  channels are closed only by their owner, never sent to
+//     after close, and paced-loop code never does a bare blocking send on
+//     an unbuffered channel.
+//
 // A finding is suppressed by a directive on the same line or the line
 // before:
 //
 //	//lint:ignore tnlint/<analyzer> reason
 //
 // The reason is mandatory; a directive without one is itself a finding.
-// Everything here is stdlib only: go/ast, go/parser, go/types.
+// Every analyzer's detection behavior is pinned by want-comment fixtures
+// under testdata/<analyzer>/ (see fixture_test.go). Everything here is
+// stdlib only: go/ast, go/parser, go/types.
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"io"
 	"regexp"
 	"sort"
 	"strings"
@@ -116,9 +135,13 @@ func (a *Analyzer) applies(path string) bool {
 	return false
 }
 
-// Analyzers returns the full tnlint suite.
+// Analyzers returns the full tnlint suite: the four determinism analyzers
+// and the four concurrency/hot-path analyzers guarding the serving stack.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Detrand(), MapOrder(), FloatCmp(), TickSafe()}
+	return []*Analyzer{
+		Detrand(), MapOrder(), FloatCmp(), TickSafe(),
+		HotAlloc(), LockSafe(), GoCtx(), ChanOwn(),
+	}
 }
 
 // Diagnostic is one finding.
@@ -131,6 +154,35 @@ type Diagnostic struct {
 // String renders the canonical "file:line: analyzer: message" form.
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// jsonDiagnostic is the -json wire form of one finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON renders diags as a JSON array (always an array — `[]` when
+// clean, so CI consumers can gate on array length as well as exit status).
+// rel, when non-nil, rewrites filenames (typically to repo-relative paths).
+func WriteJSON(w io.Writer, diags []Diagnostic, rel func(string) string) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel != nil {
+			file = rel(file)
+		}
+		out = append(out, jsonDiagnostic{
+			File: file, Line: d.Pos.Line, Column: d.Pos.Column,
+			Analyzer: d.Analyzer, Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // ignoreRe matches a well-formed suppression directive.
@@ -236,6 +288,53 @@ func importedName(f *ast.File, path string) string {
 			return path[i+1:]
 		}
 		return path
+	}
+	return ""
+}
+
+// terminalName returns the identifier a storage expression ultimately names:
+// the field for a selector chain (s.outbox[w] → "outbox"), the variable for
+// a plain or indexed identifier (out[dw] → "out"). It is the unit the
+// hotalloc and chanown analyzers use to correlate buffer resets, channel
+// makes, and closes with their uses; "" when the expression has no stable
+// terminal (e.g. a call result).
+func terminalName(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x.Name
+		case *ast.SelectorExpr:
+			return x.Sel.Name
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}
+
+// exprPath renders a lock/channel expression as a dotted path for messages
+// and identity matching ("s.mu", "sub.ch"); "" for unrenderable expressions.
+func exprPath(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		if base := exprPath(x.X); base != "" {
+			return base + "." + x.Sel.Name
+		}
+	case *ast.ParenExpr:
+		return exprPath(x.X)
+	case *ast.StarExpr:
+		return exprPath(x.X)
+	case *ast.IndexExpr:
+		if base := exprPath(x.X); base != "" {
+			return base + "[]"
+		}
 	}
 	return ""
 }

@@ -5,6 +5,11 @@ import (
 	"testing"
 )
 
+// Detection behavior is pinned by the want-comment fixtures under
+// testdata/<analyzer>/ (see fixture_test.go). This file tests the
+// framework itself: package-pattern matching, suppression directives,
+// diagnostic formatting, and JSON output.
+
 // analyze runs one analyzer over an inline source snippet compiled as
 // importPath and returns the surviving diagnostics.
 func analyze(t *testing.T, a *Analyzer, importPath, src string) []Diagnostic {
@@ -35,80 +40,19 @@ func expect(t *testing.T, diags []Diagnostic, n int, name, substr string) {
 
 const kernelPath = Module + "/internal/chip"
 
-func TestDetrandPositive(t *testing.T) {
-	diags := analyze(t, Detrand(), kernelPath, `
-package chip
-
-import "math/rand"
-
-func bad() int { return rand.Intn(4) }
-`)
-	expect(t, diags, 1, "detrand", "math/rand")
-}
-
-func TestDetrandTimeNow(t *testing.T) {
-	diags := analyze(t, Detrand(), kernelPath, `
-package chip
-
-import "time"
-
-func seed() int64 { return time.Now().UnixNano() }
-`)
-	expect(t, diags, 1, "detrand", "time.Now")
-}
-
-func TestDetrandAliasedImport(t *testing.T) {
-	diags := analyze(t, Detrand(), kernelPath, `
-package chip
-
-import mr "math/rand/v2"
-
-func bad() int { return mr.IntN(4) }
-`)
-	expect(t, diags, 1, "detrand", "math/rand/v2")
-}
-
-func TestDetrandNegative(t *testing.T) {
-	diags := analyze(t, Detrand(), kernelPath, `
-package chip
-
-import "truenorth/internal/prng"
-
-// A local method named Now on a non-package value must not trip the
-// time.Now check.
-type clock struct{}
-
-func (clock) Now() int { return 0 }
-
-func good(seed int64) int {
-	var c clock
-	return prng.NewRand(seed).Intn(4) + c.Now()
-}
-`)
-	expect(t, diags, 0, "", "")
-}
-
-func TestDetrandSkipsNonKernelPackages(t *testing.T) {
-	diags := analyze(t, Detrand(), Module+"/internal/apps/lsm", `
-package lsm
-
-import "math/rand"
-
-func ok() int { return rand.Intn(4) }
-`)
-	expect(t, diags, 0, "", "")
-}
-
-func TestDetrandAppliesToCommandsAndExamples(t *testing.T) {
-	const src = `
-package main
-
-import "math/rand"
-
-func main() { _ = rand.Intn(4) }
-`
-	for _, path := range []string{Module + "/cmd/tnsim", Module + "/examples/cognition"} {
-		expect(t, analyze(t, Detrand(), path, src), 1, "detrand", "math/rand")
+func TestAnalyzersSuite(t *testing.T) {
+	want := []string{"detrand", "maporder", "floatcmp", "ticksafe", "hotalloc", "locksafe", "goctx", "chanown"}
+	all := Analyzers()
+	if len(all) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d is %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing doc or run", a.Name)
+		}
 	}
 }
 
@@ -127,181 +71,6 @@ func TestPackagePatternMatching(t *testing.T) {
 			t.Errorf("applies(%q) = %v, want %v", path, got, want)
 		}
 	}
-}
-
-func TestMapOrderPositive(t *testing.T) {
-	diags := analyze(t, MapOrder(), kernelPath, `
-package chip
-
-func bad(m map[int]string) []string {
-	var out []string
-	for _, v := range m {
-		out = append(out, v)
-	}
-	return out
-}
-`)
-	expect(t, diags, 1, "maporder", "append")
-}
-
-func TestMapOrderSend(t *testing.T) {
-	diags := analyze(t, MapOrder(), kernelPath, `
-package chip
-
-func bad(m map[int]int, ch chan int) {
-	for k := range m {
-		ch <- k
-	}
-}
-`)
-	expect(t, diags, 1, "maporder", "channel send")
-}
-
-func TestMapOrderNegative(t *testing.T) {
-	diags := analyze(t, MapOrder(), kernelPath, `
-package chip
-
-// Commutative aggregation over a map is order-independent: no finding.
-func good(m map[int]int, xs []int) int {
-	total := 0
-	for _, v := range m {
-		total += v
-	}
-	for _, x := range xs { // range over a slice may append freely
-		xs = append(xs, x)
-	}
-	return total
-}
-`)
-	expect(t, diags, 0, "", "")
-}
-
-const arithPath = Module + "/internal/energy"
-
-func TestFloatCmpPositive(t *testing.T) {
-	diags := analyze(t, FloatCmp(), arithPath, `
-package energy
-
-func bad(a, b float64) bool { return a == b }
-`)
-	expect(t, diags, 1, "floatcmp", "floating-point")
-}
-
-func TestFloatCmpNamedTypeAndNeq(t *testing.T) {
-	diags := analyze(t, FloatCmp(), arithPath, `
-package energy
-
-type volts float32
-
-func bad(a, b volts) bool { return a != b }
-`)
-	expect(t, diags, 1, "floatcmp", "!=")
-}
-
-func TestFloatCmpNegative(t *testing.T) {
-	diags := analyze(t, FloatCmp(), arithPath, `
-package energy
-
-// Integer equality and float-vs-literal-zero guards are fine.
-func good(n int, p float64) float64 {
-	if n == 3 || p == 0 {
-		return 0
-	}
-	return 1 / p
-}
-`)
-	expect(t, diags, 0, "", "")
-}
-
-const compassPath = Module + "/internal/compass"
-
-func TestTickSafeGoroutineOutsideCompass(t *testing.T) {
-	diags := analyze(t, TickSafe(), kernelPath, `
-package chip
-
-func bad() {
-	go func() {}()
-}
-`)
-	expect(t, diags, 1, "ticksafe", "sanctioned only in the Compass engine")
-}
-
-func TestTickSafeNoCompletionSignal(t *testing.T) {
-	diags := analyze(t, TickSafe(), compassPath, `
-package compass
-
-func bad() {
-	go func() { println("fire and forget") }()
-}
-`)
-	expect(t, diags, 1, "ticksafe", "completion signal")
-}
-
-func TestTickSafeSharedWrite(t *testing.T) {
-	diags := analyze(t, TickSafe(), compassPath, `
-package compass
-
-import "sync"
-
-type engine struct {
-	outputs []int
-	perWorker [][]int
-}
-
-func (e *engine) step(workers int) {
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			e.outputs = append(e.outputs, w) // race: not per-worker indexed
-		}(w)
-	}
-	wg.Wait()
-}
-`)
-	expect(t, diags, 1, "ticksafe", "data race")
-}
-
-func TestTickSafeWorkerPatternNegative(t *testing.T) {
-	diags := analyze(t, TickSafe(), compassPath, `
-package compass
-
-import "sync"
-
-type engine struct {
-	perWorker [][]int
-	total     int
-}
-
-// The sanctioned pattern: wg-managed inline workers writing only their own
-// indexed slot or worker-local state, plus a channel-closed collector.
-func (e *engine) step(workers int, ch chan int) {
-	done := make(chan struct{})
-	go func() {
-		sum := 0
-		for v := range ch {
-			sum += v
-		}
-		e.total = sum
-		close(done)
-	}()
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			local := 0
-			local++
-			e.perWorker[w] = append(e.perWorker[w], local)
-		}(w)
-	}
-	wg.Wait()
-	close(ch)
-	<-done
-}
-`)
-	expect(t, diags, 0, "", "")
 }
 
 func TestSuppressionDirective(t *testing.T) {
@@ -368,6 +137,19 @@ func measured() int64 {
 	}
 }
 
+func TestSuppressionOfNewAnalyzers(t *testing.T) {
+	diags := analyze(t, HotAlloc(), kernelPath, `
+package chip
+
+func Step(n int) {
+	//lint:ignore tnlint/hotalloc ablation arm pays per-tick costs on purpose
+	buf := make([]int, n)
+	_ = buf
+}
+`)
+	expect(t, diags, 0, "", "")
+}
+
 func TestDiagnosticFormat(t *testing.T) {
 	diags := analyze(t, Detrand(), kernelPath, `
 package chip
@@ -381,5 +163,40 @@ var _ = rand.Int
 	}
 	if got := diags[0].String(); got != "fixture.go:4: detrand: kernel package imports math/rand; use truenorth/internal/prng with an explicit seed" {
 		t.Fatalf("diagnostic format = %q", got)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	diags := analyze(t, Detrand(), kernelPath, `
+package chip
+
+import "math/rand"
+
+var _ = rand.Int
+`)
+	var sb strings.Builder
+	if err := WriteJSON(&sb, diags, func(f string) string { return "rel/" + f }); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{
+		`"file": "rel/fixture.go"`,
+		`"line": 4`,
+		`"analyzer": "detrand"`,
+		`"message": "kernel package imports math/rand`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("JSON output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestWriteJSONEmptyIsArray(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteJSON(&sb, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(sb.String()) != "[]" {
+		t.Fatalf("clean run must encode as an empty array, got %q", sb.String())
 	}
 }

@@ -1,0 +1,490 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ServingPackages hold the session control plane: the runtime driver and the
+// HTTP serving layer. This is exactly the surface PR 3 added and exactly
+// where Go services lose liveness silently — a mutex held across a blocking
+// call in a handler stalls every other request; a leaked lock deadlocks the
+// server the next time anyone takes it.
+var ServingPackages = []string{
+	Module + "/internal/runtime",
+	Module + "/internal/serve",
+}
+
+// LockSafe returns the lock-discipline analyzer for the serving packages.
+// Three rules:
+//
+//  1. No mutex held across a potentially blocking operation: a channel
+//     send/receive, a select without a default arm, time.Sleep, a .Wait()
+//     call, or a call into the session runtime (every runtime.Session
+//     method parks on the session goroutine's command channel). The serving
+//     lock protects shared maps for nanoseconds; holding it across a block
+//     turns one slow session into a stalled server.
+//  2. No path that returns with a lock still held (a deferred Unlock
+//     sanctions the path; the lock is still "held" for rule 1, because a
+//     deferred unlock releases too late to help a blocked handler).
+//  3. No sync primitive copied by value: a by-value receiver or parameter
+//     of sync.Mutex/RWMutex/WaitGroup/Once/Cond — or of a struct in this
+//     package embedding one — operates on a copy of the lock state. This
+//     mirrors go vet's copylocks for the declaration sites vet cannot see
+//     when builds run without test files.
+//
+// The analysis is lexical: it walks each function's statements in source
+// order, branching into if/for/select arms with a copy of the held-lock
+// set. It cannot see locks taken by callees (a documented "caller must
+// hold" helper is invisible), so it is a discipline check, not a proof —
+// the -race tier of check.sh remains the dynamic complement.
+func LockSafe() *Analyzer {
+	return &Analyzer{
+		Name:     "locksafe",
+		Doc:      "forbid mutexes held across blocking operations, leaked locks, and by-value sync copies",
+		Packages: ServingPackages,
+		Run:      runLockSafe,
+	}
+}
+
+// syncTypeNames are the sync primitives that must never be copied.
+var syncTypeNames = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true,
+}
+
+func runLockSafe(pkg *Package, report ReportFunc) {
+	bearers := collectSyncBearers(pkg)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkCopiedSync(f, fd, bearers, report)
+			if fd.Body == nil {
+				continue
+			}
+			st := newLockState(pkg, f, report)
+			st.walkBlock(fd.Body)
+			st.checkFallthroughEnd(fd.Body)
+		}
+	}
+}
+
+// collectSyncBearers returns the names of package-local struct types that
+// contain a sync primitive (directly or through another local bearer), so a
+// by-value copy of them copies lock state.
+func collectSyncBearers(pkg *Package) map[string]bool {
+	bearers := map[string]bool{}
+	// Iterate to a fixed point so bearers embedding bearers resolve
+	// regardless of declaration order.
+	for changed := true; changed; {
+		changed = false
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				s, ok := ts.Type.(*ast.StructType)
+				if !ok || bearers[ts.Name.Name] {
+					return true
+				}
+				for _, field := range s.Fields.List {
+					if isSyncValueType(f, field.Type, bearers) {
+						bearers[ts.Name.Name] = true
+						changed = true
+						break
+					}
+				}
+				return true
+			})
+		}
+	}
+	return bearers
+}
+
+// isSyncValueType reports whether t is, by value, a sync primitive or a
+// local sync-bearing struct. Pointers never copy lock state.
+func isSyncValueType(f *ast.File, t ast.Expr, bearers map[string]bool) bool {
+	switch t := t.(type) {
+	case *ast.Ident:
+		return bearers[t.Name]
+	case *ast.SelectorExpr:
+		id, ok := t.X.(*ast.Ident)
+		return ok && id.Name == importedName(f, "sync") && syncTypeNames[t.Sel.Name]
+	case *ast.ArrayType:
+		return isSyncValueType(f, t.Elt, bearers)
+	}
+	return false
+}
+
+// checkCopiedSync applies rule 3 to a function signature: by-value
+// receivers and parameters of sync-bearing types.
+func checkCopiedSync(f *ast.File, fd *ast.FuncDecl, bearers map[string]bool, report ReportFunc) {
+	check := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			if isSyncValueType(f, field.Type, bearers) {
+				report(field.Pos(), "%s copies a sync primitive by value; use a pointer", kind)
+			}
+		}
+	}
+	check(fd.Recv, "receiver")
+	check(fd.Type.Params, "parameter")
+}
+
+// lockState tracks the held-lock set through one function's lexical walk.
+type lockState struct {
+	pkg    *Package
+	file   *ast.File
+	report ReportFunc
+	// held maps a lock's expression path ("s.mu") to its Lock() position;
+	// exclusive records whether that hold is a write lock (RLock twice is
+	// legal, Lock twice deadlocks).
+	held      map[string]token.Pos
+	exclusive map[string]bool
+	deferred  map[string]bool
+}
+
+func newLockState(pkg *Package, f *ast.File, report ReportFunc) *lockState {
+	return &lockState{
+		pkg: pkg, file: f, report: report,
+		held:      map[string]token.Pos{},
+		exclusive: map[string]bool{},
+		deferred:  map[string]bool{},
+	}
+}
+
+func (st *lockState) clone() *lockState {
+	c := newLockState(st.pkg, st.file, st.report)
+	for k, v := range st.held {
+		c.held[k] = v
+	}
+	for k, v := range st.exclusive {
+		c.exclusive[k] = v
+	}
+	for k, v := range st.deferred {
+		c.deferred[k] = v
+	}
+	return c
+}
+
+// mutexOp decomposes a statement-level call into (lock path, method) when
+// it is an argument-less X.Lock/RLock/Unlock/RUnlock call.
+func mutexOp(e ast.Expr) (path, op string, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall || len(call.Args) != 0 {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		if p := exprPath(sel.X); p != "" {
+			return p, sel.Sel.Name, true
+		}
+	}
+	return "", "", false
+}
+
+func (st *lockState) walkBlock(b *ast.BlockStmt) {
+	for _, s := range b.List {
+		st.walkStmt(s)
+	}
+}
+
+func (st *lockState) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		st.walkBlock(s)
+	case *ast.LabeledStmt:
+		st.walkStmt(s.Stmt)
+	case *ast.ExprStmt:
+		if path, op, ok := mutexOp(s.X); ok {
+			st.applyMutexOp(path, op, s.Pos())
+			return
+		}
+		st.checkExpr(s.X)
+	case *ast.DeferStmt:
+		if path, op, ok := mutexOp(s.Call); ok && strings.HasSuffix(op, "Unlock") {
+			st.deferred[path] = true
+			return
+		}
+		for _, a := range s.Call.Args {
+			st.checkExpr(a)
+		}
+		// The deferred call itself runs at return; a blocking deferred call
+		// never blocks while the lock is held *here*, so only its arguments
+		// (evaluated now) are checked.
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			newLockState(st.pkg, st.file, st.report).walkBlock(fl.Body)
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			st.checkExpr(e)
+		}
+		for _, e := range s.Lhs {
+			st.checkExpr(e)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			st.checkExpr(e)
+		}
+		st.reportLeaks(s.Pos())
+	case *ast.SendStmt:
+		st.blockingOp(s.Pos(), "a channel send")
+		st.checkExpr(s.Chan)
+		st.checkExpr(s.Value)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st.walkStmt(s.Init)
+		}
+		st.checkExpr(s.Cond)
+		st.clone().walkBlock(s.Body)
+		if s.Else != nil {
+			st.clone().walkStmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st.walkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			st.checkExpr(s.Cond)
+		}
+		body := st.clone()
+		body.walkBlock(s.Body)
+		if s.Post != nil {
+			body.walkStmt(s.Post)
+		}
+	case *ast.RangeStmt:
+		st.checkExpr(s.X)
+		if t := st.pkg.TypeOf(s.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				st.blockingOp(s.Pos(), "a range over a channel")
+			}
+		}
+		st.clone().walkBlock(s.Body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st.walkStmt(s.Init)
+		}
+		if s.Tag != nil {
+			st.checkExpr(s.Tag)
+		}
+		st.walkCases(s.Body)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st.walkStmt(s.Init)
+		}
+		st.walkCases(s.Body)
+	case *ast.SelectStmt:
+		if !selectHasDefault(s) {
+			st.blockingOp(s.Pos(), "a select with no default arm")
+		}
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			arm := st.clone()
+			if cc.Comm != nil {
+				// The comm op's blocking nature is the select's, already
+				// reported; walk only its operands, not the send/receive
+				// itself.
+				switch comm := cc.Comm.(type) {
+				case *ast.SendStmt:
+					arm.checkExpr(comm.Chan)
+					arm.checkExpr(comm.Value)
+				case *ast.ExprStmt:
+					arm.checkCommExpr(comm.X)
+				case *ast.AssignStmt:
+					for _, e := range comm.Lhs {
+						arm.checkExpr(e)
+					}
+					for _, e := range comm.Rhs {
+						arm.checkCommExpr(e)
+					}
+				default:
+					arm.walkStmt(cc.Comm)
+				}
+			}
+			for _, bs := range cc.Body {
+				arm.walkStmt(bs)
+			}
+		}
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			st.checkExpr(a)
+		}
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			// The spawned goroutine has its own stack and its own relation
+			// to the lock — analyze it as a fresh scope.
+			newLockState(st.pkg, st.file, st.report).walkBlock(fl.Body)
+		}
+	default:
+		if s != nil {
+			ast.Inspect(s, func(n ast.Node) bool {
+				if e, ok := n.(ast.Expr); ok {
+					st.checkExpr(e)
+					return false
+				}
+				return true
+			})
+		}
+	}
+}
+
+func (st *lockState) walkCases(body *ast.BlockStmt) {
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		arm := st.clone()
+		for _, e := range cc.List {
+			arm.checkExpr(e)
+		}
+		for _, bs := range cc.Body {
+			arm.walkStmt(bs)
+		}
+	}
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (st *lockState) applyMutexOp(path, op string, pos token.Pos) {
+	switch op {
+	case "Lock", "RLock":
+		if _, already := st.held[path]; already && (op == "Lock" || st.exclusive[path]) {
+			st.report(pos, "mutex %s locked again without an intervening unlock (self-deadlock)", path)
+		}
+		st.held[path] = pos
+		st.exclusive[path] = op == "Lock"
+	case "Unlock", "RUnlock":
+		delete(st.held, path)
+		delete(st.exclusive, path)
+	}
+}
+
+// checkExpr scans one expression for blocking operations performed while a
+// lock is held. Func literals are fresh scopes.
+// checkCommExpr checks a select comm-clause expression: a top-level
+// channel receive is the select's blocking point (already reported once
+// for the whole select), so only its operand is inspected.
+func (st *lockState) checkCommExpr(e ast.Expr) {
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+		st.checkExpr(u.X)
+		return
+	}
+	st.checkExpr(e)
+}
+
+func (st *lockState) checkExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			newLockState(st.pkg, st.file, st.report).walkBlock(n.Body)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				st.blockingOp(n.Pos(), "a channel receive")
+			}
+		case *ast.CallExpr:
+			st.checkBlockingCall(n)
+		}
+		return true
+	})
+}
+
+// checkBlockingCall applies rule 1's call classification: time.Sleep, any
+// .Wait(), and any method call on a runtime-package type (runtime.Session
+// methods park on the session goroutine's command channel).
+func (st *lockState) checkBlockingCall(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if tn := importedName(st.file, "time"); tn != "" && isPkgSelector(st.pkg, sel, tn, "Sleep") {
+		st.blockingOp(call.Pos(), "time.Sleep")
+		return
+	}
+	if sel.Sel.Name == "Wait" {
+		st.blockingOp(call.Pos(), "a Wait call")
+		return
+	}
+	if recvPkg := namedTypePkg(st.pkg.TypeOf(sel.X)); recvPkg == Module+"/internal/runtime" {
+		st.blockingOp(call.Pos(), "a session runtime call ("+sel.Sel.Name+")")
+	}
+}
+
+// namedTypePkg returns the declaring package path of t's (possibly
+// pointed-to) named type, or "".
+func namedTypePkg(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path()
+}
+
+// blockingOp reports every held lock at a blocking operation.
+func (st *lockState) blockingOp(pos token.Pos, what string) {
+	for _, path := range st.heldPaths() {
+		st.report(pos, "mutex %s is held across %s; release it before blocking", path, what)
+	}
+}
+
+// reportLeaks reports rule 2 at a return: held locks with no deferred
+// unlock.
+func (st *lockState) reportLeaks(pos token.Pos) {
+	for _, path := range st.heldPaths() {
+		if !st.deferred[path] {
+			st.report(pos, "return with mutex %s still locked on this path", path)
+		}
+	}
+}
+
+func (st *lockState) heldPaths() []string {
+	paths := make([]string, 0, len(st.held))
+	for p := range st.held {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// checkFallthroughEnd applies rule 2 to a function body that falls off the
+// closing brace (bodies ending in return are handled at the return).
+func (st *lockState) checkFallthroughEnd(body *ast.BlockStmt) {
+	if n := len(body.List); n > 0 {
+		if _, endsWithReturn := body.List[n-1].(*ast.ReturnStmt); endsWithReturn {
+			return
+		}
+	}
+	st.reportLeaks(body.Rbrace)
+}

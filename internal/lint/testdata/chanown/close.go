@@ -1,0 +1,25 @@
+package runtime
+
+func badParamClose(ch chan int) {
+	close(ch) // want `close of channel parameter`
+}
+
+type owner struct {
+	ch chan int
+}
+
+// The creator closes its own channel: no finding.
+func (o *owner) goodClose() {
+	close(o.ch)
+}
+
+func badSendAfterClose() {
+	ch := make(chan int, 4)
+	close(ch)
+	ch <- 1 // want `after it was closed`
+}
+
+func badRecvOnlyClose(o *owner) {
+	var ch <-chan int = o.ch
+	close(ch) // want `close of receive-only channel`
+}

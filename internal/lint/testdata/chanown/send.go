@@ -1,0 +1,37 @@
+package runtime
+
+type pump struct {
+	cmds chan int
+	buf  chan int
+}
+
+func newPump() *pump {
+	return &pump{cmds: make(chan int), buf: make(chan int, 8)}
+}
+
+func (p *pump) badBareSend() {
+	p.cmds <- 1 // want `bare send on unbuffered channel`
+}
+
+func badLocalSend() {
+	ch := make(chan int)
+	ch <- 1 // want `bare send on unbuffered channel`
+}
+
+// A buffered channel absorbs the send: no finding.
+func (p *pump) goodBuffered() {
+	p.buf <- 1
+}
+
+// A select arm cannot park the loop unconditionally: no finding.
+func (p *pump) goodSelect(done chan struct{}) {
+	select {
+	case p.cmds <- 1:
+	case <-done:
+	}
+}
+
+// A caller-provided channel's capacity is the caller's contract: quiet.
+func goodUnknown(ch chan int) {
+	ch <- 1
+}

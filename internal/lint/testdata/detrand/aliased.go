@@ -1,0 +1,5 @@
+package chip
+
+import mr "math/rand/v2" // want `kernel package imports math/rand/v2`
+
+func bad2() int { return mr.IntN(4) }

@@ -1,0 +1,9 @@
+//lintfixture:package truenorth/cmd/tnsim
+package main
+
+// Commands are kernel-adjacent: an entry point that seeds from the wall
+// clock breaks replayability just as surely as a kernel that does.
+
+import "math/rand" // want `kernel package imports math/rand`
+
+func main() { _ = rand.Intn(4) }

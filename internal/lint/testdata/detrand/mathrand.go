@@ -1,0 +1,5 @@
+package chip
+
+import "math/rand" // want `kernel package imports math/rand`
+
+func bad() int { return rand.Intn(4) }

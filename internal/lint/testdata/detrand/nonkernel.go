@@ -1,0 +1,8 @@
+//lintfixture:package truenorth/internal/apps/lsm
+package lsm
+
+// Non-kernel packages may use math/rand freely: no findings.
+
+import "math/rand"
+
+func ok() int { return rand.Intn(4) }

@@ -1,0 +1,5 @@
+package chip
+
+import "time"
+
+func seed() int64 { return time.Now().UnixNano() } // want `kernel package calls time.Now`

@@ -1,0 +1,3 @@
+package neuron
+
+func bad(a, b float64) bool { return a == b } // want `floating-point == comparison`

@@ -1,0 +1,7 @@
+package neuron
+
+// Named types with a floating-point underlying type compare just as
+// nondeterministically as float64 itself.
+type volts float32
+
+func badNamed(a, b volts) bool { return a != b } // want `floating-point != comparison`

@@ -1,0 +1,9 @@
+package neuron
+
+// Integer equality and float-vs-literal-zero divide guards are fine.
+func good(n int, p float64) float64 {
+	if n == 3 || p == 0 {
+		return 0
+	}
+	return 1 / p
+}

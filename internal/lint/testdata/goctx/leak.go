@@ -1,0 +1,64 @@
+package runtime
+
+type worker struct {
+	jobs    chan int
+	done    chan struct{}
+	closing bool
+	n       int
+}
+
+func (w *worker) badForever() {
+	go func() {
+		for { // want `no shutdown arm`
+			v := <-w.jobs
+			w.n += v
+		}
+	}()
+}
+
+// A select arm on a done channel makes the loop shutdown-aware.
+func (w *worker) goodSelect() {
+	go func() {
+		for {
+			select {
+			case v := <-w.jobs:
+				w.n += v
+			case <-w.done:
+				return
+			}
+		}
+	}()
+}
+
+// `go w.loop()` resolves to the method; its condition loop terminates when
+// the closing flag flips.
+func (w *worker) goodFlag() {
+	go w.loop()
+}
+
+func (w *worker) loop() {
+	for !w.closing {
+		w.n++
+	}
+}
+
+// Range over a channel ends when the owner closes it.
+func (w *worker) goodRange() {
+	go func() {
+		for v := range w.jobs {
+			w.n += v
+		}
+	}()
+}
+
+// A closing-flag check inside the loop body also counts.
+func (w *worker) goodBodyCheck() {
+	go func() {
+		for {
+			if w.closing {
+				return
+			}
+			w.n++
+		}
+	}()
+}

@@ -1,0 +1,28 @@
+package chip
+
+type eng struct {
+	outputs []int
+	reused  []int
+	outbox  [][]int
+}
+
+func (e *eng) Run(xs []int) {
+	for _, x := range xs {
+		e.outputs = append(e.outputs, x) // want `never reslice-reused`
+		// reused is reset with [:0] in drain: growth amortizes to zero.
+		e.reused = append(e.reused, x)
+	}
+	// A local alias inherits the reset of the buffer it aliases.
+	out := e.outbox[0]
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	e.outbox[0] = out
+}
+
+func (e *eng) drain() []int {
+	got := append([]int(nil), e.reused...)
+	e.reused = e.reused[:0]
+	e.outbox[0] = e.outbox[0][:0]
+	return got
+}

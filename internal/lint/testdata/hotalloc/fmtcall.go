@@ -1,0 +1,16 @@
+package chip
+
+import (
+	"fmt"
+	"log"
+)
+
+func Step(n int) {
+	for i := 0; i < n; i++ {
+		fmt.Println(i)  // want `fmt.Println on the per-tick path`
+		log.Printf("x") // want `log.Printf on the per-tick path`
+	}
+}
+
+// Formatting off the hot path is fine: no finding.
+func describe(n int) string { return fmt.Sprintf("%d cores", n) }

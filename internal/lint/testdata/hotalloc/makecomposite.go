@@ -1,0 +1,24 @@
+package chip
+
+type point struct{ x, y int }
+
+func route(n int) int {
+	buf := make([]int, n) // want `make on the per-tick path`
+	seen := map[int]bool{} // want `map literal allocates`
+	ids := []int{1, 2, 3}  // want `slice literal allocates`
+	p := point{x: 1, y: 2} // a struct value literal stays on the stack
+	q := [4]int{0, 1, 2, 3}
+	esc := &point{x: 3} // want `&composite literal escapes`
+	_ = seen
+	_ = esc
+	return len(buf) + len(ids) + p.x + q[0]
+}
+
+// The same constructs are free in cold functions: no findings.
+func buildTables(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

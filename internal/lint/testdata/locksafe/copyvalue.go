@@ -1,0 +1,33 @@
+package runtime
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// wrapper embeds a sync-bearing struct by value, so it is itself a bearer.
+type wrapper struct {
+	g guarded
+}
+
+func badParam(g guarded) int { // want `parameter copies a sync primitive`
+	return g.n
+}
+
+func badDirect(mu sync.Mutex) { // want `parameter copies a sync primitive`
+	mu.Lock()
+	mu.Unlock()
+}
+
+func badNested(w wrapper) int { // want `parameter copies a sync primitive`
+	return w.g.n
+}
+
+func (g guarded) badRecv() int { return g.n } // want `receiver copies a sync primitive`
+
+// Pointers share the lock state: no findings.
+func good(g *guarded) int { return g.n }
+
+func (g *guarded) goodRecv() int { return g.n }

@@ -1,0 +1,62 @@
+package runtime
+
+import (
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+	ch chan int
+}
+
+func (s *server) badSend() {
+	s.mu.Lock()
+	s.ch <- 1 // want `held across a channel send`
+	s.mu.Unlock()
+}
+
+func (s *server) badRecv() {
+	s.mu.Lock()
+	<-s.ch // want `held across a channel receive`
+	s.mu.Unlock()
+}
+
+func (s *server) badSleep() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `held across time.Sleep`
+	s.mu.Unlock()
+}
+
+func (s *server) badWait() {
+	s.mu.Lock()
+	s.wg.Wait() // want `held across a Wait call`
+	s.mu.Unlock()
+}
+
+func (s *server) badSelect() {
+	s.mu.Lock()
+	select { // want `held across a select with no default arm`
+	case v := <-s.ch:
+		_ = v
+	}
+	s.mu.Unlock()
+}
+
+// A select with a default arm cannot park the holder: no finding.
+func (s *server) goodSelect() {
+	s.mu.Lock()
+	select {
+	case s.ch <- 1:
+	default:
+	}
+	s.mu.Unlock()
+}
+
+// Release before blocking: no finding.
+func (s *server) good() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- 1
+}

@@ -1,0 +1,45 @@
+package runtime
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (b *box) badLeak(v int) int {
+	b.mu.Lock()
+	if v > 0 {
+		return v // want `still locked on this path`
+	}
+	b.mu.Unlock()
+	return b.n
+}
+
+func (b *box) badDouble() {
+	b.mu.Lock()
+	b.mu.Lock() // want `locked again without an intervening unlock`
+	b.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// The deferred unlock sanctions every return path: no finding.
+func (b *box) goodDefer(v int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if v > 0 {
+		return v
+	}
+	return b.n
+}
+
+// Branch-balanced lock handling: no finding.
+func (b *box) goodBranches(v int) int {
+	b.mu.Lock()
+	if v > 0 {
+		b.mu.Unlock()
+		return v
+	}
+	b.mu.Unlock()
+	return b.n
+}

@@ -1,0 +1,9 @@
+package chip
+
+func bad(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want `order-dependent effect \(append\)`
+		out = append(out, v)
+	}
+	return out
+}

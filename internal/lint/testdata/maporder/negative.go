@@ -1,0 +1,14 @@
+package chip
+
+// Commutative aggregation over a map is order-independent, and ranging
+// over a slice may append freely: no findings.
+func good(m map[int]int, xs []int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	for _, x := range xs {
+		xs = append(xs, x)
+	}
+	return total
+}

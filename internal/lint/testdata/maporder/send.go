@@ -1,0 +1,7 @@
+package chip
+
+func badSend(m map[int]int, ch chan int) {
+	for k := range m { // want `order-dependent effect \(channel send\)`
+		ch <- k
+	}
+}

@@ -1,0 +1,6 @@
+//lintfixture:package truenorth/internal/compass
+package compass
+
+func bad() {
+	go func() { println("fire and forget") }() // want `no completion signal`
+}

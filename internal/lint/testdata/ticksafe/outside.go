@@ -1,0 +1,7 @@
+package chip
+
+// Goroutines anywhere but the Compass engine break the single-threaded
+// tick-accuracy contract.
+func bad() {
+	go func() {}() // want `sanctioned only in the Compass engine`
+}

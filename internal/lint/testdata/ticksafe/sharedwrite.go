@@ -1,0 +1,21 @@
+//lintfixture:package truenorth/internal/compass
+package compass
+
+import "sync"
+
+type engine struct {
+	outputs   []int
+	perWorker [][]int
+}
+
+func (e *engine) step(workers int) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e.outputs = append(e.outputs, w) // want `data race`
+		}(w)
+	}
+	wg.Wait()
+}

@@ -192,7 +192,8 @@ func (m Mesh) greedyStep(cur, dst Point, dead DeadFunc) (Point, bool) {
 		}
 	}
 	// Non-productive sidesteps (may oscillate; the step limit catches it).
-	for _, p := range []Point{{cur.X, cur.Y + 1}, {cur.X, cur.Y - 1}, {cur.X + 1, cur.Y}, {cur.X - 1, cur.Y}} {
+	// A fixed-size array: this runs per detoured spike and must not allocate.
+	for _, p := range [4]Point{{cur.X, cur.Y + 1}, {cur.X, cur.Y - 1}, {cur.X + 1, cur.Y}, {cur.X - 1, cur.Y}} {
 		if alive(p) {
 			return p, true
 		}

@@ -114,7 +114,8 @@ type Session struct {
 	target    uint64
 	waiters   []chan error
 	rateHz    float64
-	deadline  time.Time // next tick deadline when paced; zero = resync
+	deadline  time.Time   // next tick deadline when paced; zero = resync
+	pacer     *time.Timer // reused across paced waits; nil until first wait
 	outputs   []sim.OutputSpike
 	subs      map[int]*subscriber
 	subSeq    int
@@ -162,6 +163,11 @@ func New(eng sim.Engine, opts ...Option) *Session {
 // running between ticks.
 func (s *Session) loop() {
 	defer close(s.done)
+	defer func() {
+		if s.pacer != nil {
+			s.pacer.Stop()
+		}
+	}()
 	for !s.closing {
 		if !s.running {
 			select {
@@ -181,17 +187,15 @@ func (s *Session) loop() {
 				s.deadline = time.Now()
 			}
 			if wait := time.Until(s.deadline); wait > 0 {
-				t := time.NewTimer(wait)
+				s.armPacer(wait)
 				select {
 				case fn := <-s.cmds:
-					t.Stop()
 					fn()
 					continue
 				case e := <-s.inputs:
-					t.Stop()
 					s.handleInput(e)
 					continue
-				case <-t.C:
+				case <-s.pacer.C:
 				}
 			} else {
 				// Behind schedule: the per-tick compute exceeds the period,
@@ -233,6 +237,26 @@ func (s *Session) loop() {
 		close(sub.ch)
 	}
 	s.subs = nil
+}
+
+// armPacer readies the reused pacing timer for one wait. A fresh
+// time.Timer per tick would allocate at the pacing rate (20 kHz for a
+// TrueNorth-speed session), so the session keeps one timer and re-arms
+// it. Only the session goroutine touches the timer, so the non-blocking
+// drain before Reset cannot race with the loop's own receive.
+func (s *Session) armPacer(wait time.Duration) {
+	if s.pacer == nil {
+		s.pacer = time.NewTimer(wait)
+		return
+	}
+	if !s.pacer.Stop() {
+		// Already fired: clear any undelivered tick so Reset starts clean.
+		select {
+		case <-s.pacer.C:
+		default:
+		}
+	}
+	s.pacer.Reset(wait)
 }
 
 // step advances one tick and fans captured outputs out to the drain buffer

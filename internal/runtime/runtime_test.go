@@ -586,3 +586,56 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPacedLoopSurvivesCommandBursts(t *testing.T) {
+	// The paced wait reuses one timer across ticks. Two regressions would
+	// show up here: a stale fire left in the timer channel after a command
+	// wins the select (pacing would collapse to free-running), and a
+	// blocking drain before re-arm (the loop would hang on the first
+	// command-interrupted wait).
+	ctx := context.Background()
+	s := newSession(t, rt.WithTickRate(100))
+	runDone := make(chan error, 1)
+	begin := time.Now()
+	go func() { runDone <- s.Run(ctx, 20) }()
+	// Hammer the command channel so nearly every paced wait is interrupted
+	// at least once before its deadline.
+	stop := make(chan struct{})
+	stats := make(chan struct{})
+	go func() {
+		defer close(stats)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := s.Stats(ctx); err != nil {
+				return
+			}
+		}
+	}()
+	select {
+	case err := <-runDone:
+		close(stop)
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("paced run wedged under a command burst")
+	}
+	// 20 ticks at 100 Hz is 200 ms of schedule; command interruptions must
+	// not eat the pacing. Allow wide slack for slow hosts, but anything
+	// under half schedule means ticks fired early off stale timer state.
+	if took := time.Since(begin); took < 100*time.Millisecond {
+		t.Fatalf("paced run of 20 ticks at 100 Hz took only %v under command load", took)
+	}
+	<-stats
+	// The loop must still pace and respond after the burst.
+	if err := s.Step(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if tick, _ := s.Tick(ctx); tick != 21 {
+		t.Fatalf("tick = %d after run(20)+step", tick)
+	}
+}

@@ -67,6 +67,7 @@ type Server struct {
 	mu       sync.Mutex
 	seq      int
 	sessions map[string]*session
+	closed   bool
 }
 
 // session is one hosted model.
@@ -88,6 +89,7 @@ func NewServer(cfg Config) *Server {
 // Close shuts down every session.
 func (s *Server) Close() {
 	s.mu.Lock()
+	s.closed = true
 	all := make([]*session, 0, len(s.sessions))
 	for _, se := range s.sessions {
 		all = append(all, se)
@@ -256,6 +258,15 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	se := &session{name: req.Name, engine: engine, sess: runtime.New(eng, opts...)}
 
 	s.mu.Lock()
+	if s.closed {
+		// A request that races server shutdown must not leave a live
+		// session goroutine behind: Close has already drained the map and
+		// will never see this one.
+		s.mu.Unlock()
+		se.sess.Close() //nolint:errcheck
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server is shutting down"))
+		return
+	}
 	if s.cfg.MaxSessions > 0 && len(s.sessions) >= s.cfg.MaxSessions {
 		s.mu.Unlock()
 		se.sess.Close() //nolint:errcheck

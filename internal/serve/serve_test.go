@@ -620,3 +620,29 @@ func TestListSessions(t *testing.T) {
 		t.Fatalf("list = %+v", list.Sessions)
 	}
 }
+
+func TestCreateAfterCloseRefusedAndLeaksNoSession(t *testing.T) {
+	// A create racing server shutdown must be refused — and, critically,
+	// must not leave a live session goroutine that Close (already past the
+	// map snapshot) will never reach.
+	srv := serve.NewServer(serve.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	srv.Close()
+	status := call(t, "POST", ts.URL+"/v1/sessions",
+		&serve.CreateRequest{Netgen: netgenSpec(1)}, nil)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("create after Close = %d, want %d", status, http.StatusServiceUnavailable)
+	}
+	// The refused session must have been closed, not orphaned: with the
+	// map drained, a second Close is a no-op and nothing is left running.
+	var listed struct {
+		Sessions []serve.SessionInfo `json:"sessions"`
+	}
+	if status := call(t, "GET", ts.URL+"/v1/sessions", nil, &listed); status != http.StatusOK {
+		t.Fatalf("list = %d", status)
+	}
+	if len(listed.Sessions) != 0 {
+		t.Fatalf("sessions after refused create: %v", listed.Sessions)
+	}
+}

@@ -1,0 +1,43 @@
+#!/bin/sh
+# allocs_gate.sh — per-tick heap-allocation budgets for both engines.
+#
+# BenchmarkPerTickAllocs steps each engine at the flagship operating point
+# (8x8 grid, 20 Hz, 128 syn/neuron, settled past the delay-ring transient)
+# and -benchmem reports steady-state allocs/op, where one op is one tick.
+# This gate pins those numbers:
+#
+#   chip    — 0 budgeted as 2: the sequential kernel must not touch the
+#             heap per tick; the slack absorbs future toolchain noise only.
+#   compass — 24: the parallel engine spawns one goroutine + one emit
+#             closure per worker per tick (4 workers here), an inherent
+#             cost of its fork-join tick. Anything above the budget means
+#             a buffer stopped being reused.
+#
+# The static complement is tnlint's hotalloc analyzer; this script catches
+# what escape analysis decides at build time, which no syntactic check can.
+set -eu
+cd "$(dirname "$0")/.."
+
+CHIP_BUDGET=${CHIP_BUDGET:-2}
+COMPASS_BUDGET=${COMPASS_BUDGET:-24}
+
+out=$(go test -run '^$' -bench '^BenchmarkPerTickAllocs$' -benchmem -benchtime 2000x .)
+echo "$out"
+
+check() {
+	name=$1
+	budget=$2
+	allocs=$(echo "$out" | awk -v n="^BenchmarkPerTickAllocs/$name" '$1 ~ n { print $(NF-1) }')
+	if [ -z "$allocs" ]; then
+		echo "allocs_gate: no benchmark result for $name" >&2
+		exit 1
+	fi
+	if [ "$allocs" -gt "$budget" ]; then
+		echo "allocs_gate: FAIL $name allocates $allocs/tick (budget $budget)" >&2
+		exit 1
+	fi
+	echo "allocs_gate: $name $allocs allocs/tick (budget $budget)"
+}
+
+check chip "$CHIP_BUDGET"
+check compass "$COMPASS_BUDGET"

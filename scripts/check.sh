@@ -3,10 +3,13 @@
 #
 #   1. go build      — everything compiles
 #   2. go vet        — stdlib static analysis
-#   3. tnlint        — the determinism invariants (see internal/lint):
-#                      no math/rand or time.Now in kernel packages, no
-#                      order-dependent map iteration, no float ==, no
-#                      goroutines outside the Compass worker pattern
+#   3. tnlint        — the in-repo analyzer suite (see internal/lint):
+#                      determinism invariants (detrand/maporder/floatcmp/
+#                      ticksafe) plus hot-path allocation, lock-safety,
+#                      goroutine-lifecycle, and channel-ownership checks;
+#                      run with -json so CI logs are machine-readable.
+#                      (go vet's copylocks overlaps locksafe's by-value
+#                      checks; both run, vet as backstop.)
 #   4. tnverify      — whole-model static verification (see
 #                      internal/modelcheck) over a sample of the generated
 #                      characterization networks: routability,
@@ -17,7 +20,9 @@
 #   6. go test -race — the parallel Compass engine, the cross-engine
 #                      determinism tests, and the session-runtime/serving
 #                      layers under the race detector
-#   7. serve smoke   — boot tnserved, pause/resume and checkpoint/restore
+#   7. allocs gate   — per-tick heap-allocation budgets for both engines
+#                      (the dynamic complement to tnlint's hotalloc)
+#   8. serve smoke   — boot tnserved, pause/resume and checkpoint/restore
 #                      a live session, and require its output stream to be
 #                      byte-identical to batch tnsim runs on both engines
 set -eu
@@ -29,8 +34,12 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> tnlint ./..."
-go run ./cmd/tnlint ./...
+echo "==> tnlint -json ./..."
+if ! lint_out=$(go run ./cmd/tnlint -json ./...); then
+	echo "$lint_out"
+	echo "tnlint: unsuppressed findings (full suite; see internal/lint)" >&2
+	exit 1
+fi
 
 echo "==> tnverify (characterization sweep sample)"
 go run ./cmd/tnverify -sweep-grid 4 -sweep-every 8 -assume-inputs=false -v
@@ -40,6 +49,9 @@ go test ./...
 
 echo "==> go test -race ./internal/compass/... ./internal/sim/... ./internal/runtime/... ./internal/serve/..."
 go test -race ./internal/compass/... ./internal/sim/... ./internal/runtime/... ./internal/serve/...
+
+echo "==> allocs gate (per-tick heap budgets)"
+./scripts/allocs_gate.sh
 
 echo "==> serve smoke (tnserved end-to-end)"
 ./scripts/serve_smoke.sh
