@@ -1,8 +1,8 @@
 # Verification entry points; scripts/check.sh is the single source of truth
 # for what "green" means (build + vet + tnlint + verify-models + tests +
-# race + allocs-gate + serve-smoke).
+# race + allocs-gate + serve-smoke + bench-smoke).
 
-.PHONY: check build test lint verify-models race allocs-gate serve-smoke
+.PHONY: check build test lint verify-models race allocs-gate serve-smoke bench bench-smoke
 
 check:
 	./scripts/check.sh
@@ -37,3 +37,14 @@ allocs-gate:
 # byte-identical to batch tnsim runs on both engines.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Full throughput sweep over the paper's operating grid (rate x synapses,
+# three cross-checked arms per point); writes BENCH_<date>.json at the repo
+# root — the perf-trajectory evidence file.
+bench:
+	go run ./cmd/tnbench
+
+# Small tnbench configuration: proves the harness end to end (arms agree,
+# report well-formed) in seconds; the report goes to a temp file.
+bench-smoke:
+	go run ./cmd/tnbench -smoke -o "$$(mktemp)"

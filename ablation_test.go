@@ -101,6 +101,54 @@ func TestAblationDenseMatchesEventDriven(t *testing.T) {
 	}
 }
 
+// sparseDrivenNet builds the workload for the active-neuron Neuron-phase
+// ablation: a sparse operating point (10 Hz × 32 synapses) where 7/8 of the
+// neurons are event-driven relays, so the masked kernel can skip most of
+// every tick's Neuron phase.
+func sparseDrivenNet(t testing.TB) (router.Mesh, []*core.Config) {
+	t.Helper()
+	grid := router.Mesh{W: 4, H: 4}
+	configs, err := netgen.Build(netgen.Params{
+		Grid: grid, RateHz: 10, SynPerNeuron: 32, Seed: 5, DrivenFraction: 0.875,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return grid, configs
+}
+
+func TestAblationDenseMatchesActiveNeuronKernel(t *testing.T) {
+	// On a sparse driven workload the active-neuron kernel evaluates far
+	// fewer neurons than the dense reference, yet spikes, potentials, PRNG
+	// streams, and every counter except NeuronUpdates must match exactly.
+	grid, configs := sparseDrivenNet(t)
+	ev := newDenseEngine(t, grid, configs)
+	dn := newDenseEngine(t, grid, configs)
+	for tick := 0; tick < 400; tick++ {
+		ev.step(false)
+		dn.step(true)
+	}
+	for i := range ev.cores {
+		a, b := ev.cores[i], dn.cores[i]
+		if a.V != b.V {
+			t.Fatalf("core %d potentials differ between update strategies", i)
+		}
+		if a.RNG.State() != b.RNG.State() {
+			t.Fatalf("core %d PRNG diverged: draw sequences differ", i)
+		}
+		if a.Cnt.SynEvents != b.Cnt.SynEvents || a.Cnt.Spikes != b.Cnt.Spikes || a.Cnt.AxonEvents != b.Cnt.AxonEvents {
+			t.Fatalf("core %d counters diverged: %+v vs %+v", i, a.Cnt, b.Cnt)
+		}
+	}
+	a, b := ev.counters(), dn.counters()
+	if a.Spikes == 0 {
+		t.Fatal("silent workload; ablation vacuous")
+	}
+	if a.NeuronUpdates >= b.NeuronUpdates {
+		t.Fatalf("active kernel evaluated %d neurons, dense %d: no work skipped", a.NeuronUpdates, b.NeuronUpdates)
+	}
+}
+
 func TestAblationAggregationEquivalence(t *testing.T) {
 	grid, configs := ablationNet(t)
 	agg, err := compass.New(grid, configs, sim.WithWorkers(4))
@@ -161,6 +209,31 @@ func BenchmarkAblationDenseVsEventDriven(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				e.step(mode.dense)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationActiveNeuronKernel quantifies the per-neuron half of
+// claim 1: the masked Neuron phase vs the dense full scan on the sparse
+// driven workload (sub-benchmarks; compare ns/op).
+func BenchmarkAblationActiveNeuronKernel(b *testing.B) {
+	for _, mode := range []struct {
+		name     string
+		fullScan bool
+	}{{"active-neuron", false}, {"full-scan", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			grid, configs := sparseDrivenNet(b)
+			e := newDenseEngine(b, grid, configs)
+			for _, c := range e.cores {
+				c.SetFullNeuronScan(mode.fullScan)
+			}
+			for i := 0; i < 30; i++ {
+				e.step(false) // settle
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.step(false)
 			}
 		})
 	}

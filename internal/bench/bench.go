@@ -1,0 +1,355 @@
+// Package bench measures simulator throughput across the paper's operating
+// grid — mean firing rate × active synapses per neuron (Section V) — and
+// produces the machine-readable evidence file (BENCH_<date>.json) that
+// cmd/tnbench writes at the repository root.
+//
+// Every operating point is run on three arms over identical networks and
+// tick counts:
+//
+//   - "chip": the sequential silicon model with the active-neuron
+//     Neuron-phase kernel (the production configuration);
+//   - "chip-full-scan": the same engine with the dense Neuron-phase
+//     baseline forced on every core (core.SetFullNeuronScan), isolating the
+//     kernel's contribution — KernelSpeedup is chip over chip-full-scan;
+//   - "compass": the parallel engine at the configured worker count.
+//
+// The arms must agree event-for-event — Run cross-checks SynEvents, Spikes,
+// and AxonEvents across all three and fails on any mismatch — so the
+// reported speedups can never come from computing something different.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"truenorth/internal/core"
+	"truenorth/internal/netgen"
+	"truenorth/internal/router"
+	"truenorth/internal/sim"
+
+	// The engines register themselves with the sim registry.
+	_ "truenorth/internal/chip"
+	_ "truenorth/internal/compass"
+)
+
+// Arms are the engine configurations measured at every operating point, in
+// report order.
+var Arms = []string{"chip", "chip-full-scan", "compass"}
+
+// Config parameterizes one sweep.
+type Config struct {
+	// Grid is the core mesh of every generated network.
+	Grid router.Mesh
+	// Rates and Syns span the operating grid; every (rate, syn) pair is one
+	// measured point.
+	Rates []float64
+	Syns  []int
+	// DrivenFraction is passed to netgen: the fraction of each core's
+	// neurons built as event-driven relays instead of tonic oscillators.
+	// Zero reproduces the paper's all-tonic construction, on which the
+	// active-neuron kernel cannot skip anything by design.
+	DrivenFraction float64
+	// SettleTicks run before measurement on each arm (warm caches, drain
+	// the initial-potential transient); MeasureTicks are timed.
+	SettleTicks  int
+	MeasureTicks int
+	// Workers is the compass arm's worker count.
+	Workers int
+	// Seed drives network construction; the same seed is used at every
+	// point so arms are comparable across the grid.
+	Seed int64
+}
+
+// DefaultConfig is the sweep cmd/tnbench runs when no flags narrow it: a
+// rate × synapse grid spanning the paper's sparse-to-saturated range on an
+// 8×8-core mesh.
+func DefaultConfig() Config {
+	workers := runtime.NumCPU()
+	if workers > 8 {
+		workers = 8
+	}
+	return Config{
+		Grid:           router.Mesh{W: 8, H: 8},
+		Rates:          []float64{2, 10, 25, 50, 100, 200},
+		Syns:           []int{0, 32, 128, 256},
+		DrivenFraction: 0.875,
+		SettleTicks:    40,
+		MeasureTicks:   360,
+		Workers:        workers,
+		Seed:           20140613,
+	}
+}
+
+// SmokeConfig is the CI configuration: small enough to finish in seconds
+// while still exercising every arm, the cross-arm equality check, and the
+// JSON schema.
+func SmokeConfig() Config {
+	return Config{
+		Grid:           router.Mesh{W: 4, H: 4},
+		Rates:          []float64{2, 100},
+		Syns:           []int{32},
+		DrivenFraction: 0.875,
+		SettleTicks:    10,
+		MeasureTicks:   80,
+		Workers:        4,
+		Seed:           20140613,
+	}
+}
+
+// Validate reports the first invalid sweep parameter, or nil.
+func (c Config) Validate() error {
+	if c.Grid.W <= 0 || c.Grid.H <= 0 {
+		return fmt.Errorf("bench: invalid grid %dx%d", c.Grid.W, c.Grid.H)
+	}
+	if len(c.Rates) == 0 || len(c.Syns) == 0 {
+		return fmt.Errorf("bench: empty operating grid (%d rates × %d syns)", len(c.Rates), len(c.Syns))
+	}
+	if c.MeasureTicks <= 0 {
+		return fmt.Errorf("bench: measure ticks %d must be positive", c.MeasureTicks)
+	}
+	if c.SettleTicks < 0 {
+		return fmt.Errorf("bench: settle ticks %d is negative", c.SettleTicks)
+	}
+	if c.Workers <= 0 {
+		return fmt.Errorf("bench: workers %d must be positive", c.Workers)
+	}
+	return nil
+}
+
+// EngineResult is one arm's measurement at one operating point.
+type EngineResult struct {
+	// TicksPerSec is simulated ticks per wall-clock second.
+	TicksPerSec float64 `json:"ticks_per_sec"`
+	// NsPerTick is the inverse in nanoseconds, for easy eyeballing.
+	NsPerTick float64 `json:"ns_per_tick"`
+	// SOPS is synaptic operations per wall-clock second, the paper's
+	// throughput figure of merit.
+	SOPS float64 `json:"sops"`
+	// SpeedupVsRealTime is TicksPerSec over the 1 kHz biological tick rate:
+	// above 1 the simulation outruns real time.
+	SpeedupVsRealTime float64 `json:"speedup_vs_real_time"`
+	// AllocsPerTick is heap allocations per tick during measurement (from
+	// runtime.MemStats.Mallocs; the chip arm must stay at ~0).
+	AllocsPerTick float64 `json:"allocs_per_tick"`
+	// SynEventsPerTick and NeuronUpdatesPerTick characterize the measured
+	// load; NeuronUpdates is where the active-neuron kernel's savings show.
+	SynEventsPerTick     float64 `json:"syn_events_per_tick"`
+	NeuronUpdatesPerTick float64 `json:"neuron_updates_per_tick"`
+}
+
+// PointResult is one operating point: the shared workload descriptors plus
+// one EngineResult per arm.
+type PointResult struct {
+	RateHz float64 `json:"rate_hz"`
+	Syn    int     `json:"syn_per_neuron"`
+	// MeasuredRateHz is the realized mean firing rate (driven relays do not
+	// hold the programmed tonic rate; what matters is that all arms agree).
+	MeasuredRateHz float64                 `json:"measured_rate_hz"`
+	Engines        map[string]EngineResult `json:"engines"`
+	// KernelSpeedup is chip ticks/sec over chip-full-scan ticks/sec: the
+	// isolated contribution of the active-neuron Neuron-phase kernel.
+	KernelSpeedup float64 `json:"kernel_speedup"`
+}
+
+// Summary condenses the sweep for the acceptance gate and the README table.
+type Summary struct {
+	// SparseKernelSpeedup is the mean KernelSpeedup over the lowest
+	// firing-rate row of the grid — the sparse operating points where the
+	// event-driven argument predicts the largest win.
+	SparseKernelSpeedup float64 `json:"sparse_kernel_speedup"`
+	// BestKernelSpeedup is the maximum KernelSpeedup across the grid.
+	BestKernelSpeedup float64 `json:"best_kernel_speedup"`
+	// PeakChipSOPS is the highest chip-arm SOPS across the grid.
+	PeakChipSOPS float64 `json:"peak_chip_sops"`
+}
+
+// Report is the schema of BENCH_<date>.json.
+type Report struct {
+	SchemaVersion  int           `json:"schema_version"`
+	GeneratedAt    string        `json:"generated_at"`
+	GoVersion      string        `json:"go_version"`
+	GOOS           string        `json:"goos"`
+	GOARCH         string        `json:"goarch"`
+	CPUs           int           `json:"cpus"`
+	Grid           string        `json:"grid"`
+	Neurons        int           `json:"neurons"`
+	DrivenFraction float64       `json:"driven_fraction"`
+	SettleTicks    int           `json:"settle_ticks"`
+	MeasureTicks   int           `json:"measure_ticks"`
+	Workers        int           `json:"workers"`
+	Seed           int64         `json:"seed"`
+	Points         []PointResult `json:"points"`
+	Summary        Summary       `json:"summary"`
+}
+
+// Filename returns the dated evidence-file name, BENCH_YYYY-MM-DD.json.
+func Filename() string {
+	return "BENCH_" + time.Now().Format("2006-01-02") + ".json"
+}
+
+// measurement is one arm's raw numbers before cross-checking.
+type measurement struct {
+	result EngineResult
+	cnt    core.Counters
+}
+
+// measureArm builds a fresh engine for the point's network, settles it, and
+// times MeasureTicks of free-running simulation.
+func (c Config) measureArm(arm string, configs []*core.Config) (measurement, error) {
+	name := arm
+	var opts []sim.Option
+	fullScan := false
+	switch arm {
+	case "chip":
+	case "chip-full-scan":
+		name = "chip"
+		fullScan = true
+	case "compass":
+		opts = append(opts, sim.WithWorkers(c.Workers))
+	default:
+		return measurement{}, fmt.Errorf("bench: unknown arm %q", arm)
+	}
+	eng, err := sim.NewEngine(name, c.Grid, configs, opts...)
+	if err != nil {
+		return measurement{}, err
+	}
+	if fullScan {
+		fs, ok := eng.(interface{ Cores() []*core.Core })
+		if !ok {
+			return measurement{}, fmt.Errorf("bench: engine %q does not expose Cores()", name)
+		}
+		for _, cr := range fs.Cores() {
+			cr.SetFullNeuronScan(true)
+		}
+	}
+	eng.Run(c.SettleTicks)
+	before := eng.Counters()
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	eng.Run(c.MeasureTicks)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	after := eng.Counters()
+	cnt := core.Counters{
+		SynEvents:     after.SynEvents - before.SynEvents,
+		NeuronUpdates: after.NeuronUpdates - before.NeuronUpdates,
+		Spikes:        after.Spikes - before.Spikes,
+		AxonEvents:    after.AxonEvents - before.AxonEvents,
+	}
+	ticks := float64(c.MeasureTicks)
+	secs := elapsed.Seconds()
+	if secs <= 0 {
+		return measurement{}, fmt.Errorf("bench: %s measured a non-positive duration", arm)
+	}
+	tps := ticks / secs
+	return measurement{
+		result: EngineResult{
+			TicksPerSec:          tps,
+			NsPerTick:            float64(elapsed.Nanoseconds()) / ticks,
+			SOPS:                 float64(cnt.SynEvents) / ticks * tps,
+			SpeedupVsRealTime:    tps / 1000,
+			AllocsPerTick:        float64(m1.Mallocs-m0.Mallocs) / ticks,
+			SynEventsPerTick:     float64(cnt.SynEvents) / ticks,
+			NeuronUpdatesPerTick: float64(cnt.NeuronUpdates) / ticks,
+		},
+		cnt: cnt,
+	}, nil
+}
+
+// Run executes the sweep and assembles the report. logf, when non-nil,
+// receives one progress line per measured point.
+func Run(cfg Config, logf func(format string, args ...any)) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	neurons := cfg.Grid.W * cfg.Grid.H * core.NeuronsPerCore
+	rep := &Report{
+		SchemaVersion:  1,
+		GeneratedAt:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		CPUs:           runtime.NumCPU(),
+		Grid:           fmt.Sprintf("%dx%d", cfg.Grid.W, cfg.Grid.H),
+		Neurons:        neurons,
+		DrivenFraction: cfg.DrivenFraction,
+		SettleTicks:    cfg.SettleTicks,
+		MeasureTicks:   cfg.MeasureTicks,
+		Workers:        cfg.Workers,
+		Seed:           cfg.Seed,
+	}
+	for _, rate := range cfg.Rates {
+		for _, syn := range cfg.Syns {
+			configs, err := netgen.Build(netgen.Params{
+				Grid: cfg.Grid, RateHz: rate, SynPerNeuron: syn,
+				Seed: cfg.Seed, DrivenFraction: cfg.DrivenFraction,
+			})
+			if err != nil {
+				return nil, err
+			}
+			pt := PointResult{RateHz: rate, Syn: syn, Engines: make(map[string]EngineResult, len(Arms))}
+			var first measurement
+			for i, arm := range Arms {
+				m, err := cfg.measureArm(arm, configs)
+				if err != nil {
+					return nil, fmt.Errorf("bench: %.0f Hz × %d syn: %w", rate, syn, err)
+				}
+				if i == 0 {
+					first = m
+				} else if m.cnt.SynEvents != first.cnt.SynEvents ||
+					m.cnt.Spikes != first.cnt.Spikes ||
+					m.cnt.AxonEvents != first.cnt.AxonEvents {
+					return nil, fmt.Errorf("bench: %.0f Hz × %d syn: arm %q computed different events than %q (%+v vs %+v): engines diverged",
+						rate, syn, arm, Arms[0], m.cnt, first.cnt)
+				}
+				pt.Engines[arm] = m.result
+			}
+			pt.MeasuredRateHz = float64(first.cnt.Spikes) / float64(cfg.MeasureTicks) / float64(neurons) * 1000
+			if full := pt.Engines["chip-full-scan"].TicksPerSec; full > 0 {
+				pt.KernelSpeedup = pt.Engines["chip"].TicksPerSec / full
+			}
+			if logf != nil {
+				logf("%6.1f Hz × %3d syn: chip %8.0f ticks/s (%5.2fx kernel), compass %8.0f ticks/s, %4.1f Hz measured",
+					rate, syn, pt.Engines["chip"].TicksPerSec, pt.KernelSpeedup,
+					pt.Engines["compass"].TicksPerSec, pt.MeasuredRateHz)
+			}
+			rep.Points = append(rep.Points, pt)
+		}
+	}
+	rep.Summary = summarize(cfg, rep.Points)
+	return rep, nil
+}
+
+// summarize computes the acceptance-gate figures from the measured points.
+func summarize(cfg Config, pts []PointResult) Summary {
+	var s Summary
+	minRate := cfg.Rates[0]
+	for _, r := range cfg.Rates {
+		if r < minRate {
+			minRate = r
+		}
+	}
+	var sparseSum float64
+	var sparseN int
+	for _, pt := range pts {
+		if pt.KernelSpeedup > s.BestKernelSpeedup {
+			s.BestKernelSpeedup = pt.KernelSpeedup
+		}
+		if sops := pt.Engines["chip"].SOPS; sops > s.PeakChipSOPS {
+			s.PeakChipSOPS = sops
+		}
+		if pt.RateHz == minRate {
+			sparseSum += pt.KernelSpeedup
+			sparseN++
+		}
+	}
+	if sparseN > 0 {
+		s.SparseKernelSpeedup = sparseSum / float64(sparseN)
+	}
+	return s
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"encoding/json"
+	"regexp"
+	"testing"
+
+	"truenorth/internal/router"
+)
+
+// tinyConfig is a sweep small enough for unit tests.
+func tinyConfig() Config {
+	return Config{
+		Grid:           router.Mesh{W: 2, H: 2},
+		Rates:          []float64{2, 50},
+		Syns:           []int{16},
+		DrivenFraction: 0.875,
+		SettleTicks:    5,
+		MeasureTicks:   40,
+		Workers:        2,
+		Seed:           7,
+	}
+}
+
+func TestRunProducesCompleteReport(t *testing.T) {
+	rep, err := Run(tinyConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != 1 {
+		t.Fatalf("schema version %d, want 1", rep.SchemaVersion)
+	}
+	if rep.Neurons != 2*2*256 {
+		t.Fatalf("neurons = %d, want 1024", rep.Neurons)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("%d points, want 2", len(rep.Points))
+	}
+	for _, pt := range rep.Points {
+		if len(pt.Engines) != len(Arms) {
+			t.Fatalf("point %.0fx%d has %d arms, want %d", pt.RateHz, pt.Syn, len(pt.Engines), len(Arms))
+		}
+		for _, arm := range Arms {
+			r, ok := pt.Engines[arm]
+			if !ok {
+				t.Fatalf("point %.0fx%d missing arm %q", pt.RateHz, pt.Syn, arm)
+			}
+			if r.TicksPerSec <= 0 || r.NsPerTick <= 0 {
+				t.Fatalf("arm %q reported non-positive throughput: %+v", arm, r)
+			}
+		}
+		if pt.KernelSpeedup <= 0 {
+			t.Fatalf("point %.0fx%d kernel speedup %.3f not positive", pt.RateHz, pt.Syn, pt.KernelSpeedup)
+		}
+		// The active kernel must actually evaluate fewer neurons than the
+		// forced full scan on this mostly-driven workload.
+		if a, f := pt.Engines["chip"].NeuronUpdatesPerTick, pt.Engines["chip-full-scan"].NeuronUpdatesPerTick; a >= f {
+			t.Fatalf("point %.0fx%d: active kernel %f updates/tick, full scan %f — no work skipped", pt.RateHz, pt.Syn, a, f)
+		}
+	}
+	if rep.Summary.BestKernelSpeedup <= 0 || rep.Summary.SparseKernelSpeedup <= 0 {
+		t.Fatalf("summary not populated: %+v", rep.Summary)
+	}
+	if rep.Summary.PeakChipSOPS <= 0 {
+		t.Fatal("peak SOPS not populated")
+	}
+}
+
+func TestReportRoundTripsThroughJSON(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Rates = []float64{10}
+	rep, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Grid != "2x2" || len(back.Points) != 1 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back.Points[0].Engines["chip"].TicksPerSec != rep.Points[0].Engines["chip"].TicksPerSec {
+		t.Fatal("round trip changed a measurement")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"bad grid", func(c *Config) { c.Grid.W = 0 }},
+		{"no rates", func(c *Config) { c.Rates = nil }},
+		{"no syns", func(c *Config) { c.Syns = nil }},
+		{"zero measure", func(c *Config) { c.MeasureTicks = 0 }},
+		{"negative settle", func(c *Config) { c.SettleTicks = -1 }},
+		{"zero workers", func(c *Config) { c.Workers = 0 }},
+	} {
+		cfg := tinyConfig()
+		tc.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if err := tinyConfig().Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+	if err := SmokeConfig().Validate(); err != nil {
+		t.Errorf("smoke config rejected: %v", err)
+	}
+}
+
+func TestFilenameShape(t *testing.T) {
+	if ok, _ := regexp.MatchString(`^BENCH_\d{4}-\d{2}-\d{2}\.json$`, Filename()); !ok {
+		t.Fatalf("Filename() = %q, want BENCH_YYYY-MM-DD.json", Filename())
+	}
+}

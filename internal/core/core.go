@@ -202,12 +202,26 @@ type Core struct {
 	// ring is the axonal delay buffer: ring[t & 15] holds the axons that
 	// receive a spike at tick t.
 	ring [delaySlots]RowMask
-	// hasLeak caches whether any neuron needs per-tick work even without
-	// input (nonzero leak, potential, or stochastic draw); recomputed
-	// whenever state changes. It enables the event-driven fast path:
-	// "because neurons fire sparsely in time, the event-based update loop
-	// is significantly more efficient" (Section III).
-	everyTick bool
+
+	// everyTickMask marks the neurons that must run the Neuron phase on
+	// every tick regardless of input: nonzero leak, stochastic leak,
+	// stochastic threshold, or threshold ≤ 0 — anything that draws from the
+	// PRNG or can change state without a synaptic event. It is a pure
+	// function of the configuration, computed once per (re)load.
+	everyTickMask RowMask
+	// anyEveryTick caches !everyTickMask.Empty() for the per-core skip.
+	anyEveryTick bool
+	// dirtyMask marks neurons outside everyTickMask whose potential may
+	// have left the quiescent band [-β, α): set word-parallel by the
+	// Synapse phase when Integrate touches a row, seeded from InitV or a
+	// restored snapshot, and re-armed by the Neuron phase while the
+	// post-update potential still satisfies V ≥ α or V < -β. Together the
+	// masks make the Neuron phase event-driven per neuron: "because neurons
+	// fire sparsely in time, the event-based update loop is significantly
+	// more efficient" (Section III).
+	dirtyMask RowMask
+	// fullNeuronScan disables the per-neuron skip (see SetFullNeuronScan).
+	fullNeuronScan bool
 }
 
 // New returns a core loaded with cfg. The caller should Validate cfg first;
@@ -216,28 +230,40 @@ func New(cfg *Config) *Core {
 	c := &Core{Cfg: cfg}
 	c.V = cfg.InitV
 	c.RNG.Seed(cfg.Seed)
-	c.refreshEveryTick()
+	c.refreshMasks()
 	return c
 }
 
-// refreshEveryTick recomputes whether the core must run the Neuron phase on
-// ticks with no incoming events.
-func (c *Core) refreshEveryTick() {
-	c.everyTick = false
+// refreshMasks recomputes everyTickMask from the configuration and reseeds
+// dirtyMask from the current potentials. A neuron in neither mask is a fixed
+// point of the Neuron phase — ApplyLeak is the identity (zero deterministic
+// leak) and ThresholdFire neither fires, resets, nor draws while the
+// potential stays in [-β, α) — so skipping it is unobservable.
+func (c *Core) refreshMasks() {
+	c.everyTickMask = RowMask{}
+	c.dirtyMask = RowMask{}
 	for j := range c.Cfg.Neurons {
 		p := &c.Cfg.Neurons[j]
-		if p.Leak != 0 || p.StochLeak || p.ThresholdMask != 0 || c.V[j] != 0 {
-			c.everyTick = true
-			return
+		// Threshold ≤ 0 fires from the resting potential; the others draw
+		// from the PRNG or move the potential without any input.
+		if p.Leak != 0 || p.StochLeak || p.ThresholdMask != 0 || p.Threshold <= 0 {
+			c.everyTickMask.Set(j)
+			continue
 		}
-		// A neuron whose resting potential satisfies V >= threshold would
-		// fire every tick.
-		if p.Threshold <= 0 {
-			c.everyTick = true
-			return
+		if c.V[j] >= p.Threshold || c.V[j] < -p.NegThreshold {
+			c.dirtyMask.Set(j)
 		}
 	}
+	c.anyEveryTick = !c.everyTickMask.Empty()
 }
+
+// SetFullNeuronScan toggles the dense Neuron-phase baseline: when on, every
+// non-skipped tick evaluates all 256 neurons the way the pre-mask kernel did
+// instead of walking everyTickMask | dirtyMask. Spikes, potentials, and PRNG
+// draws are bit-identical either way — evaluating a quiescent neuron is the
+// identity — so only NeuronUpdates and throughput differ. tnbench uses this
+// as the ablation baseline arm.
+func (c *Core) SetFullNeuronScan(on bool) { c.fullNeuronScan = on }
 
 // Deliver records a spike arrival on axon at tick (the absolute tick at
 // which it will be integrated). The engine computes tick = now + delay.
@@ -259,8 +285,10 @@ type Emit func(neuronIdx int, tgt Target)
 //
 // Ordering contract (bit-equality across engines): active axons are walked
 // in ascending index order, set crossbar bits in ascending neuron order, and
-// the Neuron phase walks neurons 0..255; all PRNG draws happen in that
-// sequence.
+// the Neuron phase walks evaluated neurons in ascending index order; all PRNG
+// draws happen in that sequence. The active-neuron kernel preserves the draw
+// sequence exactly because every drawing neuron is in everyTickMask, and mask
+// iteration is ascending.
 func (c *Core) Step(tick uint64, emit Emit) {
 	slot := &c.ring[tick&(delaySlots-1)]
 	if c.Disabled {
@@ -271,14 +299,15 @@ func (c *Core) Step(tick uint64, emit Emit) {
 	*slot = RowMask{}
 
 	hasInput := !active.Empty()
-	if !hasInput && !c.everyTick {
+	if !hasInput && !c.anyEveryTick && c.dirtyMask.Empty() {
 		// Event-driven fast path: nothing arrived, nothing can change.
 		return
 	}
 
 	cfg := c.Cfg
 	// Synapse phase: propagate input spikes from axons through the crossbar
-	// and perform synaptic integration (kernel lines 4-8).
+	// and perform synaptic integration (kernel lines 4-8). Every touched
+	// neuron is marked dirty word-parallel so the Neuron phase evaluates it.
 	if hasInput {
 		active.ForEach(func(i int) {
 			c.Cnt.AxonEvents++
@@ -288,32 +317,44 @@ func (c *Core) Step(tick uint64, emit Emit) {
 				c.V[j] = cfg.Neurons[j].Integrate(c.V[j], g, &c.RNG)
 				c.Cnt.SynEvents++
 			})
+			for w := range c.dirtyMask {
+				c.dirtyMask[w] |= row[w]
+			}
 		})
 	}
 
-	// Neuron phase: leak, threshold, fire, reset (kernel lines 9-18).
-	fired := false
-	for j := range cfg.Neurons {
+	// Neuron phase: leak, threshold, fire, reset (kernel lines 9-18),
+	// restricted to neurons that can observably change: the static
+	// every-tick set plus anything the Synapse phase (or an earlier tick's
+	// overshoot) left outside the quiescent band.
+	walk := c.everyTickMask
+	for w := range walk {
+		walk[w] |= c.dirtyMask[w]
+	}
+	if c.fullNeuronScan {
+		for w := range walk {
+			walk[w] = ^uint64(0)
+		}
+	}
+	c.dirtyMask = RowMask{}
+	walk.ForEach(func(j int) {
 		p := &cfg.Neurons[j]
 		v := p.ApplyLeak(c.V[j], &c.RNG)
 		v, spike := p.ThresholdFire(v, &c.RNG)
 		c.V[j] = v
 		c.Cnt.NeuronUpdates++
+		// Re-arm: a potential still at or past a threshold keeps acting on
+		// future ticks without further input (e.g. ResetNone overshoot).
+		if v >= p.Threshold || v < -p.NegThreshold {
+			c.dirtyMask.Set(j)
+		}
 		if spike {
 			c.Cnt.Spikes++
-			fired = true
 			if t := cfg.Targets[j]; t.Valid {
 				emit(j, t)
 			}
 		}
-	}
-
-	// State may have decayed back to quiescence; refresh the fast-path
-	// cache only when it could flip (cheap heuristic: do it when we had
-	// input or fired, or periodically).
-	if hasInput || fired || tick&63 == 0 {
-		c.refreshEveryTick()
-	}
+	})
 }
 
 // StepDense is the ablation reference for Step: it produces bit-identical
@@ -348,12 +389,18 @@ func (c *Core) StepDense(tick uint64, emit Emit) {
 			c.Cnt.SynEvents++
 		}
 	}
+	// The dense walk evaluates everything, so re-arming alone keeps the
+	// dirty invariant intact for a later switch back to Step.
+	c.dirtyMask = RowMask{}
 	for j := range cfg.Neurons {
 		p := &cfg.Neurons[j]
 		v := p.ApplyLeak(c.V[j], &c.RNG)
 		v, spike := p.ThresholdFire(v, &c.RNG)
 		c.V[j] = v
 		c.Cnt.NeuronUpdates++
+		if v >= p.Threshold || v < -p.NegThreshold {
+			c.dirtyMask.Set(j)
+		}
 		if spike {
 			c.Cnt.Spikes++
 			if t := cfg.Targets[j]; t.Valid {
@@ -373,7 +420,7 @@ func (c *Core) Reset(clearCounters bool) {
 	if clearCounters {
 		c.Cnt = Counters{}
 	}
-	c.refreshEveryTick()
+	c.refreshMasks()
 }
 
 // ConfiguredSynapses returns the number of set crossbar bits, used for
@@ -411,7 +458,7 @@ func (c *Core) RestoreState(s State) {
 	c.RNG.Seed(s.RNG)
 	c.Disabled = s.Disabled
 	c.Cnt = s.Cnt
-	c.refreshEveryTick()
+	c.refreshMasks()
 }
 
 // InertNeuron returns parameters for an unused neuron slot: no weights, no

@@ -333,6 +333,210 @@ func TestCoreStochasticDeterminism(t *testing.T) {
 	}
 }
 
+func TestActiveNeuronKernelSkipsUntouchedNeurons(t *testing.T) {
+	// The Neuron phase is event-driven per neuron: a tick that delivers one
+	// event into a one-synapse row must evaluate exactly one neuron, not
+	// all 256 (Section III: neurons fire sparsely in time).
+	cfg := relayConfig(5, 9, Target{Valid: true, Delay: 1})
+	cfg.Synapses[7].Set(200) // a second relay that never receives input
+	cfg.Neurons[200] = neuron.Identity()
+	c := New(cfg)
+	for tick := uint64(0); tick < 50; tick++ {
+		c.Deliver(5, tick)
+		c.Step(tick, func(int, Target) {})
+	}
+	if c.Cnt.NeuronUpdates != 50 {
+		t.Fatalf("50 single-neuron ticks performed %d neuron updates, want 50", c.Cnt.NeuronUpdates)
+	}
+}
+
+// mixedConfig exercises every mask class at once: tonic leak neurons,
+// stochastic-threshold neurons (PRNG draws every tick), and plain driven
+// relays with subtractive reset and a negative saturation window.
+func mixedConfig() *Config {
+	cfg := InertConfig()
+	cfg.Seed = 0x5EED
+	for j := 0; j < NeuronsPerCore; j++ {
+		switch {
+		case j < 64:
+			cfg.Neurons[j] = neuron.Params{Leak: 1, Threshold: 40 + int32(j), Reset: neuron.ResetToV}
+		case j < 128:
+			cfg.Neurons[j] = neuron.Params{
+				Weights:       [neuron.NumAxonTypes]int32{4, 0, 0, 0},
+				Threshold:     6,
+				ThresholdMask: 0x03,
+				Reset:         neuron.ResetToV,
+			}
+		default:
+			cfg.Neurons[j] = neuron.Params{
+				Weights:      [neuron.NumAxonTypes]int32{2, -1, 0, 0},
+				Threshold:    3,
+				Reset:        neuron.ResetSubtract,
+				NegThreshold: 12,
+				NegSaturate:  true,
+			}
+		}
+		cfg.Targets[j] = Target{Valid: true, Delay: 1}
+	}
+	for i := 0; i < AxonsPerCore; i++ {
+		cfg.AxonType[i] = uint8(i % 2)
+		cfg.Synapses[i].Set((i*3 + 5) % NeuronsPerCore)
+		cfg.Synapses[i].Set((i + 128) % NeuronsPerCore)
+	}
+	return cfg
+}
+
+// mixedDrive delivers a deterministic sparse input schedule to c.
+func mixedDrive(c *Core, tick uint64) {
+	if tick%4 == 0 {
+		c.Deliver(int(tick)%AxonsPerCore, tick)
+		c.Deliver(int(tick*11)%AxonsPerCore, tick)
+	}
+}
+
+func TestActiveNeuronKernelMatchesFullScanAndDense(t *testing.T) {
+	// Three arms over the same configuration and input schedule: the
+	// active-neuron kernel, the dense-baseline knob, and StepDense. Spikes,
+	// potentials, PRNG state, and all counters except NeuronUpdates must be
+	// bit-identical; NeuronUpdates must show the active kernel did less work.
+	type arm struct {
+		c      *Core
+		spikes []int
+		step   func(tick uint64, emit Emit)
+	}
+	active := &arm{c: New(mixedConfig())}
+	full := &arm{c: New(mixedConfig())}
+	dense := &arm{c: New(mixedConfig())}
+	full.c.SetFullNeuronScan(true)
+	active.step = active.c.Step
+	full.step = full.c.Step
+	dense.step = dense.c.StepDense
+	for _, a := range []*arm{active, full, dense} {
+		for tick := uint64(0); tick < 400; tick++ {
+			mixedDrive(a.c, tick)
+			a.step(tick, func(j int, _ Target) { a.spikes = append(a.spikes, int(tick)<<16|j) })
+		}
+	}
+	if len(active.spikes) == 0 {
+		t.Fatal("no spikes; test is vacuous")
+	}
+	for _, other := range []*arm{full, dense} {
+		if len(active.spikes) != len(other.spikes) {
+			t.Fatalf("spike counts differ: active %d vs %d", len(active.spikes), len(other.spikes))
+		}
+		for i := range active.spikes {
+			if active.spikes[i] != other.spikes[i] {
+				t.Fatalf("spike %d differs: %x vs %x", i, active.spikes[i], other.spikes[i])
+			}
+		}
+		if active.c.V != other.c.V {
+			t.Fatal("membrane potentials diverged")
+		}
+		if active.c.RNG.State() != other.c.RNG.State() {
+			t.Fatal("PRNG states diverged: draw sequences differ")
+		}
+		if active.c.Cnt.SynEvents != other.c.Cnt.SynEvents ||
+			active.c.Cnt.Spikes != other.c.Cnt.Spikes ||
+			active.c.Cnt.AxonEvents != other.c.Cnt.AxonEvents {
+			t.Fatalf("counters differ: %+v vs %+v", active.c.Cnt, other.c.Cnt)
+		}
+	}
+	if active.c.Cnt.NeuronUpdates >= full.c.Cnt.NeuronUpdates {
+		t.Fatalf("active kernel performed %d updates, full scan %d: no work saved",
+			active.c.Cnt.NeuronUpdates, full.c.Cnt.NeuronUpdates)
+	}
+}
+
+func TestInitialPotentialSeedsDirtyMask(t *testing.T) {
+	// A loaded potential already past a threshold must be handled on the
+	// first tick even though nothing arrives: InitV seeds the dirty mask.
+	cfg := InertConfig()
+	cfg.Neurons[3] = neuron.Params{Threshold: 10, Reset: neuron.ResetToV}
+	cfg.Targets[3] = Target{Valid: true, Delay: 1}
+	cfg.InitV[3] = 15
+	cfg.Neurons[7] = neuron.Params{Threshold: 10, NegThreshold: 5, NegSaturate: true}
+	cfg.InitV[7] = -8
+	c := New(cfg)
+	got := collectSpikes(c, 0)
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("tick 0 fired %v, want [3]", got)
+	}
+	if c.V[3] != 0 {
+		t.Fatalf("V[3] = %d after reset, want 0", c.V[3])
+	}
+	if c.V[7] != -5 {
+		t.Fatalf("V[7] = %d, want negative saturation at -5", c.V[7])
+	}
+}
+
+func TestResetNoneOvershootStaysHot(t *testing.T) {
+	// A ResetNone neuron keeps its potential after firing; one input must
+	// therefore make it fire on every subsequent tick — the dirty mask
+	// re-arms while V stays at or past threshold.
+	cfg := relayConfig(0, 0, Target{Valid: true, Delay: 1})
+	cfg.Neurons[0].Reset = neuron.ResetNone
+	c := New(cfg)
+	c.Deliver(0, 0)
+	fires := 0
+	for tick := uint64(0); tick < 50; tick++ {
+		c.Step(tick, func(int, Target) { fires++ })
+	}
+	if fires != 50 {
+		t.Fatalf("ResetNone neuron fired %d times in 50 ticks, want 50", fires)
+	}
+}
+
+func TestDirtyInvariantSurvivesStepDenseSwitch(t *testing.T) {
+	// Switching between Step and StepDense mid-run must be unobservable:
+	// both maintain the same dirty-mask invariant.
+	pure := New(mixedConfig())
+	mixed := New(mixedConfig())
+	var sp, sm []int
+	for tick := uint64(0); tick < 300; tick++ {
+		mixedDrive(pure, tick)
+		mixedDrive(mixed, tick)
+		pure.Step(tick, func(j int, _ Target) { sp = append(sp, int(tick)<<16|j) })
+		if tick/100%2 == 1 {
+			mixed.StepDense(tick, func(j int, _ Target) { sm = append(sm, int(tick)<<16|j) })
+		} else {
+			mixed.Step(tick, func(j int, _ Target) { sm = append(sm, int(tick)<<16|j) })
+		}
+	}
+	if len(sp) == 0 || len(sp) != len(sm) {
+		t.Fatalf("spike counts differ: %d vs %d", len(sp), len(sm))
+	}
+	for i := range sp {
+		if sp[i] != sm[i] {
+			t.Fatalf("spike %d differs: %x vs %x", i, sp[i], sm[i])
+		}
+	}
+	if pure.V != mixed.V {
+		t.Fatal("membrane potentials diverged after StepDense interleave")
+	}
+}
+
+func TestRestoreStateReseedsDirtyMask(t *testing.T) {
+	// A snapshot taken with a hot (past-threshold) potential must keep
+	// firing after restoration into a fresh core.
+	cfg := relayConfig(0, 0, Target{Valid: true, Delay: 1})
+	cfg.Neurons[0].Reset = neuron.ResetNone
+	src := New(cfg)
+	src.Deliver(0, 0)
+	src.Step(0, func(int, Target) {})
+	if src.V[0] < 1 {
+		t.Fatal("setup failed: potential not hot")
+	}
+	dst := New(cfg)
+	dst.RestoreState(src.SaveState())
+	fires := 0
+	for tick := uint64(1); tick < 11; tick++ {
+		dst.Step(tick, func(int, Target) { fires++ })
+	}
+	if fires != 10 {
+		t.Fatalf("restored hot neuron fired %d times in 10 ticks, want 10", fires)
+	}
+}
+
 func TestCoreReset(t *testing.T) {
 	cfg := relayConfig(0, 0, Target{Valid: true, Delay: 1})
 	cfg.Neurons[0].Threshold = 5 // accumulate without firing

@@ -57,6 +57,17 @@ type Params struct {
 	Locality float64
 	// LocalRadius is the neighborhood radius in cores (default 2).
 	LocalRadius int
+	// DrivenFraction converts the trailing fraction of each core's neurons
+	// from tonic oscillators into event-driven relays (no leak, a small
+	// threshold, zero initial potential). Zero — the default — reproduces
+	// the paper's all-tonic construction byte-for-byte. Driven neurons
+	// still perform every probabilistic draw of the tonic construction
+	// (wiring, initial potential, target, and delay), so the topology and
+	// the PRNG stream are identical at any fraction; only the overridden
+	// neuron dynamics change. The resulting workload is sparse in time —
+	// most neurons idle until synaptic input arrives — which is the regime
+	// the active-neuron Neuron-phase kernel accelerates; tnbench sweeps it.
+	DrivenFraction float64
 	// OutputEvery, when positive, taps the network for external
 	// observation: every OutputEvery-th neuron of each core (indices 0,
 	// OutputEvery, 2·OutputEvery, …) projects to an external output sink
@@ -72,6 +83,11 @@ type Params struct {
 // leak is the per-tick leak of every tonic neuron. Larger values let the
 // threshold encode the firing period at finer rate resolution.
 const leak = 64
+
+// drivenThreshold is the firing threshold of DrivenFraction relays: small
+// enough that balanced ±1 synaptic drive reaches it, so driven neurons stay
+// part of the recurrent dynamics instead of going silent.
+const drivenThreshold = 4
 
 // Validate reports the first invalid parameter, or nil.
 func (p Params) Validate() error {
@@ -91,6 +107,9 @@ func (p Params) Validate() error {
 	}
 	if p.Locality < 0 || p.Locality > 1 {
 		return fmt.Errorf("netgen: locality %.2f out of range [0, 1]", p.Locality)
+	}
+	if p.DrivenFraction < 0 || p.DrivenFraction > 1 {
+		return fmt.Errorf("netgen: driven fraction %.2f out of range [0, 1]", p.DrivenFraction)
 	}
 	if p.OutputEvery < 0 {
 		return fmt.Errorf("netgen: output-every %d is negative", p.OutputEvery)
@@ -122,6 +141,9 @@ func Build(p Params) ([]*core.Config, error) {
 		th = threshold(p.RateHz)
 	}
 
+	// Neurons j >= pacemakers in every core become driven relays.
+	pacemakers := core.NeuronsPerCore - int(p.DrivenFraction*core.NeuronsPerCore+0.5)
+
 	configs := make([]*core.Config, nCores)
 	scratch := make([]int, core.AxonsPerCore)
 	for ci := 0; ci < nCores; ci++ {
@@ -148,6 +170,18 @@ func Build(p Params) ([]*core.Config, error) {
 			}
 			if p.Stochastic {
 				np.ThresholdMask = 0x07
+			}
+			if p.RateHz > 0 && j >= pacemakers {
+				// Driven relay: the draws above already happened, so the
+				// PRNG stream — and every other neuron — is unchanged; only
+				// this neuron's dynamics are replaced. Relays are fully
+				// event-driven: no leak and no per-tick threshold jitter
+				// (jitter would cost a PRNG draw every tick, making the
+				// neuron active without input).
+				np.Leak = 0
+				np.Threshold = drivenThreshold
+				np.ThresholdMask = 0
+				cfg.InitV[j] = 0
 			}
 			cfg.Neurons[j] = np
 

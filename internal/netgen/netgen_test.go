@@ -218,6 +218,82 @@ func TestDeterministicBuild(t *testing.T) {
 	}
 }
 
+func TestDrivenFractionPreservesTopology(t *testing.T) {
+	// DrivenFraction must not disturb any probabilistic draw: seeds,
+	// crossbars, axon types, targets, and all pacemaker neurons are
+	// byte-identical to the all-tonic network; only the overridden relays'
+	// dynamics differ.
+	grid := router.Mesh{W: 2, H: 2}
+	base, err := Build(Params{Grid: grid, RateHz: 20, SynPerNeuron: 64, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driven, err := Build(Params{Grid: grid, RateHz: 20, SynPerNeuron: 64, Seed: 7, DrivenFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range base {
+		b, d := base[ci], driven[ci]
+		if b.Seed != d.Seed || b.Synapses != d.Synapses || b.AxonType != d.AxonType || b.Targets != d.Targets {
+			t.Fatalf("core %d: topology disturbed by DrivenFraction", ci)
+		}
+		for j := 0; j < core.NeuronsPerCore; j++ {
+			if j < core.NeuronsPerCore/2 {
+				if b.Neurons[j] != d.Neurons[j] || b.InitV[j] != d.InitV[j] {
+					t.Fatalf("core %d neuron %d: pacemaker changed", ci, j)
+				}
+				continue
+			}
+			if d.Neurons[j].Leak != 0 || d.Neurons[j].Threshold != drivenThreshold || d.InitV[j] != 0 {
+				t.Fatalf("core %d neuron %d: not a driven relay: %+v V0=%d", ci, j, d.Neurons[j], d.InitV[j])
+			}
+		}
+	}
+}
+
+func TestDrivenFractionValidated(t *testing.T) {
+	grid := router.Mesh{W: 1, H: 1}
+	for _, f := range []float64{-0.1, 1.1} {
+		if err := (Params{Grid: grid, RateHz: 20, DrivenFraction: f}).Validate(); err == nil {
+			t.Errorf("driven fraction %.1f accepted", f)
+		}
+	}
+	if err := (Params{Grid: grid, RateHz: 20, DrivenFraction: 1}).Validate(); err != nil {
+		t.Errorf("driven fraction 1.0 rejected: %v", err)
+	}
+}
+
+func TestDrivenNetworkStaysActiveAndSparse(t *testing.T) {
+	// A mostly-driven network must still spike (the relays participate in
+	// the recurrent dynamics) while evaluating far fewer neurons per tick
+	// than a dense scan — the workload tnbench sweeps.
+	grid := router.Mesh{W: 2, H: 2}
+	// A sparse operating point: at high rate × high fan-in nearly every
+	// neuron is touched every tick and the mask saves nothing (as the
+	// paper's event-driven argument predicts — the win scales with
+	// sparsity in time).
+	cfgs, err := Build(Params{Grid: grid, RateHz: 5, SynPerNeuron: 16, Seed: 3, DrivenFraction: 0.875})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := chip.New(grid, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ticks = 500
+	for i := 0; i < ticks; i++ {
+		eng.Step()
+	}
+	cnt := eng.Counters()
+	if cnt.Spikes == 0 {
+		t.Fatal("driven network went silent")
+	}
+	dense := uint64(ticks * grid.W * grid.H * core.NeuronsPerCore)
+	if cnt.NeuronUpdates >= dense/2 {
+		t.Fatalf("driven network performed %d neuron updates, want well under dense %d", cnt.NeuronUpdates, dense)
+	}
+}
+
 func TestBuildSweep(t *testing.T) {
 	grid := router.Mesh{W: 2, H: 2}
 	cfgs, pt, err := BuildSweep(grid, 0, 1)

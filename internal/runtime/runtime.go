@@ -289,8 +289,16 @@ func (s *Session) handleInput(e spikeio.Event) {
 		s.inDropped++
 		return
 	}
+	delta := e.Tick - now
+	if delta > uint64(math.MaxInt) {
+		// The engine API takes the delay as an int; a tick too far in the
+		// future to represent would overflow into a negative delay. Streamed
+		// input is best-effort, so count it as dropped and keep flowing.
+		s.inDropped++
+		return
+	}
 	x, y, axon := spikeio.Decode(e.ID)
-	if err := sim.InjectChecked(s.eng, x, y, axon, int(e.Tick-now)); err != nil {
+	if err := sim.InjectChecked(s.eng, x, y, axon, int(delta)); err != nil {
 		s.inDropped++
 	}
 }
@@ -380,23 +388,30 @@ func (s *Session) do(ctx context.Context, fn func()) error {
 // session closes (ErrClosed), or ctx is done — in which case the in-flight
 // run is paused and ctx.Err() returned.
 func (s *Session) Run(ctx context.Context, ticks int) error {
-	target := uint64(runForever)
-	if ticks > 0 {
-		tick, err := s.Tick(ctx)
-		if err != nil {
-			return err
+	// The target is computed on the session goroutine, in the same closure
+	// that starts the run: reading Tick() in a separate command would let
+	// another client's command land between the read and the start and
+	// shift the segment by however many ticks it advanced.
+	return s.runToward(ctx, func() uint64 {
+		if ticks > 0 {
+			return s.eng.Tick() + uint64(ticks)
 		}
-		target = tick + uint64(ticks)
-	}
-	return s.RunUntil(ctx, target)
+		return runForever
+	})
 }
 
 // RunUntil is Run with an absolute target tick. Targets at or below the
 // current tick complete immediately.
 func (s *Session) RunUntil(ctx context.Context, targetTick uint64) error {
+	return s.runToward(ctx, func() uint64 { return targetTick })
+}
+
+// runToward starts a run segment toward target() — evaluated on the session
+// goroutine, atomically with the start — and blocks like Run/RunUntil.
+func (s *Session) runToward(ctx context.Context, target func() uint64) error {
 	wait := make(chan error, 1)
 	started := make(chan error, 1)
-	if err := s.do(ctx, func() { started <- s.start(targetTick, wait) }); err != nil {
+	if err := s.do(ctx, func() { started <- s.start(target(), wait) }); err != nil {
 		return err
 	}
 	if err := <-started; err != nil {

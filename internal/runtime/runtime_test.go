@@ -403,6 +403,106 @@ func TestPastTickStreamedInputsAreCounted(t *testing.T) {
 	}
 }
 
+func TestOverflowingStreamedInputsAreCounted(t *testing.T) {
+	ctx := context.Background()
+	s := newSession(t)
+	if err := s.Run(ctx, 10); err != nil {
+		t.Fatal(err)
+	}
+	const now = uint64(10)
+	in := s.Inputs()
+	// The loop consumes the channel in order: the largest representable
+	// delivery delta must be accepted, the two events behind it dropped —
+	// one for overflowing the int delay conversion, one for being in the
+	// past.
+	in <- spikeio.Event{Tick: now + uint64(math.MaxInt), ID: spikeio.Encode(0, 0, 0)}
+	in <- spikeio.Event{Tick: now + uint64(math.MaxInt) + 1, ID: spikeio.Encode(0, 0, 0)}
+	in <- spikeio.Event{Tick: 3, ID: spikeio.Encode(0, 0, 0)}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := s.Stats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.DroppedInputs == 2 {
+			break
+		}
+		if st.DroppedInputs > 2 {
+			t.Fatalf("dropped-input counter = %d: the max-delta event was rejected", st.DroppedInputs)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dropped-input counter = %d, want 2", st.DroppedInputs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// FIFO consumption means a counter of 2 with the max-delta event
+	// accepted is final; if that event had been dropped too, the counter
+	// would move on to 3 — give it a moment to prove it stays put.
+	for end := time.Now().Add(50 * time.Millisecond); time.Now().Before(end); {
+		st, err := s.Stats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.DroppedInputs != 2 {
+			t.Fatalf("dropped-input counter moved to %d", st.DroppedInputs)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The overflowing event must not have corrupted the scheduler.
+	if err := s.Run(ctx, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTargetIsComputedAtomically(t *testing.T) {
+	// A rival client keeps advancing the engine in short asynchronous
+	// bursts while the main client issues relative Runs. Whenever Run
+	// reports success it must have advanced the session by at least its
+	// requested tick count: computing the target from a stale tick read —
+	// in a separate command from the start — would let the rival's progress
+	// satisfy the run before it performed any work.
+	ctx := context.Background()
+	s := newSession(t)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.Start(3) //nolint:errcheck // ErrBusy from colliding with Run is the point
+			s.Wait(ctx)
+		}
+	}()
+	const want = 5
+	for i := 0; i < 200; i++ {
+		before, err := s.Tick(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = s.Run(ctx, want)
+		if errors.Is(err, rt.ErrBusy) {
+			continue // lost the race to the rival's Start; try again
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := s.Tick(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after-before < want {
+			t.Fatalf("successful Run(%d) advanced the session only %d ticks (%d → %d)", want, after-before, before, after)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
 func TestSlowSubscriberDropsNotStalls(t *testing.T) {
 	ctx := context.Background()
 	s := newSession(t)

@@ -122,6 +122,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, se *session) 
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if req.Ticks < 0 {
+		// Zero means "run until paused" below, so a negative count is
+		// never a valid way to ask for anything — and silently treating it
+		// as zero would turn a client's sign bug into an unbounded run.
+		writeError(w, http.StatusBadRequest, fmt.Errorf("negative tick count %d", req.Ticks))
+		return
+	}
 	var runErr error
 	paused := false
 	if req.Wait {

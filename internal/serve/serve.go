@@ -236,6 +236,16 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("checkpoint_every and checkpoint_path must be set together"))
 		return
 	}
+	if req.CheckpointPath != "" {
+		// Validate the destination now: a bad path would otherwise surface
+		// only at the first auto-checkpoint, long after the create returned
+		// 201 — by which point the session has been running without the
+		// durability the client asked for.
+		if err := checkCheckpointPath(req.CheckpointPath); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
 	mesh, configs, err := buildModel(&req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -284,6 +294,24 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, info)
+}
+
+// checkCheckpointPath verifies that checkpoint_path can actually receive a
+// rolling checkpoint: its parent must be an existing directory (the temp
+// file is created there) and the path itself must not name a directory.
+func checkCheckpointPath(path string) error {
+	dir := filepath.Dir(path)
+	fi, err := os.Stat(dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint_path: directory %q: %w", dir, err)
+	}
+	if !fi.IsDir() {
+		return fmt.Errorf("checkpoint_path: %q is not a directory", dir)
+	}
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		return fmt.Errorf("checkpoint_path: %q is a directory", path)
+	}
+	return nil
 }
 
 // rollingCheckpoint writes each periodic checkpoint to the same path via a

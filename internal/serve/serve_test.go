@@ -195,6 +195,10 @@ func TestCreateValidation(t *testing.T) {
 		"negative rate":   {TickRateHz: -5, Netgen: netgenSpec(1)},
 		"ckpt path only":  {Netgen: netgenSpec(1), CheckpointPath: "x"},
 		"ckpt every only": {Netgen: netgenSpec(1), CheckpointEvery: 10},
+		"ckpt missing dir": {Netgen: netgenSpec(1), CheckpointEvery: 10,
+			CheckpointPath: filepath.Join(t.TempDir(), "no-such-dir", "ckpt.tnc")},
+		"ckpt path is dir": {Netgen: netgenSpec(1), CheckpointEvery: 10,
+			CheckpointPath: t.TempDir()},
 	} {
 		var out map[string]string
 		if st := call(t, "POST", ts.URL+"/v1/sessions", req, &out); st != http.StatusBadRequest {
@@ -380,6 +384,38 @@ func TestRunUntilHugeTargetStaysBounded(t *testing.T) {
 	}
 	if run.Running {
 		t.Fatalf("stale until started a run: %+v", run)
+	}
+}
+
+// TestRunRejectsNegativeTicks pins the regression where a non-waited run
+// with a negative tick count fell through to the run-until-paused default,
+// silently turning a client's sign bug into an unbounded free run.
+func TestRunRejectsNegativeTicks(t *testing.T) {
+	ts := newTestServer(t, serve.Config{})
+	var info serve.SessionInfo
+	req := serve.CreateRequest{Engine: "chip", Netgen: netgenSpec(4)}
+	if st := call(t, "POST", ts.URL+"/v1/sessions", req, &info); st != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	base := ts.URL + "/v1/sessions/" + info.ID
+
+	for name, body := range map[string]serve.RunRequest{
+		"waited":     {Ticks: -5, Wait: true},
+		"non-waited": {Ticks: -5},
+	} {
+		var out map[string]string
+		if st := call(t, "POST", base+"/run", body, &out); st != http.StatusBadRequest {
+			t.Errorf("%s negative run: status %d, want 400 (%v)", name, st, out)
+		} else if out["error"] == "" {
+			t.Errorf("%s negative run: no error message", name)
+		}
+	}
+	// Neither rejected request may have started anything.
+	if st := call(t, "GET", base, nil, &info); st != http.StatusOK {
+		t.Fatalf("stats = %d", st)
+	}
+	if info.Running || info.Tick != 0 {
+		t.Fatalf("rejected runs left the session at tick %d (running=%v)", info.Tick, info.Running)
 	}
 }
 

@@ -92,6 +92,100 @@ func TestCrossEngineBitwiseReproducibility(t *testing.T) {
 	}
 }
 
+// drivenNet builds the sparse, mostly-driven variant of the assay network:
+// seven eighths of each core's neurons are event-driven relays the
+// active-neuron kernel may skip on quiet ticks, while the stochastic tonic
+// pacemakers keep drawing PRNG jitter every tick — so a single missing,
+// extra, or misordered neuron evaluation anywhere desynchronizes the shared
+// draw stream and diverges the output within a few ticks.
+func drivenNet(t *testing.T, seed int64) (router.Mesh, []*core.Config) {
+	t.Helper()
+	mesh := router.Mesh{W: 4, H: 4, TileW: 4, TileH: 4}
+	configs, err := netgen.Build(netgen.Params{
+		Grid: mesh, RateHz: 40, SynPerNeuron: 48, Seed: seed, Stochastic: true,
+		DrivenFraction: 0.875, OutputEvery: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mesh, configs
+}
+
+// fullScanner is the per-core dense-baseline knob both engines expose
+// through their core slices.
+type fullScanner interface {
+	Cores() []*core.Core
+}
+
+// setFullScan forces the dense Neuron-phase baseline on every core of eng.
+func setFullScan(t *testing.T, eng sim.Engine) {
+	t.Helper()
+	fs, ok := eng.(fullScanner)
+	if !ok {
+		t.Fatalf("engine %T does not expose Cores()", eng)
+	}
+	for _, c := range fs.Cores() {
+		c.SetFullNeuronScan(true)
+	}
+}
+
+// TestActiveNeuronKernelCrossEngineReproducibility pins the tentpole
+// invariant of the per-neuron event-driven kernel: on a sparse
+// mostly-driven network, the masked Neuron phase and the dense full-scan
+// baseline must produce bit-identical output streams on both engines —
+// while actually evaluating fewer neurons.
+func TestActiveNeuronKernelCrossEngineReproducibility(t *testing.T) {
+	const ticks = 150
+	for _, seed := range []int64{1, 20140613, 46} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			arms := []struct {
+				name     string
+				engine   string
+				opts     []sim.Option
+				fullScan bool
+			}{
+				{"chip active", "chip", nil, false},
+				{"chip full-scan", "chip", nil, true},
+				{"compass(3) active", "compass", []sim.Option{sim.WithWorkers(3)}, false},
+				{"compass(5) full-scan", "compass", []sim.Option{sim.WithWorkers(5)}, true},
+			}
+			streams := make([]string, len(arms))
+			var activeUpdates, fullUpdates uint64
+			for i, arm := range arms {
+				mesh, configs := drivenNet(t, seed)
+				eng, err := sim.NewEngine(arm.engine, mesh, configs, arm.opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if arm.fullScan {
+					setFullScan(t, eng)
+				}
+				streams[i] = stream(t, eng, ticks)
+				switch i {
+				case 0:
+					activeUpdates = eng.Counters().NeuronUpdates
+				case 1:
+					fullUpdates = eng.Counters().NeuronUpdates
+				}
+			}
+			if streams[0] == "0 spikes\n" {
+				t.Fatal("network produced no output spikes; the assay is vacuous")
+			}
+			for i := 1; i < len(arms); i++ {
+				if streams[i] != streams[0] {
+					t.Errorf("%s diverged from %s (%d vs %d bytes)",
+						arms[i].name, arms[0].name, len(streams[i]), len(streams[0]))
+				}
+			}
+			if activeUpdates >= fullUpdates {
+				t.Errorf("active kernel evaluated %d neurons, full scan %d: no work skipped",
+					activeUpdates, fullUpdates)
+			}
+		})
+	}
+}
+
 // TestSessionDriverPreservesSpikeStream re-runs the equivalence claim
 // through the session runtime: a run that is paced, paused, resumed,
 // checkpointed, over-run, and rewound mid-flight must emit the exact

@@ -16,7 +16,10 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
+	"strconv"
+	"strings"
 
 	"truenorth/internal/sim"
 )
@@ -38,22 +41,34 @@ func Write(w io.Writer, events []Event) error {
 	return bw.Flush()
 }
 
-// Read parses a stream written by Write.
+// Read parses a stream written by Write. Parsing is strict: every
+// non-blank line must be exactly two integer fields (`tick id`) — trailing
+// garbage, missing fields, and out-of-range values are rejected with the
+// offending line number, since a stream that half-parses would silently
+// change a regression comparison. Blank and whitespace-only lines are
+// skipped.
 func Read(r io.Reader) ([]Event, error) {
 	var events []Event
 	sc := bufio.NewScanner(r)
 	line := 0
 	for sc.Scan() {
 		line++
-		txt := sc.Text()
-		if txt == "" {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
 			continue
 		}
-		var e Event
-		if _, err := fmt.Sscanf(txt, "%d %d", &e.Tick, &e.ID); err != nil {
-			return nil, fmt.Errorf("spikeio: line %d: %w", line, err)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("spikeio: line %d: want `tick id`, got %d fields", line, len(fields))
 		}
-		events = append(events, e)
+		tick, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("spikeio: line %d: bad tick %q: %w", line, fields[0], err)
+		}
+		id, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("spikeio: line %d: bad id %q: %w", line, fields[1], err)
+		}
+		events = append(events, Event{Tick: tick, ID: int32(id)})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -140,8 +155,14 @@ func Replay(eng sim.Engine, events []Event) (dropped int, err error) {
 			dropped++
 			continue
 		}
+		delta := e.Tick - now
+		if delta > uint64(math.MaxInt) {
+			// The delay would wrap negative in the int conversion below,
+			// turning a far-future event into a corrupt injection.
+			return dropped, fmt.Errorf("spikeio: event %d (tick %d): delivery %d ticks past current tick %d overflows the scheduler", i, e.Tick, delta, now)
+		}
 		x, y, axon := Decode(e.ID)
-		if err := sim.InjectChecked(eng, x, y, axon, int(e.Tick-now)); err != nil {
+		if err := sim.InjectChecked(eng, x, y, axon, int(delta)); err != nil {
 			return dropped, fmt.Errorf("spikeio: event %d (tick %d): %w", i, e.Tick, err)
 		}
 	}

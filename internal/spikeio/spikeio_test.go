@@ -2,6 +2,7 @@ package spikeio
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -33,11 +34,49 @@ func TestWriteReadRoundTrip(t *testing.T) {
 }
 
 func TestReadRejectsGarbage(t *testing.T) {
-	if _, err := Read(strings.NewReader("12 abc\n")); err == nil {
-		t.Fatal("garbage line accepted")
-	}
-	if got, err := Read(strings.NewReader("\n\n")); err != nil || len(got) != 0 {
-		t.Fatalf("blank lines should be skipped: %v %v", got, err)
+	for _, tc := range []struct {
+		name  string
+		input string
+		want  []Event
+		errAt string // substring the error must contain; "" means no error
+	}{
+		{"ok", "12 7\n", []Event{{12, 7}}, ""},
+		{"blank lines skipped", "\n\n", nil, ""},
+		{"whitespace-only skipped", "   \t  \n5 1\n", []Event{{5, 1}}, ""},
+		{"extra interior whitespace ok", "  5 \t 1  \n", []Event{{5, 1}}, ""},
+		{"non-numeric id", "12 abc\n", nil, "line 1"},
+		{"non-numeric tick", "abc 12\n", nil, "line 1"},
+		{"trailing garbage", "12 7 junk\n", nil, "line 1"},
+		{"trailing garbage later line", "12 7\n13 8 junk\n", nil, "line 2"},
+		{"missing id", "12\n", nil, "line 1"},
+		{"negative tick", "-1 7\n", nil, "line 1"},
+		{"tick overflow", "18446744073709551616 7\n", nil, "line 1"},
+		{"id overflow", "12 2147483648\n", nil, "line 1"},
+		{"negative id ok", "12 -5\n", []Event{{12, -5}}, ""},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Read(strings.NewReader(tc.input))
+			if tc.errAt != "" {
+				if err == nil {
+					t.Fatalf("Read(%q) accepted, want error mentioning %q", tc.input, tc.errAt)
+				}
+				if !strings.Contains(err.Error(), tc.errAt) {
+					t.Fatalf("Read(%q) error %q does not name %q", tc.input, err, tc.errAt)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Read(%q): %v", tc.input, err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("Read(%q) = %v, want %v", tc.input, got, tc.want)
+			}
+			for i := range tc.want {
+				if got[i] != tc.want[i] {
+					t.Fatalf("Read(%q)[%d] = %+v, want %+v", tc.input, i, got[i], tc.want[i])
+				}
+			}
+		})
 	}
 }
 
@@ -141,6 +180,44 @@ func TestReplayDropsPastEvents(t *testing.T) {
 	eng.Run(10)
 	if out := eng.DrainOutputs(); len(out) != 1 {
 		t.Fatalf("outputs = %v, want the single future event", out)
+	}
+}
+
+func TestReplayRejectsOverflowingDelivery(t *testing.T) {
+	// An event so far in the future that (tick - now) no longer fits in an
+	// int would wrap negative in the delay conversion. Replay is a trust
+	// boundary, so that is an error, not a silent drop. The largest
+	// representable delta is accepted (it lands in the pending queue).
+	eng := relayChip(t)
+	eng.Run(10)
+	now := eng.Tick()
+	for _, tc := range []struct {
+		name string
+		tick uint64
+		ok   bool
+	}{
+		{"max representable delta", now + uint64(math.MaxInt), true},
+		{"one past max", now + uint64(math.MaxInt) + 1, false},
+		{"far future", math.MaxUint64, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dropped, err := Replay(eng, []Event{{Tick: tc.tick, ID: Encode(0, 0, 0)}})
+			if tc.ok {
+				if err != nil {
+					t.Fatalf("delta math.MaxInt rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("tick %d accepted; want overflow error", tc.tick)
+			}
+			if dropped != 0 {
+				t.Fatalf("overflowing event counted as dropped (%d)", dropped)
+			}
+			if !strings.Contains(err.Error(), "overflow") {
+				t.Fatalf("error %q does not mention overflow", err)
+			}
+		})
 	}
 }
 

@@ -25,6 +25,10 @@
 #   8. serve smoke   — boot tnserved, pause/resume and checkpoint/restore
 #                      a live session, and require its output stream to be
 #                      byte-identical to batch tnsim runs on both engines
+#   9. bench smoke   — run tnbench's small configuration end to end: every
+#                      operating point measures three arms (active-neuron
+#                      chip, forced full scan, compass) whose event counts
+#                      must agree exactly, and the JSON report must land
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -55,5 +59,10 @@ echo "==> allocs gate (per-tick heap budgets)"
 
 echo "==> serve smoke (tnserved end-to-end)"
 ./scripts/serve_smoke.sh
+
+echo "==> bench smoke (tnbench small sweep)"
+bench_out=$(mktemp)
+trap 'rm -f "$bench_out"' EXIT
+go run ./cmd/tnbench -smoke -q -o "$bench_out"
 
 echo "==> all checks passed"
