@@ -1,8 +1,8 @@
 # Verification entry points; scripts/check.sh is the single source of truth
-# for what "green" means (build + vet + tnlint + verify-models + tests +
-# race + allocs-gate + serve-smoke + bench-smoke).
+# for what "green" means (build + vet + tnlint + proof + verify-models +
+# tests + race + allocs-gate + serve-smoke + bench-smoke).
 
-.PHONY: check build test lint verify-models race allocs-gate serve-smoke bench bench-smoke
+.PHONY: check build test lint proof proof-update verify-models race allocs-gate serve-smoke bench bench-smoke
 
 check:
 	./scripts/check.sh
@@ -17,6 +17,17 @@ test:
 # run with e.g. `go run ./cmd/tnlint -only hotalloc,locksafe ./...`.
 lint:
 	go run ./cmd/tnlint ./...
+
+# Compiler-proof perf gate (see internal/perfproof): replay the compiler's
+# escape-analysis and bounds-check-elimination diagnostics over the kernel
+# packages and diff every //perf:hot function against the golden budgets
+# in testdata/perfproof/. `proof-update` re-blesses the goldens after an
+# intentional hot-set or budget change — review the diff before committing.
+proof:
+	go run ./cmd/tnproof
+
+proof-update:
+	go run ./cmd/tnproof -update
 
 # Static model verification over the generated characterization suite: a
 # closed recurrent sample (every 8th of the 88 sweep networks on a 4x4

@@ -97,7 +97,11 @@ func run() int {
 		pkgs = append(pkgs, pkg)
 	}
 
-	diags := lint.Run(pkgs, analyzers)
+	// The loader's cache now holds the targets plus every module-internal
+	// dependency type-checking pulled in; handing those to the run as
+	// call-graph context makes the interprocedural analyzers whole-module
+	// even when only a subset of packages is being linted.
+	diags := lint.RunWithContext(pkgs, loader.Loaded(), analyzers)
 	rel := func(file string) string {
 		if r, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(r, "..") {
 			return r

@@ -1,0 +1,91 @@
+// Command tnproof runs the compiler-diagnostics perf gate: it proves, from
+// `go build -gcflags='-m -m -d=ssa/check_bce/debug=1'` output, that every
+// //perf:hot function in the kernel packages stays within its golden
+// escape/bounds-check budget (testdata/perfproof/*.golden).
+//
+// Usage:
+//
+//	tnproof [flags] [packages...]
+//
+// With no packages it gates the kernel hot set (the same packages tnlint's
+// hotalloc analyzer watches). Exit status is 1 when any budget is violated;
+// each violation prints a file:line diagnostic.
+//
+//	tnproof                  # gate against checked-in goldens
+//	tnproof -update          # bless the current compiler output as the budget
+//	tnproof -json report.json # also write the machine-readable report
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"truenorth/internal/lint"
+	"truenorth/internal/perfproof"
+)
+
+func main() {
+	update := flag.Bool("update", false, "rewrite the golden budgets from current compiler output")
+	jsonPath := flag.String("json", "", "write the full report as JSON to this file ('-' for stdout)")
+	modRoot := flag.String("C", ".", "module root to run in")
+	goldenDir := flag.String("golden", "testdata/perfproof", "golden budget directory, relative to the module root")
+	flag.Parse()
+
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		pkgs = lint.HotPackages
+	}
+	dir := *goldenDir
+	if !os.IsPathSeparator(dir[0]) {
+		dir = *modRoot + string(os.PathSeparator) + dir
+	}
+
+	reports, err := perfproof.Run(*modRoot, dir, pkgs, *update)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		data = append(data, '\n')
+		if *jsonPath == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	fail := false
+	for _, r := range reports {
+		if *update {
+			fmt.Printf("tnproof: blessed %s (%d hot funcs, %d budgeted findings)\n",
+				r.Pkg, len(r.Hot), len(r.Findings))
+			continue
+		}
+		for _, v := range r.Violations {
+			fmt.Fprintln(os.Stderr, "tnproof: "+v)
+			fail = true
+		}
+	}
+	if fail {
+		fmt.Fprintln(os.Stderr, "tnproof: FAIL — hot-path perf budgets violated (bless intentional changes with -update)")
+		os.Exit(1)
+	}
+	if !*update {
+		hot, findings := 0, 0
+		for _, r := range reports {
+			hot += len(r.Hot)
+			findings += len(r.Findings)
+		}
+		fmt.Printf("tnproof: ok — %d packages, %d hot functions, %d budgeted findings, 0 violations\n",
+			len(reports), hot, findings)
+	}
+}

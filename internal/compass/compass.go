@@ -67,6 +67,14 @@ type Sim struct {
 	// aggregate selects pairwise message aggregation (default true); see
 	// WithAggregation.
 	aggregate bool
+	// deadFn is the dead-core predicate, built once at construction: it
+	// reads s.dead through the receiver at call time, so it stays valid
+	// across fault toggles and checkpoint restores while keeping Step free
+	// of a per-tick closure allocation.
+	deadFn router.DeadFunc
+	// wg is the fork-join barrier reused across ticks; a per-tick local
+	// would be moved to the heap every Step by the worker closures.
+	wg sync.WaitGroup
 }
 
 func init() {
@@ -108,6 +116,7 @@ func New(mesh router.Mesh, configs []*core.Config, opts ...sim.Option) (*Sim, er
 		pending:   make(map[uint64][]delivery),
 		aggregate: o.Aggregate,
 	}
+	s.deadFn = func(p router.Point) bool { return s.dead[p] }
 	for i, cfg := range configs {
 		if cfg == nil {
 			continue
@@ -277,17 +286,23 @@ func (s *Sim) EnableCore(x, y int) {
 // phases, routing spikes, and aggregating cross-worker deliveries into
 // per-pair messages. Barrier. Delivery phase: each worker drains the
 // messages addressed to it into its cores' axonal delay rings. Barrier.
+//
+//perf:hot
 func (s *Sim) Step() {
 	tick := s.tick
 	if inj, ok := s.pending[tick]; ok {
 		for _, d := range inj {
-			s.cores[d.core].Deliver(int(d.axon), d.tick)
+			// inject validated the index; the uint guard makes that provable
+			// so the drain carries no bounds check.
+			if idx := int(d.core); uint(idx) < uint(len(s.cores)) {
+				s.cores[idx].Deliver(int(d.axon), d.tick)
+			}
 		}
 		delete(s.pending, tick)
 	}
 	var dead router.DeadFunc
 	if s.anyDead {
-		dead = func(p router.Point) bool { return s.dead[p] }
+		dead = s.deadFn
 	}
 
 	// Ablation path: without aggregation, spikes travel one message at a
@@ -312,11 +327,10 @@ func (s *Sim) Step() {
 	}
 
 	// Compute phase (kernel lines 3-19 per core).
-	var wg sync.WaitGroup
 	for w := 0; w < s.workers; w++ {
-		wg.Add(1)
+		s.wg.Add(1)
 		go func(w int) {
-			defer wg.Done()
+			defer s.wg.Done()
 			noc := &s.perWorkerNoC[w]
 			out := s.outbox[w]
 			// One emit closure per worker per tick, hoisted out of the
@@ -369,14 +383,14 @@ func (s *Sim) Step() {
 			}
 		}(w)
 	}
-	wg.Wait() // barrier 1: all computation and message aggregation complete
+	s.wg.Wait() // barrier 1: all computation and message aggregation complete
 
 	// Delivery phase (kernel line 15 completion + line 21 barrier).
 	if s.aggregate {
 		for w := 0; w < s.workers; w++ {
-			wg.Add(1)
+			s.wg.Add(1)
 			go func(w int) {
-				defer wg.Done()
+				defer s.wg.Done()
 				for src := 0; src < s.workers; src++ {
 					msgs := s.outbox[src][w]
 					for _, d := range msgs {
@@ -386,7 +400,7 @@ func (s *Sim) Step() {
 				}
 			}(w)
 		}
-		wg.Wait() // barrier 2: all deliveries landed; safe to advance time
+		s.wg.Wait() // barrier 2: all deliveries landed; safe to advance time
 	} else {
 		close(naiveCh)
 		<-collectorDone
@@ -407,6 +421,8 @@ func (s *Sim) Step() {
 }
 
 // Run implements sim.Engine.
+//
+//perf:hot
 func (s *Sim) Run(n int) {
 	for i := 0; i < n; i++ {
 		s.Step()

@@ -44,16 +44,28 @@ const (
 )
 
 // RowMask is a 256-bit set over neuron (or axon) indices.
+//
+// The accessors mask the word index to rowWords-1 instead of relying on a
+// bounds check: they sit on the per-event kernel path, and the mask makes
+// the compiler's bounds-check elimination provable (tnproof pins this).
+// Like the hardware's 8-bit axon/neuron addressing, indices wrap modulo 256
+// rather than trapping; every caller passes validated 0..255 indices.
 type RowMask [rowWords]uint64
 
 // Set marks index i.
-func (m *RowMask) Set(i int) { m[i>>6] |= 1 << (uint(i) & 63) }
+//
+//perf:hot
+func (m *RowMask) Set(i int) { m[(uint(i)>>6)&(rowWords-1)] |= 1 << (uint(i) & 63) }
 
 // Clear unmarks index i.
-func (m *RowMask) Clear(i int) { m[i>>6] &^= 1 << (uint(i) & 63) }
+//
+//perf:hot
+func (m *RowMask) Clear(i int) { m[(uint(i)>>6)&(rowWords-1)] &^= 1 << (uint(i) & 63) }
 
 // Get reports whether index i is marked.
-func (m *RowMask) Get(i int) bool { return m[i>>6]>>(uint(i)&63)&1 == 1 }
+//
+//perf:hot
+func (m *RowMask) Get(i int) bool { return m[(uint(i)>>6)&(rowWords-1)]>>(uint(i)&63)&1 == 1 }
 
 // Count returns the number of marked indices.
 func (m *RowMask) Count() int {
@@ -77,6 +89,8 @@ func (m *RowMask) Empty() bool {
 // is a correctness requirement, not a convenience: stochastic neuron modes
 // consume PRNG draws per event, so every engine must walk events in the same
 // order to stay bit-equal.
+//
+//perf:hot
 func (m *RowMask) ForEach(f func(i int)) {
 	for w := 0; w < rowWords; w++ {
 		word := m[w]
@@ -267,6 +281,8 @@ func (c *Core) SetFullNeuronScan(on bool) { c.fullNeuronScan = on }
 
 // Deliver records a spike arrival on axon at tick (the absolute tick at
 // which it will be integrated). The engine computes tick = now + delay.
+//
+//perf:hot
 func (c *Core) Deliver(axon int, tick uint64) {
 	c.ring[tick&(delaySlots-1)].Set(axon)
 }
@@ -289,6 +305,8 @@ type Emit func(neuronIdx int, tgt Target)
 // draws happen in that sequence. The active-neuron kernel preserves the draw
 // sequence exactly because every drawing neuron is in everyTickMask, and mask
 // iteration is ascending.
+//
+//perf:hot
 func (c *Core) Step(tick uint64, emit Emit) {
 	slot := &c.ring[tick&(delaySlots-1)]
 	if c.Disabled {
@@ -311,10 +329,14 @@ func (c *Core) Step(tick uint64, emit Emit) {
 	if hasInput {
 		active.ForEach(func(i int) {
 			c.Cnt.AxonEvents++
-			row := &cfg.Synapses[i]
-			g := cfg.AxonType[i]
+			// uint8 indices: ForEach yields 0..255, and the conversion makes
+			// that provable, so the crossbar walk carries no bounds checks.
+			ai := uint8(i)
+			row := &cfg.Synapses[ai]
+			g := cfg.AxonType[ai]
 			row.ForEach(func(j int) {
-				c.V[j] = cfg.Neurons[j].Integrate(c.V[j], g, &c.RNG)
+				nj := uint8(j)
+				c.V[nj] = cfg.Neurons[nj].Integrate(c.V[nj], g, &c.RNG)
 				c.Cnt.SynEvents++
 			})
 			for w := range c.dirtyMask {
@@ -338,10 +360,11 @@ func (c *Core) Step(tick uint64, emit Emit) {
 	}
 	c.dirtyMask = RowMask{}
 	walk.ForEach(func(j int) {
-		p := &cfg.Neurons[j]
-		v := p.ApplyLeak(c.V[j], &c.RNG)
+		nj := uint8(j)
+		p := &cfg.Neurons[nj]
+		v := p.ApplyLeak(c.V[nj], &c.RNG)
 		v, spike := p.ThresholdFire(v, &c.RNG)
-		c.V[j] = v
+		c.V[nj] = v
 		c.Cnt.NeuronUpdates++
 		// Re-arm: a potential still at or past a threshold keeps acting on
 		// future ticks without further input (e.g. ResetNone overshoot).
@@ -350,7 +373,7 @@ func (c *Core) Step(tick uint64, emit Emit) {
 		}
 		if spike {
 			c.Cnt.Spikes++
-			if t := cfg.Targets[j]; t.Valid {
+			if t := cfg.Targets[nj]; t.Valid {
 				emit(j, t)
 			}
 		}
@@ -364,6 +387,8 @@ func (c *Core) Step(tick uint64, emit Emit) {
 // "because neurons fire sparsely in time, the event-based update loop is
 // significantly more efficient than an alternative approach that loops
 // over all synapses"; BenchmarkAblationDenseVsEventDriven quantifies it.
+//
+//perf:hot
 func (c *Core) StepDense(tick uint64, emit Emit) {
 	slot := &c.ring[tick&(delaySlots-1)]
 	if c.Disabled {

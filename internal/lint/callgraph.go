@@ -1,0 +1,348 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// PerfHotDirective marks a function as part of the proven per-tick hot set.
+// It is shared with the perfproof compiler-diagnostics gate (cmd/tnproof):
+// functions carrying it get escape/bounds-check budgets there and join
+// hotalloc's hot set here, so the two gates watch the same code.
+const PerfHotDirective = "//perf:hot"
+
+// coldFuncNames are sanctioned cold-path barriers: module functions whose
+// hazards do not taint their callers because reaching them at all means the
+// fast path already failed. bfs is the router's blocked-detour fallback
+// (allocates a visited map and queue by design); inject is the engines'
+// beyond-horizon injection queue (grows pending maps by design). Taint
+// propagation stops at a barrier; the barrier's own body is still subject to
+// whatever direct checks apply to its package.
+var coldFuncNames = map[string]bool{
+	"bfs":    true,
+	"inject": true,
+}
+
+// HazardKind classifies an intrinsic hazard a function body can carry.
+type HazardKind uint8
+
+const (
+	// HazardAlloc: the body contains a heap-shaped construct (the same
+	// rules hotalloc applies to hot bodies, plus returning a func literal).
+	HazardAlloc HazardKind = iota
+	// HazardRand: the body draws from math/rand or reads time.Now.
+	HazardRand
+	// HazardGo: the body launches a goroutine.
+	HazardGo
+	numHazardKinds
+)
+
+// Hazard is one intrinsic hazard at a position inside some function body.
+type Hazard struct {
+	Pos token.Pos
+	Msg string
+}
+
+// FuncNode is one function declaration in the Program's call graph.
+type FuncNode struct {
+	Pkg  *Package
+	Decl *ast.FuncDecl
+	// Calls are the module-local calls the body makes, in source order,
+	// resolved through type information; calls to stdlib, to stubbed
+	// externals, and through function values do not produce edges.
+	Calls []CallEdge
+	// hazards holds the body's intrinsic hazards per kind.
+	hazards [numHazardKinds][]Hazard
+}
+
+// Name renders the node's message name: "Func" or "Recv.Func".
+func (n *FuncNode) Name() string {
+	fd := n.Decl
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch u := t.(type) {
+		case *ast.StarExpr:
+			t = u.X
+		case *ast.IndexExpr:
+			t = u.X
+		case *ast.IndexListExpr:
+			t = u.X
+		case *ast.Ident:
+			return u.Name + "." + fd.Name.Name
+		default:
+			return fd.Name.Name
+		}
+	}
+}
+
+// hot reports whether the node is in hotalloc's hot set: a per-tick kernel
+// function by name, or any function carrying the //perf:hot directive.
+func (n *FuncNode) hot() bool {
+	return hotFuncNames[n.Decl.Name.Name] || hasPerfHot(n.Decl.Doc)
+}
+
+// barrier reports whether the node is a sanctioned cold-path fallback.
+func (n *FuncNode) barrier() bool { return coldFuncNames[n.Decl.Name.Name] }
+
+// hasPerfHot reports whether a doc comment contains the //perf:hot line.
+func hasPerfHot(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == PerfHotDirective {
+			return true
+		}
+	}
+	return false
+}
+
+// CallEdge is one resolved call site.
+type CallEdge struct {
+	Pos    token.Pos // position of the call expression
+	Callee token.Pos // the callee's declaration-name position (Program key)
+	Name   string    // callee name for messages
+}
+
+// Program is a module-local call graph over a set of type-checked packages
+// sharing one FileSet. Analyzers use it to taint hazards through helper
+// functions: a hot kernel function calling a helper that allocates (or draws
+// nondeterministic randomness, or launches a goroutine) is reported at the
+// call site, with the witness chain in the message.
+type Program struct {
+	funcs map[token.Pos]*FuncNode
+	memo  map[taintKey]*Taint
+}
+
+type taintKey struct {
+	fn   token.Pos
+	kind HazardKind
+}
+
+// NewProgram builds the call graph over pkgs. Packages must share a FileSet
+// (the Loader and CheckPackages guarantee this); function objects are keyed
+// by the position of their declaration name, which is how *types.Func
+// objects from any importing package point back at their declaration.
+func NewProgram(pkgs []*Package) *Program {
+	p := &Program{
+		funcs: map[token.Pos]*FuncNode{},
+		memo:  map[taintKey]*Taint{},
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				node := &FuncNode{Pkg: pkg, Decl: fd}
+				p.funcs[fd.Name.Pos()] = node
+			}
+		}
+	}
+	for _, node := range p.funcs {
+		p.analyze(node)
+	}
+	return p
+}
+
+// FuncAt returns the node declared at the given name position, or nil.
+func (p *Program) FuncAt(pos token.Pos) *FuncNode { return p.funcs[pos] }
+
+// Funcs calls visit for every function declared in pkg, in no particular
+// order; callers needing determinism sort by position.
+func (p *Program) Funcs(pkg *Package, visit func(*FuncNode)) {
+	for _, n := range p.funcs {
+		if n.Pkg == pkg {
+			visit(n)
+		}
+	}
+}
+
+// analyze fills a node's call edges and intrinsic hazards.
+func (p *Program) analyze(n *FuncNode) {
+	pkg := n.Pkg
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.CallExpr:
+			if pos, name, ok := calleeDecl(pkg, x); ok {
+				if _, local := p.funcs[pos]; local {
+					n.Calls = append(n.Calls, CallEdge{Pos: x.Pos(), Callee: pos, Name: name})
+				}
+			}
+			if pkgPath, sel, ok := pkgCall(pkg, x); ok {
+				switch {
+				case pkgPath == "math/rand" || pkgPath == "math/rand/v2":
+					n.hazards[HazardRand] = append(n.hazards[HazardRand],
+						Hazard{Pos: x.Pos(), Msg: "draws from " + pkgPath + "." + sel})
+				case pkgPath == "time" && sel == "Now":
+					n.hazards[HazardRand] = append(n.hazards[HazardRand],
+						Hazard{Pos: x.Pos(), Msg: "reads the wall clock (time.Now)"})
+				}
+			}
+		case *ast.GoStmt:
+			n.hazards[HazardGo] = append(n.hazards[HazardGo],
+				Hazard{Pos: x.Pos(), Msg: "launches a goroutine"})
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if _, ok := res.(*ast.FuncLit); ok {
+					n.hazards[HazardAlloc] = append(n.hazards[HazardAlloc],
+						Hazard{Pos: res.Pos(), Msg: "returns a func literal (closure allocation)"})
+				}
+			}
+		}
+		return true
+	})
+	// Alloc hazards reuse hotalloc's body rules: the helper is judged by
+	// the same standard a hot body is, so taint and direct findings agree.
+	resets := collectResets(pkg)
+	aliases := collectAliases(n.Decl.Body)
+	record := func(pos token.Pos, format string, args ...any) {
+		n.hazards[HazardAlloc] = append(n.hazards[HazardAlloc],
+			Hazard{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	}
+	file := fileOf(pkg, n.Decl.Pos())
+	checkHotBody(pkg, file, n.Decl.Body, false, aliases, resets, record)
+}
+
+// fileOf finds the *ast.File of pkg containing pos.
+func fileOf(pkg *Package, pos token.Pos) *ast.File {
+	for _, f := range pkg.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// calleeDecl resolves a call expression to a declared function's name
+// position via type information. Calls through function values, stubbed
+// imports, and builtins report ok=false.
+func calleeDecl(pkg *Package, call *ast.CallExpr) (token.Pos, string, bool) {
+	if pkg.Info == nil {
+		return token.NoPos, "", false
+	}
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return token.NoPos, "", false
+	}
+	fn, ok := pkg.Info.Uses[id].(*types.Func)
+	if !ok || !fn.Pos().IsValid() {
+		return token.NoPos, "", false
+	}
+	return fn.Pos(), fn.Name(), true
+}
+
+// pkgCall resolves a call of the form pkgname.Sel(...) to the imported
+// package's path, cross-checked against type info so shadowing locals do
+// not match.
+func pkgCall(pkg *Package, call *ast.CallExpr) (path, sel string, ok bool) {
+	se, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isIdent := se.X.(*ast.Ident)
+	if !isIdent || pkg.Info == nil {
+		return "", "", false
+	}
+	pn, isPkg := pkg.Info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), se.Sel.Name, true
+}
+
+// Taint is a transitive hazard: the chain of calls from the queried
+// function down to the function whose body carries the hazard.
+type Taint struct {
+	Hazard Hazard
+	// Chain holds the call edges walked to reach the hazard, outermost
+	// first; Chain[0] names the function the queried body calls.
+	Chain []CallEdge
+}
+
+// Describe renders the taint as "f → g: <hazard> (file:line)" for
+// diagnostics. Positions use the base filename so messages stay stable
+// across checkouts.
+func (t *Taint) Describe(fset *token.FileSet) string {
+	var sb strings.Builder
+	for i, e := range t.Chain {
+		if i > 0 {
+			sb.WriteString(" → ")
+		}
+		sb.WriteString(e.Name)
+	}
+	pos := fset.Position(t.Hazard.Pos)
+	fmt.Fprintf(&sb, ": %s (%s:%d)", t.Hazard.Msg, filepath.Base(pos.Filename), pos.Line)
+	return sb.String()
+}
+
+// taint returns a hazard of the given kind reachable from (and including)
+// the function declared at pos, or nil. Results are memoized; in-progress
+// nodes (cycles) conservatively report clean for the re-entrant query, which
+// is sound here because any hazard on the cycle is found from the first
+// entry point.
+func (p *Program) taint(pos token.Pos, kind HazardKind, visiting map[token.Pos]bool) *Taint {
+	key := taintKey{fn: pos, kind: kind}
+	if t, ok := p.memo[key]; ok {
+		return t
+	}
+	n := p.funcs[pos]
+	if n == nil || visiting[pos] {
+		return nil
+	}
+	visiting[pos] = true
+	defer delete(visiting, pos)
+
+	var result *Taint
+	if hs := n.hazards[kind]; len(hs) > 0 {
+		result = &Taint{Hazard: hs[0]}
+	} else {
+		for _, e := range n.Calls {
+			callee := p.funcs[e.Callee]
+			if callee == nil || callee.barrier() {
+				continue
+			}
+			if t := p.taint(e.Callee, kind, visiting); t != nil {
+				chain := append([]CallEdge{e}, t.Chain...)
+				result = &Taint{Hazard: t.Hazard, Chain: chain}
+				break
+			}
+		}
+	}
+	if len(visiting) == 1 {
+		// Only memoize at the outermost frame of this query tree; inner
+		// results computed under a cycle guard may be incomplete.
+		p.memo[key] = result
+	}
+	return result
+}
+
+// CallTaints reports, for each call edge of fn whose callee skip() does not
+// exclude, the first transitive hazard of the given kind. Intrinsic hazards
+// of fn's own body are not reported — the direct analyzers own those.
+func (p *Program) CallTaints(fn *FuncNode, kind HazardKind, skip func(*FuncNode) bool) []*Taint {
+	var out []*Taint
+	for _, e := range fn.Calls {
+		callee := p.funcs[e.Callee]
+		if callee == nil || callee.barrier() || (skip != nil && skip(callee)) {
+			continue
+		}
+		if t := p.taint(e.Callee, kind, map[token.Pos]bool{}); t != nil {
+			out = append(out, &Taint{Hazard: t.Hazard, Chain: append([]CallEdge{e}, t.Chain...)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestStaleSuppressionAudit: a directive that suppresses nothing is itself
+// a finding, but only when its analyzer actually ran on the package.
+func TestStaleSuppressionAudit(t *testing.T) {
+	src := `
+package chip
+
+//lint:ignore tnlint/detrand nothing here draws randomness
+var x int
+`
+	pkg, err := CheckSource(kernelPath, map[string]string{"fixture.go": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{Detrand()})
+	expect(t, diags, 1, "ignore", "stale suppression")
+
+	// Same tree, but detrand is not in the run set: no stale report —
+	// narrowed runs must not flag directives they cannot judge.
+	pkg2, err := CheckSource(kernelPath, map[string]string{"fixture.go": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags = Run([]*Package{pkg2}, []*Analyzer{MapOrder()})
+	expect(t, diags, 0, "", "")
+}
+
+// TestLiveSuppressionNotStale: a consumed directive never reports.
+func TestLiveSuppressionNotStale(t *testing.T) {
+	diags := analyze(t, Detrand(), kernelPath, `
+package chip
+
+import "time"
+
+func measured() int64 {
+	//lint:ignore tnlint/detrand timing harness owns the wall clock
+	return time.Now().UnixNano()
+}
+`)
+	expect(t, diags, 0, "", "")
+}
+
+// buildProgram compiles a multi-package source set and returns the Program
+// with the packages, for direct call-graph assertions.
+func buildProgram(t *testing.T, sources map[string]map[string]string) ([]*Package, *Program) {
+	t.Helper()
+	pkgs, err := CheckPackages(sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs, NewProgram(pkgs)
+}
+
+func findFunc(t *testing.T, prog *Program, pkg *Package, name string) *FuncNode {
+	t.Helper()
+	var found *FuncNode
+	prog.Funcs(pkg, func(n *FuncNode) {
+		if n.Decl.Name.Name == name {
+			found = n
+		}
+	})
+	if found == nil {
+		t.Fatalf("function %q not in program", name)
+	}
+	return found
+}
+
+func TestProgramCallEdgesAndTaint(t *testing.T) {
+	pkgs, prog := buildProgram(t, map[string]map[string]string{
+		Module + "/internal/a": {"a.go": `
+package a
+
+import "truenorth/internal/b"
+
+func Top() { mid() }
+func mid() { b.Leaf() }
+func Clean() int { return 1 }
+`},
+		Module + "/internal/b": {"b.go": `
+package b
+
+func Leaf() []int { return make([]int, 8) }
+`},
+	})
+	pkgA := pkgs[0]
+	top := findFunc(t, prog, pkgA, "Top")
+	if len(top.Calls) != 1 || top.Calls[0].Name != "mid" {
+		t.Fatalf("Top edges = %+v, want one edge to mid", top.Calls)
+	}
+
+	// Allocation in b.Leaf taints Top through mid, two calls away.
+	taints := prog.CallTaints(top, HazardAlloc, nil)
+	if len(taints) != 1 {
+		t.Fatalf("CallTaints(Top) = %d taints, want 1", len(taints))
+	}
+	desc := taints[0].Describe(pkgA.Fset)
+	if !strings.Contains(desc, "mid → Leaf") || !strings.Contains(desc, "make") {
+		t.Errorf("taint description %q missing witness chain", desc)
+	}
+
+	clean := findFunc(t, prog, pkgA, "Clean")
+	if got := prog.CallTaints(clean, HazardAlloc, nil); len(got) != 0 {
+		t.Errorf("Clean tainted: %+v", got)
+	}
+	// Memoized re-query is consistent.
+	if again := prog.CallTaints(top, HazardAlloc, nil); len(again) != 1 {
+		t.Errorf("re-query lost the taint")
+	}
+}
+
+func TestProgramBarrierStopsTaint(t *testing.T) {
+	pkgs, prog := buildProgram(t, map[string]map[string]string{
+		Module + "/internal/a": {"a.go": `
+package a
+
+func Top() { bfs() }
+func bfs() []int { return make([]int, 8) }
+`},
+	})
+	top := findFunc(t, prog, pkgs[0], "Top")
+	if got := prog.CallTaints(top, HazardAlloc, nil); len(got) != 0 {
+		t.Errorf("barrier bfs leaked taint: %+v", got)
+	}
+}
+
+func TestProgramCycleTerminates(t *testing.T) {
+	pkgs, prog := buildProgram(t, map[string]map[string]string{
+		Module + "/internal/a": {"a.go": `
+package a
+
+func ping(n int) {
+	if n > 0 {
+		pong(n - 1)
+	}
+}
+func pong(n int) { ping(n); sink() }
+func sink() { ch := make(chan int); _ = ch }
+`},
+	})
+	ping := findFunc(t, prog, pkgs[0], "ping")
+	taints := prog.CallTaints(ping, HazardAlloc, nil)
+	if len(taints) != 1 {
+		t.Fatalf("cycle query = %d taints, want 1 (via pong → sink)", len(taints))
+	}
+	if d := taints[0].Describe(pkgs[0].Fset); !strings.Contains(d, "pong → sink") {
+		t.Errorf("witness chain %q, want pong → sink", d)
+	}
+}
+
+func TestProgramHazardKinds(t *testing.T) {
+	pkgs, prog := buildProgram(t, map[string]map[string]string{
+		Module + "/internal/a": {"a.go": `
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Draws() int { return rand.Intn(4) }
+func Clocks() int64 { return time.Now().UnixNano() }
+func Spawns() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+func Closes() func() int { return func() int { return 0 } }
+`},
+	})
+	for name, kind := range map[string]HazardKind{
+		"Draws": HazardRand, "Clocks": HazardRand,
+		"Spawns": HazardGo, "Closes": HazardAlloc,
+	} {
+		n := findFunc(t, prog, pkgs[0], name)
+		if len(n.hazards[kind]) == 0 {
+			t.Errorf("%s: no intrinsic %v hazard recorded", name, kind)
+		}
+	}
+	// A taint query from a caller of each hazard function lands.
+	pkgs2, prog2 := buildProgram(t, map[string]map[string]string{
+		Module + "/internal/a": {"a.go": `
+package a
+
+import "time"
+
+func Caller() int64 { return helper() }
+func helper() int64 { return time.Now().UnixNano() }
+`},
+	})
+	caller := findFunc(t, prog2, pkgs2[0], "Caller")
+	if got := prog2.CallTaints(caller, HazardRand, nil); len(got) != 1 {
+		t.Fatalf("rand taint through helper = %d, want 1", len(got))
+	}
+	if got := prog2.CallTaints(caller, HazardGo, nil); len(got) != 0 {
+		t.Errorf("spurious go taint: %+v", got)
+	}
+}
+
+// TestPerfHotDirectiveExtendsHotSet: a function outside hotFuncNames but
+// carrying //perf:hot is checked by hotalloc like any hot function.
+func TestPerfHotDirectiveExtendsHotSet(t *testing.T) {
+	diags := analyze(t, HotAlloc(), Module+"/internal/core", `
+package core
+
+//perf:hot
+func scanRow(n int) []int {
+	return make([]int, n)
+}
+`)
+	expect(t, diags, 1, "hotalloc", "make on the per-tick path")
+}
+
+func TestFuncNodeName(t *testing.T) {
+	pkgs, prog := buildProgram(t, map[string]map[string]string{
+		Module + "/internal/a": {"a.go": `
+package a
+
+type Core struct{}
+
+func (c *Core) Step() {}
+func (c Core) Peek() {}
+func Free() {}
+`},
+	})
+	want := map[string]bool{"Core.Step": true, "Core.Peek": true, "Free": true}
+	prog.Funcs(pkgs[0], func(n *FuncNode) {
+		if !want[n.Name()] {
+			t.Errorf("unexpected node name %q", n.Name())
+		}
+		delete(want, n.Name())
+	})
+	for missing := range want {
+		t.Errorf("node %q not found", missing)
+	}
+	_ = token.NoPos
+}

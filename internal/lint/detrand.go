@@ -11,6 +11,14 @@ import (
 // stream is not part of this repo's reproducibility contract and changes
 // across Go releases — and time.Now is banned because tick-domain code that
 // reads the wall clock (for seeding or for logic) cannot be replayed.
+//
+// With call-graph context (RunWithContext), detrand also taints through
+// helpers: a function in a core kernel package (the explicitly listed
+// entries of KernelPackages, not the cmd/... and examples/... wildcards,
+// whose mains may time things legitimately) that calls a module helper
+// which draws from math/rand or reads time.Now is reported at the call
+// site with the witness chain. Callees in packages detrand checks directly
+// are skipped — their own bodies already carry the finding.
 func Detrand() *Analyzer {
 	return &Analyzer{
 		Name:     "detrand",
@@ -47,4 +55,37 @@ func runDetrand(pkg *Package, report ReportFunc) {
 			return true
 		})
 	}
+	if pkg.Prog == nil || !explicitKernelPackage(pkg.Path) {
+		return
+	}
+	detrandApplies := Detrand().applies
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn := pkg.Prog.FuncAt(fd.Name.Pos())
+			if fn == nil {
+				continue
+			}
+			for _, t := range pkg.Prog.CallTaints(fn, HazardRand, func(callee *FuncNode) bool {
+				return detrandApplies(callee.Pkg.Path)
+			}) {
+				report(t.Chain[0].Pos, "call to %s reaches nondeterminism from a kernel package: %s",
+					t.Chain[0].Name, t.Describe(pkg.Fset))
+			}
+		}
+	}
+}
+
+// explicitKernelPackage reports whether path is one of the explicitly
+// listed kernel packages (not matched via a /... wildcard).
+func explicitKernelPackage(path string) bool {
+	for _, p := range KernelPackages {
+		if p == path {
+			return true
+		}
+	}
+	return false
 }

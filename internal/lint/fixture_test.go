@@ -39,7 +39,15 @@ func TestAnalyzerFixtures(t *testing.T) {
 			}
 			ran := 0
 			for _, e := range entries {
-				if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				if e.IsDir() {
+					ran++
+					name := e.Name()
+					t.Run(name, func(t *testing.T) {
+						runMultiFixture(t, a, filepath.Join(dir, name))
+					})
+					continue
+				}
+				if !strings.HasSuffix(e.Name(), ".go") {
 					continue
 				}
 				ran++
@@ -118,6 +126,102 @@ func runFixture(t *testing.T, a *Analyzer, path string) {
 		for _, w := range ws {
 			if !w.matched {
 				missed = append(missed, fmt.Sprintf("%s:%d: expected diagnostic matching %q was not reported", path, line, w.re))
+			}
+		}
+	}
+	sort.Strings(missed)
+	for _, m := range missed {
+		t.Error(m)
+	}
+}
+
+// runMultiFixture runs one directory-based multi-package fixture: every
+// .go file in dir declares its package with a first-line
+// //lintfixture:package directive, files group into packages that may
+// import each other, and the analyzer runs over all of them with full
+// call-graph context — the harness for the interprocedural taint rules,
+// where the hazard lives one or two calls away from the reported site.
+// Want comments work exactly as in single-file fixtures, matched per file.
+func runMultiFixture(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := map[string]map[string]string{}
+	wants := map[string]map[int][]*wantExpectation{}
+	nfiles := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		nfiles++
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := string(data)
+		lines := strings.Split(src, "\n")
+		if len(lines) == 0 || !strings.HasPrefix(lines[0], fixtureDirective) {
+			t.Fatalf("%s: multi-package fixture files need a first-line %s<import-path> directive", path, fixtureDirective)
+		}
+		importPath := strings.TrimSpace(strings.TrimPrefix(lines[0], fixtureDirective))
+		if sources[importPath] == nil {
+			sources[importPath] = map[string]string{}
+		}
+		if _, dup := sources[importPath][e.Name()]; dup {
+			t.Fatalf("%s: duplicate filename in package %s", path, importPath)
+		}
+		sources[importPath][e.Name()] = src
+		fileWants := map[int][]*wantExpectation{}
+		for i, line := range lines {
+			idx := strings.Index(line, "// want ")
+			if idx < 0 {
+				continue
+			}
+			args := wantArgRe.FindAllStringSubmatch(line[idx+len("// want "):], -1)
+			if len(args) == 0 {
+				t.Fatalf("%s:%d: malformed want comment (need quoted regexps)", path, i+1)
+			}
+			for _, m := range args {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, m[1], err)
+				}
+				fileWants[i+1] = append(fileWants[i+1], &wantExpectation{re: re})
+			}
+		}
+		wants[e.Name()] = fileWants
+	}
+	if nfiles == 0 {
+		t.Fatalf("multi-package fixture %s has no .go files", dir)
+	}
+	pkgs, err := CheckPackages(sources)
+	if err != nil {
+		t.Fatalf("%s: %v", dir, err)
+	}
+	for _, d := range RunWithContext(pkgs, nil, []*Analyzer{a}) {
+		file := filepath.Base(d.Pos.Filename)
+		matched := false
+		for _, w := range wants[file][d.Pos.Line] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s/%s:%d: unexpected diagnostic [%s] %s", dir, file, d.Pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	var missed []string
+	for file, fileWants := range wants {
+		for line, ws := range fileWants {
+			for _, w := range ws {
+				if !w.matched {
+					missed = append(missed, fmt.Sprintf("%s/%s:%d: expected diagnostic matching %q was not reported", dir, file, line, w.re))
+				}
 			}
 		}
 	}

@@ -61,10 +61,22 @@ var hotFuncNames = map[string]bool{
 //     local := aliases are resolved, so `out := s.outbox[w]` inherits the
 //     reset of s.outbox.
 //
+// The hot set is the named functions above plus any function carrying the
+// //perf:hot directive (shared with the perfproof compiler gate), so the
+// static and compiler-diagnostic gates watch the same code.
+//
+// When run with call-graph context (RunWithContext), hotalloc is also
+// interprocedural: a hot function calling a helper that allocates — in this
+// package or any other module package — is reported at the call site with
+// the witness chain. Callees that are themselves hot are skipped (their own
+// bodies are checked directly), and the sanctioned cold-path barriers (bfs,
+// inject) stop propagation.
+//
 // hotalloc is deliberately conservative — it cannot run escape analysis,
 // so a flagged construct is "heap-shaped", not proven to escape. The
-// allocs/op budgets enforced by scripts/allocs_gate.sh are the dynamic
-// complement that catches what this pass cannot see.
+// allocs/op budgets enforced by scripts/allocs_gate.sh and the compiler
+// diagnostics proven by cmd/tnproof are the complements that catch what
+// this pass cannot see.
 func HotAlloc() *Analyzer {
 	return &Analyzer{
 		Name:     "hotalloc",
@@ -79,11 +91,24 @@ func runHotAlloc(pkg *Package, report ReportFunc) {
 	for _, f := range pkg.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !hotFuncNames[fd.Name.Name] {
+			if !ok || fd.Body == nil || !(hotFuncNames[fd.Name.Name] || hasPerfHot(fd.Doc)) {
 				continue
 			}
 			aliases := collectAliases(fd.Body)
 			checkHotBody(pkg, f, fd.Body, false, aliases, resets, report)
+			if pkg.Prog == nil {
+				continue
+			}
+			fn := pkg.Prog.FuncAt(fd.Name.Pos())
+			if fn == nil {
+				continue
+			}
+			for _, t := range pkg.Prog.CallTaints(fn, HazardAlloc, func(callee *FuncNode) bool {
+				return callee.hot()
+			}) {
+				report(t.Chain[0].Pos, "call to %s reaches an allocation on the per-tick path: %s",
+					t.Chain[0].Name, t.Describe(pkg.Fset))
+			}
 		}
 	}
 }

@@ -96,6 +96,10 @@ type Package struct {
 	Fset  *token.FileSet
 	Files []*ast.File
 	Info  *types.Info
+	// Prog is the module-local call graph the package was analyzed under;
+	// set by Run/RunWithContext. Analyzers use it for interprocedural
+	// checks and degrade to purely local analysis when it is nil.
+	Prog *Program
 }
 
 // TypeOf returns the best-effort type of e, or nil.
@@ -188,18 +192,28 @@ func WriteJSON(w io.Writer, diags []Diagnostic, rel func(string) string) error {
 // ignoreRe matches a well-formed suppression directive.
 var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+tnlint/([a-zA-Z0-9_-]+)\s+\S`)
 
+// directive is one //lint:ignore comment, tracked so the stale-suppression
+// audit can tell which directives still earn their keep.
+type directive struct {
+	pos      token.Pos
+	analyzer string
+	used     bool
+}
+
 // suppression records which analyzers are ignored at which lines of a file.
 type suppression struct {
-	// byLine maps a source line to the analyzer names suppressed there.
-	byLine map[int]map[string]bool
+	// byLine maps a source line to the directives active there.
+	byLine map[int]map[string]*directive
+	// directives lists the file's directives in source order.
+	directives []*directive
 }
 
 // suppressions scans a file's comments for lint:ignore directives. A
 // directive suppresses matching findings on its own line and on the line
 // after it. Malformed directives (no analyzer, no reason) are reported as
 // findings of the pseudo-analyzer "ignore".
-func suppressions(fset *token.FileSet, f *ast.File, malformed func(pos token.Pos, msg string)) suppression {
-	s := suppression{byLine: map[int]map[string]bool{}}
+func suppressions(fset *token.FileSet, f *ast.File, malformed func(pos token.Pos, msg string)) *suppression {
+	s := &suppression{byLine: map[int]map[string]*directive{}}
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimSpace(c.Text)
@@ -211,37 +225,80 @@ func suppressions(fset *token.FileSet, f *ast.File, malformed func(pos token.Pos
 				malformed(c.Pos(), "malformed suppression directive: want //lint:ignore tnlint/<analyzer> reason")
 				continue
 			}
+			d := &directive{pos: c.Pos(), analyzer: m[1]}
+			s.directives = append(s.directives, d)
 			line := fset.Position(c.Pos()).Line
 			for _, l := range []int{line, line + 1} {
 				if s.byLine[l] == nil {
-					s.byLine[l] = map[string]bool{}
+					s.byLine[l] = map[string]*directive{}
 				}
-				s.byLine[l][m[1]] = true
+				if s.byLine[l][d.analyzer] == nil {
+					s.byLine[l][d.analyzer] = d
+				}
 			}
 		}
 	}
 	return s
 }
 
-func (s suppression) suppressed(line int, analyzer string) bool {
-	return s.byLine[line][analyzer]
+// suppressed consumes a matching directive for a finding at line, marking
+// it live for the stale audit.
+func (s *suppression) suppressed(line int, analyzer string) bool {
+	d := s.byLine[line][analyzer]
+	if d == nil {
+		return false
+	}
+	d.used = true
+	return true
 }
 
 // Run applies analyzers to pkgs, honors suppression directives, and returns
-// the surviving findings sorted by file, line, and analyzer.
+// the surviving findings sorted by file, line, and analyzer. Purely local:
+// interprocedural checks need the call-graph context of RunWithContext.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return RunWithContext(pkgs, nil, analyzers)
+}
+
+// RunWithContext is Run with extra call-graph context: context packages are
+// not analyzed themselves, but their function bodies are part of the
+// Program, so taint through helpers declared there reaches the analyzed
+// packages' call sites. Passing every module package a target imports makes
+// the interprocedural detrand/hotalloc/ticksafe checks whole-module.
+//
+// After all analyzers run, suppression directives that no finding consumed
+// are themselves reported (pseudo-analyzer "ignore"): a stale //lint:ignore
+// is a license nobody holds, and the tree must not accrete them. A
+// directive is only audited when its analyzer actually ran on its package,
+// so narrowed runs (-only) never produce false stale reports.
+func RunWithContext(pkgs, context []*Package, analyzers []*Analyzer) []Diagnostic {
+	all := make([]*Package, 0, len(pkgs)+len(context))
+	all = append(all, pkgs...)
+	seen := make(map[*Package]bool, len(pkgs))
+	for _, p := range pkgs {
+		seen[p] = true
+	}
+	for _, p := range context {
+		if !seen[p] {
+			all = append(all, p)
+		}
+	}
+	prog := NewProgram(all)
+
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		sup := map[*ast.File]suppression{}
+		pkg.Prog = prog
+		sup := map[*ast.File]*suppression{}
 		for _, f := range pkg.Files {
 			sup[f] = suppressions(pkg.Fset, f, func(pos token.Pos, msg string) {
 				diags = append(diags, Diagnostic{Pos: pkg.Fset.Position(pos), Analyzer: "ignore", Message: msg})
 			})
 		}
+		ran := map[string]bool{}
 		for _, a := range analyzers {
 			if !a.applies(pkg.Path) {
 				continue
 			}
+			ran[a.Name] = true
 			a.Run(pkg, func(pos token.Pos, format string, args ...any) {
 				position := pkg.Fset.Position(pos)
 				for _, f := range pkg.Files {
@@ -252,6 +309,18 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				}
 				diags = append(diags, Diagnostic{Pos: position, Analyzer: a.Name, Message: fmt.Sprintf(format, args...)})
 			})
+		}
+		for _, f := range pkg.Files {
+			for _, d := range sup[f].directives {
+				if !d.used && ran[d.analyzer] {
+					diags = append(diags, Diagnostic{
+						Pos:      pkg.Fset.Position(d.pos),
+						Analyzer: "ignore",
+						Message: fmt.Sprintf(
+							"stale suppression: no tnlint/%s finding on this or the next line; remove the directive", d.analyzer),
+					})
+				}
+			}
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

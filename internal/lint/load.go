@@ -157,6 +157,24 @@ func (l *Loader) Load(importPath string) (*Package, error) {
 	return pkg, nil
 }
 
+// Loaded returns every package the loader has parsed and type-checked so
+// far, sorted by import path — the explicitly requested targets plus every
+// module-internal dependency pulled in to resolve their types. Passing this
+// as RunWithContext's context makes interprocedural analysis whole-module
+// without loading anything twice.
+func (l *Loader) Loaded() []*Package {
+	paths := make([]string, 0, len(l.pkgs))
+	for p := range l.pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		out = append(out, l.pkgs[p])
+	}
+	return out
+}
+
 // Import implements types.Importer: module-internal packages are loaded for
 // real; everything else (stdlib, hypothetical external deps) gets an empty
 // stub, and the error-tolerant checker shrugs off the unresolved members.
@@ -232,4 +250,81 @@ func CheckSource(importPath string, files map[string]string) (*Package, error) {
 	}
 	pkg, _ := check(fset, importPath, parsed, stubImporter{})
 	return pkg, nil
+}
+
+// memLoader type-checks a closed set of in-memory packages that may import
+// each other; imports outside the set fall back to stubs. It is the
+// multi-package analogue of CheckSource for interprocedural fixtures.
+type memLoader struct {
+	fset    *token.FileSet
+	sources map[string]map[string]string
+	pkgs    map[string]*Package
+	typs    map[string]*types.Package
+	stubs   map[string]*types.Package
+	loading map[string]bool
+}
+
+func (m *memLoader) load(importPath string) (*Package, error) {
+	if p, ok := m.pkgs[importPath]; ok {
+		return p, nil
+	}
+	files := m.sources[importPath]
+	var names []string
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var parsed []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(m.fset, name, files[name], parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+	}
+	m.loading[importPath] = true
+	defer delete(m.loading, importPath)
+	pkg, tpkg := check(m.fset, importPath, parsed, m)
+	m.pkgs[importPath] = pkg
+	m.typs[importPath] = tpkg
+	return pkg, nil
+}
+
+// Import implements types.Importer over the in-memory set.
+func (m *memLoader) Import(path string) (*types.Package, error) {
+	if _, ok := m.sources[path]; ok && !m.loading[path] {
+		if _, err := m.load(path); err == nil {
+			return m.typs[path], nil
+		}
+	}
+	return stubPackage(m.stubs, path), nil
+}
+
+// CheckPackages parses and type-checks a set of in-memory packages sharing
+// one FileSet, resolving imports between them for real (everything else is
+// stubbed). sources maps import path → filename → source text; packages
+// come back sorted by import path, ready for RunWithContext.
+func CheckPackages(sources map[string]map[string]string) ([]*Package, error) {
+	m := &memLoader{
+		fset:    token.NewFileSet(),
+		sources: sources,
+		pkgs:    map[string]*Package{},
+		typs:    map[string]*types.Package{},
+		stubs:   map[string]*types.Package{},
+		loading: map[string]bool{},
+	}
+	var paths []string
+	for p := range sources {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := m.load(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
 }

@@ -1,0 +1,17 @@
+//lintfixture:package truenorth/internal/clockutil
+package clockutil
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Seed reads the wall clock two calls from the kernel (via now). This
+// package is outside the kernel set, so nothing is reported here — the
+// finding lands at the kernel's call site.
+func Seed() int64 { return now() }
+
+func now() int64 { return time.Now().UnixNano() }
+
+// Jitter draws from math/rand one call from the kernel.
+func Jitter() int { return rand.Intn(8) }

@@ -1,0 +1,28 @@
+//lintfixture:package truenorth/internal/core
+package core
+
+import (
+	"time"
+
+	"truenorth/internal/clockutil"
+)
+
+// seedNetwork reaches the wall clock two calls away (Seed → now).
+func seedNetwork() int64 {
+	return clockutil.Seed() // want `call to Seed reaches nondeterminism from a kernel package`
+}
+
+// jitter reaches math/rand one call away.
+func jitter() int {
+	return clockutil.Jitter() // want `call to Jitter reaches nondeterminism from a kernel package`
+}
+
+// localSeed gets no call-site finding: localNow is in a kernel package, so
+// the direct rule already reports inside it and taint does not re-report.
+func localSeed() int64 {
+	return localNow()
+}
+
+func localNow() int64 {
+	return time.Now().UnixNano() // want `kernel package calls time.Now`
+}

@@ -1,0 +1,13 @@
+//lintfixture:package truenorth/internal/corehelp
+package corehelp
+
+// Fill is one call from the hot kernel; the allocation in grow is two calls
+// away from the hot function, across a package boundary.
+func Fill(n int) {
+	grow(n)
+}
+
+func grow(n int) []int {
+	buf := make([]int, n)
+	return buf
+}

@@ -1,0 +1,33 @@
+//lintfixture:package truenorth/internal/core
+package core
+
+import "truenorth/internal/corehelp"
+
+// Step is hot by name; the allocations here live in helpers, not in the
+// body, so only the call-graph-aware pass can see them.
+func Step(n int) {
+	buf := helperAlloc(n) // want `call to helperAlloc reaches an allocation on the per-tick path`
+	_ = buf
+	corehelp.Fill(n)   // want `call to Fill reaches an allocation on the per-tick path`
+	_ = closureMaker() // want `call to closureMaker reaches an allocation on the per-tick path: closureMaker: returns a func literal`
+	fast(n)
+	_ = bfs(n)
+}
+
+// helperAlloc allocates one call away from the hot function.
+func helperAlloc(n int) []int {
+	return make([]int, n)
+}
+
+// closureMaker is the deadFunc shape: building a fresh closure per call.
+func closureMaker() func() int {
+	x := 0
+	return func() int { return x }
+}
+
+// fast is a clean helper: calling it from the hot path is fine.
+func fast(n int) int { return n * 2 }
+
+// bfs allocates, but it is a sanctioned cold-path barrier by name, so the
+// hot caller is not tainted.
+func bfs(n int) []int { return make([]int, n) }

@@ -1,0 +1,11 @@
+//lintfixture:package truenorth/internal/core
+package core
+
+import "truenorth/internal/spawnutil"
+
+// compute launches goroutines through helpers one and two calls away; a
+// kernel that spawns through an intermediary is still spawning.
+func compute() {
+	spawnutil.Parallel() // want `call to Parallel launches a goroutine from kernel package`
+	spawnutil.Nested()   // want `call to Nested launches a goroutine from kernel package`
+}

@@ -1,0 +1,20 @@
+//lintfixture:package truenorth/internal/spawnutil
+package spawnutil
+
+// Parallel launches a goroutine one call from the kernel. This package is
+// outside the kernel set, so the direct rule stays silent here and the
+// finding lands at the kernel's call site.
+func Parallel() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+// Nested spawns two calls from the kernel.
+func Nested() { helper() }
+
+func helper() {
+	ch := make(chan struct{})
+	go func() { close(ch) }()
+	<-ch
+}

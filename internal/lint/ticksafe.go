@@ -18,6 +18,13 @@ import (
 //  3. A WaitGroup-managed worker may assign to captured (outer-scope)
 //     variables only through an indexed slot (e.g. perWorker[w] = ...), the
 //     share-nothing discipline that makes the compute phase race-free.
+//
+// With call-graph context (RunWithContext), rule 1 is interprocedural for
+// the explicitly listed kernel packages: calling a module helper that
+// launches a goroutine is reported at the call site with the witness chain
+// (a kernel that spawns through an intermediary is still spawning). Callees
+// in packages ticksafe checks directly are skipped, as is everything behind
+// the sanctioned cold-path barriers.
 func TickSafe() *Analyzer {
 	return &Analyzer{
 		Name:     "ticksafe",
@@ -53,6 +60,28 @@ func runTickSafe(pkg *Package, report ReportFunc) {
 			}
 			return true
 		})
+	}
+	if pkg.Prog == nil || inCompass || !explicitKernelPackage(pkg.Path) {
+		return
+	}
+	ticksafeApplies := TickSafe().applies
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn := pkg.Prog.FuncAt(fd.Name.Pos())
+			if fn == nil {
+				continue
+			}
+			for _, t := range pkg.Prog.CallTaints(fn, HazardGo, func(callee *FuncNode) bool {
+				return ticksafeApplies(callee.Pkg.Path)
+			}) {
+				report(t.Chain[0].Pos, "call to %s launches a goroutine from kernel package %s: %s",
+					t.Chain[0].Name, pkg.Path, t.Describe(pkg.Fset))
+			}
+		}
 	}
 }
 

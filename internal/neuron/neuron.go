@@ -159,7 +159,13 @@ func clampV(v int32) int32 {
 //
 // In stochastic synapse mode the PRNG is advanced exactly once per event,
 // so engines that process the same events in the same order stay bit-equal.
+//
+//perf:hot
 func (p *Params) Integrate(v int32, g uint8, rng *prng.LFSR) int32 {
+	// Mask to the architectural type range: g is validated < NumAxonTypes at
+	// configuration, and the mask makes the indexing provably in bounds (the
+	// tnproof gate pins this function bounds-check-free).
+	g &= NumAxonTypes - 1
 	w := p.Weights[g]
 	if p.StochSyn[g] {
 		draw := rng.Draw()
@@ -178,6 +184,8 @@ func (p *Params) Integrate(v int32, g uint8, rng *prng.LFSR) int32 {
 // In stochastic leak mode the PRNG is advanced exactly once per tick.
 // With LeakReversal the effective leak is Leak·sign(v) (zero potential
 // leaks as if positive), and decay never overshoots past zero.
+//
+//perf:hot
 func (p *Params) ApplyLeak(v int32, rng *prng.LFSR) int32 {
 	leak := p.Leak
 	if p.LeakReversal {
@@ -216,6 +224,8 @@ func (p *Params) ApplyLeak(v int32, rng *prng.LFSR) int32 {
 // negative-threshold handling for one tick. It returns the new membrane
 // potential and whether the neuron fired. When ThresholdMask is nonzero the
 // PRNG is advanced exactly once per tick to draw the threshold jitter.
+//
+//perf:hot
 func (p *Params) ThresholdFire(v int32, rng *prng.LFSR) (int32, bool) {
 	th := p.Threshold
 	if p.ThresholdMask != 0 {

@@ -1,0 +1,190 @@
+package perfproof
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnose compiles pkg with escape-analysis and bounds-check diagnostics
+// enabled and returns the classified findings (hot and cold alike; pass the
+// result through Attribute). The build cache replays diagnostics for
+// unchanged packages, so repeated gate runs cost almost nothing.
+func Diagnose(modRoot, pkg string) ([]Finding, error) {
+	cmd := exec.Command("go", "build",
+		fmt.Sprintf("-gcflags=%s=-m -m -d=ssa/check_bce/debug=1", pkg), pkg)
+	cmd.Dir = modRoot
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("perfproof: go build %s: %w\n%s", pkg, err, out)
+	}
+	return ParseDiagnostics(string(out)), nil
+}
+
+// modulePathRe extracts the module path from a go.mod file.
+var modulePathRe = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// PackageDir maps an import path inside the module rooted at modRoot to its
+// source directory, without shelling out to `go list`.
+func PackageDir(modRoot, pkg string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(modRoot, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("perfproof: %w", err)
+	}
+	m := modulePathRe.FindSubmatch(data)
+	if m == nil {
+		return "", fmt.Errorf("perfproof: no module line in %s/go.mod", modRoot)
+	}
+	module := string(m[1])
+	if pkg == module {
+		return modRoot, nil
+	}
+	if !strings.HasPrefix(pkg, module+"/") {
+		return "", fmt.Errorf("perfproof: package %s is outside module %s", pkg, module)
+	}
+	return filepath.Join(modRoot, filepath.FromSlash(strings.TrimPrefix(pkg, module+"/"))), nil
+}
+
+// GoldenPath returns the budget file for pkg under goldenDir: the import
+// path with slashes and dots flattened to underscores.
+func GoldenPath(goldenDir, pkg string) string {
+	flat := strings.NewReplacer("/", "_", ".", "_").Replace(pkg)
+	return filepath.Join(goldenDir, flat+".golden")
+}
+
+// PackageReport is the gate's result for one package; it serializes to the
+// CI artifact JSON.
+type PackageReport struct {
+	Pkg        string    `json:"pkg"`
+	Hot        []HotFunc `json:"hot"`
+	Findings   []Finding `json:"findings"`
+	Violations []string  `json:"violations,omitempty"`
+	Pass       bool      `json:"pass"`
+}
+
+// CheckPackage diffs the live hot set and findings against the golden
+// budget. Every returned violation carries a live file:line (or the golden
+// path for stale records) so CI failures are directly actionable. The gate
+// is a two-sided ratchet: exceeding a budget fails, and so does beating one
+// — improvements must be blessed with -update so budgets stay tight.
+func CheckPackage(pkg string, hot []HotFunc, findings []Finding, b *Budget) []string {
+	var violations []string
+
+	// Hot-set pinning: the golden and the source must agree on what is
+	// guarded, in both directions.
+	liveHot := make(map[string]HotFunc, len(hot))
+	for _, h := range hot {
+		liveHot[h.Name] = h
+	}
+	goldenHot := make(map[string]bool, len(b.Hot))
+	for _, name := range b.Hot {
+		goldenHot[name] = true
+		if _, ok := liveHot[name]; !ok {
+			violations = append(violations, fmt.Sprintf(
+				"%s: hot function %s pinned in golden but no longer carries %s (restore the directive or bless with -update)",
+				pkg, name, Directive))
+		}
+	}
+	for _, h := range hot {
+		if !goldenHot[h.Name] {
+			violations = append(violations, fmt.Sprintf(
+				"%s:%d: new hot function %s is not in the golden budget (bless with -update)",
+				h.File, h.StartLine, h.Name))
+		}
+	}
+
+	// Budget diff, keyed by (func, kind, message) with positions retained
+	// for the diagnostics.
+	liveCount := make(map[AllowKey]int)
+	livePos := make(map[AllowKey][]string)
+	for _, f := range findings {
+		k := AllowKey{Func: f.Func, Kind: f.Kind, Message: f.Message}
+		liveCount[k]++
+		livePos[k] = append(livePos[k], f.Pos())
+	}
+	keys := make([]AllowKey, 0, len(liveCount))
+	for k := range liveCount {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return livePos[keys[i]][0] < livePos[keys[j]][0] })
+	for _, k := range keys {
+		allowed := b.Allow[k]
+		if liveCount[k] > allowed {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %s in hot %s.%s: %q ×%d exceeds budget %d",
+				strings.Join(livePos[k], " "), k.Kind, shortPkg(pkg), k.Func, k.Message, liveCount[k], allowed))
+		}
+	}
+	for k, allowed := range b.Allow {
+		if n := liveCount[k]; n < allowed {
+			violations = append(violations, fmt.Sprintf(
+				"golden %s: stale allowance 'allow %d %s %s %s' (live count %d — tighten with -update)",
+				pkg, allowed, k.Kind, k.Func, k.Message, n))
+		}
+	}
+	sort.Strings(violations)
+	return violations
+}
+
+// shortPkg trims the module prefix for readable diagnostics.
+func shortPkg(pkg string) string {
+	if i := strings.LastIndex(pkg, "/"); i >= 0 {
+		return pkg[i+1:]
+	}
+	return pkg
+}
+
+// Run executes the full gate over pkgs for the module at modRoot, diffing
+// against (or, when update is set, rewriting) the goldens in goldenDir.
+func Run(modRoot, goldenDir string, pkgs []string, update bool) ([]PackageReport, error) {
+	var reports []PackageReport
+	for _, pkg := range pkgs {
+		dir, err := PackageDir(modRoot, pkg)
+		if err != nil {
+			return reports, err
+		}
+		hot, err := ScanHot(modRoot, dir)
+		if err != nil {
+			return reports, err
+		}
+		all, err := Diagnose(modRoot, pkg)
+		if err != nil {
+			return reports, err
+		}
+		findings := Attribute(all, hot)
+		rep := PackageReport{Pkg: pkg, Hot: hot, Findings: findings}
+
+		path := GoldenPath(goldenDir, pkg)
+		if update {
+			if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+				return reports, fmt.Errorf("perfproof: %w", err)
+			}
+			if err := os.WriteFile(path, BuildBudget(pkg, hot, findings).Format(), 0o644); err != nil {
+				return reports, fmt.Errorf("perfproof: %w", err)
+			}
+			rep.Pass = true
+			reports = append(reports, rep)
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			rep.Violations = []string{fmt.Sprintf(
+				"%s: no golden budget for %s (generate with -update)", path, pkg)}
+			rep.Pass = false
+			reports = append(reports, rep)
+			continue
+		}
+		budget, err := ParseBudget(pkg, data)
+		if err != nil {
+			return reports, err
+		}
+		rep.Violations = CheckPackage(pkg, hot, findings, budget)
+		rep.Pass = len(rep.Violations) == 0
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}

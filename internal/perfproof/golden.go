@@ -1,0 +1,117 @@
+package perfproof
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// AllowKey identifies one budgeted diagnostic class within a package: the
+// hot function it lands in, the kind, and the compiler's message. Line
+// numbers are deliberately not part of the key so unrelated edits that shift
+// code do not invalidate budgets; counts catch real regressions.
+type AllowKey struct {
+	Func    string
+	Kind    Kind
+	Message string
+}
+
+// Budget is the parsed golden file for one package: the pinned hot set and
+// the allowed diagnostic counts. A missing allowance means zero tolerance.
+type Budget struct {
+	Pkg   string
+	Hot   []string
+	Allow map[AllowKey]int
+}
+
+// ParseBudget reads a golden budget file. Format, one record per line:
+//
+//	# comment
+//	hot <func>
+//	allow <count> <kind> <func> <message...>
+func ParseBudget(pkg string, data []byte) (*Budget, error) {
+	b := &Budget{Pkg: pkg, Allow: make(map[AllowKey]int)}
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "hot":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("perfproof: golden line %d: want 'hot <func>'", lineNo)
+			}
+			b.Hot = append(b.Hot, fields[1])
+		case "allow":
+			if len(fields) < 5 {
+				return nil, fmt.Errorf("perfproof: golden line %d: want 'allow <count> <kind> <func> <message>'", lineNo)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("perfproof: golden line %d: bad count %q", lineNo, fields[1])
+			}
+			kind := Kind(fields[2])
+			if kind != KindEscape && kind != KindBounds {
+				return nil, fmt.Errorf("perfproof: golden line %d: unknown kind %q", lineNo, fields[2])
+			}
+			key := AllowKey{Func: fields[3], Kind: kind, Message: strings.Join(fields[4:], " ")}
+			if _, dup := b.Allow[key]; dup {
+				return nil, fmt.Errorf("perfproof: golden line %d: duplicate allowance", lineNo)
+			}
+			b.Allow[key] = n
+		default:
+			return nil, fmt.Errorf("perfproof: golden line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	sort.Strings(b.Hot)
+	return b, nil
+}
+
+// BuildBudget derives the budget a live scan would bless: the current hot
+// set plus the attributed findings grouped into allowance counts.
+func BuildBudget(pkg string, hot []HotFunc, findings []Finding) *Budget {
+	b := &Budget{Pkg: pkg, Allow: make(map[AllowKey]int)}
+	for _, h := range hot {
+		b.Hot = append(b.Hot, h.Name)
+	}
+	sort.Strings(b.Hot)
+	for _, f := range findings {
+		b.Allow[AllowKey{Func: f.Func, Kind: f.Kind, Message: f.Message}]++
+	}
+	return b
+}
+
+// Format renders the budget in canonical golden-file form.
+func (b *Budget) Format() []byte {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# perfproof golden budget for %s.\n", b.Pkg)
+	sb.WriteString("# hot lines pin the //perf:hot set; allow lines budget compiler findings.\n")
+	sb.WriteString("# Regenerate after an intentional change: make proof-update\n")
+	for _, h := range b.Hot {
+		fmt.Fprintf(&sb, "hot %s\n", h)
+	}
+	keys := make([]AllowKey, 0, len(b.Allow))
+	for k := range b.Allow {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, c := keys[i], keys[j]
+		if a.Func != c.Func {
+			return a.Func < c.Func
+		}
+		if a.Kind != c.Kind {
+			return a.Kind < c.Kind
+		}
+		return a.Message < c.Message
+	})
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "allow %d %s %s %s\n", b.Allow[k], k.Kind, k.Func, k.Message)
+	}
+	return []byte(sb.String())
+}

@@ -1,0 +1,97 @@
+package perfproof
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ScanHot parses the non-test Go sources in dir and returns the functions
+// whose doc comment carries the //perf:hot directive. File paths in the
+// result are reported relative to modRoot so they line up with the
+// compiler's diagnostic positions (go build runs from the module root).
+func ScanHot(modRoot, dir string) ([]HotFunc, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("perfproof: %w", err)
+	}
+	fset := token.NewFileSet()
+	var hot []HotFunc
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("perfproof: parse %s: %w", path, err)
+		}
+		rel, err := filepath.Rel(modRoot, path)
+		if err != nil {
+			return nil, fmt.Errorf("perfproof: %w", err)
+		}
+		rel = filepath.ToSlash(rel)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || !hasDirective(fn.Doc) {
+				continue
+			}
+			hot = append(hot, HotFunc{
+				Name:      funcKey(fn),
+				File:      rel,
+				StartLine: fset.Position(fn.Pos()).Line,
+				EndLine:   fset.Position(fn.End()).Line,
+			})
+		}
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].File != hot[j].File {
+			return hot[i].File < hot[j].File
+		}
+		return hot[i].StartLine < hot[j].StartLine
+	})
+	return hot, nil
+}
+
+// hasDirective reports whether a doc comment contains a //perf:hot line.
+// Directive comments are exact-match whole lines, per go/ast convention.
+func hasDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == Directive {
+			return true
+		}
+	}
+	return false
+}
+
+// funcKey renders a FuncDecl's stable budget key: "Name" for package
+// functions, "Recv.Name" for methods with pointer stars stripped.
+func funcKey(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	for {
+		switch u := t.(type) {
+		case *ast.StarExpr:
+			t = u.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = u.X
+		case *ast.IndexListExpr:
+			t = u.X
+		case *ast.Ident:
+			return u.Name + "." + fn.Name.Name
+		default:
+			return fn.Name.Name
+		}
+	}
+}

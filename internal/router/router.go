@@ -96,6 +96,8 @@ func (m Mesh) crossing(a, b Point) int {
 // faults: |dx| + |dy| hops and the boundary crossings along the x-then-y
 // path. It is the common fast path; engines fall back to RouteAvoiding only
 // when dead cores exist.
+//
+//perf:hot
 func (m Mesh) DOR(src, dst Point) Route {
 	dx, dy := dst.X-src.X, dst.Y-src.Y
 	r := Route{Hops: abs(dx) + abs(dy), OK: true}
@@ -123,6 +125,8 @@ func tileSpans(a, b, t int) int {
 // not enter dead cores; src is allowed to be dead only if src == dst is not
 // (hardware: a dead core cannot source packets anyway — engines disable its
 // neurons).
+//
+//perf:hot
 func (m Mesh) RouteAvoiding(src, dst Point, dead DeadFunc) Route {
 	if !m.Contains(dst) || !m.Contains(src) {
 		return Route{}
@@ -141,6 +145,8 @@ func (m Mesh) RouteAvoiding(src, dst Point, dead DeadFunc) Route {
 
 // greedyAvoid attempts DOR with local sidesteps. Returns ok=false when it
 // gets stuck; the caller then uses BFS.
+//
+//perf:hot
 func (m Mesh) greedyAvoid(src, dst Point, dead DeadFunc) (Route, bool) {
 	cur := src
 	r := Route{OK: true}
@@ -165,6 +171,8 @@ func (m Mesh) greedyAvoid(src, dst Point, dead DeadFunc) (Route, bool) {
 }
 
 // dorStep returns the next hop under pure dimension-order routing.
+//
+//perf:hot
 func dorStep(cur, dst Point) Point {
 	if cur.X != dst.X {
 		return Point{cur.X + sign(dst.X-cur.X), cur.Y}
@@ -174,6 +182,8 @@ func dorStep(cur, dst Point) Point {
 
 // greedyStep picks the next hop: the DOR step if alive, otherwise a
 // productive step in the other dimension, otherwise any alive sidestep.
+//
+//perf:hot
 func (m Mesh) greedyStep(cur, dst Point, dead DeadFunc) (Point, bool) {
 	alive := func(p Point) bool { return m.Contains(p) && !dead(p) }
 	// Preferred: pure DOR step.

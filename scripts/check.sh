@@ -6,31 +6,48 @@
 #   3. tnlint        — the in-repo analyzer suite (see internal/lint):
 #                      determinism invariants (detrand/maporder/floatcmp/
 #                      ticksafe) plus hot-path allocation, lock-safety,
-#                      goroutine-lifecycle, and channel-ownership checks;
-#                      run with -json so CI logs are machine-readable.
+#                      goroutine-lifecycle, and channel-ownership checks,
+#                      all call-graph aware (hazards reached through
+#                      helpers report at the kernel call site); run with
+#                      -json so CI logs are machine-readable. Set
+#                      CHECK_REPORT_DIR to also keep the JSON as a file.
 #                      (go vet's copylocks overlaps locksafe's by-value
 #                      checks; both run, vet as backstop.)
-#   4. tnverify      — whole-model static verification (see
+#   4. tnproof       — compiler-proof perf gate (see internal/perfproof):
+#                      replays `go build -m -m -d=ssa/check_bce` over the
+#                      kernel packages and diffs escape/bounds-check
+#                      diagnostics in //perf:hot functions against the
+#                      golden budgets in testdata/perfproof/
+#   5. tnverify      — whole-model static verification (see
 #                      internal/modelcheck) over a sample of the generated
 #                      characterization networks: routability,
 #                      reachability, potential intervals, NoC load bounds,
 #                      stochastic-mode consistency
-#   5. go test       — the full suite, including chip<->Compass equivalence
-#                      and the cross-engine bitwise-reproducibility assay
-#   6. go test -race — the parallel Compass engine, the cross-engine
+#   6. go test       — the full suite with -shuffle=on (test-order
+#                      coupling is a bug), including chip<->Compass
+#                      equivalence and the bitwise-reproducibility assay
+#   7. go test -race — the parallel Compass engine, the cross-engine
 #                      determinism tests, and the session-runtime/serving
 #                      layers under the race detector
-#   7. allocs gate   — per-tick heap-allocation budgets for both engines
-#                      (the dynamic complement to tnlint's hotalloc)
-#   8. serve smoke   — boot tnserved, pause/resume and checkpoint/restore
+#   8. allocs gate   — per-tick heap-allocation budgets for both engines,
+#                      ratcheted from both sides (the dynamic complement
+#                      to tnlint's hotalloc and tnproof's goldens)
+#   9. serve smoke   — boot tnserved, pause/resume and checkpoint/restore
 #                      a live session, and require its output stream to be
 #                      byte-identical to batch tnsim runs on both engines
-#   9. bench smoke   — run tnbench's small configuration end to end: every
+#  10. bench smoke   — run tnbench's small configuration end to end: every
 #                      operating point measures three arms (active-neuron
 #                      chip, forced full scan, compass) whose event counts
 #                      must agree exactly, and the JSON report must land
 set -eu
 cd "$(dirname "$0")/.."
+
+# When CHECK_REPORT_DIR is set (CI does this), machine-readable reports
+# from tnlint and tnproof are written there for artifact upload.
+report_dir=${CHECK_REPORT_DIR:-}
+if [ -n "$report_dir" ]; then
+	mkdir -p "$report_dir"
+fi
 
 echo "==> go build ./..."
 go build ./...
@@ -41,15 +58,24 @@ go vet ./...
 echo "==> tnlint -json ./..."
 if ! lint_out=$(go run ./cmd/tnlint -json ./...); then
 	echo "$lint_out"
+	[ -n "$report_dir" ] && printf '%s\n' "$lint_out" >"$report_dir/tnlint.json"
 	echo "tnlint: unsuppressed findings (full suite; see internal/lint)" >&2
 	exit 1
+fi
+[ -n "$report_dir" ] && printf '%s\n' "$lint_out" >"$report_dir/tnlint.json"
+
+echo "==> tnproof (escape/bounds-check budgets for //perf:hot functions)"
+if [ -n "$report_dir" ]; then
+	go run ./cmd/tnproof -json "$report_dir/tnproof.json"
+else
+	go run ./cmd/tnproof
 fi
 
 echo "==> tnverify (characterization sweep sample)"
 go run ./cmd/tnverify -sweep-grid 4 -sweep-every 8 -assume-inputs=false -v
 
-echo "==> go test ./..."
-go test ./...
+echo "==> go test -shuffle=on ./..."
+go test -shuffle=on ./...
 
 echo "==> go test -race ./internal/compass/... ./internal/sim/... ./internal/runtime/... ./internal/serve/..."
 go test -race ./internal/compass/... ./internal/sim/... ./internal/runtime/... ./internal/serve/...
