@@ -2,7 +2,7 @@
 # for what "green" means (build + vet + tnlint + proof + verify-models +
 # tests + race + allocs-gate + serve-smoke + bench-smoke).
 
-.PHONY: check build test lint proof proof-update verify-models race allocs-gate serve-smoke bench bench-smoke
+.PHONY: check build test lint proof proof-update verify-models race race-stress allocs-gate serve-smoke bench bench-smoke
 
 check:
 	./scripts/check.sh
@@ -13,8 +13,8 @@ build:
 test:
 	go test ./...
 
-# Full analyzer suite (all eight analyzers; see internal/lint). Narrow a
-# run with e.g. `go run ./cmd/tnlint -only hotalloc,locksafe ./...`.
+# Full analyzer suite (all twelve analyzers; see internal/lint). Narrow a
+# run with e.g. `go run ./cmd/tnlint -only lockorder,chanflow ./...`.
 lint:
 	go run ./cmd/tnlint ./...
 
@@ -37,6 +37,13 @@ verify-models:
 
 race:
 	go test -race ./internal/compass/... ./internal/sim/... ./internal/runtime/... ./internal/serve/...
+
+# The dynamic complement to the lockorder/chanflow/wgsafe analyzers: the
+# four concurrency packages under -race, -count=3, at GOMAXPROCS 1, 2, and
+# 8 — different schedules surface different interleavings. Runs as its own
+# CI job so its cost never gates the main check loop.
+race-stress:
+	./scripts/race_stress.sh
 
 # Per-tick heap-allocation budgets for both engines (the dynamic
 # complement to tnlint's hotalloc analyzer).

@@ -2,13 +2,16 @@
 // suite. It machine-checks the invariants behind the chip↔Compass
 // one-to-one equivalence claim (no unseeded randomness, no wall clock, no
 // map-iteration-order leakage, no goroutines outside the sanctioned Compass
-// worker pattern) and, since v2, the serving stack's real-time safety (no
-// per-tick heap traffic in the kernel, no locks across blocking calls, no
-// leakable goroutines, channel-ownership discipline). See internal/lint.
+// worker pattern), the serving stack's real-time safety (no per-tick heap
+// traffic in the kernel, no locks across blocking calls, no leakable
+// goroutines, channel-ownership discipline), and whole-program concurrency
+// protocol over the call graph (lock-order cycles, blocking helpers under
+// locks, channel close races, WaitGroup misuse, atomic/plain mixing). See
+// internal/lint.
 //
 // Usage:
 //
-//	tnlint [-only a,b] [-skip a,b] [-<analyzer>=false] [-json] [-list] [packages]
+//	tnlint [-only a,b] [-skip a,b] [-<analyzer>=false] [-json] [-list] [-lockorder-out file] [packages]
 //
 // Every analyzer also has its own boolean flag (-hotalloc=false disables
 // hotalloc); -only and -skip apply on top for CI one-liners. Packages are
@@ -19,10 +22,12 @@
 //	file:line: analyzer: message
 //
 // or, with -json, as a JSON array of {file, line, column, analyzer,
-// message} objects (always an array — "[]" when clean). Findings are
-// suppressed by a `//lint:ignore tnlint/<analyzer> reason` comment on the
-// same or preceding line. Exit status: 0 clean, 1 findings, 2 usage or
-// load error.
+// message} objects (always an array — "[]" when clean). With
+// -lockorder-out, the rendered lock-order hierarchy (the same report the
+// golden test pins) is additionally written to the named file — CI uploads
+// it as a reviewable artifact. Findings are suppressed by a
+// `//lint:ignore tnlint/<analyzer> reason` comment on the same or
+// preceding line. Exit status: 0 clean, 1 findings, 2 usage or load error.
 package main
 
 import (
@@ -44,6 +49,7 @@ func run() int {
 	skip := flag.String("skip", "", "comma-separated analyzer names to skip")
 	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	lockOrderOut := flag.String("lockorder-out", "", "write the rendered lock-order hierarchy to this file")
 	all := lint.Analyzers()
 	enabled := map[string]*bool{}
 	for _, a := range all {
@@ -102,6 +108,14 @@ func run() int {
 	// call-graph context makes the interprocedural analyzers whole-module
 	// even when only a subset of packages is being linted.
 	diags := lint.RunWithContext(pkgs, loader.Loaded(), analyzers)
+	if *lockOrderOut != "" {
+		prog := lint.NewProgram(loader.Loaded())
+		g := lint.NewLockGraph(prog, lint.ConcurrencyPackages)
+		if err := os.WriteFile(*lockOrderOut, []byte(g.Render()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "tnlint:", err)
+			return 2
+		}
+	}
 	rel := func(file string) string {
 		if r, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(r, "..") {
 			return r

@@ -172,6 +172,7 @@ type Report struct {
 	GOOS           string        `json:"goos"`
 	GOARCH         string        `json:"goarch"`
 	CPUs           int           `json:"cpus"`
+	GOMAXPROCS     int           `json:"gomaxprocs"`
 	Grid           string        `json:"grid"`
 	Neurons        int           `json:"neurons"`
 	DrivenFraction float64       `json:"driven_fraction"`
@@ -275,6 +276,7 @@ func Run(cfg Config, logf func(format string, args ...any)) (*Report, error) {
 		GOOS:           runtime.GOOS,
 		GOARCH:         runtime.GOARCH,
 		CPUs:           runtime.NumCPU(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
 		Grid:           fmt.Sprintf("%dx%d", cfg.Grid.W, cfg.Grid.H),
 		Neurons:        neurons,
 		DrivenFraction: cfg.DrivenFraction,

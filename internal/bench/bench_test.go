@@ -36,6 +36,14 @@ func TestRunProducesCompleteReport(t *testing.T) {
 	if len(rep.Points) != 2 {
 		t.Fatalf("%d points, want 2", len(rep.Points))
 	}
+	// Host metadata: a benchmark number without the parallelism it ran at
+	// is not comparable across machines or CI runners.
+	if rep.GoVersion == "" || rep.GOOS == "" || rep.GOARCH == "" {
+		t.Fatalf("host metadata incomplete: %q %q %q", rep.GoVersion, rep.GOOS, rep.GOARCH)
+	}
+	if rep.CPUs <= 0 || rep.GOMAXPROCS <= 0 {
+		t.Fatalf("cpu metadata not populated: cpus=%d gomaxprocs=%d", rep.CPUs, rep.GOMAXPROCS)
+	}
 	for _, pt := range rep.Points {
 		if len(pt.Engines) != len(Arms) {
 			t.Fatalf("point %.0fx%d has %d arms, want %d", pt.RateHz, pt.Syn, len(pt.Engines), len(Arms))

@@ -1,0 +1,70 @@
+// Package leakcheck is a test helper that fails a test when it leaks
+// goroutines. It is deliberately lint-independent: tnlint's goctx analyzer
+// proves every spawned goroutine has a shutdown arm, and this helper
+// checks at runtime that the arms actually fire — a goroutine parked on a
+// channel nobody will ever close passes goctx's structural check and fails
+// here.
+//
+// Usage, first line of a test:
+//
+//	leakcheck.Check(t)
+//
+// Check snapshots the goroutine count and registers a cleanup that polls
+// until the count returns to the baseline or a grace period expires; on
+// expiry it fails the test with a full goroutine dump. Polling (rather
+// than one post-test sample) absorbs the benign lag between closing a
+// session and its goroutines actually exiting — the runtime gives no
+// happens-before edge between a channel close and the blocked reader's
+// return.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// grace is how long a test's goroutines get to drain after the test body
+// finishes. It bounds only failing runs: a clean shutdown is detected at
+// the first quiet poll. A variable, not a constant, so leakcheck's own
+// failure-path test does not spend the full grace period.
+var grace = 5 * time.Second
+
+// poll is the interval between goroutine-count samples.
+const poll = 10 * time.Millisecond
+
+// Check snapshots the current goroutine count and fails t at cleanup time
+// if, after the grace period, more goroutines are running than at the
+// snapshot. Call it before the code under test starts anything.
+//
+// The comparison is a count, not an identity set, so unrelated goroutines
+// exiting during the test can in principle mask a leak; the grace-period
+// poll plus -count=3 reruns (see make race-stress) make that window
+// practically irrelevant, and the helper stays dependency-free.
+func Check(t testing.TB) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(grace)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(poll)
+		}
+		t.Errorf("goroutine leak: %d running after test, %d at start; dump:\n%s",
+			n, base, stacks())
+	})
+}
+
+// stacks renders all goroutine stacks (1 MiB cap — enough for any test
+// process; a dump that large is its own finding).
+func stacks() []byte {
+	buf := make([]byte, 1<<20)
+	return buf[:runtime.Stack(buf, true)]
+}

@@ -1,0 +1,71 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// recordTB captures Errorf calls and defers Cleanup funcs so the failure
+// path can be driven without failing the real test.
+type recordTB struct {
+	testing.TB
+	cleanups []func()
+	errors   []string
+}
+
+func (r *recordTB) Helper()          {}
+func (r *recordTB) Cleanup(f func()) { r.cleanups = append(r.cleanups, f) }
+func (r *recordTB) Errorf(format string, args ...any) {
+	r.errors = append(r.errors, format)
+}
+
+func (r *recordTB) runCleanups() {
+	for i := len(r.cleanups) - 1; i >= 0; i-- {
+		r.cleanups[i]()
+	}
+}
+
+// TestCheckPassesWhenGoroutinesDrain exercises the benign-lag path: the
+// goroutine may still be winding down when the cleanup fires, and the poll
+// loop must absorb that.
+func TestCheckPassesWhenGoroutinesDrain(t *testing.T) {
+	r := &recordTB{TB: t}
+	Check(r)
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+	r.runCleanups()
+	if len(r.errors) != 0 {
+		t.Fatalf("Check flagged a drained goroutine: %v", r.errors)
+	}
+}
+
+// TestCheckFailsOnParkedGoroutine is the reason the helper exists: a
+// goroutine parked on a channel nobody closes must fail the test with a
+// dump.
+func TestCheckFailsOnParkedGoroutine(t *testing.T) {
+	old := grace
+	grace = 50 * time.Millisecond
+	defer func() { grace = old }()
+
+	r := &recordTB{TB: t}
+	Check(r)
+	park := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-park
+	}()
+	<-started
+	r.runCleanups()
+	close(park) // release the goroutine so this test itself does not leak
+	if len(r.errors) != 1 {
+		t.Fatalf("Check reported %d errors, want 1", len(r.errors))
+	}
+	if !strings.Contains(r.errors[0], "goroutine leak") {
+		t.Fatalf("unexpected error format: %q", r.errors[0])
+	}
+}

@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// AtomicMix returns the atomics-consistency analyzer. Mixing sync/atomic
+// operations with plain loads and stores on the same memory is a data
+// race the race detector only catches when the schedule cooperates: the
+// atomic op promises the compiler and other goroutines a protocol the
+// plain access silently breaks. The rule is program-wide — a field
+// touched by atomic.AddInt64 in one package must be accessed atomically
+// in every package — so the analyzer indexes atomic call sites over the
+// whole call-graph program and flags every plain access to the same
+// variable, citing the atomic witness site. Initialization-before-publish
+// paths that are provably single-goroutine can be suppressed with that
+// argument spelled out.
+func AtomicMix() *Analyzer {
+	registries := map[*Program]map[string]token.Pos{}
+	return &Analyzer{
+		Name: "atomicmix",
+		Doc:  "a variable accessed via sync/atomic anywhere must be accessed atomically everywhere",
+		Run: func(pkg *Package, report ReportFunc) {
+			prog := pkg.Prog
+			if prog == nil {
+				return
+			}
+			atomics, ok := registries[prog]
+			if !ok {
+				atomics = indexAtomicSites(prog)
+				registries[prog] = atomics
+			}
+			if len(atomics) == 0 {
+				return
+			}
+			checkPlainAccesses(pkg, atomics, report)
+		},
+	}
+}
+
+// atomicAddr returns the address-taken operand of a sync/atomic call
+// (`&x.n` in atomic.AddInt64(&x.n, 1)), or nil. Calls are matched by the
+// selector's package ident resolving to sync/atomic — via type info when
+// present, by import name otherwise (fixture stubs).
+func atomicAddr(pkg *Package, file *ast.File, call *ast.CallExpr) ast.Expr {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if pkg.Info != nil {
+		if obj, resolved := pkg.Info.Uses[id]; resolved {
+			pn, isPkg := obj.(*types.PkgName)
+			if !isPkg || pn.Imported().Path() != "sync/atomic" {
+				return nil
+			}
+		} else if file == nil || id.Name != importedName(file, "sync/atomic") {
+			return nil
+		}
+	} else if file == nil || id.Name != importedName(file, "sync/atomic") {
+		return nil
+	}
+	u, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	return ast.Unparen(u.X)
+}
+
+// atomicIdentity canonicalizes the operand of an atomic (or plain) access
+// into a program-wide variable identity: "pkg.Type.field" for a struct
+// field, "pkg.var" for a package-level variable. Locals return "" — a
+// local mixing atomics and plain access is visible lexically and is not
+// this analyzer's cross-package concern.
+func atomicIdentity(pkg *Package, e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if named := namedTypeOf(pkg.TypeOf(x.X)); named != nil && named.Obj() != nil && named.Obj().Pkg() != nil {
+			return pkgBase(named.Obj().Pkg().Path()) + "." + named.Obj().Name() + "." + x.Sel.Name
+		}
+	case *ast.Ident:
+		if pkg.Info != nil {
+			if v, ok := pkg.Info.Uses[x].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return pkgBase(v.Pkg().Path()) + "." + v.Name()
+			}
+		}
+	}
+	return ""
+}
+
+// indexAtomicSites scans every package of the program for sync/atomic
+// calls and returns variable identity → earliest atomic site.
+func indexAtomicSites(prog *Program) map[string]token.Pos {
+	out := map[string]token.Pos{}
+	for _, pkg := range prog.Packages() {
+		for _, file := range pkg.Files {
+			f := file
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				addr := atomicAddr(pkg, f, call)
+				if addr == nil {
+					return true
+				}
+				if id := atomicIdentity(pkg, addr); id != "" {
+					if prev, have := out[id]; !have || call.Pos() < prev {
+						out[id] = call.Pos()
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// checkPlainAccesses reports every non-atomic access in pkg to a variable
+// in the atomic registry. Operands of atomic calls themselves are exempt
+// (that is the sanctioned access path); everything else — reads, writes,
+// composite-literal field values — mixes the protocols.
+func checkPlainAccesses(pkg *Package, atomics map[string]token.Pos, report ReportFunc) {
+	for _, file := range pkg.Files {
+		f := file
+		// Pre-pass: the &x operands of atomic calls in this file are the
+		// sanctioned accesses; skip them (and only them) in the main scan.
+		sanctioned := map[ast.Expr]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if addr := atomicAddr(pkg, f, call); addr != nil {
+					sanctioned[addr] = true
+				}
+			}
+			return true
+		})
+		var hits []ast.Expr
+		var scan func(n ast.Node)
+		scan = func(root ast.Node) {
+			ast.Inspect(root, func(n ast.Node) bool {
+				e, ok := n.(ast.Expr)
+				if !ok {
+					return true
+				}
+				if sanctioned[e] {
+					return false
+				}
+				switch e.(type) {
+				case *ast.SelectorExpr, *ast.Ident:
+					if id := atomicIdentity(pkg, e); id != "" {
+						if _, isAtomic := atomics[id]; isAtomic {
+							hits = append(hits, e)
+							return false // x.n matched; don't re-match the inner x
+						}
+					}
+				}
+				return true
+			})
+		}
+		scan(f)
+		sort.Slice(hits, func(i, j int) bool { return hits[i].Pos() < hits[j].Pos() })
+		for _, e := range hits {
+			id := atomicIdentity(pkg, e)
+			site := pkg.Fset.Position(atomics[id])
+			report(e.Pos(), "plain access to %s, which is accessed atomically at %s:%d; mixing sync/atomic with plain loads and stores is a data race — use the atomic API here too",
+				id, filepath.Base(site.Filename), site.Line)
+		}
+	}
+}

@@ -38,6 +38,13 @@ const (
 	HazardRand
 	// HazardGo: the body launches a goroutine.
 	HazardGo
+	// HazardBlock: the body performs a potentially blocking operation on
+	// the calling goroutine — a channel send/receive, a select with no
+	// default arm, a range over a channel, time.Sleep, or an argument-less
+	// .Wait() call. Operations inside go-spawned func literals do not
+	// count: they block the spawned goroutine, not the caller, and the
+	// edges into spawned code are tagged InGo so the taint stays put.
+	HazardBlock
 	numHazardKinds
 )
 
@@ -104,11 +111,25 @@ func hasPerfHot(doc *ast.CommentGroup) bool {
 	return false
 }
 
-// CallEdge is one resolved call site.
+// CallEdge is one resolved call site or function-value reference.
 type CallEdge struct {
-	Pos    token.Pos // position of the call expression
+	Pos    token.Pos // position of the call expression or reference
 	Callee token.Pos // the callee's declaration-name position (Program key)
 	Name   string    // callee name for messages
+	// InGo marks an edge whose callee runs on a goroutine the caller
+	// spawns: the operand of a go statement, or any call inside a
+	// go-spawned func literal. Blocking taint does not flow back across
+	// such edges — the spawned goroutine blocking does not block the
+	// caller.
+	InGo bool
+}
+
+// carries reports whether taint of the given kind flows back across the
+// edge. Only blocking is goroutine-local; every other hazard (allocation,
+// nondeterminism, goroutine launch) is a property of reaching the code at
+// all.
+func (e CallEdge) carries(kind HazardKind) bool {
+	return !e.InGo || kind != HazardBlock
 }
 
 // Program is a module-local call graph over a set of type-checked packages
@@ -117,8 +138,12 @@ type CallEdge struct {
 // nondeterministic randomness, or launches a goroutine) is reported at the
 // call site, with the witness chain in the message.
 type Program struct {
+	pkgs  []*Package
 	funcs map[token.Pos]*FuncNode
 	memo  map[taintKey]*Taint
+	// methods indexes method declarations by name for single-implementation
+	// interface devirtualization; built lazily on first interface call.
+	methods map[string][]*FuncNode
 }
 
 type taintKey struct {
@@ -132,6 +157,7 @@ type taintKey struct {
 // objects from any importing package point back at their declaration.
 func NewProgram(pkgs []*Package) *Program {
 	p := &Program{
+		pkgs:  pkgs,
 		funcs: map[token.Pos]*FuncNode{},
 		memo:  map[taintKey]*Taint{},
 	}
@@ -156,6 +182,10 @@ func NewProgram(pkgs []*Package) *Program {
 // FuncAt returns the node declared at the given name position, or nil.
 func (p *Program) FuncAt(pos token.Pos) *FuncNode { return p.funcs[pos] }
 
+// Packages returns the packages the program was built over, targets and
+// context alike, in construction order.
+func (p *Program) Packages() []*Package { return p.pkgs }
+
 // Funcs calls visit for every function declared in pkg, in no particular
 // order; callers needing determinism sort by position.
 func (p *Program) Funcs(pkg *Package, visit func(*FuncNode)) {
@@ -169,37 +199,7 @@ func (p *Program) Funcs(pkg *Package, visit func(*FuncNode)) {
 // analyze fills a node's call edges and intrinsic hazards.
 func (p *Program) analyze(n *FuncNode) {
 	pkg := n.Pkg
-	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
-		switch x := node.(type) {
-		case *ast.CallExpr:
-			if pos, name, ok := calleeDecl(pkg, x); ok {
-				if _, local := p.funcs[pos]; local {
-					n.Calls = append(n.Calls, CallEdge{Pos: x.Pos(), Callee: pos, Name: name})
-				}
-			}
-			if pkgPath, sel, ok := pkgCall(pkg, x); ok {
-				switch {
-				case pkgPath == "math/rand" || pkgPath == "math/rand/v2":
-					n.hazards[HazardRand] = append(n.hazards[HazardRand],
-						Hazard{Pos: x.Pos(), Msg: "draws from " + pkgPath + "." + sel})
-				case pkgPath == "time" && sel == "Now":
-					n.hazards[HazardRand] = append(n.hazards[HazardRand],
-						Hazard{Pos: x.Pos(), Msg: "reads the wall clock (time.Now)"})
-				}
-			}
-		case *ast.GoStmt:
-			n.hazards[HazardGo] = append(n.hazards[HazardGo],
-				Hazard{Pos: x.Pos(), Msg: "launches a goroutine"})
-		case *ast.ReturnStmt:
-			for _, res := range x.Results {
-				if _, ok := res.(*ast.FuncLit); ok {
-					n.hazards[HazardAlloc] = append(n.hazards[HazardAlloc],
-						Hazard{Pos: res.Pos(), Msg: "returns a func literal (closure allocation)"})
-				}
-			}
-		}
-		return true
-	})
+	p.scan(n, n.Decl.Body, false, map[*ast.Ident]bool{})
 	// Alloc hazards reuse hotalloc's body rules: the helper is judged by
 	// the same standard a hot body is, so taint and direct findings agree.
 	resets := collectResets(pkg)
@@ -212,6 +212,250 @@ func (p *Program) analyze(n *FuncNode) {
 	checkHotBody(pkg, file, n.Decl.Body, false, aliases, resets, record)
 }
 
+// scan walks one subtree of n's body recording call edges and intrinsic
+// hazards. inGo marks code running on a goroutine the body spawns: its
+// edges are tagged InGo and its channel operations are not blocking
+// hazards of n itself. direct collects identifiers that are the operator
+// of a resolved call, so the function-value pass does not double-count
+// them as reference edges.
+func (p *Program) scan(n *FuncNode, root ast.Node, inGo bool, direct map[*ast.Ident]bool) {
+	if root == nil {
+		return
+	}
+	pkg := n.Pkg
+	ast.Inspect(root, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.CallExpr:
+			p.callSite(n, x, inGo, direct)
+		case *ast.Ident:
+			// A module-local function referenced as a value (method value,
+			// callback argument, struct field init) is an edge too: the
+			// reference is how the callee ends up running.
+			if direct[x] || pkg.Info == nil {
+				return true
+			}
+			if fn, ok := pkg.Info.Uses[x].(*types.Func); ok {
+				if _, local := p.funcs[fn.Pos()]; local {
+					n.Calls = append(n.Calls, CallEdge{Pos: x.Pos(), Callee: fn.Pos(), Name: x.Name, InGo: inGo})
+				}
+			}
+		case *ast.GoStmt:
+			n.hazards[HazardGo] = append(n.hazards[HazardGo],
+				Hazard{Pos: x.Pos(), Msg: "launches a goroutine"})
+			// Arguments are evaluated on the calling goroutine; the callee
+			// (func literal body or named function) runs on the new one.
+			for _, a := range x.Call.Args {
+				p.scan(n, a, inGo, direct)
+			}
+			if fl, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				p.scan(n, fl.Body, true, direct)
+			} else {
+				p.callSite(n, x.Call, true, direct)
+			}
+			return false
+		case *ast.SendStmt:
+			if !inGo {
+				n.hazards[HazardBlock] = append(n.hazards[HazardBlock],
+					Hazard{Pos: x.Pos(), Msg: "a channel send"})
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && !inGo {
+				n.hazards[HazardBlock] = append(n.hazards[HazardBlock],
+					Hazard{Pos: x.Pos(), Msg: "a channel receive"})
+			}
+		case *ast.SelectStmt:
+			// A select blocks as a whole unless it has a default arm; the
+			// comm operations themselves are the select's blocking point,
+			// not separate hazards, so only their operands are scanned.
+			if !inGo && !selectHasDefault(x) {
+				n.hazards[HazardBlock] = append(n.hazards[HazardBlock],
+					Hazard{Pos: x.Pos(), Msg: "a select with no default arm"})
+			}
+			for _, c := range x.Body.List {
+				cc, ok := c.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				switch comm := cc.Comm.(type) {
+				case *ast.SendStmt:
+					p.scan(n, comm.Chan, inGo, direct)
+					p.scan(n, comm.Value, inGo, direct)
+				case *ast.ExprStmt:
+					p.scanCommExpr(n, comm.X, inGo, direct)
+				case *ast.AssignStmt:
+					for _, e := range comm.Lhs {
+						p.scan(n, e, inGo, direct)
+					}
+					for _, e := range comm.Rhs {
+						p.scanCommExpr(n, e, inGo, direct)
+					}
+				case nil:
+				default:
+					p.scan(n, comm, inGo, direct)
+				}
+				for _, bs := range cc.Body {
+					p.scan(n, bs, inGo, direct)
+				}
+			}
+			return false
+		case *ast.RangeStmt:
+			if !inGo && pkg.Info != nil {
+				if t := pkg.TypeOf(x.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						n.hazards[HazardBlock] = append(n.hazards[HazardBlock],
+							Hazard{Pos: x.Pos(), Msg: "a range over a channel"})
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if _, ok := res.(*ast.FuncLit); ok {
+					n.hazards[HazardAlloc] = append(n.hazards[HazardAlloc],
+						Hazard{Pos: res.Pos(), Msg: "returns a func literal (closure allocation)"})
+				}
+			}
+		}
+		return true
+	})
+}
+
+// scanCommExpr scans a select comm-clause expression: a top-level channel
+// receive is the select's blocking point, so only its operand is scanned.
+func (p *Program) scanCommExpr(n *FuncNode, e ast.Expr, inGo bool, direct map[*ast.Ident]bool) {
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+		p.scan(n, u.X, inGo, direct)
+		return
+	}
+	p.scan(n, e, inGo, direct)
+}
+
+// callSite records the edge and hazards of one call expression.
+func (p *Program) callSite(n *FuncNode, call *ast.CallExpr, inGo bool, direct map[*ast.Ident]bool) {
+	pkg := n.Pkg
+	if fn, id, ok := calleeFunc(pkg, call); ok {
+		direct[id] = true
+		if _, local := p.funcs[fn.Pos()]; local {
+			n.Calls = append(n.Calls, CallEdge{Pos: call.Pos(), Callee: fn.Pos(), Name: fn.Name(), InGo: inGo})
+		} else if impl := p.devirtualize(fn); impl != nil {
+			n.Calls = append(n.Calls, CallEdge{Pos: call.Pos(), Callee: impl.Decl.Name.Pos(), Name: fn.Name(), InGo: inGo})
+		}
+	}
+	if pkgPath, sel, ok := pkgCall(pkg, call); ok {
+		switch {
+		case pkgPath == "math/rand" || pkgPath == "math/rand/v2":
+			n.hazards[HazardRand] = append(n.hazards[HazardRand],
+				Hazard{Pos: call.Pos(), Msg: "draws from " + pkgPath + "." + sel})
+		case pkgPath == "time" && sel == "Now":
+			n.hazards[HazardRand] = append(n.hazards[HazardRand],
+				Hazard{Pos: call.Pos(), Msg: "reads the wall clock (time.Now)"})
+		case pkgPath == "time" && sel == "Sleep":
+			if !inGo {
+				n.hazards[HazardBlock] = append(n.hazards[HazardBlock],
+					Hazard{Pos: call.Pos(), Msg: "time.Sleep"})
+			}
+		}
+		return
+	}
+	if !inGo && len(call.Args) == 0 {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+			n.hazards[HazardBlock] = append(n.hazards[HazardBlock],
+				Hazard{Pos: call.Pos(), Msg: "a Wait call"})
+		}
+	}
+}
+
+// devirtualize resolves a module-declared interface method to its concrete
+// implementation when exactly one named type in the program implements the
+// interface — the common registry/strategy shape where the indirection is
+// structural, not behavioral. Two or more implementations stay unresolved:
+// guessing an edge would attribute one implementation's hazards to all
+// callers.
+func (p *Program) devirtualize(fn *types.Func) *FuncNode {
+	if fn.Pkg() == nil || !strings.HasPrefix(fn.Pkg().Path(), Module) {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	iface, ok := sig.Recv().Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	if p.methods == nil {
+		p.methods = map[string][]*FuncNode{}
+		for _, cand := range p.funcs {
+			if cand.Decl.Recv != nil && len(cand.Decl.Recv.List) > 0 {
+				name := cand.Decl.Name.Name
+				p.methods[name] = append(p.methods[name], cand)
+			}
+		}
+	}
+	var match *FuncNode
+	for _, cand := range p.methods[fn.Name()] {
+		recv := receiverType(cand)
+		if recv == nil || !implements(recv, iface) {
+			continue
+		}
+		if match != nil && receiverNamed(recv) != receiverNamed(match) {
+			return nil // ambiguous: more than one implementing type
+		}
+		if match == nil {
+			match = cand
+		}
+	}
+	return match
+}
+
+// receiverType returns the type of a method declaration's receiver via the
+// declaring package's type info, or nil.
+func receiverType(n *FuncNode) types.Type {
+	if n.Pkg.Info == nil {
+		return nil
+	}
+	tf, ok := n.Pkg.Info.Defs[n.Decl.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, ok := tf.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return sig.Recv().Type()
+}
+
+// receiverNamed strips a pointer and returns the receiver's *types.Named,
+// so value and pointer methods of one type count as one implementation.
+func receiverNamed(v any) *types.Named {
+	var t types.Type
+	switch x := v.(type) {
+	case types.Type:
+		t = x
+	case *FuncNode:
+		t = receiverType(x)
+	}
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// implements reports whether the receiver type (or its pointer form)
+// satisfies the interface.
+func implements(recv types.Type, iface *types.Interface) bool {
+	if types.Implements(recv, iface) {
+		return true
+	}
+	if _, isPtr := recv.(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(recv), iface)
+	}
+	return false
+}
+
 // fileOf finds the *ast.File of pkg containing pos.
 func fileOf(pkg *Package, pos token.Pos) *ast.File {
 	for _, f := range pkg.Files {
@@ -222,12 +466,12 @@ func fileOf(pkg *Package, pos token.Pos) *ast.File {
 	return nil
 }
 
-// calleeDecl resolves a call expression to a declared function's name
-// position via type information. Calls through function values, stubbed
-// imports, and builtins report ok=false.
-func calleeDecl(pkg *Package, call *ast.CallExpr) (token.Pos, string, bool) {
+// calleeFunc resolves a call expression to the *types.Func it names (and
+// the identifier naming it) via type information. Calls through function
+// values, stubbed imports, and builtins report ok=false.
+func calleeFunc(pkg *Package, call *ast.CallExpr) (*types.Func, *ast.Ident, bool) {
 	if pkg.Info == nil {
-		return token.NoPos, "", false
+		return nil, nil, false
 	}
 	var id *ast.Ident
 	switch fun := ast.Unparen(call.Fun).(type) {
@@ -236,13 +480,13 @@ func calleeDecl(pkg *Package, call *ast.CallExpr) (token.Pos, string, bool) {
 	case *ast.SelectorExpr:
 		id = fun.Sel
 	default:
-		return token.NoPos, "", false
+		return nil, nil, false
 	}
 	fn, ok := pkg.Info.Uses[id].(*types.Func)
 	if !ok || !fn.Pos().IsValid() {
-		return token.NoPos, "", false
+		return nil, nil, false
 	}
-	return fn.Pos(), fn.Name(), true
+	return fn, id, true
 }
 
 // pkgCall resolves a call of the form pkgname.Sel(...) to the imported
@@ -312,7 +556,7 @@ func (p *Program) taint(pos token.Pos, kind HazardKind, visiting map[token.Pos]b
 	} else {
 		for _, e := range n.Calls {
 			callee := p.funcs[e.Callee]
-			if callee == nil || callee.barrier() {
+			if callee == nil || callee.barrier() || !e.carries(kind) {
 				continue
 			}
 			if t := p.taint(e.Callee, kind, visiting); t != nil {
@@ -337,12 +581,26 @@ func (p *Program) CallTaints(fn *FuncNode, kind HazardKind, skip func(*FuncNode)
 	var out []*Taint
 	for _, e := range fn.Calls {
 		callee := p.funcs[e.Callee]
-		if callee == nil || callee.barrier() || (skip != nil && skip(callee)) {
+		if callee == nil || (skip != nil && skip(callee)) {
 			continue
 		}
-		if t := p.taint(e.Callee, kind, map[token.Pos]bool{}); t != nil {
-			out = append(out, &Taint{Hazard: t.Hazard, Chain: append([]CallEdge{e}, t.Chain...)})
+		if t := p.EdgeTaint(e, kind); t != nil {
+			out = append(out, t)
 		}
 	}
 	return out
+}
+
+// EdgeTaint reports the first transitive hazard of the given kind reachable
+// through one call edge, with the edge prepended to the witness chain, or
+// nil when the callee (and everything it reaches) is clean.
+func (p *Program) EdgeTaint(e CallEdge, kind HazardKind) *Taint {
+	callee := p.funcs[e.Callee]
+	if callee == nil || callee.barrier() || !e.carries(kind) {
+		return nil
+	}
+	if t := p.taint(e.Callee, kind, map[token.Pos]bool{}); t != nil {
+		return &Taint{Hazard: t.Hazard, Chain: append([]CallEdge{e}, t.Chain...)}
+	}
+	return nil
 }

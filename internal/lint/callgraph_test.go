@@ -241,3 +241,120 @@ func Free() {}
 	}
 	_ = token.NoPos
 }
+
+// TestMethodValueEdge: referencing a method as a value (without calling
+// it) records an edge — the reference is how the callee ends up running —
+// and hazards flow across it like any direct call.
+func TestMethodValueEdge(t *testing.T) {
+	pkgs, prog := buildProgram(t, map[string]map[string]string{
+		Module + "/internal/a": {"a.go": `
+package a
+
+type Core struct{ ch chan int }
+
+func (c *Core) Step() { c.ch <- 1 }
+
+func Hand(c *Core) func() { return c.Step }
+`},
+	})
+	hand := findFunc(t, prog, pkgs[0], "Hand")
+	if len(hand.Calls) != 1 || hand.Calls[0].Name != "Step" || hand.Calls[0].InGo {
+		t.Fatalf("Hand edges = %+v, want one non-InGo edge to Step", hand.Calls)
+	}
+	taints := prog.CallTaints(hand, HazardBlock, nil)
+	if len(taints) != 1 {
+		t.Fatalf("method-value taint = %d, want 1 (Step's channel send)", len(taints))
+	}
+	if d := taints[0].Describe(pkgs[0].Fset); !strings.Contains(d, "a channel send") {
+		t.Errorf("taint %q missing the send hazard", d)
+	}
+}
+
+// TestDeferredCallEdge: a deferred call is an ordinary edge — it runs on
+// the caller's goroutine at return, so blocking hazards are the caller's.
+func TestDeferredCallEdge(t *testing.T) {
+	pkgs, prog := buildProgram(t, map[string]map[string]string{
+		Module + "/internal/a": {"a.go": `
+package a
+
+func Top(ch chan int) { defer flush(ch) }
+func flush(ch chan int) { ch <- 1 }
+`},
+	})
+	top := findFunc(t, prog, pkgs[0], "Top")
+	if len(top.Calls) != 1 || top.Calls[0].Name != "flush" || top.Calls[0].InGo {
+		t.Fatalf("Top edges = %+v, want one non-InGo edge to flush", top.Calls)
+	}
+	if got := prog.CallTaints(top, HazardBlock, nil); len(got) != 1 {
+		t.Fatalf("deferred-call block taint = %d, want 1", len(got))
+	}
+}
+
+// TestSingleImplDevirtualization: a call through a module-declared
+// interface with exactly one implementing type resolves to that
+// implementation; a second implementation makes the edge ambiguous and it
+// stays unresolved rather than attributing one type's hazards to all.
+func TestSingleImplDevirtualization(t *testing.T) {
+	const single = `
+package a
+
+type Sink interface{ Emit() }
+
+type chanSink struct{ ch chan int }
+
+func (s *chanSink) Emit() { s.ch <- 1 }
+
+func Drive(s Sink) { s.Emit() }
+`
+	pkgs, prog := buildProgram(t, map[string]map[string]string{
+		Module + "/internal/a": {"a.go": single},
+	})
+	drive := findFunc(t, prog, pkgs[0], "Drive")
+	if len(drive.Calls) != 1 || drive.Calls[0].Name != "Emit" {
+		t.Fatalf("Drive edges = %+v, want one devirtualized edge to Emit", drive.Calls)
+	}
+	if got := prog.CallTaints(drive, HazardBlock, nil); len(got) != 1 {
+		t.Fatalf("devirtualized taint = %d, want 1 (chanSink.Emit sends)", len(got))
+	}
+
+	pkgs2, prog2 := buildProgram(t, map[string]map[string]string{
+		Module + "/internal/a": {"a.go": single + `
+type nopSink struct{}
+
+func (nopSink) Emit() {}
+`},
+	})
+	drive2 := findFunc(t, prog2, pkgs2[0], "Drive")
+	if len(drive2.Calls) != 0 {
+		t.Fatalf("two-impl interface still produced edges: %+v", drive2.Calls)
+	}
+	if got := prog2.CallTaints(drive2, HazardBlock, nil); len(got) != 0 {
+		t.Errorf("ambiguous call leaked taint: %+v", got)
+	}
+}
+
+// TestInGoEdgeBlocksOnlyBlockTaint: a call spawned with go gets an InGo
+// edge; the spawned callee's blocking is not the caller's blocking, but
+// every other hazard kind still flows.
+func TestInGoEdgeBlocksOnlyBlockTaint(t *testing.T) {
+	pkgs, prog := buildProgram(t, map[string]map[string]string{
+		Module + "/internal/a": {"a.go": `
+package a
+
+import "time"
+
+func Spawn() { go worker() }
+func worker() int64 { time.Sleep(time.Millisecond); return time.Now().UnixNano() }
+`},
+	})
+	spawn := findFunc(t, prog, pkgs[0], "Spawn")
+	if len(spawn.Calls) != 1 || !spawn.Calls[0].InGo {
+		t.Fatalf("Spawn edges = %+v, want one InGo edge to worker", spawn.Calls)
+	}
+	if got := prog.CallTaints(spawn, HazardBlock, nil); len(got) != 0 {
+		t.Errorf("InGo edge leaked block taint: %+v", got)
+	}
+	if got := prog.CallTaints(spawn, HazardRand, nil); len(got) != 1 {
+		t.Errorf("InGo edge lost rand taint: got %d, want 1", len(got))
+	}
+}

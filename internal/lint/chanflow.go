@@ -1,0 +1,292 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ChanFlow returns the interprocedural channel-protocol analyzer for the
+// concurrency packages. chanown checks what one function does to a
+// channel; chanflow follows channel facts through the call graph and
+// across the functions of a package. Three rules:
+//
+//  1. No blocking helper under a lock: a call made while a mutex is held,
+//     whose callee — any number of calls away — performs a blocking
+//     operation (channel send/receive, select with no default arm, range
+//     over a channel, time.Sleep, a Wait call), stalls every goroutine
+//     that wants the lock. locksafe catches the direct operations; this
+//     rule closes the helper loophole, with the witness chain in the
+//     message. Go-spawned callees are exempt: they block their own
+//     goroutine, not the lock holder.
+//  2. No send on a channel some reachable code may close: a send on a
+//     struct-field channel that another function of the package closes
+//     (directly, or by passing the field to a helper that closes its
+//     parameter) panics if the close wins the race. Sends lexically
+//     ordered before a close in the closing function itself are the
+//     owner's prerogative and stay chanown's business.
+//  3. One close per channel: a field channel closed from two different
+//     sites panics on the second close unless the sites are provably
+//     exclusive — both sites are reported (the later cites the earlier)
+//     so the owner structure has to be made explicit or suppressed with
+//     the serialization argument spelled out.
+//
+// Rules 2 and 3 correlate channels by field terminal name, the same unit
+// chanown and hotalloc use; local channels stay chanown's lexical domain.
+func ChanFlow() *Analyzer {
+	return &Analyzer{
+		Name:     "chanflow",
+		Doc:      "follow channel facts through the call graph: no blocking helpers under locks, no sends on maybe-closed channels, no double-close",
+		Packages: ConcurrencyPackages,
+		Run:      runChanFlow,
+	}
+}
+
+func runChanFlow(pkg *Package, report ReportFunc) {
+	prog := pkg.Prog
+	if prog == nil {
+		return
+	}
+	var nodes []*FuncNode
+	prog.Funcs(pkg, func(n *FuncNode) { nodes = append(nodes, n) })
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Decl.Pos() < nodes[j].Decl.Pos() })
+
+	for _, n := range nodes {
+		checkBlockingUnderLock(pkg, prog, n, report)
+	}
+	checkFieldCloses(pkg, prog, nodes, report)
+}
+
+// checkBlockingUnderLock applies rule 1 to one function via the held-lock
+// walker: every module-local call made with a lock held is taint-queried
+// for blocking hazards.
+func checkBlockingUnderLock(pkg *Package, prog *Program, n *FuncNode, report ReportFunc) {
+	reported := map[token.Pos]bool{}
+	walkHeld(pkg, n, nil, func(e CallEdge, held map[string]token.Pos) {
+		if reported[e.Pos] {
+			return
+		}
+		t := prog.EdgeTaint(e, HazardBlock)
+		if t == nil {
+			return
+		}
+		reported[e.Pos] = true
+		locks := make([]string, 0, len(held))
+		for h := range held {
+			locks = append(locks, lockDisplay(h))
+		}
+		sort.Strings(locks)
+		report(e.Pos, "mutex %s is held across the call to %s, which may block: %s",
+			strings.Join(locks, ", "), e.Name, t.Describe(pkg.Fset))
+	})
+}
+
+// closeSite is one place a field channel is closed: a direct close, or a
+// call passing the field to a helper that closes its parameter.
+type closeSite struct {
+	fn  *FuncNode
+	pos token.Pos
+	via string // helper chain for indirect closes, "" for direct
+}
+
+// fieldChanOps gathers rule 2/3 facts for one package: close sites and
+// send sites of field channels, keyed by terminal field name.
+type fieldChanOps struct {
+	closes map[string][]closeSite
+	sends  map[string][]closeSite // reuses the site shape; via unused
+}
+
+// checkFieldCloses applies rules 2 and 3 over all functions of a package.
+func checkFieldCloses(pkg *Package, prog *Program, nodes []*FuncNode, report ReportFunc) {
+	ops := &fieldChanOps{closes: map[string][]closeSite{}, sends: map[string][]closeSite{}}
+	closer := newParamCloseIndex(prog)
+	for _, n := range nodes {
+		collectFieldChanOps(pkg, prog, n, closer, ops)
+	}
+
+	// Rule 3: double-close. Sort sites; every site after the first cites
+	// the first.
+	for name, sites := range ops.closes {
+		if len(sites) < 2 {
+			continue
+		}
+		sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
+		first := pkg.Fset.Position(sites[0].pos)
+		for _, s := range sites[1:] {
+			report(s.pos, "channel field %q is closed here and in %s (%s:%d); a channel may be closed at most once — give it one owner or suppress with the serialization argument",
+				name, sites[0].fn.Name(), filepath.Base(first.Filename), first.Line)
+		}
+	}
+
+	// Rule 2: send on a maybe-closed field. The closing function's own
+	// sends are chanown's lexical send-after-close domain.
+	for name, sends := range ops.sends {
+		sites := ops.closes[name]
+		if len(sites) == 0 {
+			continue
+		}
+		for _, snd := range sends {
+			ownClose := false
+			for _, c := range sites {
+				if c.fn == snd.fn {
+					ownClose = true
+					break
+				}
+			}
+			if ownClose {
+				continue
+			}
+			c := sites[0]
+			cpos := pkg.Fset.Position(c.pos)
+			how := ""
+			if c.via != "" {
+				how = " via " + c.via
+			}
+			report(snd.pos, "send on channel field %q, which %s closes%s (%s:%d); send-on-closed panics — prove the send happens-before the close or suppress with that argument",
+				name, c.fn.Name(), how, filepath.Base(cpos.Filename), cpos.Line)
+		}
+	}
+}
+
+// collectFieldChanOps records n's close and send sites on field channels,
+// including closes delegated to helpers that close their chan parameter.
+func collectFieldChanOps(pkg *Package, prog *Program, n *FuncNode, closer *paramCloseIndex, ops *fieldChanOps) {
+	edges := map[token.Pos]CallEdge{}
+	for _, e := range n.Calls {
+		edges[e.Pos] = e
+	}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "close" && len(x.Args) == 1 {
+				if name, isField := fieldTerminal(x.Args[0]); isField {
+					ops.closes[name] = append(ops.closes[name], closeSite{fn: n, pos: x.Pos()})
+				}
+				return true
+			}
+			if e, ok := edges[x.Pos()]; ok {
+				callee := prog.FuncAt(e.Callee)
+				if callee != nil {
+					for i, chain := range closer.closedParams(callee, map[*FuncNode]bool{}) {
+						if i >= len(x.Args) {
+							continue
+						}
+						if name, isField := fieldTerminal(x.Args[i]); isField {
+							via := e.Name
+							if chain != "" {
+								via += " → " + chain
+							}
+							ops.closes[name] = append(ops.closes[name], closeSite{fn: n, pos: x.Pos(), via: via})
+						}
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if name, isField := fieldTerminal(x.Chan); isField {
+				ops.sends[name] = append(ops.sends[name], closeSite{fn: n, pos: x.Pos()})
+			}
+		}
+		return true
+	})
+}
+
+// fieldTerminal reports the terminal name of e when e is a selector chain
+// (a struct-field access), the channel unit rules 2 and 3 correlate on.
+func fieldTerminal(e ast.Expr) (string, bool) {
+	if _, isSel := ast.Unparen(e).(*ast.SelectorExpr); !isSel {
+		return "", false
+	}
+	name := terminalName(e)
+	return name, name != ""
+}
+
+// paramCloseIndex memoizes, per function, which parameter indices the
+// function (or any synchronous callee it forwards the parameter to)
+// closes.
+type paramCloseIndex struct {
+	prog *Program
+	memo map[*FuncNode]map[int]string
+}
+
+func newParamCloseIndex(prog *Program) *paramCloseIndex {
+	return &paramCloseIndex{prog: prog, memo: map[*FuncNode]map[int]string{}}
+}
+
+// closedParams maps parameter index → helper chain ("" when the close is
+// in the function itself, "g → h" when forwarded).
+func (c *paramCloseIndex) closedParams(n *FuncNode, visiting map[*FuncNode]bool) map[int]string {
+	if got, ok := c.memo[n]; ok {
+		return got
+	}
+	if visiting[n] {
+		return nil
+	}
+	visiting[n] = true
+	defer delete(visiting, n)
+
+	params := map[string]int{}
+	i := 0
+	for _, field := range n.Decl.Type.Params.List {
+		for _, name := range field.Names {
+			params[name.Name] = i
+			i++
+		}
+		if len(field.Names) == 0 {
+			i++
+		}
+	}
+	out := map[int]string{}
+	edges := map[token.Pos]CallEdge{}
+	for _, e := range n.Calls {
+		if !e.InGo {
+			edges[e.Pos] = e
+		}
+	}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, isIdent := call.Fun.(*ast.Ident); isIdent && id.Name == "close" && len(call.Args) == 1 {
+			if arg, isIdent := ast.Unparen(call.Args[0]).(*ast.Ident); isIdent {
+				if idx, isParam := params[arg.Name]; isParam {
+					if _, have := out[idx]; !have {
+						out[idx] = ""
+					}
+				}
+			}
+			return true
+		}
+		if e, isEdge := edges[call.Pos()]; isEdge {
+			callee := c.prog.FuncAt(e.Callee)
+			if callee == nil {
+				return true
+			}
+			for calleeIdx, chain := range c.closedParams(callee, visiting) {
+				if calleeIdx >= len(call.Args) {
+					continue
+				}
+				arg, isIdent := ast.Unparen(call.Args[calleeIdx]).(*ast.Ident)
+				if !isIdent {
+					continue
+				}
+				if idx, isParam := params[arg.Name]; isParam {
+					if _, have := out[idx]; !have {
+						via := e.Name
+						if chain != "" {
+							via += " → " + chain
+						}
+						out[idx] = via
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(visiting) == 1 {
+		c.memo[n] = out
+	}
+	return out
+}

@@ -1,0 +1,312 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ConcurrencyPackages are the goroutine-heavy packages the whole-program
+// concurrency analyzers (lockorder, chanflow, wgsafe) gate: the session
+// driver, the HTTP serving layer, the parallel Compass engine, and the
+// engine registry. The scale-out roadmap items (sharded engines, batched
+// session scheduling) all land inside this set.
+var ConcurrencyPackages = []string{
+	Module + "/internal/runtime",
+	Module + "/internal/serve",
+	Module + "/internal/compass",
+	Module + "/internal/sim",
+}
+
+// pathMatches reports whether path is in patterns, honoring the same
+// trailing-/... wildcard Analyzer.Packages uses.
+func pathMatches(patterns []string, path string) bool {
+	return (&Analyzer{Packages: patterns}).applies(path)
+}
+
+// pkgBase returns the last element of an import path — the unit lock and
+// field identities are rendered in ("serve.Server.mu", "sim.registryMu").
+func pkgBase(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// namedTypeOf strips a pointer and returns t's *types.Named, or nil.
+func namedTypeOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// localLockPrefix marks held-set keys for locks without a canonical name
+// (locals, unresolved receivers). They count as "a lock is held" for the
+// blocking checks but never become lock-order graph nodes.
+const localLockPrefix = "#"
+
+// lockKey canonicalizes the mutex expression of a .Lock()/.RLock() call
+// into a program-wide identity: "pkg.Type.field" for a struct-field mutex,
+// "pkg.var" for a package-level one. Locks that resolve to neither (locals,
+// type info missing) return "".
+func lockKey(pkg *Package, mutex ast.Expr) string {
+	switch e := ast.Unparen(mutex).(type) {
+	case *ast.SelectorExpr:
+		if named := namedTypeOf(pkg.TypeOf(e.X)); named != nil && named.Obj() != nil && named.Obj().Pkg() != nil {
+			return pkgBase(named.Obj().Pkg().Path()) + "." + named.Obj().Name() + "." + e.Sel.Name
+		}
+	case *ast.Ident:
+		if pkg.Info != nil {
+			if v, ok := pkg.Info.Uses[e].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return pkgBase(v.Pkg().Path()) + "." + v.Name()
+			}
+		}
+	}
+	return ""
+}
+
+// heldKey returns the held-set key for a mutex expression: the canonical
+// identity when one resolves, otherwise a local pseudo-key from the
+// expression path.
+func heldKey(pkg *Package, mutex ast.Expr, path string) string {
+	if k := lockKey(pkg, mutex); k != "" {
+		return k
+	}
+	return localLockPrefix + path
+}
+
+// lockDisplay renders a held-set key for messages, stripping the local
+// marker.
+func lockDisplay(key string) string {
+	return strings.TrimPrefix(key, localLockPrefix)
+}
+
+// heldWalker drives a lexical walk of one function body tracking the set
+// of held locks, branching into if/for/select arms with a copy of the set
+// like locksafe does. Two event callbacks feed the interprocedural
+// analyzers:
+//
+//   - onAcquire fires at each Lock/RLock with the set held *before* the
+//     acquisition — the direct lock-order edges.
+//   - onCall fires at each resolved module-local call edge made while at
+//     least one lock is held (go-spawned edges excluded: the callee runs
+//     on its own goroutine with its own relation to the locks).
+//
+// Deferred unlocks keep the lock in the held set: for ordering and
+// blocking purposes a deferred release happens too late to matter. Func
+// literals — stored, deferred, or go-spawned — walk as fresh scopes with
+// an empty held set; they run with whatever is held at their eventual call
+// site, which this lexical walk cannot know.
+type heldWalker struct {
+	pkg   *Package
+	node  *FuncNode
+	edges map[token.Pos]CallEdge
+	held  map[string]token.Pos
+
+	onAcquire func(key string, pos token.Pos, held map[string]token.Pos)
+	onCall    func(e CallEdge, held map[string]token.Pos)
+}
+
+// walkHeld runs the held-lock walk over one function node.
+func walkHeld(
+	pkg *Package, node *FuncNode,
+	onAcquire func(key string, pos token.Pos, held map[string]token.Pos),
+	onCall func(e CallEdge, held map[string]token.Pos),
+) {
+	w := &heldWalker{
+		pkg: pkg, node: node,
+		edges:     map[token.Pos]CallEdge{},
+		held:      map[string]token.Pos{},
+		onAcquire: onAcquire, onCall: onCall,
+	}
+	for _, e := range node.Calls {
+		if !e.InGo {
+			w.edges[e.Pos] = e
+		}
+	}
+	w.walkBlock(node.Decl.Body)
+}
+
+func (w *heldWalker) fresh() *heldWalker {
+	c := *w
+	c.held = map[string]token.Pos{}
+	return &c
+}
+
+func (w *heldWalker) clone() *heldWalker {
+	c := *w
+	c.held = make(map[string]token.Pos, len(w.held))
+	for k, v := range w.held {
+		c.held[k] = v
+	}
+	return &c
+}
+
+func (w *heldWalker) walkBlock(b *ast.BlockStmt) {
+	for _, s := range b.List {
+		w.walkStmt(s)
+	}
+}
+
+func (w *heldWalker) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		w.walkBlock(s)
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt)
+	case *ast.ExprStmt:
+		if path, op, ok := mutexOp(s.X); ok {
+			w.applyMutexOp(s.X.(*ast.CallExpr), path, op, s.Pos())
+			return
+		}
+		w.scanExpr(s.X)
+	case *ast.DeferStmt:
+		if _, op, ok := mutexOp(s.Call); ok && strings.HasSuffix(op, "Unlock") {
+			return // deferred release: the lock stays held for this walk
+		}
+		for _, a := range s.Call.Args {
+			w.scanExpr(a)
+		}
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.fresh().walkBlock(fl.Body)
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scanExpr(e)
+		}
+		for _, e := range s.Lhs {
+			w.scanExpr(e)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scanExpr(e)
+		}
+	case *ast.SendStmt:
+		w.scanExpr(s.Chan)
+		w.scanExpr(s.Value)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.scanExpr(s.Cond)
+		w.clone().walkBlock(s.Body)
+		if s.Else != nil {
+			w.clone().walkStmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.scanExpr(s.Cond)
+		}
+		body := w.clone()
+		body.walkBlock(s.Body)
+		if s.Post != nil {
+			body.walkStmt(s.Post)
+		}
+	case *ast.RangeStmt:
+		w.scanExpr(s.X)
+		w.clone().walkBlock(s.Body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.scanExpr(s.Tag)
+		}
+		w.walkCases(s.Body)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.walkCases(s.Body)
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			arm := w.clone()
+			if cc.Comm != nil {
+				arm.walkStmt(cc.Comm)
+			}
+			for _, bs := range cc.Body {
+				arm.walkStmt(bs)
+			}
+		}
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			w.scanExpr(a)
+		}
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.fresh().walkBlock(fl.Body)
+		}
+	default:
+		if s != nil {
+			ast.Inspect(s, func(n ast.Node) bool {
+				if e, ok := n.(ast.Expr); ok {
+					w.scanExpr(e)
+					return false
+				}
+				return true
+			})
+		}
+	}
+}
+
+func (w *heldWalker) walkCases(body *ast.BlockStmt) {
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		arm := w.clone()
+		for _, e := range cc.List {
+			arm.scanExpr(e)
+		}
+		for _, bs := range cc.Body {
+			arm.walkStmt(bs)
+		}
+	}
+}
+
+func (w *heldWalker) applyMutexOp(call *ast.CallExpr, path, op string, pos token.Pos) {
+	sel := call.Fun.(*ast.SelectorExpr) // mutexOp guarantees the shape
+	key := heldKey(w.pkg, sel.X, path)
+	switch op {
+	case "Lock", "RLock":
+		if w.onAcquire != nil {
+			w.onAcquire(key, pos, w.held)
+		}
+		w.held[key] = pos
+	case "Unlock", "RUnlock":
+		delete(w.held, key)
+	}
+}
+
+// scanExpr scans one expression for call edges made while locks are held.
+// Func literals are fresh scopes.
+func (w *heldWalker) scanExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.fresh().walkBlock(n.Body)
+			return false
+		case *ast.CallExpr:
+			if edge, ok := w.edges[n.Pos()]; ok && len(w.held) > 0 && w.onCall != nil {
+				w.onCall(edge, w.held)
+			}
+		}
+		return true
+	})
+}

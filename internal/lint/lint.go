@@ -35,6 +35,25 @@
 //     after close, and paced-loop code never does a bare blocking send on
 //     an unbuffered channel.
 //
+// Whole-program concurrency (behind the same serving claims, but checked
+// over the module-wide call graph rather than one function at a time):
+//
+//   - lockorder: per-function lock-acquisition summaries propagate through
+//     the call graph into a global lock-order graph over the named mutexes
+//     of the concurrency packages; a cycle is a potential deadlock and is
+//     reported with its witness chain. The acyclic hierarchy is checked in
+//     as testdata/lockorder/hierarchy.golden and reviewed like a perfproof
+//     budget.
+//   - chanflow:  channel facts follow the call graph — no call chain that
+//     blocks (send, receive, select without default, time.Sleep, Wait)
+//     while a mutex is held, no send on a field channel some reachable
+//     function may close, no field channel closed from two sites.
+//   - wgsafe:    the WaitGroup protocol — Add happens-before the spawning
+//     go statement, no Add from inside a waited goroutine, no Wait-reuse
+//     overlap between a waiting goroutine and later Adds.
+//   - atomicmix: a variable accessed via sync/atomic anywhere must be
+//     accessed atomically everywhere; both witness sites are cited.
+//
 // A finding is suppressed by a directive on the same line or the line
 // before:
 //
@@ -145,6 +164,7 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		Detrand(), MapOrder(), FloatCmp(), TickSafe(),
 		HotAlloc(), LockSafe(), GoCtx(), ChanOwn(),
+		LockOrder(), ChanFlow(), WgSafe(), AtomicMix(),
 	}
 }
 

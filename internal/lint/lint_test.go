@@ -41,7 +41,11 @@ func expect(t *testing.T, diags []Diagnostic, n int, name, substr string) {
 const kernelPath = Module + "/internal/chip"
 
 func TestAnalyzersSuite(t *testing.T) {
-	want := []string{"detrand", "maporder", "floatcmp", "ticksafe", "hotalloc", "locksafe", "goctx", "chanown"}
+	want := []string{
+		"detrand", "maporder", "floatcmp", "ticksafe",
+		"hotalloc", "locksafe", "goctx", "chanown",
+		"lockorder", "chanflow", "wgsafe", "atomicmix",
+	}
 	all := Analyzers()
 	if len(all) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(all), len(want))

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateLockOrder = flag.Bool("update-lockorder", false, "rewrite testdata/lockorder/hierarchy.golden from the current repo")
+
+// TestLockOrderGolden pins the repo's lock hierarchy the way perfproof pins
+// allocation budgets: the checked-in golden is the reviewable artifact, a
+// diff means the lock structure changed and must be reviewed, and a cycle
+// fails outright regardless of the golden. Regenerate deliberately with
+//
+//	go test ./internal/lint -run TestLockOrderGolden -update-lockorder
+func TestLockOrderGolden(t *testing.T) {
+	l := newRepoLoader(t)
+	paths, err := l.AllImportPaths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*Package
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	prog := NewProgram(pkgs)
+	g := NewLockGraph(prog, ConcurrencyPackages)
+
+	for _, e := range g.CycleEdges() {
+		t.Errorf("lock-order cycle edge %s -> %s via %s", e.From, e.To, e.via())
+	}
+
+	got := g.Render()
+	goldenPath := filepath.Join("testdata", "lockorder", "hierarchy.golden")
+	if *updateLockOrder {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update-lockorder to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("lock hierarchy changed — review the diff, then regenerate with -update-lockorder\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -1,0 +1,10 @@
+//lintfixture:package truenorth/internal/serve
+package serve
+
+import "truenorth/internal/sim"
+
+// snapshot reads the counter plainly from another package — the registry
+// of atomic sites is program-wide, so the mix is still visible.
+func snapshot(s *sim.Stat) int64 {
+	return s.Hits // want `plain access to sim.Stat.Hits, which is accessed atomically at stat.go:\d+`
+}

@@ -1,0 +1,14 @@
+//lintfixture:package truenorth/internal/sim
+package sim
+
+import "sync/atomic"
+
+// Stat exports a counter whose atomicity is a property of the whole
+// program, not of the package that declares it.
+type Stat struct {
+	Hits int64
+}
+
+func (s *Stat) Bump() {
+	atomic.AddInt64(&s.Hits, 1)
+}

@@ -1,0 +1,29 @@
+package fixture
+
+import "sync/atomic"
+
+type counter struct {
+	n int64
+}
+
+// inc commits the field to the atomic protocol …
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// … which the plain read breaks: the racing load can observe a torn or
+// stale value and the race detector only fires when the schedule obliges.
+func (c *counter) read() int64 {
+	return c.n // want `plain access to fixture.counter.n, which is accessed atomically at mixed.go:\d+`
+}
+
+var hits int64
+
+func bump() {
+	atomic.AddInt64(&hits, 1)
+}
+
+// reset writes the package-level counter plainly.
+func reset() {
+	hits = 0 // want `plain access to fixture.hits, which is accessed atomically at mixed.go:\d+`
+}

@@ -1,0 +1,25 @@
+package fixture
+
+import "sync/atomic"
+
+type gauge struct {
+	v int64
+}
+
+// All-atomic access is the sanctioned protocol.
+func (g *gauge) add(d int64) {
+	atomic.AddInt64(&g.v, d)
+}
+
+func (g *gauge) load() int64 {
+	return atomic.LoadInt64(&g.v)
+}
+
+type plainBox struct {
+	n int64
+}
+
+// A field never touched atomically is no one's business.
+func (p *plainBox) bumpPlain() {
+	p.n++
+}

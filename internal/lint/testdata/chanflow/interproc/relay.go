@@ -1,0 +1,36 @@
+//lintfixture:package truenorth/internal/runtime
+package runtime
+
+import (
+	"sync"
+
+	"truenorth/internal/serve"
+)
+
+type relay struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// teardown delegates the close of r.ch across the package boundary …
+func (r *relay) teardown() {
+	serve.Shut(r.ch)
+}
+
+// … so a second direct close is a double close, with the delegation chain
+// in the citation.
+func (r *relay) closeDirect() {
+	close(r.ch) // want `channel field .ch. is closed here and in relay.teardown \(relay.go:\d+\)`
+}
+
+// … and sends elsewhere race the delegated close.
+func (r *relay) send(v int) {
+	r.ch <- v // want `send on channel field .ch., which relay.teardown closes via Shut → stop \(relay.go:\d+\)`
+}
+
+// blocked holds the lock across a cross-package blocking helper.
+func (r *relay) blocked() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	serve.Push(r.ch, 1) // want `mutex runtime.relay.mu is held across the call to Push, which may block: Push: a channel send \(helpers.go:\d+\)`
+}

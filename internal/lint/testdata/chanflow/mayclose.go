@@ -1,0 +1,21 @@
+package runtime
+
+type feed struct {
+	out chan int
+}
+
+// producer sends on a field that shutdown closes; if the close wins the
+// race the send panics.
+func (f *feed) producer(v int) {
+	f.out <- v // want `send on channel field .out., which feed.shutdown closes \(mayclose.go:\d+\)`
+}
+
+func (f *feed) shutdown() {
+	close(f.out)
+}
+
+// closeAgain is a second close site for the same field: the later site
+// cites the earlier one.
+func (f *feed) closeAgain() {
+	close(f.out) // want `channel field .out. is closed here and in feed.shutdown \(mayclose.go:\d+\)`
+}

@@ -1,0 +1,25 @@
+package runtime
+
+import "sync"
+
+type cycSrv struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// lockAB establishes a → b …
+func (s *cycSrv) lockAB() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.b.Lock() // want `acquiring runtime.cycSrv.b while runtime.cycSrv.a is held completes a lock-order cycle \(runtime.cycSrv.a → runtime.cycSrv.b → runtime.cycSrv.a\)`
+	s.b.Unlock()
+}
+
+// … and lockBA establishes b → a: a two-lock cycle. Two goroutines, one in
+// each function, deadlock when each holds its first lock.
+func (s *cycSrv) lockBA() {
+	s.b.Lock()
+	defer s.b.Unlock()
+	s.a.Lock() // want `acquiring runtime.cycSrv.a while runtime.cycSrv.b is held completes a lock-order cycle`
+	s.a.Unlock()
+}

@@ -1,0 +1,20 @@
+//lintfixture:package truenorth/internal/runtime
+package runtime
+
+import "sync"
+
+// Box carries an exported mutex another package orders against.
+type Box struct {
+	Mu sync.Mutex
+}
+
+// Grab reaches the Box.Mu acquisition one call deeper — the edge witness
+// must carry the whole chain.
+func Grab(b *Box) {
+	grabInner(b)
+}
+
+func grabInner(b *Box) {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+}

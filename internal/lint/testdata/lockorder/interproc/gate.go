@@ -1,0 +1,29 @@
+//lintfixture:package truenorth/internal/serve
+package serve
+
+import (
+	"sync"
+
+	"truenorth/internal/runtime"
+)
+
+type Gate struct {
+	mu sync.Mutex
+}
+
+// lockThenCall holds serve.Gate.mu and reaches runtime.Box.Mu through two
+// calls into the other package: Gate.mu → Box.Mu.
+func (g *Gate) lockThenCall(b *runtime.Box) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	runtime.Grab(b) // want `acquiring runtime.Box.Mu while serve.Gate.mu is held completes a lock-order cycle \(runtime.Box.Mu → serve.Gate.mu → runtime.Box.Mu\); a concurrent acquisition in cycle order deadlocks — witness: Grab → grabInner: runtime.Box.Mu acquired at box.go:\d+`
+}
+
+// reversed takes the opposite order directly: Box.Mu → Gate.mu, completing
+// a cross-package cycle.
+func (g *Gate) reversed(b *runtime.Box) {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	g.mu.Lock() // want `acquiring serve.Gate.mu while runtime.Box.Mu is held completes a lock-order cycle`
+	g.mu.Unlock()
+}

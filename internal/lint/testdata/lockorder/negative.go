@@ -1,0 +1,55 @@
+package runtime
+
+import "sync"
+
+type ordSrv struct {
+	state sync.Mutex
+	out   sync.Mutex
+}
+
+// both and again acquire in the same state → out order everywhere: one
+// edge, no cycle.
+func (s *ordSrv) both() {
+	s.state.Lock()
+	defer s.state.Unlock()
+	s.out.Lock()
+	defer s.out.Unlock()
+}
+
+func (s *ordSrv) again() {
+	s.state.Lock()
+	s.out.Lock()
+	s.out.Unlock()
+	s.state.Unlock()
+}
+
+// spawn holds out while a goroutine takes state: the goroutine holds its
+// own locks, so this is not an out → state edge and closes no cycle.
+func (s *ordSrv) spawn() {
+	s.out.Lock()
+	defer s.out.Unlock()
+	go func() {
+		s.state.Lock()
+		s.state.Unlock()
+	}()
+}
+
+// localOnly nests locks the analyzer cannot name; locals never become
+// graph nodes.
+func localOnly() {
+	var mu sync.Mutex
+	var other sync.Mutex
+	mu.Lock()
+	other.Lock()
+	other.Unlock()
+	mu.Unlock()
+}
+
+// released drops state before taking out in the reverse order: no overlap,
+// no edge.
+func (s *ordSrv) released() {
+	s.out.Lock()
+	s.out.Unlock()
+	s.state.Lock()
+	s.state.Unlock()
+}

@@ -1,0 +1,22 @@
+package runtime
+
+import "sync"
+
+type reSrv struct {
+	mu sync.Mutex
+}
+
+// outer holds mu across a call whose callee re-acquires it: a self-edge in
+// the lock graph, and a guaranteed single-goroutine deadlock (sync.Mutex
+// is not reentrant). The finding sits on the call, with the acquisition as
+// witness.
+func (s *reSrv) outer() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.grab() // want `acquiring runtime.reSrv.mu while runtime.reSrv.mu is held completes a lock-order cycle \(runtime.reSrv.mu → runtime.reSrv.mu\); a concurrent acquisition in cycle order deadlocks — witness: grab: runtime.reSrv.mu acquired at selfdeadlock.go:\d+`
+}
+
+func (s *reSrv) grab() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}

@@ -1,0 +1,26 @@
+package runtime
+
+import "sync"
+
+type pool struct {
+	wg sync.WaitGroup
+}
+
+// spawnThenAdd reverses the protocol: the goroutine can run and Done
+// before the Add lands, so Wait may observe zero and return early.
+func (p *pool) spawnThenAdd() {
+	go func() { // want `goroutine calls p.wg.Done but no p.wg.Add precedes the go statement`
+		defer p.wg.Done()
+	}()
+	p.wg.Add(1)
+	p.wg.Wait()
+}
+
+// addFirst is the protocol held.
+func (p *pool) addFirst() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+	}()
+	p.wg.Wait()
+}

@@ -1,0 +1,18 @@
+package runtime
+
+import "sync"
+
+// fanOut Adds from inside the waited goroutine: Wait races the Add and may
+// return while the nested worker is still being spawned.
+func fanOut() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wg.Add(1) // want `wg.Add from inside a spawned goroutine races Wait; hoist the Add before the go statement`
+		go func() {
+			defer wg.Done()
+		}()
+	}()
+	wg.Wait()
+}

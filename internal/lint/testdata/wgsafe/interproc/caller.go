@@ -1,0 +1,25 @@
+//lintfixture:package truenorth/internal/runtime
+package runtime
+
+import (
+	"sync"
+
+	"truenorth/internal/serve"
+)
+
+// forgotAdd hands wg to a spawning helper without paying the Add first:
+// the helper's goroutine can Done before this caller ever Adds.
+func forgotAdd() {
+	var wg sync.WaitGroup
+	serve.Spawn(&wg) // want `call to Spawn spawns a goroutine that calls wg.Done, but no wg.Add precedes the call; Add must happen-before the spawn`
+	wg.Add(1)
+	wg.Wait()
+}
+
+// withAdd pays the debt before the spawn.
+func withAdd() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	serve.Spawn(&wg)
+	wg.Wait()
+}

@@ -1,0 +1,13 @@
+//lintfixture:package truenorth/internal/serve
+package serve
+
+import "sync"
+
+// Spawn starts a worker that Dones wg when finished; the Add debt stays
+// with the caller — the helper cannot know how many workers the caller
+// accounts for.
+func Spawn(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+	}()
+}

@@ -1,0 +1,28 @@
+package runtime
+
+import "sync"
+
+// forkJoin is the compass Step shape: Add before each spawn, Done inside,
+// Wait at the barrier. The protocol held — no findings.
+func forkJoin(workers int) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+type span struct{}
+
+func (s *span) Done() {}
+
+// finish Dones a tracer span on a goroutine: Done without any WaitGroup
+// pairing is not WaitGroup protocol and stays silent.
+func finish(s *span) {
+	go func() {
+		defer s.Done()
+	}()
+}

@@ -1,0 +1,23 @@
+package runtime
+
+import "sync"
+
+type batch struct {
+	wg sync.WaitGroup
+}
+
+// overlap parks Wait on a goroutine while the spawner keeps Adding: two
+// uses of the counter overlap, which the WaitGroup contract forbids.
+func (b *batch) overlap() {
+	b.wg.Add(1)
+	go func() { // want `goroutine calls b.wg.Wait while b.wg.Add continues after the go statement; overlapping uses of a WaitGroup race the counter`
+		b.wg.Wait()
+	}()
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+	}()
+	go func() {
+		defer b.wg.Done()
+	}()
+}

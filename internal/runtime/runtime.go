@@ -268,7 +268,10 @@ func (s *Session) step() {
 		for _, sub := range s.subs {
 			for _, o := range out {
 				select {
-				case sub.ch <- o:
+				// lint:ignore is on the case line: the send and loop's
+				// close both run on the session goroutine, so program
+				// order serializes send-before-close.
+				case sub.ch <- o: //lint:ignore tnlint/chanflow send and close both run on the session goroutine (step is called only from loop); program order makes every send happen-before the close
 				default:
 					sub.dropped++
 				}
@@ -604,6 +607,7 @@ func (s *Session) Subscribe(ctx context.Context, buf int) (<-chan sim.OutputSpik
 		s.do(context.Background(), func() { //nolint:errcheck // closed session already closed the channel
 			if _, ok := s.subs[id]; ok {
 				delete(s.subs, id)
+				//lint:ignore tnlint/chanflow both close sites run on the session goroutine (do serializes onto loop) and are exclusive: cancel closes only while the sub is registered, loop's shutdown close runs after removing every sub
 				close(sub.ch)
 			}
 		})

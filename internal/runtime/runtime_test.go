@@ -12,6 +12,7 @@ import (
 
 	_ "truenorth/internal/chip"
 	"truenorth/internal/core"
+	"truenorth/internal/leakcheck"
 	"truenorth/internal/neuron"
 	"truenorth/internal/router"
 	rt "truenorth/internal/runtime"
@@ -139,6 +140,7 @@ func TestCheckpointRestoreFiltersUndrainedOutputs(t *testing.T) {
 }
 
 func TestStartPauseResumeWait(t *testing.T) {
+	leakcheck.Check(t)
 	ctx := context.Background()
 	s := newSession(t)
 	if err := s.SetTickRate(ctx, 200); err != nil {
@@ -300,6 +302,7 @@ func TestRunReturnsErrPausedWhenInterrupted(t *testing.T) {
 }
 
 func TestRunCtxCancellationPausesTheEngine(t *testing.T) {
+	leakcheck.Check(t)
 	s := newSession(t)
 	if err := s.SetTickRate(context.Background(), 100); err != nil {
 		t.Fatal(err)
@@ -336,6 +339,7 @@ func TestPacingSlowsTicking(t *testing.T) {
 }
 
 func TestStreamingInputsAndSubscribe(t *testing.T) {
+	leakcheck.Check(t)
 	ctx := context.Background()
 	s := newSession(t)
 	sub, cancel, err := s.Subscribe(ctx, 16)
@@ -504,6 +508,7 @@ func TestRunTargetIsComputedAtomically(t *testing.T) {
 }
 
 func TestSlowSubscriberDropsNotStalls(t *testing.T) {
+	leakcheck.Check(t)
 	ctx := context.Background()
 	s := newSession(t)
 	sub, cancel, err := s.Subscribe(ctx, 1)
@@ -606,6 +611,7 @@ type nopCloser struct{ *bytes.Buffer }
 func (nopCloser) Close() error { return nil }
 
 func TestCloseSemantics(t *testing.T) {
+	leakcheck.Check(t)
 	ctx := context.Background()
 	s := rt.New(relayEngine(t))
 	sub, _, err := s.Subscribe(ctx, 4)
@@ -657,6 +663,7 @@ func TestTickRateValidation(t *testing.T) {
 // TestConcurrentAccess hammers one session from many goroutines — the
 // -race suite's target for the command-loop serialization.
 func TestConcurrentAccess(t *testing.T) {
+	leakcheck.Check(t)
 	ctx := context.Background()
 	s := newSession(t)
 	if err := s.Start(0); err != nil {
@@ -688,6 +695,7 @@ func TestConcurrentAccess(t *testing.T) {
 }
 
 func TestPacedLoopSurvivesCommandBursts(t *testing.T) {
+	leakcheck.Check(t)
 	// The paced wait reuses one timer across ticks. Two regressions would
 	// show up here: a stale fire left in the timer channel after a command
 	// wins the select (pacing would collapse to free-running), and a

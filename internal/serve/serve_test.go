@@ -13,10 +13,12 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	_ "truenorth/internal/chip"
 	_ "truenorth/internal/compass"
 	"truenorth/internal/core"
+	"truenorth/internal/leakcheck"
 	"truenorth/internal/model"
 	"truenorth/internal/netgen"
 	"truenorth/internal/neuron"
@@ -116,6 +118,7 @@ func fetchAER(t *testing.T, url string) string {
 }
 
 func TestSessionLifecycle(t *testing.T) {
+	leakcheck.Check(t)
 	ts := newTestServer(t, serve.Config{})
 	var info serve.SessionInfo
 	status := call(t, "POST", ts.URL+"/v1/sessions",
@@ -210,6 +213,7 @@ func TestCreateValidation(t *testing.T) {
 }
 
 func TestMaxSessions(t *testing.T) {
+	leakcheck.Check(t)
 	ts := newTestServer(t, serve.Config{MaxSessions: 1})
 	if st := call(t, "POST", ts.URL+"/v1/sessions", serve.CreateRequest{Engine: "chip", Netgen: netgenSpec(1)}, nil); st != http.StatusCreated {
 		t.Fatalf("first create = %d", st)
@@ -324,8 +328,13 @@ func TestPauseResumeAndRate(t *testing.T) {
 	if st := call(t, "POST", base+"/resume", nil, &run); st != http.StatusOK {
 		t.Fatalf("resume = %d", st)
 	}
-	// Poll stats until the resumed run completes at tick 5000.
-	deadline := 500
+	// Poll stats until the resumed run completes at tick 5000. The budget
+	// is wall-clock, not a poll count, and each miss sleeps: under -race
+	// at low GOMAXPROCS an instrumented tick takes about as long as an
+	// HTTP round trip, so a sleepless count-bounded loop exhausts itself
+	// while the engine is still making steady progress (and its command
+	// traffic steals tick slots from the very run it is watching).
+	deadline := time.Now().Add(2 * time.Minute)
 	for {
 		if st := call(t, "GET", base, nil, &info); st != http.StatusOK {
 			t.Fatalf("stats = %d", st)
@@ -333,9 +342,10 @@ func TestPauseResumeAndRate(t *testing.T) {
 		if !info.Running {
 			break
 		}
-		if deadline--; deadline == 0 {
+		if time.Now().After(deadline) {
 			t.Fatalf("resumed run never finished (tick %d)", info.Tick)
 		}
+		time.Sleep(5 * time.Millisecond)
 	}
 	if info.Tick != 5000 {
 		t.Fatalf("final tick = %d, want 5000", info.Tick)
@@ -420,6 +430,7 @@ func TestRunRejectsNegativeTicks(t *testing.T) {
 }
 
 func TestStreamEndpoint(t *testing.T) {
+	leakcheck.Check(t)
 	ts := newTestServer(t, serve.Config{})
 	var info serve.SessionInfo
 	req := serve.CreateRequest{Engine: "chip", ModelPath: relayModelPath(t), TickRateHz: 500, Force: true}
@@ -517,6 +528,7 @@ func TestRollingCheckpoint(t *testing.T) {
 // concurrent goroutines, each required to reproduce its single-tenant
 // spike stream byte for byte.
 func TestConcurrentSessions(t *testing.T) {
+	leakcheck.Check(t)
 	const n = 9
 	ts := newTestServer(t, serve.Config{})
 
@@ -658,6 +670,7 @@ func TestListSessions(t *testing.T) {
 }
 
 func TestCreateAfterCloseRefusedAndLeaksNoSession(t *testing.T) {
+	leakcheck.Check(t)
 	// A create racing server shutdown must be refused — and, critically,
 	// must not leave a live session goroutine that Close (already past the
 	// map snapshot) will never reach.

@@ -7,12 +7,13 @@
 #                      determinism invariants (detrand/maporder/floatcmp/
 #                      ticksafe) plus hot-path allocation, lock-safety,
 #                      goroutine-lifecycle, and channel-ownership checks,
-#                      all call-graph aware (hazards reached through
-#                      helpers report at the kernel call site); run with
-#                      -json so CI logs are machine-readable. Set
-#                      CHECK_REPORT_DIR to also keep the JSON as a file.
-#                      (go vet's copylocks overlaps locksafe's by-value
-#                      checks; both run, vet as backstop.)
+#                      and the whole-program concurrency gate (lockorder/
+#                      chanflow/wgsafe/atomicmix) over the module call
+#                      graph; run with -json so CI logs are
+#                      machine-readable. Set CHECK_REPORT_DIR to also keep
+#                      the JSON — and the rendered lock-order hierarchy —
+#                      as files. (go vet's copylocks overlaps locksafe's
+#                      by-value checks; both run, vet as backstop.)
 #   4. tnproof       — compiler-proof perf gate (see internal/perfproof):
 #                      replays `go build -m -m -d=ssa/check_bce` over the
 #                      kernel packages and diffs escape/bounds-check
@@ -56,13 +57,22 @@ echo "==> go vet ./..."
 go vet ./...
 
 echo "==> tnlint -json ./..."
-if ! lint_out=$(go run ./cmd/tnlint -json ./...); then
+lockorder_flag=""
+[ -n "$report_dir" ] && lockorder_flag="-lockorder-out=$report_dir/lockorder.txt"
+if ! lint_out=$(go run ./cmd/tnlint -json $lockorder_flag ./...); then
 	echo "$lint_out"
 	[ -n "$report_dir" ] && printf '%s\n' "$lint_out" >"$report_dir/tnlint.json"
 	echo "tnlint: unsuppressed findings (full suite; see internal/lint)" >&2
 	exit 1
 fi
 [ -n "$report_dir" ] && printf '%s\n' "$lint_out" >"$report_dir/tnlint.json"
+# The golden-diff belt-and-suspenders: the checked-in hierarchy must match
+# what the linter just rendered (the golden test also enforces this; here
+# the mismatch shows up in the artifact diff too).
+if [ -n "$report_dir" ] && ! diff -u internal/lint/testdata/lockorder/hierarchy.golden "$report_dir/lockorder.txt" >"$report_dir/lockorder.diff" 2>&1; then
+	echo "check.sh: lock-order hierarchy drifted from testdata/lockorder/hierarchy.golden (see lockorder.diff artifact)" >&2
+	exit 1
+fi
 
 echo "==> tnproof (escape/bounds-check budgets for //perf:hot functions)"
 if [ -n "$report_dir" ]; then
