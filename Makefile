@@ -1,8 +1,9 @@
 # Verification entry points; scripts/check.sh is the single source of truth
 # for what "green" means (build + vet + tnlint + proof + verify-models +
-# tests + race + allocs-gate + serve-smoke + bench-smoke).
+# tests + race + allocs-gate + serve-smoke + bench-smoke +
+# bench-serve-smoke).
 
-.PHONY: check build test lint proof proof-update verify-models race race-stress allocs-gate serve-smoke bench bench-smoke
+.PHONY: check build test lint proof proof-update verify-models race race-stress allocs-gate serve-smoke bench bench-smoke bench-serve bench-serve-smoke
 
 check:
 	./scripts/check.sh
@@ -66,3 +67,15 @@ bench:
 # report well-formed) in seconds; the report goes to a temp file.
 bench-smoke:
 	go run ./cmd/tnbench -smoke -o "$$(mktemp)"
+
+# Serving-plane sweep: concurrent paced sessions x aggregate ticks/sec x
+# p99 command latency, pooled timing-wheel scheduler vs the legacy
+# goroutine-per-session arm; writes BENCH_SERVE_<date>.json at the repo
+# root — the capacity evidence file for the batched scheduler.
+bench-serve:
+	go run ./cmd/tnbench -serve
+
+# Small serving sweep: both arms, two tiny points, sub-second windows —
+# proves the serving harness and report schema without capacity claims.
+bench-serve-smoke:
+	go run ./cmd/tnbench -serve -smoke -o "$$(mktemp)"

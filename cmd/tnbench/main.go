@@ -8,11 +8,18 @@
 // the parallel compass engine. The arms are cross-checked event-for-event;
 // a throughput number from a diverged simulation is an error, not a result.
 //
+// With -serve it instead measures the serving plane: how many
+// concurrently paced sessions one process holds at rate on the pooled
+// timing-wheel scheduler versus the legacy goroutine-per-session shape,
+// with p99 command latency — written to BENCH_SERVE_<date>.json.
+//
 // Usage:
 //
 //	tnbench                  # full sweep, writes BENCH_<date>.json
 //	tnbench -smoke           # small CI configuration
 //	tnbench -grid 4 -rates 2,20 -syns 0,64 -o /tmp/bench.json
+//	tnbench -serve           # serving sweep, writes BENCH_SERVE_<date>.json
+//	tnbench -serve -smoke    # serving smoke (CI)
 package main
 
 import (
@@ -22,12 +29,17 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"truenorth/internal/bench"
 )
 
 func main() {
 	var (
+		serveMode = flag.Bool("serve", false, "run the serving sweep (sessions × ticks/sec × command latency) instead of the engine sweep")
+		sessions  = flag.String("sessions", "", "-serve: comma-separated session counts, ascending (empty: configuration default)")
+		rate      = flag.Float64("rate", 0, "-serve: per-session paced rate in Hz (0: configuration default)")
+		window    = flag.Duration("window", 0, "-serve: measured window per point (0: configuration default)")
 		grid    = flag.Int("grid", 0, "core mesh edge N for an N×N grid (0: configuration default)")
 		rates   = flag.String("rates", "", "comma-separated firing rates in Hz (empty: configuration default)")
 		syns    = flag.String("syns", "", "comma-separated synapse counts per neuron (empty: configuration default)")
@@ -41,6 +53,18 @@ func main() {
 		quiet   = flag.Bool("q", false, "suppress per-point progress lines")
 	)
 	flag.Parse()
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+
+	if *serveMode {
+		runServe(*smoke, *sessions, *rate, *window, *workers, *out, logf)
+		return
+	}
 
 	cfg := bench.DefaultConfig()
 	if *smoke {
@@ -79,12 +103,6 @@ func main() {
 		cfg.Seed = *seed
 	}
 
-	logf := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, format+"\n", args...)
-	}
-	if *quiet {
-		logf = nil
-	}
 	rep, err := bench.Run(cfg, logf)
 	if err != nil {
 		fatalf("%v", err)
@@ -106,6 +124,53 @@ func main() {
 	fmt.Printf("kernel speedup (chip vs full scan): %.2fx at sparse points, %.2fx best\n",
 		rep.Summary.SparseKernelSpeedup, rep.Summary.BestKernelSpeedup)
 	fmt.Printf("peak chip throughput: %.3g SOPS\n", rep.Summary.PeakChipSOPS)
+}
+
+// runServe executes the serving sweep and writes BENCH_SERVE_<date>.json.
+func runServe(smoke bool, sessions string, rate float64, window time.Duration, workers int, out string, logf func(string, ...any)) {
+	cfg := bench.DefaultServeConfig()
+	if smoke {
+		cfg = bench.ServeSmokeConfig()
+	}
+	if sessions != "" {
+		v, err := parseInts(sessions)
+		if err != nil {
+			fatalf("-sessions: %v", err)
+		}
+		cfg.Sessions = v
+	}
+	if rate > 0 {
+		cfg.RateHz = rate
+	}
+	if window > 0 {
+		cfg.Window = window
+	}
+	if workers > 0 {
+		cfg.Workers = workers
+	}
+	rep, err := bench.RunServe(cfg, logf)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	path := out
+	if path == "" {
+		path = bench.ServeFilename()
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	s := rep.Summary
+	fmt.Printf("wrote %s: %d points at %.0f Hz/session\n", path, len(rep.Points), rep.RateHz)
+	fmt.Printf("sustained sessions at rate: scheduler %d vs goroutine %d (%.1fx)\n",
+		s.SchedulerMaxSessions, s.GoroutineMaxSessions, s.SessionCapacityRatio)
+	fmt.Printf("peak aggregate ticks/sec: scheduler %.3g vs goroutine %.3g (%.1fx); p99 at capacity %.2f ms vs %.2f ms\n",
+		s.SchedulerPeakTicksPerSec, s.GoroutinePeakTicksPerSec, s.ThroughputRatio,
+		s.SchedulerP99AtMaxMs, s.GoroutineP99AtMaxMs)
 }
 
 func parseFloats(s string) ([]float64, error) {

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	tnserved [-addr host:port] [-max-sessions N] [-engine chip|compass]
+//	tnserved [-addr host:port] [-max-sessions N] [-max-rate HZ] [-workers N]
+//	         [-engine chip|compass] [-legacy-sessions]
 //
 // The listen address is printed once the socket is bound, so scripts can
 // use -addr 127.0.0.1:0 and parse the assigned port.
@@ -41,14 +42,20 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8484", "listen address (use :0 for an ephemeral port)")
-	maxSessions := flag.Int("max-sessions", 64, "maximum concurrently live sessions (0 = unlimited)")
+	maxSessions := flag.Int("max-sessions", 0, "maximum concurrently live sessions (0 = scheduler default)")
+	maxRate := flag.Float64("max-rate", 0, "aggregate paced ticks/sec admitted across all sessions (0 = unlimited)")
+	workers := flag.Int("workers", 0, "scheduler worker pool size (0 = GOMAXPROCS)")
+	legacy := flag.Bool("legacy-sessions", false, "run each session on its own goroutine instead of the shared scheduler")
 	engine := flag.String("engine", "compass", "default engine for sessions that don't pick one: "+strings.Join(sim.EngineNames(), "|"))
 	drain := flag.Duration("drain", 5*time.Second, "how long to wait for in-flight requests on shutdown")
 	flag.Parse()
 
 	srv := serve.NewServer(serve.Config{
-		MaxSessions:   *maxSessions,
-		DefaultEngine: *engine,
+		MaxSessions:    *maxSessions,
+		MaxTicksPerSec: *maxRate,
+		Workers:        *workers,
+		LegacySessions: *legacy,
+		DefaultEngine:  *engine,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -67,6 +74,10 @@ func main() {
 	select {
 	case sig := <-sigs:
 		fmt.Printf("tnserved: %s, shutting down\n", sig)
+		// Tell long-lived handlers (open /stream responses) to finish so
+		// graceful Shutdown isn't pinned by slow readers past the drain
+		// window; new session creation starts refusing with 503.
+		srv.BeginShutdown()
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			// Stragglers past the drain window (e.g. an open spike stream)

@@ -14,12 +14,18 @@
 //
 // Concurrency model. The engine is single-threaded by contract (Inject
 // "must not be called concurrently with Step"), so the Session serializes
-// *everything* through one goroutine: public methods enqueue closures on a
-// command channel, and the loop executes them strictly between ticks. That
-// is also what preserves tick-accuracy — a command can land between tick t
-// and t+1 but never inside a tick, so a paused-and-resumed or
+// *everything* through one servicer: public methods enqueue closures on a
+// command channel, and the servicer executes them strictly between ticks.
+// That is also what preserves tick-accuracy — a command can land between
+// tick t and t+1 but never inside a tick, so a paused-and-resumed or
 // checkpoint-and-restored run emits the exact spike stream of an
 // uninterrupted one (the determinism suite verifies this spike-for-spike).
+//
+// The servicer comes in two shapes with identical observable semantics:
+// the legacy dedicated goroutine per session (the default), and the
+// pooled Scheduler (WithScheduler), where a fixed worker set steps batches
+// of due sessions off a hashed timing wheel — the shape that scales to
+// thousands of paced sessions per host. See scheduler.go.
 //
 // This package is deliberately outside the kernel-package set that tnlint
 // holds to bitwise determinism: pacing needs the wall clock and the driver
@@ -33,6 +39,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"truenorth/internal/core"
@@ -89,6 +97,21 @@ func WithInputBuffer(n int) Option {
 	}
 }
 
+// WithScheduler places the session on a shared Scheduler instead of a
+// dedicated goroutine: pacing and dispatch are pooled across every session
+// the scheduler carries, with identical command/stream semantics. New then
+// enforces the scheduler's admission control and can return ErrSaturated
+// or ErrSchedulerClosed.
+func WithScheduler(d *Scheduler) Option {
+	return func(s *Session) { s.sched = d }
+}
+
+// schedCmdBuf is the command-channel capacity of scheduler-mode sessions.
+// The legacy loop rendezvouses on an unbuffered channel; a pooled session
+// has no dedicated receiver, so commands buffer until a worker drains them
+// (do still wakes the session on every enqueue).
+const schedCmdBuf = 64
+
 // subscriber is one streaming output listener.
 type subscriber struct {
 	ch      chan sim.OutputSpike
@@ -107,9 +130,20 @@ type Session struct {
 
 	cmds   chan func()
 	inputs chan spikeio.Event
-	done   chan struct{} // closed when the loop has exited
+	done   chan struct{} // closed when the servicer has exited
 
-	// Everything below is owned by the session goroutine.
+	// Scheduler mode (sched != nil): schedState is the ready/running state
+	// machine (see scheduler.go), pendMu/pendIn buffer watcher-delivered
+	// streamed inputs, and watchOnce lazily starts the input watcher.
+	sched      *Scheduler
+	schedState atomic.Int32
+	pendMu     sync.Mutex
+	pendIn     []spikeio.Event
+	watchOnce  sync.Once
+
+	// Everything below is owned by the servicer: the session goroutine in
+	// legacy mode, or whichever scheduler worker holds the session's
+	// Running state in pooled mode (mutual exclusion by the state machine).
 	running   bool
 	target    uint64
 	waiters   []chan error
@@ -127,9 +161,13 @@ type Session struct {
 	ckptErr   error
 }
 
-// New wraps eng in a session and starts its driver goroutine. The caller
-// must not touch eng directly afterwards: the session owns it until Close.
-func New(eng sim.Engine, opts ...Option) *Session {
+// New wraps eng in a session and hands it to its servicer — a dedicated
+// driver goroutine by default, or a shared Scheduler with WithScheduler.
+// The caller must not touch eng directly afterwards: the session owns it
+// until Close. In scheduler mode New enforces admission control and can
+// fail with ErrSaturated or ErrSchedulerClosed; legacy sessions always
+// admit.
+func New(eng sim.Engine, opts ...Option) (*Session, error) {
 	s := &Session{
 		eng:      eng,
 		inputBuf: 256,
@@ -151,17 +189,31 @@ func New(eng sim.Engine, opts ...Option) *Session {
 	if s.rateHz < 0 || math.IsNaN(s.rateHz) || math.IsInf(s.rateHz, 0) {
 		s.rateHz = 0
 	}
-	s.cmds = make(chan func())
 	s.inputs = make(chan spikeio.Event, s.inputBuf)
 	s.done = make(chan struct{})
+	if s.sched != nil {
+		s.cmds = make(chan func(), schedCmdBuf)
+		if err := s.sched.register(s); err != nil {
+			close(s.done) // nothing services this session; fail do() fast
+			return nil, err
+		}
+		return s, nil
+	}
+	s.cmds = make(chan func())
 	go s.loop()
-	return s
+	return s, nil
 }
 
 // loop is the session goroutine: it interleaves command execution,
 // streamed-input delivery, and paced ticking, with commands only ever
 // running between ticks.
 func (s *Session) loop() {
+	// done has one closer per servicer shape, serialized by construction:
+	// New's failure path closes it only when registration failed (no loop
+	// was started and no scheduler owns the session), this loop only in
+	// legacy mode (s.sched == nil, so dispatch never runs), and dispatch
+	// only in scheduler mode (no loop goroutine exists).
+	//lint:ignore tnlint/chanflow exactly one closer exists per session: the failed-New path, this legacy loop, or the scheduler dispatch — selected once at construction
 	defer close(s.done)
 	defer func() {
 		if s.pacer != nil {
@@ -366,6 +418,9 @@ func (s *Session) do(ctx context.Context, fn func()) error {
 	ran := make(chan struct{})
 	select {
 	case s.cmds <- func() { fn(); close(ran) }:
+		if s.sched != nil {
+			s.wake() // a pooled session has no dedicated receiver
+		}
 	case <-s.done:
 		return ErrClosed
 	case <-ctx.Done():
@@ -523,15 +578,38 @@ func (s *Session) Tick(ctx context.Context) (uint64, error) {
 	return <-res, nil
 }
 
-// SetTickRate changes pacing: hz ticks per second, 0 = free-running.
+// SetTickRate changes pacing: hz ticks per second, 0 = free-running. In
+// scheduler mode the new rate passes admission control against the
+// aggregate ticks/sec budget and can be refused with ErrSaturated (the
+// old rate stays in effect).
 func (s *Session) SetTickRate(ctx context.Context, hz float64) error {
 	if hz < 0 || math.IsNaN(hz) || math.IsInf(hz, 0) {
 		return fmt.Errorf("runtime: invalid tick rate %v", hz)
 	}
-	return s.do(ctx, func() {
+	res := make(chan error, 1)
+	err := s.do(ctx, func() {
+		if s.sched != nil {
+			if err := s.sched.reserveRate(s.rateHz, hz); err != nil {
+				res <- err
+				return
+			}
+		}
 		s.rateHz = hz
 		s.deadline = time.Time{}
+		res <- nil
 	})
+	if err != nil {
+		return err
+	}
+	return <-res
+}
+
+// SetCheckpointEvery changes the auto-checkpoint interval between ticks
+// (0 disables). The checkpoint sink set at construction (WithAutoCheckpoint)
+// is unchanged; enabling an interval on a session built without a sink has
+// no effect.
+func (s *Session) SetCheckpointEvery(ctx context.Context, every uint64) error {
+	return s.do(ctx, func() { s.ckptEvery = every })
 }
 
 // Inject schedules one external spike through the engine's validating
@@ -564,11 +642,18 @@ func (s *Session) InjectEvents(ctx context.Context, events []spikeio.Event) (int
 }
 
 // Inputs returns the streaming-injection channel: absolute-tick events
-// (spikeio addressing) consumed by the session loop between ticks, the
+// (spikeio addressing) consumed by the servicer between ticks, the
 // channel expression of InjectEvents for callers that feed a live source.
 // Past-tick and invalid events increment Stats.DroppedInputs. The caller
-// must not close the channel and must not send after Close.
-func (s *Session) Inputs() chan<- spikeio.Event { return s.inputs }
+// must not close the channel and must not send after Close. In scheduler
+// mode the first call lazily starts an input watcher that wakes the
+// session as events arrive.
+func (s *Session) Inputs() chan<- spikeio.Event {
+	if s.sched != nil {
+		s.watchOnce.Do(func() { go s.watchInputs() })
+	}
+	return s.inputs
+}
 
 // Drain returns and clears the output spikes accumulated since the last
 // drain, in tick order — the session expression of Engine.DrainOutputs.

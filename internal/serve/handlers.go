@@ -5,8 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
-	"sort"
 	"strconv"
 
 	"truenorth/internal/runtime"
@@ -54,7 +54,7 @@ func (se *session) info(r *http.Request) (SessionInfo, error) {
 	}
 	info := SessionInfo{
 		ID:     se.id,
-		Name:   se.name,
+		Name:   se.getName(),
 		Engine: se.engine,
 
 		Tick:       st.Tick,
@@ -91,7 +91,63 @@ func (se *session) info(r *http.Request) (SessionInfo, error) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, se *session) {
 	info, err := se.info(r)
 	if err != nil {
-		writeError(w, statusOf(err), err)
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// PatchRequest reconfigures a live session. Absent fields are unchanged.
+type PatchRequest struct {
+	// TickRateHz re-paces the session (0 = free-running). Subject to the
+	// scheduler's aggregate ticks/sec admission (saturated on refusal).
+	TickRateHz *float64 `json:"tick_rate_hz,omitempty"`
+	// Name relabels the session in listings and metrics.
+	Name *string `json:"name,omitempty"`
+	// CheckpointEvery changes the auto-checkpoint interval in ticks
+	// (0 disables). Valid only on sessions created with checkpoint_path.
+	CheckpointEvery *uint64 `json:"checkpoint_every,omitempty"`
+}
+
+// handlePatch is the general session-config endpoint: rate, name, and
+// checkpoint interval in one request. Validation is all-or-nothing up
+// front so a refused request changes nothing.
+func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request, se *session) {
+	var req PatchRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if req.TickRateHz == nil && req.Name == nil && req.CheckpointEvery == nil {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "empty patch: set tick_rate_hz, name, or checkpoint_every")
+		return
+	}
+	if req.TickRateHz != nil && *req.TickRateHz < 0 {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Sprintf("tick_rate_hz %g is negative", *req.TickRateHz))
+		return
+	}
+	if req.CheckpointEvery != nil && *req.CheckpointEvery > 0 && !se.ckptSink {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "session has no checkpoint_path; checkpoint_every needs one at create time")
+		return
+	}
+	if req.TickRateHz != nil {
+		if err := se.sess.SetTickRate(r.Context(), *req.TickRateHz); err != nil {
+			writeErr(w, err)
+			return
+		}
+	}
+	if req.CheckpointEvery != nil {
+		if err := se.sess.SetCheckpointEvery(r.Context(), *req.CheckpointEvery); err != nil {
+			writeErr(w, err)
+			return
+		}
+	}
+	if req.Name != nil {
+		se.setName(*req.Name)
+	}
+	info, err := se.info(r)
+	if err != nil {
+		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -119,14 +175,14 @@ type RunResponse struct {
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, se *session) {
 	var req RunRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeErr(w, err)
 		return
 	}
 	if req.Ticks < 0 {
 		// Zero means "run until paused" below, so a negative count is
 		// never a valid way to ask for anything — and silently treating it
 		// as zero would turn a client's sign bug into an unbounded run.
-		writeError(w, http.StatusBadRequest, fmt.Errorf("negative tick count %d", req.Ticks))
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Sprintf("negative tick count %d", req.Ticks))
 		return
 	}
 	var runErr error
@@ -154,12 +210,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, se *session) 
 		}
 	}
 	if runErr != nil {
-		writeError(w, statusOf(runErr), runErr)
+		writeErr(w, runErr)
 		return
 	}
 	st, err := se.sess.Stats(r.Context())
 	if err != nil {
-		writeError(w, statusOf(err), err)
+		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, RunResponse{Tick: st.Tick, Running: st.Running, Paused: paused})
@@ -168,7 +224,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, se *session) 
 func (s *Server) handlePause(w http.ResponseWriter, r *http.Request, se *session) {
 	tick, err := se.sess.Pause(r.Context())
 	if err != nil {
-		writeError(w, statusOf(err), err)
+		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, RunResponse{Tick: tick, Running: false})
@@ -176,33 +232,51 @@ func (s *Server) handlePause(w http.ResponseWriter, r *http.Request, se *session
 
 func (s *Server) handleResume(w http.ResponseWriter, r *http.Request, se *session) {
 	if err := se.sess.Resume(r.Context()); err != nil {
-		writeError(w, statusOf(err), err)
+		writeErr(w, err)
 		return
 	}
 	st, err := se.sess.Stats(r.Context())
 	if err != nil {
-		writeError(w, statusOf(err), err)
+		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, RunResponse{Tick: st.Tick, Running: st.Running})
 }
 
-// RateRequest changes session pacing.
+// RateRequest changes session pacing (deprecated alias; Hz mirrors the
+// old wire shape, TickRateHz the PATCH one — either works).
 type RateRequest struct {
-	Hz float64 `json:"hz"`
+	Hz         *float64 `json:"hz,omitempty"`
+	TickRateHz *float64 `json:"tick_rate_hz,omitempty"`
 }
 
+// handleRate is the deprecated POST /rate alias for PATCH /v1/sessions/{id}
+// with tick_rate_hz; it is kept for one release and marked with a
+// Deprecation header.
 func (s *Server) handleRate(w http.ResponseWriter, r *http.Request, se *session) {
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", fmt.Sprintf("</v1/sessions/%s>; rel=\"successor-version\"", se.id))
 	var req RateRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeErr(w, err)
 		return
 	}
-	if err := se.sess.SetTickRate(r.Context(), req.Hz); err != nil {
-		writeError(w, statusOf(err), err)
+	hz := 0.0
+	switch {
+	case req.Hz != nil:
+		hz = *req.Hz
+	case req.TickRateHz != nil:
+		hz = *req.TickRateHz
+	}
+	if hz < 0 {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Sprintf("tick rate %g is negative", hz))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]float64{"hz": req.Hz})
+	if err := se.sess.SetTickRate(r.Context(), hz); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]float64{"hz": hz})
 }
 
 // InjectRequest carries external input spikes: Events use absolute-tick
@@ -232,7 +306,7 @@ type InjectSpike struct {
 func (s *Server) handleInject(w http.ResponseWriter, r *http.Request, se *session) {
 	var req InjectRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeErr(w, err)
 		return
 	}
 	dropped := 0
@@ -244,13 +318,13 @@ func (s *Server) handleInject(w http.ResponseWriter, r *http.Request, se *sessio
 		d, err := se.sess.InjectEvents(r.Context(), events)
 		dropped += d
 		if err != nil {
-			writeError(w, statusOf(err), err)
+			writeErr(w, err)
 			return
 		}
 	}
 	for _, sp := range req.Spikes {
 		if err := se.sess.Inject(r.Context(), sp.X, sp.Y, sp.Axon, sp.Delay); err != nil {
-			writeError(w, statusOf(err), err)
+			writeErr(w, err)
 			return
 		}
 	}
@@ -263,7 +337,7 @@ func (s *Server) handleInject(w http.ResponseWriter, r *http.Request, se *sessio
 func (s *Server) handleOutputs(w http.ResponseWriter, r *http.Request, se *session) {
 	out, err := se.sess.Drain(r.Context())
 	if err != nil {
-		writeError(w, statusOf(err), err)
+		writeErr(w, err)
 		return
 	}
 	if r.URL.Query().Get("format") == "aer" {
@@ -283,23 +357,24 @@ func (s *Server) handleOutputs(w http.ResponseWriter, r *http.Request, se *sessi
 }
 
 // handleStream serves a live AER feed: one `tick id` line per output
-// spike, flushed as spikes arrive, until the client disconnects or the
-// session closes. The feed is best-effort under backpressure (a slow
-// client loses spikes rather than stalling the tick loop); exact capture
-// is the outputs endpoint.
+// spike, flushed as spikes arrive, until the client disconnects, the
+// session closes, or the server begins shutdown (a stream held open by a
+// slow reader must not pin graceful shutdown past its deadline). The feed
+// is best-effort under backpressure (a slow client loses spikes rather
+// than stalling the tick loop); exact capture is the outputs endpoint.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, se *session) {
 	buf := 4096
 	if v := r.URL.Query().Get("buffer"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid buffer %q", v))
+			writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Sprintf("invalid buffer %q", v))
 			return
 		}
 		buf = n
 	}
 	sub, cancel, err := se.sess.Subscribe(r.Context(), buf)
 	if err != nil {
-		writeError(w, statusOf(err), err)
+		writeErr(w, err)
 		return
 	}
 	defer cancel()
@@ -339,6 +414,8 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, se *sessio
 			}
 		case <-r.Context().Done():
 			return
+		case <-s.draining:
+			return // server shutdown: release the connection
 		}
 	}
 }
@@ -348,7 +425,8 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request, se *se
 	tw := &trackedWriter{w: w}
 	if err := se.sess.Checkpoint(r.Context(), tw); err != nil {
 		if !tw.wrote {
-			writeError(w, statusOf(err), err)
+			w.Header().Del("Content-Type") // writeErr resets it to JSON
+			writeErr(w, err)
 			return
 		}
 		// Part of the binary body is already out under a 200: appending a
@@ -373,32 +451,33 @@ func (t *trackedWriter) Write(p []byte) (int, error) {
 
 func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request, se *session) {
 	if err := se.sess.Restore(r.Context(), r.Body); err != nil {
-		writeError(w, statusOf(err), err)
+		writeErr(w, err)
 		return
 	}
 	tick, err := se.sess.Tick(r.Context())
 	if err != nil {
-		writeError(w, statusOf(err), err)
+		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, RunResponse{Tick: tick, Running: false})
 }
 
-// handleMetrics renders Prometheus-style text: per-session gauges labeled
-// by session id, in sorted order so scrapes are deterministic.
+// handleMetrics renders Prometheus-style text: scheduler gauges and
+// histograms, then per-session gauges labeled by session id in creation
+// order so scrapes are deterministic.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	all := make([]*session, 0, len(s.sessions))
-	for _, se := range s.sessions {
-		all = append(all, se)
-	}
+	all := make([]*session, 0, len(s.order))
+	all = append(all, s.order...)
 	s.mu.Unlock()
-	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprintf(w, "# HELP truenorth_sessions Live simulation sessions.\n")
 	fmt.Fprintf(w, "# TYPE truenorth_sessions gauge\n")
 	fmt.Fprintf(w, "truenorth_sessions %d\n", len(all))
+	if s.sched != nil {
+		writeSchedulerMetrics(w, s.sched.Metrics())
+	}
 	for _, se := range all {
 		st, err := se.sess.Stats(r.Context())
 		if err != nil {
@@ -422,6 +501,41 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// writeSchedulerMetrics renders the pooled scheduler's admission,
+// dispatch, and latency observability — the signals an operator watches
+// to know when a host is approaching saturation.
+func writeSchedulerMetrics(w io.Writer, m runtime.SchedulerMetrics) {
+	fmt.Fprintf(w, "# HELP truenorth_scheduler_sessions Sessions registered with the pooled scheduler.\n")
+	fmt.Fprintf(w, "# TYPE truenorth_scheduler_sessions gauge\n")
+	fmt.Fprintf(w, "truenorth_scheduler_sessions %d\n", m.Sessions)
+	fmt.Fprintf(w, "truenorth_scheduler_max_sessions %d\n", m.MaxSessions)
+	fmt.Fprintf(w, "truenorth_scheduler_paced_ticks_per_sec %g\n", m.PacedTicksPerSec)
+	fmt.Fprintf(w, "truenorth_scheduler_max_ticks_per_sec %g\n", m.MaxTicksPerSec)
+	fmt.Fprintf(w, "truenorth_scheduler_workers %d\n", m.Workers)
+	fmt.Fprintf(w, "truenorth_scheduler_ready_depth %d\n", m.ReadyDepth)
+	fmt.Fprintf(w, "truenorth_scheduler_dispatches_total %d\n", m.Dispatches)
+	fmt.Fprintf(w, "truenorth_scheduler_ticks_total %d\n", m.TicksStepped)
+	fmt.Fprintf(w, "truenorth_scheduler_rejected_sessions_total %d\n", m.RejectedSessions)
+	fmt.Fprintf(w, "truenorth_scheduler_rejected_rate_total %d\n", m.RejectedRate)
+	writeHist(w, "truenorth_scheduler_batch_ticks", m.BatchSize)
+	writeHist(w, "truenorth_scheduler_dispatch_seconds", m.StepLatency)
+}
+
+// writeHist renders one cumulative histogram in Prometheus bucket form.
+func writeHist(w io.Writer, name string, buckets []runtime.HistBucket) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var count uint64
+	for _, b := range buckets {
+		le := strconv.FormatFloat(b.Le, 'g', -1, 64)
+		if math.IsInf(b.Le, 1) {
+			le = "+Inf"
+		}
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, b.Count)
+		count = b.Count
+	}
+	fmt.Fprintf(w, "%s_count %d\n", name, count)
+}
+
 func boolGauge(b bool) int {
 	if b {
 		return 1
@@ -430,12 +544,17 @@ func boolGauge(b bool) int {
 }
 
 // decodeBody decodes an optional JSON body (empty bodies decode to the
-// zero request).
+// zero request). A body over the MaxBytesReader limit surfaces as
+// *http.MaxBytesError, which statusCodeOf maps to 413 body_too_large.
 func decodeBody(r *http.Request, v any) error {
 	dec := json.NewDecoder(r.Body)
 	if err := dec.Decode(v); err != nil {
 		if errors.Is(err, io.EOF) {
 			return nil
+		}
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return tooBig
 		}
 		return fmt.Errorf("decoding request: %w", err)
 	}

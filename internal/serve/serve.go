@@ -4,26 +4,42 @@
 // watch rate, power, and efficiency. tnserved reproduces that shape in
 // software: each session is one chip running one model at its own tick
 // rate, and the service hosts many concurrently (sessions are fully
-// isolated — separate engines, separate driver goroutines — so their
-// spike streams are exactly what single-tenant runs would produce).
+// isolated — separate engines, separate spike streams — so each stream is
+// exactly what a single-tenant run would produce). Sessions share a
+// runtime.Scheduler: a fixed worker pool stepping batches of due sessions
+// off a timing wheel, which is what lets one host carry thousands of
+// paced sessions (Config.LegacySessions restores the per-goroutine
+// servicer, kept as the benchmark comparison arm).
 //
 // Endpoints (all JSON unless noted):
 //
 //	POST   /v1/sessions                 create (netgen params or model file)
-//	GET    /v1/sessions                 list
+//	GET    /v1/sessions                 list; ?limit= &page_token= &state=running|paused
 //	GET    /v1/sessions/{id}            stats snapshot
+//	PATCH  /v1/sessions/{id}            reconfigure: tick_rate_hz, name, checkpoint_every
 //	DELETE /v1/sessions/{id}            close and remove
 //	POST   /v1/sessions/{id}/run        {"ticks":N}|{"until":T}, "wait":bool
 //	POST   /v1/sessions/{id}/pause      → {"tick":T}
 //	POST   /v1/sessions/{id}/resume     continue a paused run
-//	POST   /v1/sessions/{id}/rate       {"hz":F} (0 = free-running)
+//	POST   /v1/sessions/{id}/rate       DEPRECATED alias for PATCH {"tick_rate_hz":F}
 //	POST   /v1/sessions/{id}/inject     absolute-tick events or delayed spikes
 //	GET    /v1/sessions/{id}/outputs    drain; ?format=aer for spikeio text
 //	GET    /v1/sessions/{id}/stream     live AER stream until disconnect
 //	GET    /v1/sessions/{id}/checkpoint binary checkpoint download
 //	POST   /v1/sessions/{id}/restore    binary checkpoint upload
-//	GET    /metrics                     Prometheus-style text
+//	GET    /metrics                     Prometheus-style text (incl. scheduler)
 //	GET    /healthz                     liveness
+//
+// Errors. Every endpoint fails with one envelope:
+//
+//	{"error": {"code": "<machine-readable>", "message": "<human-readable>"}}
+//
+// with stable codes: invalid_request (400), not_found (404), busy (409),
+// session_closed (410), body_too_large (413), saturated (429, with
+// Retry-After), checkpoint_unsupported (501), shutting_down (503, with
+// Retry-After), internal (500). "saturated" is the admission-control
+// signal: the server is at its session cap or aggregate ticks/sec budget;
+// shed load or retry later.
 //
 // Model admission is gated exactly like tnsim: loaded model files and
 // output-tapped generated networks verify under
@@ -40,6 +56,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"truenorth/internal/core"
@@ -51,43 +69,126 @@ import (
 	"truenorth/internal/sim"
 )
 
+// Stable machine-readable error codes (the "code" field of the error
+// envelope). These are API: clients dispatch on them, so changing one is
+// a breaking change.
+const (
+	codeInvalidRequest  = "invalid_request"        // 400: malformed body, bad field, bad model
+	codeNotFound        = "not_found"              // 404: unknown session id
+	codeBusy            = "busy"                   // 409: operation conflicts with an in-flight run
+	codeSessionClosed   = "session_closed"         // 410: session was closed
+	codeBodyTooLarge    = "body_too_large"         // 413: request exceeded the size limit
+	codeSaturated       = "saturated"              // 429: admission control refused the load
+	codeCkptUnsupported = "checkpoint_unsupported" // 501: engine has no checkpoint support
+	codeShuttingDown    = "shutting_down"          // 503: server is draining
+	codeInternal        = "internal"               // 500: unexpected server-side failure
+)
+
 // Config tunes a Server.
 type Config struct {
-	// MaxSessions caps concurrently live sessions (0 = unlimited).
+	// MaxSessions caps concurrently live sessions (0 = scheduler default,
+	// 4096). The cap is enforced by scheduler admission control and
+	// refused with the saturated error code.
 	MaxSessions int
+	// MaxTicksPerSec caps the admitted aggregate paced rate across all
+	// sessions (0 = unlimited) — the knob that keeps one host's real-time
+	// promises honest. Exceeding it is refused with saturated.
+	MaxTicksPerSec float64
+	// Workers sizes the scheduler's service pool (0 = GOMAXPROCS).
+	Workers int
+	// LegacySessions runs every session on its own goroutine with its own
+	// pacing timer (the pre-scheduler servicer). Kept as the comparison
+	// arm for the serving benchmark; admission control still applies via
+	// MaxSessions but not MaxTicksPerSec.
+	LegacySessions bool
 	// DefaultEngine names the engine used when a create request does not
 	// pick one ("compass" when empty).
 	DefaultEngine string
+	// MaxBodyBytes caps JSON request bodies (default 1 MiB) and
+	// MaxRestoreBytes caps checkpoint uploads (default 1 GiB); both map
+	// to 413 body_too_large.
+	MaxBodyBytes    int64
+	MaxRestoreBytes int64
 }
 
 // Server manages a set of live simulation sessions.
 type Server struct {
-	cfg Config
+	cfg   Config
+	sched *runtime.Scheduler // nil in legacy mode
+
+	draining  chan struct{} // closed by BeginShutdown
+	drainOnce sync.Once
 
 	mu       sync.Mutex
 	seq      int
 	sessions map[string]*session
+	order    []*session // ascending seq — the pagination index
 	closed   bool
 }
 
 // session is one hosted model.
 type session struct {
-	id     string
-	name   string
-	engine string
-	sess   *runtime.Session
+	id       string
+	seq      int
+	engine   string
+	sess     *runtime.Session
+	ckptSink bool // created with a checkpoint destination
+
+	mu   sync.Mutex // guards name (mutable via PATCH)
+	name string
 }
 
-// NewServer returns an empty server.
+func (se *session) getName() string {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return se.name
+}
+
+func (se *session) setName(name string) {
+	se.mu.Lock()
+	se.name = name
+	se.mu.Unlock()
+}
+
+// NewServer returns an empty server and starts its session scheduler
+// (unless cfg.LegacySessions). The caller owns the server and must Close
+// it.
 func NewServer(cfg Config) *Server {
 	if cfg.DefaultEngine == "" {
 		cfg.DefaultEngine = "compass"
 	}
-	return &Server{cfg: cfg, sessions: map[string]*session{}}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.MaxRestoreBytes <= 0 {
+		cfg.MaxRestoreBytes = 1 << 30
+	}
+	s := &Server{
+		cfg:      cfg,
+		sessions: map[string]*session{},
+		draining: make(chan struct{}),
+	}
+	if !cfg.LegacySessions {
+		s.sched = runtime.NewScheduler(runtime.SchedulerConfig{
+			Workers:        cfg.Workers,
+			MaxSessions:    cfg.MaxSessions,
+			MaxTicksPerSec: cfg.MaxTicksPerSec,
+		})
+	}
+	return s
 }
 
-// Close shuts down every session.
+// BeginShutdown marks the server as draining: new creates are refused with
+// shutting_down and every live /stream response terminates, so slow stream
+// readers cannot pin a graceful http.Server.Shutdown past its deadline.
+// Existing sessions keep running until Close.
+func (s *Server) BeginShutdown() {
+	s.drainOnce.Do(func() { close(s.draining) })
+}
+
+// Close shuts down every session and the scheduler.
 func (s *Server) Close() {
+	s.BeginShutdown()
 	s.mu.Lock()
 	s.closed = true
 	all := make([]*session, 0, len(s.sessions))
@@ -95,18 +196,25 @@ func (s *Server) Close() {
 		all = append(all, se)
 	}
 	s.sessions = map[string]*session{}
+	s.order = nil
 	s.mu.Unlock()
 	for _, se := range all {
 		se.sess.Close() //nolint:errcheck
 	}
+	if s.sched != nil {
+		s.sched.Close()
+	}
 }
 
-// Handler returns the routed HTTP handler.
+// Handler returns the routed HTTP handler. Every route runs behind the
+// request-size limit: MaxRestoreBytes for checkpoint uploads,
+// MaxBodyBytes for everything else.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
 	mux.HandleFunc("GET /v1/sessions", s.handleList)
 	mux.HandleFunc("GET /v1/sessions/{id}", s.withSession(s.handleStats))
+	mux.HandleFunc("PATCH /v1/sessions/{id}", s.withSession(s.handlePatch))
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	mux.HandleFunc("POST /v1/sessions/{id}/run", s.withSession(s.handleRun))
 	mux.HandleFunc("POST /v1/sessions/{id}/pause", s.withSession(s.handlePause))
@@ -119,7 +227,23 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{id}/restore", s.withSession(s.handleRestore))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
+	return s.limitBody(mux)
+}
+
+// limitBody wraps every request body in http.MaxBytesReader so an
+// oversized or unbounded upload fails with 413 instead of exhausting the
+// host. Checkpoint restores get the larger binary budget.
+func (s *Server) limitBody(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		limit := s.cfg.MaxBodyBytes
+		if strings.HasSuffix(r.URL.Path, "/restore") {
+			limit = s.cfg.MaxRestoreBytes
+		}
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, limit)
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // withSession resolves {id} and 404s unknown sessions.
@@ -130,7 +254,7 @@ func (s *Server) withSession(h func(http.ResponseWriter, *http.Request, *session
 		se := s.sessions[id]
 		s.mu.Unlock()
 		if se == nil {
-			writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", id))
+			writeError(w, http.StatusNotFound, codeNotFound, fmt.Sprintf("no session %q", id))
 			return
 		}
 		h(w, r, se)
@@ -224,16 +348,16 @@ func buildModel(req *CreateRequest) (router.Mesh, []*core.Config, error) {
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var req CreateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
 		return
 	}
 	if req.TickRateHz < 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("tick_rate_hz %g is negative", req.TickRateHz))
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Sprintf("tick_rate_hz %g is negative", req.TickRateHz))
 		return
 	}
 	if (req.CheckpointEvery > 0) != (req.CheckpointPath != "") {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("checkpoint_every and checkpoint_path must be set together"))
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "checkpoint_every and checkpoint_path must be set together")
 		return
 	}
 	if req.CheckpointPath != "" {
@@ -242,13 +366,13 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		// 201 — by which point the session has been running without the
 		// durability the client asked for.
 		if err := checkCheckpointPath(req.CheckpointPath); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, http.StatusBadRequest, codeInvalidRequest, err.Error())
 			return
 		}
 	}
 	mesh, configs, err := buildModel(&req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, err.Error())
 		return
 	}
 	engine := req.Engine
@@ -257,7 +381,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	eng, err := sim.NewEngine(engine, mesh, configs, sim.WithWorkers(req.Workers))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, err.Error())
 		return
 	}
 	opts := []runtime.Option{runtime.WithTickRate(req.TickRateHz)}
@@ -265,32 +389,46 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		path := req.CheckpointPath
 		opts = append(opts, runtime.WithAutoCheckpoint(req.CheckpointEvery, rollingCheckpoint(path)))
 	}
-	se := &session{name: req.Name, engine: engine, sess: runtime.New(eng, opts...)}
+	if s.sched != nil {
+		opts = append(opts, runtime.WithScheduler(s.sched))
+	}
+	sess, err := runtime.New(eng, opts...)
+	if err != nil {
+		// Admission control refused the session (or the scheduler is
+		// already down because the server is closing).
+		writeErr(w, err)
+		return
+	}
+	se := &session{name: req.Name, engine: engine, sess: sess, ckptSink: req.CheckpointEvery > 0}
 
 	s.mu.Lock()
 	if s.closed {
 		// A request that races server shutdown must not leave a live
-		// session goroutine behind: Close has already drained the map and
-		// will never see this one.
+		// session behind: Close has already drained the map and will never
+		// see this one.
 		s.mu.Unlock()
 		se.sess.Close() //nolint:errcheck
-		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server is shutting down"))
+		writeError(w, http.StatusServiceUnavailable, codeShuttingDown, "server is shutting down")
 		return
 	}
 	if s.cfg.MaxSessions > 0 && len(s.sessions) >= s.cfg.MaxSessions {
+		// Reached only in legacy mode — scheduler admission enforces the
+		// cap before the session exists.
 		s.mu.Unlock()
 		se.sess.Close() //nolint:errcheck
-		writeError(w, http.StatusConflict, fmt.Errorf("session limit (%d) reached", s.cfg.MaxSessions))
+		writeError(w, http.StatusTooManyRequests, codeSaturated, fmt.Sprintf("session limit (%d) reached", s.cfg.MaxSessions))
 		return
 	}
 	s.seq++
-	se.id = fmt.Sprintf("s-%d", s.seq)
+	se.seq = s.seq
+	se.id = fmt.Sprintf("s-%d", se.seq)
 	s.sessions[se.id] = se
+	s.order = append(s.order, se)
 	s.mu.Unlock()
 
 	info, err := se.info(r)
 	if err != nil {
-		writeError(w, statusOf(err), err)
+		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, info)
@@ -342,23 +480,102 @@ func (r *renameOnClose) Close() error {
 	return os.Rename(r.Name(), r.dest)
 }
 
-func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	all := make([]*session, 0, len(s.sessions))
-	for _, se := range s.sessions {
-		all = append(all, se)
+// ListResponse is one page of sessions.
+type ListResponse struct {
+	Sessions []SessionInfo `json:"sessions"`
+	// NextPageToken resumes the listing after the last returned session;
+	// absent on the final page.
+	NextPageToken string `json:"next_page_token,omitempty"`
+}
+
+// seqOfToken parses a page token ("s-42", an id returned by a previous
+// page) back to its sequence number.
+func seqOfToken(tok string) (int, error) {
+	rest, ok := strings.CutPrefix(tok, "s-")
+	if !ok {
+		return 0, fmt.Errorf("invalid page_token %q", tok)
 	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid page_token %q", tok)
+	}
+	return n, nil
+}
+
+// handleList pages through sessions in creation order. The index is a
+// seq-sorted slice, so an unfiltered page costs O(log n + page) under the
+// lock regardless of how many sessions the server carries; the state
+// filter additionally snapshots per candidate session until the page
+// fills.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := 100
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Sprintf("invalid limit %q", v))
+			return
+		}
+		if n > 1000 {
+			n = 1000
+		}
+		limit = n
+	}
+	state := q.Get("state")
+	if state != "" && state != "running" && state != "paused" {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Sprintf("invalid state %q (want running or paused)", state))
+		return
+	}
+	afterSeq := 0
+	if tok := q.Get("page_token"); tok != "" {
+		n, err := seqOfToken(tok)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, codeInvalidRequest, err.Error())
+			return
+		}
+		afterSeq = n
+	}
+
+	s.mu.Lock()
+	start := sort.Search(len(s.order), func(i int) bool { return s.order[i].seq > afterSeq })
+	var candidates []*session
+	if state == "" {
+		end := start + limit
+		if end > len(s.order) {
+			end = len(s.order)
+		}
+		candidates = append(candidates, s.order[start:end]...)
+	} else {
+		// Filtered listings scan forward; the page boundary is still by
+		// candidate, so a sparse filter pages through quickly.
+		candidates = append(candidates, s.order[start:]...)
+	}
+	total := len(s.order)
 	s.mu.Unlock()
-	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
-	infos := make([]SessionInfo, 0, len(all))
-	for _, se := range all {
+
+	infos := make([]SessionInfo, 0, limit)
+	lastSeq := afterSeq
+	truncated := false
+	for _, se := range candidates {
+		if len(infos) >= limit {
+			truncated = true
+			break
+		}
+		lastSeq = se.seq
 		info, err := se.info(r)
 		if err != nil {
 			continue // racing with deletion; skip
 		}
+		if state == "running" && !info.Running || state == "paused" && info.Running {
+			continue
+		}
 		infos = append(infos, info)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"sessions": infos})
+	resp := ListResponse{Sessions: infos}
+	if truncated || (state == "" && start+len(candidates) < total) {
+		resp.NextPageToken = fmt.Sprintf("s-%d", lastSeq)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -366,9 +583,15 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	se := s.sessions[id]
 	delete(s.sessions, id)
+	if se != nil {
+		i := sort.Search(len(s.order), func(i int) bool { return s.order[i].seq >= se.seq })
+		if i < len(s.order) && s.order[i] == se {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+		}
+	}
 	s.mu.Unlock()
 	if se == nil {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", id))
+		writeError(w, http.StatusNotFound, codeNotFound, fmt.Sprintf("no session %q", id))
 		return
 	}
 	se.sess.Close() //nolint:errcheck
@@ -389,23 +612,53 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone
 }
 
-// writeError writes the uniform error shape.
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// ErrorBody is the unified error envelope every endpoint emits.
+type ErrorBody struct {
+	Error ErrorInfo `json:"error"`
 }
 
-// statusOf maps runtime errors to HTTP statuses.
-func statusOf(err error) int {
+// ErrorInfo carries one error: a stable machine-readable code and a
+// human-readable message.
+type ErrorInfo struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// writeError writes the error envelope. Backpressure statuses carry
+// Retry-After so well-behaved clients pace their retries.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, ErrorBody{Error: ErrorInfo{Code: code, Message: msg}})
+}
+
+// writeErr maps an error to its status + code and writes the envelope.
+func writeErr(w http.ResponseWriter, err error) {
+	status, code := statusCodeOf(err)
+	writeError(w, status, code, err.Error())
+}
+
+// statusCodeOf maps runtime and transport errors to HTTP status + stable
+// error code.
+func statusCodeOf(err error) (int, string) {
+	var tooBig *http.MaxBytesError
 	switch {
 	case err == nil:
-		return http.StatusOK
+		return http.StatusOK, ""
 	case errors.Is(err, runtime.ErrBusy):
-		return http.StatusConflict
+		return http.StatusConflict, codeBusy
 	case errors.Is(err, runtime.ErrClosed):
-		return http.StatusGone
+		return http.StatusGone, codeSessionClosed
 	case errors.Is(err, runtime.ErrNoCheckpoint):
-		return http.StatusNotImplemented
+		return http.StatusNotImplemented, codeCkptUnsupported
+	case errors.Is(err, runtime.ErrSaturated):
+		return http.StatusTooManyRequests, codeSaturated
+	case errors.Is(err, runtime.ErrSchedulerClosed):
+		return http.StatusServiceUnavailable, codeShuttingDown
+	case errors.As(err, &tooBig):
+		return http.StatusRequestEntityTooLarge, codeBodyTooLarge
 	default:
-		return http.StatusBadRequest
+		return http.StatusBadRequest, codeInvalidRequest
 	}
 }

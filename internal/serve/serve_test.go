@@ -77,6 +77,52 @@ func netgenSpec(seed int64) *serve.NetgenSpec {
 	return &serve.NetgenSpec{Grid: 4, RateHz: 90, SynPerNeuron: 64, Seed: seed, Stochastic: true, OutputEvery: 16}
 }
 
+// f64 and u64 build the pointer fields of PATCH-style requests.
+func f64(v float64) *float64 { return &v }
+func u64(v uint64) *uint64   { return &v }
+
+// errEnvelope decodes and sanity-checks the unified error envelope,
+// returning its machine-readable code.
+func errEnvelope(t *testing.T, raw []byte) string {
+	t.Helper()
+	var body serve.ErrorBody
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatalf("response %q is not the error envelope: %v", raw, err)
+	}
+	if body.Error.Code == "" || body.Error.Message == "" {
+		t.Fatalf("envelope %q missing code or message", raw)
+	}
+	return body.Error.Code
+}
+
+// callRaw is call, but returns the raw body and response for envelope and
+// header assertions.
+func callRaw(t *testing.T, method, url string, body any) (int, []byte, *http.Response) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw, resp
+}
+
 // directAER runs the same network uninterrupted on a bare chip engine and
 // renders the AER text a perfectly isolated session must reproduce.
 func directAER(t *testing.T, seed int64, ticks int) string {
@@ -203,23 +249,35 @@ func TestCreateValidation(t *testing.T) {
 		"ckpt path is dir": {Netgen: netgenSpec(1), CheckpointEvery: 10,
 			CheckpointPath: t.TempDir()},
 	} {
-		var out map[string]string
-		if st := call(t, "POST", ts.URL+"/v1/sessions", req, &out); st != http.StatusBadRequest {
-			t.Errorf("%s: status %d, want 400 (%v)", name, st, out)
-		} else if out["error"] == "" {
-			t.Errorf("%s: no error message", name)
+		st, raw, _ := callRaw(t, "POST", ts.URL+"/v1/sessions", req)
+		if st != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", name, st, raw)
+		} else if code := errEnvelope(t, raw); code != "invalid_request" {
+			t.Errorf("%s: code %q, want invalid_request", name, code)
 		}
 	}
 }
 
+// TestMaxSessions drives admission control to its session cap in both
+// servicer modes: the refusal is 429 with the saturated code and a
+// Retry-After hint.
 func TestMaxSessions(t *testing.T) {
 	leakcheck.Check(t)
-	ts := newTestServer(t, serve.Config{MaxSessions: 1})
-	if st := call(t, "POST", ts.URL+"/v1/sessions", serve.CreateRequest{Engine: "chip", Netgen: netgenSpec(1)}, nil); st != http.StatusCreated {
-		t.Fatalf("first create = %d", st)
-	}
-	if st := call(t, "POST", ts.URL+"/v1/sessions", serve.CreateRequest{Engine: "chip", Netgen: netgenSpec(2)}, nil); st != http.StatusConflict {
-		t.Fatalf("second create = %d, want 409", st)
+	for _, legacy := range []bool{false, true} {
+		ts := newTestServer(t, serve.Config{MaxSessions: 1, LegacySessions: legacy})
+		if st := call(t, "POST", ts.URL+"/v1/sessions", serve.CreateRequest{Engine: "chip", Netgen: netgenSpec(1)}, nil); st != http.StatusCreated {
+			t.Fatalf("legacy=%v: first create = %d", legacy, st)
+		}
+		st, raw, resp := callRaw(t, "POST", ts.URL+"/v1/sessions", serve.CreateRequest{Engine: "chip", Netgen: netgenSpec(2)})
+		if st != http.StatusTooManyRequests {
+			t.Fatalf("legacy=%v: second create = %d, want 429 (%s)", legacy, st, raw)
+		}
+		if code := errEnvelope(t, raw); code != "saturated" {
+			t.Fatalf("legacy=%v: code = %q, want saturated", legacy, code)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("legacy=%v: saturated refusal without Retry-After", legacy)
+		}
 	}
 }
 
@@ -322,7 +380,7 @@ func TestPauseResumeAndRate(t *testing.T) {
 	if st := call(t, "POST", base+"/pause", nil, &paused); st != http.StatusOK {
 		t.Fatalf("pause = %d", st)
 	}
-	if st := call(t, "POST", base+"/rate", serve.RateRequest{Hz: 0}, nil); st != http.StatusOK {
+	if st := call(t, "POST", base+"/rate", serve.RateRequest{Hz: f64(0)}, nil); st != http.StatusOK {
 		t.Fatal("rate change failed")
 	}
 	if st := call(t, "POST", base+"/resume", nil, &run); st != http.StatusOK {
@@ -383,7 +441,7 @@ func TestRunUntilHugeTargetStaysBounded(t *testing.T) {
 	if st := call(t, "POST", base+"/pause", nil, nil); st != http.StatusOK {
 		t.Fatal("pause failed")
 	}
-	if st := call(t, "POST", base+"/rate", serve.RateRequest{Hz: 0}, nil); st != http.StatusOK {
+	if st := call(t, "POST", base+"/rate", serve.RateRequest{Hz: f64(0)}, nil); st != http.StatusOK {
 		t.Fatal("rate change failed")
 	}
 	if st := call(t, "POST", base+"/run", serve.RunRequest{Ticks: 10, Wait: true}, &run); st != http.StatusOK {
@@ -413,11 +471,11 @@ func TestRunRejectsNegativeTicks(t *testing.T) {
 		"waited":     {Ticks: -5, Wait: true},
 		"non-waited": {Ticks: -5},
 	} {
-		var out map[string]string
-		if st := call(t, "POST", base+"/run", body, &out); st != http.StatusBadRequest {
-			t.Errorf("%s negative run: status %d, want 400 (%v)", name, st, out)
-		} else if out["error"] == "" {
-			t.Errorf("%s negative run: no error message", name)
+		st, raw, _ := callRaw(t, "POST", base+"/run", body)
+		if st != http.StatusBadRequest {
+			t.Errorf("%s negative run: status %d, want 400 (%s)", name, st, raw)
+		} else if code := errEnvelope(t, raw); code != "invalid_request" {
+			t.Errorf("%s negative run: code %q, want invalid_request", name, code)
 		}
 	}
 	// Neither rejected request may have started anything.
@@ -666,6 +724,265 @@ func TestListSessions(t *testing.T) {
 	}
 	if len(list.Sessions) != 1 || list.Sessions[0].Name != "alpha" {
 		t.Fatalf("list = %+v", list.Sessions)
+	}
+}
+
+// TestPatchSession drives the general config endpoint: rate, name, and
+// checkpoint interval in one request, with all-or-nothing validation.
+func TestPatchSession(t *testing.T) {
+	ts := newTestServer(t, serve.Config{})
+	dir := t.TempDir()
+	var info serve.SessionInfo
+	req := serve.CreateRequest{
+		Name: "before", Engine: "chip", Netgen: netgenSpec(1), TickRateHz: 200,
+		CheckpointEvery: 100, CheckpointPath: filepath.Join(dir, "ckpt.tnc"),
+	}
+	if st := call(t, "POST", ts.URL+"/v1/sessions", req, &info); st != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	base := ts.URL + "/v1/sessions/" + info.ID
+
+	patch := serve.PatchRequest{TickRateHz: f64(0), Name: strPtr("after"), CheckpointEvery: u64(10)}
+	if st := call(t, "PATCH", base, patch, &info); st != http.StatusOK {
+		t.Fatalf("patch = %d", st)
+	}
+	if info.TickRateHz != 0 || info.Name != "after" {
+		t.Fatalf("patched info = %+v", info)
+	}
+	// The new checkpoint interval is live: a run past tick 10 checkpoints.
+	if st := call(t, "POST", base+"/run", serve.RunRequest{Ticks: 15, Wait: true}, nil); st != http.StatusOK {
+		t.Fatal("run failed")
+	}
+	if st := call(t, "GET", base, nil, &info); st != http.StatusOK {
+		t.Fatalf("stats = %d", st)
+	}
+	if info.CheckpointTick != 10 || info.LastCheckpointError != "" {
+		t.Fatalf("checkpoint tick %d err %q, want 10 and none", info.CheckpointTick, info.LastCheckpointError)
+	}
+
+	// Validation: empty patch, negative rate, and a checkpoint interval on
+	// a session without a sink are all invalid_request and change nothing.
+	for name, bad := range map[string]any{
+		"empty patch":   serve.PatchRequest{},
+		"negative rate": serve.PatchRequest{TickRateHz: f64(-1)},
+	} {
+		st, raw, _ := callRaw(t, "PATCH", base, bad)
+		if st != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", name, st, raw)
+		} else if code := errEnvelope(t, raw); code != "invalid_request" {
+			t.Errorf("%s: code %q, want invalid_request", name, code)
+		}
+	}
+	var plain serve.SessionInfo
+	if st := call(t, "POST", ts.URL+"/v1/sessions", serve.CreateRequest{Engine: "chip", Netgen: netgenSpec(2)}, &plain); st != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	st, raw, _ := callRaw(t, "PATCH", ts.URL+"/v1/sessions/"+plain.ID, serve.PatchRequest{CheckpointEvery: u64(5)})
+	if st != http.StatusBadRequest || errEnvelope(t, raw) != "invalid_request" {
+		t.Fatalf("checkpoint interval without sink = %d (%s), want 400 invalid_request", st, raw)
+	}
+}
+
+func strPtr(s string) *string { return &s }
+
+// TestRateAliasDeprecated pins the one-release compatibility alias:
+// POST /rate still re-paces the session, carries a Deprecation header, and
+// accepts both the old {"hz"} and the new {"tick_rate_hz"} shapes.
+func TestRateAliasDeprecated(t *testing.T) {
+	ts := newTestServer(t, serve.Config{})
+	var info serve.SessionInfo
+	if st := call(t, "POST", ts.URL+"/v1/sessions", serve.CreateRequest{Engine: "chip", Netgen: netgenSpec(1)}, &info); st != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	base := ts.URL + "/v1/sessions/" + info.ID
+
+	st, _, resp := callRaw(t, "POST", base+"/rate", serve.RateRequest{Hz: f64(250)})
+	if st != http.StatusOK {
+		t.Fatalf("rate alias = %d", st)
+	}
+	if resp.Header.Get("Deprecation") == "" {
+		t.Error("rate alias response missing Deprecation header")
+	}
+	if st := call(t, "GET", base, nil, &info); st != http.StatusOK || info.TickRateHz != 250 {
+		t.Fatalf("rate after alias = %g, want 250", info.TickRateHz)
+	}
+	if st := call(t, "POST", base+"/rate", serve.RateRequest{TickRateHz: f64(125)}, nil); st != http.StatusOK {
+		t.Fatalf("rate alias (new field) = %d", st)
+	}
+	if st := call(t, "GET", base, nil, &info); st != http.StatusOK || info.TickRateHz != 125 {
+		t.Fatalf("rate after alias = %g, want 125", info.TickRateHz)
+	}
+	st, raw, _ := callRaw(t, "POST", base+"/rate", serve.RateRequest{Hz: f64(-3)})
+	if st != http.StatusBadRequest || errEnvelope(t, raw) != "invalid_request" {
+		t.Fatalf("negative rate via alias = %d (%s)", st, raw)
+	}
+}
+
+// TestListPagination walks a multi-page listing by token and exercises
+// the state filter.
+func TestListPagination(t *testing.T) {
+	ts := newTestServer(t, serve.Config{})
+	const n = 7
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		var info serve.SessionInfo
+		req := serve.CreateRequest{Name: fmt.Sprintf("p%d", i), Engine: "chip", Netgen: netgenSpec(int64(i + 1))}
+		if st := call(t, "POST", ts.URL+"/v1/sessions", req, &info); st != http.StatusCreated {
+			t.Fatal("create failed")
+		}
+		ids = append(ids, info.ID)
+	}
+
+	var got []string
+	token := ""
+	pages := 0
+	for {
+		url := ts.URL + "/v1/sessions?limit=3"
+		if token != "" {
+			url += "&page_token=" + token
+		}
+		var page serve.ListResponse
+		if st := call(t, "GET", url, nil, &page); st != http.StatusOK {
+			t.Fatalf("list page = %d", st)
+		}
+		pages++
+		for _, se := range page.Sessions {
+			got = append(got, se.ID)
+		}
+		if page.NextPageToken == "" {
+			break
+		}
+		token = page.NextPageToken
+		if pages > n {
+			t.Fatal("pagination never terminated")
+		}
+	}
+	if pages != 3 || len(got) != n {
+		t.Fatalf("paged %d sessions over %d pages, want %d over 3", len(got), pages, n)
+	}
+	for i := range got {
+		if got[i] != ids[i] {
+			t.Fatalf("page order %v, want creation order %v", got, ids)
+		}
+	}
+
+	// Start one session running; the state filter splits the population.
+	if st := call(t, "POST", ts.URL+"/v1/sessions/"+ids[2]+"/run", serve.RunRequest{}, nil); st != http.StatusOK {
+		t.Fatal("run failed")
+	}
+	var running serve.ListResponse
+	if st := call(t, "GET", ts.URL+"/v1/sessions?state=running", nil, &running); st != http.StatusOK {
+		t.Fatalf("state filter = %d", st)
+	}
+	if len(running.Sessions) != 1 || running.Sessions[0].ID != ids[2] {
+		t.Fatalf("running filter = %+v, want just %s", running.Sessions, ids[2])
+	}
+	var paused serve.ListResponse
+	if st := call(t, "GET", ts.URL+"/v1/sessions?state=paused", nil, &paused); st != http.StatusOK {
+		t.Fatalf("state filter = %d", st)
+	}
+	if len(paused.Sessions) != n-1 {
+		t.Fatalf("paused filter returned %d sessions, want %d", len(paused.Sessions), n-1)
+	}
+
+	// Bad paging parameters are invalid_request.
+	for _, q := range []string{"?limit=0", "?limit=x", "?page_token=bogus", "?state=sleeping"} {
+		st, raw, _ := callRaw(t, "GET", ts.URL+"/v1/sessions"+q, nil)
+		if st != http.StatusBadRequest || errEnvelope(t, raw) != "invalid_request" {
+			t.Errorf("list%s = %d (%s), want 400 invalid_request", q, st, raw)
+		}
+	}
+}
+
+// TestBodyTooLarge pins the request-size limit: an oversized JSON body is
+// refused with 413 and the body_too_large code.
+func TestBodyTooLarge(t *testing.T) {
+	ts := newTestServer(t, serve.Config{MaxBodyBytes: 512})
+	big := serve.CreateRequest{Name: strings.Repeat("x", 2048), Netgen: netgenSpec(1)}
+	st, raw, _ := callRaw(t, "POST", ts.URL+"/v1/sessions", big)
+	if st != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized create = %d (%s), want 413", st, raw)
+	}
+	if code := errEnvelope(t, raw); code != "body_too_large" {
+		t.Fatalf("code = %q, want body_too_large", code)
+	}
+}
+
+// TestAggregateRateSaturation drives the ticks/sec admission budget: the
+// scheduler refuses creates and re-pacings that would oversubscribe the
+// host's real-time promises.
+func TestAggregateRateSaturation(t *testing.T) {
+	leakcheck.Check(t)
+	ts := newTestServer(t, serve.Config{MaxTicksPerSec: 1000})
+	var a serve.SessionInfo
+	if st := call(t, "POST", ts.URL+"/v1/sessions", serve.CreateRequest{Engine: "chip", Netgen: netgenSpec(1), TickRateHz: 800}, &a); st != http.StatusCreated {
+		t.Fatalf("first create = %d", st)
+	}
+	// 800 + 800 > 1000: refused.
+	st, raw, resp := callRaw(t, "POST", ts.URL+"/v1/sessions", serve.CreateRequest{Engine: "chip", Netgen: netgenSpec(2), TickRateHz: 800})
+	if st != http.StatusTooManyRequests || errEnvelope(t, raw) != "saturated" {
+		t.Fatalf("oversubscribing create = %d (%s), want 429 saturated", st, raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("saturated refusal without Retry-After")
+	}
+	// 800 + 100 fits.
+	var b serve.SessionInfo
+	if st := call(t, "POST", ts.URL+"/v1/sessions", serve.CreateRequest{Engine: "chip", Netgen: netgenSpec(2), TickRateHz: 100}, &b); st != http.StatusCreated {
+		t.Fatalf("fitting create = %d", st)
+	}
+	// Re-pacing beyond the budget is refused and leaves the old rate.
+	st, raw, _ = callRaw(t, "PATCH", ts.URL+"/v1/sessions/"+b.ID, serve.PatchRequest{TickRateHz: f64(500)})
+	if st != http.StatusTooManyRequests || errEnvelope(t, raw) != "saturated" {
+		t.Fatalf("oversubscribing patch = %d (%s), want 429 saturated", st, raw)
+	}
+	var info serve.SessionInfo
+	if st := call(t, "GET", ts.URL+"/v1/sessions/"+b.ID, nil, &info); st != http.StatusOK || info.TickRateHz != 100 {
+		t.Fatalf("rate after refused patch = %g, want 100", info.TickRateHz)
+	}
+	// Freeing the budget (delete the 800 Hz session) admits it.
+	if st := call(t, "DELETE", ts.URL+"/v1/sessions/"+a.ID, nil, nil); st != http.StatusOK {
+		t.Fatal("delete failed")
+	}
+	if st := call(t, "PATCH", ts.URL+"/v1/sessions/"+b.ID, serve.PatchRequest{TickRateHz: f64(500)}, nil); st != http.StatusOK {
+		t.Fatalf("patch after freeing budget = %d", st)
+	}
+}
+
+// TestStreamEndsOnShutdown pins the draining behavior: a live /stream
+// held open by a slow reader terminates when the server begins shutdown,
+// so graceful http.Server.Shutdown cannot be pinned past its deadline.
+func TestStreamEndsOnShutdown(t *testing.T) {
+	leakcheck.Check(t)
+	srv := serve.NewServer(serve.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+	var info serve.SessionInfo
+	if st := call(t, "POST", ts.URL+"/v1/sessions", serve.CreateRequest{Engine: "chip", Netgen: netgenSpec(1)}, &info); st != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	resp, err := http.Get(ts.URL + "/v1/sessions/" + info.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream = %d", resp.StatusCode)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := io.Copy(io.Discard, resp.Body)
+		done <- err
+	}()
+	srv.BeginShutdown()
+	select {
+	case <-done:
+		// Stream released; graceful shutdown can proceed.
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream still open 5s after BeginShutdown")
 	}
 }
 

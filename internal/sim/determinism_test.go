@@ -222,7 +222,10 @@ func TestSessionDriverPreservesSpikeStream(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			s := runtime.New(eng)
+			s, err := runtime.New(eng)
+			if err != nil {
+				t.Fatal(err)
+			}
 			defer s.Close()
 			// Segment 1: a paced asynchronous run, paused somewhere
 			// mid-flight (wherever the wall clock lands — determinism must

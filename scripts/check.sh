@@ -40,6 +40,11 @@
 #                      operating point measures three arms (active-neuron
 #                      chip, forced full scan, compass) whose event counts
 #                      must agree exactly, and the JSON report must land
+#  11. bench-serve smoke — run the serving sweep's small configuration:
+#                      both session-servicer arms (pooled scheduler and
+#                      goroutine-per-session) hold paced sessions at rate
+#                      with the command-latency probe running, and the
+#                      BENCH_SERVE JSON report must land
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -90,6 +95,9 @@ go test -shuffle=on ./...
 echo "==> go test -race ./internal/compass/... ./internal/sim/... ./internal/runtime/... ./internal/serve/..."
 go test -race ./internal/compass/... ./internal/sim/... ./internal/runtime/... ./internal/serve/...
 
+echo "==> go test -race ./internal/runtime/... (TN_RUNTIME_SCHED=1: pooled-scheduler servicer)"
+TN_RUNTIME_SCHED=1 go test -race ./internal/runtime/...
+
 echo "==> allocs gate (per-tick heap budgets)"
 ./scripts/allocs_gate.sh
 
@@ -98,7 +106,11 @@ echo "==> serve smoke (tnserved end-to-end)"
 
 echo "==> bench smoke (tnbench small sweep)"
 bench_out=$(mktemp)
-trap 'rm -f "$bench_out"' EXIT
+serve_bench_out=$(mktemp)
+trap 'rm -f "$bench_out" "$serve_bench_out"' EXIT
 go run ./cmd/tnbench -smoke -q -o "$bench_out"
+
+echo "==> bench-serve smoke (tnbench serving sweep, both servicer arms)"
+go run ./cmd/tnbench -serve -smoke -q -o "$serve_bench_out"
 
 echo "==> all checks passed"
