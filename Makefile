@@ -3,7 +3,7 @@
 # tests + race + allocs-gate + serve-smoke + bench-smoke +
 # bench-serve-smoke).
 
-.PHONY: check build test lint proof proof-update verify-models race race-stress allocs-gate serve-smoke bench bench-smoke bench-serve bench-serve-smoke
+.PHONY: check build test lint api-gate api-gate-update proof proof-update verify-models race race-stress allocs-gate serve-smoke bench bench-smoke bench-serve bench-serve-smoke
 
 check:
 	./scripts/check.sh
@@ -14,10 +14,23 @@ build:
 test:
 	go test ./...
 
-# Full analyzer suite (all twelve analyzers; see internal/lint). Narrow a
+# Full analyzer suite (all fifteen analyzers; see internal/lint). Narrow a
 # run with e.g. `go run ./cmd/tnlint -only lockorder,chanflow ./...`.
 lint:
 	go run ./cmd/tnlint ./...
+
+# Static API-contract gate (DESIGN.md §14): the apienvelope/wiretag/
+# boundconv analyzers over the serving surface, plus the two-sided
+# apisurface golden — every route, wire shape, and reachable error code
+# pinned in internal/lint/testdata/apisurface/v1.golden and rendered into
+# README.md's generated tables. `api-gate-update` re-blesses both after a
+# reviewed surface change.
+api-gate:
+	go run ./cmd/tnlint -only apienvelope,wiretag,boundconv ./...
+	go test ./internal/lint -run TestAPISurfaceGolden
+
+api-gate-update:
+	go test ./internal/lint -run TestAPISurfaceGolden -update-apisurface
 
 # Compiler-proof perf gate (see internal/perfproof): replay the compiler's
 # escape-analysis and bounds-check-elimination diagnostics over the kernel

@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	tnlint [-only a,b] [-skip a,b] [-<analyzer>=false] [-json] [-list] [-lockorder-out file] [packages]
+//	tnlint [-only a,b] [-skip a,b] [-<analyzer>=false] [-json] [-list] [-lockorder-out file] [-apisurface-out file] [packages]
 //
 // Every analyzer also has its own boolean flag (-hotalloc=false disables
 // hotalloc); -only and -skip apply on top for CI one-liners. Packages are
@@ -25,7 +25,9 @@
 // message} objects (always an array — "[]" when clean). With
 // -lockorder-out, the rendered lock-order hierarchy (the same report the
 // golden test pins) is additionally written to the named file — CI uploads
-// it as a reviewable artifact. Findings are suppressed by a
+// it as a reviewable artifact; -apisurface-out does the same for the
+// extracted v1 API surface spec (the report TestAPISurfaceGolden pins
+// against testdata/apisurface/v1.golden). Findings are suppressed by a
 // `//lint:ignore tnlint/<analyzer> reason` comment on the same or
 // preceding line. Exit status: 0 clean, 1 findings, 2 usage or load error.
 package main
@@ -50,6 +52,7 @@ func run() int {
 	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	lockOrderOut := flag.String("lockorder-out", "", "write the rendered lock-order hierarchy to this file")
+	apiSurfaceOut := flag.String("apisurface-out", "", "write the extracted v1 API surface spec to this file")
 	all := lint.Analyzers()
 	enabled := map[string]*bool{}
 	for _, a := range all {
@@ -108,12 +111,25 @@ func run() int {
 	// call-graph context makes the interprocedural analyzers whole-module
 	// even when only a subset of packages is being linted.
 	diags := lint.RunWithContext(pkgs, loader.Loaded(), analyzers)
-	if *lockOrderOut != "" {
+	if *lockOrderOut != "" || *apiSurfaceOut != "" {
 		prog := lint.NewProgram(loader.Loaded())
-		g := lint.NewLockGraph(prog, lint.ConcurrencyPackages)
-		if err := os.WriteFile(*lockOrderOut, []byte(g.Render()), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "tnlint:", err)
-			return 2
+		if *lockOrderOut != "" {
+			g := lint.NewLockGraph(prog, lint.ConcurrencyPackages)
+			if err := os.WriteFile(*lockOrderOut, []byte(g.Render()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "tnlint:", err)
+				return 2
+			}
+		}
+		if *apiSurfaceOut != "" {
+			surf, err := lint.ExtractSurface(prog, loader.Loaded())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tnlint:", err)
+				return 2
+			}
+			if err := os.WriteFile(*apiSurfaceOut, []byte(surf.Render()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "tnlint:", err)
+				return 2
+			}
 		}
 	}
 	rel := func(file string) string {

@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateAPISurface = flag.Bool("update-apisurface", false,
+	"rewrite testdata/apisurface/v1.golden and the README endpoint tables from the current repo")
+
+const (
+	apiSurfaceBegin = "<!-- apisurface:begin -->"
+	apiSurfaceEnd   = "<!-- apisurface:end -->"
+)
+
+// TestAPISurfaceGolden pins the served v1 API: every route, request and
+// response shape, reachable error code, and wire-struct field, extracted
+// from internal/serve by the apisurface extractor. The diff is two-sided —
+// an endpoint or field added without re-blessing fails with the source
+// file:line it came from, and a pinned entry that disappears fails with
+// the golden line that no longer matches. The README's endpoint tables are
+// rendered from the same spec, so docs cannot drift from code. Re-bless
+// deliberately with
+//
+//	go test ./internal/lint -run TestAPISurfaceGolden -update-apisurface
+func TestAPISurfaceGolden(t *testing.T) {
+	l := newRepoLoader(t)
+	paths, err := l.AllImportPaths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*Package
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	prog := NewProgram(pkgs)
+	surf, err := ExtractSurface(prog, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	goldenPath := filepath.Join("testdata", "apisurface", "v1.golden")
+	readmePath := filepath.Join(l.ModuleRoot, "README.md")
+
+	if *updateAPISurface {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(surf.Render()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		readme, err := os.ReadFile(readmePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		updated, err := replaceSurfaceBlock(string(readme), surf.MarkdownTables())
+		if err != nil {
+			t.Fatalf("README.md: %v", err)
+		}
+		if err := os.WriteFile(readmePath, []byte(updated), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote README.md endpoint tables")
+		return
+	}
+
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update-apisurface to create): %v", err)
+	}
+	for _, d := range surf.DiffGolden(string(golden)) {
+		t.Error(d)
+	}
+
+	readme, err := os.ReadFile(readmePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block, err := surfaceBlock(string(readme))
+	if err != nil {
+		t.Fatalf("README.md: %v", err)
+	}
+	if strings.TrimSpace(block) != strings.TrimSpace(surf.MarkdownTables()) {
+		t.Errorf("README endpoint tables are out of date with the extracted surface — regenerate with -update-apisurface")
+	}
+}
+
+// surfaceBlock returns the text between the apisurface markers.
+func surfaceBlock(readme string) (string, error) {
+	i := strings.Index(readme, apiSurfaceBegin)
+	j := strings.Index(readme, apiSurfaceEnd)
+	if i < 0 || j < 0 || j < i {
+		return "", errMissingMarkers
+	}
+	return readme[i+len(apiSurfaceBegin) : j], nil
+}
+
+// replaceSurfaceBlock swaps the marker-delimited block for tables.
+func replaceSurfaceBlock(readme, tables string) (string, error) {
+	i := strings.Index(readme, apiSurfaceBegin)
+	j := strings.Index(readme, apiSurfaceEnd)
+	if i < 0 || j < 0 || j < i {
+		return "", errMissingMarkers
+	}
+	return readme[:i+len(apiSurfaceBegin)] + "\n" + tables + readme[j:], nil
+}
+
+var errMissingMarkers = &markerErr{}
+
+type markerErr struct{}
+
+func (*markerErr) Error() string {
+	return "generated-surface markers <!-- apisurface:begin/end --> not found or out of order"
+}

@@ -54,6 +54,21 @@
 //   - atomicmix: a variable accessed via sync/atomic anywhere must be
 //     accessed atomically everywhere; both witness sites are cited.
 //
+// Static API contract (behind the v1 serving surface: every route, wire
+// shape, and reachable error code is extracted from the source and pinned
+// in testdata/apisurface/v1.golden; see DESIGN.md §14):
+//
+//   - apienvelope: every handler error path goes through writeError with a
+//     code registered in the codeStatus map at that code's canonical
+//     status; no raw http.Error or bare WriteHeader escapes the envelope.
+//   - wiretag: every exported field of a struct that crosses the wire has
+//     an explicit json tag, and response types carry no map or interface
+//     fields (their shape would be invisible to the surface golden).
+//   - boundconv: call-graph-aware taint from client-controlled integers
+//     (JSON body fields, strconv results) into narrowing conversions,
+//     uint64 tick arithmetic, or make() sizes without an intervening range
+//     guard — the trust-boundary bug class the serve layer exists to stop.
+//
 // A finding is suppressed by a directive on the same line or the line
 // before:
 //
@@ -158,13 +173,16 @@ func (a *Analyzer) applies(path string) bool {
 	return false
 }
 
-// Analyzers returns the full tnlint suite: the four determinism analyzers
-// and the four concurrency/hot-path analyzers guarding the serving stack.
+// Analyzers returns the full tnlint suite: the four determinism analyzers,
+// the four concurrency/hot-path analyzers guarding the serving stack, the
+// four whole-program concurrency analyzers, and the three API-contract
+// analyzers behind `make api-gate`.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		Detrand(), MapOrder(), FloatCmp(), TickSafe(),
 		HotAlloc(), LockSafe(), GoCtx(), ChanOwn(),
 		LockOrder(), ChanFlow(), WgSafe(), AtomicMix(),
+		APIEnvelope(), WireTag(), BoundConv(),
 	}
 }
 

@@ -45,6 +45,7 @@ func TestAnalyzersSuite(t *testing.T) {
 		"detrand", "maporder", "floatcmp", "ticksafe",
 		"hotalloc", "locksafe", "goctx", "chanown",
 		"lockorder", "chanflow", "wgsafe", "atomicmix",
+		"apienvelope", "wiretag", "boundconv",
 	}
 	all := Analyzers()
 	if len(all) != len(want) {

@@ -1,0 +1,31 @@
+package serve
+
+import "net/http"
+
+const (
+	codeFine     = "fine_code"
+	codeAlsoFine = "also_fine_code"
+)
+
+var codeStatus = map[string]int{
+	codeFine:     http.StatusBadRequest,
+	codeAlsoFine: http.StatusNotFound,
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.WriteHeader(status)
+}
+
+func handleThing(w http.ResponseWriter) {
+	writeError(w, http.StatusBadRequest, codeFine, "bad input")
+	writeError(w, http.StatusNotFound, codeAlsoFine, "no such thing")
+}
+
+func mapThing(lost bool) (int, string) {
+	if lost {
+		return http.StatusNotFound, codeAlsoFine
+	}
+	return http.StatusBadRequest, codeFine
+}

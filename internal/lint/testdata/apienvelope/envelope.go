@@ -1,0 +1,50 @@
+package serve
+
+import "net/http"
+
+const (
+	codeOK      = "ok_code"
+	codeMissing = "missing_code" // want `not in the codeStatus registry`
+)
+
+var codeStatus = map[string]int{
+	codeOK: http.StatusOK,
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.WriteHeader(status) // writeJSON is the one place WriteHeader belongs
+}
+
+func good(w http.ResponseWriter) {
+	writeError(w, http.StatusOK, codeOK, "consistent with the registry")
+}
+
+func wrongStatus(w http.ResponseWriter) {
+	writeError(w, http.StatusBadRequest, codeOK, "drifted") // want `does not match the codeStatus registry`
+}
+
+func literalCode(w http.ResponseWriter) {
+	writeError(w, http.StatusOK, "raw_code", "unregistered") // want `string literal`
+}
+
+func rawError(w http.ResponseWriter) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want `text/plain, not the error envelope`
+}
+
+func rawHeader(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusTeapot) // want `WriteHeader outside writeJSON`
+}
+
+func statusCodeOf(err error) (int, string) {
+	if err == nil {
+		return http.StatusOK, codeOK
+	}
+	return http.StatusBadRequest, codeOK // want `status mapper returns http.StatusBadRequest for code codeOK`
+}
+
+func forwarded(w http.ResponseWriter, err error) {
+	status, code := statusCodeOf(err)
+	writeError(w, status, code, err.Error()) // pass-through: the mapper is checked at its returns
+}

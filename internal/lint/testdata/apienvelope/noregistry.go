@@ -1,0 +1,11 @@
+package serve
+
+import "net/http"
+
+const codeLost = "lost_code" // want `no codeStatus registry`
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {}
+
+func lost(w http.ResponseWriter) {
+	writeError(w, http.StatusBadRequest, codeLost, "nowhere to check") // want `no codeStatus registry`
+}

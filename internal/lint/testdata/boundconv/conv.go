@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+type runRequest struct {
+	Ticks int    `json:"ticks"`
+	Until uint64 `json:"until"`
+}
+
+func atoiUnguarded(q string) uint64 {
+	n, _ := strconv.Atoi(q)
+	return uint64(n) // want `parsed integer → uint64 conversion`
+}
+
+func atoiGuarded(q string) uint64 {
+	n, err := strconv.Atoi(q)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return uint64(n) // guarded above: clean
+}
+
+func makeSize(q string) []int {
+	n, _ := strconv.Atoi(q)
+	return make([]int, n) // want `a make\(\) size/capacity`
+}
+
+func tickTarget(r *http.Request, now uint64) uint64 {
+	var req runRequest
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&req); err != nil {
+		return 0
+	}
+	return now + req.Until // want `uint64 tick arithmetic`
+}
+
+func tickGuarded(r *http.Request, now uint64) uint64 {
+	var req runRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return 0
+	}
+	if req.Until > 1<<40 {
+		return 0
+	}
+	return now + req.Until // guarded above: clean
+}
+
+func sizeFromBody(r *http.Request) []int32 {
+	var req runRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return nil
+	}
+	return make([]int32, req.Ticks) // want `a make\(\) size/capacity`
+}
+
+// checkRun is a validator by name: passing the request through it counts
+// as a range guard on everything it was handed.
+func checkRun(req *runRequest) bool {
+	return req.Ticks >= 0 && req.Until < 1<<40
+}
+
+func validated(r *http.Request) uint64 {
+	var req runRequest
+	if err := json.Unmarshal(nil, &req); err != nil {
+		return 0
+	}
+	if !checkRun(&req) {
+		return 0
+	}
+	return uint64(req.Ticks) // validated above: clean
+}
+
+func parseID(s string) (int32, error) {
+	v, err := strconv.ParseInt(s, 10, 32)
+	if err != nil {
+		return 0, err
+	}
+	return int32(v), nil // ParseInt bitSize 32 bounds the value: clean
+}
+
+func parseTick(s string) int {
+	v, _ := strconv.ParseUint(s, 10, 64)
+	return int(v) // want `parsed integer → int conversion`
+}

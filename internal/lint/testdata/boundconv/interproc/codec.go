@@ -1,0 +1,15 @@
+//lintfixture:package truenorth/internal/codec
+package codec
+
+const coordBits = 12
+
+// Pack packs a coordinate pair into an event id; the uint32 conversions
+// mask silently, so callers must validate the range first.
+func Pack(x, y int) int32 {
+	return int32(uint32(x)<<coordBits | uint32(y))
+}
+
+// CheckAddress reports whether the pair packs without aliasing.
+func CheckAddress(x, y int) bool {
+	return x >= 0 && x < 1<<coordBits && y >= 0 && y < 1<<coordBits
+}

@@ -1,0 +1,40 @@
+//lintfixture:package truenorth/internal/serve
+package serve
+
+import (
+	"encoding/json"
+
+	"truenorth/internal/codec"
+)
+
+type injectEvent struct {
+	X int `json:"x"`
+	Y int `json:"y"`
+}
+
+func handleInject(body []byte) []int32 {
+	var events []injectEvent
+	if err := json.Unmarshal(body, &events); err != nil {
+		return nil
+	}
+	ids := make([]int32, 0, len(events))
+	for _, e := range events {
+		ids = append(ids, codec.Pack(e.X, e.Y)) // want `via (codec\.)?Pack` `via (codec\.)?Pack`
+	}
+	return ids
+}
+
+func handleInjectChecked(body []byte) []int32 {
+	var events []injectEvent
+	if err := json.Unmarshal(body, &events); err != nil {
+		return nil
+	}
+	ids := make([]int32, 0, len(events))
+	for _, e := range events {
+		if !codec.CheckAddress(e.X, e.Y) {
+			continue
+		}
+		ids = append(ids, codec.Pack(e.X, e.Y)) // validated above: clean
+	}
+	return ids
+}

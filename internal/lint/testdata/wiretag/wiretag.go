@@ -1,0 +1,36 @@
+package serve
+
+import "net/http"
+
+// GoodResponse is fully explicit: every exported field named, internals
+// unexported or excluded.
+type GoodResponse struct {
+	Name  string `json:"name"`
+	Count int    `json:"count,omitempty"`
+	Skip  int    `json:"-"`
+	note  string
+}
+
+type BadResponse struct {
+	Name    string            `json:"name"`
+	Age     int               // want `has no json tag`
+	Blank   string            `json:","`       // want `empty json name`
+	Tags    map[string]string `json:"tags"`    // want `contains a map`
+	Payload any               `json:"payload"` // want `an interface`
+	Err     error             `json:"err"`     // want `an interface`
+}
+
+type nestedBad struct {
+	Inner []struct { // want `contains a map`
+		M map[string]int `json:"m"`
+	} `json:"inner"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {}
+
+func handler(w http.ResponseWriter) {
+	writeJSON(w, http.StatusOK, GoodResponse{Name: "x"})
+	writeJSON(w, http.StatusOK, map[string]any{"x": 1}) // want `map literal`
+	writeJSON(w, http.StatusOK, struct{ X int }{X: 1})  // want `anonymous struct`
+	writeJSON(w, http.StatusOK, &GoodResponse{Name: "p"})
+}

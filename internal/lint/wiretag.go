@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// WireTagPackages is the serving surface whose wire shapes wiretag pins.
+var WireTagPackages = []string{Module + "/internal/serve"}
+
+// WireTag returns the wire-struct shape analyzer for the serving package.
+// The v1 API promises byte-stable JSON: the apisurface golden pins every
+// field of every wire struct, and clients parse on exact names. That only
+// holds when the shape is fully explicit:
+//
+//   - every exported field of a wire struct (any struct with at least one
+//     json-tagged field) carries an explicit json tag — a missing tag
+//     silently wires the Go identifier, and a later rename becomes a
+//     breaking API change no diff flags;
+//   - wire structs carry no map or interface{} fields, and writeJSON is
+//     never handed a map or an anonymous struct — maps marshal in sorted
+//     key order (fine) but their shape is invisible to the surface
+//     extractor and to clients' static decoding, and interface{} fields
+//     have no shape at all. Responses are named structs, extracted into
+//     the golden.
+func WireTag() *Analyzer {
+	return &Analyzer{
+		Name:     "wiretag",
+		Doc:      "wire structs: explicit json tags on every exported field, no map/interface fields, writeJSON takes named structs",
+		Packages: WireTagPackages,
+		Run:      runWireTag,
+	}
+}
+
+func runWireTag(pkg *Package, report ReportFunc) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(node ast.Node) bool {
+			switch x := node.(type) {
+			case *ast.TypeSpec:
+				if st, ok := x.Type.(*ast.StructType); ok && isWireStruct(st) {
+					checkWireStruct(pkg, x.Name.Name, st, report)
+				}
+			case *ast.CallExpr:
+				if callName(x) == "writeJSON" && len(x.Args) == 3 {
+					checkWirePayload(pkg, x.Args[2], report)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// jsonTagOf returns the json tag of a field, and whether one is present.
+func jsonTagOf(field *ast.Field) (string, bool) {
+	if field.Tag == nil {
+		return "", false
+	}
+	raw := strings.Trim(field.Tag.Value, "`")
+	return reflect.StructTag(raw).Lookup("json")
+}
+
+// isWireStruct reports whether st is a wire struct: at least one field
+// carries a json tag.
+func isWireStruct(st *ast.StructType) bool {
+	for _, field := range st.Fields.List {
+		if _, ok := jsonTagOf(field); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// checkWireStruct enforces the shape rules on one wire struct.
+func checkWireStruct(pkg *Package, name string, st *ast.StructType, report ReportFunc) {
+	for _, field := range st.Fields.List {
+		tag, hasTag := jsonTagOf(field)
+		for _, fname := range field.Names {
+			if !ast.IsExported(fname.Name) {
+				continue
+			}
+			switch {
+			case !hasTag:
+				report(fname.Pos(), "wire struct %s: exported field %s has no json tag; the wire name must be explicit", name, fname.Name)
+			case tag == "" || strings.Split(tag, ",")[0] == "":
+				report(fname.Pos(), "wire struct %s: field %s has an empty json name; name it or exclude it with json:\"-\"", name, fname.Name)
+			}
+		}
+		if hasTag && strings.Split(tag, ",")[0] != "-" {
+			bad := shapelessType(field.Type)
+			if bad == "" {
+				// The syntactic walk misses aliases (`any`) and named
+				// map/interface types; the resolved type catches those.
+				bad = shapelessResolved(pkg.TypeOf(field.Type))
+			}
+			if bad != "" {
+				report(field.Type.Pos(), "wire struct %s: field type contains %s; wire shapes must be fully explicit (use a named struct)", name, bad)
+			}
+		}
+	}
+}
+
+// shapelessType reports the first map or interface type inside e ("" when
+// clean). Pointers, slices, and arrays are transparent; named types are
+// accepted by name (their own declaration is checked where it lives).
+func shapelessType(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.MapType:
+		return "a map (shape invisible to the surface golden)"
+	case *ast.InterfaceType:
+		return "an interface (no static shape)"
+	case *ast.StarExpr:
+		return shapelessType(x.X)
+	case *ast.ArrayType:
+		return shapelessType(x.Elt)
+	case *ast.StructType:
+		for _, field := range x.Fields.List {
+			if bad := shapelessType(field.Type); bad != "" {
+				return bad
+			}
+		}
+	}
+	return ""
+}
+
+// shapelessResolved is shapelessType over a resolved type: it unwraps
+// pointers, slices, and arrays and reports a map or interface underneath.
+// Named structs terminate the walk (their declarations are checked where
+// they live); unresolved (stubbed) types pass.
+func shapelessResolved(t types.Type) string {
+	for t != nil {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Slice:
+			t = x.Elem()
+		case *types.Array:
+			t = x.Elem()
+		case *types.Named:
+			t = x.Underlying()
+		case *types.Alias:
+			t = types.Unalias(x)
+		case *types.Map:
+			return "a map (shape invisible to the surface golden)"
+		case *types.Interface:
+			return "an interface (no static shape)"
+		default:
+			return ""
+		}
+	}
+	return ""
+}
+
+// checkWirePayload enforces that a writeJSON payload is a named shape.
+func checkWirePayload(pkg *Package, arg ast.Expr, report ReportFunc) {
+	e := ast.Unparen(arg)
+	// Syntactic forms first, so fixtures without full type info still
+	// catch the common shapes.
+	if cl, ok := e.(*ast.CompositeLit); ok {
+		switch cl.Type.(type) {
+		case *ast.MapType:
+			report(arg.Pos(), "writeJSON payload is a map literal; responses are named wire structs so the surface golden can pin their shape")
+			return
+		case *ast.StructType:
+			report(arg.Pos(), "writeJSON payload is an anonymous struct; declare a named wire struct")
+			return
+		}
+	}
+	t := pkg.TypeOf(e)
+	if t == nil {
+		return
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Map:
+		report(arg.Pos(), "writeJSON payload has map type %s; responses are named wire structs so the surface golden can pin their shape", t.String())
+	case *types.Struct:
+		if _, named := t.(*types.Named); !named && u.NumFields() > 0 {
+			report(arg.Pos(), "writeJSON payload is an anonymous struct; declare a named wire struct")
+		}
+	}
+}

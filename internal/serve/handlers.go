@@ -276,7 +276,12 @@ func (s *Server) handleRate(w http.ResponseWriter, r *http.Request, se *session)
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]float64{"hz": hz})
+	writeJSON(w, http.StatusOK, RateResponse{Hz: hz})
+}
+
+// RateResponse echoes the applied tick rate (deprecated alias response).
+type RateResponse struct {
+	Hz float64 `json:"hz"`
 }
 
 // InjectRequest carries external input spikes: Events use absolute-tick
@@ -303,6 +308,31 @@ type InjectSpike struct {
 	Delay int `json:"delay"`
 }
 
+// InjectResponse reports how many injected spikes were accepted and how
+// many arrived too late to deliver.
+type InjectResponse struct {
+	Injected int `json:"injected"`
+	Dropped  int `json:"dropped"`
+}
+
+// checkAddress validates an injection address against the AER encoding
+// bounds before spikeio.Encode packs it. Encode masks to the field widths,
+// so an out-of-range value would not fail — it would alias another
+// neuron's address (x=4096 injects into x=0) and corrupt a different
+// session input than the one the client named.
+func checkAddress(x, y, axon int) error {
+	if x < 0 || x >= spikeio.MaxCoord {
+		return fmt.Errorf("x %d out of range [0,%d)", x, spikeio.MaxCoord)
+	}
+	if y < 0 || y >= spikeio.MaxCoord {
+		return fmt.Errorf("y %d out of range [0,%d)", y, spikeio.MaxCoord)
+	}
+	if axon < 0 || axon >= spikeio.MaxAxon {
+		return fmt.Errorf("axon %d out of range [0,%d)", axon, spikeio.MaxAxon)
+	}
+	return nil
+}
+
 func (s *Server) handleInject(w http.ResponseWriter, r *http.Request, se *session) {
 	var req InjectRequest
 	if err := decodeBody(r, &req); err != nil {
@@ -313,8 +343,13 @@ func (s *Server) handleInject(w http.ResponseWriter, r *http.Request, se *sessio
 	if len(req.Events) > 0 {
 		events := make([]spikeio.Event, len(req.Events))
 		for i, e := range req.Events {
+			if err := checkAddress(e.X, e.Y, e.Axon); err != nil {
+				writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Sprintf("events[%d]: %v", i, err))
+				return
+			}
 			events[i] = spikeio.Event{Tick: e.Tick, ID: spikeio.Encode(e.X, e.Y, e.Axon)}
 		}
+		//lint:ignore tnlint/boundconv every address is checkAddress-validated above and Replay range-guards ticks; Decode's int32→uint32 is a lossless bit reinterpretation of the packed id
 		d, err := se.sess.InjectEvents(r.Context(), events)
 		dropped += d
 		if err != nil {
@@ -328,9 +363,9 @@ func (s *Server) handleInject(w http.ResponseWriter, r *http.Request, se *sessio
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]int{
-		"injected": len(req.Events) + len(req.Spikes) - dropped,
-		"dropped":  dropped,
+	writeJSON(w, http.StatusOK, InjectResponse{
+		Injected: len(req.Events) + len(req.Spikes) - dropped,
+		Dropped:  dropped,
 	})
 }
 
@@ -345,16 +380,27 @@ func (s *Server) handleOutputs(w http.ResponseWriter, r *http.Request, se *sessi
 		spikeio.Write(w, spikeio.FromOutputs(out)) //nolint:errcheck // client gone
 		return
 	}
-	type spike struct {
-		Tick uint64 `json:"tick"`
-		ID   int32  `json:"id"`
-	}
-	spikes := make([]spike, len(out))
+	spikes := make([]OutputSpike, len(out))
 	for i, o := range out {
-		spikes[i] = spike{o.Tick, o.ID}
+		spikes[i] = OutputSpike{Tick: o.Tick, ID: o.ID}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"spikes": spikes})
+	writeJSON(w, http.StatusOK, OutputsResponse{Spikes: spikes})
 }
+
+// OutputSpike is one captured output spike.
+type OutputSpike struct {
+	Tick uint64 `json:"tick"`
+	ID   int32  `json:"id"`
+}
+
+// OutputsResponse carries one drain of the session's pending outputs.
+type OutputsResponse struct {
+	Spikes []OutputSpike `json:"spikes"`
+}
+
+// maxStreamBuffer caps the per-connection spike buffer a stream client
+// may request.
+const maxStreamBuffer = 1 << 16
 
 // handleStream serves a live AER feed: one `tick id` line per output
 // spike, flushed as spikes arrive, until the client disconnects, the
@@ -366,8 +412,10 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, se *sessio
 	buf := 4096
 	if v := r.URL.Query().Get("buffer"); v != "" {
 		n, err := strconv.Atoi(v)
-		if err != nil || n < 1 {
-			writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Sprintf("invalid buffer %q", v))
+		if err != nil || n < 1 || n > maxStreamBuffer {
+			// The buffer sizes a per-connection channel: an unbounded value
+			// would let one request pin arbitrary memory.
+			writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Sprintf("invalid buffer %q (want 1..%d)", v, maxStreamBuffer))
 			return
 		}
 		buf = n
@@ -380,6 +428,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, se *sessio
 	defer cancel()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.Header().Set("X-Content-Type-Options", "nosniff")
+	//lint:ignore tnlint/apienvelope the stream commits 200 before its text/plain body; every error path above goes through writeError
 	w.WriteHeader(http.StatusOK)
 	fl, _ := w.(http.Flusher)
 	if fl != nil {

@@ -84,6 +84,23 @@ const (
 	codeInternal        = "internal"               // 500: unexpected server-side failure
 )
 
+// codeStatus is the single source of truth for the code↔status mapping:
+// one code, one status, everywhere. The apienvelope analyzer checks every
+// writeError call site and status-mapper return against this table, the
+// apisurface golden pins it, and the README error table is generated from
+// it, so the mapping cannot fork per call site or drift out of the docs.
+var codeStatus = map[string]int{
+	codeInvalidRequest:  http.StatusBadRequest,
+	codeNotFound:        http.StatusNotFound,
+	codeBusy:            http.StatusConflict,
+	codeSessionClosed:   http.StatusGone,
+	codeBodyTooLarge:    http.StatusRequestEntityTooLarge,
+	codeSaturated:       http.StatusTooManyRequests,
+	codeCkptUnsupported: http.StatusNotImplemented,
+	codeShuttingDown:    http.StatusServiceUnavailable,
+	codeInternal:        http.StatusInternalServerError,
+}
+
 // Config tunes a Server.
 type Config struct {
 	// MaxSessions caps concurrently live sessions (0 = scheduler default,
@@ -480,6 +497,10 @@ func (r *renameOnClose) Close() error {
 	return os.Rename(r.Name(), r.dest)
 }
 
+// maxListLimit caps one listing page. Larger requests are rejected with
+// invalid_request rather than clamped.
+const maxListLimit = 1000
+
 // ListResponse is one page of sessions.
 type ListResponse struct {
 	Sessions []SessionInfo `json:"sessions"`
@@ -512,12 +533,12 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	limit := 100
 	if v := q.Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
-		if err != nil || n < 1 {
-			writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Sprintf("invalid limit %q", v))
+		if err != nil || n < 1 || n > maxListLimit {
+			// Out-of-range limits are rejected, not clamped: a client that
+			// asked for more than a page can hold would otherwise silently
+			// miss sessions it believes it enumerated.
+			writeError(w, http.StatusBadRequest, codeInvalidRequest, fmt.Sprintf("invalid limit %q (want 1..%d)", v, maxListLimit))
 			return
-		}
-		if n > 1000 {
-			n = 1000
 		}
 		limit = n
 	}
@@ -595,14 +616,25 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	se.sess.Close() //nolint:errcheck
-	writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
+	writeJSON(w, http.StatusOK, DeleteResponse{Deleted: id})
+}
+
+// DeleteResponse confirms a session deletion.
+type DeleteResponse struct {
+	Deleted string `json:"deleted"`
+}
+
+// HealthzResponse is the liveness snapshot.
+type HealthzResponse struct {
+	Status   string `json:"status"`
+	Sessions int    `json:"sessions"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	n := len(s.sessions)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "sessions": n})
+	writeJSON(w, http.StatusOK, HealthzResponse{Status: "ok", Sessions: n})
 }
 
 // writeJSON writes a JSON response.

@@ -1012,3 +1012,113 @@ func TestCreateAfterCloseRefusedAndLeaksNoSession(t *testing.T) {
 		t.Fatalf("sessions after refused create: %v", listed.Sessions)
 	}
 }
+
+// TestListLimitRejected pins the list-limit trust boundary: out-of-range
+// or unparseable limits are 400s, never clamped — a clamped limit would
+// let a client believe it enumerated sessions it never saw.
+func TestListLimitRejected(t *testing.T) {
+	ts := newTestServer(t, serve.Config{})
+	for _, v := range []string{"0", "-5", "1001", "abc", "99999999999999999999"} {
+		status, raw, _ := callRaw(t, "GET", ts.URL+"/v1/sessions?limit="+v, nil)
+		if status != http.StatusBadRequest {
+			t.Errorf("limit=%s: status = %d, want 400", v, status)
+			continue
+		}
+		if code := errEnvelope(t, raw); code != "invalid_request" {
+			t.Errorf("limit=%s: code = %q, want invalid_request", v, code)
+		}
+	}
+	// The boundary value itself is accepted.
+	if st := call(t, "GET", ts.URL+"/v1/sessions?limit=1000", nil, nil); st != http.StatusOK {
+		t.Errorf("limit=1000 = %d, want 200", st)
+	}
+}
+
+// TestPageTokenRejected pins the page-token trust boundary: tokens that
+// do not parse back to a non-negative session sequence are 400s.
+func TestPageTokenRejected(t *testing.T) {
+	ts := newTestServer(t, serve.Config{})
+	for _, tok := range []string{"x-1", "s--1", "s-abc", "s-", "s-99999999999999999999"} {
+		status, raw, _ := callRaw(t, "GET", ts.URL+"/v1/sessions?page_token="+tok, nil)
+		if status != http.StatusBadRequest {
+			t.Errorf("page_token=%s: status = %d, want 400", tok, status)
+			continue
+		}
+		if code := errEnvelope(t, raw); code != "invalid_request" {
+			t.Errorf("page_token=%s: code = %q, want invalid_request", tok, code)
+		}
+	}
+}
+
+// TestStreamBufferRejected pins the stream-buffer trust boundary: the
+// buffer sizes a per-connection channel, so a non-positive, overlarge, or
+// unparseable value is a 400 rather than arbitrary pinned memory.
+func TestStreamBufferRejected(t *testing.T) {
+	ts := newTestServer(t, serve.Config{})
+	var info serve.SessionInfo
+	req := serve.CreateRequest{Engine: "chip", Netgen: netgenSpec(7)}
+	if st := call(t, "POST", ts.URL+"/v1/sessions", req, &info); st != http.StatusCreated {
+		t.Fatalf("create = %d", st)
+	}
+	base := ts.URL + "/v1/sessions/" + info.ID
+	for _, v := range []string{"0", "-1", "100000", "abc"} {
+		status, raw, _ := callRaw(t, "GET", base+"/stream?buffer="+v, nil)
+		if status != http.StatusBadRequest {
+			t.Errorf("buffer=%s: status = %d, want 400", v, status)
+			continue
+		}
+		if code := errEnvelope(t, raw); code != "invalid_request" {
+			t.Errorf("buffer=%s: code = %q, want invalid_request", v, code)
+		}
+	}
+}
+
+// TestInjectRejectsOutOfRangeAddress pins the inject trust boundary
+// against AER-packing aliasing: spikeio.Encode masks to its field widths,
+// so an unvalidated x=4096 would silently inject into x=0 — another
+// neuron's address. Out-of-range event addresses must be 400s naming the
+// offending event, and in-range events must still inject.
+func TestInjectRejectsOutOfRangeAddress(t *testing.T) {
+	ts := newTestServer(t, serve.Config{})
+	var info serve.SessionInfo
+	req := serve.CreateRequest{Engine: "chip", Netgen: netgenSpec(9)}
+	if st := call(t, "POST", ts.URL+"/v1/sessions", req, &info); st != http.StatusCreated {
+		t.Fatalf("create = %d", st)
+	}
+	base := ts.URL + "/v1/sessions/" + info.ID
+	cases := []struct {
+		name string
+		ev   serve.InjectEvent
+	}{
+		{"x at the packing bound", serve.InjectEvent{Tick: 5, X: 4096}},
+		{"negative y", serve.InjectEvent{Tick: 5, Y: -1}},
+		{"axon at the packing bound", serve.InjectEvent{Tick: 5, Axon: 256}},
+	}
+	for _, tc := range cases {
+		body := serve.InjectRequest{Events: []serve.InjectEvent{tc.ev}}
+		status, raw, _ := callRaw(t, "POST", base+"/inject", body)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", tc.name, status)
+			continue
+		}
+		var env serve.ErrorBody
+		if err := json.Unmarshal(raw, &env); err != nil {
+			t.Errorf("%s: body %q is not the envelope: %v", tc.name, raw, err)
+			continue
+		}
+		if env.Error.Code != "invalid_request" {
+			t.Errorf("%s: code = %q, want invalid_request", tc.name, env.Error.Code)
+		}
+		if !strings.Contains(env.Error.Message, "events[0]") {
+			t.Errorf("%s: message %q does not name the offending event", tc.name, env.Error.Message)
+		}
+	}
+	var injected map[string]int
+	ok := serve.InjectRequest{Events: []serve.InjectEvent{{Tick: 5, X: 0, Y: 0, Axon: 0}}}
+	if st := call(t, "POST", base+"/inject", ok, &injected); st != http.StatusOK {
+		t.Fatalf("in-range inject = %d, want 200", st)
+	}
+	if injected["injected"] != 1 {
+		t.Fatalf("in-range inject response = %v", injected)
+	}
+}

@@ -121,11 +121,19 @@ func canonical(e []Event) []Event {
 	return out
 }
 
-// Input-stream addressing: id packs (x, y, axon) with 12 bits each —
-// enough for a 4,096-wide board and the 256 axons.
+// Input-stream addressing: id packs (x, y) with 12 bits each and axon
+// with 8 — enough for a 4,096-wide board and the 256 axons.
 const (
 	axonBits  = 8
 	coordBits = 12
+
+	// MaxCoord and MaxAxon bound the packable address space. Encode masks
+	// to the field widths, so a value at or above these bounds does not
+	// fail — it aliases another address. Trust boundaries (the inject
+	// endpoint, stream replays) must validate against them before
+	// encoding.
+	MaxCoord = 1 << coordBits
+	MaxAxon  = 1 << axonBits
 )
 
 // Encode packs an injection target into an event id (the 12+12+8 bits

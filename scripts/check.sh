@@ -7,13 +7,17 @@
 #                      determinism invariants (detrand/maporder/floatcmp/
 #                      ticksafe) plus hot-path allocation, lock-safety,
 #                      goroutine-lifecycle, and channel-ownership checks,
-#                      and the whole-program concurrency gate (lockorder/
+#                      the whole-program concurrency gate (lockorder/
 #                      chanflow/wgsafe/atomicmix) over the module call
-#                      graph; run with -json so CI logs are
-#                      machine-readable. Set CHECK_REPORT_DIR to also keep
-#                      the JSON — and the rendered lock-order hierarchy —
-#                      as files. (go vet's copylocks overlaps locksafe's
-#                      by-value checks; both run, vet as backstop.)
+#                      graph, and the static API-contract gate
+#                      (apienvelope/wiretag/boundconv + the apisurface
+#                      golden, DESIGN.md §14) over the serving surface;
+#                      run with -json so CI logs are machine-readable. Set
+#                      CHECK_REPORT_DIR to also keep the JSON — and the
+#                      rendered lock-order hierarchy and extracted v1 API
+#                      surface — as files. (go vet's copylocks overlaps
+#                      locksafe's by-value checks; both run, vet as
+#                      backstop.)
 #   4. tnproof       — compiler-proof perf gate (see internal/perfproof):
 #                      replays `go build -m -m -d=ssa/check_bce` over the
 #                      kernel packages and diffs escape/bounds-check
@@ -63,8 +67,12 @@ go vet ./...
 
 echo "==> tnlint -json ./..."
 lockorder_flag=""
-[ -n "$report_dir" ] && lockorder_flag="-lockorder-out=$report_dir/lockorder.txt"
-if ! lint_out=$(go run ./cmd/tnlint -json $lockorder_flag ./...); then
+apisurface_flag=""
+if [ -n "$report_dir" ]; then
+	lockorder_flag="-lockorder-out=$report_dir/lockorder.txt"
+	apisurface_flag="-apisurface-out=$report_dir/apisurface.txt"
+fi
+if ! lint_out=$(go run ./cmd/tnlint -json $lockorder_flag $apisurface_flag ./...); then
 	echo "$lint_out"
 	[ -n "$report_dir" ] && printf '%s\n' "$lint_out" >"$report_dir/tnlint.json"
 	echo "tnlint: unsuppressed findings (full suite; see internal/lint)" >&2
@@ -76,6 +84,14 @@ fi
 # the mismatch shows up in the artifact diff too).
 if [ -n "$report_dir" ] && ! diff -u internal/lint/testdata/lockorder/hierarchy.golden "$report_dir/lockorder.txt" >"$report_dir/lockorder.diff" 2>&1; then
 	echo "check.sh: lock-order hierarchy drifted from testdata/lockorder/hierarchy.golden (see lockorder.diff artifact)" >&2
+	exit 1
+fi
+# Same belt-and-suspenders for the API surface: the checked-in v1 golden
+# must match the spec the linter just extracted (TestAPISurfaceGolden
+# enforces this with file:line diagnostics; the artifact diff makes the
+# drift reviewable from CI too).
+if [ -n "$report_dir" ] && ! diff -u internal/lint/testdata/apisurface/v1.golden "$report_dir/apisurface.txt" >"$report_dir/apisurface.diff" 2>&1; then
+	echo "check.sh: v1 API surface drifted from testdata/apisurface/v1.golden (see apisurface.diff artifact; re-bless with make api-gate-update)" >&2
 	exit 1
 fi
 
