@@ -144,8 +144,71 @@ func TestAblationDenseMatchesActiveNeuronKernel(t *testing.T) {
 	if a.Spikes == 0 {
 		t.Fatal("silent workload; ablation vacuous")
 	}
+	// Aggregate event counters must be exactly equal — the word-parallel
+	// Synapse phase batches 64 synapses per popcount but still books every
+	// individual synaptic and axon event.
+	if a.SynEvents != b.SynEvents || a.Spikes != b.Spikes || a.AxonEvents != b.AxonEvents {
+		t.Fatalf("aggregate counters diverged: %+v vs %+v", a, b)
+	}
 	if a.NeuronUpdates >= b.NeuronUpdates {
 		t.Fatalf("active kernel evaluated %d neurons, dense %d: no work skipped", a.NeuronUpdates, b.NeuronUpdates)
+	}
+}
+
+// TestAblationWordSynapseMatchesScalar ablates the word-parallel Synapse
+// phase on the full recurrent workload: an engine forced onto the scalar
+// per-event walk must match the word-path engine in every observable —
+// potentials, PRNG streams, and the complete counter struct (including
+// NeuronUpdates, since the Synapse strategy must not change which neurons
+// get dirty). The dense 20 Hz × 128-synapse workload keeps per-tick event
+// counts above wordSynEventCutover, so the word path genuinely runs
+// (asserted via WordSynTicks).
+func TestAblationWordSynapseMatchesScalar(t *testing.T) {
+	grid, configs := ablationNet(t)
+	word := newDenseEngine(t, grid, configs)
+	scalar := newDenseEngine(t, grid, configs)
+	eligible := 0
+	for i, c := range scalar.cores {
+		c.SetScalarSynapse(true)
+		if word.cores[i].WordSynEligible() {
+			eligible++
+		}
+	}
+	// netgen networks are built from saturation-free balanced ±1 crossbars:
+	// the static prover must accept every core, or the benchmark sweeps are
+	// not exercising the word path at all.
+	if eligible != len(word.cores) {
+		t.Fatalf("only %d/%d netgen cores word-eligible", eligible, len(word.cores))
+	}
+	for tick := 0; tick < 400; tick++ {
+		word.step(false)
+		scalar.step(false)
+	}
+	for i := range word.cores {
+		a, b := word.cores[i], scalar.cores[i]
+		if a.V != b.V {
+			t.Fatalf("core %d potentials differ between synapse strategies", i)
+		}
+		if a.RNG.State() != b.RNG.State() {
+			t.Fatalf("core %d PRNG diverged between synapse strategies", i)
+		}
+		if a.Cnt != b.Cnt {
+			t.Fatalf("core %d counters diverged: word %+v vs scalar %+v", i, a.Cnt, b.Cnt)
+		}
+	}
+	if word.counters().SynEvents == 0 {
+		t.Fatal("no synaptic events; ablation vacuous")
+	}
+	var wordTicks, scalarTicks uint64
+	for i := range word.cores {
+		wordTicks += word.cores[i].WordSynTicks()
+		scalarTicks += scalar.cores[i].WordSynTicks()
+	}
+	if wordTicks == 0 {
+		t.Fatal("word path never ran; ablation vacuous")
+	}
+	if scalarTicks != 0 {
+		t.Fatal("forced-scalar engine took the word path")
 	}
 }
 

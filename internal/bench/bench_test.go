@@ -74,6 +74,53 @@ func TestRunProducesCompleteReport(t *testing.T) {
 	}
 }
 
+// TestLowRateMeasurementMatchesRequested is the regression test for the
+// "2 Hz point reads 0.247 Hz" bug: the harness normalized the spike count
+// over the whole population although at DrivenFraction 0.875 only 1/8 of the
+// neurons are tonic pacemakers holding the programmed rate — an exactly 8×
+// understatement that looked like a pacing shortfall. At syn = 0 the network
+// is purely tonic pacemakers firing deterministically every ⌈α/λ⌉ ticks, so
+// the pacemaker-normalized rate must match the requested rate tightly, and
+// the population rate must sit at requested × (1 − DrivenFraction).
+func TestLowRateMeasurementMatchesRequested(t *testing.T) {
+	cfg := Config{
+		Grid:           router.Mesh{W: 2, H: 2},
+		Rates:          []float64{2},
+		Syns:           []int{0},
+		DrivenFraction: 0.875,
+		SettleTicks:    40,
+		// 4 whole 500-tick firing periods: every pacemaker fires exactly 4
+		// times in any 2000-tick window regardless of its initial phase.
+		MeasureTicks: 2000,
+		Workers:      2,
+		Seed:         20140613,
+	}
+	rep, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := rep.Points[0]
+	if got, want := pt.PacemakerRateHz, 2.0; got < want*0.95 || got > want*1.05 {
+		t.Errorf("pacemaker rate %.4f Hz, want %.1f Hz ± 5%%: low-rate measurement off", got, want)
+	}
+	if got, want := pt.MeasuredRateHz, 2.0*(1-cfg.DrivenFraction); got < want*0.95 || got > want*1.05 {
+		t.Errorf("population rate %.4f Hz, want %.3f Hz ± 5%% (rate × pacemaker fraction)", got, want)
+	}
+	// Same requested rate with no relays: both figures coincide and match.
+	cfg.DrivenFraction = 0
+	rep, err = Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt = rep.Points[0]
+	if pt.PacemakerRateHz != pt.MeasuredRateHz {
+		t.Errorf("all-tonic: pacemaker %.4f Hz ≠ population %.4f Hz", pt.PacemakerRateHz, pt.MeasuredRateHz)
+	}
+	if got := pt.MeasuredRateHz; got < 1.9 || got > 2.1 {
+		t.Errorf("all-tonic measured rate %.4f Hz, want ≈ 2 Hz", got)
+	}
+}
+
 func TestReportRoundTripsThroughJSON(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.Rates = []float64{10}

@@ -12,6 +12,7 @@ package chip
 
 import (
 	"fmt"
+	"math/bits"
 
 	"truenorth/internal/core"
 	"truenorth/internal/router"
@@ -67,6 +68,21 @@ type Model struct {
 	// keeps deadFunc (called every tick) free of per-tick closure
 	// allocations — an escape the tnproof gate would flag in Step.
 	deadFn router.DeadFunc
+
+	// Pending-core activity masks: word bitsets over row-major core indices
+	// that make the Network-walk phase event-driven. hot marks cores that
+	// must step every tick (core.StaysHot); pendingAt[s] marks cores with a
+	// spike delivery landing in delay-ring slot s (tick mod core.DelaySlots —
+	// the same aliasing as the ring, so a slot is consumed exactly when its
+	// tick arrives); stepMask is the per-tick scratch union. Every delivery
+	// path (inject, pending drain, route) marks pendingAt, Step walks only
+	// hot|pendingAt[slot] and refreshes hot bits from StaysHot, and
+	// rebuildActivity re-derives everything from the cores after any
+	// out-of-band state change (construction, Reset, checkpoint restore,
+	// fault toggles).
+	hot       []uint64
+	pendingAt [core.DelaySlots][]uint64
+	stepMask  []uint64
 }
 
 // pendingInj is one queued external spike.
@@ -117,7 +133,58 @@ func New(mesh router.Mesh, configs []*core.Config, opts ...sim.Option) (*Model, 
 		}
 		m.cores[i] = core.New(cfg)
 	}
+	m.rebuildActivity()
 	return m, nil
+}
+
+// rebuildActivity re-derives the hot set and the per-slot pending bitsets
+// from the cores' current state (core.StaysHot and core.RingOccupancy). It
+// must run after any core-state change that bypasses Step: construction,
+// Reset, checkpoint restore (SetClock), and fault toggles.
+func (m *Model) rebuildActivity() {
+	if m.hot == nil {
+		nw := (len(m.cores) + 63) / 64
+		m.hot = make([]uint64, nw)
+		m.stepMask = make([]uint64, nw)
+		for s := range m.pendingAt {
+			m.pendingAt[s] = make([]uint64, nw)
+		}
+	}
+	for w := range m.hot {
+		m.hot[w] = 0
+	}
+	for s := range m.pendingAt {
+		for w := range m.pendingAt[s] {
+			m.pendingAt[s][w] = 0
+		}
+	}
+	for i, c := range m.cores {
+		if c == nil {
+			continue
+		}
+		if c.StaysHot() {
+			m.hot[i>>6] |= 1 << (uint(i) & 63)
+		}
+		occ := c.RingOccupancy()
+		for s := 0; occ != 0; s++ {
+			if occ&1 != 0 {
+				m.pendingAt[s][i>>6] |= 1 << (uint(i) & 63)
+			}
+			occ >>= 1
+		}
+	}
+}
+
+// markPending flags core idx in the activity slot for tick, so the masked
+// Step walk visits it when that tick arrives. Callers pass validated indices;
+// the uint guard exists to make the store provably in bounds.
+//
+//perf:hot
+func (m *Model) markPending(idx int, tick uint64) {
+	slot := m.pendingAt[tick&(core.DelaySlots-1)]
+	if w := uint(idx) >> 6; w < uint(len(slot)) {
+		slot[w] |= 1 << (uint(idx) & 63)
+	}
 }
 
 // NewSingleChip builds a model of one 64×64 TrueNorth chip.
@@ -174,11 +241,15 @@ func (m *Model) InjectChecked(x, y, axon, delay int) error {
 // inject performs a validated injection.
 func (m *Model) inject(x, y, axon, delay int) {
 	at := m.tick + uint64(delay)
+	idx := y*m.mesh.W + x
 	if delay <= core.MaxDelay {
-		m.cores[y*m.mesh.W+x].Deliver(axon, at)
+		// Within the ring horizon (Deliver's contract: m.tick is the next
+		// tick Step runs, so at − now = delay ≤ MaxDelay never aliases).
+		m.cores[idx].Deliver(axon, at)
+		m.markPending(idx, at)
 		return
 	}
-	m.pending[at] = append(m.pending[at], pendingInj{core: int32(y*m.mesh.W + x), axon: uint8(axon)})
+	m.pending[at] = append(m.pending[at], pendingInj{core: int32(idx), axon: uint8(axon)})
 }
 
 // DisableCore marks the core at p as failed: it stops computing and the
@@ -193,6 +264,8 @@ func (m *Model) DisableCore(x, y int) {
 	if c := m.cores[y*m.mesh.W+x]; c != nil {
 		c.Disabled = true
 	}
+	// A disabled core stays hot (its Step clears arriving delay slots).
+	m.rebuildActivity()
 }
 
 // EnableCore reverses DisableCore.
@@ -203,6 +276,7 @@ func (m *Model) EnableCore(x, y int) {
 	if c := m.Core(x, y); c != nil {
 		c.Disabled = false
 	}
+	m.rebuildActivity()
 }
 
 // deadFunc returns the router.DeadFunc for the current fault set, or nil.
@@ -217,10 +291,14 @@ func (m *Model) deadFunc() router.DeadFunc {
 	return m.deadFn
 }
 
-// Step implements sim.Engine: one pass of the kernel over every core, with
-// emitted spikes routed through the mesh as they occur. Axonal delays ≥ 1
-// guarantee no spike emitted this tick can be integrated this tick, so the
-// core visitation order cannot affect results.
+// Step implements sim.Engine: one pass of the kernel over the *active* cores
+// — the hot set (core.StaysHot) plus every core with a delivery landing this
+// tick — with emitted spikes routed through the mesh as they occur. A core in
+// neither set is provably a fixed point of core.Step, so skipping it is
+// bit-invisible; the masked walk visits cores in ascending row-major order,
+// the same order as the dense walk. Axonal delays ≥ 1 guarantee no spike
+// emitted this tick can be integrated this tick, so in-tick routing only
+// marks future pending slots, never the one being drained.
 //
 //perf:hot
 func (m *Model) Step() {
@@ -231,19 +309,44 @@ func (m *Model) Step() {
 			// so the drain carries no bounds check.
 			if idx := int(p.core); uint(idx) < uint(len(m.cores)) {
 				m.cores[idx].Deliver(int(p.axon), tick)
+				m.markPending(idx, tick)
 			}
 		}
 		delete(m.pending, tick)
 	}
 	m.stepDead = m.deadFunc()
-	// Ranging over the core array (instead of indexing y*W+x) keeps the
-	// visitation order identical and the walk free of bounds checks.
-	for i, c := range m.cores {
-		if c == nil {
-			continue
+	// Snapshot hot ∪ pending-this-slot and clear the slot; the equal-length
+	// guard makes the fused loop provably bounds-check-free.
+	slot := m.pendingAt[tick&(core.DelaySlots-1)]
+	mask, hot := m.stepMask, m.hot
+	if len(mask) == len(slot) && len(hot) == len(slot) {
+		for w := range slot {
+			mask[w] = hot[w] | slot[w]
+			slot[w] = 0
 		}
-		m.stepSrc = router.Point{X: i % m.mesh.W, Y: i / m.mesh.W}
-		c.Step(tick, m.emit)
+	}
+	for w, word := range mask {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			idx := w<<6 + b
+			if uint(idx) >= uint(len(m.cores)) {
+				continue
+			}
+			c := m.cores[idx]
+			if c == nil {
+				continue
+			}
+			m.stepSrc = router.Point{X: idx % m.mesh.W, Y: idx / m.mesh.W}
+			c.Step(tick, m.emit)
+			if uint(w) < uint(len(hot)) {
+				if c.StaysHot() {
+					hot[w] |= 1 << uint(b)
+				} else {
+					hot[w] &^= 1 << uint(b)
+				}
+			}
+		}
 	}
 	m.tick++
 }
@@ -287,7 +390,11 @@ func (m *Model) route(src router.Point, t core.Target, tick uint64, dead router.
 	if r.Detoured {
 		m.noc.Detours++
 	}
+	// Target.Delay is validated to 1..15 at load, so the arrival tick is
+	// always within Deliver's horizon and the pending mark lands on a future
+	// slot, never the one Step is draining.
 	dstCore.Deliver(int(t.Axon), tick+uint64(t.Delay))
+	m.markPending(idx, tick+uint64(t.Delay))
 }
 
 // Run implements sim.Engine.
@@ -333,8 +440,9 @@ func (m *Model) SetNoC(s sim.NoCStats) { m.noc = s }
 // engine is stepping.
 func (m *Model) Cores() []*core.Core { return m.cores }
 
-// SetClock restores the tick counter (checkpoint resume) and rebuilds the
-// fault set from the cores' Disabled flags.
+// SetClock restores the tick counter (checkpoint resume), rebuilds the fault
+// set from the cores' Disabled flags, and re-derives the pending-core
+// activity masks from the restored core state.
 func (m *Model) SetClock(tick uint64) {
 	m.tick = tick
 	m.dead = make(map[router.Point]bool)
@@ -344,6 +452,7 @@ func (m *Model) SetClock(tick uint64) {
 		}
 	}
 	m.anyDead = len(m.dead) > 0
+	m.rebuildActivity()
 }
 
 // PopulatedCores returns the number of non-nil core slots.
@@ -371,6 +480,7 @@ func (m *Model) Reset(clearCounters bool) {
 	if clearCounters {
 		m.noc = sim.NoCStats{}
 	}
+	m.rebuildActivity()
 }
 
 var (

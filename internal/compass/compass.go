@@ -20,6 +20,7 @@ package compass
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sort"
 	"sync"
@@ -75,6 +76,28 @@ type Sim struct {
 	// wg is the fork-join barrier reused across ticks; a per-tick local
 	// would be moved to the heap every Step by the worker closures.
 	wg sync.WaitGroup
+
+	// localPos maps a core's global row-major index to its position within
+	// its owner's owned slice (-1 when unowned). Pending-core bookkeeping is
+	// kept in *local* coordinates so each worker's bitsets are disjoint.
+	localPos []int32
+	// act holds each worker's pending-core activity masks (the chip engine's
+	// hot/pendingAt/stepMask, per worker). During the compute phase a worker
+	// reads and writes only its own entry; during the delivery phase worker w
+	// marks only cores it owns — so no bitset word is ever shared between
+	// goroutines, mirroring how Compass ranks keep private event queues.
+	act []workerActivity
+}
+
+// workerActivity is one worker's pending-core bookkeeping: hot marks owned
+// cores that must step every tick (core.StaysHot), pendingAt[s] marks owned
+// cores with a delivery landing in delay slot s (tick mod core.DelaySlots),
+// and scratch is the per-tick union. All bitsets index local positions within
+// the worker's owned slice.
+type workerActivity struct {
+	hot       []uint64
+	pendingAt [core.DelaySlots][]uint64
+	scratch   []uint64
 }
 
 func init() {
@@ -183,6 +206,98 @@ func (s *Sim) partition(weight []float64) {
 	}
 	s.perWorkerOut = make([][]sim.OutputSpike, s.workers)
 	s.perWorkerNoC = make([]sim.NoCStats, s.workers)
+
+	s.localPos = make([]int32, len(s.cores))
+	for i := range s.localPos {
+		s.localPos[i] = -1
+	}
+	s.act = make([]workerActivity, s.workers)
+	for w := range s.act {
+		nw := (len(s.owned[w]) + 63) / 64
+		s.act[w].hot = make([]uint64, nw)
+		s.act[w].scratch = make([]uint64, nw)
+		for sl := range s.act[w].pendingAt {
+			s.act[w].pendingAt[sl] = make([]uint64, nw)
+		}
+		for p, idx := range s.owned[w] {
+			s.localPos[idx] = int32(p)
+		}
+	}
+	s.rebuildActivity()
+}
+
+// rebuildActivity re-derives every worker's hot set and per-slot pending
+// bitsets from the cores' current state (core.StaysHot, core.RingOccupancy).
+// It must run after any core-state change that bypasses Step: construction,
+// repartitioning, Reset, checkpoint restore (SetClock), and fault toggles.
+func (s *Sim) rebuildActivity() {
+	for w := range s.act {
+		a := &s.act[w]
+		for i := range a.hot {
+			a.hot[i] = 0
+		}
+		for sl := range a.pendingAt {
+			for i := range a.pendingAt[sl] {
+				a.pendingAt[sl][i] = 0
+			}
+		}
+	}
+	for i, c := range s.cores {
+		if c == nil {
+			continue
+		}
+		if c.StaysHot() {
+			s.markHot(i)
+		}
+		occ := c.RingOccupancy()
+		for sl := 0; occ != 0; sl++ {
+			if occ&1 != 0 {
+				// slot index == tick mod DelaySlots, so the slot number is a
+				// valid tick argument for markPending.
+				s.markPending(int32(i), uint64(sl))
+			}
+			occ >>= 1
+		}
+	}
+}
+
+// markHot flags core idx in its owner's hot bitset.
+func (s *Sim) markHot(idx int) {
+	if uint(idx) >= uint(len(s.owner)) {
+		return
+	}
+	w := s.owner[idx]
+	if w < 0 {
+		return
+	}
+	p := uint(s.localPos[idx])
+	hot := s.act[w].hot
+	if wi := p >> 6; wi < uint(len(hot)) {
+		hot[wi] |= 1 << (p & 63)
+	}
+}
+
+// markPending flags core idx in its owner's activity slot for tick, so the
+// masked compute walk visits it when that tick arrives. It touches only the
+// owning worker's bitsets, so concurrent calls are race-free as long as each
+// caller acts for the owner of idx — which is how the delivery phase is
+// organized (worker w drains exactly the messages addressed to its cores).
+//
+//perf:hot
+func (s *Sim) markPending(idx int32, tick uint64) {
+	i := uint(idx)
+	if i >= uint(len(s.owner)) || i >= uint(len(s.localPos)) {
+		return
+	}
+	w := s.owner[i]
+	if uint(w) >= uint(len(s.act)) {
+		return // unowned (-1) or out of range
+	}
+	p := uint(s.localPos[i])
+	slot := s.act[w].pendingAt[tick&(core.DelaySlots-1)]
+	if wi := p >> 6; wi < uint(len(slot)) {
+		slot[wi] |= 1 << (p & 63)
+	}
 }
 
 // Rebalance repartitions cores across workers using the measured per-core
@@ -252,11 +367,15 @@ func (s *Sim) InjectChecked(x, y, axon, delay int) error {
 // inject performs a validated injection.
 func (s *Sim) inject(x, y, axon, delay int) {
 	at := s.tick + uint64(delay)
+	idx := int32(y*s.mesh.W + x)
 	if delay <= core.MaxDelay {
-		s.cores[y*s.mesh.W+x].Deliver(axon, at)
+		// Within the ring horizon (Deliver's contract: s.tick is the next
+		// tick Step runs, so at − now = delay ≤ MaxDelay never aliases).
+		s.cores[idx].Deliver(axon, at)
+		s.markPending(idx, at)
 		return
 	}
-	s.pending[at] = append(s.pending[at], delivery{core: int32(y*s.mesh.W + x), tick: at, axon: uint8(axon)})
+	s.pending[at] = append(s.pending[at], delivery{core: idx, tick: at, axon: uint8(axon)})
 }
 
 // DisableCore marks a core failed, as chip.Model.DisableCore.
@@ -269,6 +388,8 @@ func (s *Sim) DisableCore(x, y int) {
 	s.anyDead = true
 	if c := s.cores[y*s.mesh.W+x]; c != nil {
 		c.Disabled = true
+		// A disabled core stays hot (its Step clears arriving delay slots).
+		s.markHot(y*s.mesh.W + x)
 	}
 }
 
@@ -279,6 +400,7 @@ func (s *Sim) EnableCore(x, y int) {
 	if c := s.Core(x, y); c != nil {
 		c.Disabled = false
 	}
+	s.rebuildActivity()
 }
 
 // Step implements sim.Engine: one semi-synchronous pass. Compute phase:
@@ -296,6 +418,7 @@ func (s *Sim) Step() {
 			// so the drain carries no bounds check.
 			if idx := int(d.core); uint(idx) < uint(len(s.cores)) {
 				s.cores[idx].Deliver(int(d.axon), d.tick)
+				s.markPending(d.core, d.tick)
 			}
 		}
 		delete(s.pending, tick)
@@ -376,10 +499,42 @@ func (s *Sim) Step() {
 					naiveCh <- d
 				}
 			}
-			for _, idx := range s.owned[w] {
-				c := s.cores[idx]
-				src = router.Point{X: int(idx) % s.mesh.W, Y: int(idx) / s.mesh.W}
-				c.Step(tick, emit)
+			// Masked walk over this worker's cores: hot ∪ pending-this-slot,
+			// in ascending local position — which is ascending global index,
+			// so the canonical order is preserved. The slot is cleared up
+			// front; in-tick deliveries only target future slots (delay ≥ 1)
+			// of this worker's own bitsets, so there is no cross-worker
+			// traffic and nothing lands in the slot being drained.
+			a := &s.act[w]
+			own := s.owned[w]
+			slot := a.pendingAt[tick&(core.DelaySlots-1)]
+			scratch, hot := a.scratch, a.hot
+			if len(scratch) == len(slot) && len(hot) == len(slot) {
+				for i := range slot {
+					scratch[i] = hot[i] | slot[i]
+					slot[i] = 0
+				}
+			}
+			for wi, word := range scratch {
+				for word != 0 {
+					b := bits.TrailingZeros64(word)
+					word &= word - 1
+					p := wi<<6 + b
+					if uint(p) >= uint(len(own)) {
+						continue
+					}
+					idx := own[p]
+					c := s.cores[idx]
+					src = router.Point{X: int(idx) % s.mesh.W, Y: int(idx) / s.mesh.W}
+					c.Step(tick, emit)
+					if uint(wi) < uint(len(hot)) {
+						if c.StaysHot() {
+							hot[wi] |= 1 << uint(b)
+						} else {
+							hot[wi] &^= 1 << uint(b)
+						}
+					}
+				}
 			}
 		}(w)
 	}
@@ -395,6 +550,9 @@ func (s *Sim) Step() {
 					msgs := s.outbox[src][w]
 					for _, d := range msgs {
 						s.cores[d.core].Deliver(int(d.axon), d.tick)
+						// Worker w owns d.core, so this touches only w's
+						// bitsets — race-free by ownership.
+						s.markPending(d.core, d.tick)
 					}
 					s.outbox[src][w] = msgs[:0]
 				}
@@ -406,6 +564,7 @@ func (s *Sim) Step() {
 		<-collectorDone
 		for _, d := range naive {
 			s.cores[d.core].Deliver(int(d.axon), d.tick)
+			s.markPending(d.core, d.tick)
 		}
 	}
 
@@ -477,8 +636,9 @@ func (s *Sim) SetNoC(n sim.NoCStats) {
 // engine is stepping.
 func (s *Sim) Cores() []*core.Core { return s.cores }
 
-// SetClock restores the tick counter (checkpoint resume) and rebuilds the
-// fault set from the cores' Disabled flags.
+// SetClock restores the tick counter (checkpoint resume), rebuilds the fault
+// set from the cores' Disabled flags, and re-derives the per-worker
+// pending-core activity masks from the restored core state.
 func (s *Sim) SetClock(tick uint64) {
 	s.tick = tick
 	s.dead = make(map[router.Point]bool)
@@ -488,6 +648,7 @@ func (s *Sim) SetClock(tick uint64) {
 		}
 	}
 	s.anyDead = len(s.dead) > 0
+	s.rebuildActivity()
 }
 
 // LoadImbalance reports max/mean per-worker measured synaptic events, a

@@ -37,10 +37,28 @@ const (
 	// integrated no earlier than tick t+1.
 	MinDelay = 1
 
-	// delaySlots is the axonal delay ring size (delays 1..15 need 16 slots).
-	delaySlots = MaxDelay + 1
+	// DelaySlots is the axonal delay ring size (delays 1..15 need 16 slots).
+	// Engines that mirror the ring — e.g. per-slot pending-core masks — key
+	// their structures by tick mod DelaySlots, exactly like Deliver.
+	DelaySlots = MaxDelay + 1
+
+	// delaySlots is the internal alias for the ring size.
+	delaySlots = DelaySlots
 	// rowWords is the number of 64-bit words per crossbar row.
 	rowWords = NeuronsPerCore / 64
+
+	// wordSynEventCutover is the minimum number of synaptic events in a tick
+	// for which the word-parallel Synapse path beats the scalar per-event
+	// walk. The word path pays per *touched neuron × fed type* (a popcount
+	// and a multiply each) regardless of how many events that neuron
+	// actually received, so at low event counts the scalar walk's
+	// one-add-per-event is cheaper; the break-even sits around a few events
+	// per neuron column. The event count is exact (a per-axon fanout table
+	// summed over the active mask), so the decision — and therefore the
+	// path taken — is a pure function of core state, identical across
+	// engines. Both paths are bit-identical, so the constant is pure
+	// throughput tuning.
+	wordSynEventCutover = 3 * NeuronsPerCore
 )
 
 // RowMask is a 256-bit set over neuron (or axon) indices.
@@ -236,6 +254,39 @@ type Core struct {
 	dirtyMask RowMask
 	// fullNeuronScan disables the per-neuron skip (see SetFullNeuronScan).
 	fullNeuronScan bool
+
+	// cols is the column-major (SoA) view of the crossbar, derived from the
+	// configuration at load: cols[j] masks the axons feeding neuron j — the
+	// transpose of Cfg.Synapses. The word-parallel Synapse path intersects
+	// these columns with the active-axon mask instead of walking rows bit by
+	// bit.
+	cols [NeuronsPerCore]RowMask
+	// typeMask[g] masks the axons of type g; the four masks partition the
+	// axon space, so intersecting the active mask with each yields the
+	// per-type event counts the word path multiplies by the per-type weight.
+	typeMask [neuron.NumAxonTypes]RowMask
+	// wordW is the weight matrix in SoA order: wordW[g][j] is neuron j's
+	// signed weight for axon type g (a transposed copy of
+	// Cfg.Neurons[j].Weights[g], laid out so the per-neuron inner loop of the
+	// word path strides unit-contiguous memory per type).
+	wordW [neuron.NumAxonTypes][NeuronsPerCore]int32
+	// wordSynOK marks the core eligible for the word-parallel Synapse path:
+	// statically proven (refreshWordSyn) to have fully deterministic synaptic
+	// integration — no per-synapse PRNG draw and no reachable intermediate
+	// saturation — so batching 64 synapses per popcount is bit-identical to
+	// the per-event scalar walk.
+	wordSynOK bool
+	// rowDeg[i] is the fanout of axon i (popcount of its crossbar row),
+	// derived at load. Summed over the active mask it gives the tick's exact
+	// synaptic event count, which picks the Synapse path (wordSynEventCutover).
+	rowDeg [AxonsPerCore]uint16
+	// scalarSynapse forces the scalar Synapse walk (see SetScalarSynapse).
+	scalarSynapse bool
+	// wordSynTicks counts ticks served by the word-parallel path. It is a
+	// diagnostic, deliberately outside Counters: the path choice must not
+	// show up in any cross-engine equality check, but tests need it to prove
+	// the word path actually ran (and benchmarks to attribute throughput).
+	wordSynTicks uint64
 }
 
 // New returns a core loaded with cfg. The caller should Validate cfg first;
@@ -244,8 +295,35 @@ func New(cfg *Config) *Core {
 	c := &Core{Cfg: cfg}
 	c.V = cfg.InitV
 	c.RNG.Seed(cfg.Seed)
+	c.buildSynLayout()
 	c.refreshMasks()
 	return c
+}
+
+// buildSynLayout derives the column-major crossbar view (cols, typeMask,
+// wordW) from the configuration. The configuration is immutable once loaded,
+// so this runs once per core; refreshMasks re-derives only the state-dependent
+// eligibility flag.
+func (c *Core) buildSynLayout() {
+	c.cols = [NeuronsPerCore]RowMask{}
+	c.typeMask = [neuron.NumAxonTypes]RowMask{}
+	for i := range c.Cfg.Synapses {
+		c.typeMask[c.Cfg.AxonType[i]&(neuron.NumAxonTypes-1)].Set(i)
+		row := &c.Cfg.Synapses[i]
+		deg := 0
+		for w := 0; w < rowWords; w++ {
+			deg += bits.OnesCount64(row[w])
+		}
+		c.rowDeg[i] = uint16(deg)
+		row.ForEach(func(j int) {
+			c.cols[uint8(j)].Set(i)
+		})
+	}
+	for j := range c.Cfg.Neurons {
+		for g := 0; g < neuron.NumAxonTypes; g++ {
+			c.wordW[g][j] = c.Cfg.Neurons[j].Weights[g]
+		}
+	}
 }
 
 // refreshMasks recomputes everyTickMask from the configuration and reseeds
@@ -269,7 +347,130 @@ func (c *Core) refreshMasks() {
 		}
 	}
 	c.anyEveryTick = !c.everyTickMask.Empty()
+	c.refreshWordSyn()
 }
+
+// refreshWordSyn recomputes the word-parallel Synapse eligibility flag. A
+// core is eligible when its synaptic integration is provably deterministic
+// and saturation-free for *every* reachable potential:
+//
+//  1. No neuron has a stochastic synapse on an axon type with nonzero
+//     in-degree — stochastic integration draws from the PRNG per event, so
+//     only the ordered scalar walk reproduces the hardware draw stream.
+//  2. No intermediate clamp can fire: for each neuron, the potential at the
+//     start of any Synapse phase lies in [lo, hi] (the inductive envelope
+//     from synPhaseBounds, widened to include the current potential so
+//     restored snapshots and programmed InitV are covered), and every prefix
+//     of the tick's synaptic deltas stays within [VMin, VMax] because
+//     hi + Σ positive weights·in-degree ≤ VMax and lo − Σ |negative| ≥ VMin.
+//
+// Under these conditions clampV is the identity at every step of the scalar
+// walk, so one unclamped word-accumulated add per neuron produces the same
+// potential, the same counters, and the same (absent) PRNG draws — the word
+// path is bit-identical by construction, and the ablation suite pins it.
+func (c *Core) refreshWordSyn() {
+	c.wordSynOK = false
+	for j := range c.Cfg.Neurons {
+		p := &c.Cfg.Neurons[j]
+		col := &c.cols[j]
+		var pos, neg int64
+		for g := 0; g < neuron.NumAxonTypes; g++ {
+			deg := 0
+			for w := 0; w < rowWords; w++ {
+				deg += bits.OnesCount64(col[w] & c.typeMask[g][w])
+			}
+			if deg == 0 {
+				continue
+			}
+			if p.StochSyn[g] {
+				return
+			}
+			if w0 := int64(p.Weights[g]); w0 >= 0 {
+				pos += w0 * int64(deg)
+			} else {
+				neg -= w0 * int64(deg)
+			}
+		}
+		lo, hi := synPhaseBounds(p)
+		if v := int64(c.V[j]); v < lo {
+			lo = v
+		}
+		if v := int64(c.V[j]); v > hi {
+			hi = v
+		}
+		if hi+pos > neuron.VMax || lo-neg < neuron.VMin {
+			return
+		}
+	}
+	c.wordSynOK = true
+}
+
+// synPhaseBounds returns the envelope [lo, hi] of a neuron's potential at the
+// start of any Synapse phase, as a pure function of its parameters. The
+// envelope is inductive: a neuron evaluated by the Neuron phase leaves
+// ThresholdFire inside it, and a neuron skipped by the event-driven kernel
+// was untouched (the Synapse phase marks every touched neuron dirty, so it is
+// always evaluated the same tick), keeping its previous in-envelope value.
+func synPhaseBounds(p *neuron.Params) (lo, hi int64) {
+	var jit int64
+	if p.ThresholdMask != 0 {
+		// The jitter is an 8-bit draw ANDed with the mask's low byte.
+		jit = int64(p.ThresholdMask & 0xFF)
+	}
+	// Not fired: v < α + jitter, so v ≤ α + jitMax − 1.
+	hi = int64(p.Threshold) + jit - 1
+	switch p.Reset {
+	case neuron.ResetToV:
+		if r := int64(p.ResetV); r > hi {
+			hi = r
+		}
+	case neuron.ResetSubtract:
+		// v − (α + jit) with v ≤ VMax and jit ≥ 0.
+		if s := int64(neuron.VMax) - int64(p.Threshold); s > hi {
+			hi = s
+		}
+	default:
+		// ResetNone leaves any overshoot in place: no bound below VMax.
+		hi = neuron.VMax
+	}
+	lo = -int64(p.NegThreshold)
+	if !p.NegSaturate {
+		// The negative-threshold reset jumps to −R, of either sign.
+		if r := -int64(p.ResetV); r < lo {
+			lo = r
+		}
+		if r := -int64(p.ResetV); r > hi {
+			hi = r
+		}
+	}
+	if p.Reset == neuron.ResetToV {
+		if r := int64(p.ResetV); r < lo {
+			lo = r
+		}
+	}
+	if hi > neuron.VMax {
+		hi = neuron.VMax
+	}
+	if lo < neuron.VMin {
+		lo = neuron.VMin
+	}
+	return lo, hi
+}
+
+// WordSynEligible reports whether the core qualifies for the word-parallel
+// Synapse path at its current state (see refreshWordSyn).
+func (c *Core) WordSynEligible() bool { return c.wordSynOK }
+
+// SetScalarSynapse forces the per-event scalar Synapse walk even on cores
+// eligible for the word-parallel path. Results, counters, and PRNG state are
+// bit-identical either way — that is the eligibility contract — so this is an
+// ablation and verification knob, like SetFullNeuronScan.
+func (c *Core) SetScalarSynapse(on bool) { c.scalarSynapse = on }
+
+// WordSynTicks reports how many ticks the word-parallel Synapse path served.
+// Diagnostic only — never part of any cross-engine equality — but the assays
+// that claim to exercise the word path assert it is nonzero.
+func (c *Core) WordSynTicks() uint64 { return c.wordSynTicks }
 
 // SetFullNeuronScan toggles the dense Neuron-phase baseline: when on, every
 // non-skipped tick evaluates all 256 neurons the way the pre-mask kernel did
@@ -282,9 +483,60 @@ func (c *Core) SetFullNeuronScan(on bool) { c.fullNeuronScan = on }
 // Deliver records a spike arrival on axon at tick (the absolute tick at
 // which it will be integrated). The engine computes tick = now + delay.
 //
+// Contract: tick must lie within the core's 16-slot delay horizon —
+// now ≤ tick < now + DelaySlots, where "now" is the next tick the engine will
+// Step. Deliver indexes the ring modulo DelaySlots without checking, exactly
+// like the silicon's 4-bit slot addressing: a tick outside the horizon
+// silently aliases onto an earlier slot and the event arrives tick mod 16
+// ticks early. Every in-repo caller satisfies the contract structurally —
+// engine inject() queues arrivals beyond MaxDelay outside the ring and routed
+// Target.Delay is validated to 1..15 at configuration load — and the engines
+// must also notify their pending-core masks of every delivery, so external
+// code (multichip merges, fault injectors) goes through engine Inject or uses
+// DeliverAt, which enforces the horizon instead of wrapping.
+//
 //perf:hot
 func (c *Core) Deliver(axon int, tick uint64) {
 	c.ring[tick&(delaySlots-1)].Set(axon)
+}
+
+// DeliverAt is Deliver with the horizon contract enforced: it rejects, rather
+// than silently aliases, an arrival tick outside [now, now+DelaySlots). now is
+// the next tick the engine will Step.
+func (c *Core) DeliverAt(axon int, now, tick uint64) error {
+	if tick < now || tick-now >= DelaySlots {
+		return fmt.Errorf("core: delivery at tick %d outside delay horizon [%d, %d): would alias onto slot %d and arrive early",
+			tick, now, now+DelaySlots, tick&(delaySlots-1))
+	}
+	c.Deliver(axon, tick)
+	return nil
+}
+
+// StaysHot reports whether an engine must run Step for this core on the next
+// tick even if no spike is delivered to it: every-tick neuron dynamics (leak,
+// stochastic draws, threshold ≤ 0), a non-empty dirty set from an earlier
+// tick, or the core being disabled (a disabled Step still clears the arriving
+// delay slot, so skipping it would change observable ring state). Engines
+// combine StaysHot with their per-slot pending-delivery masks to walk only
+// active cores; a core with StaysHot() == false and no pending deliveries is
+// provably a fixed point of Step.
+//
+//perf:hot
+func (c *Core) StaysHot() bool {
+	return c.Disabled || c.anyEveryTick || !c.dirtyMask.Empty()
+}
+
+// RingOccupancy returns a 16-bit mask of delay-ring slots holding pending
+// axon events: bit s covers ticks ≡ s mod DelaySlots. Engines rebuild their
+// pending-core masks from it after checkpoint restore or reconfiguration.
+func (c *Core) RingOccupancy() uint16 {
+	var occ uint16
+	for s := range c.ring {
+		if !c.ring[s].Empty() {
+			occ |= 1 << uint(s)
+		}
+	}
+	return occ
 }
 
 // PendingAt returns a copy of the axon events scheduled for tick.
@@ -326,23 +578,14 @@ func (c *Core) Step(tick uint64, emit Emit) {
 	// Synapse phase: propagate input spikes from axons through the crossbar
 	// and perform synaptic integration (kernel lines 4-8). Every touched
 	// neuron is marked dirty word-parallel so the Neuron phase evaluates it.
+	// Eligible cores (refreshWordSyn) batch the crossbar 64 synapses at a
+	// time; the scalar per-event walk is the reference and the fallback.
 	if hasInput {
-		active.ForEach(func(i int) {
-			c.Cnt.AxonEvents++
-			// uint8 indices: ForEach yields 0..255, and the conversion makes
-			// that provable, so the crossbar walk carries no bounds checks.
-			ai := uint8(i)
-			row := &cfg.Synapses[ai]
-			g := cfg.AxonType[ai]
-			row.ForEach(func(j int) {
-				nj := uint8(j)
-				c.V[nj] = cfg.Neurons[nj].Integrate(c.V[nj], g, &c.RNG)
-				c.Cnt.SynEvents++
-			})
-			for w := range c.dirtyMask {
-				c.dirtyMask[w] |= row[w]
-			}
-		})
+		if c.wordSynOK && !c.scalarSynapse && c.synEvents(&active) >= wordSynEventCutover {
+			c.stepSynapsesWord(&active)
+		} else {
+			c.stepSynapsesScalar(&active)
+		}
 	}
 
 	// Neuron phase: leak, threshold, fire, reset (kernel lines 9-18),
@@ -378,6 +621,116 @@ func (c *Core) Step(tick uint64, emit Emit) {
 			}
 		}
 	})
+}
+
+// stepSynapsesScalar is the per-event Synapse walk: active axons in ascending
+// order, set crossbar bits in ascending neuron order, one Integrate (and any
+// stochastic PRNG draw) per synaptic event. It is the semantic reference the
+// word path must match bit-for-bit, and the only valid path for cores with
+// stochastic synapses.
+//
+// synEvents returns the exact number of synaptic events the active-axon mask
+// will produce — the per-axon fanouts summed over the set bits. It costs one
+// table add per active axon and drives the Synapse-path choice.
+//
+//perf:hot
+func (c *Core) synEvents(active *RowMask) int {
+	ev := 0
+	for w := 0; w < rowWords; w++ {
+		word := active[w]
+		base := w << 6
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			ev += int(c.rowDeg[uint8(base+b)])
+		}
+	}
+	return ev
+}
+
+//perf:hot
+func (c *Core) stepSynapsesScalar(active *RowMask) {
+	cfg := c.Cfg
+	active.ForEach(func(i int) {
+		c.Cnt.AxonEvents++
+		// uint8 indices: ForEach yields 0..255, and the conversion makes
+		// that provable, so the crossbar walk carries no bounds checks.
+		ai := uint8(i)
+		row := &cfg.Synapses[ai]
+		g := cfg.AxonType[ai]
+		row.ForEach(func(j int) {
+			nj := uint8(j)
+			c.V[nj] = cfg.Neurons[nj].Integrate(c.V[nj], g, &c.RNG)
+			c.Cnt.SynEvents++
+		})
+		for w := range c.dirtyMask {
+			c.dirtyMask[w] |= row[w]
+		}
+	})
+}
+
+// stepSynapsesWord is the word-parallel Synapse walk for eligible cores
+// (wordSynOK): crossbar rows are evaluated 64 synapses at a time with word
+// ANDs and popcounts instead of per-bit Integrate calls.
+//
+// Per tick it intersects the active-axon mask with each axon-type mask, takes
+// the union of the active rows as the touched-neuron set, and for each
+// touched neuron accumulates popcount(column ∩ active_type) × weight[type]
+// in one add. Eligibility proves no per-event clamp can fire and no PRNG draw
+// is consumed, so the result, SynEvents (each set (axon, neuron) crosspoint
+// of an active axon counted exactly once — the types partition the axon
+// space), AxonEvents, and the dirty mask are bit-identical to the scalar
+// walk.
+//
+//perf:hot
+func (c *Core) stepSynapsesWord(active *RowMask) {
+	cfg := c.Cfg
+	c.wordSynTicks++
+	var act [neuron.NumAxonTypes]RowMask
+	var nonEmpty [neuron.NumAxonTypes]bool
+	for g := 0; g < neuron.NumAxonTypes; g++ {
+		var or uint64
+		for w := 0; w < rowWords; w++ {
+			v := active[w] & c.typeMask[g][w]
+			act[g][w] = v
+			or |= v
+		}
+		nonEmpty[g] = or != 0
+	}
+	c.Cnt.AxonEvents += uint64(active.Count())
+	var touched RowMask
+	active.ForEach(func(i int) {
+		row := &cfg.Synapses[uint8(i)]
+		for w := 0; w < rowWords; w++ {
+			touched[w] |= row[w]
+		}
+	})
+	var syn uint64
+	touched.ForEach(func(j int) {
+		nj := uint8(j)
+		col := &c.cols[nj]
+		var delta int32
+		for g := 0; g < neuron.NumAxonTypes; g++ {
+			if !nonEmpty[g] {
+				continue
+			}
+			n := 0
+			for w := 0; w < rowWords; w++ {
+				n += bits.OnesCount64(col[w] & act[g][w])
+			}
+			if n != 0 {
+				syn += uint64(n)
+				delta += int32(n) * c.wordW[g][nj]
+			}
+		}
+		// Eligibility proved no intermediate saturation, so the unclamped
+		// accumulated add equals the scalar per-event sequence.
+		c.V[nj] += delta
+	})
+	c.Cnt.SynEvents += syn
+	for w := 0; w < rowWords; w++ {
+		c.dirtyMask[w] |= touched[w]
+	}
 }
 
 // StepDense is the ablation reference for Step: it produces bit-identical

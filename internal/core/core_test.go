@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"truenorth/internal/neuron"
+	"truenorth/internal/prng"
 )
 
 func TestRowMaskSetGetClear(t *testing.T) {
@@ -661,5 +662,201 @@ func BenchmarkCoreStepSparse(b *testing.B) {
 			c.Deliver((i*5+a)%AxonsPerCore, uint64(i))
 		}
 		c.Step(uint64(i), emit)
+	}
+}
+
+// wordTestConfig builds a word-parallel-eligible configuration that exercises
+// every moving part of the word kernel: all four axon types, mixed-sign
+// weights, an irregular crossbar, and (optionally) threshold jitter — a
+// Neuron-phase PRNG draw per neuron per tick, so any extra, missing, or
+// reordered draw on the synapse side desynchronizes the stream instantly.
+func wordTestConfig(seed uint16, jitter bool) *Config {
+	cfg := InertConfig()
+	cfg.Seed = seed
+	for a := 0; a < AxonsPerCore; a++ {
+		cfg.AxonType[a] = uint8(a % neuron.NumAxonTypes)
+	}
+	for j := 0; j < NeuronsPerCore; j++ {
+		for k := 0; k < 16; k++ {
+			cfg.Synapses[(j*(2*k+1)+k*k+3)%AxonsPerCore].Set(j)
+		}
+		cfg.Neurons[j] = neuron.Params{
+			Weights:      [neuron.NumAxonTypes]int32{3, -2, 1, -1},
+			Threshold:    6,
+			NegThreshold: 20,
+			NegSaturate:  true,
+			Reset:        neuron.ResetToV,
+		}
+		if jitter {
+			cfg.Neurons[j].ThresholdMask = 0x07
+		}
+		cfg.Targets[j] = Target{Valid: true, Delay: 1}
+	}
+	return cfg
+}
+
+// TestWordSynapseMatchesScalar pins the tentpole invariant: on an eligible
+// core the word-parallel Synapse path and the scalar per-event walk produce
+// bit-identical potentials, counters, PRNG state, and spike sequences, at
+// every input density (the per-tick event count sweeps across
+// wordSynEventCutover, so both paths and the boundary are exercised).
+func TestWordSynapseMatchesScalar(t *testing.T) {
+	for _, jitter := range []bool{true, false} {
+		name := "no-jitter"
+		if jitter {
+			name = "jitter"
+		}
+		t.Run(name, func(t *testing.T) {
+			a := New(wordTestConfig(0x1234, jitter)) // word path (default)
+			b := New(wordTestConfig(0x1234, jitter)) // forced scalar reference
+			b.SetScalarSynapse(true)
+			if !a.WordSynEligible() || !b.WordSynEligible() {
+				t.Fatal("test config not word-eligible; the assay is vacuous")
+			}
+			rng := prng.NewRand(99)
+			var fa, fb []int
+			for tick := uint64(0); tick < 300; tick++ {
+				for k, n := 0, rng.Intn(2*AxonsPerCore)-AxonsPerCore; k < n; k++ {
+					ax := rng.Intn(AxonsPerCore)
+					a.Deliver(ax, tick)
+					b.Deliver(ax, tick)
+				}
+				a.Step(tick, func(j int, _ Target) { fa = append(fa, int(tick)<<16|j) })
+				b.Step(tick, func(j int, _ Target) { fb = append(fb, int(tick)<<16|j) })
+			}
+			if a.V != b.V {
+				t.Error("potentials diverged between word and scalar paths")
+			}
+			if a.RNG.State() != b.RNG.State() {
+				t.Errorf("PRNG state diverged: %04x vs %04x", a.RNG.State(), b.RNG.State())
+			}
+			if a.Cnt != b.Cnt {
+				t.Errorf("counters diverged: word %+v, scalar %+v", a.Cnt, b.Cnt)
+			}
+			if len(fa) != len(fb) {
+				t.Fatalf("spike counts differ: %d vs %d", len(fa), len(fb))
+			}
+			for i := range fa {
+				if fa[i] != fb[i] {
+					t.Fatalf("spike %d differs: %x vs %x", i, fa[i], fb[i])
+				}
+			}
+			if a.Cnt.SynEvents == 0 || a.Cnt.Spikes == 0 {
+				t.Fatal("no synaptic events or spikes; the assay is vacuous")
+			}
+			if w := a.WordSynTicks(); w == 0 || w >= 300 {
+				t.Fatalf("word path served %d/300 ticks; the cutover sweep is vacuous", w)
+			}
+			if b.WordSynTicks() != 0 {
+				t.Fatal("forced-scalar core took the word path")
+			}
+		})
+	}
+}
+
+// TestWordSynEligibility pins the static eligibility rule: stochastic
+// synapses on a fed axon type and any reachable intermediate saturation must
+// force the scalar path, while harmless configurations stay eligible — and
+// the flag is state-aware, so a restored snapshot near the rails disqualifies
+// the core until refreshMasks proves the envelope safe again.
+func TestWordSynEligibility(t *testing.T) {
+	// Stochastic synapse on a fed type: each event draws from the PRNG, so
+	// word-batching would skip draws.
+	cfg := wordTestConfig(1, false)
+	cfg.Neurons[7].StochSyn = [neuron.NumAxonTypes]bool{true, true, true, true}
+	if New(cfg).WordSynEligible() {
+		t.Error("stochastic synapse on a fed axon type accepted for the word path")
+	}
+	// Stochastic synapse on an unfed type is unobservable: still eligible.
+	cfg2 := InertConfig()
+	cfg2.Neurons[0].StochSyn = [neuron.NumAxonTypes]bool{true, true, true, true}
+	if !New(cfg2).WordSynEligible() {
+		t.Error("stochastic synapse with zero in-degree rejected")
+	}
+	// Saturation risk: an inert neuron (α = VMax) fed by weight 255 can
+	// clamp mid-walk, which the word path cannot reproduce.
+	cfg3 := InertConfig()
+	cfg3.Synapses[0].Set(0)
+	cfg3.Neurons[0].Weights[0] = 255
+	if New(cfg3).WordSynEligible() {
+		t.Error("saturating configuration accepted for the word path")
+	}
+	// State-awareness: the same eligible core becomes ineligible when a
+	// restored potential sits at the positive rail.
+	c := New(wordTestConfig(1, false))
+	if !c.WordSynEligible() {
+		t.Fatal("baseline config not eligible")
+	}
+	s := c.SaveState()
+	s.V[0] = neuron.VMax
+	c.RestoreState(s)
+	if c.WordSynEligible() {
+		t.Error("potential at VMax with positive weights accepted for the word path")
+	}
+}
+
+// TestDeliverWrapContractAndDeliverAt is the regression test for the
+// delay-ring wrap bug class: Deliver masks the tick unconditionally, so a
+// tick ≥ now+DelaySlots silently aliases onto an earlier slot and arrives
+// early. The unchecked behavior is documented (and pinned here); DeliverAt is
+// the enforced variant boundary code must use.
+func TestDeliverWrapContractAndDeliverAt(t *testing.T) {
+	c := New(relayConfig(5, 9, Target{Valid: true, Delay: 1}))
+	// Documented aliasing: a delivery one full ring beyond "now" lands in
+	// the current slot — 16 ticks early.
+	c.Deliver(5, DelaySlots) // now = 0
+	if slot := c.PendingAt(0); !slot.Get(5) {
+		t.Error("wrap contract changed: tick DelaySlots no longer aliases onto slot 0")
+	}
+
+	c2 := New(relayConfig(5, 9, Target{Valid: true, Delay: 1}))
+	if err := c2.DeliverAt(5, 0, DelaySlots); err == nil {
+		t.Error("DeliverAt accepted a tick one past the horizon (the wrap case)")
+	}
+	if err := c2.DeliverAt(5, 10, 9); err == nil {
+		t.Error("DeliverAt accepted a tick in the past")
+	}
+	if c2.RingOccupancy() != 0 {
+		t.Error("rejected deliveries mutated the ring")
+	}
+	if err := c2.DeliverAt(5, 10, 10); err != nil {
+		t.Errorf("DeliverAt rejected a same-tick (delay 0) injection: %v", err)
+	}
+	if err := c2.DeliverAt(5, 10, 10+MaxDelay); err != nil {
+		t.Errorf("DeliverAt rejected the maximum in-horizon delay: %v", err)
+	}
+	near, far := c2.PendingAt(10), c2.PendingAt(10+MaxDelay)
+	if !near.Get(5) || !far.Get(5) {
+		t.Error("accepted deliveries did not land in their slots")
+	}
+}
+
+// TestStaysHotAndRingOccupancy pins the two queries engines build their
+// pending-core masks from.
+func TestStaysHotAndRingOccupancy(t *testing.T) {
+	// A pure relay core is cold at rest...
+	c := New(relayConfig(5, 9, Target{Valid: true, Delay: 1}))
+	if c.StaysHot() {
+		t.Error("quiescent relay core reports hot")
+	}
+	if c.RingOccupancy() != 0 {
+		t.Errorf("empty ring occupancy %04x, want 0", c.RingOccupancy())
+	}
+	// ...occupancy tracks pending slots exactly...
+	c.Deliver(5, 3)
+	c.Deliver(5, 14)
+	if got := c.RingOccupancy(); got != 1<<3|1<<14 {
+		t.Errorf("ring occupancy %04x, want %04x", got, 1<<3|1<<14)
+	}
+	// ...a disabled core stays hot (its Step clears arriving slots)...
+	c.Disabled = true
+	if !c.StaysHot() {
+		t.Error("disabled core reports cold")
+	}
+	c.Disabled = false
+	// ...and every-tick dynamics (leak) pin a core hot.
+	lc := New(wordTestConfig(3, true))
+	if !lc.StaysHot() {
+		t.Error("core with per-tick PRNG draws reports cold")
 	}
 }

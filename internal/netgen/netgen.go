@@ -122,6 +122,16 @@ func threshold(rateHz float64) int32 {
 	return int32(leak*1000/rateHz + 0.5)
 }
 
+// PacemakersPerCore returns the number of tonic pacemaker neurons per core at
+// the given driven fraction — the complement of the relays Build converts.
+// Only these neurons hold the programmed firing rate; relays fire on synaptic
+// drive alone, so rate measurements normalized over the whole population
+// understate the pace by exactly the driven fraction (tnbench normalizes its
+// pacemaker_rate_hz with this count).
+func PacemakersPerCore(drivenFraction float64) int {
+	return core.NeuronsPerCore - int(drivenFraction*core.NeuronsPerCore+0.5)
+}
+
 // Build generates the network as row-major core configurations ready for
 // chip.New or compass.New.
 func Build(p Params) ([]*core.Config, error) {
@@ -142,7 +152,7 @@ func Build(p Params) ([]*core.Config, error) {
 	}
 
 	// Neurons j >= pacemakers in every core become driven relays.
-	pacemakers := core.NeuronsPerCore - int(p.DrivenFraction*core.NeuronsPerCore+0.5)
+	pacemakers := PacemakersPerCore(p.DrivenFraction)
 
 	configs := make([]*core.Config, nCores)
 	scratch := make([]int, core.AxonsPerCore)

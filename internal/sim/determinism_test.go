@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"os"
 	"testing"
 	"time"
 
@@ -304,5 +305,145 @@ func TestBuildIsReproducible(t *testing.T) {
 	}
 	if build(7) == build(8) {
 		t.Fatal("different seeds produced identical networks")
+	}
+}
+
+// schedMode mirrors the runtime package's TN_RUNTIME_SCHED knob: when set,
+// every session in this file is driven by a pooled Scheduler instead of the
+// legacy per-session goroutine, so the checkpoint/restore assay below also
+// covers the batched servicer (scripts/check.sh runs this package both ways).
+var schedMode = os.Getenv("TN_RUNTIME_SCHED") == "1"
+
+func newSession(t *testing.T, eng sim.Engine) *runtime.Session {
+	t.Helper()
+	var opts []runtime.Option
+	if schedMode {
+		d := runtime.NewScheduler(runtime.SchedulerConfig{})
+		t.Cleanup(d.Close)
+		opts = append(opts, runtime.WithScheduler(d))
+	}
+	s, err := runtime.New(eng, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// quiescentNet is the stress workload for the per-tick pending-core mask:
+// the driven assay network with all but two cores converted to pure
+// event-driven relay cores (no leak, no jitter, zero initial potential).
+// Those cores are completely silent — cold in the engines' activity masks —
+// until a spike is routed to them, then go cold again once their delay rings
+// drain. The two surviving pacemaker cores keep injecting traffic, so cores
+// flap between hot and cold for the whole run, exercising every
+// mask-maintenance path: direct injection, pending-slot aliasing, routed
+// delivery, and checkpoint/restore mask rebuilds.
+func quiescentNet(t *testing.T, seed int64) (router.Mesh, []*core.Config) {
+	t.Helper()
+	mesh, configs := drivenNet(t, seed)
+	for ci, cfg := range configs {
+		if ci == 0 || ci == 9 {
+			continue // pacemaker cores keep their tonic neurons
+		}
+		for j := range cfg.Neurons {
+			cfg.Neurons[j].Leak = 0
+			cfg.Neurons[j].Threshold = 4
+			cfg.Neurons[j].ThresholdMask = 0
+			cfg.InitV[j] = 0
+		}
+	}
+	return mesh, configs
+}
+
+// TestQuiescentCheckpointCrossEngine pins the pending-core mask against the
+// session runtime: on a quiescent-heavy network, a checkpointed, over-run,
+// and rewound session on either engine must reproduce the uninterrupted
+// chip batch run spike-for-spike AND land in the identical final state —
+// every core's potentials, delay ring, PRNG, and counters. Restore rebuilds
+// the activity masks from core state; any core left wrongly cold after a
+// rewind silently drops its pending spikes, which this assay detects.
+func TestQuiescentCheckpointCrossEngine(t *testing.T) {
+	const ticks = 200
+	const seed = 46
+	ctx := context.Background()
+
+	mesh, configs := quiescentNet(t, seed)
+	ref, err := sim.NewEngine("chip", mesh, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := stream(t, ref, ticks)
+	if want == "0 spikes\n" {
+		t.Fatal("network produced no output spikes; the assay is vacuous")
+	}
+	refCores := ref.(fullScanner).Cores()
+	// The point of the workload: most Neuron-phase work must be skipped,
+	// or the masks were never cold and the assay proves nothing.
+	if got, full := ref.Counters().NeuronUpdates, uint64(ticks)*uint64(len(refCores))*core.NeuronsPerCore; got*2 > full {
+		t.Fatalf("reference evaluated %d of %d neuron slots — workload not quiescent", got, full)
+	}
+
+	for _, tc := range []struct {
+		name string
+		opts []sim.Option
+	}{
+		{"chip", nil},
+		{"compass", []sim.Option{sim.WithWorkers(5)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			mesh, configs := quiescentNet(t, seed)
+			eng, err := sim.NewEngine(tc.name, mesh, configs, tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := newSession(t, eng)
+			defer s.Close()
+			// Segment 1, then checkpoint mid-run with spikes in flight.
+			if err := s.RunUntil(ctx, 80); err != nil {
+				t.Fatal(err)
+			}
+			part1, err := s.Drain(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ckpt bytes.Buffer
+			if err := s.Checkpoint(ctx, &ckpt); err != nil {
+				t.Fatal(err)
+			}
+			// Overshoot 40 ticks — plenty for cores to change hot/cold state
+			// — then rewind; the masks must be rebuilt, not remembered.
+			if err := s.Run(ctx, 40); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Restore(ctx, &ckpt); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.RunUntil(ctx, ticks); err != nil {
+				t.Fatal(err)
+			}
+			part2, err := s.Drain(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := render(append(part1, part2...)); got != want {
+				t.Errorf("checkpointed %s stream diverged from the batch run (%d vs %d bytes)",
+					tc.name, len(got), len(want))
+			}
+			// Final-state equivalence: spike streams only sample tapped
+			// neurons; the full per-core state catches silent divergence in
+			// untapped cores.
+			if a, b := eng.Counters(), ref.Counters(); a.Spikes != b.Spikes || a.SynEvents != b.SynEvents || a.AxonEvents != b.AxonEvents {
+				t.Errorf("final counters diverged: %+v vs reference %+v", a, b)
+			}
+			got := eng.(fullScanner).Cores()
+			for i := range got {
+				a := fmt.Sprintf("%+v", got[i].SaveState())
+				b := fmt.Sprintf("%+v", refCores[i].SaveState())
+				if a != b {
+					t.Errorf("core %d final state diverged from the batch run", i)
+					break
+				}
+			}
+		})
 	}
 }

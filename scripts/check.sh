@@ -111,8 +111,8 @@ go test -shuffle=on ./...
 echo "==> go test -race ./internal/compass/... ./internal/sim/... ./internal/runtime/... ./internal/serve/..."
 go test -race ./internal/compass/... ./internal/sim/... ./internal/runtime/... ./internal/serve/...
 
-echo "==> go test -race ./internal/runtime/... (TN_RUNTIME_SCHED=1: pooled-scheduler servicer)"
-TN_RUNTIME_SCHED=1 go test -race ./internal/runtime/...
+echo "==> go test -race ./internal/runtime/... ./internal/sim/... (TN_RUNTIME_SCHED=1: pooled-scheduler servicer)"
+TN_RUNTIME_SCHED=1 go test -race ./internal/runtime/... ./internal/sim/...
 
 echo "==> allocs gate (per-tick heap budgets)"
 ./scripts/allocs_gate.sh
